@@ -1,0 +1,91 @@
+// Ablation (DESIGN.md decision 2): how much does the elicitation strategy
+// matter? The paper argues monkey testing approximates human browsing
+// (§6.2); this bench compares three strategies on the same sites:
+//   load-only   fetch the page, run scripts, never interact
+//   monkey      the paper's strategy (random clicks/scrolls/input, BFS 13p)
+//   human       the §6.2 casual-reader model (3 pages, prominent links)
+#include <set>
+
+#include "bench_common.h"
+
+namespace {
+
+struct Coverage {
+  double avg_standards = 0;
+  std::size_t distinct_features = 0;
+  double avg_pages = 0;
+};
+
+Coverage measure(const fu::net::SyntheticWeb& web,
+                 const fu::catalog::Catalog& cat, int sample, int mode) {
+  Coverage cov;
+  fu::support::DynamicBitset all(cat.features().size());
+  int measured = 0;
+  for (int i = 0; i < sample; ++i) {
+    const fu::net::SitePlan& site = web.sites()[i];
+    if (site.status != fu::net::SiteStatus::kOk) continue;
+
+    fu::crawler::CrawlConfig config;
+    fu::crawler::SiteVisit visit;
+    switch (mode) {
+      case 0: {  // load-only: zero interaction budget, no navigation
+        config.monkey.actions = 0;
+        config.fanout = 0;
+        config.levels = 0;
+        visit = fu::crawler::crawl_site(web, config, site, 31);
+        break;
+      }
+      case 1:
+        visit = fu::crawler::crawl_site(web, config, site, 31);
+        break;
+      default:
+        visit = fu::crawler::human_visit(web, config, site, 31);
+        break;
+    }
+    if (!visit.measured) continue;
+    ++measured;
+    cov.avg_pages += visit.pages_visited;
+
+    std::set<fu::catalog::StandardId> standards;
+    for (std::size_t f = 0; f < visit.features.size(); ++f) {
+      if (visit.features.test(f)) {
+        standards.insert(
+            cat.feature(static_cast<fu::catalog::FeatureId>(f)).standard);
+      }
+    }
+    cov.avg_standards += static_cast<double>(standards.size());
+    all |= visit.features;
+  }
+  if (measured > 0) {
+    cov.avg_standards /= measured;
+    cov.avg_pages /= measured;
+  }
+  cov.distinct_features = all.count();
+  return cov;
+}
+
+}  // namespace
+
+int main() {
+  fu::Reproduction repro = fu::bench::make_reproduction();
+  fu::bench::banner("Ablation — elicitation strategy", repro);
+  const auto& web = repro.web();
+  const auto& cat = repro.catalog();
+  const int sample = std::min<int>(400, static_cast<int>(web.sites().size()));
+
+  std::printf("%-12s %16s %18s %10s\n", "strategy", "avg standards",
+              "distinct features", "avg pages");
+  std::printf("%s\n", std::string(60, '-').c_str());
+  const char* names[] = {"load-only", "monkey", "human"};
+  for (int mode = 0; mode < 3; ++mode) {
+    const Coverage cov = measure(web, cat, sample, mode);
+    std::printf("%-12s %16.1f %18zu %10.1f\n", names[mode], cov.avg_standards,
+                cov.distinct_features, cov.avg_pages);
+  }
+  std::printf(
+      "\nshape check: monkey > human > load-only — interaction and breadth "
+      "both\nmatter, and the monkey's 13-page random walk beats a human's "
+      "3-page read,\nwhich is why §6.2 finds manual browsing adds almost "
+      "nothing.\n");
+  return 0;
+}

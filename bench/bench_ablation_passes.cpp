@@ -1,0 +1,56 @@
+// Ablation (§6.1): why five passes? Rerun the crawl with 1..8 passes per
+// site and report cumulative standard coverage — the marginal value of each
+// extra pass, the continuous version of Table 3's per-round deltas.
+#include <set>
+
+#include "bench_common.h"
+
+int main() {
+  fu::Reproduction repro = fu::bench::make_reproduction();
+  fu::bench::banner("Ablation — measurement passes per site", repro);
+  const auto& web = repro.web();
+  const auto& cat = repro.catalog();
+  const int sample = std::min<int>(300, static_cast<int>(web.sites().size()));
+  constexpr int kMaxPasses = 8;
+
+  // cumulative standards per site after each pass, averaged
+  std::vector<double> cumulative(kMaxPasses, 0);
+  int measured = 0;
+
+  for (int i = 0; i < sample; ++i) {
+    const fu::net::SitePlan& site = web.sites()[i];
+    if (site.status != fu::net::SiteStatus::kOk) continue;
+    ++measured;
+
+    fu::crawler::CrawlConfig config;
+    std::set<fu::catalog::StandardId> seen;
+    for (int pass = 0; pass < kMaxPasses; ++pass) {
+      const auto visit = fu::crawler::crawl_site(
+          web, config, site,
+          0xab1a7e ^ fu::support::fnv1a(site.domain) ^
+              static_cast<std::uint64_t>(pass));
+      for (std::size_t f = 0; f < visit.features.size(); ++f) {
+        if (visit.features.test(f)) {
+          seen.insert(
+              cat.feature(static_cast<fu::catalog::FeatureId>(f)).standard);
+        }
+      }
+      cumulative[static_cast<std::size_t>(pass)] +=
+          static_cast<double>(seen.size());
+    }
+  }
+
+  std::printf("%-8s %22s %16s\n", "passes", "avg standards seen",
+              "marginal gain");
+  std::printf("%s\n", std::string(50, '-').c_str());
+  double previous = 0;
+  for (int pass = 0; pass < kMaxPasses; ++pass) {
+    const double avg = cumulative[static_cast<std::size_t>(pass)] / measured;
+    std::printf("%-8d %22.2f %16.2f\n", pass + 1, avg, avg - previous);
+    previous = avg;
+  }
+  std::printf(
+      "\nshape check: gains collapse after ~4-5 passes (paper: no new "
+      "standards by\nround 5), so five passes per configuration suffice.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Shared plumbing for the table/figure benches.
+//
+// Every bench runs the full pipeline at the scale given by the environment
+// (FU_SITES, default 10,000 like the paper; FU_PASSES, default 5) and prints
+// the regenerated artifact. Survey results are cached on disk (FU_CACHE_DIR,
+// default ./fu_cache), so the first bench of a configuration pays for the
+// crawl and the rest load it in milliseconds.
+#pragma once
+
+#include <chrono>
+#include <iostream>
+
+#include "core/featureusage.h"
+
+namespace fu::bench {
+
+inline Reproduction make_reproduction() {
+  return Reproduction(ReproductionConfig::from_env());
+}
+
+inline void banner(const char* artifact, const Reproduction& repro) {
+  std::cout << "=== " << artifact << " ===\n"
+            << "reproduction of: Snyder et al., \"Browser Feature Usage on "
+               "the Modern Web\" (IMC 2016)\n"
+            << "survey scale: " << repro.config().sites << " sites, "
+            << repro.config().passes
+            << " passes per configuration, seed 0x" << std::hex
+            << repro.config().seed << std::dec << "\n\n";
+}
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace fu::bench

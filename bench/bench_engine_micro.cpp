@@ -1,0 +1,200 @@
+// Micro-benchmarks (google-benchmark) for the substrate, including the
+// ablation DESIGN.md calls out: the cost of measuring by prototype shimming
+// — every instrumented call pays one extra native frame and one counter
+// bump — versus running uninstrumented.
+#include <benchmark/benchmark.h>
+
+#include "blocker/extensions.h"
+#include "browser/session.h"
+#include "catalog/catalog.h"
+#include "core/featureusage.h"
+#include "dom/html.h"
+#include "net/web.h"
+#include "script/interp.h"
+#include "script/parser.h"
+#include "webidl/parser.h"
+
+namespace {
+
+const fu::catalog::Catalog& catalog() {
+  static const fu::catalog::Catalog kCatalog;
+  return kCatalog;
+}
+
+const fu::net::SyntheticWeb& web() {
+  static const fu::net::SyntheticWeb kWeb = [] {
+    fu::net::SyntheticWeb::Config config;
+    config.site_count = 100;
+    return fu::net::SyntheticWeb(catalog(), config);
+  }();
+  return kWeb;
+}
+
+// ------------------------------------------------------------ script VM --
+
+void BM_ScriptParse(benchmark::State& state) {
+  const std::string source = web().fetch(
+      *fu::net::Url::parse("http://" + web().sites()[0].domain +
+                           "/js/app0.js"))->body;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fu::script::parse_program(source));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(source.size()));
+}
+BENCHMARK(BM_ScriptParse);
+
+void BM_ScriptExecuteArithmeticLoop(benchmark::State& state) {
+  fu::script::Interpreter interp;
+  const auto program = fu::script::parse_program(
+      "var acc = 0;"
+      "for (var i = 0; i < 1000; i = i + 1) { acc = acc + i * 2 - 1; }");
+  for (auto _ : state) interp.execute(program);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_ScriptExecuteArithmeticLoop);
+
+void BM_ScriptFunctionCalls(benchmark::State& state) {
+  fu::script::Interpreter interp;
+  const auto setup = fu::script::parse_program(
+      "function f(a, b) { return a + b; }");
+  interp.execute(setup);
+  const auto program = fu::script::parse_program(
+      "var r = 0; for (var i = 0; i < 200; i = i + 1) { r = f(r, 1); }");
+  for (auto _ : state) interp.execute(program);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 200);
+}
+BENCHMARK(BM_ScriptFunctionCalls);
+
+// -------------------------------------------- instrumentation ablation ---
+
+void BM_MethodCall_Uninstrumented(benchmark::State& state) {
+  fu::script::Interpreter interp;
+  fu::browser::DomBindings bindings(interp, catalog());
+  const auto program = fu::script::parse_program(
+      "var x = new XMLHttpRequest();"
+      "for (var i = 0; i < 100; i = i + 1) { x.open(\"GET\", \"/\"); }");
+  for (auto _ : state) interp.execute(program);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_MethodCall_Uninstrumented);
+
+void BM_MethodCall_Instrumented(benchmark::State& state) {
+  fu::script::Interpreter interp;
+  fu::browser::UsageRecorder recorder(catalog().features().size());
+  fu::browser::DomBindings bindings(interp, catalog());
+  fu::browser::MeasuringExtension extension(catalog(), recorder);
+  extension.inject(interp, bindings);
+  const auto program = fu::script::parse_program(
+      "var x = new XMLHttpRequest();"
+      "for (var i = 0; i < 100; i = i + 1) { x.open(\"GET\", \"/\"); }");
+  for (auto _ : state) interp.execute(program);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_MethodCall_Instrumented);
+
+void BM_ExtensionInjection(benchmark::State& state) {
+  for (auto _ : state) {
+    fu::script::Interpreter interp;
+    fu::browser::UsageRecorder recorder(catalog().features().size());
+    fu::browser::DomBindings bindings(interp, catalog());
+    fu::browser::MeasuringExtension extension(catalog(), recorder);
+    extension.inject(interp, bindings);
+    benchmark::DoNotOptimize(extension.methods_shimmed());
+  }
+}
+BENCHMARK(BM_ExtensionInjection);
+
+// -------------------------------------------------------------- parsers --
+
+void BM_HtmlParse(benchmark::State& state) {
+  const std::string html =
+      web().fetch(web().home_url(web().sites()[0]))->body;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fu::dom::parse_html(html));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(html.size()));
+}
+BENCHMARK(BM_HtmlParse);
+
+void BM_WebIdlParseCorpus(benchmark::State& state) {
+  const auto& corpus = catalog().webidl_corpus();
+  for (auto _ : state) {
+    for (const std::string& doc : corpus) {
+      benchmark::DoNotOptimize(fu::webidl::parse(doc));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(corpus.size()));
+}
+BENCHMARK(BM_WebIdlParseCorpus);
+
+// -------------------------------------------------------------- blocker --
+
+void BM_FilterListMatch(benchmark::State& state) {
+  const auto blocker = fu::blocker::make_ad_blocker(web());
+  const fu::net::Url blocked = *fu::net::Url::parse(
+      "http://" + web().ad_hosts()[0] + "/adtag/tag.js?site=x&p=0");
+  const fu::net::Url clean =
+      *fu::net::Url::parse("http://site00001.net/js/app0.js");
+  fu::blocker::RequestContext ctx;
+  ctx.page_domain = "site00001.net";
+  ctx.third_party = true;
+  ctx.type = fu::blocker::ResourceType::kScript;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blocker->should_block(blocked, ctx));
+    benchmark::DoNotOptimize(blocker->should_block(clean, ctx));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_FilterListMatch);
+
+// ------------------------------------------------------------ pipeline ---
+
+void BM_PageLoad(benchmark::State& state) {
+  fu::browser::SiteCache cache;
+  fu::browser::BrowserConfig config;
+  config.cache = &cache;
+  fu::browser::BrowserSession session(web(), config, 1);
+  const fu::net::Url home = web().home_url(web().sites()[0]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.load_page(home));
+  }
+}
+BENCHMARK(BM_PageLoad);
+
+void BM_FullSiteCrawlPass(benchmark::State& state) {
+  fu::crawler::CrawlConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fu::crawler::crawl_site(web(), config, web().sites()[0],
+                                static_cast<std::uint64_t>(state.iterations())));
+  }
+}
+BENCHMARK(BM_FullSiteCrawlPass);
+
+void BM_SyntheticWebGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    fu::net::SyntheticWeb::Config config;
+    config.site_count = static_cast<int>(state.range(0));
+    fu::net::SyntheticWeb generated(catalog(), config);
+    benchmark::DoNotOptimize(generated.sites().size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SyntheticWebGeneration)->Arg(100)->Arg(1000);
+
+void BM_ZipfSampling(benchmark::State& state) {
+  fu::support::Zipf zipf(10000, 0.95);
+  fu::support::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSampling);
+
+}  // namespace
+
+BENCHMARK_MAIN();

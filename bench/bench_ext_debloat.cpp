@@ -1,0 +1,72 @@
+// Extension experiment (§7.2): the paper observes that unused and heavily
+// blocked features contradict least privilege — "unpopular and heavily
+// blocked features have imposed substantial security costs to the browser."
+// This bench quantifies the debloating opportunity that observation implies
+// (and that follow-up work later pursued): for increasingly aggressive
+// usage thresholds, disable every standard below the threshold and report
+// how many CVEs' worth of attack surface disappears versus how many sites
+// would lose at least one standard they actually use.
+#include <algorithm>
+
+#include "bench_common.h"
+
+int main() {
+  fu::Reproduction repro = fu::bench::make_reproduction();
+  fu::bench::banner("Extension — browser debloating cost/benefit (§7.2)",
+                    repro);
+  const fu::analysis::Analysis& an = repro.analysis();
+  const fu::catalog::Catalog& cat = repro.catalog();
+  const int measured = an.measured_sites();
+
+  int total_cves = 0;
+  for (std::size_t s = 0; s < cat.standard_count(); ++s) {
+    total_cves += cat.cve_count(static_cast<fu::catalog::StandardId>(s));
+  }
+
+  std::printf("%-22s %10s %12s %14s %16s\n", "usage threshold",
+              "standards", "CVEs removed", "features gone",
+              "sites affected");
+  std::printf("%s\n", std::string(80, '-').c_str());
+
+  for (const double threshold : {0.0, 0.001, 0.01, 0.05, 0.10, 0.25}) {
+    int standards_removed = 0;
+    int cves_removed = 0;
+    int features_removed = 0;
+    // A site is affected if it uses >=1 removed standard.
+    std::vector<bool> affected(repro.survey().sites.size(), false);
+
+    for (std::size_t s = 0; s < cat.standard_count(); ++s) {
+      const auto sid = static_cast<fu::catalog::StandardId>(s);
+      const int sites = an.standard_sites(
+          sid, fu::analysis::BrowsingConfig::kDefault);
+      if (static_cast<double>(sites) > threshold * measured) continue;
+      ++standards_removed;
+      cves_removed += cat.cve_count(sid);
+      features_removed += cat.standard(sid).feature_count;
+      for (std::size_t i = 0; i < repro.survey().sites.size(); ++i) {
+        const auto& bits = repro.survey().site_features(
+            i, fu::crawler::BrowsingConfig::kDefault);
+        for (const fu::catalog::FeatureId fid : cat.features_of(sid)) {
+          if (bits.test(fid)) {
+            affected[i] = true;
+            break;
+          }
+        }
+        // (cheap enough at survey scale; one standard's features only)
+      }
+    }
+    const auto sites_affected = static_cast<int>(
+        std::count(affected.begin(), affected.end(), true));
+    std::printf("use <= %5.1f%% of sites %10d %7d/%-4d %14d %11d (%.2f%%)\n",
+                threshold * 100, standards_removed, cves_removed, total_cves,
+                features_removed, sites_affected,
+                100.0 * sites_affected / std::max(1, measured));
+  }
+
+  std::printf(
+      "\nreading: disabling only the never-used standards already removes "
+      "attack\nsurface at zero breakage; the <=1%% tier trades a large CVE "
+      "reduction for\naffecting a small fraction of sites — the paper's "
+      "least-privilege argument.\n");
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Regenerates Figure 1: web standards available in the browser over time,
+// and million-lines-of-code histories for Chrome/Firefox/Safari/IE —
+// including Chrome's mid-2013 drop when the Blink fork removed ~8.8M lines
+// of WebKit code. Catalog-only; no crawl needed.
+#include "bench_common.h"
+
+int main() {
+  fu::Reproduction repro = fu::bench::make_reproduction();
+  fu::bench::banner("Figure 1 — browser growth over time", repro);
+  std::cout << fu::analysis::render_fig1(repro.catalog());
+  return 0;
+}

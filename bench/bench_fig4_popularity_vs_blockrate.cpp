@@ -1,0 +1,15 @@
+// Regenerates Figure 4: each standard's popularity (log scale) against its
+// block rate under AdBlock Plus + Ghostery.
+//
+// Quadrant anchors from the paper: CSS-OM popular & unblocked (8,193 sites,
+// 12.6%); H-CM popular & blocked (~half of sites, 77.4%); ALS unpopular &
+// fully blocked (14 sites, 100%); E (Encoding) unpopular & unblocked
+// (1 site, 0%).
+#include "bench_common.h"
+
+int main() {
+  fu::Reproduction repro = fu::bench::make_reproduction();
+  fu::bench::banner("Figure 4 — popularity vs block rate", repro);
+  std::cout << fu::analysis::render_fig4(repro.analysis());
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Regenerates Figure 5: portion of sites vs portion of Alexa-weighted
+// visits using each standard.
+//
+// Paper shape: standards cluster around the x=y line, with DOM4, DOM-PS,
+// H-HI and TC sitting visibly above it (more popular on high-traffic
+// sites) — close enough to the diagonal that the paper proceeds unweighted.
+#include "bench_common.h"
+
+int main() {
+  fu::Reproduction repro = fu::bench::make_reproduction();
+  fu::bench::banner("Figure 5 — sites vs visits per standard", repro);
+  std::cout << fu::analysis::render_fig5(repro.analysis());
+  return 0;
+}

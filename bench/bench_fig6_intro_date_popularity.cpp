@@ -1,0 +1,14 @@
+// Regenerates Figure 6: standard introduction date vs popularity, with
+// block-rate bands.
+//
+// Paper anchors: AJAX (2004) old & extremely popular; H-P (2005) old &
+// nearly dead; SLC (2013) new & very popular; V (Vibration) newer & used
+// exactly once — no simple relationship between age and use (§5.6).
+#include "bench_common.h"
+
+int main() {
+  fu::Reproduction repro = fu::bench::make_reproduction();
+  fu::bench::banner("Figure 6 — introduction date vs popularity", repro);
+  std::cout << fu::analysis::render_fig6(repro.analysis());
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Regenerates Figure 7: per-standard block rates with only AdBlock Plus
+// installed vs only Ghostery installed.
+//
+// Paper shape: WRTC, WCR and PT2 well above the diagonal (tracker-blocked),
+// UIE below it (ad-blocked); most standards near the line.
+#include "bench_common.h"
+
+int main() {
+  fu::Reproduction repro = fu::bench::make_reproduction();
+  fu::bench::banner("Figure 7 — ad-only vs tracking-only block rates", repro);
+  if (!repro.survey().has_ad_only || !repro.survey().has_tracking_only) {
+    std::cout << "single-blocker configurations disabled (FU_FIG7=0); "
+                 "nothing to plot\n";
+    return 0;
+  }
+  std::cout << fu::analysis::render_fig7(repro.analysis());
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Regenerates the paper's headline numbers (§5.3, §7.1, §7.2): how many
+// features/standards are never used, used on <1% of sites, blocked >90% of
+// the time, and how blocking shifts those counts.
+#include "bench_common.h"
+
+int main() {
+  fu::Reproduction repro = fu::bench::make_reproduction();
+  fu::bench::banner("Headline claims — paper vs measured", repro);
+  std::cout << fu::analysis::render_headline(repro.analysis());
+  return 0;
+}

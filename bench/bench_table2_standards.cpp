@@ -1,0 +1,14 @@
+// Regenerates Table 2: per-standard popularity, block rate and CVE count
+// for every standard used on >=1% of sites or carrying a CVE.
+//
+// Shape to check against the paper: the DOM family near the top of the
+// popularity range with ~0% block rates; SVG at ~16% of sites but ~87%
+// blocked; Canvas 15 CVEs / SVG 14 / WebGL 13 leading the CVE column.
+#include "bench_common.h"
+
+int main() {
+  fu::Reproduction repro = fu::bench::make_reproduction();
+  fu::bench::banner("Table 2 — standard popularity and block rates", repro);
+  std::cout << fu::analysis::render_table2(repro.analysis());
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Regenerates Table 3 (internal validation): the average number of new
+// standards discovered by each additional measurement round.
+//
+// Paper: round 2 -> 1.56, round 3 -> 0.40, round 4 -> 0.29, round 5 -> 0.00.
+// The shape to check is the monotone decay toward ~zero by round 5, which
+// justifies stopping at five passes (§6.1).
+#include "bench_common.h"
+
+int main() {
+  fu::Reproduction repro = fu::bench::make_reproduction();
+  fu::bench::banner("Table 3 — new standards per crawl round", repro);
+  std::cout << fu::analysis::render_table3(repro.survey());
+  std::cout << "\npaper: 1.56 / 0.40 / 0.29 / 0.00 for rounds 2-5\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Blocker impact: what installing AdBlock Plus and/or Ghostery does to the
+// features a browser executes — including how to author and install a
+// *custom* filter list through the public API.
+//
+// Crawls a sample of sites four ways (stock, ad-blocking, tracking-blocking,
+// both) and once more with a hand-written filter list, then reports feature
+// and invocation deltas.
+#include <iostream>
+
+#include "core/featureusage.h"
+#include "support/strings.h"
+
+namespace {
+
+struct Totals {
+  std::uint64_t invocations = 0;
+  std::size_t features = 0;
+  int scripts_blocked = 0;
+};
+
+Totals crawl_sample(const fu::net::SyntheticWeb& web,
+                    const fu::crawler::CrawlConfig& config, int sample) {
+  Totals totals;
+  fu::support::DynamicBitset all(web.feature_catalog().features().size());
+  for (int i = 0; i < sample; ++i) {
+    const fu::crawler::SiteVisit visit =
+        fu::crawler::crawl_site(web, config, web.sites()[i], 42);
+    totals.invocations += visit.invocations;
+    totals.scripts_blocked += visit.scripts_blocked;
+    all |= visit.features;
+  }
+  totals.features = all.count();
+  return totals;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fu;
+  const int sample = argc > 1 ? std::atoi(argv[1]) : 60;
+
+  catalog::Catalog catalog;
+  net::SyntheticWeb::Config web_config;
+  web_config.site_count = std::max(sample, 60);
+  net::SyntheticWeb web(catalog, web_config);
+
+  const auto ad_blocker = blocker::make_ad_blocker(web);
+  const auto tracking_blocker = blocker::make_tracking_blocker(web);
+
+  const auto run = [&](const char* label,
+                       std::shared_ptr<const blocker::BlockingExtension> ads,
+                       std::shared_ptr<const blocker::BlockingExtension>
+                           trackers) {
+    crawler::CrawlConfig config;
+    config.browser.ad_blocker = std::move(ads);
+    config.browser.tracking_blocker = std::move(trackers);
+    const Totals t = crawl_sample(web, config, sample);
+    std::printf("%-24s %8zu features %10llu invocations %6d scripts blocked\n",
+                label, t.features,
+                static_cast<unsigned long long>(t.invocations),
+                t.scripts_blocked);
+    return t;
+  };
+
+  std::cout << "crawling " << sample << " sites under four configurations:\n";
+  const Totals plain = run("stock browser", nullptr, nullptr);
+  run("AdBlock Plus only", ad_blocker, nullptr);
+  run("Ghostery only", nullptr, tracking_blocker);
+  const Totals both = run("both extensions", ad_blocker, tracking_blocker);
+
+  std::cout << "\nblocking removed "
+            << support::percent(
+                   1.0 - static_cast<double>(both.invocations) /
+                             static_cast<double>(plain.invocations))
+            << " of all feature invocations\n";
+
+  // A custom list: block one specific ad network and nothing else.
+  std::cout << "\ncustom list blocking a single ad network ("
+            << web.ad_hosts().front() << "):\n";
+  const std::string custom_rules =
+      "! my personal list\n||" + web.ad_hosts().front() + "^$third-party\n";
+  auto custom = std::make_shared<const blocker::BlockingExtension>(
+      "MyList", blocker::FilterList::parse(custom_rules, "my-list"));
+  run("custom single-host list", custom, nullptr);
+  return 0;
+}

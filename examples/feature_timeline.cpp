@@ -1,0 +1,69 @@
+// Feature timeline: explore the catalog the way §3.4 does — when did each
+// standard land in Firefox, which release carried a given feature first, and
+// how does age relate to eventual popularity.
+//
+// Usage: feature_timeline [feature-name]
+//   e.g. feature_timeline Navigator.prototype.vibrate
+#include <iostream>
+#include <map>
+
+#include "catalog/releases.h"
+#include "core/featureusage.h"
+
+int main(int argc, char** argv) {
+  using namespace fu;
+  catalog::Catalog cat;
+
+  if (argc > 1) {
+    const catalog::Feature* f = cat.find_feature(argv[1]);
+    if (f == nullptr) {
+      std::cerr << "unknown feature: " << argv[1] << "\n";
+      return 1;
+    }
+    const catalog::StandardSpec& spec = cat.standard(f->standard);
+    std::cout << f->full_name << "\n"
+              << "  standard:    " << spec.name << " (" << spec.abbreviation
+              << ")\n"
+              << "  kind:        "
+              << (f->kind == catalog::FeatureKind::kMethod ? "method"
+                                                           : "property")
+              << "\n"
+              << "  first in:    Firefox " << f->first_version << " ("
+              << f->implemented.to_string() << ")\n"
+              << "  calibrated:  ~" << f->target_sites
+              << " of 10,000 sites\n";
+    return 0;
+  }
+
+  std::cout << "release timeline: " << catalog::releases().size()
+            << " Firefox releases from "
+            << catalog::releases().front().date.to_string() << " (1.0) to "
+            << catalog::releases().back().date.to_string() << " (46.0.1)\n\n";
+
+  // Standards by introduction year, with the §3.4 "most popular feature"
+  // dating rule, and their calibrated popularity.
+  std::map<int, std::vector<catalog::StandardId>> by_year;
+  for (std::size_t s = 0; s < cat.standard_count(); ++s) {
+    const auto sid = static_cast<catalog::StandardId>(s);
+    by_year[cat.standard_implementation_date(sid).year()].push_back(sid);
+  }
+  for (const auto& [year, standards] : by_year) {
+    std::cout << year << ":\n";
+    for (const catalog::StandardId sid : standards) {
+      const catalog::StandardSpec& spec = cat.standard(sid);
+      std::cout << "  " << spec.abbreviation;
+      for (std::size_t pad = spec.abbreviation.size(); pad < 8; ++pad) {
+        std::cout << ' ';
+      }
+      if (spec.target_sites == 0) {
+        std::cout << "never observed in the Alexa 10k";
+      } else {
+        std::cout << "~" << spec.target_sites << " sites";
+      }
+      std::cout << "  (" << spec.name << ")\n";
+    }
+  }
+  std::cout << "\ntip: pass a feature name for details, e.g.\n"
+               "  feature_timeline Navigator.prototype.vibrate\n";
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Full report: run the survey and export every regenerated table, figure and
+// CSV data file to a directory — the one-command "reproduce the paper"
+// entry point.
+//
+// Usage: full_report [output-dir] (scale via FU_SITES / FU_PASSES)
+#include <iostream>
+
+#include "analysis/report.h"
+#include "core/featureusage.h"
+
+int main(int argc, char** argv) {
+  const std::string directory = argc > 1 ? argv[1] : "report";
+
+  fu::Reproduction repro(fu::ReproductionConfig::from_env());
+  std::cout << "surveying " << repro.config().sites << " sites ("
+            << repro.config().passes << " passes per configuration)...\n";
+  const fu::analysis::Analysis& analysis = repro.analysis();
+
+  const int files = fu::analysis::write_report(directory, analysis);
+  std::cout << "wrote " << files << " files to " << directory << "/\n\n";
+  std::cout << fu::analysis::render_headline(analysis);
+  return 0;
+}

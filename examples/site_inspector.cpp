@@ -1,0 +1,92 @@
+// Site inspector: a mini devtools for the synthetic web. Fetches a page,
+// parses it, lists every subresource it references, and shows what each
+// installed blocking list would do to it — the request pipeline the
+// measuring browser runs, made visible.
+//
+// Usage: site_inspector [domain] [path]
+#include <iostream>
+
+#include "blocker/extensions.h"
+#include "core/featureusage.h"
+#include "dom/html.h"
+
+int main(int argc, char** argv) {
+  using namespace fu;
+
+  catalog::Catalog catalog;
+  net::SyntheticWeb::Config config;
+  config.site_count = 200;
+  net::SyntheticWeb web(catalog, config);
+
+  const std::string domain = argc > 1 ? argv[1] : web.sites()[4].domain;
+  const std::string path = argc > 2 ? argv[2] : "/";
+  const net::SitePlan* site = web.site_by_host(domain);
+  if (site == nullptr) {
+    std::cerr << "unknown domain " << domain << " (try "
+              << web.sites()[0].domain << ")\n";
+    return 1;
+  }
+
+  const auto url = net::Url::parse("http://" + domain + path);
+  const auto res = web.fetch(*url);
+  if (!res) {
+    std::cerr << domain << path << " did not respond\n";
+    return 1;
+  }
+
+  const auto doc = dom::parse_html(res->body);
+  std::cout << domain << path << "  (" << res->body.size() << " bytes, "
+            << doc->node_count() << " DOM nodes)\n\n";
+
+  const auto ads = blocker::make_ad_blocker(web);
+  const auto trackers = blocker::make_tracking_blocker(web);
+  const std::string page_domain = net::registrable_domain(url->host());
+
+  const auto verdict = [&](const net::Url& resource,
+                           blocker::ResourceType type) {
+    blocker::RequestContext ctx;
+    ctx.page_domain = page_domain;
+    ctx.third_party = net::registrable_domain(resource.host()) != page_domain;
+    ctx.type = type;
+    std::string out;
+    if (ads->should_block(resource, ctx)) out += " [blocked:ABP]";
+    if (trackers->should_block(resource, ctx)) out += " [blocked:Ghostery]";
+    if (out.empty()) out = ctx.third_party ? " [3rd-party, allowed]" : "";
+    return out;
+  };
+
+  std::cout << "scripts:\n";
+  for (dom::Element* el : doc->get_elements_by_tag("script")) {
+    if (!el->has_attribute("src")) {
+      std::cout << "  <inline, " << el->text_content().size() << " bytes>\n";
+      continue;
+    }
+    const auto resource = url->resolve(el->attribute("src"));
+    std::cout << "  " << resource->spec()
+              << verdict(*resource, blocker::ResourceType::kScript) << "\n";
+  }
+
+  std::cout << "\nframes:\n";
+  for (dom::Element* el : doc->get_elements_by_tag("iframe")) {
+    const auto resource = url->resolve(el->attribute("src"));
+    std::cout << "  " << resource->spec()
+              << verdict(*resource, blocker::ResourceType::kSubdocument)
+              << "\n";
+  }
+
+  std::cout << "\nlinks:\n";
+  for (dom::Element* el : doc->get_elements_by_tag("a")) {
+    const auto target = url->resolve(el->attribute("href"));
+    std::cout << "  " << target->spec()
+              << (net::same_site(*target, *url) ? "" : "  (offsite)") << "\n";
+  }
+
+  std::cout << "\nstandards placed on this site:\n  ";
+  for (const net::StandardPlacement& p : site->placements) {
+    std::cout << catalog.standard(p.standard).abbreviation
+              << (p.blockable ? "*" : "") << (p.authenticated ? "^" : "")
+              << " ";
+  }
+  std::cout << "\n  (* = served from ad/tracker scripts, ^ = login-gated)\n";
+  return 0;
+}

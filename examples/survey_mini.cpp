@@ -1,0 +1,72 @@
+// Mini survey: the paper's full methodology at 1/20th scale.
+//
+// Runs the four browsing configurations (default, ad+tracking blocking,
+// ad-only, tracking-only) over a 500-site synthetic Alexa list, then prints
+// the crawl summary, the most/least popular standards and the most heavily
+// blocked ones — the numbers behind Tables 1 and 2.
+//
+// Usage: survey_mini [sites] [passes]
+#include <algorithm>
+#include <iostream>
+
+#include "core/featureusage.h"
+#include "support/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace fu;
+
+  ReproductionConfig config;
+  config.sites = argc > 1 ? std::atoi(argv[1]) : 500;
+  config.passes = argc > 2 ? std::atoi(argv[2]) : 5;
+  Reproduction repro(config);
+
+  const crawler::SurveyResults& survey = repro.survey();
+  const analysis::Analysis& an = repro.analysis();
+  const catalog::Catalog& cat = repro.catalog();
+
+  std::cout << analysis::render_table1(survey) << "\n";
+
+  struct Row {
+    catalog::StandardId id;
+    int sites;
+  };
+  std::vector<Row> rows;
+  for (std::size_t s = 0; s < cat.standard_count(); ++s) {
+    const auto sid = static_cast<catalog::StandardId>(s);
+    rows.push_back(
+        {sid, an.standard_sites(sid, analysis::BrowsingConfig::kDefault)});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.sites > b.sites; });
+
+  std::cout << "most popular standards:\n";
+  for (std::size_t i = 0; i < 8; ++i) {
+    const auto& spec = cat.standard(rows[i].id);
+    std::cout << "  " << spec.abbreviation << "  " << rows[i].sites
+              << " sites  (" << spec.name << ")\n";
+  }
+
+  std::cout << "\nnever observed:\n  ";
+  int unused = 0;
+  for (auto it = rows.rbegin(); it != rows.rend(); ++it) {
+    if (it->sites != 0) break;
+    std::cout << cat.standard(it->id).abbreviation << " ";
+    ++unused;
+  }
+  std::cout << "(" << unused << " standards)\n";
+
+  std::sort(rows.begin(), rows.end(), [&an](const Row& a, const Row& b) {
+    return an.standard_block_rate(a.id) > an.standard_block_rate(b.id);
+  });
+  std::cout << "\nmost heavily blocked (of standards on >=10 sites):\n";
+  int shown = 0;
+  for (const Row& row : rows) {
+    if (row.sites < 10) continue;
+    const auto& spec = cat.standard(row.id);
+    std::cout << "  " << spec.abbreviation << "  "
+              << support::percent(an.standard_block_rate(row.id)) << " of "
+              << row.sites << " sites\n";
+    if (++shown >= 8) break;
+  }
+  return 0;
+}

@@ -1,0 +1,156 @@
+#include "analysis/metrics.h"
+
+namespace fu::analysis {
+
+namespace {
+
+support::DynamicBitset standards_bitset(const catalog::Catalog& cat,
+                                        const support::DynamicBitset& features) {
+  support::DynamicBitset out(cat.standard_count());
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    if (features.test(i)) {
+      out.set(cat.feature(static_cast<catalog::FeatureId>(i)).standard);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Analysis::Analysis(const crawler::SurveyResults& results)
+    : results_(&results), catalog_(&results.web->feature_catalog()) {
+  const std::size_t n_features = catalog_->features().size();
+  const std::size_t n_standards = catalog_->standard_count();
+  for (auto& v : feature_sites_) v.assign(n_features, 0);
+  for (auto& v : standard_sites_) v.assign(n_standards, 0);
+
+  for (std::size_t site = 0; site < results.sites.size(); ++site) {
+    const crawler::SiteOutcome& outcome = results.sites[site];
+    if (!outcome.measured) continue;
+    ++measured_sites_;
+    measured_indices_.push_back(site);
+
+    for (const crawler::BrowsingConfig config : crawler::kAllConfigs) {
+      const auto c = static_cast<std::size_t>(config);
+      const support::DynamicBitset& bits = outcome.features[c];
+      for (std::size_t f = 0; f < bits.size(); ++f) {
+        if (bits.test(f)) ++feature_sites_[c][f];
+      }
+      const support::DynamicBitset stds = standards_bitset(*catalog_, bits);
+      for (std::size_t s = 0; s < stds.size(); ++s) {
+        if (stds.test(s)) ++standard_sites_[c][s];
+      }
+      switch (config) {
+        case BrowsingConfig::kDefault:
+          site_standards_default_.push_back(stds);
+          break;
+        case BrowsingConfig::kBlocking:
+          site_standards_blocking_.push_back(stds);
+          break;
+        case BrowsingConfig::kAdOnly:
+          site_standards_adonly_.push_back(stds);
+          break;
+        case BrowsingConfig::kTrackingOnly:
+          site_standards_tronly_.push_back(stds);
+          break;
+      }
+    }
+  }
+}
+
+double Analysis::feature_block_rate(catalog::FeatureId id) const {
+  const int by_default = feature_sites(id, BrowsingConfig::kDefault);
+  if (by_default == 0) return 0;
+  const int blocking = feature_sites(id, BrowsingConfig::kBlocking);
+  return 1.0 - static_cast<double>(blocking) / static_cast<double>(by_default);
+}
+
+double Analysis::standard_block_rate(catalog::StandardId id,
+                                     BrowsingConfig config) const {
+  const std::vector<support::DynamicBitset>* with_blocker = nullptr;
+  switch (config) {
+    case BrowsingConfig::kBlocking: with_blocker = &site_standards_blocking_; break;
+    case BrowsingConfig::kAdOnly: with_blocker = &site_standards_adonly_; break;
+    case BrowsingConfig::kTrackingOnly: with_blocker = &site_standards_tronly_; break;
+    case BrowsingConfig::kDefault: return 0;
+  }
+  int used_default = 0;
+  int fully_blocked = 0;
+  for (std::size_t i = 0; i < site_standards_default_.size(); ++i) {
+    if (!site_standards_default_[i].test(id)) continue;
+    ++used_default;
+    if (!(*with_blocker)[i].test(id)) ++fully_blocked;
+  }
+  if (used_default == 0) return 0;
+  return static_cast<double>(fully_blocked) / static_cast<double>(used_default);
+}
+
+std::vector<int> Analysis::standards_per_site(BrowsingConfig config) const {
+  const std::vector<support::DynamicBitset>* sets = nullptr;
+  switch (config) {
+    case BrowsingConfig::kDefault: sets = &site_standards_default_; break;
+    case BrowsingConfig::kBlocking: sets = &site_standards_blocking_; break;
+    case BrowsingConfig::kAdOnly: sets = &site_standards_adonly_; break;
+    case BrowsingConfig::kTrackingOnly: sets = &site_standards_tronly_; break;
+  }
+  std::vector<int> out;
+  out.reserve(sets->size());
+  for (const support::DynamicBitset& bits : *sets) {
+    out.push_back(static_cast<int>(bits.count()));
+  }
+  return out;
+}
+
+double Analysis::standard_site_fraction(catalog::StandardId id) const {
+  if (measured_sites_ == 0) return 0;
+  return static_cast<double>(standard_sites(id, BrowsingConfig::kDefault)) /
+         static_cast<double>(measured_sites_);
+}
+
+double Analysis::standard_visit_fraction(catalog::StandardId id) const {
+  double used = 0;
+  double total = 0;
+  for (std::size_t i = 0; i < measured_indices_.size(); ++i) {
+    const std::size_t site = measured_indices_[i];
+    const double w = results_->web->sites()[site].visit_weight;
+    total += w;
+    if (site_standards_default_[i].test(id)) used += w;
+  }
+  return total > 0 ? used / total : 0;
+}
+
+Analysis::Headline Analysis::headline() const {
+  Headline h;
+  h.features_total = static_cast<int>(catalog_->features().size());
+  h.standards_total = static_cast<int>(catalog_->standard_count());
+  const double one_percent = 0.01 * measured_sites_;
+
+  for (std::size_t f = 0; f < catalog_->features().size(); ++f) {
+    const auto fid = static_cast<catalog::FeatureId>(f);
+    const int by_default = feature_sites(fid, BrowsingConfig::kDefault);
+    const int blocking = feature_sites(fid, BrowsingConfig::kBlocking);
+    if (by_default == 0) ++h.features_never_used;
+    if (by_default > 0 && by_default < one_percent) ++h.features_under_1pct;
+    if (blocking < one_percent) ++h.features_under_1pct_blocking;
+    if (by_default > 0 && feature_block_rate(fid) >= 0.9) {
+      ++h.features_blocked_90;
+    }
+  }
+
+  for (std::size_t s = 0; s < catalog_->standard_count(); ++s) {
+    const auto sid = static_cast<catalog::StandardId>(s);
+    const int by_default = standard_sites(sid, BrowsingConfig::kDefault);
+    const int blocking = standard_sites(sid, BrowsingConfig::kBlocking);
+    if (by_default == 0) ++h.standards_never_used;
+    if (by_default <= one_percent) ++h.standards_under_1pct;
+    if (by_default >= 0.9 * measured_sites_) ++h.standards_over_90pct;
+    if (blocking == 0) ++h.standards_never_used_blocking;
+    if (blocking <= one_percent) ++h.standards_under_1pct_blocking;
+    if (by_default > 0 && standard_block_rate(sid) > 0.75) {
+      ++h.standards_blocked_75;
+    }
+  }
+  return h;
+}
+
+}  // namespace fu::analysis

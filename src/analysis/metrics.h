@@ -1,0 +1,87 @@
+// Post-survey analysis: feature/standard popularity, block rates, site
+// complexity, visit weighting — the quantities behind every table and figure
+// in §5. All metrics are computed from the measured survey results; nothing
+// is read back from the catalog's calibration targets.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "crawler/survey.h"
+
+namespace fu::analysis {
+
+using crawler::BrowsingConfig;
+
+class Analysis {
+ public:
+  explicit Analysis(const crawler::SurveyResults& results);
+
+  const crawler::SurveyResults& results() const noexcept { return *results_; }
+  const catalog::Catalog& catalog() const noexcept { return *catalog_; }
+  int measured_sites() const noexcept { return measured_sites_; }
+
+  // --- feature level ----------------------------------------------------
+  int feature_sites(catalog::FeatureId id, BrowsingConfig config) const {
+    return feature_sites_[static_cast<std::size_t>(config)][id];
+  }
+  // 1 - blocking/default over sites, the paper's "block rate" for features;
+  // 0 when the feature is unused by default.
+  double feature_block_rate(catalog::FeatureId id) const;
+
+  // --- standard level -----------------------------------------------------
+  int standard_sites(catalog::StandardId id, BrowsingConfig config) const {
+    return standard_sites_[static_cast<std::size_t>(config)][id];
+  }
+  // Table 2 definition: of the sites that used the standard by default, the
+  // fraction where *no* feature of it executed under the given blocking
+  // configuration.
+  double standard_block_rate(catalog::StandardId id,
+                             BrowsingConfig config = BrowsingConfig::kBlocking)
+      const;
+
+  // --- distributions ------------------------------------------------------
+  // Number of distinct standards used per measured site (Figure 8).
+  std::vector<int> standards_per_site(
+      BrowsingConfig config = BrowsingConfig::kDefault) const;
+
+  // Fraction of measured sites using the standard (x-axis of Figure 5).
+  double standard_site_fraction(catalog::StandardId id) const;
+  // Fraction of *visits* (Alexa-weighted) using the standard (y-axis).
+  double standard_visit_fraction(catalog::StandardId id) const;
+
+  // --- headline numbers (§5.3, §7.1, §7.2) --------------------------------
+  struct Headline {
+    int features_total = 0;
+    int features_never_used = 0;        // paper: 689
+    int features_under_1pct = 0;        // used but <1% of sites (paper: 416)
+    int features_under_1pct_blocking = 0;  // <1% with blockers (paper: 1,159)
+    int features_blocked_90 = 0;        // block rate >= 90% (paper: ~10%)
+    int standards_total = 0;
+    int standards_over_90pct = 0;       // paper: 6
+    int standards_under_1pct = 0;       // paper: 28
+    int standards_never_used = 0;       // paper: 11
+    int standards_never_used_blocking = 0;   // paper: 15
+    int standards_under_1pct_blocking = 0;   // paper: 31
+    int standards_blocked_75 = 0;            // paper: 16
+  };
+  Headline headline() const;
+
+ private:
+  const crawler::SurveyResults* results_;
+  const catalog::Catalog* catalog_;
+  int measured_sites_ = 0;
+  // [config][feature] -> #measured sites using it
+  std::array<std::vector<int>, 4> feature_sites_;
+  // [config][standard] -> #measured sites using >=1 feature of it
+  std::array<std::vector<int>, 4> standard_sites_;
+  // per measured site: standards used by default / blocking (bitsets)
+  std::vector<support::DynamicBitset> site_standards_default_;
+  std::vector<support::DynamicBitset> site_standards_blocking_;
+  std::vector<support::DynamicBitset> site_standards_adonly_;
+  std::vector<support::DynamicBitset> site_standards_tronly_;
+  std::vector<std::size_t> measured_indices_;  // into results_->sites
+};
+
+}  // namespace fu::analysis

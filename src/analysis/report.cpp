@@ -1,0 +1,229 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <functional>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "analysis/tables.h"
+#include "catalog/growth.h"
+#include "support/csv.h"
+
+namespace fu::analysis {
+
+namespace {
+
+using support::CsvWriter;
+
+std::string render_csv(
+    const std::vector<std::string>& header,
+    const std::function<void(CsvWriter&)>& body) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row(header);
+  body(writer);
+  return out.str();
+}
+
+}  // namespace
+
+std::string features_csv(const Analysis& analysis) {
+  const catalog::Catalog& cat = analysis.catalog();
+  return render_csv(
+      {"feature", "standard", "kind", "first_firefox_version",
+       "implemented", "sites_default", "sites_blocking", "block_rate"},
+      [&](CsvWriter& w) {
+        for (const catalog::Feature& f : cat.features()) {
+          w.row(f.full_name, cat.standard(f.standard).abbreviation,
+                f.kind == catalog::FeatureKind::kMethod ? "method"
+                                                        : "property",
+                f.first_version, f.implemented.to_string(),
+                analysis.feature_sites(f.id, BrowsingConfig::kDefault),
+                analysis.feature_sites(f.id, BrowsingConfig::kBlocking),
+                analysis.feature_block_rate(f.id));
+        }
+      });
+}
+
+std::string standards_csv(const Analysis& analysis) {
+  const catalog::Catalog& cat = analysis.catalog();
+  return render_csv(
+      {"standard", "abbreviation", "features", "introduced", "sites_default",
+       "sites_blocking", "block_rate", "ad_block_rate", "tracking_block_rate",
+       "cves"},
+      [&](CsvWriter& w) {
+        for (std::size_t s = 0; s < cat.standard_count(); ++s) {
+          const auto sid = static_cast<catalog::StandardId>(s);
+          const catalog::StandardSpec& spec = cat.standard(sid);
+          w.row(spec.name, spec.abbreviation, spec.feature_count,
+                cat.standard_implementation_date(sid).to_string(),
+                analysis.standard_sites(sid, BrowsingConfig::kDefault),
+                analysis.standard_sites(sid, BrowsingConfig::kBlocking),
+                analysis.standard_block_rate(sid),
+                analysis.standard_block_rate(sid, BrowsingConfig::kAdOnly),
+                analysis.standard_block_rate(sid,
+                                             BrowsingConfig::kTrackingOnly),
+                cat.cve_count(sid));
+        }
+      });
+}
+
+std::string cves_csv(const catalog::Catalog& cat) {
+  return render_csv({"cve", "year", "standard", "summary"}, [&](CsvWriter& w) {
+    for (const catalog::Cve& cve : cat.cves()) {
+      w.row(cve.id, cve.year,
+            cve.standard == catalog::kInvalidStandard
+                ? std::string("unattributed")
+                : cat.standard(cve.standard).abbreviation,
+            cve.summary);
+    }
+  });
+}
+
+std::string fig3_csv(const Analysis& analysis) {
+  const catalog::Catalog& cat = analysis.catalog();
+  std::vector<int> counts;
+  for (std::size_t s = 0; s < cat.standard_count(); ++s) {
+    counts.push_back(analysis.standard_sites(
+        static_cast<catalog::StandardId>(s), BrowsingConfig::kDefault));
+  }
+  std::sort(counts.begin(), counts.end());
+  return render_csv({"sites_using_standard", "portion_of_standards"},
+                    [&](CsvWriter& w) {
+                      for (std::size_t i = 0; i < counts.size(); ++i) {
+                        w.row(counts[i],
+                              static_cast<double>(i + 1) /
+                                  static_cast<double>(counts.size()));
+                      }
+                    });
+}
+
+std::string fig4_csv(const Analysis& analysis) {
+  const catalog::Catalog& cat = analysis.catalog();
+  return render_csv(
+      {"abbreviation", "sites", "block_rate"}, [&](CsvWriter& w) {
+        for (std::size_t s = 0; s < cat.standard_count(); ++s) {
+          const auto sid = static_cast<catalog::StandardId>(s);
+          const int sites =
+              analysis.standard_sites(sid, BrowsingConfig::kDefault);
+          if (sites == 0) continue;
+          w.row(cat.standard(sid).abbreviation, sites,
+                analysis.standard_block_rate(sid));
+        }
+      });
+}
+
+std::string fig5_csv(const Analysis& analysis) {
+  const catalog::Catalog& cat = analysis.catalog();
+  return render_csv(
+      {"abbreviation", "portion_of_sites", "portion_of_visits"},
+      [&](CsvWriter& w) {
+        for (std::size_t s = 0; s < cat.standard_count(); ++s) {
+          const auto sid = static_cast<catalog::StandardId>(s);
+          if (analysis.standard_sites(sid, BrowsingConfig::kDefault) == 0) {
+            continue;
+          }
+          w.row(cat.standard(sid).abbreviation,
+                analysis.standard_site_fraction(sid),
+                analysis.standard_visit_fraction(sid));
+        }
+      });
+}
+
+std::string fig6_csv(const Analysis& analysis) {
+  const catalog::Catalog& cat = analysis.catalog();
+  return render_csv(
+      {"abbreviation", "introduced_year", "sites", "block_rate"},
+      [&](CsvWriter& w) {
+        for (std::size_t s = 0; s < cat.standard_count(); ++s) {
+          const auto sid = static_cast<catalog::StandardId>(s);
+          w.row(cat.standard(sid).abbreviation,
+                cat.standard_implementation_date(sid).fractional_year(),
+                analysis.standard_sites(sid, BrowsingConfig::kDefault),
+                analysis.standard_block_rate(sid));
+        }
+      });
+}
+
+std::string fig7_csv(const Analysis& analysis) {
+  const catalog::Catalog& cat = analysis.catalog();
+  return render_csv(
+      {"abbreviation", "sites", "ad_block_rate", "tracking_block_rate"},
+      [&](CsvWriter& w) {
+        for (std::size_t s = 0; s < cat.standard_count(); ++s) {
+          const auto sid = static_cast<catalog::StandardId>(s);
+          const int sites =
+              analysis.standard_sites(sid, BrowsingConfig::kDefault);
+          if (sites == 0) continue;
+          w.row(cat.standard(sid).abbreviation, sites,
+                analysis.standard_block_rate(sid, BrowsingConfig::kAdOnly),
+                analysis.standard_block_rate(sid,
+                                             BrowsingConfig::kTrackingOnly));
+        }
+      });
+}
+
+std::string fig8_csv(const Analysis& analysis) {
+  std::map<int, int> histogram;
+  const std::vector<int> complexity = analysis.standards_per_site();
+  for (const int c : complexity) ++histogram[c];
+  return render_csv({"standards_used", "portion_of_sites"},
+                    [&](CsvWriter& w) {
+                      for (const auto& [count, sites] : histogram) {
+                        w.row(count, static_cast<double>(sites) /
+                                         static_cast<double>(
+                                             complexity.size()));
+                      }
+                    });
+}
+
+int write_report(const std::string& directory, const Analysis& analysis,
+                 const ReportOptions& options) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) throw std::runtime_error("write_report: cannot create " + directory);
+
+  int written = 0;
+  const auto emit = [&](const std::string& name, const std::string& body) {
+    std::ofstream out(fs::path(directory) / name,
+                      std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("write_report: cannot write " + name);
+    out << body;
+    ++written;
+  };
+
+  const crawler::SurveyResults& survey = analysis.results();
+  emit("table1.txt", render_table1(survey));
+  emit("table2.txt", render_table2(analysis));
+  emit("table3.txt", render_table3(survey));
+  emit("fig1.txt", render_fig1(analysis.catalog()));
+  emit("fig3.txt", render_fig3(analysis));
+  emit("fig4.txt", render_fig4(analysis));
+  emit("fig5.txt", render_fig5(analysis));
+  emit("fig6.txt", render_fig6(analysis));
+  emit("fig7.txt", render_fig7(analysis));
+  emit("fig8.txt", render_fig8(analysis));
+  emit("headline.txt", render_headline(analysis));
+
+  emit("features.csv", features_csv(analysis));
+  emit("standards.csv", standards_csv(analysis));
+  emit("cves.csv", cves_csv(analysis.catalog()));
+  emit("fig3.csv", fig3_csv(analysis));
+  emit("fig4.csv", fig4_csv(analysis));
+  emit("fig5.csv", fig5_csv(analysis));
+  emit("fig6.csv", fig6_csv(analysis));
+  emit("fig7.csv", fig7_csv(analysis));
+  emit("fig8.csv", fig8_csv(analysis));
+
+  if (options.include_external_validation) {
+    const crawler::ExternalValidation validation =
+        crawler::run_external_validation(survey);
+    emit("fig9.txt", render_fig9(validation));
+  }
+  return written;
+}
+
+}  // namespace fu::analysis

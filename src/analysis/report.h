@@ -1,0 +1,33 @@
+// Report exporter: writes every regenerated artifact to a directory —
+// the rendered tables/figures as text, the figure data as CSV (ready for a
+// plotting tool), and the catalog as features.csv / standards.csv / cves.csv.
+#pragma once
+
+#include <string>
+
+#include "analysis/metrics.h"
+#include "crawler/validate.h"
+
+namespace fu::analysis {
+
+struct ReportOptions {
+  bool include_external_validation = true;  // runs extra human-model crawls
+};
+
+// Writes the report into `directory` (created if needed). Returns the number
+// of files written; throws std::runtime_error on I/O failure.
+int write_report(const std::string& directory, const Analysis& analysis,
+                 const ReportOptions& options = {});
+
+// Individual CSV emitters (also used by the full report).
+std::string features_csv(const Analysis& analysis);
+std::string standards_csv(const Analysis& analysis);
+std::string cves_csv(const catalog::Catalog& catalog);
+std::string fig3_csv(const Analysis& analysis);
+std::string fig4_csv(const Analysis& analysis);
+std::string fig5_csv(const Analysis& analysis);
+std::string fig6_csv(const Analysis& analysis);
+std::string fig7_csv(const Analysis& analysis);
+std::string fig8_csv(const Analysis& analysis);
+
+}  // namespace fu::analysis

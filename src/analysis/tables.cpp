@@ -1,0 +1,428 @@
+#include "analysis/tables.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <numeric>
+
+#include "catalog/growth.h"
+#include "support/stats.h"
+#include "support/strings.h"
+
+namespace fu::analysis {
+
+namespace {
+
+using support::percent;
+using support::with_commas;
+
+std::string fmt(const char* format, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof buf, format, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_table1(const crawler::SurveyResults& results) {
+  std::string out;
+  out += "Table 1: Amount of data gathered regarding JavaScript feature "
+         "usage\n";
+  out += "------------------------------------------------------------\n";
+  const double days =
+      static_cast<double>(results.interaction_seconds()) / 86400.0;
+  out += fmt("%-34s %s\n", "Domains measured",
+             with_commas(static_cast<unsigned long long>(
+                 results.sites_measured())).c_str());
+  out += fmt("%-34s %.0f days\n", "Total website interaction time", days);
+  out += fmt("%-34s %s\n", "Web pages visited",
+             with_commas(results.total_pages_visited()).c_str());
+  out += fmt("%-34s %s\n", "Feature invocations recorded",
+             with_commas(results.total_invocations()).c_str());
+  return out;
+}
+
+std::string render_table2(const Analysis& analysis) {
+  const catalog::Catalog& cat = analysis.catalog();
+  const double one_percent = 0.01 * analysis.measured_sites();
+
+  struct Row {
+    catalog::StandardId id;
+    int cves;
+    int sites;
+  };
+  std::vector<Row> rows;
+  for (std::size_t s = 0; s < cat.standard_count(); ++s) {
+    const auto sid = static_cast<catalog::StandardId>(s);
+    const int sites = analysis.standard_sites(sid, BrowsingConfig::kDefault);
+    const int cves = cat.cve_count(sid);
+    if (sites < one_percent && cves == 0) continue;  // the paper's cut
+    rows.push_back({sid, cves, sites});
+  }
+  // The paper orders by CVE count (descending), then by standard name.
+  std::sort(rows.begin(), rows.end(), [&cat](const Row& a, const Row& b) {
+    if (a.cves != b.cves) return a.cves > b.cves;
+    return cat.standard(a.id).name < cat.standard(b.id).name;
+  });
+
+  std::string out;
+  out += "Table 2: Popularity and block rate for web standards used on at "
+         "least 1%\nof sites or with >= 1 CVE in the last three years\n";
+  out += fmt("%-52s %-8s %9s %8s %11s %6s\n", "Standard", "Abbrev",
+             "#Features", "#Sites", "Block rate", "#CVEs");
+  out += std::string(98, '-') + "\n";
+  for (const Row& row : rows) {
+    const catalog::StandardSpec& spec = cat.standard(row.id);
+    out += fmt("%-52s %-8s %9d %8d %10s %6d\n", spec.name.c_str(),
+               spec.abbreviation.c_str(), spec.feature_count, row.sites,
+               percent(analysis.standard_block_rate(row.id)).c_str(),
+               row.cves);
+  }
+  return out;
+}
+
+std::string render_table3(const crawler::SurveyResults& results) {
+  const std::vector<double> rounds = crawler::new_standards_per_round(results);
+  std::string out;
+  out += "Table 3: Average number of new standards encountered on each\n"
+         "subsequent automated crawl of a domain\n";
+  out += fmt("%-10s %s\n", "Round #", "Avg. New Standards");
+  out += std::string(32, '-') + "\n";
+  for (std::size_t r = 1; r < rounds.size(); ++r) {
+    out += fmt("%-10zu %.2f\n", r + 1, rounds[r]);
+  }
+  return out;
+}
+
+std::string render_fig1(const catalog::Catalog& catalog) {
+  std::string out;
+  out += "Figure 1: Feature families and lines of code in popular browsers "
+         "over time\n\n";
+  out += "Standards available in Firefox by year:\n";
+  for (const auto& [year, count] : catalog::standards_by_year(catalog)) {
+    out += fmt("  %d  %3d  |%s\n", year, count,
+               std::string(static_cast<std::size_t>(count) / 2, '#').c_str());
+  }
+  out += "\nBrowser code size (million lines):\n";
+  out += fmt("  %-8s", "year");
+  const auto& series = catalog::browser_loc_history();
+  for (const auto& browser : series) {
+    out += fmt(" %8s", browser.browser.c_str());
+  }
+  out += "\n";
+  for (std::size_t i = 0; i < series.front().samples.size(); ++i) {
+    out += fmt("  %-8.2f", series.front().samples[i].year);
+    for (const auto& browser : series) {
+      out += fmt(" %8.1f", browser.samples[i].million_loc);
+    }
+    out += "\n";
+  }
+  out += "\n(Note the Chrome drop in mid-2013: the Blink fork removed ~8.8M "
+         "lines of WebKit code.)\n";
+  return out;
+}
+
+std::string render_fig3(const Analysis& analysis) {
+  const catalog::Catalog& cat = analysis.catalog();
+  std::vector<int> counts;
+  for (std::size_t s = 0; s < cat.standard_count(); ++s) {
+    counts.push_back(analysis.standard_sites(
+        static_cast<catalog::StandardId>(s), BrowsingConfig::kDefault));
+  }
+  std::sort(counts.begin(), counts.end());
+
+  std::string out;
+  out += "Figure 3: Cumulative distribution of standard popularity\n";
+  out += fmt("%-18s %-22s %s\n", "Sites using std", "Portion of standards",
+             "");
+  out += std::string(60, '-') + "\n";
+  const int n = analysis.measured_sites();
+  for (const double q : {0.0, 0.0001, 0.001, 0.01, 0.05, 0.10, 0.25, 0.50,
+                         0.75, 0.90, 1.0}) {
+    const double threshold = q * n;
+    const auto below = static_cast<double>(std::count_if(
+        counts.begin(), counts.end(),
+        [threshold](int c) { return c <= threshold; }));
+    const double portion = below / static_cast<double>(counts.size());
+    out += fmt("%-18.0f %-10s |%s\n", threshold, percent(portion).c_str(),
+               support::ascii_bar(portion, 36).c_str());
+  }
+  return out;
+}
+
+std::string render_fig4(const Analysis& analysis) {
+  const catalog::Catalog& cat = analysis.catalog();
+  struct Row {
+    catalog::StandardId id;
+    int sites;
+    double block;
+  };
+  std::vector<Row> rows;
+  for (std::size_t s = 0; s < cat.standard_count(); ++s) {
+    const auto sid = static_cast<catalog::StandardId>(s);
+    const int sites = analysis.standard_sites(sid, BrowsingConfig::kDefault);
+    if (sites == 0) continue;  // log-scale plot cannot show zero
+    rows.push_back({sid, sites, analysis.standard_block_rate(sid)});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.sites > b.sites; });
+
+  std::string out;
+  out += "Figure 4: Popularity of standards versus their block rate (log "
+         "scale)\n";
+  out += fmt("%-9s %8s %11s  %s\n", "Standard", "Sites", "Block rate",
+             "quadrant");
+  out += std::string(64, '-') + "\n";
+  const double mid_sites = 0.05 * analysis.measured_sites();
+  for (const Row& row : rows) {
+    const char* quadrant =
+        row.sites >= mid_sites
+            ? (row.block < 0.5 ? "popular, unblocked" : "popular, blocked")
+            : (row.block < 0.5 ? "unpopular, unblocked"
+                               : "unpopular, blocked");
+    out += fmt("%-9s %8d %10s  %s\n",
+               cat.standard(row.id).abbreviation.c_str(), row.sites,
+               percent(row.block).c_str(), quadrant);
+  }
+  return out;
+}
+
+std::string render_fig5(const Analysis& analysis) {
+  const catalog::Catalog& cat = analysis.catalog();
+  std::string out;
+  out += "Figure 5: Portion of all websites vs portion of all website "
+         "visits using each standard\n";
+  out += fmt("%-9s %12s %12s %10s\n", "Standard", "% of sites", "% of visits",
+             "delta");
+  out += std::string(48, '-') + "\n";
+
+  struct Row {
+    catalog::StandardId id;
+    double sites;
+    double visits;
+  };
+  std::vector<Row> rows;
+  for (std::size_t s = 0; s < cat.standard_count(); ++s) {
+    const auto sid = static_cast<catalog::StandardId>(s);
+    const double site_frac = analysis.standard_site_fraction(sid);
+    if (site_frac <= 0) continue;
+    rows.push_back({sid, site_frac, analysis.standard_visit_fraction(sid)});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.sites > b.sites; });
+  for (const Row& row : rows) {
+    out += fmt("%-9s %11s %11s %+9.1f%%\n",
+               cat.standard(row.id).abbreviation.c_str(),
+               percent(row.sites).c_str(), percent(row.visits).c_str(),
+               (row.visits - row.sites) * 100.0);
+  }
+  return out;
+}
+
+std::string render_fig6(const Analysis& analysis) {
+  const catalog::Catalog& cat = analysis.catalog();
+  std::string out;
+  out += "Figure 6: Standard availability date vs popularity, by block "
+         "rate band\n";
+  out += fmt("%-9s %-12s %8s  %s\n", "Standard", "Introduced", "Sites",
+             "block-rate band");
+  out += std::string(56, '-') + "\n";
+
+  struct Row {
+    catalog::StandardId id;
+    support::Date date;
+    int sites;
+    double block;
+  };
+  std::vector<Row> rows;
+  for (std::size_t s = 0; s < cat.standard_count(); ++s) {
+    const auto sid = static_cast<catalog::StandardId>(s);
+    rows.push_back({sid, cat.standard_implementation_date(sid),
+                    analysis.standard_sites(sid, BrowsingConfig::kDefault),
+                    analysis.standard_block_rate(sid)});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.date < b.date; });
+  for (const Row& row : rows) {
+    const char* band = row.block < 1.0 / 3 ? "block rate < 33%"
+                       : row.block < 2.0 / 3 ? "33% < block rate < 66%"
+                                             : "66% < block rate";
+    out += fmt("%-9s %-12s %8d  %s\n",
+               cat.standard(row.id).abbreviation.c_str(),
+               row.date.to_string().c_str(), row.sites, band);
+  }
+  return out;
+}
+
+std::string render_fig7(const Analysis& analysis) {
+  const catalog::Catalog& cat = analysis.catalog();
+  std::string out;
+  out += "Figure 7: Block rate with only an ad blocker vs only a tracking "
+         "blocker\n";
+  out += fmt("%-9s %8s %15s %20s\n", "Standard", "Sites", "Ad block rate",
+             "Tracking block rate");
+  out += std::string(58, '-') + "\n";
+
+  struct Row {
+    catalog::StandardId id;
+    int sites;
+    double ad;
+    double tracking;
+  };
+  std::vector<Row> rows;
+  for (std::size_t s = 0; s < cat.standard_count(); ++s) {
+    const auto sid = static_cast<catalog::StandardId>(s);
+    const int sites = analysis.standard_sites(sid, BrowsingConfig::kDefault);
+    if (sites == 0) continue;
+    rows.push_back({sid, sites,
+                    analysis.standard_block_rate(sid, BrowsingConfig::kAdOnly),
+                    analysis.standard_block_rate(
+                        sid, BrowsingConfig::kTrackingOnly)});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.tracking - a.ad > b.tracking - b.ad;
+  });
+  for (const Row& row : rows) {
+    out += fmt("%-9s %8d %14s %19s\n",
+               cat.standard(row.id).abbreviation.c_str(), row.sites,
+               percent(row.ad).c_str(), percent(row.tracking).c_str());
+  }
+  return out;
+}
+
+std::string render_fig8(const Analysis& analysis) {
+  const std::vector<int> complexity = analysis.standards_per_site();
+  std::map<int, int> histogram;
+  for (const int c : complexity) ++histogram[c];
+
+  std::string out;
+  out += "Figure 8: Probability density of number of standards used per "
+         "site\n";
+  out += fmt("%-10s %-10s %s\n", "Standards", "Portion", "");
+  out += std::string(60, '-') + "\n";
+  const int max_used =
+      histogram.empty() ? 0 : histogram.rbegin()->first;
+  for (int bucket = 0; bucket <= max_used; ++bucket) {
+    const auto it = histogram.find(bucket);
+    const double portion =
+        it == histogram.end()
+            ? 0.0
+            : static_cast<double>(it->second) /
+                  static_cast<double>(complexity.size());
+    out += fmt("%-10d %-9s |%s\n", bucket, percent(portion).c_str(),
+               support::ascii_bar(portion * 10, 40).c_str());
+  }
+  if (!complexity.empty()) {
+    std::vector<double> values(complexity.begin(), complexity.end());
+    out += fmt("\nmedian %.0f, p10 %.0f, p90 %.0f, max %d\n",
+               support::percentile(values, 50), support::percentile(values, 10),
+               support::percentile(values, 90),
+               *std::max_element(complexity.begin(), complexity.end()));
+  }
+  return out;
+}
+
+std::string render_fig9(const crawler::ExternalValidation& validation) {
+  std::map<int, int> histogram;
+  for (const int n : validation.new_standards_per_domain) ++histogram[n];
+
+  std::string out;
+  out += "Figure 9: Number of new standards observed during manual "
+         "interaction\nthat automated crawling missed\n";
+  out += fmt("%-22s %s\n", "New standards seen", "Number of domains");
+  out += std::string(44, '-') + "\n";
+  for (const auto& [count, domains] : histogram) {
+    out += fmt("%-22d %d\n", count, domains);
+  }
+  out += fmt("\n%d domains evaluated; nothing new on %s of them (paper: "
+             "83.7%%)\n",
+             validation.domains_evaluated,
+             percent(validation.fraction_nothing_new()).c_str());
+  return out;
+}
+
+std::string render_standard_detail(const Analysis& analysis,
+                                   std::string_view abbreviation) {
+  const catalog::Catalog& cat = analysis.catalog();
+  const catalog::StandardId sid = cat.standard_by_abbreviation(abbreviation);
+  if (sid == catalog::kInvalidStandard) return "";
+  const catalog::StandardSpec& spec = cat.standard(sid);
+
+  std::string out;
+  out += spec.name + " (" + spec.abbreviation + ")\n";
+  out += std::string(spec.name.size() + spec.abbreviation.size() + 3, '=') +
+         "\n";
+  out += fmt("introduced:        %s (most popular feature's first release, "
+             "§3.4)\n",
+             cat.standard_implementation_date(sid).to_string().c_str());
+  out += fmt("sites (default):   %d of %d measured (%s)\n",
+             analysis.standard_sites(sid, BrowsingConfig::kDefault),
+             analysis.measured_sites(),
+             percent(analysis.standard_site_fraction(sid)).c_str());
+  out += fmt("sites (blocking):  %d\n",
+             analysis.standard_sites(sid, BrowsingConfig::kBlocking));
+  out += fmt("block rate:        %s combined, %s ad-only, %s tracking-only\n",
+             percent(analysis.standard_block_rate(sid)).c_str(),
+             percent(analysis.standard_block_rate(sid,
+                                                  BrowsingConfig::kAdOnly))
+                 .c_str(),
+             percent(analysis.standard_block_rate(
+                         sid, BrowsingConfig::kTrackingOnly))
+                 .c_str());
+  out += fmt("visit share:       %s of Alexa-weighted page views\n",
+             percent(analysis.standard_visit_fraction(sid)).c_str());
+
+  out += fmt("CVEs (2013-2016):  %d\n", cat.cve_count(sid));
+  for (const catalog::Cve& cve : cat.cves()) {
+    if (cve.standard == sid) {
+      out += "  " + cve.id + "  " + cve.summary + "\n";
+    }
+  }
+
+  out += fmt("\n%-52s %8s %8s %11s\n", "feature", "default", "blocked",
+             "block rate");
+  out += std::string(84, '-') + "\n";
+  for (const catalog::FeatureId fid : cat.features_of(sid)) {
+    const catalog::Feature& f = cat.feature(fid);
+    const int by_default = analysis.feature_sites(fid, BrowsingConfig::kDefault);
+    out += fmt("%-52s %8d %8d %10s\n", f.full_name.c_str(), by_default,
+               analysis.feature_sites(fid, BrowsingConfig::kBlocking),
+               by_default == 0
+                   ? "-"
+                   : percent(analysis.feature_block_rate(fid)).c_str());
+  }
+  return out;
+}
+
+std::string render_headline(const Analysis& analysis) {
+  const Analysis::Headline h = analysis.headline();
+  std::string out;
+  out += "Headline claims (§5.3 / §7.1 / §7.2), paper vs measured\n";
+  out += std::string(72, '-') + "\n";
+  const auto line = [&](const char* what, int paper, int measured) {
+    out += fmt("%-52s %8d %8d\n", what, paper, measured);
+  };
+  out += fmt("%-52s %8s %8s\n", "", "paper", "ours");
+  line("features in the browser", 1392, h.features_total);
+  line("features never used", 689, h.features_never_used);
+  line("features used on <1% of sites", 416, h.features_under_1pct);
+  line("features <1% of sites under blocking", 1159,
+       h.features_under_1pct_blocking);
+  line("features blocked >=90% of the time", 139, h.features_blocked_90);
+  line("standards measured", 75, h.standards_total);
+  line("standards used on >90% of sites", 6, h.standards_over_90pct);
+  line("standards used on <=1% of sites", 28, h.standards_under_1pct);
+  line("standards never used", 11, h.standards_never_used);
+  line("standards never used under blocking", 15,
+       h.standards_never_used_blocking);
+  line("standards <=1% of sites under blocking", 31,
+       h.standards_under_1pct_blocking);
+  line("standards blocked >75% of the time", 16, h.standards_blocked_75);
+  return out;
+}
+
+}  // namespace fu::analysis

@@ -1,0 +1,57 @@
+// Text renderers: regenerate each of the paper's tables and figures as
+// aligned text (figures become their underlying data series plus an ASCII
+// sketch). One bench binary per artifact calls one renderer.
+#pragma once
+
+#include <string>
+
+#include "analysis/metrics.h"
+#include "crawler/validate.h"
+
+namespace fu::analysis {
+
+// Table 1: crawl summary (domains measured, interaction time, pages visited,
+// feature invocations).
+std::string render_table1(const crawler::SurveyResults& results);
+
+// Table 2: per-standard features/sites/block-rate/CVEs, for standards used
+// on >= 1% of sites or with >= 1 CVE, in the paper's ordering.
+std::string render_table2(const Analysis& analysis);
+
+// Table 3: average number of new standards per measurement round.
+std::string render_table3(const crawler::SurveyResults& results);
+
+// Figure 1: standards available and browser MLoC over time.
+std::string render_fig1(const catalog::Catalog& catalog);
+
+// Figure 3: cumulative distribution of standard popularity.
+std::string render_fig3(const Analysis& analysis);
+
+// Figure 4: standard popularity (log scale) vs block rate, labelled points.
+std::string render_fig4(const Analysis& analysis);
+
+// Figure 5: portion of sites vs portion of visits per standard.
+std::string render_fig5(const Analysis& analysis);
+
+// Figure 6: standard introduction date vs popularity, block-rate banded.
+std::string render_fig6(const Analysis& analysis);
+
+// Figure 7: ad-only vs tracking-only block rates per standard.
+std::string render_fig7(const Analysis& analysis);
+
+// Figure 8: probability density of standards-used-per-site.
+std::string render_fig8(const Analysis& analysis);
+
+// Figure 9: external-validation histogram (new standards seen by a human).
+std::string render_fig9(const crawler::ExternalValidation& validation);
+
+// §5.3 headline claims, paper vs measured.
+std::string render_headline(const Analysis& analysis);
+
+// Deep-dive for one standard: metadata, CVEs, and a per-feature table of
+// measured popularity and block rates. Empty string when the abbreviation
+// is unknown.
+std::string render_standard_detail(const Analysis& analysis,
+                                   std::string_view abbreviation);
+
+}  // namespace fu::analysis

@@ -1,0 +1,52 @@
+#include "blocker/extensions.h"
+
+namespace fu::blocker {
+
+std::string ad_list_text(const net::SyntheticWeb& web) {
+  std::string text;
+  text += "! Synthetic ad list (AdBlock Plus syntax)\n";
+  text += "! Domain rules for known ad networks\n";
+  for (const std::string& host : web.ad_hosts()) {
+    text += "||" + host + "^$third-party\n";
+  }
+  // Ad networks that double as trackers are on both lists.
+  for (const std::string& host : web.dual_hosts()) {
+    text += "||" + host + "^$third-party\n";
+  }
+  text += "! Generic ad-path rules\n";
+  text += "/adtag/*$script\n";
+  text += "*/sync/tag.js$script,third-party\n";
+  text += "! Cosmetic rules\n";
+  text += "##.ad-slot\n";
+  text += "##.sponsored-banner\n";
+  return text;
+}
+
+std::string tracking_list_text(const net::SyntheticWeb& web) {
+  std::string text;
+  text += "! Synthetic tracking-protection list (Ghostery-style)\n";
+  for (const std::string& host : web.tracker_hosts()) {
+    text += "||" + host + "^\n";
+  }
+  for (const std::string& host : web.dual_hosts()) {
+    text += "||" + host + "^\n";
+  }
+  text += "! Generic tracking endpoints\n";
+  text += "/collect/t.js$script\n";
+  text += "*/beacon?*\n";
+  return text;
+}
+
+std::shared_ptr<const BlockingExtension> make_ad_blocker(
+    const net::SyntheticWeb& web) {
+  return std::make_shared<const BlockingExtension>(
+      "AdBlockPlus", FilterList::parse(ad_list_text(web), "ad-list"));
+}
+
+std::shared_ptr<const BlockingExtension> make_tracking_blocker(
+    const net::SyntheticWeb& web) {
+  return std::make_shared<const BlockingExtension>(
+      "Ghostery", FilterList::parse(tracking_list_text(web), "tracking-list"));
+}
+
+}  // namespace fu::blocker

@@ -1,0 +1,49 @@
+// The two blocking extensions the study installs (§3.6, §4.3.2):
+//   * an AdBlock-Plus-style ad blocker driven by a crowdsourced-looking list
+//     of ad-network domains and ad-path patterns, plus element hiding;
+//   * a Ghostery-style tracking blocker driven by a curated tracker-domain
+//     list.
+// List text is generated from the synthetic web's third-party pools, then
+// parsed by the filter engine — the lists are real inputs, not shortcuts:
+// blocking decisions always go through FilterList::should_block.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "blocker/filter.h"
+#include "net/web.h"
+
+namespace fu::blocker {
+
+// Raw list text, in ABP filter syntax.
+std::string ad_list_text(const net::SyntheticWeb& web);
+std::string tracking_list_text(const net::SyntheticWeb& web);
+
+// A browser extension that can veto resource loads. The measuring browser
+// consults every installed extension before fetching (like ABP/Ghostery
+// hooking the request pipeline).
+class BlockingExtension {
+ public:
+  BlockingExtension(std::string name, FilterList list)
+      : name_(std::move(name)), list_(std::move(list)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  const FilterList& list() const noexcept { return list_; }
+
+  bool should_block(const net::Url& url, const RequestContext& ctx) const {
+    return list_.should_block(url, ctx);
+  }
+
+ private:
+  std::string name_;
+  FilterList list_;
+};
+
+// Factory helpers ("install AdBlock Plus / Ghostery").
+std::shared_ptr<const BlockingExtension> make_ad_blocker(
+    const net::SyntheticWeb& web);
+std::shared_ptr<const BlockingExtension> make_tracking_blocker(
+    const net::SyntheticWeb& web);
+
+}  // namespace fu::blocker

@@ -1,0 +1,206 @@
+#include "blocker/filter.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "support/strings.h"
+
+namespace fu::blocker {
+
+namespace {
+
+bool is_separator(char c) {
+  // ABP '^': anything that is not alphanumeric, '-', '.', '%', or '_'
+  return !(std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+           c == '.' || c == '%' || c == '_');
+}
+
+// Wildcard match where '*' spans any run and '^' matches one separator char
+// or the end of the string.
+bool pattern_match_at(std::string_view pattern, std::string_view text,
+                      std::size_t text_pos) {
+  std::size_t p = 0, t = text_pos;
+  std::size_t star = std::string_view::npos, mark = 0;
+  while (t <= text.size()) {
+    if (p == pattern.size()) return true;  // pattern consumed
+    const char pc = pattern[p];
+    if (t < text.size() && (pc == text[t] || (pc == '^' && is_separator(text[t])))) {
+      ++p;
+      ++t;
+    } else if (t == text.size() && pc == '^') {
+      ++p;  // '^' matches end of URL
+    } else if (pc == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string_view::npos && mark < text.size()) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  return p == pattern.size();
+}
+
+// Substring search with wildcards: try every start offset.
+bool pattern_search(std::string_view pattern, std::string_view text) {
+  if (pattern.empty()) return true;
+  for (std::size_t start = 0; start <= text.size(); ++start) {
+    if (pattern_match_at(pattern, text, start)) return true;
+    // minor optimization: a leading '*' already spans all offsets
+    if (pattern.front() == '*') break;
+  }
+  return false;
+}
+
+bool domain_in(const std::vector<std::string>& domains,
+               std::string_view domain) {
+  return std::any_of(domains.begin(), domains.end(),
+                     [domain](const std::string& d) { return d == domain; });
+}
+
+}  // namespace
+
+bool FilterRule::matches(const net::Url& url, const RequestContext& ctx) const {
+  if (opt_third_party && !ctx.third_party) return false;
+  if (opt_script && ctx.type != ResourceType::kScript) return false;
+  if (!opt_domains.empty() && !domain_in(opt_domains, ctx.page_domain)) {
+    return false;
+  }
+  if (!opt_not_domains.empty() && domain_in(opt_not_domains, ctx.page_domain)) {
+    return false;
+  }
+
+  const std::string spec = url.spec();
+  switch (anchor) {
+    case Anchor::kDomain: {
+      // "||host/path..." — split at the first separator-ish char
+      std::string_view pat = pattern;
+      std::size_t host_end = 0;
+      while (host_end < pat.size() && !is_separator(pat[host_end]) ) ++host_end;
+      const std::string_view host_pat = pat.substr(0, host_end);
+      const std::string_view rest = pat.substr(host_end);
+      if (!net::host_matches_domain(url.host(), host_pat)) return false;
+      if (rest.empty() || rest == "^") return true;
+      // match the remainder against path+query starting at the path
+      std::string tail = url.path();
+      if (!url.query().empty()) tail += "?" + url.query();
+      return pattern_match_at(rest, tail, 0) || pattern_search(rest, tail);
+    }
+    case Anchor::kStart:
+      return pattern_match_at(pattern, spec, 0);
+    case Anchor::kNone:
+      return pattern_search(pattern, spec);
+  }
+  return false;
+}
+
+std::optional<FilterRule> parse_rule(std::string_view line) {
+  line = support::trim(line);
+  if (line.empty() || line.front() == '!') return std::nullopt;
+  if (line.find("##") != std::string_view::npos) return std::nullopt;  // hiding
+
+  FilterRule rule;
+  rule.raw = std::string(line);
+  if (support::starts_with(line, "@@")) {
+    rule.exception = true;
+    line.remove_prefix(2);
+  }
+
+  // split off options
+  const std::size_t dollar = line.rfind('$');
+  if (dollar != std::string_view::npos && dollar != 0) {
+    const std::string_view opts = line.substr(dollar + 1);
+    line = line.substr(0, dollar);
+    for (const std::string& opt : support::split_nonempty(opts, ',')) {
+      if (opt == "third-party") {
+        rule.opt_third_party = true;
+      } else if (opt == "script") {
+        rule.opt_script = true;
+      } else if (support::starts_with(opt, "domain=")) {
+        for (const std::string& d :
+             support::split_nonempty(opt.substr(7), '|')) {
+          if (!d.empty() && d.front() == '~') {
+            rule.opt_not_domains.push_back(d.substr(1));
+          } else {
+            rule.opt_domains.push_back(d);
+          }
+        }
+      }
+      // unknown options are ignored (fail-open, like a tolerant parser)
+    }
+  }
+
+  if (support::starts_with(line, "||")) {
+    rule.anchor = FilterRule::Anchor::kDomain;
+    rule.pattern = std::string(line.substr(2));
+  } else if (support::starts_with(line, "|")) {
+    rule.anchor = FilterRule::Anchor::kStart;
+    rule.pattern = std::string(line.substr(1));
+  } else {
+    rule.anchor = FilterRule::Anchor::kNone;
+    rule.pattern = std::string(line);
+  }
+  if (rule.pattern.empty()) return std::nullopt;
+  return rule;
+}
+
+FilterList FilterList::parse(std::string_view text, std::string name) {
+  FilterList list;
+  list.name_ = std::move(name);
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i != text.size() && text[i] != '\n') continue;
+    std::string_view line = text.substr(start, i - start);
+    start = i + 1;
+    line = support::trim(line);
+    if (line.empty()) continue;
+
+    const std::size_t hide = line.find("##");
+    if (hide != std::string_view::npos && line.front() != '!') {
+      HidingRule h;
+      const std::string_view domains = line.substr(0, hide);
+      h.selector = std::string(line.substr(hide + 2));
+      if (!domains.empty()) {
+        for (const std::string& d : support::split_nonempty(domains, ',')) {
+          h.domains.push_back(d);
+        }
+      }
+      if (!h.selector.empty()) list.hiding_.push_back(std::move(h));
+      continue;
+    }
+    if (auto rule = parse_rule(line)) list.rules_.push_back(std::move(*rule));
+  }
+  return list;
+}
+
+bool FilterList::should_block(const net::Url& url,
+                              const RequestContext& ctx) const {
+  bool blocked = false;
+  for (const FilterRule& rule : rules_) {
+    if (rule.exception || blocked) continue;
+    if (rule.matches(url, ctx)) blocked = true;
+  }
+  if (!blocked) return false;
+  for (const FilterRule& rule : rules_) {
+    if (rule.exception && rule.matches(url, ctx)) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> FilterList::hiding_selectors_for(
+    std::string_view page_domain) const {
+  std::vector<std::string> out;
+  for (const HidingRule& h : hiding_) {
+    if (h.domains.empty() ||
+        std::any_of(h.domains.begin(), h.domains.end(),
+                    [page_domain](const std::string& d) {
+                      return d == page_domain;
+                    })) {
+      out.push_back(h.selector);
+    }
+  }
+  return out;
+}
+
+}  // namespace fu::blocker

@@ -1,0 +1,83 @@
+// AdBlock-Plus-style filter engine (§3.6).
+//
+// Supports the rule grammar subset that real ad and tracking lists lean on:
+//   ||example.com^          domain anchor (host or any subdomain)
+//   |http://exact-prefix    start anchor
+//   /adtag/*  *banner*      substring patterns with '*' wildcards
+//   rule$third-party        option: only third-party requests
+//   rule$script             option: only script resources
+//   rule$domain=a.com|~b.com  option: limit by the page's site
+//   @@rule                  exception (whitelist) rule
+//   example.com##.ad-slot   element hiding (cosmetic) rules
+//   ! comment
+//
+// The '^' separator matches a URL boundary (end, '/', '?', ':') as in ABP.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/url.h"
+
+namespace fu::blocker {
+
+enum class ResourceType { kDocument, kScript, kSubdocument, kImage, kOther };
+
+// Context for a match decision.
+struct RequestContext {
+  std::string page_domain;  // registrable domain of the top page
+  bool third_party = false;
+  ResourceType type = ResourceType::kOther;
+};
+
+struct FilterRule {
+  enum class Anchor { kNone, kDomain, kStart };
+
+  std::string raw;                 // original text, for diagnostics
+  Anchor anchor = Anchor::kNone;
+  std::string pattern;             // anchor-specific meaning
+  bool exception = false;          // @@ rule
+  bool opt_third_party = false;
+  bool opt_script = false;
+  std::vector<std::string> opt_domains;      // empty = all
+  std::vector<std::string> opt_not_domains;
+
+  bool matches(const net::Url& url, const RequestContext& ctx) const;
+};
+
+struct HidingRule {
+  std::vector<std::string> domains;  // empty = global
+  std::string selector;              // ".class" or "#id"
+};
+
+// One parsed list (e.g. "the ad list" or "the tracking list").
+class FilterList {
+ public:
+  static FilterList parse(std::string_view text, std::string name);
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<FilterRule>& rules() const noexcept { return rules_; }
+  const std::vector<HidingRule>& hiding_rules() const noexcept {
+    return hiding_; }
+
+  // Blocking decision: any blocking rule matches and no exception does.
+  bool should_block(const net::Url& url, const RequestContext& ctx) const;
+
+  // Selectors to hide on a page of the given site.
+  std::vector<std::string> hiding_selectors_for(
+      std::string_view page_domain) const;
+
+  std::size_t size() const noexcept { return rules_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<FilterRule> rules_;
+  std::vector<HidingRule> hiding_;
+};
+
+// Parse a single filter line; nullopt for comments/blank/hiding lines.
+std::optional<FilterRule> parse_rule(std::string_view line);
+
+}  // namespace fu::blocker

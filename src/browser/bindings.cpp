@@ -1,0 +1,261 @@
+#include "browser/bindings.h"
+
+#include <array>
+
+#include "catalog/names.h"
+#include "dom/selector.h"
+#include "support/strings.h"
+
+namespace fu::browser {
+
+namespace {
+
+using script::Heap;
+using script::Interpreter;
+using script::ObjectRef;
+using script::Value;
+
+// Inert native method: the default implementation behind every catalog
+// method slot. Returns undefined; side effects exist only via the measuring
+// extension's shims.
+Value inert(Interpreter&, const Value&, std::span<const Value>) {
+  return Value();
+}
+
+}  // namespace
+
+DomBindings::DomBindings(Interpreter& interp, const catalog::Catalog& catalog)
+    : interp_(interp), catalog_(catalog) {
+  build_interfaces();
+  build_singletons();
+  install_dom_natives();
+}
+
+void DomBindings::build_interfaces() {
+  Heap& heap = interp_.heap();
+
+  // EventTarget's prototype is the root of every chain, so that
+  // addEventListener & friends are reachable from any object the way they
+  // are in a real DOM.
+  event_target_proto_ = heap.make_object(ObjectRef(), "EventTargetPrototype");
+
+  for (const catalog::Catalog::InterfaceInfo& info : catalog_.interfaces()) {
+    ObjectRef proto;
+    if (info.name == "EventTarget") {
+      proto = event_target_proto_;
+    } else {
+      proto = heap.make_object(event_target_proto_, info.name + "Prototype");
+    }
+    prototypes_[info.name] = proto;
+
+    const ObjectRef ctor = heap.make_function(inert, info.name);
+    heap.get(ctor).properties["prototype"] = Value(proto);
+    heap.get(proto).properties["constructor"] = Value(ctor);
+    interp_.globals().define(info.name, Value(ctor));
+  }
+
+  // Populate prototypes with method slots.
+  for (const catalog::Feature& f : catalog_.features()) {
+    if (f.kind != catalog::FeatureKind::kMethod) continue;
+    const ObjectRef proto = prototype_of(f.interface_name);
+    Heap& h = interp_.heap();
+    h.get(proto).properties[f.member_name] =
+        Value(h.make_function(inert, f.full_name));
+  }
+}
+
+script::ObjectRef DomBindings::make_instance(const std::string& interface_name) {
+  const ObjectRef proto = prototype_of(interface_name);
+  return interp_.heap().make_object(proto, interface_name);
+}
+
+void DomBindings::build_singletons() {
+  Heap& heap = interp_.heap();
+
+  window_ = make_instance("Window");
+  interp_.globals().define("window", Value(window_));
+  // window.window === window, handy for generated code
+  heap.get(window_).properties["window"] = Value(window_);
+
+  constexpr std::array<const char*, 8> kSimpleSingletons = {
+      "Navigator", "Screen",  "History", "Location",
+      "Performance", "Crypto", "Console", "Storage"};
+  constexpr std::array<const char*, 8> kGlobalNames = {
+      "navigator", "screen", "history", "location",
+      "performance", "crypto", "console", "localStorage"};
+  for (std::size_t i = 0; i < kSimpleSingletons.size(); ++i) {
+    const ObjectRef obj = make_instance(kSimpleSingletons[i]);
+    singletons_[kSimpleSingletons[i]] = obj;
+    interp_.globals().define(kGlobalNames[i], Value(obj));
+    heap.get(window_).properties[kGlobalNames[i]] = Value(obj);
+  }
+  singletons_["Window"] = window_;
+  singletons_["LocalStorage"] = singletons_["Storage"];
+
+  // Nested ambient instances.
+  const auto nest = [&](const char* parent, const char* prop,
+                        const char* iface) {
+    const auto it = singletons_.find(parent);
+    if (it == singletons_.end()) return;
+    const ObjectRef child = make_instance(iface);
+    singletons_[iface] = child;
+    heap.get(it->second).properties[prop] = Value(child);
+  };
+  nest("Navigator", "plugins", "PluginArray");
+  nest("Navigator", "mimeTypes", "MimeTypeArray");
+  nest("Navigator", "geolocation", "Geolocation");
+  nest("Navigator", "serviceWorker", "ServiceWorkerContainer");
+  nest("Crypto", "subtle", "SubtleCrypto");
+  nest("Performance", "timing", "PerformanceTiming");
+  nest("Performance", "navigation", "PerformanceNavigation");
+}
+
+void DomBindings::install_dom_natives() {
+  Heap& heap = interp_.heap();
+
+  // addEventListener / removeEventListener: live handler registration on
+  // the shared EventTarget prototype root. The measuring extension shims
+  // over these, preserving behaviour while counting calls (§4.2.1).
+  PageHooks* hooks = &hooks_;
+  heap.get(event_target_proto_).properties["addEventListener"] =
+      Value(heap.make_function(
+          [hooks](Interpreter&, const Value&, std::span<const Value> args) {
+            if (args.size() >= 2 && args[0].is_string() && args[1].is_object()) {
+              hooks->listeners.emplace_back(args[0].as_string(), args[1]);
+            }
+            return Value();
+          },
+          "EventTarget.prototype.addEventListener"));
+  heap.get(event_target_proto_).properties["removeEventListener"] =
+      Value(heap.make_function(
+          [hooks](Interpreter&, const Value&, std::span<const Value> args) {
+            if (args.size() >= 2 && args[0].is_string()) {
+              std::erase_if(hooks->listeners,
+                            [&](const std::pair<std::string, Value>& entry) {
+                              return entry.first == args[0].as_string() &&
+                                     entry.second == args[1];
+                            });
+            }
+            return Value();
+          },
+          "EventTarget.prototype.removeEventListener"));
+
+  // Timers: browser plumbing, not catalog features — uninstrumented.
+  const ObjectRef window_proto = prototype_of("Window");
+  const ObjectRef timer_target =
+      window_proto.null() ? window_ : window_proto;
+  heap.get(timer_target).properties["setTimeout"] = Value(heap.make_function(
+      [hooks](Interpreter&, const Value&, std::span<const Value> args) {
+        if (!args.empty() && args[0].is_object()) {
+          const double delay =
+              args.size() > 1 ? args[1].to_number() : 0.0;
+          hooks->timers.push_back({args[0], delay >= 0 ? delay : 0});
+        }
+        return Value(static_cast<double>(hooks->timers.size()));
+      },
+      "setTimeout"));
+  heap.get(timer_target).properties["setInterval"] =
+      heap.get(timer_target).properties["setTimeout"];
+  heap.get(timer_target).properties["clearTimeout"] =
+      Value(heap.make_function(inert, "clearTimeout"));
+
+  // Live DOM access: createElement / getElementById / querySelector return
+  // real wrappers so example code can chain on them.
+  const ObjectRef doc_proto = prototype_of("Document");
+  if (!doc_proto.null()) {
+    DomBindings* self = this;
+    heap.get(doc_proto).properties["createElement"] = Value(heap.make_function(
+        [self](Interpreter&, const Value&, std::span<const Value> args) {
+          if (self->hooks_.dom == nullptr) return Value();
+          const std::string tag =
+              args.empty() ? "div" : args[0].to_display_string();
+          return Value(self->wrap_element(*self->hooks_.dom->create_element(tag)));
+        },
+        "Document.prototype.createElement"));
+    heap.get(doc_proto).properties["getElementById"] = Value(heap.make_function(
+        [self](Interpreter&, const Value&, std::span<const Value> args) {
+          if (self->hooks_.dom == nullptr || args.empty()) return Value();
+          dom::Element* el =
+              self->hooks_.dom->get_element_by_id(args[0].to_display_string());
+          if (el == nullptr) return Value(script::Null{});
+          return Value(self->wrap_element(*el));
+        },
+        "Document.prototype.getElementById"));
+    heap.get(doc_proto).properties["querySelector"] = Value(heap.make_function(
+        [self](Interpreter&, const Value&, std::span<const Value> args) {
+          if (self->hooks_.dom == nullptr || args.empty()) return Value();
+          const auto selector =
+              dom::Selector::parse(args[0].to_display_string());
+          if (!selector) return Value(script::Null{});
+          dom::Element* el = selector->select_first(*self->hooks_.dom);
+          if (el == nullptr) return Value(script::Null{});
+          return Value(self->wrap_element(*el));
+        },
+        "Document.prototype.querySelector"));
+    heap.get(doc_proto).properties["querySelectorAll"] =
+        Value(heap.make_function(
+            [self](Interpreter& in, const Value&,
+                   std::span<const Value> args) {
+              const ObjectRef list =
+                  in.heap().make_object(ObjectRef(), "NodeList");
+              script::JsObject& arr = in.heap().get(list);
+              std::size_t n = 0;
+              if (self->hooks_.dom != nullptr && !args.empty()) {
+                if (const auto selector =
+                        dom::Selector::parse(args[0].to_display_string())) {
+                  for (dom::Element* el :
+                       selector->select_all(*self->hooks_.dom)) {
+                    arr.properties[std::to_string(n++)] =
+                        Value(self->wrap_element(*el));
+                  }
+                }
+              }
+              arr.properties["length"] = Value(static_cast<double>(n));
+              return Value(list);
+            },
+            "Document.prototype.querySelectorAll"));
+  }
+}
+
+script::ObjectRef DomBindings::begin_page(dom::Document& dom) {
+  hooks_.listeners.clear();
+  hooks_.timers.clear();
+  hooks_.dom = &dom;
+
+  // DOM0 handlers ("window.onclick = ...") die with the page they were
+  // registered on; everything else on window persists for the session.
+  script::JsObject& win = interp_.heap().get(window_);
+  std::erase_if(win.properties, [](const auto& entry) {
+    return entry.first.size() > 2 && entry.first.compare(0, 2, "on") == 0;
+  });
+
+  document_ = make_instance("Document");
+  interp_.globals().define("document", Value(document_));
+  interp_.heap().get(window_).properties["document"] = Value(document_);
+  return document_;
+}
+
+script::ObjectRef DomBindings::wrap_element(dom::Element& element) {
+  ObjectRef proto = prototype_of("HTMLElement");
+  if (proto.null()) proto = prototype_of("Element");
+  const ObjectRef ref = interp_.heap().make_object(proto, "HTMLElement");
+  script::JsObject& obj = interp_.heap().get(ref);
+  obj.host = &element;
+  obj.properties["tagName"] = Value(support::to_lower(element.tag()));
+  if (!element.id().empty()) obj.properties["id"] = Value(element.id());
+  return ref;
+}
+
+script::ObjectRef DomBindings::prototype_of(
+    const std::string& interface_name) const {
+  const auto it = prototypes_.find(interface_name);
+  return it == prototypes_.end() ? ObjectRef() : it->second;
+}
+
+script::ObjectRef DomBindings::singleton_of(
+    const std::string& interface_name) const {
+  const auto it = singletons_.find(interface_name);
+  return it == singletons_.end() ? ObjectRef() : it->second;
+}
+
+}  // namespace fu::browser

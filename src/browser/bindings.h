@@ -1,0 +1,79 @@
+// Host bindings: builds the JavaScript global environment a page sees.
+//
+// For every interface in the catalog we create a constructor function and a
+// prototype object, and populate the prototype with one method slot per
+// catalog method feature (plain natives that return inert values). Ambient
+// singleton instances (window, document, navigator, crypto.subtle, ...) are
+// created for every catalog::global_access_path. A handful of load-bearing
+// natives get real behaviour: addEventListener registers handlers the monkey
+// tester can fire, setTimeout queues timer callbacks, createElement /
+// getElementById return live DOM wrappers.
+//
+// The bindings are built once per browser session and shared by the 13 pages
+// of a crawl (like a real browser process); begin_page() swaps in a fresh
+// document wrapper and clears page-local listener/timer state.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "dom/node.h"
+#include "script/interp.h"
+
+namespace fu::browser {
+
+// Page-local host state, reset on navigation.
+struct PageHooks {
+  struct Timer {
+    script::Value callback;
+    double delay_ms = 0;
+  };
+  std::vector<std::pair<std::string, script::Value>> listeners;
+  std::vector<Timer> timers;
+  dom::Document* dom = nullptr;
+};
+
+class DomBindings {
+ public:
+  DomBindings(script::Interpreter& interp, const catalog::Catalog& catalog);
+
+  DomBindings(const DomBindings&) = delete;
+  DomBindings& operator=(const DomBindings&) = delete;
+
+  // Prototype object of an interface; null ref if unknown.
+  script::ObjectRef prototype_of(const std::string& interface_name) const;
+  // Ambient instance of a singleton interface; null ref if none exists.
+  script::ObjectRef singleton_of(const std::string& interface_name) const;
+
+  script::ObjectRef window() const noexcept { return window_; }
+  script::ObjectRef document_wrapper() const noexcept { return document_; }
+
+  PageHooks& hooks() noexcept { return hooks_; }
+
+  // Start a new page: reset hooks, build a fresh `document` wrapper bound to
+  // `dom` and expose it. Returns the new wrapper so the measuring extension
+  // can re-attach its property watch.
+  script::ObjectRef begin_page(dom::Document& dom);
+
+  // DOM element wrapper with the HTMLElement prototype.
+  script::ObjectRef wrap_element(dom::Element& element);
+
+ private:
+  void build_interfaces();
+  void build_singletons();
+  void install_dom_natives();
+  script::ObjectRef make_instance(const std::string& interface_name);
+
+  script::Interpreter& interp_;
+  const catalog::Catalog& catalog_;
+  std::map<std::string, script::ObjectRef> prototypes_;
+  std::map<std::string, script::ObjectRef> singletons_;
+  script::ObjectRef window_;
+  script::ObjectRef document_;
+  script::ObjectRef event_target_proto_;
+  PageHooks hooks_;
+};
+
+}  // namespace fu::browser

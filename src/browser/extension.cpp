@@ -1,0 +1,81 @@
+#include "browser/extension.h"
+
+#include <map>
+
+namespace fu::browser {
+
+namespace {
+
+using script::Interpreter;
+using script::ObjectRef;
+using script::Value;
+
+}  // namespace
+
+MeasuringExtension::MeasuringExtension(const catalog::Catalog& catalog,
+                                       UsageRecorder& recorder)
+    : catalog_(&catalog), recorder_(&recorder) {
+  for (const catalog::Feature& f : catalog_->features()) {
+    if (f.kind == catalog::FeatureKind::kProperty) {
+      watchable_properties_[f.interface_name].emplace(f.member_name, f.id);
+    }
+  }
+}
+
+void MeasuringExtension::inject(Interpreter& interp, DomBindings& bindings) {
+  script::Heap& heap = interp.heap();
+
+  for (const catalog::Feature& f : catalog_->features()) {
+    if (f.kind != catalog::FeatureKind::kMethod) continue;
+    const ObjectRef proto = bindings.prototype_of(f.interface_name);
+    if (proto.null()) continue;
+    script::JsObject& proto_obj = heap.get(proto);
+    const auto slot = proto_obj.properties.find(f.member_name);
+    if (slot == proto_obj.properties.end() || !slot->second.is_object()) {
+      continue;
+    }
+
+    // The original implementation is captured by value in the shim's
+    // closure; nothing else references it afterwards, so page JavaScript
+    // cannot recover the un-instrumented version (§4.2.1).
+    const Value original = slot->second;
+    UsageRecorder* recorder = recorder_;
+    const catalog::FeatureId fid = f.id;
+    slot->second = Value(heap.make_function(
+        [recorder, fid, original](Interpreter& in, const Value& self,
+                                  std::span<const Value> args) {
+          recorder->record(fid);
+          return in.call_function(original, self, args);
+        },
+        "instrumented:" + f.full_name));
+    ++methods_shimmed_;
+  }
+
+  // Property watches on every ambient singleton.
+  for (const catalog::Catalog::InterfaceInfo& info : catalog_->interfaces()) {
+    if (!info.singleton) continue;
+    const ObjectRef obj = bindings.singleton_of(info.name);
+    if (obj.null()) continue;
+    watch_singleton(interp, obj, info.name);
+  }
+  // ... including the per-page document wrapper.
+  watch_singleton(interp, bindings.document_wrapper(), "Document");
+}
+
+void MeasuringExtension::watch_singleton(Interpreter& interp, ObjectRef object,
+                                         const std::string& interface_name) {
+  if (object.null()) return;
+  const auto map_it = watchable_properties_.find(interface_name);
+  if (map_it == watchable_properties_.end()) return;
+
+  UsageRecorder* recorder = recorder_;
+  interp.heap().get(object).watch =
+      [recorder, &watched = map_it->second](const std::string& name,
+                                            const Value&) {
+        const auto it = watched.find(name);
+        if (it != watched.end()) recorder->record(it->second);
+      };
+  ++properties_watched_;
+}
+
+}  // namespace fu::browser

@@ -1,0 +1,58 @@
+// The measuring extension (§4.2): the paper's core instrument, reproduced
+// against our engine.
+//
+// Method calls (§4.2.1) are counted by *shimming*: each instrumented method
+// slot on an interface prototype is replaced by a wrapper function that
+// records the invocation and then calls the original, which survives only
+// inside the wrapper's closure — page code cannot reach around the shim.
+//
+// Property writes (§4.2.2) are counted with the engine's per-object watch
+// hook, the stand-in for Firefox's non-standard Object.watch(). Watches can
+// only be attached to objects that exist when the extension is injected, so
+// — exactly like the paper — only writes to properties of the singleton
+// objects (window, document, navigator, ...) are observable; writes on
+// script-created objects go unseen.
+//
+// Injection order matters: bindings first, extension second, page scripts
+// last ("inject at the beginning of <head>").
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "browser/bindings.h"
+#include "browser/recorder.h"
+#include "catalog/catalog.h"
+#include "script/interp.h"
+
+namespace fu::browser {
+
+class MeasuringExtension {
+ public:
+  MeasuringExtension(const catalog::Catalog& catalog, UsageRecorder& recorder);
+
+  // Install shims and watches into a freshly built environment. Call once
+  // per browser session, after DomBindings construction.
+  void inject(script::Interpreter& interp, DomBindings& bindings);
+
+  // Re-attach the property watch to a new singleton instance (the document
+  // wrapper is recreated on every navigation).
+  void watch_singleton(script::Interpreter& interp, script::ObjectRef object,
+                       const std::string& interface_name);
+
+  // Number of method slots successfully shimmed / properties watched.
+  int methods_shimmed() const noexcept { return methods_shimmed_; }
+  int properties_watched() const noexcept { return properties_watched_; }
+
+ private:
+  const catalog::Catalog* catalog_;
+  UsageRecorder* recorder_;
+  // interface name -> (property name -> feature id), precomputed so the
+  // per-page document re-watch costs one small map copy.
+  std::map<std::string, std::map<std::string, catalog::FeatureId>>
+      watchable_properties_;
+  int methods_shimmed_ = 0;
+  int properties_watched_ = 0;
+};
+
+}  // namespace fu::browser

@@ -1,0 +1,18 @@
+#include "browser/recorder.h"
+
+namespace fu::browser {
+
+void UsageRecorder::write_csv(std::ostream& out, const catalog::Catalog& cat,
+                              const std::string& config,
+                              const std::string& domain) const {
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const catalog::Feature& f = cat.feature(static_cast<catalog::FeatureId>(i));
+    out << config << ',' << domain << ',' << f.interface_name << '.'
+        << f.member_name;
+    if (f.kind == catalog::FeatureKind::kMethod) out << "()";
+    out << ',' << counts_[i] << '\n';
+  }
+}
+
+}  // namespace fu::browser

@@ -1,0 +1,63 @@
+// Usage recorder: the counting backend behind the measuring extension.
+// One per browser session (site × configuration × pass); the crawler merges
+// sessions into survey-level aggregates. Mirrors the CSV rows of Figure 2
+// ("blocking,example.com,Node.cloneNode(),10").
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace fu::browser {
+
+class UsageRecorder {
+ public:
+  explicit UsageRecorder(std::size_t feature_count)
+      : counts_(feature_count, 0) {}
+
+  void record(catalog::FeatureId fid) {
+    ++counts_[fid];
+    ++total_invocations_;
+  }
+
+  std::uint64_t count(catalog::FeatureId fid) const { return counts_.at(fid); }
+  std::uint64_t total_invocations() const noexcept {
+    return total_invocations_;
+  }
+  std::size_t feature_count() const noexcept { return counts_.size(); }
+
+  bool used(catalog::FeatureId fid) const { return counts_.at(fid) > 0; }
+
+  std::vector<catalog::FeatureId> features_used() const {
+    std::vector<catalog::FeatureId> out;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] > 0) out.push_back(static_cast<catalog::FeatureId>(i));
+    }
+    return out;
+  }
+
+  void merge(const UsageRecorder& other) {
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    total_invocations_ += other.total_invocations_;
+  }
+
+  void reset() {
+    counts_.assign(counts_.size(), 0);
+    total_invocations_ = 0;
+  }
+
+  // Emit rows in the paper's format: <config>,<domain>,<feature>,<count>.
+  void write_csv(std::ostream& out, const catalog::Catalog& cat,
+                 const std::string& config, const std::string& domain) const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_invocations_ = 0;
+};
+
+}  // namespace fu::browser

@@ -1,0 +1,262 @@
+#include "browser/session.h"
+
+#include "dom/html.h"
+#include "dom/selector.h"
+#include "script/parser.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace fu::browser {
+
+namespace {
+
+using dom::Element;
+using dom::Node;
+using dom::NodeType;
+
+}  // namespace
+
+BrowserSession::BrowserSession(const net::SyntheticWeb& web,
+                               BrowserConfig config, std::uint64_t seed)
+    : web_(&web),
+      config_(std::move(config)),
+      interp_(seed),
+      catalog_(web.feature_catalog()),
+      recorder_(web.feature_catalog().features().size()),
+      bindings_(interp_, web.feature_catalog()),
+      extension_(web.feature_catalog(), recorder_) {
+  interp_.set_fuel_per_run(config_.fuel_per_script);
+  // §4.2: the extension's hooks go in before any page content runs.
+  extension_.inject(interp_, bindings_);
+}
+
+bool BrowserSession::blocked(const net::Url& url,
+                             blocker::ResourceType type) {
+  if (!config_.ad_blocker && !config_.tracking_blocker) return false;
+  const std::string key = url.spec();
+  if (const auto it = block_cache_.find(key); it != block_cache_.end()) {
+    return it->second;
+  }
+  blocker::RequestContext ctx;
+  ctx.page_domain = page_domain_;
+  ctx.third_party = net::registrable_domain(url.host()) != page_domain_;
+  ctx.type = type;
+  const bool verdict =
+      (config_.ad_blocker && config_.ad_blocker->should_block(url, ctx)) ||
+      (config_.tracking_blocker &&
+       config_.tracking_blocker->should_block(url, ctx));
+  block_cache_.emplace(key, verdict);
+  return verdict;
+}
+
+const std::optional<net::Resource>& BrowserSession::cached_fetch(
+    const net::Url& url) {
+  SiteCache& cache = config_.cache != nullptr ? *config_.cache : local_cache_;
+  // Authenticated and anonymous responses differ for gated pages; the key
+  // carries the credential state so shared caches never cross the streams.
+  const std::string key =
+      (config_.authenticated ? "auth:" : "anon:") + url.spec();
+  const auto it = cache.resources.find(key);
+  if (it != cache.resources.end()) return it->second;
+  return cache.resources
+      .emplace(key, web_->fetch(url, config_.authenticated))
+      .first->second;
+}
+
+PageLoadResult BrowserSession::load_page(const net::Url& url) {
+  PageLoadResult result;
+  const std::optional<net::Resource>& doc = cached_fetch(url);
+  if (!doc || doc->kind != net::ResourceKind::kDocument) return result;
+
+  current_url_ = url;
+  page_domain_ = net::registrable_domain(url.host());
+  dom_ = dom::parse_html(doc->body);
+  result.loaded = true;
+  ++pages_loaded_;
+
+  const script::ObjectRef doc_wrapper = bindings_.begin_page(*dom_);
+  extension_.watch_singleton(interp_, doc_wrapper, "Document");
+
+  load_scripts_and_frames(*dom_, result, /*frame_depth=*/0);
+  if (config_.apply_cosmetic_rules) apply_cosmetic_rules(result);
+  collect_links();
+
+  result.all_scripts_failed =
+      result.scripts_total > 0 && result.scripts_failed == result.scripts_total;
+  return result;
+}
+
+void BrowserSession::run_script_body(const std::string& cache_key,
+                                     const std::string& body,
+                                     PageLoadResult& result) {
+  ++result.scripts_total;
+  SiteCache& cache = config_.cache != nullptr ? *config_.cache : local_cache_;
+
+  std::shared_ptr<const script::Program> program;
+  const auto it = cache.programs.find(cache_key);
+  if (it != cache.programs.end()) {
+    program = it->second;
+  } else {
+    try {
+      program = std::make_shared<const script::Program>(
+          script::parse_program(body));
+    } catch (const script::SyntaxError&) {
+      program = nullptr;  // remembered as a permanent syntax error
+    }
+    cache.programs.emplace(cache_key, program);
+  }
+  if (program == nullptr) {
+    ++result.scripts_failed;
+    return;
+  }
+  try {
+    interp_.execute(*program);
+    retained_programs_.push_back(std::move(program));
+  } catch (const script::ScriptError&) {
+    ++result.scripts_failed;
+  }
+}
+
+void BrowserSession::load_scripts_and_frames(Node& root,
+                                             PageLoadResult& result,
+                                             int frame_depth) {
+  // Snapshot the elements first: script execution may mutate the tree.
+  std::vector<Element*> elements;
+  root.for_each([&elements](Node& node) {
+    if (node.type() == NodeType::kElement) {
+      elements.push_back(static_cast<Element*>(&node));
+    }
+  });
+
+  for (Element* el : elements) {
+    if (el->tag() == "script") {
+      if (el->has_attribute("src")) {
+        const auto resolved = current_url_.resolve(el->attribute("src"));
+        if (!resolved) continue;
+        if (blocked(*resolved, blocker::ResourceType::kScript)) {
+          ++result.scripts_blocked;
+          continue;
+        }
+        const std::optional<net::Resource>& res = cached_fetch(*resolved);
+        if (!res || res->kind != net::ResourceKind::kScript) continue;
+        run_script_body(resolved->spec(), res->body, result);
+      } else {
+        const std::string inline_body = el->text_content();
+        if (!support::trim(inline_body).empty()) {
+          // Inline scripts are keyed by content hash: distinct pages embed
+          // distinct filler, identical frames share one parse.
+          run_script_body("inline:" + std::to_string(support::fnv1a(
+                              inline_body)),
+                          inline_body, result);
+        }
+      }
+      continue;
+    }
+    if (el->tag() == "iframe" && frame_depth < 1 &&
+        result.frames_loaded < config_.max_frames_per_page) {
+      if (!el->has_attribute("src")) continue;
+      const auto resolved = current_url_.resolve(el->attribute("src"));
+      if (!resolved) continue;
+      if (blocked(*resolved, blocker::ResourceType::kSubdocument)) {
+        ++result.frames_blocked;
+        continue;
+      }
+      const std::optional<net::Resource>& res = cached_fetch(*resolved);
+      if (!res || res->kind != net::ResourceKind::kDocument) continue;
+      ++result.frames_loaded;
+      // The frame document's scripts execute in the page's context — the
+      // extension counts their feature use toward the same site visit.
+      const std::unique_ptr<dom::Document> frame_dom =
+          dom::parse_html(res->body);
+      const net::Url saved = current_url_;
+      current_url_ = *resolved;  // frame-relative fetches resolve correctly
+      load_scripts_and_frames(*frame_dom, result, frame_depth + 1);
+      current_url_ = saved;
+    }
+  }
+}
+
+void BrowserSession::apply_cosmetic_rules(PageLoadResult& result) {
+  std::vector<std::string> selectors;
+  const auto gather = [&](const blocker::BlockingExtension* ext) {
+    if (ext == nullptr) return;
+    for (std::string& sel : ext->list().hiding_selectors_for(page_domain_)) {
+      selectors.push_back(std::move(sel));
+    }
+  };
+  gather(config_.ad_blocker.get());
+  gather(config_.tracking_blocker.get());
+  if (selectors.empty()) return;
+
+  for (const std::string& text : selectors) {
+    const auto selector = dom::Selector::parse(text);
+    if (!selector) continue;  // tolerate malformed list entries
+    for (Element* el : selector->select_all(*dom_)) {
+      if (el->parent() != nullptr) {
+        el->parent()->remove_child(el);
+        ++result.elements_hidden;
+      }
+    }
+  }
+}
+
+void BrowserSession::collect_links() {
+  links_.clear();
+  if (dom_ == nullptr) return;
+  for (Element* a : dom_->get_elements_by_tag("a")) {
+    if (!a->has_attribute("href")) continue;
+    if (const auto url = current_url_.resolve(a->attribute("href"))) {
+      links_.push_back(*url);
+    }
+  }
+}
+
+void BrowserSession::fire_event(const std::string& type) {
+  // Snapshot: handlers may register more handlers.
+  std::vector<script::Value> handlers;
+  for (const auto& [event_type, fn] : bindings_.hooks().listeners) {
+    if (event_type == type) handlers.push_back(fn);
+  }
+  for (const script::Value& fn : handlers) {
+    try {
+      interp_.call_function(fn, script::Value(bindings_.window()), {});
+    } catch (const script::ScriptError&) {
+      ++handler_errors_;
+    }
+  }
+  // Legacy DOM0 handler on the window singleton (window.onclick = fn).
+  const script::Value dom0 =
+      interp_.heap().get_property(bindings_.window(), "on" + type);
+  if (dom0.is_object() && interp_.heap().get(dom0.as_object()).callable) {
+    try {
+      interp_.call_function(dom0, script::Value(bindings_.window()), {});
+    } catch (const script::ScriptError&) {
+      ++handler_errors_;
+    }
+  }
+}
+
+void BrowserSession::run_timers(double dwell_budget_ms) {
+  // Fire timers inside the budget; keep longer ones queued — a later,
+  // longer dwell on the same page may still reach them.
+  std::vector<PageHooks::Timer> due;
+  std::vector<PageHooks::Timer> pending;
+  for (PageHooks::Timer& timer : bindings_.hooks().timers) {
+    if (timer.delay_ms <= dwell_budget_ms) {
+      due.push_back(std::move(timer));
+    } else {
+      pending.push_back(std::move(timer));
+    }
+  }
+  bindings_.hooks().timers = std::move(pending);
+  for (const PageHooks::Timer& timer : due) {
+    try {
+      interp_.call_function(timer.callback, script::Value(bindings_.window()),
+                            {});
+    } catch (const script::ScriptError&) {
+      ++handler_errors_;
+    }
+  }
+}
+
+}  // namespace fu::browser

@@ -1,0 +1,141 @@
+// BrowserSession: one instrumented browser visiting one site.
+//
+// The session owns the script engine, the host bindings, the measuring
+// extension and the usage recorder; pages are loaded one after another (the
+// 13 pages of a crawl pass share the session, like tabs in one profile).
+// Loading a page runs the fetch pipeline:
+//
+//   fetch document -> parse HTML -> begin_page (fresh document wrapper,
+//   re-watch) -> walk the tree: external scripts are fetched *subject to the
+//   installed blocking extensions*, inline scripts execute directly, iframes
+//   recurse one level -> cosmetic filters apply -> links are collected.
+//
+// After the load the crawler interacts: fire_event() invokes registered
+// handlers, run_timers() drains setTimeout callbacks.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "blocker/extensions.h"
+#include "browser/bindings.h"
+#include "browser/extension.h"
+#include "browser/recorder.h"
+#include "catalog/catalog.h"
+#include "dom/node.h"
+#include "net/web.h"
+#include "script/interp.h"
+
+namespace fu::browser {
+
+// Per-site cache shared by the (up to 20) sessions that crawl one site: the
+// synthetic web regenerates identical bodies for a URL on every fetch, and
+// scripts parse to identical ASTs, so both are memoized. Single-threaded use
+// only (sites are the unit of parallelism).
+struct SiteCache {
+  std::map<std::string, std::optional<net::Resource>, std::less<>> resources;
+  // nullptr entry = remembered syntax error.
+  std::map<std::string, std::shared_ptr<const script::Program>, std::less<>>
+      programs;
+};
+
+struct BrowserConfig {
+  std::shared_ptr<const blocker::BlockingExtension> ad_blocker;
+  std::shared_ptr<const blocker::BlockingExtension> tracking_blocker;
+  std::uint64_t fuel_per_script = 200'000;
+  int max_frames_per_page = 8;
+  bool apply_cosmetic_rules = true;
+  // Browse with valid site credentials: login-gated pages serve their real
+  // content (the closed-web extension experiment, §7.3).
+  bool authenticated = false;
+  // Optional, non-owning; must outlive the session.
+  SiteCache* cache = nullptr;
+};
+
+struct PageLoadResult {
+  bool loaded = false;          // document fetched and parsed
+  int scripts_total = 0;        // scripts attempted (external + inline)
+  int scripts_failed = 0;       // syntax or runtime errors
+  int scripts_blocked = 0;      // vetoed by a blocking extension
+  int frames_loaded = 0;
+  int frames_blocked = 0;
+  int elements_hidden = 0;      // removed by cosmetic rules
+  bool all_scripts_failed = false;  // the §4.3.3 "broken site" signature
+};
+
+class BrowserSession {
+ public:
+  BrowserSession(const net::SyntheticWeb& web, BrowserConfig config,
+                 std::uint64_t seed);
+
+  BrowserSession(const BrowserSession&) = delete;
+  BrowserSession& operator=(const BrowserSession&) = delete;
+
+  // Navigate to a URL, run its scripts, collect links.
+  PageLoadResult load_page(const net::Url& url);
+
+  // Fire every registered handler for an event type ("click", "scroll",
+  // "input"). Handler errors are swallowed and counted.
+  void fire_event(const std::string& type);
+
+  // Run (and clear) queued timer callbacks whose delay fits in the dwell
+  // budget. The monkey's 30-second window fires ordinary timers; a longer
+  // human-style dwell also reaches long-delay callbacks (§6.2 outliers).
+  void run_timers(double dwell_budget_ms = 30'000);
+
+  // Links discovered on the current page (absolute URLs).
+  const std::vector<net::Url>& links() const noexcept { return links_; }
+
+  const UsageRecorder& usage() const noexcept { return recorder_; }
+  UsageRecorder& usage() noexcept { return recorder_; }
+
+  // Zero the usage counters so one session can serve several measurement
+  // passes (the engine, bindings and shims are reused; only counts reset).
+  void reset_usage() { recorder_.reset(); }
+
+  const dom::Document* current_dom() const noexcept { return dom_.get(); }
+  const net::Url& current_url() const noexcept { return current_url_; }
+
+  int pages_loaded() const noexcept { return pages_loaded_; }
+  int handler_errors() const noexcept { return handler_errors_; }
+  const MeasuringExtension& extension() const noexcept { return extension_; }
+
+  script::Interpreter& interpreter() noexcept { return interp_; }
+  DomBindings& bindings() noexcept { return bindings_; }
+
+ private:
+  bool blocked(const net::Url& url, blocker::ResourceType type);
+  const std::optional<net::Resource>& cached_fetch(const net::Url& url);
+  void run_script_body(const std::string& cache_key, const std::string& body,
+                       PageLoadResult& result);
+  void load_scripts_and_frames(dom::Node& root, PageLoadResult& result,
+                               int frame_depth);
+  void apply_cosmetic_rules(PageLoadResult& result);
+  void collect_links();
+
+  const net::SyntheticWeb* web_;
+  BrowserConfig config_;
+  script::Interpreter interp_;
+  const catalog::Catalog& catalog_;
+  UsageRecorder recorder_;
+  DomBindings bindings_;
+  MeasuringExtension extension_;
+
+  std::unique_ptr<dom::Document> dom_;
+  net::Url current_url_;
+  std::string page_domain_;  // registrable domain of the visited site
+  std::vector<net::Url> links_;
+  // Parsed programs must outlive function values pages created from them.
+  std::vector<std::shared_ptr<const script::Program>> retained_programs_;
+  SiteCache local_cache_;  // used when config.cache is null
+  // Blocking decisions are pure in (url, installed lists); memoized per
+  // session (sessions are per-configuration, so the key is just the URL).
+  std::map<std::string, bool, std::less<>> block_cache_;
+  int pages_loaded_ = 0;
+  int handler_errors_ = 0;
+};
+
+}  // namespace fu::browser

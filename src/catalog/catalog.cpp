@@ -1,0 +1,229 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "catalog/cves.h"
+#include "catalog/names.h"
+#include "catalog/releases.h"
+#include "support/rng.h"
+#include "webidl/ast.h"
+#include "webidl/parser.h"
+#include "webidl/writer.h"
+
+namespace fu::catalog {
+
+namespace {
+
+// Argument shapes for synthesized operations, cycled deterministically.
+const std::vector<std::vector<webidl::Argument>>& argument_shapes() {
+  static const std::vector<std::vector<webidl::Argument>> kShapes = {
+      {},
+      {{"DOMString", "name", false, false}},
+      {{"long", "index", false, false}},
+      {{"DOMString", "name", false, false}, {"any", "value", false, false}},
+      {{"Node", "node", false, false},
+       {"boolean", "deep", /*optional=*/true, false}},
+      {{"double", "x", false, false}, {"double", "y", false, false}},
+      {{"any", "options", /*optional=*/true, false}},
+  };
+  return kShapes;
+}
+
+}  // namespace
+
+Catalog::Catalog(std::uint64_t seed) : specs_(standard_specs()) {
+  build_features(seed);
+  calibrate(seed);
+
+  const std::vector<CveRecord> feed = generate_cve_feed(specs_);
+  cves_ = firefox_cves(feed);
+  cve_counts_.assign(specs_.size(), 0);
+  for (const Cve& cve : cves_) {
+    if (cve.standard != kInvalidStandard) ++cve_counts_[cve.standard];
+  }
+}
+
+void Catalog::build_features(std::uint64_t seed) {
+  (void)seed;  // member names are fixed by the calibration table
+  by_standard_.resize(specs_.size());
+  std::map<std::string, bool> interface_seen;
+
+  // Feature names are unique catalog-wide; paper-cited names are reserved
+  // up front so no synthesized member can take them first.
+  std::set<std::string> taken = all_pinned_member_keys();
+
+  for (std::size_t sid = 0; sid < specs_.size(); ++sid) {
+    const StandardSpec& spec = specs_[sid];
+    const std::vector<NamedMember> members = members_for(spec, &taken);
+
+    // Emit the standard as a WebIDL document: one interface block per
+    // distinct interface, members in synthesis order within each block.
+    webidl::Document doc;
+    std::map<std::string, std::size_t> iface_index;
+    std::size_t shape_cursor = sid;  // vary arg shapes across standards
+    for (const NamedMember& nm : members) {
+      auto it = iface_index.find(nm.interface_name);
+      if (it == iface_index.end()) {
+        it = iface_index.emplace(nm.interface_name, doc.interfaces.size())
+                 .first;
+        webidl::Interface iface;
+        iface.name = nm.interface_name;
+        doc.interfaces.push_back(std::move(iface));
+      }
+      webidl::Member m;
+      if (nm.kind == FeatureKind::kProperty) {
+        m.kind = webidl::MemberKind::kAttribute;
+        m.return_type = "DOMString";
+      } else {
+        m.kind = webidl::MemberKind::kOperation;
+        m.return_type = "any";
+        m.arguments = argument_shapes()[shape_cursor % argument_shapes().size()];
+        ++shape_cursor;
+      }
+      m.name = nm.member_name;
+      doc.interfaces[it->second].members.push_back(std::move(m));
+    }
+
+    // The corpus text is what downstream "sees" — parse it back and extract
+    // features through the same path the paper uses on Firefox's tree.
+    corpus_.push_back(webidl::write_document(doc));
+    const webidl::Document parsed =
+        webidl::merge_partials(webidl::parse(corpus_.back()));
+    const std::vector<webidl::ExtractedFeature> extracted =
+        webidl::extract_features(parsed);
+    if (extracted.size() != members.size()) {
+      throw std::logic_error("catalog: WebIDL round-trip lost members for " +
+                             spec.name);
+    }
+
+    // Restore synthesis order (pins first) for rank assignment.
+    std::map<std::string, std::size_t> synth_order;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      synth_order[members[i].interface_name + "#" + members[i].member_name] = i;
+    }
+    std::vector<const webidl::ExtractedFeature*> ordered(extracted.size());
+    for (const webidl::ExtractedFeature& ef : extracted) {
+      ordered[synth_order.at(ef.interface_name + "#" + ef.member_name)] = &ef;
+    }
+
+    for (std::size_t rank = 0; rank < ordered.size(); ++rank) {
+      const webidl::ExtractedFeature& ef = *ordered[rank];
+      Feature f;
+      f.id = static_cast<FeatureId>(features_.size());
+      f.standard = static_cast<StandardId>(sid);
+      f.interface_name = ef.interface_name;
+      f.member_name = ef.member_name;
+      f.full_name = ef.full_name;
+      f.kind = (ef.kind == webidl::MemberKind::kAttribute ||
+                ef.kind == webidl::MemberKind::kReadonlyAttribute ||
+                ef.kind == webidl::MemberKind::kStaticAttribute)
+                   ? FeatureKind::kProperty
+                   : FeatureKind::kMethod;
+      f.on_singleton = is_singleton_interface(ef.interface_name);
+      f.rank_in_standard = static_cast<int>(rank);
+      by_standard_[sid].push_back(f.id);
+      by_name_.emplace(f.full_name, f.id);
+      if (!interface_seen.count(f.interface_name)) {
+        interface_seen[f.interface_name] = true;
+        interfaces_.push_back({f.interface_name, f.on_singleton});
+      }
+      features_.push_back(std::move(f));
+    }
+  }
+}
+
+void Catalog::calibrate(std::uint64_t seed) {
+  const Release& last = release_by_version("46.0.1");
+  for (std::size_t sid = 0; sid < specs_.size(); ++sid) {
+    const StandardSpec& spec = specs_[sid];
+    support::Rng rng(seed, spec.abbreviation);
+    const support::Date intro(spec.intro_year, spec.intro_month, 1);
+    const Release& base = release_on_or_after(intro);
+
+    for (const FeatureId fid : by_standard_[sid]) {
+      Feature& f = features_[fid];
+      const int k = f.rank_in_standard;
+
+      // Popularity: geometric/Zipf tail below the standard's headline count.
+      if (k < spec.used_features && spec.target_sites > 0) {
+        const double decayed =
+            static_cast<double>(spec.target_sites) *
+            std::pow(static_cast<double>(k + 1), -1.55);
+        f.target_sites = std::max(1, static_cast<int>(std::lround(decayed)));
+        f.conditional_use =
+            static_cast<double>(f.target_sites) /
+            static_cast<double>(std::max(1, spec.target_sites));
+        // Some subordinate features are used exclusively by ad/tracker
+        // scripts; these end up with ~100% block rates (§5.3's "10% of
+        // features blocked more than 90% of the time").
+        f.blocked_only = k > 0 && rng.chance(spec.block_rate * 0.65);
+      } else {
+        f.target_sites = 0;
+        f.conditional_use = 0;
+        f.blocked_only = false;
+      }
+
+      // Implementation date: the standard's flagship feature lands with the
+      // standard; the rest trickle in over the following ~2.5 years, always
+      // snapped to a real release and never after the survey browser.
+      if (k == 0) {
+        f.implemented = base.date;
+        f.first_version = base.version;
+      } else {
+        const auto jitter = static_cast<std::int64_t>(rng.below(900));
+        const Release& rel = release_on_or_after(base.date.plus_days(jitter));
+        const Release& capped = rel.date > last.date ? last : rel;
+        f.implemented = capped.date;
+        f.first_version = capped.version;
+      }
+    }
+  }
+}
+
+StandardId Catalog::standard_by_abbreviation(std::string_view abbrev) const {
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].abbreviation == abbrev) return static_cast<StandardId>(i);
+  }
+  return kInvalidStandard;
+}
+
+support::Date Catalog::standard_implementation_date(StandardId id) const {
+  const std::vector<FeatureId>& fids = by_standard_.at(id);
+  if (fids.empty()) throw std::logic_error("standard with no features");
+
+  const Feature* most_popular = nullptr;
+  for (const FeatureId fid : fids) {
+    const Feature& f = features_[fid];
+    if (f.target_sites <= 0) continue;
+    if (most_popular == nullptr || f.target_sites > most_popular->target_sites ||
+        (f.target_sites == most_popular->target_sites &&
+         f.implemented < most_popular->implemented)) {
+      most_popular = &f;
+    }
+  }
+  if (most_popular != nullptr) return most_popular->implemented;
+
+  // Nothing in the standard is used: default to the earliest feature (§3.4).
+  support::Date earliest = features_[fids.front()].implemented;
+  for (const FeatureId fid : fids) {
+    earliest = std::min(earliest, features_[fid].implemented);
+  }
+  return earliest;
+}
+
+const Feature* Catalog::find_feature(std::string_view full_name) const {
+  const auto it = by_name_.find(full_name);
+  return it == by_name_.end() ? nullptr : &features_[it->second];
+}
+
+const std::vector<Release>& Catalog::release_timeline() const {
+  return releases();
+}
+
+int Catalog::cve_count(StandardId id) const { return cve_counts_.at(id); }
+
+}  // namespace fu::catalog

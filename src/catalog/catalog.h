@@ -1,0 +1,85 @@
+// The feature catalog: the reproduction's equivalent of "the 1,392 methods
+// and properties extracted from Firefox 46.0.1's WebIDL files" (§3.2).
+//
+// Construction pipeline (all deterministic):
+//   1. For each of the 75 StandardSpecs, synthesize interface member lists
+//      (names.cpp) and emit them as WebIDL source text (one document per
+//      standard, the stand-in for Firefox's .webidl files).
+//   2. Parse that corpus back through fu_webidl and extract features — the
+//      same text→features pipeline the paper runs on Firefox's tree.
+//   3. Attach calibration: per-feature target popularity (geometric-tail
+//      decay from the standard's Table-2 site count), blocked-only flags,
+//      and implementation dates snapped to the 186-release timeline.
+//   4. Generate the CVE feed and filter it per §3.5.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/standard.h"
+
+namespace fu::catalog {
+
+class Catalog {
+ public:
+  // Builds the full catalog. `seed` perturbs only the synthesized names'
+  // tie-breaking and date jitter, not the calibration table.
+  explicit Catalog(std::uint64_t seed = 0x10f3a7u);
+
+  // --- standards ------------------------------------------------------
+  const std::vector<StandardSpec>& standards() const { return specs_; }
+  const StandardSpec& standard(StandardId id) const { return specs_.at(id); }
+  std::size_t standard_count() const { return specs_.size(); }
+  // Abbreviation lookup ("SVG" -> id); returns kInvalidStandard if unknown.
+  StandardId standard_by_abbreviation(std::string_view abbrev) const;
+
+  // The standard's implementation date per the paper's rule (§3.4): the
+  // implementation date of its most popular feature; falls back to its
+  // earliest feature when nothing in the standard is used.
+  support::Date standard_implementation_date(StandardId id) const;
+
+  // --- features ---------------------------------------------------------
+  const std::vector<Feature>& features() const { return features_; }
+  const Feature& feature(FeatureId id) const { return features_.at(id); }
+  const std::vector<FeatureId>& features_of(StandardId id) const {
+    return by_standard_.at(id);
+  }
+  // Full-name lookup ("Document.prototype.createElement"); nullptr if absent.
+  const Feature* find_feature(std::string_view full_name) const;
+
+  // --- WebIDL corpus ----------------------------------------------------
+  // The generated WebIDL source documents, one per standard, in standard
+  // order. Parsing document i yields exactly the members of standard i.
+  const std::vector<std::string>& webidl_corpus() const { return corpus_; }
+
+  // --- timeline & CVEs --------------------------------------------------
+  const std::vector<Release>& release_timeline() const;
+  const std::vector<Cve>& cves() const { return cves_; }  // Firefox, filtered
+  int cve_count(StandardId id) const;
+
+  // All interfaces that host at least one feature, with singleton flags —
+  // the browser uses this to build prototypes.
+  struct InterfaceInfo {
+    std::string name;
+    bool singleton = false;
+  };
+  const std::vector<InterfaceInfo>& interfaces() const { return interfaces_; }
+
+ private:
+  void build_features(std::uint64_t seed);
+  void calibrate(std::uint64_t seed);
+
+  std::vector<StandardSpec> specs_;
+  std::vector<Feature> features_;
+  std::vector<std::vector<FeatureId>> by_standard_;
+  std::vector<std::string> corpus_;
+  std::map<std::string, FeatureId, std::less<>> by_name_;
+  std::vector<Cve> cves_;
+  std::vector<int> cve_counts_;
+  std::vector<InterfaceInfo> interfaces_;
+};
+
+}  // namespace fu::catalog

@@ -1,0 +1,86 @@
+#include "catalog/growth.h"
+
+#include <cmath>
+
+namespace fu::catalog {
+
+namespace {
+
+// Piecewise-linear LOC models (million lines). Anchor points are eyeballed
+// from the OpenHub series the paper plots; Chrome drops 8.8M in mid-2013
+// (the Blink fork removing WebKit code).
+std::vector<LocSample> sample_linear(
+    const std::vector<LocSample>& anchors) {
+  std::vector<LocSample> out;
+  for (double year = 2009.0; year <= 2015.75; year += 0.25) {
+    // find surrounding anchors
+    const LocSample* lo = &anchors.front();
+    const LocSample* hi = &anchors.back();
+    for (std::size_t i = 0; i + 1 < anchors.size(); ++i) {
+      if (anchors[i].year <= year && year <= anchors[i + 1].year) {
+        lo = &anchors[i];
+        hi = &anchors[i + 1];
+        break;
+      }
+    }
+    double v;
+    if (hi->year == lo->year) {
+      v = lo->million_loc;
+    } else {
+      const double t = (year - lo->year) / (hi->year - lo->year);
+      v = lo->million_loc + t * (hi->million_loc - lo->million_loc);
+    }
+    out.push_back({year, v});
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<BrowserLocSeries>& browser_loc_history() {
+  static const std::vector<BrowserLocSeries> kSeries = [] {
+    std::vector<BrowserLocSeries> series;
+    series.push_back(
+        {"Chrome", sample_linear({{2009.0, 3.5},
+                                  {2011.0, 6.5},
+                                  {2013.4, 17.1},
+                                  {2013.6, 8.3},  // Blink fork: -8.8M WebKit
+                                  {2015.75, 14.9}})});
+    series.push_back({"Firefox", sample_linear({{2009.0, 5.5},
+                                                {2011.0, 7.2},
+                                                {2013.0, 9.8},
+                                                {2015.75, 12.9}})});
+    series.push_back({"Safari", sample_linear({{2009.0, 2.1},
+                                               {2011.0, 3.4},
+                                               {2013.0, 5.6},
+                                               {2015.75, 7.6}})});
+    series.push_back({"IE", sample_linear({{2009.0, 3.2},
+                                           {2011.0, 4.1},
+                                           {2013.0, 5.0},
+                                           {2015.75, 5.6}})});
+    return series;
+  }();
+  return kSeries;
+}
+
+int standards_available_by(const Catalog& catalog, double year) {
+  int count = 0;
+  for (std::size_t sid = 0; sid < catalog.standard_count(); ++sid) {
+    const StandardSpec& spec = catalog.standard(static_cast<StandardId>(sid));
+    const double intro = static_cast<double>(spec.intro_year) +
+                         (static_cast<double>(spec.intro_month) - 1) / 12.0;
+    if (intro <= year) ++count;
+  }
+  return count;
+}
+
+std::vector<std::pair<int, int>> standards_by_year(const Catalog& catalog) {
+  std::vector<std::pair<int, int>> out;
+  for (int year = 2004; year <= 2016; ++year) {
+    out.emplace_back(year,
+                     standards_available_by(catalog, year + 0.999));
+  }
+  return out;
+}
+
+}  // namespace fu::catalog

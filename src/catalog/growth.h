@@ -1,0 +1,36 @@
+// Data behind Figure 1: the number of feature families (web standards)
+// available in the browser over time, and lines-of-code history for the four
+// major browsers. The standards series is derived from the catalog's intro
+// dates; the LOC series reproduces the shape of the Black Duck / OpenHub data
+// the paper cites [10], including Chrome's mid-2013 drop of ~8.8M lines when
+// WebKit code was removed after the Blink fork [34].
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+
+namespace fu::catalog {
+
+struct LocSample {
+  double year = 0;        // fractional year, e.g. 2013.5
+  double million_loc = 0;
+};
+
+struct BrowserLocSeries {
+  std::string browser;  // "Chrome", "Firefox", "Safari", "IE"
+  std::vector<LocSample> samples;
+};
+
+// LOC-over-time for the four browsers in Figure 1 (2009–2015, quarterly).
+const std::vector<BrowserLocSeries>& browser_loc_history();
+
+// Number of standards implemented in Firefox on or before `year` (fractional
+// years accepted), derived from the catalog's per-standard intro dates.
+int standards_available_by(const Catalog& catalog, double year);
+
+// The full yearly series 2004..2016 of standards available.
+std::vector<std::pair<int, int>> standards_by_year(const Catalog& catalog);
+
+}  // namespace fu::catalog

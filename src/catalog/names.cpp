@@ -1,0 +1,413 @@
+#include "catalog/names.h"
+
+#include <array>
+#include <map>
+#include <set>
+#include <string_view>
+
+#include "support/rng.h"
+
+namespace fu::catalog {
+
+namespace {
+
+using Pinned = std::vector<NamedMember>;
+
+constexpr auto kMethod = FeatureKind::kMethod;
+constexpr auto kProperty = FeatureKind::kProperty;
+
+// Interfaces exposed as page singletons.
+const std::set<std::string>& singleton_interfaces() {
+  static const std::set<std::string> kSingletons = {
+      "Window",   "Document",  "Navigator", "Screen",
+      "History",  "Location",  "Performance", "Crypto",
+      "Console",  "LocalStorage",
+  };
+  return kSingletons;
+}
+
+// Curated interface lists. The first interface is the standard's flagship
+// and hosts its most popular feature when no pin overrides that.
+const std::map<std::string, std::vector<std::string>>& interface_table() {
+  static const std::map<std::string, std::vector<std::string>> kTable = {
+      {"H-C",
+       {"CanvasRenderingContext2D", "HTMLCanvasElement", "CanvasGradient",
+        "TextMetrics", "CanvasPattern", "ImageData"}},
+      {"SVG",
+       {"SVGElement", "SVGSVGElement", "SVGTextContentElement",
+        "SVGPathElement", "SVGAnimationElement", "SVGTransform",
+        "SVGMatrix", "SVGLength", "SVGGraphicsElement"}},
+      {"WEBGL",
+       {"WebGLRenderingContext", "WebGLTexture", "WebGLShader",
+        "WebGLProgram", "WebGLBuffer", "WebGLFramebuffer"}},
+      {"H-WW", {"Worker"}},
+      {"HTML5",
+       {"HTMLElement", "HTMLMediaElement", "HTMLVideoElement",
+        "HTMLAudioElement", "HTMLTrackElement", "DataTransfer"}},
+      {"WEBA",
+       {"AudioContext", "AudioNode", "GainNode", "OscillatorNode",
+        "AnalyserNode", "AudioBuffer", "BiquadFilterNode"}},
+      {"WRTC",
+       {"RTCPeerConnection", "RTCDataChannel", "RTCIceCandidate",
+        "RTCSessionDescription"}},
+      {"AJAX", {"XMLHttpRequest", "XMLHttpRequestUpload"}},
+      {"DOM", {"Document", "Node", "Element", "Attr", "CharacterData"}},
+      {"IDB",
+       {"IDBDatabase", "IDBObjectStore", "IDBIndex", "IDBCursor",
+        "IDBTransaction", "IDBFactory", "IDBKeyRange"}},
+      {"BE", {"Navigator"}},
+      {"MCS", {"MediaStream", "MediaStreamTrack", "Navigator"}},
+      {"WCR", {"Crypto", "SubtleCrypto", "CryptoKey"}},
+      {"CSS-VM", {"Window", "Element", "Screen", "MouseEvent"}},
+      {"F", {"Request", "Response", "Headers", "Window"}},
+      {"GP", {"Navigator"}},
+      {"HRT", {"Performance"}},
+      {"H-WS", {"WebSocket"}},
+      {"H-P", {"PluginArray", "Plugin", "MimeTypeArray", "Navigator"}},
+      {"WN", {"Notification"}},
+      {"RT", {"Performance"}},
+      {"V", {"Navigator"}},
+      {"BA", {"Navigator", "BatteryManager"}},
+      {"CSS-CR", {"CSS"}},
+      {"CSS-FO", {"FontFace", "FontFaceSet", "Document"}},
+      {"CSS-OM", {"CSSStyleSheet", "CSSStyleDeclaration", "Window",
+                  "CSSRuleList"}},
+      {"DOM1", {"Document", "Node", "Element", "NodeList", "NamedNodeMap"}},
+      {"DOM2-C", {"Document", "Node", "Element", "DOMImplementation"}},
+      {"DOM2-E", {"EventTarget", "Event", "Document", "MouseEvent"}},
+      {"DOM2-H", {"Document", "HTMLCollection", "HTMLFormElement",
+                  "HTMLSelectElement"}},
+      {"DOM2-S", {"Document", "CSSStyleDeclaration", "StyleSheetList",
+                  "HTMLLinkElement"}},
+      {"DOM2-T", {"Document", "Range", "NodeIterator", "TreeWalker"}},
+      {"DOM3-C", {"Document", "Node", "Element"}},
+      {"DOM3-X", {"Document", "XPathResult", "XPathExpression",
+                  "XPathEvaluator"}},
+      {"DOM-PS", {"DOMParser", "XMLSerializer", "Element"}},
+      {"EC", {"Document"}},
+      {"FA", {"FileReader", "Blob", "File", "FileList"}},
+      {"FULL", {"Element", "Document"}},
+      {"GEO", {"Geolocation", "Navigator"}},
+      {"H-CM", {"MessagePort", "Window", "MessageChannel"}},
+      {"H-WB", {"Storage", "Window"}},
+      {"HTML",
+       {"HTMLElement", "HTMLInputElement", "HTMLFormElement",
+        "HTMLAnchorElement", "HTMLImageElement", "HTMLIFrameElement",
+        "HTMLTableElement", "HTMLSelectElement", "HTMLTextAreaElement",
+        "HTMLButtonElement", "HTMLScriptElement", "HTMLDocument", "Window"}},
+      {"H-HI", {"History", "Window"}},
+      {"MSE", {"MediaSource", "SourceBuffer"}},
+      {"PT", {"Performance"}},
+      {"PT2", {"PerformanceObserver"}},
+      {"SEL", {"Selection", "Window", "Document"}},
+      {"SLC", {"Document", "Element"}},
+      {"TC", {"Window"}},
+      {"UIE", {"UIEvent", "KeyboardEvent", "WheelEvent", "InputEvent"}},
+      {"UTL", {"Performance"}},
+      {"DOM4", {"Document", "Element", "Node"}},
+      {"NS",
+       {"Window", "Document", "Navigator", "HTMLElement", "Event",
+        "InstallTrigger"}},
+      {"ALS", {"Window", "DeviceLightEvent"}},
+      {"CO", {"ClipboardEvent", "DataTransfer", "Document"}},
+      {"DO", {"Window", "DeviceOrientationEvent", "DeviceMotionEvent"}},
+      {"E", {"TextDecoder", "TextEncoder"}},
+      {"HTML51", {"HTMLElement", "HTMLPictureElement", "HTMLMenuItemElement",
+                  "Document"}},
+      {"MSR", {"MediaRecorder", "BlobEvent"}},
+      {"NT", {"PerformanceTiming", "PerformanceNavigation", "Performance"}},
+      {"PE", {"PointerEvent", "Element", "Navigator"}},
+      {"PV", {"Document"}},
+      {"SW", {"ServiceWorkerContainer", "ServiceWorkerRegistration",
+              "ServiceWorker", "Cache", "CacheStorage"}},
+      {"URL", {"URL", "URLSearchParams"}},
+      {"DU", {"Directory", "HTMLInputElement"}},
+      {"EME", {"MediaKeys", "MediaKeySession", "MediaKeySystemAccess",
+               "Navigator"}},
+      {"GIM", {"HTMLMapElement", "HTMLAreaElement"}},
+      {"H-B", {"BroadcastChannel"}},
+      {"MCD", {"MediaStreamTrack", "ImageCapture"}},
+      {"PL", {"Element", "Document", "MouseEvent"}},
+      {"SD", {"ShadowRoot", "Element", "HTMLSlotElement"}},
+      {"SO", {"Screen", "ScreenOrientation"}},
+      {"TPE", {"Navigator"}},
+      {"WEBVTT", {"VTTCue", "TextTrack", "TextTrackList", "VTTRegion"}},
+      {"MIDI", {"MIDIAccess", "MIDIInput", "MIDIOutput", "MIDIPort",
+                "Navigator"}},
+  };
+  return kTable;
+}
+
+// Features the paper names explicitly, pinned at the top ranks of their
+// standards so headline sentences (e.g. "XMLHttpRequest.prototype.open is
+// used on 7,955 sites") reproduce with the right names attached.
+const std::map<std::string, Pinned>& pinned_table() {
+  static const std::map<std::string, Pinned> kTable = {
+      {"DOM1",
+       {{"Document", "createElement", kMethod},
+        {"Node", "appendChild", kMethod},
+        {"Node", "cloneNode", kMethod},
+        {"Node", "insertBefore", kMethod},
+        {"Document", "getElementById", kMethod},
+        {"Document", "createTextNode", kMethod},
+        {"Node", "removeChild", kMethod}}},
+      {"AJAX",
+       {{"XMLHttpRequest", "open", kMethod},
+        {"XMLHttpRequest", "send", kMethod},
+        {"XMLHttpRequest", "setRequestHeader", kMethod},
+        {"XMLHttpRequest", "getResponseHeader", kMethod},
+        {"XMLHttpRequest", "abort", kMethod}}},
+      {"SLC",
+       {{"Document", "querySelectorAll", kMethod},
+        {"Document", "querySelector", kMethod},
+        {"Element", "querySelectorAll", kMethod},
+        {"Element", "querySelector", kMethod}}},
+      {"V", {{"Navigator", "vibrate", kMethod}}},
+      {"H-P",
+       {{"PluginArray", "refresh", kMethod},
+        {"PluginArray", "item", kMethod},
+        {"Plugin", "namedItem", kMethod}}},
+      {"SVG",
+       {{"SVGSVGElement", "createSVGPoint", kMethod},
+        {"SVGTextContentElement", "getComputedTextLength", kMethod},
+        {"SVGElement", "getBBox", kMethod}}},
+      {"WCR",
+       {{"Crypto", "getRandomValues", kMethod},
+        {"SubtleCrypto", "digest", kMethod},
+        {"SubtleCrypto", "encrypt", kMethod}}},
+      {"BE", {{"Navigator", "sendBeacon", kMethod}}},
+      {"TC", {{"Window", "requestAnimationFrame", kMethod}}},
+      {"HRT", {{"Performance", "now", kMethod}}},
+      {"PT2", {{"PerformanceObserver", "observe", kMethod}}},
+      {"GP", {{"Navigator", "getGamepads", kMethod}}},
+      {"CSS-CR", {{"CSS", "supports", kMethod}}},
+      {"EC",
+       {{"Document", "execCommand", kMethod},
+        {"Document", "queryCommandEnabled", kMethod},
+        {"Document", "queryCommandState", kMethod}}},
+      {"H-WW", {{"Worker", "postMessage", kMethod},
+                {"Worker", "terminate", kMethod}}},
+      {"H-WS", {{"WebSocket", "send", kMethod},
+                {"WebSocket", "close", kMethod}}},
+      {"H-CM",
+       {{"Window", "postMessage", kMethod},
+        {"MessagePort", "postMessage", kMethod},
+        {"MessagePort", "start", kMethod},
+        {"MessagePort", "close", kMethod}}},
+      {"H-WB",
+       {{"Storage", "getItem", kMethod},
+        {"Storage", "setItem", kMethod},
+        {"Storage", "removeItem", kMethod},
+        {"Storage", "key", kMethod},
+        {"Storage", "clear", kMethod}}},
+      {"DOM2-E",
+       {{"EventTarget", "addEventListener", kMethod},
+        {"EventTarget", "removeEventListener", kMethod},
+        {"EventTarget", "dispatchEvent", kMethod},
+        {"Event", "preventDefault", kMethod},
+        {"Event", "stopPropagation", kMethod},
+        {"Document", "createEvent", kMethod},
+        {"Event", "initEvent", kMethod}}},
+      {"DOM2-T",
+       {{"Document", "createRange", kMethod},
+        {"Range", "selectNodeContents", kMethod},
+        {"Range", "cloneContents", kMethod}}},
+      {"DOM3-X",
+       {{"Document", "evaluate", kMethod},
+        {"XPathResult", "iterateNext", kMethod}}},
+      {"CSS-OM",
+       {{"CSSStyleSheet", "insertRule", kMethod},
+        {"Window", "getComputedStyle", kMethod},
+        {"CSSStyleSheet", "deleteRule", kMethod}}},
+      {"GEO",
+       {{"Geolocation", "getCurrentPosition", kMethod},
+        {"Geolocation", "watchPosition", kMethod},
+        {"Geolocation", "clearWatch", kMethod}}},
+      {"FULL",
+       {{"Element", "requestFullscreen", kMethod},
+        {"Document", "exitFullscreen", kMethod}}},
+      {"H-HI",
+       {{"History", "pushState", kMethod},
+        {"History", "replaceState", kMethod},
+        {"History", "go", kMethod}}},
+      {"DOM-PS",
+       {{"DOMParser", "parseFromString", kMethod},
+        {"XMLSerializer", "serializeToString", kMethod},
+        {"Element", "insertAdjacentHTML", kMethod}}},
+      {"F", {{"Window", "fetch", kMethod},
+             {"Headers", "append", kMethod}}},
+      {"BA", {{"Navigator", "getBattery", kMethod}}},
+      {"DOM4",
+       {{"Element", "matches", kMethod},
+        {"Element", "closest", kMethod},
+        {"Document", "adoptNode", kMethod}}},
+      {"PT",
+       {{"Performance", "getEntriesByType", kMethod},
+        {"Performance", "getEntriesByName", kMethod}}},
+      {"RT",
+       {{"Performance", "clearResourceTimings", kMethod},
+        {"Performance", "setResourceTimingBufferSize", kMethod}}},
+      {"UTL",
+       {{"Performance", "mark", kMethod},
+        {"Performance", "measure", kMethod},
+        {"Performance", "clearMarks", kMethod}}},
+      {"ALS", {{"Window", "ondevicelight", kProperty}}},
+      {"E", {{"TextDecoder", "decode", kMethod}}},
+      {"SW", {{"ServiceWorkerContainer", "register", kMethod}}},
+      {"URL", {{"URL", "createObjectURL", kMethod},
+               {"URLSearchParams", "get", kMethod}}},
+      {"MSR", {{"MediaRecorder", "start", kMethod},
+               {"MediaRecorder", "stop", kMethod}}},
+      {"NT", {{"PerformanceTiming", "toJSON", kMethod}}},
+      {"PV", {{"Document", "onvisibilitychange", kProperty}}},
+      {"MCS", {{"Navigator", "getUserMedia", kMethod},
+               {"MediaStream", "getTracks", kMethod}}},
+      {"WN", {{"Notification", "requestPermission", kMethod}}},
+      {"DO", {{"Window", "ondeviceorientation", kProperty},
+              {"Window", "ondevicemotion", kProperty}}},
+  };
+  return kTable;
+}
+
+constexpr std::array<std::string_view, 44> kVerbs = {
+    "get",      "set",     "create",  "update",  "remove",   "add",
+    "query",    "request", "cancel",  "init",    "load",     "save",
+    "open",     "close",   "start",   "stop",    "register", "observe",
+    "connect",  "send",    "parse",   "clone",   "append",   "insert",
+    "replace",  "delete",  "enable",  "disable", "toggle",   "measure",
+    "mark",     "clear",   "reset",   "resolve", "attach",   "detach",
+    "begin",    "end",     "sync",    "flush",   "lock",     "scan",
+    "validate", "refresh"};
+
+constexpr std::array<std::string_view, 56> kNouns = {
+    "Item",     "Entry",      "State",     "Value",     "Buffer",
+    "Stream",   "Context",    "Frame",     "Rect",      "Point",
+    "Range",    "Rule",       "Style",     "Track",     "Channel",
+    "Key",      "Data",       "Source",    "Target",    "Texture",
+    "Shader",   "Program",    "Sample",    "Gain",      "Filter",
+    "Path",     "Segment",    "Transform", "Matrix",    "Record",
+    "Cursor",   "Index",      "Store",     "Header",    "Credential",
+    "Position", "Timestamp",  "Observer",  "Listener",  "Message",
+    "Port",     "Attribute",  "Selector",  "Animation", "Gradient",
+    "Pattern",  "Font",       "Glyph",     "Metric",    "Viewport",
+    "Layer",    "Surface",    "Sensor",    "Session",   "Token",
+    "Cache"};
+
+constexpr std::array<std::string_view, 20> kPropertyStems = {
+    "mode",     "hint",    "policy",  "quality", "ratio",
+    "timeout",  "origin",  "label",   "variant", "profile",
+    "priority", "channel", "preset",  "scale",   "offset",
+    "budget",   "locale",  "theme",   "epoch",   "quota"};
+
+std::string camel_concat(std::string_view verb, std::string_view noun) {
+  std::string out(verb);
+  out.append(noun);
+  return out;
+}
+
+}  // namespace
+
+bool is_singleton_interface(const std::string& interface_name) {
+  return singleton_interfaces().count(interface_name) > 0;
+}
+
+std::string global_access_path(const std::string& interface_name) {
+  static const std::map<std::string, std::string> kPaths = {
+      {"Window", "window"},
+      {"Document", "document"},
+      {"Navigator", "navigator"},
+      {"Screen", "screen"},
+      {"History", "history"},
+      {"Location", "location"},
+      {"Performance", "performance"},
+      {"Crypto", "crypto"},
+      {"Console", "console"},
+      {"Storage", "localStorage"},
+      {"LocalStorage", "localStorage"},
+      {"PluginArray", "navigator.plugins"},
+      {"MimeTypeArray", "navigator.mimeTypes"},
+      {"Geolocation", "navigator.geolocation"},
+      {"SubtleCrypto", "crypto.subtle"},
+      {"PerformanceTiming", "performance.timing"},
+      {"PerformanceNavigation", "performance.navigation"},
+      {"ServiceWorkerContainer", "navigator.serviceWorker"},
+  };
+  const auto it = kPaths.find(interface_name);
+  return it == kPaths.end() ? std::string() : it->second;
+}
+
+std::vector<std::string> interfaces_for(const StandardSpec& spec) {
+  const auto& table = interface_table();
+  const auto it = table.find(spec.abbreviation);
+  if (it != table.end()) return it->second;
+  return {spec.abbreviation + "Interface"};
+}
+
+std::set<std::string> all_pinned_member_keys() {
+  std::set<std::string> keys;
+  for (const auto& [abbrev, pins] : pinned_table()) {
+    for (const NamedMember& m : pins) {
+      keys.insert(m.interface_name + "#" + m.member_name);
+    }
+  }
+  return keys;
+}
+
+std::vector<NamedMember> members_for(const StandardSpec& spec,
+                                     std::set<std::string>* taken) {
+  std::vector<NamedMember> members;
+  std::set<std::string> local;  // uniqueness within this standard
+  const auto emit = [&](NamedMember m, bool pinned) {
+    const std::string key = m.interface_name + "#" + m.member_name;
+    if (!local.insert(key).second) return false;
+    // Pins are pre-reserved in `taken`; synthesized names must dodge both
+    // other standards' names and every pin.
+    if (taken != nullptr) {
+      if (pinned) {
+        taken->insert(key);
+      } else if (!taken->insert(key).second) {
+        local.erase(key);
+        return false;
+      }
+    }
+    members.push_back(std::move(m));
+    return true;
+  };
+
+  const auto& pins = pinned_table();
+  if (const auto it = pins.find(spec.abbreviation); it != pins.end()) {
+    for (const NamedMember& m : it->second) {
+      if (static_cast<int>(members.size()) >= spec.feature_count) break;
+      emit(m, /*pinned=*/true);
+    }
+  }
+
+  const std::vector<std::string> interfaces = interfaces_for(spec);
+  support::Rng rng(0x5eedc0deULL, spec.abbreviation);
+  std::size_t iface_cursor = 0;
+  while (static_cast<int>(members.size()) < spec.feature_count) {
+    const std::string& iface = interfaces[iface_cursor % interfaces.size()];
+    ++iface_cursor;
+    NamedMember m;
+    m.interface_name = iface;
+    // Roughly a fifth of features are writable properties; the extension can
+    // only watch them on singleton hosts, so we only mint them there.
+    if (is_singleton_interface(iface) && rng.chance(0.22)) {
+      m.kind = kProperty;
+      const auto stem = kPropertyStems[rng.below(kPropertyStems.size())];
+      const auto noun = kNouns[rng.below(kNouns.size())];
+      std::string name(stem);
+      name.append(noun);
+      m.member_name = std::move(name);
+    } else {
+      m.kind = kMethod;
+      const auto verb = kVerbs[rng.below(kVerbs.size())];
+      const auto noun = kNouns[rng.below(kNouns.size())];
+      m.member_name = camel_concat(verb, noun);
+    }
+    emit(std::move(m), /*pinned=*/false);
+  }
+  return members;
+}
+
+}  // namespace fu::catalog

@@ -1,0 +1,57 @@
+// Feature-name synthesis for the catalog.
+//
+// We cannot ship Firefox's WebIDL corpus, so each standard's endpoints get
+// realistic names: the features the paper cites are pinned verbatim
+// (Document.prototype.createElement, XMLHttpRequest.prototype.open,
+// Navigator.prototype.vibrate, PluginArray.prototype.refresh,
+// SVGTextContentElement.prototype.getComputedTextLength, ...), and the rest
+// are synthesized deterministically from per-standard interface lists and
+// verb/noun pools. Pinned features occupy the lowest ranks (rank 0 = the
+// standard's most popular feature) in the order listed.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/standard.h"
+
+namespace fu::catalog {
+
+struct NamedMember {
+  std::string interface_name;
+  std::string member_name;
+  FeatureKind kind = FeatureKind::kMethod;
+};
+
+// Interfaces that exist as singleton objects in a page's global environment
+// (window, window.document, window.navigator, ...). Only property features
+// hosted on these can be observed by the extension's Object.watch-style
+// instrumentation (§4.2.2).
+bool is_singleton_interface(const std::string& interface_name);
+
+// The curated interface list for a standard (by abbreviation). Always
+// non-empty; falls back to a name derived from the abbreviation.
+std::vector<std::string> interfaces_for(const StandardSpec& spec);
+
+// Produce exactly spec.feature_count uniquely named members for a standard,
+// pinned features first. Deterministic. When `taken` is provided, names
+// already present (keys "Interface#member") are never reused and every
+// emitted name is added — interfaces like Document are shared by many
+// standards, and feature names must be unique across the whole catalog.
+std::vector<NamedMember> members_for(const StandardSpec& spec,
+                                     std::set<std::string>* taken = nullptr);
+
+// All pinned (paper-cited) member names, as "Interface#member" keys. The
+// catalog reserves these before synthesizing names so that a synthesized
+// member of an early standard can never squat a later standard's pin.
+std::set<std::string> all_pinned_member_keys();
+
+// JavaScript expression that reaches a live instance of the interface in a
+// page's global environment ("navigator", "crypto.subtle",
+// "navigator.plugins", ...). Empty when there is no ambient instance — the
+// generator then writes `new Interface()` instead. The browser guarantees
+// every non-empty path exists before page scripts run.
+std::string global_access_path(const std::string& interface_name);
+
+}  // namespace fu::catalog

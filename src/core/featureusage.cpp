@@ -1,0 +1,116 @@
+#include "core/featureusage.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "crawler/serialize.h"
+
+namespace fu {
+
+namespace {
+
+long env_long(const char* name, long fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  try {
+    return std::stol(value);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+}  // namespace
+
+ReproductionConfig ReproductionConfig::from_env() {
+  ReproductionConfig config;
+  config.sites = static_cast<int>(env_long("FU_SITES", config.sites));
+  config.passes = static_cast<int>(env_long("FU_PASSES", config.passes));
+  config.seed = static_cast<std::uint64_t>(
+      env_long("FU_SEED", static_cast<long>(config.seed)));
+  config.threads = static_cast<int>(env_long("FU_THREADS", config.threads));
+  config.single_blocker_configs = env_long("FU_FIG7", 1) != 0;
+  return config;
+}
+
+Reproduction::Reproduction(ReproductionConfig config)
+    : config_(config) {}
+
+const catalog::Catalog& Reproduction::catalog() {
+  if (!catalog_) catalog_ = std::make_unique<catalog::Catalog>(config_.seed);
+  return *catalog_;
+}
+
+const net::SyntheticWeb& Reproduction::web() {
+  if (!web_) {
+    net::SyntheticWeb::Config web_config;
+    web_config.site_count = config_.sites;
+    web_config.seed = config_.seed;
+    web_ = std::make_unique<net::SyntheticWeb>(catalog(), web_config);
+  }
+  return *web_;
+}
+
+const crawler::SurveyResults& Reproduction::survey() {
+  if (survey_) return *survey_;
+
+  crawler::SurveyOptions options;
+  options.passes = config_.passes;
+  options.include_ad_only = config_.single_blocker_configs;
+  options.include_tracking_only = config_.single_blocker_configs;
+  options.threads = config_.threads;
+  options.seed = config_.seed;
+
+  // Survey runs are expensive and fully determined by their parameters, so
+  // they are cached on disk (FU_CACHE_DIR, default "fu_cache"; FU_CACHE=0
+  // disables). Every bench binary then shares one crawl.
+  const bool use_cache = env_long("FU_CACHE", 1) != 0;
+  std::string cache_path;
+  if (use_cache) {
+    crawler::SurveyKey key;
+    key.seed = config_.seed;
+    key.site_count = static_cast<std::uint32_t>(config_.sites);
+    key.passes = static_cast<std::uint32_t>(config_.passes);
+    key.ad_only = config_.single_blocker_configs;
+    key.tracking_only = config_.single_blocker_configs;
+    key.feature_count =
+        static_cast<std::uint32_t>(catalog().features().size());
+    key.standard_count =
+        static_cast<std::uint32_t>(catalog().standard_count());
+    key.catalog_fingerprint = crawler::catalog_fingerprint(catalog());
+
+    const char* dir_env = std::getenv("FU_CACHE_DIR");
+    const std::filesystem::path dir =
+        dir_env != nullptr && *dir_env != '\0' ? dir_env : "fu_cache";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    cache_path = (dir / crawler::cache_filename(key)).string();
+
+    if (auto cached = crawler::load_survey(web(), key, cache_path)) {
+      survey_ = std::make_unique<crawler::SurveyResults>(std::move(*cached));
+      return *survey_;
+    }
+  }
+
+  survey_ =
+      std::make_unique<crawler::SurveyResults>(run_survey(web(), options));
+  if (use_cache && !cache_path.empty()) {
+    crawler::save_survey(*survey_, config_.seed, cache_path);
+  }
+  return *survey_;
+}
+
+const analysis::Analysis& Reproduction::analysis() {
+  if (!analysis_) analysis_ = std::make_unique<analysis::Analysis>(survey());
+  return *analysis_;
+}
+
+const crawler::ExternalValidation& Reproduction::external_validation() {
+  if (!validation_) {
+    validation_ = std::make_unique<crawler::ExternalValidation>(
+        crawler::run_external_validation(survey()));
+  }
+  return *validation_;
+}
+
+}  // namespace fu

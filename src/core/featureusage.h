@@ -1,0 +1,70 @@
+// featureusage — public facade.
+//
+// One include gives a downstream user the whole reproduction pipeline:
+//
+//   #include "core/featureusage.h"
+//
+//   fu::Reproduction repro(fu::ReproductionConfig{.sites = 1000});
+//   const auto& analysis = repro.analysis();
+//   std::cout << fu::analysis::render_table2(analysis);
+//
+// The pieces are usable à la carte as well — catalog, synthetic web,
+// instrumented browser sessions, blockers, crawler and analysis are all
+// ordinary libraries with their own headers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "analysis/metrics.h"
+#include "analysis/tables.h"
+#include "blocker/extensions.h"
+#include "browser/session.h"
+#include "catalog/catalog.h"
+#include "catalog/growth.h"
+#include "crawler/survey.h"
+#include "crawler/validate.h"
+#include "net/web.h"
+
+namespace fu {
+
+struct ReproductionConfig {
+  // How much of the Alexa list to survey. The paper uses 10,000; smaller
+  // values keep the percentages intact while shrinking runtime.
+  int sites = catalog::kAlexaSites;
+  int passes = 5;
+  std::uint64_t seed = 0x10f3a7ULL;
+  int threads = 0;  // 0 = hardware concurrency
+  // The two extra single-blocker configurations behind Figure 7 double the
+  // crawl; switch them off when only the main survey is needed.
+  bool single_blocker_configs = true;
+
+  // Read overrides from the environment: FU_SITES, FU_PASSES, FU_SEED,
+  // FU_THREADS, FU_FIG7 (0/1).
+  static ReproductionConfig from_env();
+};
+
+// Lazily builds catalog -> synthetic web -> survey -> analysis, caching each
+// stage. Every bench binary and example drives this one class.
+class Reproduction {
+ public:
+  explicit Reproduction(ReproductionConfig config = {});
+
+  const ReproductionConfig& config() const noexcept { return config_; }
+  const catalog::Catalog& catalog();
+  const net::SyntheticWeb& web();
+  const crawler::SurveyResults& survey();
+  const analysis::Analysis& analysis();
+  const crawler::ExternalValidation& external_validation();
+
+ private:
+  ReproductionConfig config_;
+  std::unique_ptr<catalog::Catalog> catalog_;
+  std::unique_ptr<net::SyntheticWeb> web_;
+  std::unique_ptr<crawler::SurveyResults> survey_;
+  std::unique_ptr<analysis::Analysis> analysis_;
+  std::unique_ptr<crawler::ExternalValidation> validation_;
+};
+
+}  // namespace fu

@@ -1,0 +1,155 @@
+#include "crawler/crawl.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fu::crawler {
+
+namespace {
+
+// Choose up to `fanout` candidates, preferring URLs whose directory has not
+// been seen, never revisiting a URL.
+std::vector<net::Url> select_targets(std::vector<net::Url> candidates,
+                                     std::set<std::string>& seen_urls,
+                                     std::set<std::string>& seen_dirs,
+                                     int fanout, support::Rng& rng) {
+  rng.shuffle(candidates);
+  std::vector<net::Url> picked;
+
+  const auto take_if = [&](bool want_unseen_dir) {
+    for (const net::Url& url : candidates) {
+      if (static_cast<int>(picked.size()) >= fanout) return;
+      const std::string spec = url.spec();
+      if (seen_urls.count(spec)) continue;
+      const bool unseen = seen_dirs.count(url.directory()) == 0;
+      if (unseen != want_unseen_dir) continue;
+      picked.push_back(url);
+      seen_urls.insert(spec);
+      seen_dirs.insert(url.directory());
+    }
+  };
+  take_if(true);   // first preference: new directory structure
+  take_if(false);  // then anything unvisited
+  return picked;
+}
+
+void absorb(SiteVisit& visit, const browser::PageLoadResult& result) {
+  if (result.loaded) ++visit.pages_visited;
+  visit.scripts_blocked += result.scripts_blocked;
+  visit.frames_blocked += result.frames_blocked;
+  visit.scripts_failed += result.scripts_failed;
+}
+
+void finish(SiteVisit& visit, const browser::BrowserSession& session) {
+  const browser::UsageRecorder& usage = session.usage();
+  visit.features = support::DynamicBitset(usage.feature_count());
+  for (const catalog::FeatureId fid : usage.features_used()) {
+    visit.features.set(fid);
+  }
+  visit.invocations = usage.total_invocations();
+}
+
+}  // namespace
+
+SiteVisit crawl_site(const net::SyntheticWeb& web, const CrawlConfig& config,
+                     const net::SitePlan& site, std::uint64_t pass_seed,
+                     browser::BrowserSession* existing_session) {
+  SiteVisit visit;
+  visit.features =
+      support::DynamicBitset(web.feature_catalog().features().size());
+
+  std::optional<browser::BrowserSession> own_session;
+  if (existing_session == nullptr) {
+    own_session.emplace(web, config.browser, pass_seed);
+  }
+  browser::BrowserSession& session =
+      existing_session != nullptr ? *existing_session : *own_session;
+  session.reset_usage();
+  support::Rng rng(pass_seed, "monkey:" + site.domain);
+
+  const net::Url home = web.home_url(site);
+  const browser::PageLoadResult home_result = session.load_page(home);
+  visit.home_loaded = home_result.loaded;
+  absorb(visit, home_result);
+  if (!home_result.loaded) return visit;  // dead domain
+  // A responding site whose every script failed (syntax errors) cannot be
+  // measured — the paper drops such domains (§4.3.3).
+  visit.measured = !home_result.all_scripts_failed;
+  if (!visit.measured) {
+    finish(visit, session);
+    return visit;
+  }
+
+  std::set<std::string> seen_urls{home.spec()};
+  std::set<std::string> seen_dirs{home.directory()};
+
+  std::vector<net::Url> frontier = select_targets(
+      monkey_interact(session, rng, config.monkey), seen_urls, seen_dirs,
+      config.fanout, rng);
+
+  for (int level = 0; level < config.levels; ++level) {
+    std::vector<net::Url> next;
+    for (const net::Url& url : frontier) {
+      const browser::PageLoadResult result = session.load_page(url);
+      absorb(visit, result);
+      if (!result.loaded) continue;
+      std::vector<net::Url> candidates =
+          monkey_interact(session, rng, config.monkey);
+      if (level + 1 < config.levels) {
+        std::vector<net::Url> picked = select_targets(
+            std::move(candidates), seen_urls, seen_dirs, config.fanout, rng);
+        next.insert(next.end(), picked.begin(), picked.end());
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  finish(visit, session);
+  return visit;
+}
+
+SiteVisit human_visit(const net::SyntheticWeb& web, const CrawlConfig& config,
+                      const net::SitePlan& site, std::uint64_t pass_seed) {
+  SiteVisit visit;
+  visit.features =
+      support::DynamicBitset(web.feature_catalog().features().size());
+
+  browser::BrowserSession session(web, config.browser, pass_seed);
+  support::Rng rng(pass_seed, "human:" + site.domain);
+
+  const net::Url home = web.home_url(site);
+  const browser::PageLoadResult home_result = session.load_page(home);
+  visit.home_loaded = home_result.loaded;
+  absorb(visit, home_result);
+  if (!home_result.loaded) return visit;
+  visit.measured = !home_result.all_scripts_failed;
+  if (!visit.measured) {
+    finish(visit, session);
+    return visit;
+  }
+
+  // 30 seconds on the home page, then follow a prominent link, twice.
+  std::vector<net::Url> prominent = human_interact(session, rng);
+  std::set<std::string> visited{home.spec()};
+  for (int hop = 0; hop < 2 && !prominent.empty(); ++hop) {
+    net::Url target = prominent.front();
+    for (const net::Url& url : prominent) {
+      if (!visited.count(url.spec())) {
+        target = url;
+        break;
+      }
+    }
+    if (visited.count(target.spec())) break;
+    visited.insert(target.spec());
+    const browser::PageLoadResult result = session.load_page(target);
+    absorb(visit, result);
+    if (!result.loaded) break;
+    prominent = human_interact(session, rng);
+  }
+
+  finish(visit, session);
+  return visit;
+}
+
+}  // namespace fu::crawler

@@ -1,0 +1,49 @@
+// Per-site crawl (§4.3.1): home page plus a breadth-first walk of the site,
+// 13 pages in total (1 + 3 + 3×3), 30 seconds of monkey testing on each.
+// URL selection prefers targets whose directory structure has not been seen
+// before, to cover as many page *types* as possible.
+#pragma once
+
+#include <cstdint>
+
+#include "browser/session.h"
+#include "crawler/monkey.h"
+#include "net/web.h"
+#include "support/bitset.h"
+
+namespace fu::crawler {
+
+struct CrawlConfig {
+  browser::BrowserConfig browser;
+  MonkeyConfig monkey;
+  int fanout = 3;  // URLs chosen per visited page
+  int levels = 2;  // BFS depth below the home page
+};
+
+// What one pass over one site produced.
+struct SiteVisit {
+  bool home_loaded = false;
+  // The §4.3.3 failure taxonomy: a site is measured unless it never
+  // responded or its scripts all failed to execute.
+  bool measured = false;
+  support::DynamicBitset features;  // feature ids seen this pass
+  std::uint64_t invocations = 0;
+  int pages_visited = 0;
+  int scripts_blocked = 0;
+  int frames_blocked = 0;
+  int scripts_failed = 0;
+};
+
+// One monkey-testing pass. When `session` is provided it is reused (its
+// usage counters are reset first) — the survey runs the five passes of one
+// configuration through one session, like five visits from one profile.
+SiteVisit crawl_site(const net::SyntheticWeb& web, const CrawlConfig& config,
+                     const net::SitePlan& site, std::uint64_t pass_seed,
+                     browser::BrowserSession* session = nullptr);
+
+// One "casual human" session (§6.2): home page plus two prominently linked
+// pages, 90 seconds of reading-style interaction.
+SiteVisit human_visit(const net::SyntheticWeb& web, const CrawlConfig& config,
+                      const net::SitePlan& site, std::uint64_t pass_seed);
+
+}  // namespace fu::crawler

@@ -1,0 +1,105 @@
+#include "crawler/monkey.h"
+
+#include <array>
+
+namespace fu::crawler {
+
+namespace {
+
+// Elements the monkey considers clickable, in document order.
+std::vector<const dom::Element*> clickable_elements(
+    const dom::Document* doc) {
+  std::vector<const dom::Element*> out;
+  if (doc == nullptr) return out;
+  auto* mutable_doc = const_cast<dom::Document*>(doc);
+  for (const char* tag : {"a", "button", "input"}) {
+    for (dom::Element* el : mutable_doc->get_elements_by_tag(tag)) {
+      out.push_back(el);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<net::Url> monkey_interact(browser::BrowserSession& session,
+                                      support::Rng& rng,
+                                      const MonkeyConfig& config) {
+  std::vector<net::Url> candidates;
+  std::vector<const dom::Element*> clickables =
+      clickable_elements(session.current_dom());
+  // Random click order, but each element at most once until the pool is
+  // exhausted — random coordinates rarely land on the same element twice.
+  rng.shuffle(clickables);
+  std::size_t click_cursor = 0;
+
+  for (int step = 0; step < config.actions; ++step) {
+    const std::array<double, 3> weights = {
+        config.click_weight, config.scroll_weight, config.input_weight};
+    switch (rng.weighted_index(weights)) {
+      case 0: {  // click something random
+        if (!clickables.empty()) {
+          const dom::Element* el =
+              clickables[click_cursor++ % clickables.size()];
+          if (el->tag() == "a" && el->has_attribute("href")) {
+            // Intercept navigation; note same-site targets (§4.3.1).
+            if (const auto url =
+                    session.current_url().resolve(el->attribute("href"))) {
+              if (net::same_site(*url, session.current_url())) {
+                candidates.push_back(*url);
+              }
+            }
+            break;
+          }
+        }
+        session.fire_event("click");
+        break;
+      }
+      case 1:
+        session.fire_event("scroll");
+        break;
+      default:
+        session.fire_event("input");
+        break;
+    }
+    // Timers fire opportunistically during the window.
+    if (rng.chance(0.2)) session.run_timers();
+  }
+  session.run_timers();  // whatever is still queued fires before we leave
+  return candidates;
+}
+
+std::vector<net::Url> human_interact(browser::BrowserSession& session,
+                                     support::Rng& rng) {
+  std::vector<net::Url> candidates;
+
+  // Reading: scroll through the page with pauses long enough for timers.
+  for (int i = 0; i < 4; ++i) {
+    session.fire_event("scroll");
+    session.run_timers();
+  }
+  // Deliberate interaction: try the search box, click a button or two.
+  session.fire_event("input");
+  session.fire_event("click");
+  if (rng.chance(0.5)) session.fire_event("click");
+  // A human dwells far longer than the monkey's 30-second budget — the
+  // long-delay timers automation never reaches fire here (§6.2).
+  session.run_timers(/*dwell_budget_ms=*/90'000);
+
+  // A human heads for the prominent links — the first few in the document.
+  const std::vector<const dom::Element*> clickables =
+      clickable_elements(session.current_dom());
+  for (const dom::Element* el : clickables) {
+    if (el->tag() != "a" || !el->has_attribute("href")) continue;
+    if (const auto url =
+            session.current_url().resolve(el->attribute("href"))) {
+      if (net::same_site(*url, session.current_url())) {
+        candidates.push_back(*url);
+        if (candidates.size() >= 3) break;
+      }
+    }
+  }
+  return candidates;
+}
+
+}  // namespace fu::crawler

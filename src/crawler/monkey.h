@@ -1,0 +1,37 @@
+// Monkey testing (§4.3.1): the gremlins.js equivalent.
+//
+// A 30-second interaction window is simulated as a fixed budget of random
+// actions against the loaded page: clicks on random clickable elements,
+// scrolls, text input, and letting queued timers run. Clicks that land on
+// links are *intercepted* — the browser does not navigate, but same-site
+// targets are recorded as BFS candidates, exactly as the paper describes.
+#pragma once
+
+#include <vector>
+
+#include "browser/session.h"
+#include "net/url.h"
+#include "support/rng.h"
+
+namespace fu::crawler {
+
+struct MonkeyConfig {
+  int actions = 16;           // interaction steps per 30-second window
+  double click_weight = 0.55;
+  double scroll_weight = 0.20;
+  double input_weight = 0.25;
+};
+
+// One interaction window against the session's current page. Returns the
+// same-site navigation candidates intercepted from link clicks.
+std::vector<net::Url> monkey_interact(browser::BrowserSession& session,
+                                      support::Rng& rng,
+                                      const MonkeyConfig& config = {});
+
+// The "casual human reader" model used for external validation (§6.2):
+// deliberate reading pauses (timers drain), steady scrolling, a few
+// purposeful clicks, and a preference for the most prominent link.
+std::vector<net::Url> human_interact(browser::BrowserSession& session,
+                                     support::Rng& rng);
+
+}  // namespace fu::crawler

@@ -1,0 +1,189 @@
+#include "crawler/serialize.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "support/rng.h"
+
+namespace fu::crawler {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'U', 'S', 'V', '0', '0', '0', '3'};
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(buf, 8);
+}
+
+bool get_u64(std::istream& in, std::uint64_t& v) {
+  char buf[8];
+  if (!in.read(buf, 8)) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i]))
+         << (8 * i);
+  }
+  return true;
+}
+
+void put_bitset(std::ostream& out, const support::DynamicBitset& bits) {
+  put_u64(out, bits.size());
+  put_u64(out, bits.words().size());
+  for (const std::uint64_t w : bits.words()) put_u64(out, w);
+}
+
+bool get_bitset(std::istream& in, support::DynamicBitset& bits) {
+  std::uint64_t size = 0, words = 0;
+  if (!get_u64(in, size) || !get_u64(in, words)) return false;
+  if (words > (size + 63) / 64) return false;
+  std::vector<std::uint64_t> data(words);
+  for (std::uint64_t& w : data) {
+    if (!get_u64(in, w)) return false;
+  }
+  bits.assign_words(size, std::move(data));
+  return true;
+}
+
+void put_key(std::ostream& out, const SurveyKey& key) {
+  put_u64(out, key.seed);
+  put_u64(out, key.site_count);
+  put_u64(out, key.passes);
+  put_u64(out, (key.ad_only ? 1u : 0u) | (key.tracking_only ? 2u : 0u));
+  put_u64(out, key.feature_count);
+  put_u64(out, key.standard_count);
+  put_u64(out, key.catalog_fingerprint);
+  put_u64(out, key.revision);
+}
+
+bool key_matches(std::istream& in, const SurveyKey& expected) {
+  std::uint64_t seed, sites, passes, flags, features, standards, print, rev;
+  if (!get_u64(in, seed) || !get_u64(in, sites) || !get_u64(in, passes) ||
+      !get_u64(in, flags) || !get_u64(in, features) ||
+      !get_u64(in, standards) || !get_u64(in, print) || !get_u64(in, rev)) {
+    return false;
+  }
+  return seed == expected.seed && sites == expected.site_count &&
+         passes == expected.passes &&
+         (flags & 1u) == (expected.ad_only ? 1u : 0u) &&
+         (flags & 2u) == (expected.tracking_only ? 2u : 0u) &&
+         features == expected.feature_count &&
+         standards == expected.standard_count &&
+         print == expected.catalog_fingerprint &&
+         rev == expected.revision;
+}
+
+}  // namespace
+
+std::uint64_t catalog_fingerprint(const catalog::Catalog& cat) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  const auto mix = [&hash](std::uint64_t v) {
+    hash ^= v;
+    hash *= 0x100000001b3ULL;
+  };
+  for (const catalog::Feature& f : cat.features()) {
+    mix(support::fnv1a(f.full_name));
+    mix(static_cast<std::uint64_t>(f.target_sites));
+    mix(static_cast<std::uint64_t>(f.blocked_only));
+    mix(static_cast<std::uint64_t>(f.implemented.days_since_epoch()));
+  }
+  return hash;
+}
+
+SurveyKey key_of(const SurveyResults& results, std::uint64_t seed) {
+  SurveyKey key;
+  key.seed = seed;
+  key.site_count = static_cast<std::uint32_t>(results.sites.size());
+  key.passes = static_cast<std::uint32_t>(results.passes);
+  key.ad_only = results.has_ad_only;
+  key.tracking_only = results.has_tracking_only;
+  key.feature_count = static_cast<std::uint32_t>(
+      results.web->feature_catalog().features().size());
+  key.standard_count = static_cast<std::uint32_t>(
+      results.web->feature_catalog().standard_count());
+  key.catalog_fingerprint = catalog_fingerprint(results.web->feature_catalog());
+  return key;
+}
+
+std::string cache_filename(const SurveyKey& key) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "survey_s%llx_n%u_p%u_%c%c.bin",
+                static_cast<unsigned long long>(key.seed), key.site_count,
+                key.passes, key.ad_only ? 't' : 'f',
+                key.tracking_only ? 't' : 'f');
+  return buf;
+}
+
+bool save_survey(const SurveyResults& results, std::uint64_t seed,
+                 const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(kMagic, sizeof kMagic);
+  put_key(out, key_of(results, seed));
+
+  put_u64(out, results.sites.size());
+  for (const SiteOutcome& site : results.sites) {
+    put_u64(out, (site.responded ? 1u : 0u) | (site.measured ? 2u : 0u));
+    put_u64(out, site.invocations);
+    put_u64(out, static_cast<std::uint64_t>(site.pages_visited));
+    put_u64(out, static_cast<std::uint64_t>(site.scripts_blocked));
+    for (const support::DynamicBitset& bits : site.features) {
+      put_bitset(out, bits);
+    }
+    put_u64(out, site.default_passes.size());
+    for (const support::DynamicBitset& bits : site.default_passes) {
+      put_bitset(out, bits);
+    }
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<SurveyResults> load_survey(const net::SyntheticWeb& web,
+                                         const SurveyKey& expected,
+                                         const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  char magic[sizeof kMagic];
+  if (!in.read(magic, sizeof magic) ||
+      std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    return std::nullopt;
+  }
+  if (!key_matches(in, expected)) return std::nullopt;
+
+  SurveyResults results;
+  results.web = &web;
+  results.passes = static_cast<int>(expected.passes);
+  results.has_ad_only = expected.ad_only;
+  results.has_tracking_only = expected.tracking_only;
+
+  std::uint64_t site_count = 0;
+  if (!get_u64(in, site_count) || site_count != web.sites().size()) {
+    return std::nullopt;
+  }
+  results.sites.resize(site_count);
+  for (SiteOutcome& site : results.sites) {
+    std::uint64_t flags = 0;
+    std::uint64_t pages = 0, blocked = 0, pass_count = 0;
+    if (!get_u64(in, flags) || !get_u64(in, site.invocations) ||
+        !get_u64(in, pages) || !get_u64(in, blocked)) {
+      return std::nullopt;
+    }
+    site.responded = (flags & 1u) != 0;
+    site.measured = (flags & 2u) != 0;
+    site.pages_visited = static_cast<int>(pages);
+    site.scripts_blocked = static_cast<int>(blocked);
+    for (support::DynamicBitset& bits : site.features) {
+      if (!get_bitset(in, bits)) return std::nullopt;
+    }
+    if (!get_u64(in, pass_count) || pass_count > 64) return std::nullopt;
+    site.default_passes.resize(pass_count);
+    for (support::DynamicBitset& bits : site.default_passes) {
+      if (!get_bitset(in, bits)) return std::nullopt;
+    }
+  }
+  return results;
+}
+
+}  // namespace fu::crawler

@@ -1,0 +1,56 @@
+// Survey result persistence.
+//
+// A full 10k-site survey takes minutes; every bench binary needs the same
+// one. Results are written to a versioned binary file keyed by the exact
+// run parameters (seed, site count, passes, configurations, catalog shape);
+// a load only succeeds when every parameter matches, so a cache can never
+// masquerade as a different experiment.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "crawler/survey.h"
+
+namespace fu::crawler {
+
+// Bump whenever crawl/web-generation behaviour changes in a way the catalog
+// fingerprint cannot see (new page structures, monkey strategy changes, ...)
+// — stale caches must never masquerade as current results.
+inline constexpr std::uint32_t kSurveyRevision = 5;
+
+// Identity of a survey run; all fields must match for a cache hit.
+struct SurveyKey {
+  std::uint64_t seed = 0;
+  std::uint32_t site_count = 0;
+  std::uint32_t passes = 0;
+  bool ad_only = false;
+  bool tracking_only = false;
+  std::uint32_t feature_count = 0;
+  std::uint32_t standard_count = 0;
+  // Hash over every feature's full name + calibration, so a cache produced
+  // by a different catalog (e.g. an older build) can never be loaded.
+  std::uint64_t catalog_fingerprint = 0;
+  std::uint32_t revision = kSurveyRevision;
+};
+
+// Fingerprint of a catalog for SurveyKey.
+std::uint64_t catalog_fingerprint(const catalog::Catalog& cat);
+
+SurveyKey key_of(const SurveyResults& results, std::uint64_t seed);
+
+// Write results to `path`. Returns false on I/O failure.
+bool save_survey(const SurveyResults& results, std::uint64_t seed,
+                 const std::string& path);
+
+// Load results if the file exists and its key matches. The returned results
+// point into `web` (which must be the identically-configured web).
+std::optional<SurveyResults> load_survey(const net::SyntheticWeb& web,
+                                         const SurveyKey& expected,
+                                         const std::string& path);
+
+// Canonical cache filename for a key, e.g.
+// "survey_s10f3a7_n10000_p5_ft.bin".
+std::string cache_filename(const SurveyKey& key);
+
+}  // namespace fu::crawler

@@ -1,0 +1,155 @@
+#include "crawler/survey.h"
+
+#include <atomic>
+#include <thread>
+
+#include "blocker/extensions.h"
+#include "support/rng.h"
+
+namespace fu::crawler {
+
+const char* to_string(BrowsingConfig config) {
+  switch (config) {
+    case BrowsingConfig::kDefault: return "default";
+    case BrowsingConfig::kBlocking: return "blocking";
+    case BrowsingConfig::kAdOnly: return "ad-only";
+    case BrowsingConfig::kTrackingOnly: return "tracking-only";
+  }
+  return "?";
+}
+
+int SurveyResults::sites_measured() const {
+  int n = 0;
+  for (const SiteOutcome& s : sites) n += s.measured ? 1 : 0;
+  return n;
+}
+
+std::uint64_t SurveyResults::total_invocations() const {
+  std::uint64_t n = 0;
+  for (const SiteOutcome& s : sites) n += s.invocations;
+  return n;
+}
+
+std::uint64_t SurveyResults::total_pages_visited() const {
+  std::uint64_t n = 0;
+  for (const SiteOutcome& s : sites) n += static_cast<std::uint64_t>(
+      s.pages_visited);
+  return n;
+}
+
+std::uint64_t SurveyResults::interaction_seconds() const {
+  return total_pages_visited() * 30;
+}
+
+SurveyResults run_survey(const net::SyntheticWeb& web,
+                         const SurveyOptions& options) {
+  const auto ad_blocker = blocker::make_ad_blocker(web);
+  const auto tracking_blocker = blocker::make_tracking_blocker(web);
+
+  const auto browser_config_for = [&](BrowsingConfig config) {
+    browser::BrowserConfig bc;
+    bc.fuel_per_script = options.fuel_per_script;
+    switch (config) {
+      case BrowsingConfig::kDefault:
+        break;
+      case BrowsingConfig::kBlocking:
+        bc.ad_blocker = ad_blocker;
+        bc.tracking_blocker = tracking_blocker;
+        break;
+      case BrowsingConfig::kAdOnly:
+        bc.ad_blocker = ad_blocker;
+        break;
+      case BrowsingConfig::kTrackingOnly:
+        bc.tracking_blocker = tracking_blocker;
+        break;
+    }
+    return bc;
+  };
+
+  std::vector<BrowsingConfig> configs = {BrowsingConfig::kDefault,
+                                         BrowsingConfig::kBlocking};
+  if (options.include_ad_only) configs.push_back(BrowsingConfig::kAdOnly);
+  if (options.include_tracking_only) {
+    configs.push_back(BrowsingConfig::kTrackingOnly);
+  }
+
+  SurveyResults results;
+  results.web = &web;
+  results.passes = options.passes;
+  results.has_ad_only = options.include_ad_only;
+  results.has_tracking_only = options.include_tracking_only;
+  results.sites.resize(web.sites().size());
+
+  const std::size_t feature_count = web.feature_catalog().features().size();
+
+  const auto survey_one_site = [&](std::size_t index) {
+    const net::SitePlan& site = web.sites()[index];
+    SiteOutcome& outcome = results.sites[index];
+    for (auto& bits : outcome.features) {
+      bits = support::DynamicBitset(feature_count);
+    }
+
+    // All sessions for this site share one resource/AST cache; each
+    // configuration reuses one browser session across its passes.
+    browser::SiteCache cache;
+
+    for (const BrowsingConfig config : configs) {
+      CrawlConfig crawl_config;
+      crawl_config.browser = browser_config_for(config);
+      crawl_config.browser.cache = &cache;
+      crawl_config.monkey = options.monkey;
+
+      const std::uint64_t session_seed =
+          options.seed ^
+          support::fnv1a(site.domain + "|" + to_string(config));
+      browser::BrowserSession session(web, crawl_config.browser, session_seed);
+
+      for (int pass = 0; pass < options.passes; ++pass) {
+        const std::uint64_t pass_seed =
+            options.seed ^
+            support::fnv1a(site.domain + "|" + to_string(config) + "|" +
+                           std::to_string(pass));
+        const SiteVisit visit =
+            crawl_site(web, crawl_config, site, pass_seed, &session);
+        outcome.responded |= visit.home_loaded;
+        if (config == BrowsingConfig::kDefault) {
+          outcome.measured |= visit.measured;
+          outcome.default_passes.push_back(visit.features);
+        }
+        outcome.features[static_cast<std::size_t>(config)] |= visit.features;
+        outcome.invocations += visit.invocations;
+        outcome.pages_visited += visit.pages_visited;
+        outcome.scripts_blocked += visit.scripts_blocked;
+      }
+    }
+  };
+
+  unsigned thread_count = options.threads > 0
+                              ? static_cast<unsigned>(options.threads)
+                              : std::thread::hardware_concurrency();
+  if (thread_count == 0) thread_count = 4;
+  thread_count = std::min<unsigned>(
+      thread_count, static_cast<unsigned>(web.sites().size()));
+
+  if (thread_count <= 1) {
+    for (std::size_t i = 0; i < web.sites().size(); ++i) survey_one_site(i);
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(thread_count);
+  for (unsigned t = 0; t < thread_count; ++t) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= web.sites().size()) return;
+        survey_one_site(i);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  return results;
+}
+
+}  // namespace fu::crawler

@@ -1,0 +1,80 @@
+// Survey orchestration (§4.3.3): every site of the Alexa 10k is visited ten
+// times — five passes with a stock browser and five with AdBlock Plus +
+// Ghostery installed — plus (optionally) five passes each with only the ad
+// blocker and only the tracking blocker, which Figure 7 needs. Sites are
+// independent, so the survey fans out across worker threads; every pass is
+// seeded from (survey seed, domain, configuration, pass index) and therefore
+// reproducible regardless of scheduling.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crawler/crawl.h"
+#include "net/web.h"
+#include "support/bitset.h"
+
+namespace fu::crawler {
+
+enum class BrowsingConfig : std::uint8_t {
+  kDefault = 0,
+  kBlocking = 1,      // AdBlock Plus + Ghostery
+  kAdOnly = 2,        // AdBlock Plus alone
+  kTrackingOnly = 3,  // Ghostery alone
+};
+inline constexpr std::array<BrowsingConfig, 4> kAllConfigs = {
+    BrowsingConfig::kDefault, BrowsingConfig::kBlocking,
+    BrowsingConfig::kAdOnly, BrowsingConfig::kTrackingOnly};
+
+const char* to_string(BrowsingConfig config);
+
+struct SurveyOptions {
+  int passes = 5;
+  bool include_ad_only = true;        // needed for Figure 7
+  bool include_tracking_only = true;  // needed for Figure 7
+  int threads = 0;                    // 0 = hardware concurrency
+  std::uint64_t seed = 0x50e11edULL;
+  MonkeyConfig monkey;
+  std::uint64_t fuel_per_script = 200'000;
+};
+
+// Aggregated measurements for one site.
+struct SiteOutcome {
+  bool responded = false;
+  bool measured = false;
+  // Union of features seen across passes, per browsing configuration.
+  std::array<support::DynamicBitset, 4> features;
+  // Per-pass default-configuration feature sets (internal validation,
+  // Table 3).
+  std::vector<support::DynamicBitset> default_passes;
+  std::uint64_t invocations = 0;
+  int pages_visited = 0;
+  int scripts_blocked = 0;
+};
+
+struct SurveyResults {
+  const net::SyntheticWeb* web = nullptr;
+  std::vector<SiteOutcome> sites;  // index = Alexa rank - 1
+  int passes = 0;
+  bool has_ad_only = false;
+  bool has_tracking_only = false;
+
+  int sites_measured() const;
+  std::uint64_t total_invocations() const;
+  std::uint64_t total_pages_visited() const;
+  // "Total website interaction time": pages × 30 s, as in Table 1.
+  std::uint64_t interaction_seconds() const;
+
+  const support::DynamicBitset& site_features(std::size_t site,
+                                              BrowsingConfig config) const {
+    return sites[site].features[static_cast<std::size_t>(config)];
+  }
+};
+
+// Run the survey over every site in the web.
+SurveyResults run_survey(const net::SyntheticWeb& web,
+                         const SurveyOptions& options = {});
+
+}  // namespace fu::crawler

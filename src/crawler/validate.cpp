@@ -1,0 +1,102 @@
+#include "crawler/validate.h"
+
+#include <set>
+
+#include "support/rng.h"
+
+namespace fu::crawler {
+
+namespace {
+
+// Set of standards touched by a feature bitset.
+std::set<catalog::StandardId> standards_of(const catalog::Catalog& cat,
+                                           const support::DynamicBitset& bits) {
+  std::set<catalog::StandardId> out;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits.test(i)) {
+      out.insert(cat.feature(static_cast<catalog::FeatureId>(i)).standard);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> new_standards_per_round(const SurveyResults& results) {
+  const catalog::Catalog& cat = results.web->feature_catalog();
+  std::vector<double> sums(static_cast<std::size_t>(results.passes), 0.0);
+  int measured = 0;
+
+  for (const SiteOutcome& site : results.sites) {
+    if (!site.measured || site.default_passes.empty()) continue;
+    ++measured;
+    std::set<catalog::StandardId> seen;
+    for (std::size_t round = 0; round < site.default_passes.size(); ++round) {
+      const std::set<catalog::StandardId> here =
+          standards_of(cat, site.default_passes[round]);
+      int fresh = 0;
+      for (const catalog::StandardId sid : here) {
+        if (seen.insert(sid).second) ++fresh;
+      }
+      if (round < sums.size()) sums[round] += fresh;
+    }
+  }
+  if (measured > 0) {
+    for (double& s : sums) s /= measured;
+  }
+  return sums;
+}
+
+double ExternalValidation::fraction_nothing_new() const {
+  if (new_standards_per_domain.empty()) return 0;
+  int zero = 0;
+  for (const int n : new_standards_per_domain) zero += n == 0 ? 1 : 0;
+  return static_cast<double>(zero) /
+         static_cast<double>(new_standards_per_domain.size());
+}
+
+ExternalValidation run_external_validation(const SurveyResults& results,
+                                           int target_domains,
+                                           std::uint64_t seed) {
+  const net::SyntheticWeb& web = *results.web;
+  const catalog::Catalog& cat = web.feature_catalog();
+  support::Rng rng(seed);
+
+  // Visit-weighted sample without replacement (§6.2 weights choices by each
+  // site's share of Alexa traffic).
+  std::vector<double> weights;
+  weights.reserve(web.sites().size());
+  for (const net::SitePlan& site : web.sites()) {
+    weights.push_back(site.visit_weight);
+  }
+
+  ExternalValidation out;
+  std::set<std::size_t> chosen;
+  int safety = target_domains * 200;
+  while (static_cast<int>(chosen.size()) < target_domains && safety-- > 0) {
+    const std::size_t pick = rng.weighted_index(weights);
+    if (pick >= weights.size()) break;
+    if (!results.sites[pick].measured) continue;  // omitted, like the paper's
+    if (!chosen.insert(pick).second) continue;    // non-usable selections
+
+    const net::SitePlan& site = web.sites()[pick];
+    CrawlConfig config;  // stock browser, like the manual sessions
+    const SiteVisit manual = human_visit(
+        web, config, site, seed ^ support::fnv1a("manual:" + site.domain));
+
+    const std::set<catalog::StandardId> automated = standards_of(
+        cat, results.site_features(pick, BrowsingConfig::kDefault));
+    const std::set<catalog::StandardId> human =
+        standards_of(cat, manual.features);
+
+    int fresh = 0;
+    for (const catalog::StandardId sid : human) {
+      if (!automated.count(sid)) ++fresh;
+    }
+    out.new_standards_per_domain.push_back(fresh);
+  }
+  out.domains_evaluated = static_cast<int>(out.new_standards_per_domain.size());
+  return out;
+}
+
+}  // namespace fu::crawler

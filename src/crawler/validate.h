@@ -1,0 +1,36 @@
+// Validation studies from §6 of the paper.
+//
+// Internal (§6.1, Table 3): how many *new* standards each additional
+// measurement round discovers, averaged over sites — computed directly from
+// the survey's per-pass default-configuration feature sets.
+//
+// External (§6.2, Figure 9): ~100 sites are sampled weighted by Alexa visit
+// share; each is browsed by the "casual human" model, and the number of
+// standards the human saw that five rounds of automation did not is
+// histogrammed per domain.
+#pragma once
+
+#include <vector>
+
+#include "crawler/survey.h"
+
+namespace fu::crawler {
+
+// Average number of new standards first seen in round r (index 0 = round 1).
+// Round 1's value is the average number of standards seen at all.
+std::vector<double> new_standards_per_round(const SurveyResults& results);
+
+struct ExternalValidation {
+  // One entry per evaluated domain: count of standards observed during
+  // manual-model interaction but never by the automated passes.
+  std::vector<int> new_standards_per_domain;
+  int domains_evaluated = 0;
+  // Fraction of domains where the human found nothing new (paper: 83.7%).
+  double fraction_nothing_new() const;
+};
+
+ExternalValidation run_external_validation(const SurveyResults& results,
+                                           int target_domains = 92,
+                                           std::uint64_t seed = 0xe87e4a1ULL);
+
+}  // namespace fu::crawler

@@ -1,0 +1,300 @@
+#include "dom/html.h"
+
+#include <array>
+#include <cctype>
+#include <vector>
+
+#include "support/strings.h"
+
+namespace fu::dom {
+
+namespace {
+
+constexpr std::array<std::string_view, 14> kVoidElements = {
+    "area", "base", "br",    "col",  "embed",  "hr",    "img",
+    "input", "link", "meta", "param", "source", "track", "wbr"};
+
+constexpr std::array<std::string_view, 2> kRawTextElements = {"script",
+                                                              "style"};
+
+bool is_raw_text_element(std::string_view tag) {
+  for (const auto t : kRawTextElements) {
+    if (t == tag) return true;
+  }
+  return false;
+}
+
+class HtmlParser {
+ public:
+  explicit HtmlParser(std::string_view html) : src_(html) {}
+
+  std::unique_ptr<Document> run() {
+    auto doc = std::make_unique<Document>();
+    doc_ = doc.get();
+    stack_.push_back(doc_);
+    while (pos_ < src_.size()) step();
+    flush_text();
+    doc->ensure_scaffold();
+    return doc;
+  }
+
+ private:
+  void step() {
+    if (src_[pos_] != '<') {
+      text_.push_back(src_[pos_++]);
+      return;
+    }
+    // '<' — decide what kind of markup follows.
+    if (lookahead("<!--")) {
+      flush_text();
+      parse_comment();
+    } else if (lookahead("<!") || lookahead("<?")) {
+      flush_text();
+      skip_until('>');
+    } else if (lookahead("</")) {
+      flush_text();
+      parse_close_tag();
+    } else if (pos_ + 1 < src_.size() &&
+               (std::isalpha(static_cast<unsigned char>(src_[pos_ + 1])))) {
+      flush_text();
+      parse_open_tag();
+    } else {
+      text_.push_back(src_[pos_++]);  // stray '<'
+    }
+  }
+
+  bool lookahead(std::string_view prefix) const {
+    return src_.substr(pos_, prefix.size()) == prefix;
+  }
+
+  void skip_until(char end) {
+    while (pos_ < src_.size() && src_[pos_] != end) ++pos_;
+    if (pos_ < src_.size()) ++pos_;  // consume end
+  }
+
+  void parse_comment() {
+    pos_ += 4;  // "<!--"
+    const std::size_t start = pos_;
+    const std::size_t close = src_.find("-->", pos_);
+    std::string data;
+    if (close == std::string_view::npos) {
+      data = std::string(src_.substr(start));
+      pos_ = src_.size();
+    } else {
+      data = std::string(src_.substr(start, close - start));
+      pos_ = close + 3;
+    }
+    top()->append_child(doc_->create_comment(std::move(data)));
+  }
+
+  std::string read_tag_name() {
+    std::string name;
+    while (pos_ < src_.size() &&
+           (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+            src_[pos_] == '-' || src_[pos_] == '_')) {
+      name.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(src_[pos_]))));
+      ++pos_;
+    }
+    return name;
+  }
+
+  void skip_space() {
+    while (pos_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  void parse_open_tag() {
+    ++pos_;  // '<'
+    const std::string tag = read_tag_name();
+    Element* el = doc_->create_element(tag);
+
+    // attributes
+    bool self_closing = false;
+    for (;;) {
+      skip_space();
+      if (pos_ >= src_.size()) break;
+      if (src_[pos_] == '>') {
+        ++pos_;
+        break;
+      }
+      if (src_[pos_] == '/') {
+        ++pos_;
+        self_closing = true;
+        continue;
+      }
+      std::string name;
+      while (pos_ < src_.size() && src_[pos_] != '=' && src_[pos_] != '>' &&
+             src_[pos_] != '/' &&
+             !std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+        name.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(src_[pos_]))));
+        ++pos_;
+      }
+      if (name.empty()) {
+        ++pos_;
+        continue;
+      }
+      skip_space();
+      std::string value;
+      if (pos_ < src_.size() && src_[pos_] == '=') {
+        ++pos_;
+        skip_space();
+        if (pos_ < src_.size() && (src_[pos_] == '"' || src_[pos_] == '\'')) {
+          const char quote = src_[pos_++];
+          while (pos_ < src_.size() && src_[pos_] != quote) {
+            value.push_back(src_[pos_++]);
+          }
+          if (pos_ < src_.size()) ++pos_;
+        } else {
+          while (pos_ < src_.size() && src_[pos_] != '>' &&
+                 !std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+            value.push_back(src_[pos_++]);
+          }
+        }
+      }
+      el->set_attribute(name, value);
+    }
+
+    top()->append_child(el);
+    if (self_closing || is_void_element(tag)) return;
+
+    if (is_raw_text_element(tag)) {
+      // consume raw text until the matching close tag
+      const std::string close = "</" + tag;
+      std::size_t end = pos_;
+      for (;;) {
+        end = src_.find(close, end);
+        if (end == std::string_view::npos) {
+          end = src_.size();
+          break;
+        }
+        const std::size_t after = end + close.size();
+        if (after >= src_.size() || src_[after] == '>' ||
+            std::isspace(static_cast<unsigned char>(src_[after]))) {
+          break;
+        }
+        ++end;
+      }
+      if (end > pos_) {
+        el->append_child(doc_->create_text(std::string(src_.substr(
+            pos_, end - pos_))));
+      }
+      pos_ = end;
+      if (pos_ < src_.size()) skip_until('>');  // consume the close tag
+      return;
+    }
+    stack_.push_back(el);
+  }
+
+  void parse_close_tag() {
+    pos_ += 2;  // "</"
+    const std::string tag = read_tag_name();
+    skip_until('>');
+    // pop to the nearest matching open element, browser-style recovery
+    for (std::size_t i = stack_.size(); i > 1; --i) {
+      Node* node = stack_[i - 1];
+      if (node->type() == NodeType::kElement &&
+          static_cast<Element*>(node)->tag() == tag) {
+        stack_.resize(i - 1);
+        return;
+      }
+    }
+    // no matching open tag: ignore
+  }
+
+  Node* top() const { return stack_.back(); }
+
+  void flush_text() {
+    if (text_.empty()) return;
+    // drop whitespace-only runs to keep trees small
+    if (text_.find_first_not_of(" \t\r\n") != std::string::npos) {
+      top()->append_child(doc_->create_text(text_));
+    }
+    text_.clear();
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  Document* doc_ = nullptr;
+  std::vector<Node*> stack_;
+  std::string text_;
+};
+
+void escape_into(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+}
+
+void serialize_into(std::string& out, const Node& node) {
+  switch (node.type()) {
+    case NodeType::kDocument:
+      for (const Node* child : node.children()) serialize_into(out, *child);
+      return;
+    case NodeType::kText: {
+      const auto& text = static_cast<const Text&>(node);
+      // raw-text parents keep their content verbatim
+      const Node* parent = node.parent();
+      if (parent != nullptr && parent->type() == NodeType::kElement &&
+          is_raw_text_element(static_cast<const Element*>(parent)->tag())) {
+        out += text.data();
+      } else {
+        escape_into(out, text.data());
+      }
+      return;
+    }
+    case NodeType::kComment:
+      out += "<!--";
+      out += static_cast<const Comment&>(node).data();
+      out += "-->";
+      return;
+    case NodeType::kElement:
+      break;
+  }
+  const auto& el = static_cast<const Element&>(node);
+  out.push_back('<');
+  out += el.tag();
+  for (const auto& [name, value] : el.attributes()) {
+    out.push_back(' ');
+    out += name;
+    out += "=\"";
+    escape_into(out, value);
+    out.push_back('"');
+  }
+  out.push_back('>');
+  if (is_void_element(el.tag())) return;
+  for (const Node* child : el.children()) serialize_into(out, *child);
+  out += "</";
+  out += el.tag();
+  out.push_back('>');
+}
+
+}  // namespace
+
+bool is_void_element(std::string_view tag) {
+  for (const auto t : kVoidElements) {
+    if (t == tag) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<Document> parse_html(std::string_view html) {
+  return HtmlParser(html).run();
+}
+
+std::string serialize(const Node& node) {
+  std::string out;
+  serialize_into(out, node);
+  return out;
+}
+
+}  // namespace fu::dom

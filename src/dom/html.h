@@ -1,0 +1,28 @@
+// Small HTML parser and serializer.
+//
+// Handles the subset our synthetic web emits plus the usual real-world mess:
+// attributes with/without quotes, void elements, comments, doctype,
+// mis-nested close tags (closed by popping to the nearest match), raw-text
+// elements (<script>, <style>) whose content is not tokenized, and implicit
+// html/head/body scaffolding.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "dom/node.h"
+
+namespace fu::dom {
+
+// Parse HTML text into a fresh document. Never throws on malformed input —
+// real pages are malformed; the parser recovers like browsers do.
+std::unique_ptr<Document> parse_html(std::string_view html);
+
+// Serialize a subtree back to HTML (attributes sorted, text escaped).
+std::string serialize(const Node& node);
+
+// True for elements that never have children (<br>, <img>, <meta>, ...).
+bool is_void_element(std::string_view tag);
+
+}  // namespace fu::dom

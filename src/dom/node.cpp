@@ -1,0 +1,148 @@
+#include "dom/node.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fu::dom {
+
+void Node::append_child(Node* child) {
+  insert_before(child, nullptr);
+}
+
+void Node::insert_before(Node* child, Node* reference) {
+  if (child == nullptr) throw std::invalid_argument("insert_before: null child");
+  if (child == this) throw std::invalid_argument("insert_before: self-insert");
+  // Guard against cycles: the new child must not be an ancestor of this.
+  for (Node* n = this; n != nullptr; n = n->parent_) {
+    if (n == child) throw std::invalid_argument("insert_before: cycle");
+  }
+  if (child->parent_ != nullptr) child->parent_->remove_child(child);
+  child->parent_ = this;
+  if (reference == nullptr) {
+    children_.push_back(child);
+    return;
+  }
+  const auto it = std::find(children_.begin(), children_.end(), reference);
+  if (it == children_.end()) {
+    throw std::invalid_argument("insert_before: reference not a child");
+  }
+  children_.insert(it, child);
+}
+
+void Node::remove_child(Node* child) {
+  const auto it = std::find(children_.begin(), children_.end(), child);
+  if (it == children_.end()) {
+    throw std::invalid_argument("remove_child: not a child");
+  }
+  (*it)->parent_ = nullptr;
+  children_.erase(it);
+}
+
+std::string Node::text_content() const {
+  std::string out;
+  if (type_ == NodeType::kText) {
+    out += static_cast<const Text*>(this)->data();
+  }
+  for (const Node* child : children_) out += child->text_content();
+  return out;
+}
+
+bool Element::has_attribute(std::string_view name) const {
+  return attributes_.find(name) != attributes_.end();
+}
+
+const std::string& Element::attribute(std::string_view name) const {
+  static const std::string kEmpty;
+  const auto it = attributes_.find(name);
+  return it == attributes_.end() ? kEmpty : it->second;
+}
+
+void Element::set_attribute(std::string_view name, std::string_view value) {
+  attributes_[std::string(name)] = std::string(value);
+}
+
+Document::Document() : Node(NodeType::kDocument, this) {}
+
+Element* Document::create_element(std::string tag) {
+  auto node = std::make_unique<Element>(this, std::move(tag));
+  Element* raw = node.get();
+  owned_.push_back(std::move(node));
+  return raw;
+}
+
+Text* Document::create_text(std::string data) {
+  auto node = std::make_unique<Text>(this, std::move(data));
+  Text* raw = node.get();
+  owned_.push_back(std::move(node));
+  return raw;
+}
+
+Comment* Document::create_comment(std::string data) {
+  auto node = std::make_unique<Comment>(this, std::move(data));
+  Comment* raw = node.get();
+  owned_.push_back(std::move(node));
+  return raw;
+}
+
+void Document::ensure_scaffold() {
+  if (html_ == nullptr) {
+    // adopt an existing <html> child if the parser built one
+    for (Node* child : children()) {
+      if (child->type() == NodeType::kElement &&
+          static_cast<Element*>(child)->tag() == "html") {
+        html_ = static_cast<Element*>(child);
+        break;
+      }
+    }
+    if (html_ == nullptr) {
+      html_ = create_element("html");
+      append_child(html_);
+    }
+  }
+  for (Node* child : html_->children()) {
+    if (child->type() != NodeType::kElement) continue;
+    auto* el = static_cast<Element*>(child);
+    if (el->tag() == "head" && head_ == nullptr) head_ = el;
+    if (el->tag() == "body" && body_ == nullptr) body_ = el;
+  }
+  if (head_ == nullptr) {
+    head_ = create_element("head");
+    html_->insert_before(head_, html_->first_child());
+  }
+  if (body_ == nullptr) {
+    body_ = create_element("body");
+    html_->append_child(body_);
+  }
+}
+
+Element* Document::get_element_by_id(std::string_view id) {
+  Element* found = nullptr;
+  for_each([&](Node& node) {
+    if (found != nullptr || node.type() != NodeType::kElement) return;
+    auto& el = static_cast<Element&>(node);
+    if (el.id() == id) found = &el;
+  });
+  return found;
+}
+
+std::vector<Element*> Document::get_elements_by_tag(std::string_view tag) {
+  std::vector<Element*> out;
+  for_each([&](Node& node) {
+    if (node.type() != NodeType::kElement) return;
+    auto& el = static_cast<Element&>(node);
+    if (el.tag() == tag) out.push_back(&el);
+  });
+  return out;
+}
+
+std::vector<Element*> Document::all_elements() {
+  std::vector<Element*> out;
+  for_each([&](Node& node) {
+    if (node.type() == NodeType::kElement) {
+      out.push_back(static_cast<Element*>(&node));
+    }
+  });
+  return out;
+}
+
+}  // namespace fu::dom

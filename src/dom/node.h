@@ -1,0 +1,139 @@
+// DOM tree: Document/Element/Text nodes with attributes, queries and
+// mutation. The browser builds one of these per page (via the HTML parser),
+// the instrumentation extension is injected at the start of <head> (§4.2),
+// and the monkey tester walks it looking for clickable/scrollable/typable
+// elements.
+//
+// Ownership: the Document owns every node; nodes hold non-owning
+// parent/child pointers. Nodes are never destroyed individually — removal
+// unlinks them from the tree but the document keeps the storage alive until
+// it dies (pages are short-lived, one crawl step each).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fu::dom {
+
+enum class NodeType { kDocument, kElement, kText, kComment };
+
+class Document;
+
+class Node {
+ public:
+  Node(NodeType type, Document* document) : type_(type), document_(document) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeType type() const noexcept { return type_; }
+  Document& document() const noexcept { return *document_; }
+  Node* parent() const noexcept { return parent_; }
+  const std::vector<Node*>& children() const noexcept { return children_; }
+
+  // Tree mutation. A node is unlinked from its previous parent first.
+  void append_child(Node* child);
+  void insert_before(Node* child, Node* reference);
+  void remove_child(Node* child);
+
+  Node* first_child() const noexcept {
+    return children_.empty() ? nullptr : children_.front();
+  }
+
+  // Depth-first traversal helper: invoke fn on this node and descendants.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    fn(*this);
+    // children may be mutated by fn; iterate over a snapshot
+    const std::vector<Node*> snapshot = children_;
+    for (Node* child : snapshot) child->for_each(fn);
+  }
+
+  // Concatenated text content of this subtree.
+  std::string text_content() const;
+
+ private:
+  NodeType type_;
+  Document* document_;
+  Node* parent_ = nullptr;
+  std::vector<Node*> children_;
+};
+
+class Text final : public Node {
+ public:
+  Text(Document* document, std::string data)
+      : Node(NodeType::kText, document), data_(std::move(data)) {}
+
+  const std::string& data() const noexcept { return data_; }
+
+ private:
+  std::string data_;
+};
+
+class Comment final : public Node {
+ public:
+  Comment(Document* document, std::string data)
+      : Node(NodeType::kComment, document), data_(std::move(data)) {}
+
+  const std::string& data() const noexcept { return data_; }
+
+ private:
+  std::string data_;
+};
+
+class Element final : public Node {
+ public:
+  Element(Document* document, std::string tag)
+      : Node(NodeType::kElement, document), tag_(std::move(tag)) {}
+
+  const std::string& tag() const noexcept { return tag_; }
+
+  bool has_attribute(std::string_view name) const;
+  // Returns "" when absent; use has_attribute to distinguish.
+  const std::string& attribute(std::string_view name) const;
+  void set_attribute(std::string_view name, std::string_view value);
+  const std::map<std::string, std::string, std::less<>>& attributes() const {
+    return attributes_;
+  }
+
+  const std::string& id() const { return attribute("id"); }
+
+ private:
+  std::string tag_;
+  std::map<std::string, std::string, std::less<>> attributes_;
+};
+
+class Document final : public Node {
+ public:
+  Document();
+
+  // Node factories; the document owns the result.
+  Element* create_element(std::string tag);
+  Text* create_text(std::string data);
+  Comment* create_comment(std::string data);
+
+  // <html>, <head> and <body> are guaranteed to exist after ensure_scaffold.
+  Element* html() const noexcept { return html_; }
+  Element* head() const noexcept { return head_; }
+  Element* body() const noexcept { return body_; }
+  void ensure_scaffold();
+
+  // Queries (case-sensitive tag names; our generator emits lowercase).
+  Element* get_element_by_id(std::string_view id);
+  std::vector<Element*> get_elements_by_tag(std::string_view tag);
+  std::vector<Element*> all_elements();
+
+  std::size_t node_count() const noexcept { return owned_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Node>> owned_;
+  Element* html_ = nullptr;
+  Element* head_ = nullptr;
+  Element* body_ = nullptr;
+};
+
+}  // namespace fu::dom

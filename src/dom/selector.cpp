@@ -1,0 +1,311 @@
+#include "dom/selector.h"
+
+#include <cctype>
+
+#include "support/strings.h"
+
+namespace fu::dom {
+
+namespace {
+
+bool has_class(const Element& element, std::string_view cls) {
+  const std::string& attr = element.attribute("class");
+  std::size_t start = 0;
+  while (start < attr.size()) {
+    while (start < attr.size() &&
+           std::isspace(static_cast<unsigned char>(attr[start]))) {
+      ++start;
+    }
+    std::size_t end = start;
+    while (end < attr.size() &&
+           !std::isspace(static_cast<unsigned char>(attr[end]))) {
+      ++end;
+    }
+    if (std::string_view(attr).substr(start, end - start) == cls) return true;
+    start = end;
+  }
+  return false;
+}
+
+bool word_match(std::string_view attr, std::string_view word) {
+  std::size_t start = 0;
+  while (start < attr.size()) {
+    while (start < attr.size() &&
+           std::isspace(static_cast<unsigned char>(attr[start]))) {
+      ++start;
+    }
+    std::size_t end = start;
+    while (end < attr.size() &&
+           !std::isspace(static_cast<unsigned char>(attr[end]))) {
+      ++end;
+    }
+    if (attr.substr(start, end - start) == word) return true;
+    start = end;
+  }
+  return false;
+}
+
+class SelectorParser {
+ public:
+  explicit SelectorParser(std::string_view text) : src_(text) {}
+
+  std::optional<std::vector<ComplexSelector>> run() {
+    std::vector<ComplexSelector> alternatives;
+    for (;;) {
+      auto complex = parse_complex();
+      if (!complex) return std::nullopt;
+      alternatives.push_back(std::move(*complex));
+      skip_space();
+      if (pos_ >= src_.size()) break;
+      if (src_[pos_] != ',') return std::nullopt;
+      ++pos_;
+    }
+    return alternatives;
+  }
+
+ private:
+  void skip_space() {
+    while (pos_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  static bool ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_';
+  }
+
+  std::string read_identifier() {
+    std::string out;
+    while (pos_ < src_.size() && ident_char(src_[pos_])) {
+      out.push_back(src_[pos_++]);
+    }
+    return out;
+  }
+
+  std::optional<CompoundSelector> parse_compound() {
+    CompoundSelector compound;
+    bool any = false;
+    if (pos_ < src_.size() && src_[pos_] == '*') {
+      compound.tag = "*";
+      ++pos_;
+      any = true;
+    } else if (pos_ < src_.size() &&
+               std::isalpha(static_cast<unsigned char>(src_[pos_]))) {
+      compound.tag = support::to_lower(read_identifier());
+      any = true;
+    }
+    for (;;) {
+      if (pos_ >= src_.size()) break;
+      const char c = src_[pos_];
+      if (c == '#') {
+        ++pos_;
+        compound.id = read_identifier();
+        if (compound.id.empty()) return std::nullopt;
+        any = true;
+      } else if (c == '.') {
+        ++pos_;
+        std::string cls = read_identifier();
+        if (cls.empty()) return std::nullopt;
+        compound.classes.push_back(std::move(cls));
+        any = true;
+      } else if (c == '[') {
+        ++pos_;
+        auto test = parse_attribute();
+        if (!test) return std::nullopt;
+        compound.attributes.push_back(std::move(*test));
+        any = true;
+      } else {
+        break;
+      }
+    }
+    if (!any) return std::nullopt;
+    return compound;
+  }
+
+  std::optional<AttributeTest> parse_attribute() {
+    skip_space();
+    AttributeTest test;
+    test.name = support::to_lower(read_identifier());
+    if (test.name.empty()) return std::nullopt;
+    skip_space();
+    if (pos_ < src_.size() && src_[pos_] == ']') {
+      ++pos_;
+      test.op = AttributeTest::Op::kPresent;
+      return test;
+    }
+    // operator: '=' or one of "^= $= *= ~="
+    if (pos_ >= src_.size()) return std::nullopt;
+    if (src_[pos_] == '=') {
+      test.op = AttributeTest::Op::kEquals;
+      ++pos_;
+    } else {
+      switch (src_[pos_]) {
+        case '^': test.op = AttributeTest::Op::kPrefix; break;
+        case '$': test.op = AttributeTest::Op::kSuffix; break;
+        case '*': test.op = AttributeTest::Op::kContains; break;
+        case '~': test.op = AttributeTest::Op::kWord; break;
+        default: return std::nullopt;
+      }
+      if (pos_ + 1 >= src_.size() || src_[pos_ + 1] != '=') {
+        return std::nullopt;
+      }
+      pos_ += 2;
+    }
+    skip_space();
+    // value: quoted or bare
+    if (pos_ < src_.size() && (src_[pos_] == '"' || src_[pos_] == '\'')) {
+      const char quote = src_[pos_++];
+      while (pos_ < src_.size() && src_[pos_] != quote) {
+        test.value.push_back(src_[pos_++]);
+      }
+      if (pos_ >= src_.size()) return std::nullopt;
+      ++pos_;  // closing quote
+    } else {
+      while (pos_ < src_.size() && src_[pos_] != ']' &&
+             !std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+        test.value.push_back(src_[pos_++]);
+      }
+    }
+    skip_space();
+    if (pos_ >= src_.size() || src_[pos_] != ']') return std::nullopt;
+    ++pos_;
+    return test;
+  }
+
+  std::optional<ComplexSelector> parse_complex() {
+    ComplexSelector complex;
+    skip_space();
+    auto first = parse_compound();
+    if (!first) return std::nullopt;
+    complex.compounds.push_back(std::move(*first));
+    for (;;) {
+      const std::size_t before_space = pos_;
+      skip_space();
+      // end of this complex selector: input exhausted or a list separator
+      if (pos_ >= src_.size() || src_[pos_] == ',') return complex;
+
+      ComplexSelector::Combinator combinator =
+          ComplexSelector::Combinator::kDescendant;
+      if (src_[pos_] == '>') {
+        combinator = ComplexSelector::Combinator::kChild;
+        ++pos_;
+        skip_space();
+      } else if (before_space == pos_) {
+        // no whitespace and no '>' — nothing more in this complex selector
+        return complex;
+      }
+      auto next = parse_compound();
+      if (!next) return std::nullopt;
+      complex.combinators.push_back(combinator);
+      complex.compounds.push_back(std::move(*next));
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool CompoundSelector::matches(const Element& element) const {
+  if (!tag.empty() && tag != "*" && element.tag() != tag) return false;
+  if (!id.empty() && element.id() != id) return false;
+  for (const std::string& cls : classes) {
+    if (!has_class(element, cls)) return false;
+  }
+  for (const AttributeTest& test : attributes) {
+    if (!element.has_attribute(test.name)) return false;
+    const std::string& value = element.attribute(test.name);
+    switch (test.op) {
+      case AttributeTest::Op::kPresent:
+        break;
+      case AttributeTest::Op::kEquals:
+        if (value != test.value) return false;
+        break;
+      case AttributeTest::Op::kPrefix:
+        if (!support::starts_with(value, test.value)) return false;
+        break;
+      case AttributeTest::Op::kSuffix:
+        if (!support::ends_with(value, test.value)) return false;
+        break;
+      case AttributeTest::Op::kContains:
+        if (!support::contains(value, test.value)) return false;
+        break;
+      case AttributeTest::Op::kWord:
+        if (!word_match(value, test.value)) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+bool ComplexSelector::matches(const Element& element) const {
+  // Match right-to-left: the rightmost compound must match `element`, then
+  // walk ancestors for the rest.
+  if (compounds.empty()) return false;
+  if (!compounds.back().matches(element)) return false;
+
+  const Element* current = &element;
+  for (std::size_t i = compounds.size() - 1; i-- > 0;) {
+    const Combinator combinator = combinators[i];
+    const Node* parent = current->parent();
+    if (combinator == Combinator::kChild) {
+      if (parent == nullptr || parent->type() != NodeType::kElement) {
+        return false;
+      }
+      const auto* parent_el = static_cast<const Element*>(parent);
+      if (!compounds[i].matches(*parent_el)) return false;
+      current = parent_el;
+    } else {
+      // descendant: find any matching ancestor
+      const Element* found = nullptr;
+      for (const Node* n = parent; n != nullptr; n = n->parent()) {
+        if (n->type() != NodeType::kElement) continue;
+        const auto* candidate = static_cast<const Element*>(n);
+        if (compounds[i].matches(*candidate)) {
+          found = candidate;
+          break;
+        }
+      }
+      if (found == nullptr) return false;
+      current = found;
+    }
+  }
+  return true;
+}
+
+std::optional<Selector> Selector::parse(std::string_view text) {
+  if (support::trim(text).empty()) return std::nullopt;
+  auto alternatives = SelectorParser(support::trim(text)).run();
+  if (!alternatives) return std::nullopt;
+  Selector selector;
+  selector.alternatives_ = std::move(*alternatives);
+  return selector;
+}
+
+bool Selector::matches(const Element& element) const {
+  for (const ComplexSelector& alt : alternatives_) {
+    if (alt.matches(element)) return true;
+  }
+  return false;
+}
+
+std::vector<Element*> Selector::select_all(Node& root) const {
+  std::vector<Element*> out;
+  root.for_each([&](Node& node) {
+    if (node.type() != NodeType::kElement) return;
+    auto& el = static_cast<Element&>(node);
+    if (matches(el)) out.push_back(&el);
+  });
+  return out;
+}
+
+Element* Selector::select_first(Node& root) const {
+  // document order = for_each order; stop-early isn't supported by for_each,
+  // so select_all and take the front (trees are small).
+  const std::vector<Element*> all = select_all(root);
+  return all.empty() ? nullptr : all.front();
+}
+
+}  // namespace fu::dom

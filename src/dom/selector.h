@@ -1,0 +1,80 @@
+// CSS selector engine (the subset real blocking lists and page scripts
+// lean on):
+//
+//   tag            div
+//   #id            #main
+//   .class         .ad-slot
+//   compound       div.ad-slot#main  [attr] a[href] input[type="text"]
+//   attribute      [data-x] [type=text] [href^="http"] [class~="a"]
+//   descendant     nav a
+//   child          ul > li
+//   selector list  a, button, .cta
+//
+// Used by Document.querySelector/querySelectorAll bindings and by the
+// blockers' element-hiding rules.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dom/node.h"
+
+namespace fu::dom {
+
+// One "[attr op value]" test.
+struct AttributeTest {
+  enum class Op {
+    kPresent,    // [attr]
+    kEquals,     // [attr=v]
+    kPrefix,     // [attr^=v]
+    kSuffix,     // [attr$=v]
+    kContains,   // [attr*=v]
+    kWord,       // [attr~=v] (whitespace-separated word)
+  };
+  std::string name;
+  Op op = Op::kPresent;
+  std::string value;
+};
+
+// One compound selector: tag?, #id?, .classes, [attr] tests.
+struct CompoundSelector {
+  std::string tag;  // empty or "*" = any
+  std::string id;
+  std::vector<std::string> classes;
+  std::vector<AttributeTest> attributes;
+
+  bool matches(const Element& element) const;
+};
+
+// A complex selector: compounds joined by combinators, right-to-left.
+struct ComplexSelector {
+  enum class Combinator { kDescendant, kChild };
+  std::vector<CompoundSelector> compounds;  // left to right
+  std::vector<Combinator> combinators;      // size = compounds.size() - 1
+
+  bool matches(const Element& element) const;
+};
+
+// A full selector (comma-separated list of complex selectors).
+class Selector {
+ public:
+  // Parse; nullopt on syntax errors (empty selector, bad attribute syntax).
+  static std::optional<Selector> parse(std::string_view text);
+
+  bool matches(const Element& element) const;
+
+  // All matching elements under `root`, in document order.
+  std::vector<Element*> select_all(Node& root) const;
+  Element* select_first(Node& root) const;
+
+  const std::vector<ComplexSelector>& alternatives() const {
+    return alternatives_;
+  }
+
+ private:
+  std::vector<ComplexSelector> alternatives_;
+};
+
+}  // namespace fu::dom

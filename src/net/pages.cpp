@@ -1,0 +1,293 @@
+// Page and script synthesis for SyntheticWeb (the member functions that
+// produce resource bodies). Everything is a pure function of the site plan
+// and the URL, so repeated fetches are identical across passes.
+#include <cstdio>
+
+#include "net/scriptgen.h"
+#include "net/web.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace fu::net {
+
+namespace {
+
+using support::Rng;
+
+struct PageLocation {
+  bool valid = false;
+  int section = -1;  // -1 = home page
+  int page = 0;
+  int deep = -1;   // >=0 for third-level pages
+  bool members = false;  // login-gated /account/ pages
+};
+
+PageLocation locate(const SitePlan& site, const Url& url) {
+  PageLocation loc;
+  const std::vector<std::string> segs = url.path_segments();
+  if (segs.empty()) {
+    loc.valid = true;
+    return loc;  // home
+  }
+  // "/account/m{j}.html" — the members area
+  if (segs[0] == "account") {
+    if (!site.has_members_area || segs.size() != 2) return loc;
+    if (!support::starts_with(segs[1], "m") ||
+        !support::ends_with(segs[1], ".html")) {
+      return loc;
+    }
+    try {
+      loc.page = std::stoi(segs[1].substr(1, segs[1].size() - 6));
+    } catch (const std::exception&) {
+      return loc;
+    }
+    if (loc.page < 0 || loc.page >= site.member_pages) return loc;
+    loc.members = true;
+    loc.valid = true;
+    return loc;
+  }
+  // "/s{i}/p{j}.html" or "/s{i}/p{j}/d{k}.html"
+  if (segs.size() < 2 || segs.size() > 3) return loc;
+  if (segs[0].size() < 2 || segs[0][0] != 's') return loc;
+  try {
+    loc.section = std::stoi(segs[0].substr(1));
+  } catch (const std::exception&) {
+    return loc;
+  }
+  if (loc.section < 0 || loc.section >= site.sections) return loc;
+
+  std::string page_name = segs[1];
+  if (segs.size() == 2) {
+    if (!support::starts_with(page_name, "p") ||
+        !support::ends_with(page_name, ".html")) {
+      return loc;
+    }
+    page_name = page_name.substr(1, page_name.size() - 6);
+  } else {
+    if (!support::starts_with(page_name, "p")) return loc;
+    page_name = page_name.substr(1);
+  }
+  try {
+    loc.page = std::stoi(page_name);
+  } catch (const std::exception&) {
+    return loc;
+  }
+  if (loc.page < 0 || loc.page >= site.pages_per_section) return loc;
+
+  if (segs.size() == 3) {
+    const std::string& deep_name = segs[2];
+    if (!support::starts_with(deep_name, "d") ||
+        !support::ends_with(deep_name, ".html")) {
+      return loc;
+    }
+    try {
+      loc.deep = std::stoi(deep_name.substr(1, deep_name.size() - 6));
+    } catch (const std::exception&) {
+      return loc;
+    }
+    if (loc.deep < 0 || loc.deep > 1) return loc;
+  }
+  loc.valid = true;
+  return loc;
+}
+
+bool placement_on_page(const StandardPlacement& p, const PageLocation& loc) {
+  if (p.authenticated) return loc.members;
+  if (loc.members) return p.sitewide;  // sitewide analytics run there too
+  if (p.sitewide) return true;
+  return loc.section == p.section;
+}
+
+std::string third_party_src(const SitePlan& site, const StandardPlacement& p,
+                            std::size_t index, bool frame) {
+  std::string_view path;
+  if (frame) {
+    path = "/frame.html";
+  } else {
+    switch (p.script_class) {
+      case ScriptClass::kAd: path = "/adtag/tag.js"; break;
+      case ScriptClass::kTracker: path = "/collect/t.js"; break;
+      case ScriptClass::kAdAndTracker: path = "/sync/tag.js"; break;
+      case ScriptClass::kFirstParty: path = "/"; break;
+    }
+  }
+  return "http://" + p.third_party_host + std::string(path) +
+         "?site=" + site.domain + "&p=" + std::to_string(index);
+}
+
+void append_links(std::string& html, const SitePlan& site,
+                  const PageLocation& loc, Rng& rng) {
+  html += "<nav>\n";
+  if (loc.members) {
+    html += "<a href=\"/\">Home</a>\n";
+    for (int j = 0; j < site.member_pages; ++j) {
+      if (j == loc.page) continue;
+      html += "<a href=\"/account/m" + std::to_string(j) +
+              ".html\">Member page " + std::to_string(j) + "</a>\n";
+    }
+    html += "</nav>\n";
+    return;
+  }
+  if (loc.section < 0) {
+    if (site.has_members_area) {
+      html += "<a href=\"/account/m0.html\">Sign in</a>\n";
+    }
+    for (int i = 0; i < site.sections; ++i) {
+      html += "<a href=\"/s" + std::to_string(i) +
+              "/p0.html\">Section " + std::to_string(i) + "</a>\n";
+    }
+    if (site.pages_per_section > 1) {
+      html += "<a href=\"/s0/p1.html\">Featured</a>\n";
+    }
+  } else if (loc.deep < 0) {
+    html += "<a href=\"/\">Home</a>\n";
+    for (int j = 0; j < site.pages_per_section; ++j) {
+      if (j == loc.page) continue;
+      html += "<a href=\"/s" + std::to_string(loc.section) + "/p" +
+              std::to_string(j) + ".html\">Article " + std::to_string(j) +
+              "</a>\n";
+    }
+    for (int k = 0; k <= 1; ++k) {
+      html += "<a href=\"/s" + std::to_string(loc.section) + "/p" +
+              std::to_string(loc.page) + "/d" + std::to_string(k) +
+              ".html\">Read more " + std::to_string(k) + "</a>\n";
+    }
+    html += "<a href=\"/s" + std::to_string((loc.section + 1) % site.sections) +
+            "/p0.html\">Related</a>\n";
+  } else {
+    html += "<a href=\"/\">Home</a>\n";
+    html += "<a href=\"/s" + std::to_string(loc.section) + "/p" +
+            std::to_string(loc.page) + ".html\">Back</a>\n";
+  }
+  // Offsite links the monkey will try to click (navigation is intercepted).
+  for (int k = 0; k < 2; ++k) {
+    html += "<a href=\"http://site" +
+            std::to_string(1 + rng.below(9999)) + ".com/\">Partner " +
+            std::to_string(k) + "</a>\n";
+  }
+  html += "</nav>\n";
+}
+
+}  // namespace
+
+std::string SyntheticWeb::document_body(const SitePlan& site, const Url& url,
+                                        bool authenticated) const {
+  const PageLocation loc = locate(site, url);
+  if (!loc.valid) return "";
+  if (loc.members && !authenticated) return login_wall(site);
+  Rng rng(site.seed, "page:" + url.path());
+  const bool broken = site.status == SiteStatus::kBrokenScripts;
+
+  std::string html = "<!doctype html>\n<html>\n<head>\n<title>" + site.domain +
+                     " — page</title>\n";
+  html += "<meta charset=\"utf-8\">\n";
+  html += "<script src=\"/js/app0.js\"></script>\n";
+  if (loc.members) {
+    html += "<script src=\"/js/members.js\"></script>\n";
+  } else if (loc.section >= 0) {
+    html += "<script src=\"/js/app" + std::to_string(loc.section + 1) +
+            ".js\"></script>\n";
+  }
+  if (!broken) {
+    for (std::size_t i = 0; i < site.placements.size(); ++i) {
+      const StandardPlacement& p = site.placements[i];
+      if (!p.blockable || p.framed || !placement_on_page(p, loc)) continue;
+      html += "<script src=\"" + third_party_src(site, p, i, false) +
+              "\"></script>\n";
+    }
+  }
+  // Broken sites (§4.3.3) fail in their inline bootstrap too — nothing on
+  // the page executes.
+  html += "<script>\n" + (broken ? broken_script() : filler_code(rng, 3)) +
+          "</script>\n";
+  html += "</head>\n<body>\n<h1>" + site.domain + "</h1>\n";
+  append_links(html, site, loc, rng);
+
+  const int paragraphs = 2 + static_cast<int>(rng.below(4));
+  for (int i = 0; i < paragraphs; ++i) {
+    html += "<p>Section content block " + std::to_string(i) +
+            " with enough text to scroll past and read through.</p>\n";
+  }
+  html += "<button id=\"cta\">Subscribe</button>\n";
+  html += "<button id=\"menu-toggle\">Menu</button>\n";
+  html += "<form id=\"search-form\"><input id=\"q\" type=\"text\"></form>\n";
+  html += "<img src=\"/img/banner" + std::to_string(rng.below(5)) +
+          ".png\">\n";
+
+  if (!broken) {
+    for (std::size_t i = 0; i < site.placements.size(); ++i) {
+      const StandardPlacement& p = site.placements[i];
+      if (!p.blockable || !p.framed || !placement_on_page(p, loc)) continue;
+      // real ad units carry the class names cosmetic filters target
+      html += "<iframe class=\"ad-slot\" src=\"" +
+              third_party_src(site, p, i, true) + "\"></iframe>\n";
+    }
+  }
+  html += "</body>\n</html>\n";
+  return html;
+}
+
+std::string SyntheticWeb::first_party_script(const SitePlan& site,
+                                             int script_slot) const {
+  if (site.status == SiteStatus::kBrokenScripts) return broken_script();
+  Rng rng(site.seed, "fp" + std::to_string(script_slot));
+  std::string out = filler_code(rng, 3 + static_cast<int>(rng.below(5)));
+  for (std::size_t i = 0; i < site.placements.size(); ++i) {
+    const StandardPlacement& p = site.placements[i];
+    if (p.blockable || p.authenticated) continue;
+    const bool wanted = script_slot == 0
+                            ? p.sitewide
+                            : (!p.sitewide && p.section == script_slot - 1);
+    if (!wanted) continue;
+    out += placement_snippet(*catalog_, p, static_cast<int>(i), rng);
+  }
+  out += filler_code(rng, 2);
+  return out;
+}
+
+std::string SyntheticWeb::members_script(const SitePlan& site) const {
+  if (site.status == SiteStatus::kBrokenScripts) return broken_script();
+  Rng rng(site.seed, "members");
+  std::string out = filler_code(rng, 2 + static_cast<int>(rng.below(3)));
+  for (std::size_t i = 0; i < site.placements.size(); ++i) {
+    const StandardPlacement& p = site.placements[i];
+    if (!p.authenticated) continue;
+    out += placement_snippet(*catalog_, p, static_cast<int>(i), rng);
+  }
+  return out;
+}
+
+std::string SyntheticWeb::login_wall(const SitePlan& site) const {
+  // No scripts, no member links: the open-web crawl bounces off here.
+  return "<!doctype html>\n<html>\n<head>\n<title>" + site.domain +
+         " — sign in</title>\n</head>\n<body>\n"
+         "<h1>Members only</h1>\n"
+         "<form id=\"login\"><input id=\"user\" type=\"text\">"
+         "<input id=\"pass\" type=\"text\"><button id=\"submit\">Sign in"
+         "</button></form>\n<a href=\"/\">Back</a>\n</body>\n</html>\n";
+}
+
+std::string SyntheticWeb::third_party_script(const SitePlan& site,
+                                             int placement) const {
+  const StandardPlacement& p =
+      site.placements[static_cast<std::size_t>(placement)];
+  Rng rng(site.seed, "tp" + std::to_string(placement));
+  std::string out = filler_code(rng, 2);
+  out += placement_snippet(*catalog_, p, placement, rng);
+  return out;
+}
+
+std::string SyntheticWeb::frame_document(const SitePlan& site,
+                                         int placement) const {
+  const StandardPlacement& p =
+      site.placements[static_cast<std::size_t>(placement)];
+  std::string html = "<!doctype html>\n<html>\n<head>\n";
+  html += "<script src=\"" +
+          third_party_src(site, p, static_cast<std::size_t>(placement),
+                          false) +
+          "\"></script>\n";
+  html += "</head>\n<body>\n<p>sponsored content</p>\n</body>\n</html>\n";
+  return html;
+}
+
+}  // namespace fu::net

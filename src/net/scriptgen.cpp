@@ -1,0 +1,169 @@
+#include "net/scriptgen.h"
+
+#include <array>
+#include <map>
+#include <string_view>
+
+#include "catalog/names.h"
+
+namespace fu::net {
+
+namespace {
+
+constexpr std::array<std::string_view, 6> kStringLiterals = {
+    "\"main\"", "\"content\"", "\"x\"", "\"data-v\"", "\"on\"", "\"hero\""};
+
+// Argument tuple for a synthesized call, varied by a deterministic counter.
+std::string call_args(support::Rng& rng) {
+  switch (rng.below(6)) {
+    case 0: return "()";
+    case 1: return "(" + std::string(kStringLiterals[rng.below(
+                             kStringLiterals.size())]) + ")";
+    case 2: return "(" + std::to_string(rng.below(16)) + ")";
+    case 3: return "(" + std::to_string(rng.below(8)) + ", " +
+                   std::to_string(rng.below(8)) + ")";
+    case 4: return "(" + std::string(kStringLiterals[rng.below(
+                             kStringLiterals.size())]) + ", " +
+                   std::to_string(rng.below(4)) + ")";
+    default: return "({ mode: \"auto\", retries: " +
+                    std::to_string(1 + rng.below(3)) + " })";
+  }
+}
+
+std::string property_value(support::Rng& rng) {
+  switch (rng.below(4)) {
+    case 0: return std::string(kStringLiterals[rng.below(kStringLiterals.size())]);
+    case 1: return std::to_string(rng.below(100));
+    case 2: return "true";
+    default: return "\"v" + std::to_string(rng.below(1000)) + "\"";
+  }
+}
+
+// Emits the statements that exercise the placement's features into `out`.
+void feature_statements(const catalog::Catalog& cat,
+                        const StandardPlacement& placement, int placement_index,
+                        support::Rng& rng, std::string& out) {
+  // Reuse one constructed instance per interface within the snippet.
+  std::map<std::string, std::string> instance_vars;
+  int var_serial = 0;
+
+  for (const catalog::FeatureId fid : placement.features) {
+    const catalog::Feature& f = cat.feature(fid);
+    std::string access = catalog::global_access_path(f.interface_name);
+    if (access.empty()) {
+      auto it = instance_vars.find(f.interface_name);
+      if (it == instance_vars.end()) {
+        const std::string var = "obj" + std::to_string(placement_index) + "_" +
+                                std::to_string(var_serial++);
+        out += "var " + var + " = new " + f.interface_name + "();\n";
+        it = instance_vars.emplace(f.interface_name, var).first;
+      }
+      access = it->second;
+    }
+
+    if (f.kind == catalog::FeatureKind::kProperty) {
+      out += access + "." + f.member_name + " = " + property_value(rng) + ";\n";
+      continue;
+    }
+    // Occasionally loop a call a few times — real pages call hot APIs
+    // (createElement, getComputedStyle, ...) many times per load.
+    if (rng.chance(0.15)) {
+      const std::string loop_var =
+          "i" + std::to_string(placement_index) + "_" +
+          std::to_string(var_serial++);
+      out += "for (var " + loop_var + " = 0; " + loop_var + " < " +
+             std::to_string(2 + rng.below(2)) + "; " + loop_var + " = " +
+             loop_var + " + 1) { " + access + "." + f.member_name +
+             call_args(rng) + "; }\n";
+    } else {
+      out += access + "." + f.member_name + call_args(rng) + ";\n";
+    }
+  }
+}
+
+}  // namespace
+
+std::string placement_snippet(const catalog::Catalog& catalog,
+                              const StandardPlacement& placement,
+                              int placement_index, support::Rng& rng) {
+  std::string body;
+  feature_statements(catalog, placement, placement_index, rng, body);
+
+  // DOM0 registration chains any previous handler so that several gated
+  // placements can share the one window.on<event> slot.
+  const auto dom0 = [&](const char* event) {
+    const std::string prev =
+        "prev" + std::to_string(placement_index) + "_" + event;
+    return "var " + prev + " = window.on" + event + ";\nwindow.on" + event +
+           " = function () { if (" + prev + ") { " + prev + "(); }\n" + body +
+           "};\n";
+  };
+  const auto modern = [&](const char* event) {
+    return "window.addEventListener(\"" + std::string(event) +
+           "\", function () {\n" + body + "});\n";
+  };
+  const auto gated = [&](const char* event) {
+    return placement.dom0_handlers ? dom0(event) : modern(event);
+  };
+
+  switch (placement.trigger) {
+    case Trigger::kImmediate:
+      return body;
+    case Trigger::kClick:
+      return gated("click");
+    case Trigger::kScroll:
+      return gated("scroll");
+    case Trigger::kInput:
+      return gated("input");
+    case Trigger::kTimer:
+      return "window.setTimeout(function () {\n" + body + "}, " +
+             std::to_string(200 + rng.below(2000)) + ");\n";
+    case Trigger::kLongDwell:
+      // beyond the 30-second monkey window; a 90-second human dwell fires it
+      return "window.setTimeout(function () {\n" + body + "}, " +
+             std::to_string(45'000 + rng.below(30'000)) + ");\n";
+  }
+  return body;
+}
+
+std::string filler_code(support::Rng& rng, int statement_count) {
+  std::string out;
+  const int serial = static_cast<int>(rng.below(10000));
+  out += "function util" + std::to_string(serial) +
+         "(a, b) { return a + b * 2; }\n";
+  out += "var acc" + std::to_string(serial) + " = 0;\n";
+  for (int i = 0; i < statement_count; ++i) {
+    switch (rng.below(4)) {
+      case 0:
+        out += "acc" + std::to_string(serial) + " = util" +
+               std::to_string(serial) + "(acc" + std::to_string(serial) +
+               ", " + std::to_string(rng.below(9)) + ");\n";
+        break;
+      case 1:
+        out += "for (var k" + std::to_string(i) + " = 0; k" +
+               std::to_string(i) + " < " + std::to_string(2 + rng.below(2)) +
+               "; k" + std::to_string(i) + " = k" + std::to_string(i) +
+               " + 1) { acc" + std::to_string(serial) + " = acc" +
+               std::to_string(serial) + " + k" + std::to_string(i) + "; }\n";
+        break;
+      case 2:
+        out += "var label" + std::to_string(i) + " = \"s\" + " +
+               std::to_string(rng.below(100)) + ";\n";
+        break;
+      default:
+        out += "if (acc" + std::to_string(serial) + " > " +
+               std::to_string(rng.below(50)) + ") { acc" +
+               std::to_string(serial) + " = acc" + std::to_string(serial) +
+               " - 1; }\n";
+        break;
+    }
+  }
+  return out;
+}
+
+std::string broken_script() {
+  // Tokenizes but fails to parse: assignment with a missing right-hand side.
+  return "var settings = { theme: \"light\" };\nvar boot = ;\n";
+}
+
+}  // namespace fu::net

@@ -1,0 +1,35 @@
+// MiniJS source synthesis for site scripts.
+//
+// Given a placement (one standard's usage on one site), emits JavaScript
+// text that exercises exactly the placement's features: member calls through
+// the ambient singleton when the interface has one (`navigator.sendBeacon(…)`),
+// `new Interface()` instances otherwise, and property writes for watchable
+// singleton properties. Usage that the plan gates behind interaction is
+// wrapped in event-handler or timer registrations, which the monkey tester
+// later fires. Filler code (closures, loops, string munging that touches no
+// instrumented feature) pads scripts so that parsing and execution look like
+// real pages rather than bare API call lists.
+#pragma once
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "net/web.h"
+#include "support/rng.h"
+
+namespace fu::net {
+
+// Code exercising the placement's features, trigger wrapper included.
+// `placement_index` seeds variable naming so concatenated snippets never
+// collide.
+std::string placement_snippet(const catalog::Catalog& catalog,
+                              const StandardPlacement& placement,
+                              int placement_index, support::Rng& rng);
+
+// Feature-free padding: helper functions, loops, local state.
+std::string filler_code(support::Rng& rng, int statement_count);
+
+// A script whose syntax error prevents all execution (broken sites, §4.3.3).
+std::string broken_script();
+
+}  // namespace fu::net

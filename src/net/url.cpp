@@ -1,0 +1,143 @@
+#include "net/url.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "support/strings.h"
+
+namespace fu::net {
+
+namespace {
+
+bool valid_host_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '.' || c == '-';
+}
+
+}  // namespace
+
+std::optional<Url> Url::parse(std::string_view text) {
+  const std::size_t scheme_end = text.find("://");
+  if (scheme_end == std::string_view::npos || scheme_end == 0) return std::nullopt;
+
+  Url url;
+  url.scheme_ = support::to_lower(text.substr(0, scheme_end));
+  if (url.scheme_ != "http" && url.scheme_ != "https") return std::nullopt;
+
+  std::string_view rest = text.substr(scheme_end + 3);
+  // strip fragment
+  if (const auto hash = rest.find('#'); hash != std::string_view::npos) {
+    rest = rest.substr(0, hash);
+  }
+  std::size_t path_start = rest.find_first_of("/?");
+  std::string_view authority =
+      path_start == std::string_view::npos ? rest : rest.substr(0, path_start);
+  if (authority.empty()) return std::nullopt;
+
+  std::string_view host = authority;
+  if (const auto colon = authority.rfind(':'); colon != std::string_view::npos) {
+    host = authority.substr(0, colon);
+    const std::string_view port_text = authority.substr(colon + 1);
+    int port = 0;
+    for (const char c : port_text) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+      port = port * 10 + (c - '0');
+      if (port > 65535) return std::nullopt;
+    }
+    url.port_ = port;
+  }
+  if (host.empty() ||
+      !std::all_of(host.begin(), host.end(), valid_host_char)) {
+    return std::nullopt;
+  }
+  url.host_ = support::to_lower(host);
+
+  if (path_start == std::string_view::npos) {
+    url.path_ = "/";
+    return url;
+  }
+  std::string_view tail = rest.substr(path_start);
+  if (const auto qmark = tail.find('?'); qmark != std::string_view::npos) {
+    url.query_ = std::string(tail.substr(qmark + 1));
+    tail = tail.substr(0, qmark);
+  }
+  url.path_ = tail.empty() || tail.front() != '/' ? "/" + std::string(tail)
+                                                  : std::string(tail);
+  return url;
+}
+
+std::optional<Url> Url::resolve(std::string_view ref) const {
+  if (ref.empty()) return *this;
+  if (ref.find("://") != std::string_view::npos) return parse(ref);
+  Url out = *this;
+  out.query_.clear();
+  if (ref.front() == '/') {
+    if (const auto q = ref.find('?'); q != std::string_view::npos) {
+      out.query_ = std::string(ref.substr(q + 1));
+      ref = ref.substr(0, q);
+    }
+    out.path_ = std::string(ref);
+    return out;
+  }
+  // document-relative: replace last segment
+  std::string base = directory();
+  if (base.empty() || base.back() != '/') base.push_back('/');
+  if (const auto q = ref.find('?'); q != std::string_view::npos) {
+    out.query_ = std::string(ref.substr(q + 1));
+    ref = ref.substr(0, q);
+  }
+  out.path_ = base + std::string(ref);
+  return out;
+}
+
+std::vector<std::string> Url::path_segments() const {
+  return support::split_nonempty(path_, '/');
+}
+
+std::string Url::directory() const {
+  const auto slash = path_.rfind('/');
+  if (slash == std::string::npos || slash == 0) return "/";
+  return path_.substr(0, slash);
+}
+
+std::string Url::spec() const {
+  std::string out = scheme_ + "://" + host_;
+  if (port_ != 0) out += ":" + std::to_string(port_);
+  out += path_;
+  if (!query_.empty()) out += "?" + query_;
+  return out;
+}
+
+std::string registrable_domain(std::string_view host) {
+  const std::vector<std::string> labels =
+      support::split_nonempty(host, '.');
+  if (labels.size() <= 2) return std::string(host);
+
+  const std::string& tld = labels.back();
+  const std::string& second = labels[labels.size() - 2];
+  const bool second_level_registry =
+      tld.size() == 2 &&
+      (second == "co" || second == "com" || second == "net" ||
+       second == "org" || second == "ac" || second == "gov");
+  const std::size_t keep = second_level_registry ? 3 : 2;
+  if (labels.size() <= keep) return std::string(host);
+
+  std::string out;
+  for (std::size_t i = labels.size() - keep; i < labels.size(); ++i) {
+    if (!out.empty()) out.push_back('.');
+    out += labels[i];
+  }
+  return out;
+}
+
+bool same_site(const Url& a, const Url& b) {
+  return registrable_domain(a.host()) == registrable_domain(b.host());
+}
+
+bool host_matches_domain(std::string_view host, std::string_view domain) {
+  if (host == domain) return true;
+  if (host.size() <= domain.size()) return false;
+  return support::ends_with(host, domain) &&
+         host[host.size() - domain.size() - 1] == '.';
+}
+
+}  // namespace fu::net

@@ -1,0 +1,65 @@
+// URL parsing and origin/registrable-domain logic.
+//
+// The crawler needs: same-site checks (BFS stays on the site, §4.3.1),
+// third-party checks (blocker $third-party options), and path-segment
+// structure (the crawl prefers URLs whose directory structure has not been
+// seen before).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fu::net {
+
+class Url {
+ public:
+  Url() = default;
+
+  // Parse an absolute URL: scheme://host[:port]/path[?query][#fragment].
+  // Returns nullopt for anything unusable.
+  static std::optional<Url> parse(std::string_view text);
+
+  // Resolve `ref` (absolute, host-relative "/a/b", or document-relative
+  // "a/b") against this URL.
+  std::optional<Url> resolve(std::string_view ref) const;
+
+  const std::string& scheme() const noexcept { return scheme_; }
+  const std::string& host() const noexcept { return host_; }
+  int port() const noexcept { return port_; }  // 0 = scheme default
+  const std::string& path() const noexcept { return path_; }  // begins with /
+  const std::string& query() const noexcept { return query_; }
+
+  // Path split into segments, e.g. "/a/b/c.html" -> {"a","b","c.html"}.
+  std::vector<std::string> path_segments() const;
+  // Directory part of the path: "/a/b/c.html" -> "/a/b".
+  std::string directory() const;
+
+  std::string spec() const;  // canonical string form
+
+  friend bool operator==(const Url& a, const Url& b) {
+    return a.scheme_ == b.scheme_ && a.host_ == b.host_ && a.port_ == b.port_ &&
+           a.path_ == b.path_ && a.query_ == b.query_;
+  }
+
+ private:
+  std::string scheme_;
+  std::string host_;
+  int port_ = 0;
+  std::string path_ = "/";
+  std::string query_;
+};
+
+// Registrable domain ("example.co.uk" for "a.b.example.co.uk"): last two
+// labels, or three when the penultimate label is a well-known second-level
+// registry suffix (co/com/net/org/ac/gov + 2-letter TLD).
+std::string registrable_domain(std::string_view host);
+
+// Same registrable domain?
+bool same_site(const Url& a, const Url& b);
+
+// Host equality or subdomain-of relation against a registrable domain.
+bool host_matches_domain(std::string_view host, std::string_view domain);
+
+}  // namespace fu::net

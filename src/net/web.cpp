@@ -1,0 +1,365 @@
+#include "net/web.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "catalog/names.h"
+#include "net/scriptgen.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace fu::net {
+
+namespace {
+
+using support::Rng;
+
+constexpr std::string_view kAdScriptPath = "/adtag/tag.js";
+constexpr std::string_view kTrackerScriptPath = "/collect/t.js";
+constexpr std::string_view kDualScriptPath = "/sync/tag.js";
+constexpr std::string_view kFramePath = "/frame.html";
+
+std::map<std::string, std::string> parse_query(std::string_view query) {
+  std::map<std::string, std::string> out;
+  for (const std::string& pair : support::split_nonempty(query, '&')) {
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos) {
+      out[pair] = "";
+    } else {
+      out[pair.substr(0, eq)] = pair.substr(eq + 1);
+    }
+  }
+  return out;
+}
+
+std::string site_domain(int rank) {
+  char buf[40];
+  constexpr std::array<const char*, 3> kTlds = {"com", "net", "org"};
+  std::snprintf(buf, sizeof buf, "site%05d.%s", rank,
+                kTlds[static_cast<std::size_t>(rank) % kTlds.size()]);
+  return buf;
+}
+
+}  // namespace
+
+double popularity_tilt(const catalog::StandardSpec& spec) {
+  // The paper's Figure 5 singles out DOM4, DOM-PS, H-HI and TC as standards
+  // whose share of page *views* clearly exceeds their share of *sites*.
+  if (spec.abbreviation == "DOM4" || spec.abbreviation == "DOM-PS" ||
+      spec.abbreviation == "H-HI" || spec.abbreviation == "TC") {
+    return 0.7;
+  }
+  const std::uint64_t h = support::fnv1a(spec.abbreviation);
+  return (static_cast<double>(h % 1000) / 1000.0 - 0.5) * 0.5;  // [-0.25,0.25)
+}
+
+SyntheticWeb::SyntheticWeb(const catalog::Catalog& catalog, Config config)
+    : catalog_(&catalog), config_(config) {
+  if (config_.site_count < 1) {
+    throw std::invalid_argument("SyntheticWeb: need at least one site");
+  }
+  build_third_party_pools();
+  build_sites();
+}
+
+void SyntheticWeb::build_third_party_pools() {
+  constexpr std::array<const char*, 7> kAdBrands = {
+      "adserve", "bannerhub", "clickgrid", "popreach", "displaycast",
+      "admixer", "promostack"};
+  constexpr std::array<const char*, 6> kTrackerBrands = {
+      "trackware", "statcount", "pixelsense", "audiencelab", "metricflow",
+      "visitlog"};
+  constexpr std::array<const char*, 4> kDualBrands = {"admetrica", "tagsync",
+                                                      "reachprobe", "adinsight"};
+  for (int k = 0; k < 28; ++k) {
+    ad_hosts_.push_back(
+        "cdn." + std::string(kAdBrands[static_cast<std::size_t>(k) %
+                                       kAdBrands.size()]) +
+        std::to_string(k) + ".com");
+  }
+  for (int k = 0; k < 22; ++k) {
+    tracker_hosts_.push_back(
+        "pixel." + std::string(kTrackerBrands[static_cast<std::size_t>(k) %
+                                              kTrackerBrands.size()]) +
+        std::to_string(k) + ".com");
+  }
+  for (int k = 0; k < 14; ++k) {
+    dual_hosts_.push_back(
+        "tags." + std::string(kDualBrands[static_cast<std::size_t>(k) %
+                                          kDualBrands.size()]) +
+        std::to_string(k) + ".com");
+  }
+  for (const auto& h : ad_hosts_) third_party_hosts_[h] = true;
+  for (const auto& h : tracker_hosts_) third_party_hosts_[h] = true;
+  for (const auto& h : dual_hosts_) third_party_hosts_[h] = true;
+}
+
+void SyntheticWeb::build_sites() {
+  const support::Zipf zipf(static_cast<std::size_t>(config_.site_count),
+                           config_.zipf_exponent);
+  sites_.reserve(static_cast<std::size_t>(config_.site_count));
+  for (int rank = 1; rank <= config_.site_count; ++rank) {
+    SitePlan plan = plan_site(rank);
+    plan.visit_weight = zipf.pmf(static_cast<std::size_t>(rank));
+    by_domain_[plan.domain] = sites_.size();
+    sites_.push_back(std::move(plan));
+  }
+}
+
+SitePlan SyntheticWeb::plan_site(int rank) {
+  SitePlan plan;
+  plan.rank = rank;
+  plan.domain = site_domain(rank);
+  plan.seed = config_.seed ^ support::fnv1a(plan.domain);
+  Rng rng(config_.seed, plan.domain);
+
+  if (rng.chance(config_.dead_fraction)) {
+    plan.status = SiteStatus::kDead;
+  } else if (rng.chance(config_.broken_fraction)) {
+    plan.status = SiteStatus::kBrokenScripts;
+  }
+  // Enough sections that one 13-page crawl pass covers only part of the
+  // site: repeated passes keep discovering section-bound functionality at
+  // the decaying rate Table 3 reports.
+  plan.sections = 6 + static_cast<int>(rng.below(9));           // 6..14
+  plan.pages_per_section = 2 + static_cast<int>(rng.below(3));  // 2..4
+
+  // Rank score in [-1, 1]; +1 for the most popular site. Used with the
+  // per-standard tilt to make some standards skew toward high-traffic sites.
+  const double score =
+      1.0 - 2.0 * static_cast<double>(rank) /
+                static_cast<double>(config_.site_count);
+
+  const auto& specs = catalog_->standards();
+  for (std::size_t sid = 0; sid < specs.size(); ++sid) {
+    const catalog::StandardSpec& spec = specs[sid];
+    if (spec.target_sites <= 0) continue;
+    // Table 2's site counts are out of the *measured* population (9,733 of
+    // 10,000 in the paper), so presence priors are scaled by the expected
+    // measured fraction — dead/broken sites roll placements too but never
+    // contribute measurements.
+    const double measured_fraction =
+        (1.0 - config_.dead_fraction) * (1.0 - config_.broken_fraction);
+    double base =
+        static_cast<double>(spec.target_sites) /
+        (static_cast<double>(catalog::kAlexaSites) * measured_fraction);
+    // Long-dwell placements (~3% of sitewide non-core usage) are invisible
+    // to the 30-second automated crawl; inflate the prior so *measured*
+    // popularity still lands on the Table-2 target.
+    if (spec.target_sites < 8000) base = std::min(1.0, base * 1.018);
+    // Tilt is damped by p(1-p) so the per-rank adjustment never clips at the
+    // probability boundaries — clipping would bias the mean away from the
+    // calibration target for very popular standards.
+    const double adjusted = std::clamp(
+        base + 0.8 * popularity_tilt(spec) * score * base * (1.0 - base), 0.0,
+        1.0);
+    if (!rng.chance(adjusted)) continue;
+
+    StandardPlacement placement;
+    placement.standard = static_cast<catalog::StandardId>(sid);
+    placement.blockable = rng.chance(spec.block_rate);
+    if (placement.blockable) {
+      const bool ad = rng.chance(spec.ad_affinity);
+      const bool tracker = rng.chance(spec.tracker_affinity);
+      if (ad && tracker) {
+        placement.script_class = ScriptClass::kAdAndTracker;
+        placement.third_party_host =
+            dual_hosts_[rng.below(dual_hosts_.size())];
+      } else if (tracker) {
+        placement.script_class = ScriptClass::kTracker;
+        placement.third_party_host =
+            tracker_hosts_[rng.below(tracker_hosts_.size())];
+      } else if (ad) {
+        placement.script_class = ScriptClass::kAd;
+        placement.third_party_host = ad_hosts_[rng.below(ad_hosts_.size())];
+      } else if (spec.ad_affinity >= spec.tracker_affinity) {
+        placement.script_class = ScriptClass::kAd;
+        placement.third_party_host = ad_hosts_[rng.below(ad_hosts_.size())];
+      } else {
+        placement.script_class = ScriptClass::kTracker;
+        placement.third_party_host =
+            tracker_hosts_[rng.below(tracker_hosts_.size())];
+      }
+      placement.framed = placement.script_class != ScriptClass::kTracker &&
+                         rng.chance(0.3);
+    }
+
+    // Reach: the web's core standards are on every page; the long tail is
+    // often buried in one section of the site, which is what makes repeated
+    // crawl passes keep discovering new standards (Table 3).
+    const bool core = spec.target_sites >= 8000;
+    if (!core && rng.chance(0.45)) {
+      placement.sitewide = false;
+      placement.section = static_cast<int>(rng.below(
+          static_cast<std::uint64_t>(plan.sections)));
+    }
+    // Trigger: most usage runs on load; some only on interaction. A thin
+    // slice of sitewide, non-core usage hides behind a long dwell — the
+    // §6.2 outliers where a patient human sees what the monkey cannot.
+    if (!core && placement.sitewide && rng.chance(0.033)) {
+      placement.trigger = Trigger::kLongDwell;
+    } else {
+      const double immediate_p = placement.sitewide ? 0.75 : 0.45;
+      if (rng.chance(immediate_p)) {
+        placement.trigger = Trigger::kImmediate;
+      } else {
+        constexpr std::array<Trigger, 4> kGated = {
+            Trigger::kClick, Trigger::kScroll, Trigger::kInput,
+            Trigger::kTimer};
+        placement.trigger = kGated[rng.below(kGated.size())];
+      }
+    }
+
+    // Feature selection within the standard.
+    for (const catalog::FeatureId fid : catalog_->features_of(
+             static_cast<catalog::StandardId>(sid))) {
+      const catalog::Feature& f = catalog_->feature(fid);
+      if (f.target_sites <= 0) continue;
+      if (f.rank_in_standard == 0) {
+        placement.features.push_back(fid);
+        continue;
+      }
+      if (f.blocked_only) {
+        if (placement.blockable &&
+            rng.chance(std::min(
+                1.0, f.conditional_use / std::max(0.05, spec.block_rate)))) {
+          placement.features.push_back(fid);
+        }
+        continue;
+      }
+      if (rng.chance(f.conditional_use)) placement.features.push_back(fid);
+    }
+    plan.placements.push_back(std::move(placement));
+  }
+
+  // Closed-web content (§7.3): some sites keep application-like features —
+  // workers, storage, crypto, media — behind a login. These placements are
+  // unreachable for the open-web crawl and exist to support the closed-web
+  // extension experiment.
+  if (plan.status == SiteStatus::kOk &&
+      rng.chance(config_.members_area_fraction)) {
+    plan.has_members_area = true;
+    plan.member_pages = 2 + static_cast<int>(rng.below(3));  // 2..4
+    constexpr std::array<const char*, 12> kAppStandards = {
+        "H-WW", "IDB", "WCR", "F",   "SW",  "MSR",
+        "MCS",  "WN",  "FA",  "URL", "H-B", "EME"};
+    for (const char* abbrev : kAppStandards) {
+      if (!rng.chance(0.30)) continue;
+      const catalog::StandardId sid =
+          catalog_->standard_by_abbreviation(abbrev);
+      if (sid == catalog::kInvalidStandard) continue;
+      StandardPlacement placement;
+      placement.standard = sid;
+      placement.authenticated = true;
+      placement.sitewide = false;
+      placement.trigger =
+          rng.chance(0.6) ? Trigger::kImmediate : Trigger::kClick;
+      // members-area features: the standard's flagship plus a couple more,
+      // regardless of open-web popularity (even never-used standards can
+      // live here — that is the point of §7.3)
+      const auto& fids = catalog_->features_of(sid);
+      placement.features.push_back(fids.front());
+      for (std::size_t i = 1; i < fids.size() && i < 6; ++i) {
+        if (rng.chance(0.4)) placement.features.push_back(fids[i]);
+      }
+      plan.placements.push_back(std::move(placement));
+    }
+  }
+
+  // Sites that use DOM Level 2 Events register handlers the modern way;
+  // everyone else falls back to DOM0 assignment (uncountable, §4.2.3).
+  const catalog::StandardId dom2e =
+      catalog_->standard_by_abbreviation("DOM2-E");
+  const bool has_dom2e =
+      std::any_of(plan.placements.begin(), plan.placements.end(),
+                  [dom2e](const StandardPlacement& p) {
+                    return p.standard == dom2e;
+                  });
+  for (StandardPlacement& p : plan.placements) {
+    p.dom0_handlers = !has_dom2e;
+  }
+  return plan;
+}
+
+const SitePlan* SyntheticWeb::site_by_host(std::string_view host) const {
+  const std::string domain = registrable_domain(host);
+  const auto it = by_domain_.find(domain);
+  return it == by_domain_.end() ? nullptr : &sites_[it->second];
+}
+
+Url SyntheticWeb::home_url(const SitePlan& site) const {
+  return *Url::parse("http://www." + site.domain + "/");
+}
+
+std::optional<Resource> SyntheticWeb::fetch(const Url& url,
+                                            bool authenticated) const {
+  // Third-party infrastructure?
+  if (third_party_hosts_.find(url.host()) != third_party_hosts_.end()) {
+    const auto params = parse_query(url.query());
+    const auto site_it = params.find("site");
+    const auto p_it = params.find("p");
+    if (site_it == params.end() || p_it == params.end()) return std::nullopt;
+    const SitePlan* site = site_by_host(site_it->second);
+    if (site == nullptr) return std::nullopt;
+    int placement = -1;
+    try {
+      placement = std::stoi(p_it->second);
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+    if (placement < 0 ||
+        placement >= static_cast<int>(site->placements.size())) {
+      return std::nullopt;
+    }
+    if (url.path() == kFramePath) {
+      return Resource{url, ResourceKind::kDocument,
+                      frame_document(*site, placement)};
+    }
+    if (url.path() == kAdScriptPath || url.path() == kTrackerScriptPath ||
+        url.path() == kDualScriptPath) {
+      return Resource{url, ResourceKind::kScript,
+                      third_party_script(*site, placement)};
+    }
+    return std::nullopt;
+  }
+
+  const SitePlan* site = site_by_host(url.host());
+  if (site == nullptr) return std::nullopt;
+  if (site->status == SiteStatus::kDead) return std::nullopt;
+
+  const std::vector<std::string> segments = url.path_segments();
+  // The members area: real content only with credentials.
+  if (!segments.empty() && segments[0] == "account") {
+    if (!site->has_members_area) return std::nullopt;
+    if (!authenticated) {
+      return Resource{url, ResourceKind::kDocument, login_wall(*site)};
+    }
+  }
+  if (segments.size() == 2 && segments[0] == "js" &&
+      segments[1] == "members.js") {
+    if (!site->has_members_area || !authenticated) return std::nullopt;
+    return Resource{url, ResourceKind::kScript, members_script(*site)};
+  }
+  if (segments.size() == 2 && segments[0] == "js" &&
+      support::starts_with(segments[1], "app") &&
+      support::ends_with(segments[1], ".js")) {
+    const std::string slot_text =
+        segments[1].substr(3, segments[1].size() - 6);
+    try {
+      const int slot = std::stoi(slot_text);
+      if (slot < 0 || slot > site->sections) return std::nullopt;
+      return Resource{url, ResourceKind::kScript,
+                      first_party_script(*site, slot)};
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+  const std::string body = document_body(*site, url, authenticated);
+  if (body.empty()) return std::nullopt;
+  return Resource{url, ResourceKind::kDocument, body};
+}
+
+}  // namespace fu::net

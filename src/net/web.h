@@ -1,0 +1,167 @@
+// The synthetic web: a deterministic, generated stand-in for the 2016
+// Alexa 10k (§3.1, §4.3).
+//
+// Every site gets a *plan*: which standards it uses, whether each standard's
+// usage lives in first-party code or in ad/tracker scripts (the channel that
+// Table 2's block rates are calibrated from), which features of the standard
+// appear, whether usage is sitewide or buried in one section of the site,
+// and whether it runs immediately or only in response to user interaction.
+// Page HTML and script source are synthesized lazily and purely from
+// (seed, URL), so the whole web needs no storage and any fetch is
+// reproducible in isolation.
+//
+// ~2.7% of sites are unmeasurable, mirroring the paper's 267 failed domains
+// (§4.3.3): "dead" sites never respond; "broken" sites serve scripts with
+// syntax errors that prevent all execution.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "net/url.h"
+
+namespace fu::net {
+
+enum class ResourceKind { kDocument, kScript };
+
+struct Resource {
+  Url url;
+  ResourceKind kind = ResourceKind::kDocument;
+  std::string body;
+};
+
+enum class SiteStatus { kOk, kDead, kBrokenScripts };
+
+// Which script class hosts a standard's usage on a given site.
+enum class ScriptClass : std::uint8_t {
+  kFirstParty,    // site's own code; never blocked
+  kAd,            // served from an ad network domain (AdBlock Plus blocks)
+  kTracker,       // served from a tracker domain (Ghostery blocks)
+  kAdAndTracker,  // ad network that also tracks (both lists block)
+};
+
+// How the usage is triggered during the 30-second interaction window.
+enum class Trigger : std::uint8_t {
+  kImmediate,  // top-level script code
+  kClick,      // click handler
+  kScroll,     // scroll handler
+  kInput,      // text-input handler
+  kTimer,      // setTimeout callback within the 30 s window
+  // A timer beyond the monkey's 30-second budget: only a longer, human-style
+  // dwell reaches it. These placements are what the paper's §6.2 outliers
+  // are made of — functionality manual browsing sees but automation misses.
+  kLongDwell,
+};
+
+struct StandardPlacement {
+  catalog::StandardId standard = catalog::kInvalidStandard;
+  bool blockable = false;
+  ScriptClass script_class = ScriptClass::kFirstParty;
+  Trigger trigger = Trigger::kImmediate;
+  bool sitewide = true;
+  int section = 0;          // when !sitewide: which L1 section hosts it
+  // Closed-web placements (§7.3): usage that only exists behind a login.
+  // The open-web crawl the paper performs can never observe these.
+  bool authenticated = false;
+  bool framed = false;      // blockable usage delivered inside an ad iframe
+  // Handler-registration idiom for gated triggers: sites that use the DOM
+  // Level 2 Events standard register via addEventListener; the rest use
+  // legacy DOM0 assignment (window.onclick = fn), which the measuring
+  // extension cannot count (§4.2.3).
+  bool dom0_handlers = false;
+  std::vector<catalog::FeatureId> features;
+  std::string third_party_host;  // for blockable placements
+};
+
+struct SitePlan {
+  int rank = 1;  // 1-based; 1 = most popular
+  std::string domain;
+  double visit_weight = 0;  // share of all web visits (sums to ~1)
+  SiteStatus status = SiteStatus::kOk;
+  int sections = 4;            // L1 branches under the home page
+  int pages_per_section = 3;   // L2 pages in each branch
+  bool has_members_area = false;  // login-gated subtree (§7.3)
+  int member_pages = 0;
+  std::uint64_t seed = 0;      // per-site stream
+  std::vector<StandardPlacement> placements;
+};
+
+class SyntheticWeb {
+ public:
+  struct Config {
+    int site_count = catalog::kAlexaSites;
+    std::uint64_t seed = 0xa1e8a10ULL;
+    double dead_fraction = 0.015;
+    double broken_fraction = 0.012;
+    double zipf_exponent = 0.95;  // Alexa visit-weight skew
+    // Fraction of a rare-placement's discovery probability per crawl pass;
+    // drives the Table-3 internal-validation decay.
+    double deep_section_bias = 0.55;
+    // Fraction of sites with a login-gated members area whose functionality
+    // an open-web crawl cannot reach (§4.1, §7.3).
+    double members_area_fraction = 0.35;
+  };
+
+  SyntheticWeb(const catalog::Catalog& catalog, Config config);
+
+  const Config& config() const noexcept { return config_; }
+  const catalog::Catalog& feature_catalog() const noexcept { return *catalog_; }
+
+  const std::vector<SitePlan>& sites() const noexcept { return sites_; }
+  // Lookup by host ("www.rank0001-..." works); nullptr when unknown.
+  const SitePlan* site_by_host(std::string_view host) const;
+
+  // Synthesizes the resource at `url`; nullopt = network error / 404 / dead.
+  // With `authenticated` the request carries valid site credentials —
+  // login-gated pages serve their real content instead of the login wall.
+  std::optional<Resource> fetch(const Url& url,
+                                bool authenticated = false) const;
+
+  // Third-party infrastructure, for building blocker lists.
+  const std::vector<std::string>& ad_hosts() const noexcept { return ad_hosts_; }
+  const std::vector<std::string>& tracker_hosts() const noexcept {
+    return tracker_hosts_;
+  }
+  const std::vector<std::string>& dual_hosts() const noexcept {
+    return dual_hosts_;
+  }
+
+  // Home-page URL for a site.
+  Url home_url(const SitePlan& site) const;
+
+ private:
+  friend class PageSynthesizer;
+
+  void build_third_party_pools();
+  void build_sites();
+  SitePlan plan_site(int rank);
+
+  std::string document_body(const SitePlan& site, const Url& url,
+                            bool authenticated) const;
+  std::string first_party_script(const SitePlan& site, int script_slot) const;
+  std::string members_script(const SitePlan& site) const;
+  std::string login_wall(const SitePlan& site) const;
+  std::string third_party_script(const SitePlan& site, int placement) const;
+  std::string frame_document(const SitePlan& site, int placement) const;
+
+  const catalog::Catalog* catalog_;
+  Config config_;
+  std::vector<SitePlan> sites_;
+  std::map<std::string, std::size_t, std::less<>> by_domain_;
+  std::vector<std::string> ad_hosts_;
+  std::vector<std::string> tracker_hosts_;
+  std::vector<std::string> dual_hosts_;
+  std::map<std::string, bool, std::less<>> third_party_hosts_;  // host -> any
+};
+
+// Standard-vs-site-popularity tilt for Figure 5: positive values make the
+// standard relatively more common on high-traffic sites. Hand-tilted for the
+// four standards the paper labels; hash-derived jitter elsewhere.
+double popularity_tilt(const catalog::StandardSpec& spec);
+
+}  // namespace fu::net

@@ -1,0 +1,98 @@
+// MiniJS abstract syntax tree. Owned as a Program of unique_ptrs; the
+// interpreter walks it without mutating, so one parsed script can be
+// executed many times (the crawler re-runs the same page scripts on every
+// measurement pass).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fu::script {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kStrictEq, kStrictNe,
+  kLt, kGt, kLe, kGe,
+  kAnd, kOr,
+  kInstanceof,  // prototype-chain test
+  kIn,          // property-existence test
+};
+
+enum class UnaryOp { kNot, kNeg, kTypeof, kDelete };
+
+struct AstFunction {
+  std::string name;  // empty for anonymous
+  std::vector<std::string> params;
+  std::vector<StmtPtr> body;
+};
+
+struct Expr {
+  enum class Kind {
+    kNumber, kString, kBool, kNull, kUndefined,
+    kIdentifier, kMember, kIndex, kCall, kNew,
+    kAssign, kBinary, kUnary, kConditional,
+    kFunction, kObjectLiteral, kArrayLiteral,
+  };
+
+  explicit Expr(Kind k) : kind(k) {}
+
+  Kind kind;
+  // literals
+  double number = 0;
+  std::string text;  // string literal / identifier / member name
+  bool boolean = false;
+  // composite
+  ExprPtr object;               // member/index base, assign target base
+  ExprPtr index;                // index expression
+  ExprPtr callee;               // call/new target
+  std::vector<ExprPtr> args;    // call/new arguments, array elements
+  ExprPtr lhs, rhs;             // binary / assign
+  ExprPtr cond, then_expr, else_expr;  // conditional
+  BinaryOp binary_op = BinaryOp::kAdd;
+  UnaryOp unary_op = UnaryOp::kNot;
+  std::shared_ptr<AstFunction> function;  // function expressions
+  // object literal: parallel vectors of keys and value expressions
+  std::vector<std::string> keys;
+};
+
+struct Stmt {
+  enum class Kind {
+    kExpr, kVar, kIf, kWhile, kDoWhile, kFor, kReturn, kBlock, kFunction,
+    kTry, kBreak, kContinue, kEmpty, kSwitch,
+  };
+
+  explicit Stmt(Kind k) : kind(k) {}
+
+  Kind kind;
+  ExprPtr expr;              // expr stmt / var init / return value / conditions
+  std::string name;          // var name / catch binding
+  StmtPtr body;              // loop body, if-then
+  StmtPtr else_body;         // if-else
+  ExprPtr init_expr;         // for-init expression (var handled via init_stmt)
+  StmtPtr init_stmt;         // for-init var declaration
+  ExprPtr step;              // for-step
+  std::vector<StmtPtr> statements;  // block
+  std::shared_ptr<AstFunction> function;  // function declarations
+  std::vector<StmtPtr> catch_body;        // try/catch
+
+  // switch: one entry per case clause; `expr` is the discriminant. A null
+  // test marks the default clause. Each clause owns its statement list;
+  // fallthrough runs until break.
+  struct SwitchClause {
+    ExprPtr test;  // null = default
+    std::vector<StmtPtr> body;
+  };
+  std::vector<SwitchClause> clauses;
+};
+
+struct Program {
+  std::vector<StmtPtr> statements;
+};
+
+}  // namespace fu::script

@@ -1,0 +1,482 @@
+// Extended builtins: Array methods, String methods, JSON, Object helpers.
+// Separated from the interpreter core to keep interp.cpp focused on
+// evaluation semantics. Everything here goes through the public Heap API.
+#include <algorithm>
+#include <cmath>
+
+#include "script/interp.h"
+
+namespace fu::script {
+
+namespace {
+
+// --- array helpers --------------------------------------------------------
+
+double array_length(Heap& heap, ObjectRef arr) {
+  const Value len = heap.get_property(arr, "length");
+  return len.is_number() ? len.as_number() : 0;
+}
+
+void set_array_length(Heap& heap, ObjectRef arr, double n) {
+  heap.get(arr).properties["length"] = Value(n);
+}
+
+Value array_push(Interpreter& in, const Value& self,
+                 std::span<const Value> args) {
+  if (!self.is_object()) throw ScriptError("push: not an array");
+  Heap& heap = in.heap();
+  double n = array_length(heap, self.as_object());
+  for (const Value& v : args) {
+    heap.get(self.as_object())
+        .properties[std::to_string(static_cast<long long>(n))] = v;
+    n += 1;
+  }
+  set_array_length(heap, self.as_object(), n);
+  return Value(n);
+}
+
+Value array_pop(Interpreter& in, const Value& self, std::span<const Value>) {
+  if (!self.is_object()) throw ScriptError("pop: not an array");
+  Heap& heap = in.heap();
+  double n = array_length(heap, self.as_object());
+  if (n <= 0) return Value();
+  n -= 1;
+  const std::string key = std::to_string(static_cast<long long>(n));
+  JsObject& obj = heap.get(self.as_object());
+  Value out;
+  if (const auto it = obj.properties.find(key); it != obj.properties.end()) {
+    out = it->second;
+    obj.properties.erase(it);
+  }
+  set_array_length(heap, self.as_object(), n);
+  return out;
+}
+
+Value array_join(Interpreter& in, const Value& self,
+                 std::span<const Value> args) {
+  if (!self.is_object()) throw ScriptError("join: not an array");
+  Heap& heap = in.heap();
+  const std::string sep =
+      args.empty() ? "," : args[0].to_display_string();
+  const double n = array_length(heap, self.as_object());
+  std::string out;
+  for (long long i = 0; i < static_cast<long long>(n); ++i) {
+    if (i) out += sep;
+    const Value v =
+        heap.get_property(self.as_object(), std::to_string(i));
+    if (!v.is_undefined() && !v.is_null()) out += v.to_display_string();
+  }
+  return Value(std::move(out));
+}
+
+Value array_index_of(Interpreter& in, const Value& self,
+                     std::span<const Value> args) {
+  if (!self.is_object() || args.empty()) return Value(-1.0);
+  Heap& heap = in.heap();
+  const double n = array_length(heap, self.as_object());
+  for (long long i = 0; i < static_cast<long long>(n); ++i) {
+    if (heap.get_property(self.as_object(), std::to_string(i)) == args[0]) {
+      return Value(static_cast<double>(i));
+    }
+  }
+  return Value(-1.0);
+}
+
+Value array_slice(Interpreter& in, const Value& self,
+                  std::span<const Value> args) {
+  if (!self.is_object()) throw ScriptError("slice: not an array");
+  Heap& heap = in.heap();
+  const auto n = static_cast<long long>(array_length(heap, self.as_object()));
+  long long from = args.size() > 0 ? static_cast<long long>(args[0].to_number())
+                                   : 0;
+  long long to =
+      args.size() > 1 ? static_cast<long long>(args[1].to_number()) : n;
+  if (from < 0) from += n;
+  if (to < 0) to += n;
+  from = std::clamp<long long>(from, 0, n);
+  to = std::clamp<long long>(to, 0, n);
+  std::vector<Value> out;
+  for (long long i = from; i < to; ++i) {
+    out.push_back(heap.get_property(self.as_object(), std::to_string(i)));
+  }
+  return in.make_array(out);
+}
+
+// --- string helpers -------------------------------------------------------
+
+std::string self_string(const Value& self) {
+  if (!self.is_string()) throw ScriptError("string method on non-string");
+  return self.as_string();
+}
+
+Value string_index_of(Interpreter&, const Value& self,
+                      std::span<const Value> args) {
+  const std::string s = self_string(self);
+  if (args.empty()) return Value(-1.0);
+  const auto pos = s.find(args[0].to_display_string());
+  return Value(pos == std::string::npos ? -1.0 : static_cast<double>(pos));
+}
+
+Value string_slice(Interpreter&, const Value& self,
+                   std::span<const Value> args) {
+  const std::string s = self_string(self);
+  const auto n = static_cast<long long>(s.size());
+  long long from =
+      args.size() > 0 ? static_cast<long long>(args[0].to_number()) : 0;
+  long long to =
+      args.size() > 1 ? static_cast<long long>(args[1].to_number()) : n;
+  if (from < 0) from += n;
+  if (to < 0) to += n;
+  from = std::clamp<long long>(from, 0, n);
+  to = std::clamp<long long>(to, 0, n);
+  if (from >= to) return Value(std::string());
+  return Value(s.substr(static_cast<std::size_t>(from),
+                        static_cast<std::size_t>(to - from)));
+}
+
+Value string_split(Interpreter& in, const Value& self,
+                   std::span<const Value> args) {
+  const std::string s = self_string(self);
+  std::vector<Value> parts;
+  if (args.empty()) {
+    parts.emplace_back(s);
+    return in.make_array(parts);
+  }
+  const std::string sep = args[0].to_display_string();
+  if (sep.empty()) {
+    for (const char c : s) parts.emplace_back(std::string(1, c));
+    return in.make_array(parts);
+  }
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t at = s.find(sep, start);
+    if (at == std::string::npos) {
+      parts.emplace_back(s.substr(start));
+      break;
+    }
+    parts.emplace_back(s.substr(start, at - start));
+    start = at + sep.size();
+  }
+  return in.make_array(parts);
+}
+
+Value string_replace(Interpreter&, const Value& self,
+                     std::span<const Value> args) {
+  std::string s = self_string(self);
+  if (args.size() < 2) return Value(std::move(s));
+  const std::string needle = args[0].to_display_string();
+  const std::string replacement = args[1].to_display_string();
+  if (needle.empty()) return Value(std::move(s));
+  const std::size_t at = s.find(needle);  // JS replaces first occurrence
+  if (at != std::string::npos) s.replace(at, needle.size(), replacement);
+  return Value(std::move(s));
+}
+
+Value string_char_at(Interpreter&, const Value& self,
+                     std::span<const Value> args) {
+  const std::string s = self_string(self);
+  const auto i =
+      args.empty() ? 0 : static_cast<long long>(args[0].to_number());
+  if (i < 0 || i >= static_cast<long long>(s.size())) {
+    return Value(std::string());
+  }
+  return Value(std::string(1, s[static_cast<std::size_t>(i)]));
+}
+
+// --- JSON ------------------------------------------------------------------
+
+void json_stringify_into(Heap& heap, const Value& value, std::string& out,
+                         int depth) {
+  if (depth > 16) {
+    out += "null";
+    return;
+  }
+  if (value.is_undefined() || value.is_null()) {
+    out += "null";
+    return;
+  }
+  if (value.is_bool()) {
+    out += value.as_bool() ? "true" : "false";
+    return;
+  }
+  if (value.is_number()) {
+    const double d = value.as_number();
+    out += std::isfinite(d) ? value.to_display_string() : "null";
+    return;
+  }
+  if (value.is_string()) {
+    out.push_back('"');
+    for (const char c : value.as_string()) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default: out.push_back(c);
+      }
+    }
+    out.push_back('"');
+    return;
+  }
+  const JsObject& obj = heap.get(value.as_object());
+  if (obj.callable) {
+    out += "null";
+    return;
+  }
+  if (obj.class_name == "Array") {
+    out.push_back('[');
+    const double n = array_length(heap, value.as_object());
+    for (long long i = 0; i < static_cast<long long>(n); ++i) {
+      if (i) out.push_back(',');
+      json_stringify_into(heap,
+                          heap.get_property(value.as_object(),
+                                            std::to_string(i)),
+                          out, depth + 1);
+    }
+    out.push_back(']');
+    return;
+  }
+  out.push_back('{');
+  bool first = true;
+  for (const auto& [key, member] : obj.properties) {
+    if (!first) out.push_back(',');
+    first = false;
+    json_stringify_into(heap, Value(key), out, depth + 1);
+    out.push_back(':');
+    json_stringify_into(heap, member, out, depth + 1);
+  }
+  out.push_back('}');
+}
+
+class JsonParser {
+ public:
+  JsonParser(Interpreter& in, std::string_view text) : in_(in), src_(text) {}
+
+  Value run() {
+    const Value v = parse_value();
+    skip_space();
+    if (pos_ != src_.size()) throw ScriptError("JSON.parse: trailing data");
+    return v;
+  }
+
+ private:
+  void skip_space() {
+    while (pos_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() { return pos_ < src_.size() ? src_[pos_] : '\0'; }
+  bool consume(std::string_view word) {
+    if (src_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value() {
+    skip_space();
+    if (consume("null")) return Value(Null{});
+    if (consume("true")) return Value(true);
+    if (consume("false")) return Value(false);
+    const char c = peek();
+    if (c == '"') return parse_string();
+    if (c == '[') return parse_array();
+    if (c == '{') return parse_object();
+    return parse_number();
+  }
+
+  Value parse_string() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        const char esc = src_[pos_ + 1];
+        switch (esc) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          default: out.push_back(esc);
+        }
+        pos_ += 2;
+        continue;
+      }
+      out.push_back(src_[pos_++]);
+    }
+    if (pos_ >= src_.size()) throw ScriptError("JSON.parse: bad string");
+    ++pos_;
+    return Value(std::move(out));
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < src_.size() &&
+           (std::isdigit(static_cast<unsigned char>(src_[pos_])) ||
+            src_[pos_] == '-' || src_[pos_] == '+' || src_[pos_] == '.' ||
+            src_[pos_] == 'e' || src_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (start == pos_) throw ScriptError("JSON.parse: unexpected token");
+    try {
+      return Value(std::stod(std::string(src_.substr(start, pos_ - start))));
+    } catch (const std::exception&) {
+      throw ScriptError("JSON.parse: bad number");
+    }
+  }
+
+  Value parse_array() {
+    ++pos_;  // '['
+    std::vector<Value> elements;
+    skip_space();
+    if (peek() == ']') {
+      ++pos_;
+      return in_.make_array(elements);
+    }
+    for (;;) {
+      elements.push_back(parse_value());
+      skip_space();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return in_.make_array(elements);
+      }
+      throw ScriptError("JSON.parse: bad array");
+    }
+  }
+
+  Value parse_object() {
+    ++pos_;  // '{'
+    const ObjectRef obj = in_.heap().make_object();
+    skip_space();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(obj);
+    }
+    for (;;) {
+      skip_space();
+      if (peek() != '"') throw ScriptError("JSON.parse: bad object key");
+      const Value key = parse_string();
+      skip_space();
+      if (peek() != ':') throw ScriptError("JSON.parse: missing ':'");
+      ++pos_;
+      in_.heap().get(obj).properties[key.as_string()] = parse_value();
+      skip_space();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return Value(obj);
+      }
+      throw ScriptError("JSON.parse: bad object");
+    }
+  }
+
+  Interpreter& in_;
+  std::string_view src_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value Interpreter::make_array(std::span<const Value> elements) {
+  const ObjectRef arr = heap_.make_object(array_prototype_, "Array");
+  JsObject& obj = heap_.get(arr);
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    obj.properties[std::to_string(i)] = elements[i];
+  }
+  obj.properties["length"] = Value(static_cast<double>(elements.size()));
+  return Value(arr);
+}
+
+void Interpreter::install_extended_builtins() {
+  Heap& h = heap_;
+  const auto def = [&h](ObjectRef target, const char* name, NativeFn fn) {
+    h.get(target).properties[name] =
+        Value(h.make_function(std::move(fn), name));
+  };
+
+  // Array.prototype
+  array_prototype_ = h.make_object(ObjectRef(), "ArrayPrototype");
+  def(array_prototype_, "push", array_push);
+  def(array_prototype_, "pop", array_pop);
+  def(array_prototype_, "join", array_join);
+  def(array_prototype_, "indexOf", array_index_of);
+  def(array_prototype_, "slice", array_slice);
+
+  // String.prototype-alike (strings are primitives; member access falls
+  // back here with the string itself bound as `this`)
+  string_prototype_ = h.make_object(ObjectRef(), "StringPrototype");
+  def(string_prototype_, "indexOf", string_index_of);
+  def(string_prototype_, "slice", string_slice);
+  def(string_prototype_, "substring", string_slice);
+  def(string_prototype_, "split", string_split);
+  def(string_prototype_, "replace", string_replace);
+  def(string_prototype_, "charAt", string_char_at);
+  def(string_prototype_, "toUpperCase",
+      [](Interpreter&, const Value& self, std::span<const Value>) {
+        std::string s = self_string(self);
+        std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+          return static_cast<char>(std::toupper(c));
+        });
+        return Value(std::move(s));
+      });
+  def(string_prototype_, "toLowerCase",
+      [](Interpreter&, const Value& self, std::span<const Value>) {
+        std::string s = self_string(self);
+        std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+          return static_cast<char>(std::tolower(c));
+        });
+        return Value(std::move(s));
+      });
+
+  // JSON
+  const ObjectRef json = h.make_object(ObjectRef(), "JSON");
+  def(json, "stringify",
+      [](Interpreter& in, const Value&, std::span<const Value> args) {
+        std::string out;
+        json_stringify_into(in.heap(), args.empty() ? Value() : args[0], out,
+                            0);
+        return Value(std::move(out));
+      });
+  def(json, "parse",
+      [](Interpreter& in, const Value&, std::span<const Value> args) {
+        if (args.empty() || !args[0].is_string()) {
+          throw ScriptError("JSON.parse: expected a string");
+        }
+        return JsonParser(in, args[0].as_string()).run();
+      });
+  global_env_->define("JSON", Value(json));
+
+  // Object.keys / Array.isArray
+  const ObjectRef object_ns = h.make_object(ObjectRef(), "ObjectNamespace");
+  def(object_ns, "keys",
+      [](Interpreter& in, const Value&, std::span<const Value> args) {
+        std::vector<Value> keys;
+        if (!args.empty() && args[0].is_object()) {
+          for (const auto& [key, value] :
+               in.heap().get(args[0].as_object()).properties) {
+            keys.emplace_back(key);
+          }
+        }
+        return in.make_array(keys);
+      });
+  global_env_->define("Object", Value(object_ns));
+
+  const ObjectRef array_ns = h.make_object(ObjectRef(), "ArrayNamespace");
+  h.get(array_ns).properties["prototype"] = Value(array_prototype_);
+  def(array_ns, "isArray",
+      [](Interpreter& in, const Value&, std::span<const Value> args) {
+        return Value(!args.empty() && args[0].is_object() &&
+                     in.heap().get(args[0].as_object()).class_name == "Array");
+      });
+  global_env_->define("Array", Value(array_ns));
+}
+
+}  // namespace fu::script

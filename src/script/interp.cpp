@@ -1,0 +1,583 @@
+#include "script/interp.h"
+
+#include <cmath>
+
+namespace fu::script {
+
+namespace {
+
+// Non-error control-flow signals.
+struct ReturnSignal {
+  Value value;
+};
+struct BreakSignal {};
+struct ContinueSignal {};
+
+}  // namespace
+
+void Environment::define(std::string_view name, Value value) {
+  bindings_[std::string(name)] = std::move(value);
+}
+
+void Environment::assign(std::string_view name, Value value) {
+  for (Environment* env = this; env != nullptr; env = env->parent_) {
+    const auto it = env->bindings_.find(name);
+    if (it != env->bindings_.end()) {
+      it->second = std::move(value);
+      return;
+    }
+  }
+  // sloppy mode: implicit global
+  Environment* root = this;
+  while (root->parent_ != nullptr) root = root->parent_;
+  root->bindings_[std::string(name)] = std::move(value);
+}
+
+const Value* Environment::lookup(std::string_view name) const {
+  for (const Environment* env = this; env != nullptr; env = env->parent_) {
+    const auto it = env->bindings_.find(name);
+    if (it != env->bindings_.end()) return &it->second;
+  }
+  return nullptr;
+}
+
+// Walks the AST. A member class so it can reach interpreter internals.
+class Evaluator {
+ public:
+  Evaluator(Interpreter& interp, Environment* env)
+      : interp_(interp), env_(env) {}
+
+  void run_block(const std::vector<StmtPtr>& stmts) {
+    for (const StmtPtr& s : stmts) exec(*s);
+  }
+
+  void exec(const Stmt& s) {
+    interp_.burn_fuel();
+    switch (s.kind) {
+      case Stmt::Kind::kEmpty:
+        return;
+      case Stmt::Kind::kExpr:
+        eval(*s.expr);
+        return;
+      case Stmt::Kind::kVar:
+        env_->define(s.name, s.expr ? eval(*s.expr) : Value());
+        return;
+      case Stmt::Kind::kIf:
+        if (eval(*s.expr).truthy()) {
+          exec(*s.body);
+        } else if (s.else_body) {
+          exec(*s.else_body);
+        }
+        return;
+      case Stmt::Kind::kWhile:
+        while (eval(*s.expr).truthy()) {
+          try {
+            exec(*s.body);
+          } catch (const BreakSignal&) {
+            break;
+          } catch (const ContinueSignal&) {
+          }
+        }
+        return;
+      case Stmt::Kind::kDoWhile:
+        do {
+          try {
+            exec(*s.body);
+          } catch (const BreakSignal&) {
+            break;
+          } catch (const ContinueSignal&) {
+          }
+        } while (eval(*s.expr).truthy());
+        return;
+      case Stmt::Kind::kSwitch: {
+        const Value discriminant = eval(*s.expr);
+        // find the matching clause (=== semantics), else the default
+        std::size_t start = s.clauses.size();
+        for (std::size_t i = 0; i < s.clauses.size(); ++i) {
+          if (s.clauses[i].test != nullptr &&
+              eval(*s.clauses[i].test) == discriminant) {
+            start = i;
+            break;
+          }
+        }
+        if (start == s.clauses.size()) {
+          for (std::size_t i = 0; i < s.clauses.size(); ++i) {
+            if (s.clauses[i].test == nullptr) {
+              start = i;
+              break;
+            }
+          }
+        }
+        try {
+          // fallthrough: run from the matched clause to the end or a break
+          for (std::size_t i = start; i < s.clauses.size(); ++i) {
+            for (const StmtPtr& child : s.clauses[i].body) exec(*child);
+          }
+        } catch (const BreakSignal&) {
+        }
+        return;
+      }
+      case Stmt::Kind::kFor: {
+        if (s.init_stmt) exec(*s.init_stmt);
+        if (s.init_expr) eval(*s.init_expr);
+        while (s.expr == nullptr || eval(*s.expr).truthy()) {
+          try {
+            exec(*s.body);
+          } catch (const BreakSignal&) {
+            break;
+          } catch (const ContinueSignal&) {
+          }
+          if (s.step) eval(*s.step);
+        }
+        return;
+      }
+      case Stmt::Kind::kReturn:
+        throw ReturnSignal{s.expr ? eval(*s.expr) : Value()};
+      case Stmt::Kind::kBreak:
+        throw BreakSignal{};
+      case Stmt::Kind::kContinue:
+        throw ContinueSignal{};
+      case Stmt::Kind::kBlock: {
+        // blocks share their enclosing function scope (var semantics)
+        run_block(s.statements);
+        return;
+      }
+      case Stmt::Kind::kFunction:
+        env_->define(s.function->name,
+                     interp_.heap_.make_script_function(s.function, env_));
+        return;
+      case Stmt::Kind::kTry:
+        try {
+          run_block(s.statements);
+        } catch (const ScriptError& err) {
+          if (!s.name.empty()) env_->define(s.name, Value(err.what()));
+          run_block(s.catch_body);
+        }
+        return;
+    }
+  }
+
+  Value eval(const Expr& e) {
+    interp_.burn_fuel();
+    switch (e.kind) {
+      case Expr::Kind::kNumber:
+        return Value(e.number);
+      case Expr::Kind::kString:
+        return Value(e.text);
+      case Expr::Kind::kBool:
+        return Value(e.boolean);
+      case Expr::Kind::kNull:
+        return Value(Null{});
+      case Expr::Kind::kUndefined:
+        return Value();
+      case Expr::Kind::kIdentifier: {
+        const Value* v = env_->lookup(e.text);
+        if (v == nullptr) {
+          throw ScriptError("ReferenceError: " + e.text + " is not defined");
+        }
+        return *v;
+      }
+      case Expr::Kind::kMember: {
+        const Value base = eval(*e.object);
+        return member_of(base, e.text);
+      }
+      case Expr::Kind::kIndex: {
+        const Value base = eval(*e.object);
+        const Value idx = eval(*e.index);
+        return member_of(base, idx.to_display_string());
+      }
+      case Expr::Kind::kCall:
+        return eval_call(e);
+      case Expr::Kind::kNew: {
+        const Value ctor = eval(*e.callee);
+        std::vector<Value> args = eval_args(e.args);
+        return interp_.construct(ctor, args);
+      }
+      case Expr::Kind::kAssign:
+        return eval_assign(e);
+      case Expr::Kind::kBinary:
+        return eval_binary(e);
+      case Expr::Kind::kUnary:
+        return eval_unary(e);
+      case Expr::Kind::kConditional:
+        return eval(*e.cond).truthy() ? eval(*e.then_expr) : eval(*e.else_expr);
+      case Expr::Kind::kFunction:
+        return interp_.heap_.make_script_function(e.function, env_);
+      case Expr::Kind::kObjectLiteral: {
+        const ObjectRef obj = interp_.heap_.make_object();
+        for (std::size_t i = 0; i < e.keys.size(); ++i) {
+          interp_.heap_.get(obj).properties[e.keys[i]] = eval(*e.args[i]);
+        }
+        return Value(obj);
+      }
+      case Expr::Kind::kArrayLiteral: {
+        std::vector<Value> elements;
+        elements.reserve(e.args.size());
+        for (const ExprPtr& arg : e.args) elements.push_back(eval(*arg));
+        return interp_.make_array(elements);
+      }
+    }
+    throw ScriptError("unknown expression kind");
+  }
+
+ private:
+  Value member_of(const Value& base, std::string_view name) {
+    if (!base.is_object()) {
+      if (base.is_string()) {
+        if (name == "length") {
+          return Value(static_cast<double>(base.as_string().size()));
+        }
+        // string methods live on the shared string prototype and receive
+        // the string itself as `this`
+        return interp_.heap_.get_property(interp_.string_prototype(), name);
+      }
+      if (base.is_undefined() || base.is_null()) {
+        throw ScriptError("TypeError: cannot read property '" +
+                          std::string(name) + "' of " +
+                          base.to_display_string());
+      }
+      return Value();  // other primitive members: undefined
+    }
+    return interp_.heap_.get_property(base.as_object(), name);
+  }
+
+  std::vector<Value> eval_args(const std::vector<ExprPtr>& exprs) {
+    std::vector<Value> out;
+    out.reserve(exprs.size());
+    for (const ExprPtr& a : exprs) out.push_back(eval(*a));
+    return out;
+  }
+
+  Value eval_call(const Expr& e) {
+    // Member calls bind `this` to the base object.
+    Value self;
+    Value fn;
+    if (e.callee->kind == Expr::Kind::kMember) {
+      self = eval(*e.callee->object);
+      fn = member_of(self, e.callee->text);
+      if (fn.is_undefined()) {
+        throw ScriptError("TypeError: " + self.to_display_string() + "." +
+                          e.callee->text + " is not a function");
+      }
+    } else if (e.callee->kind == Expr::Kind::kIndex) {
+      self = eval(*e.callee->object);
+      fn = member_of(self, eval(*e.callee->index).to_display_string());
+    } else {
+      fn = eval(*e.callee);
+    }
+    const std::vector<Value> args = eval_args(e.args);
+    return interp_.call_function(fn, self, args);
+  }
+
+  Value eval_assign(const Expr& e) {
+    Value value = eval(*e.rhs);
+    const Expr& target = *e.lhs;
+    switch (target.kind) {
+      case Expr::Kind::kIdentifier:
+        env_->assign(target.text, value);
+        return value;
+      case Expr::Kind::kMember: {
+        const Value base = eval(*target.object);
+        if (!base.is_object()) {
+          throw ScriptError("TypeError: cannot set property '" + target.text +
+                            "' of " + base.to_display_string());
+        }
+        interp_.heap_.set_property(base.as_object(), target.text, value);
+        return value;
+      }
+      case Expr::Kind::kIndex: {
+        const Value base = eval(*target.object);
+        const Value idx = eval(*target.index);
+        if (!base.is_object()) {
+          throw ScriptError("TypeError: cannot index " +
+                            base.to_display_string());
+        }
+        interp_.heap_.set_property(base.as_object(), idx.to_display_string(),
+                                   value);
+        return value;
+      }
+      default:
+        throw ScriptError("invalid assignment target");
+    }
+  }
+
+  Value eval_binary(const Expr& e) {
+    // short-circuit operators first
+    if (e.binary_op == BinaryOp::kAnd) {
+      Value lhs = eval(*e.lhs);
+      return lhs.truthy() ? eval(*e.rhs) : lhs;
+    }
+    if (e.binary_op == BinaryOp::kOr) {
+      Value lhs = eval(*e.lhs);
+      return lhs.truthy() ? lhs : eval(*e.rhs);
+    }
+    const Value a = eval(*e.lhs);
+    const Value b = eval(*e.rhs);
+    switch (e.binary_op) {
+      case BinaryOp::kAdd:
+        if (a.is_string() || b.is_string()) {
+          return Value(a.to_display_string() + b.to_display_string());
+        }
+        return Value(a.to_number() + b.to_number());
+      case BinaryOp::kSub: return Value(a.to_number() - b.to_number());
+      case BinaryOp::kMul: return Value(a.to_number() * b.to_number());
+      case BinaryOp::kDiv: return Value(a.to_number() / b.to_number());
+      case BinaryOp::kMod: return Value(std::fmod(a.to_number(), b.to_number()));
+      case BinaryOp::kEq: return Value(a.loose_equals(b));
+      case BinaryOp::kNe: return Value(!a.loose_equals(b));
+      case BinaryOp::kStrictEq: return Value(a == b);
+      case BinaryOp::kStrictNe: return Value(!(a == b));
+      case BinaryOp::kLt: return compare(a, b, [](double x, double y) { return x < y; });
+      case BinaryOp::kGt: return compare(a, b, [](double x, double y) { return x > y; });
+      case BinaryOp::kLe: return compare(a, b, [](double x, double y) { return x <= y; });
+      case BinaryOp::kGe: return compare(a, b, [](double x, double y) { return x >= y; });
+      case BinaryOp::kInstanceof: {
+        // walk a's prototype chain looking for b.prototype
+        if (!b.is_object()) {
+          throw ScriptError("TypeError: right side of instanceof is not an "
+                            "object");
+        }
+        const Value proto =
+            interp_.heap_.get_property(b.as_object(), "prototype");
+        if (!a.is_object() || !proto.is_object()) return Value(false);
+        ObjectRef cursor = interp_.heap_.get(a.as_object()).prototype;
+        for (int depth = 0; depth < 32 && !cursor.null(); ++depth) {
+          if (cursor == proto.as_object()) return Value(true);
+          cursor = interp_.heap_.get(cursor).prototype;
+        }
+        return Value(false);
+      }
+      case BinaryOp::kIn:
+        if (!b.is_object()) {
+          throw ScriptError("TypeError: right side of 'in' is not an object");
+        }
+        return Value(interp_.heap_.has_property(b.as_object(),
+                                                a.to_display_string()));
+      case BinaryOp::kAnd:
+      case BinaryOp::kOr:
+        break;  // handled above
+    }
+    throw ScriptError("unknown binary operator");
+  }
+
+  template <typename Cmp>
+  static Value compare(const Value& a, const Value& b, Cmp cmp) {
+    if (a.is_string() && b.is_string()) {
+      return Value(cmp(a.as_string() < b.as_string() ? -1.0 : (a.as_string() == b.as_string() ? 0.0 : 1.0), 0.0));
+    }
+    const double x = a.to_number();
+    const double y = b.to_number();
+    if (std::isnan(x) || std::isnan(y)) return Value(false);
+    return Value(cmp(x, y));
+  }
+
+  Value eval_unary(const Expr& e) {
+    if (e.unary_op == UnaryOp::kTypeof) {
+      // typeof tolerates unbound identifiers, per JavaScript
+      if (e.lhs->kind == Expr::Kind::kIdentifier &&
+          env_->lookup(e.lhs->text) == nullptr) {
+        return Value("undefined");
+      }
+      const Value v = eval(*e.lhs);
+      if (v.is_undefined()) return Value("undefined");
+      if (v.is_null()) return Value("object");
+      if (v.is_bool()) return Value("boolean");
+      if (v.is_number()) return Value("number");
+      if (v.is_string()) return Value("string");
+      const JsObject& obj = interp_.heap_.get(v.as_object());
+      return Value(obj.callable ? "function" : "object");
+    }
+    if (e.unary_op == UnaryOp::kDelete) {
+      // delete obj.prop / obj[expr]: remove the own property; true if gone
+      const Expr& target = *e.lhs;
+      const Value base = eval(*target.object);
+      if (!base.is_object()) return Value(true);
+      const std::string name = target.kind == Expr::Kind::kMember
+                                   ? target.text
+                                   : eval(*target.index).to_display_string();
+      interp_.heap_.get(base.as_object()).properties.erase(name);
+      return Value(true);
+    }
+    const Value v = eval(*e.lhs);
+    if (e.unary_op == UnaryOp::kNot) return Value(!v.truthy());
+    return Value(-v.to_number());
+  }
+
+  Interpreter& interp_;
+  Environment* env_;
+};
+
+Interpreter::Interpreter(std::uint64_t rng_seed) : rng_(rng_seed) {
+  env_arena_.push_back(std::make_unique<Environment>(nullptr));
+  global_env_ = env_arena_.back().get();
+  install_builtins();
+  install_extended_builtins();
+}
+
+Environment* Interpreter::make_environment(Environment* parent) {
+  env_arena_.push_back(std::make_unique<Environment>(parent));
+  return env_arena_.back().get();
+}
+
+void Interpreter::execute(const Program& program) {
+  if (call_depth_ == 0) fuel_ = fuel_per_run_;
+  Evaluator ev(*this, global_env_);
+  ev.run_block(program.statements);
+}
+
+Value Interpreter::call_function(const Value& fn, const Value& self,
+                                 std::span<const Value> args) {
+  if (!fn.is_object()) {
+    throw ScriptError("TypeError: " + fn.to_display_string() +
+                      " is not a function");
+  }
+  JsObject& obj = heap_.get(fn.as_object());
+  if (!obj.callable) {
+    throw ScriptError("TypeError: object is not callable");
+  }
+  if (call_depth_ == 0) fuel_ = fuel_per_run_;
+  if (call_depth_ > 64) throw ScriptError("RangeError: call stack exceeded");
+  ++call_depth_;
+  struct DepthGuard {
+    int& depth;
+    ~DepthGuard() { --depth; }
+  } guard{call_depth_};
+
+  if (obj.callable->native) {
+    return obj.callable->native(*this, self, args);
+  }
+
+  const AstFunction& ast = *obj.callable->script;
+  Environment* env = make_environment(obj.callable->closure != nullptr
+                                          ? obj.callable->closure
+                                          : global_env_);
+  for (std::size_t i = 0; i < ast.params.size(); ++i) {
+    env->define(ast.params[i], i < args.size() ? args[i] : Value());
+  }
+  env->define("this", self);
+  env->define("arguments", [&] {
+    const ObjectRef arr = heap_.make_object(ObjectRef(), "Arguments");
+    JsObject& a = heap_.get(arr);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      a.properties[std::to_string(i)] = args[i];
+    }
+    a.properties["length"] = Value(static_cast<double>(args.size()));
+    return Value(arr);
+  }());
+
+  Evaluator ev(*this, env);
+  try {
+    ev.run_block(ast.body);
+  } catch (ReturnSignal& ret) {
+    return std::move(ret.value);
+  }
+  return Value();
+}
+
+Value Interpreter::construct(const Value& ctor, std::span<const Value> args) {
+  if (!ctor.is_object()) {
+    throw ScriptError("TypeError: constructor is not an object");
+  }
+  JsObject& ctor_obj = heap_.get(ctor.as_object());
+  if (!ctor_obj.callable) {
+    throw ScriptError("TypeError: constructor is not callable");
+  }
+  ObjectRef proto;
+  const auto proto_it = ctor_obj.properties.find("prototype");
+  if (proto_it != ctor_obj.properties.end() && proto_it->second.is_object()) {
+    proto = proto_it->second.as_object();
+  }
+  const ObjectRef instance = heap_.make_object(proto, ctor_obj.callable->name);
+  const Value result =
+      call_function(ctor, Value(instance), args);
+  // JS: if a constructor returns an object, that wins; else the instance.
+  if (result.is_object()) return result;
+  return Value(instance);
+}
+
+void Interpreter::install_builtins() {
+  Heap& h = heap_;
+
+  // Math
+  const ObjectRef math = h.make_object(ObjectRef(), "Math");
+  const auto def_math = [&](const char* name, double (*fn)(double)) {
+    h.get(math).properties[name] = Value(h.make_function(
+        [fn](Interpreter&, const Value&, std::span<const Value> args) {
+          return Value(fn(args.empty() ? std::nan("") : args[0].to_number()));
+        },
+        name));
+  };
+  def_math("floor", [](double x) { return std::floor(x); });
+  def_math("ceil", [](double x) { return std::ceil(x); });
+  def_math("abs", [](double x) { return std::fabs(x); });
+  def_math("sqrt", [](double x) { return std::sqrt(x); });
+  def_math("round", [](double x) { return std::round(x); });
+  h.get(math).properties["random"] = Value(h.make_function(
+      [](Interpreter& in, const Value&, std::span<const Value>) {
+        return Value(in.rng().uniform());
+      },
+      "random"));
+  h.get(math).properties["max"] = Value(h.make_function(
+      [](Interpreter&, const Value&, std::span<const Value> args) {
+        double best = -HUGE_VAL;
+        for (const Value& v : args) best = std::max(best, v.to_number());
+        return Value(best);
+      },
+      "max"));
+  h.get(math).properties["min"] = Value(h.make_function(
+      [](Interpreter&, const Value&, std::span<const Value> args) {
+        double best = HUGE_VAL;
+        for (const Value& v : args) best = std::min(best, v.to_number());
+        return Value(best);
+      },
+      "min"));
+  h.get(math).properties["pow"] = Value(h.make_function(
+      [](Interpreter&, const Value&, std::span<const Value> args) {
+        if (args.size() < 2) return Value(std::nan(""));
+        return Value(std::pow(args[0].to_number(), args[1].to_number()));
+      },
+      "pow"));
+  global_env_->define("Math", Value(math));
+
+  // String(x), Number(x), parseInt
+  global_env_->define(
+      "String", Value(h.make_function(
+                    [](Interpreter&, const Value&, std::span<const Value> a) {
+                      return Value(a.empty() ? std::string()
+                                             : a[0].to_display_string());
+                    },
+                    "String")));
+  global_env_->define(
+      "Number", Value(h.make_function(
+                    [](Interpreter&, const Value&, std::span<const Value> a) {
+                      return Value(a.empty() ? 0.0 : a[0].to_number());
+                    },
+                    "Number")));
+  global_env_->define(
+      "parseInt",
+      Value(h.make_function(
+          [](Interpreter&, const Value&, std::span<const Value> a) {
+            if (a.empty()) return Value(std::nan(""));
+            return Value(std::trunc(a[0].to_number()));
+          },
+          "parseInt")));
+
+  // Date.now-alike counter so scripts can "time" things deterministically.
+  const ObjectRef date = h.make_object(ObjectRef(), "Date");
+  h.get(date).properties["now"] = Value(h.make_function(
+      [](Interpreter& in, const Value&, std::span<const Value>) {
+        return Value(1.4631e12 + static_cast<double>(in.steps_executed()));
+      },
+      "now"));
+  global_env_->define("Date", Value(date));
+
+  // isNaN
+  global_env_->define(
+      "isNaN", Value(h.make_function(
+                   [](Interpreter&, const Value&, std::span<const Value> a) {
+                     return Value(a.empty() || std::isnan(a[0].to_number()));
+                   },
+                   "isNaN")));
+}
+
+}  // namespace fu::script

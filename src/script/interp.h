@@ -1,0 +1,121 @@
+// MiniJS tree-walking interpreter.
+//
+// One Interpreter per page: it owns the heap, the scope arena and the global
+// environment. The browser installs host bindings (window, document, the
+// per-interface constructors and prototypes) before any page script runs,
+// then the measuring extension rewrites those prototypes — the order matters
+// and mirrors §4.2's "inject at the beginning of <head>".
+//
+// Execution is fuel-limited so pathological pages cannot hang the crawl;
+// running out of fuel aborts the current script with a ScriptError, which
+// the browser records the way it records other page script failures.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "script/ast.h"
+#include "script/value.h"
+#include "support/rng.h"
+
+namespace fu::script {
+
+// Runtime failure (TypeError-ish); distinct from SyntaxError at parse time.
+class ScriptError : public std::runtime_error {
+ public:
+  explicit ScriptError(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+class Environment {
+ public:
+  explicit Environment(Environment* parent) : parent_(parent) {}
+
+  // Defines or overwrites in *this* scope.
+  void define(std::string_view name, Value value);
+  // Assignment: walks up to the defining scope; defines globally if unbound
+  // (sloppy-mode JavaScript behaviour).
+  void assign(std::string_view name, Value value);
+  // nullptr when unbound.
+  const Value* lookup(std::string_view name) const;
+
+  Environment* parent() const noexcept { return parent_; }
+
+ private:
+  std::map<std::string, Value, std::less<>> bindings_;
+  Environment* parent_;
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(std::uint64_t rng_seed = 0x5c71b7ULL);
+
+  Heap& heap() noexcept { return heap_; }
+  const Heap& heap() const noexcept { return heap_; }
+  Environment& globals() noexcept { return *global_env_; }
+
+  // Fuel budget for each top-level execute()/call_function() entry.
+  void set_fuel_per_run(std::uint64_t fuel) noexcept { fuel_per_run_ = fuel; }
+
+  // Run a whole program in the global scope. Statements own their AST;
+  // the program must outlive any function values it created (the page keeps
+  // parsed scripts alive for its lifetime).
+  void execute(const Program& program);
+
+  // Invoke a function value (native or script). Resets fuel if this is a
+  // top-level entry (depth 0).
+  Value call_function(const Value& fn, const Value& self,
+                      std::span<const Value> args);
+
+  // Convenience for hosts: allocate an environment in the interpreter's
+  // arena (closures need stable addresses).
+  Environment* make_environment(Environment* parent);
+
+  // Instantiate `new ctor(...)` semantics from native code.
+  Value construct(const Value& ctor, std::span<const Value> args);
+
+  // Deterministic per-page RNG (drives Math.random).
+  support::Rng& rng() noexcept { return rng_; }
+
+  std::uint64_t steps_executed() const noexcept { return steps_; }
+
+  // Prototype objects for primitive-adjacent builtins. Array literals are
+  // created with array_prototype(); string member access falls back to
+  // string_prototype() (the natives receive the string as `this`).
+  ObjectRef array_prototype() const noexcept { return array_prototype_; }
+  ObjectRef string_prototype() const noexcept { return string_prototype_; }
+
+  // Create an Array object from values.
+  Value make_array(std::span<const Value> elements);
+
+ private:
+  friend class Evaluator;
+
+  void install_builtins();
+  void install_extended_builtins();  // builtins.cpp
+
+  // One unit of work; throws ScriptError when the per-run budget is gone.
+  void burn_fuel() {
+    ++steps_;
+    if (fuel_ == 0) {
+      throw ScriptError("script exceeded its execution budget");
+    }
+    --fuel_;
+  }
+
+  Heap heap_;
+  std::vector<std::unique_ptr<Environment>> env_arena_;
+  Environment* global_env_ = nullptr;
+  ObjectRef array_prototype_;
+  ObjectRef string_prototype_;
+  support::Rng rng_;
+  std::uint64_t fuel_per_run_ = 200'000;
+  std::uint64_t fuel_ = 0;
+  std::uint64_t steps_ = 0;
+  int call_depth_ = 0;
+};
+
+}  // namespace fu::script

@@ -1,0 +1,139 @@
+#include "script/lexer.h"
+
+#include <array>
+#include <cctype>
+#include <cstdlib>
+
+namespace fu::script {
+
+namespace {
+
+constexpr std::array<std::string_view, 12> kMultiCharPuncts = {
+    "===", "!==", "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=",
+};
+
+}  // namespace
+
+std::vector<Tok> tokenize(std::string_view src) {
+  std::vector<Tok> out;
+  std::size_t i = 0;
+  std::size_t line = 1;
+
+  const auto peek = [&](std::size_t off = 0) -> char {
+    return i + off < src.size() ? src[i + off] : '\0';
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const std::size_t start = line;
+      i += 2;
+      for (;;) {
+        if (i + 1 >= src.size()) throw SyntaxError("unterminated comment", start);
+        if (src[i] == '\n') ++line;
+        if (src[i] == '*' && src[i + 1] == '/') {
+          i += 2;
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$') {
+      const std::size_t start = i;
+      while (i < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[i])) ||
+              src[i] == '_' || src[i] == '$')) {
+        ++i;
+      }
+      out.push_back({TokKind::kIdentifier,
+                     std::string(src.substr(start, i - start)), 0, line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      const std::size_t start = i;
+      while (i < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[i])) ||
+              src[i] == '.' ||
+              ((src[i] == '+' || src[i] == '-') && i > start &&
+               (src[i - 1] == 'e' || src[i - 1] == 'E')))) {
+        ++i;
+      }
+      const std::string text(src.substr(start, i - start));
+      char* end = nullptr;
+      const double value = std::strtod(text.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        throw SyntaxError("bad numeric literal '" + text + "'", line);
+      }
+      out.push_back({TokKind::kNumber, text, value, line});
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const std::size_t start = line;
+      ++i;
+      std::string text;
+      for (;;) {
+        if (i >= src.size()) throw SyntaxError("unterminated string", start);
+        if (src[i] == quote) {
+          ++i;
+          break;
+        }
+        if (src[i] == '\\' && i + 1 < src.size()) {
+          const char esc = src[i + 1];
+          switch (esc) {
+            case 'n': text.push_back('\n'); break;
+            case 't': text.push_back('\t'); break;
+            case 'r': text.push_back('\r'); break;
+            case '\\': text.push_back('\\'); break;
+            case '\'': text.push_back('\''); break;
+            case '"': text.push_back('"'); break;
+            default: text.push_back(esc);
+          }
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') ++line;
+        text.push_back(src[i++]);
+      }
+      out.push_back({TokKind::kString, std::move(text), 0, line});
+      continue;
+    }
+    // punctuation: longest match first
+    bool matched = false;
+    for (const auto p : kMultiCharPuncts) {
+      if (src.substr(i, p.size()) == p) {
+        out.push_back({TokKind::kPunct, std::string(p), 0, line});
+        i += p.size();
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    constexpr std::string_view kSingles = "{}()[];,.<>=+-*/%!?:";
+    if (kSingles.find(c) != std::string_view::npos) {
+      out.push_back({TokKind::kPunct, std::string(1, c), 0, line});
+      ++i;
+      continue;
+    }
+    throw SyntaxError(std::string("unexpected character '") + c + "'", line);
+  }
+  out.push_back({TokKind::kEof, "", 0, line});
+  return out;
+}
+
+}  // namespace fu::script

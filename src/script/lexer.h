@@ -1,0 +1,37 @@
+// MiniJS lexer.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fu::script {
+
+enum class TokKind {
+  kNumber,
+  kString,
+  kIdentifier,  // includes keywords; parser distinguishes
+  kPunct,
+  kEof,
+};
+
+struct Tok {
+  TokKind kind = TokKind::kEof;
+  std::string text;
+  double number = 0;
+  std::size_t line = 1;
+};
+
+// Thrown for malformed source; the browser records the page as having a
+// script syntax error (one of the §4.3.3 failure modes).
+class SyntaxError : public std::runtime_error {
+ public:
+  SyntaxError(const std::string& message, std::size_t line)
+      : std::runtime_error(message + " (line " + std::to_string(line) + ")") {}
+};
+
+std::vector<Tok> tokenize(std::string_view source);
+
+}  // namespace fu::script

@@ -1,0 +1,619 @@
+#include "script/parser.h"
+
+#include <utility>
+
+namespace fu::script {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : toks_(tokenize(source)) {}
+
+  Program run() {
+    Program prog;
+    while (!at_eof()) prog.statements.push_back(statement());
+    return prog;
+  }
+
+ private:
+  // --- token helpers -----------------------------------------------------
+  const Tok& peek(std::size_t off = 0) const {
+    const std::size_t i = pos_ + off;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  bool at_eof() const { return peek().kind == TokKind::kEof; }
+  const Tok& advance() { return toks_[pos_++]; }
+
+  bool is_punct(std::string_view p, std::size_t off = 0) const {
+    return peek(off).kind == TokKind::kPunct && peek(off).text == p;
+  }
+  bool accept(std::string_view p) {
+    if (is_punct(p)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void expect(std::string_view p) {
+    if (!accept(p)) {
+      throw SyntaxError("expected '" + std::string(p) + "' but found '" +
+                            peek().text + "'",
+                        peek().line);
+    }
+  }
+  bool is_keyword(std::string_view kw, std::size_t off = 0) const {
+    return peek(off).kind == TokKind::kIdentifier && peek(off).text == kw;
+  }
+  bool accept_keyword(std::string_view kw) {
+    if (is_keyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  std::string expect_identifier() {
+    if (peek().kind != TokKind::kIdentifier) {
+      throw SyntaxError("expected identifier, found '" + peek().text + "'",
+                        peek().line);
+    }
+    return advance().text;
+  }
+
+  // --- statements -------------------------------------------------------
+  StmtPtr statement() {
+    if (accept(";")) return std::make_unique<Stmt>(Stmt::Kind::kEmpty);
+    if (is_punct("{")) return block();
+    if (is_keyword("var") || is_keyword("let") || is_keyword("const")) {
+      StmtPtr s = var_declaration();
+      expect(";");
+      return s;
+    }
+    if (accept_keyword("if")) return if_statement();
+    if (accept_keyword("while")) return while_statement();
+    if (accept_keyword("do")) return do_while_statement();
+    if (accept_keyword("for")) return for_statement();
+    if (accept_keyword("switch")) return switch_statement();
+    if (accept_keyword("return")) {
+      auto s = std::make_unique<Stmt>(Stmt::Kind::kReturn);
+      if (!is_punct(";")) s->expr = expression();
+      expect(";");
+      return s;
+    }
+    if (accept_keyword("break")) {
+      expect(";");
+      return std::make_unique<Stmt>(Stmt::Kind::kBreak);
+    }
+    if (accept_keyword("continue")) {
+      expect(";");
+      return std::make_unique<Stmt>(Stmt::Kind::kContinue);
+    }
+    if (is_keyword("function") && peek(1).kind == TokKind::kIdentifier) {
+      ++pos_;
+      auto s = std::make_unique<Stmt>(Stmt::Kind::kFunction);
+      s->function = function_rest(/*named=*/true);
+      return s;
+    }
+    if (accept_keyword("try")) return try_statement();
+    auto s = std::make_unique<Stmt>(Stmt::Kind::kExpr);
+    s->expr = expression();
+    expect(";");
+    return s;
+  }
+
+  StmtPtr block() {
+    expect("{");
+    auto s = std::make_unique<Stmt>(Stmt::Kind::kBlock);
+    while (!is_punct("}")) {
+      if (at_eof()) throw SyntaxError("unterminated block", peek().line);
+      s->statements.push_back(statement());
+    }
+    expect("}");
+    return s;
+  }
+
+  StmtPtr var_declaration() {
+    advance();  // var/let/const
+    auto s = std::make_unique<Stmt>(Stmt::Kind::kVar);
+    s->name = expect_identifier();
+    if (accept("=")) s->expr = assignment();
+    // Additional declarators become nested var statements in a block.
+    if (is_punct(",")) {
+      auto blockStmt = std::make_unique<Stmt>(Stmt::Kind::kBlock);
+      blockStmt->statements.push_back(std::move(s));
+      while (accept(",")) {
+        auto next = std::make_unique<Stmt>(Stmt::Kind::kVar);
+        next->name = expect_identifier();
+        if (accept("=")) next->expr = assignment();
+        blockStmt->statements.push_back(std::move(next));
+      }
+      return blockStmt;
+    }
+    return s;
+  }
+
+  StmtPtr if_statement() {
+    expect("(");
+    auto s = std::make_unique<Stmt>(Stmt::Kind::kIf);
+    s->expr = expression();
+    expect(")");
+    s->body = statement();
+    if (accept_keyword("else")) s->else_body = statement();
+    return s;
+  }
+
+  StmtPtr while_statement() {
+    expect("(");
+    auto s = std::make_unique<Stmt>(Stmt::Kind::kWhile);
+    s->expr = expression();
+    expect(")");
+    s->body = statement();
+    return s;
+  }
+
+  StmtPtr do_while_statement() {
+    auto s = std::make_unique<Stmt>(Stmt::Kind::kDoWhile);
+    s->body = statement();
+    if (!accept_keyword("while")) {
+      throw SyntaxError("do without while", peek().line);
+    }
+    expect("(");
+    s->expr = expression();
+    expect(")");
+    expect(";");
+    return s;
+  }
+
+  StmtPtr switch_statement() {
+    auto s = std::make_unique<Stmt>(Stmt::Kind::kSwitch);
+    expect("(");
+    s->expr = expression();
+    expect(")");
+    expect("{");
+    bool saw_default = false;
+    while (!is_punct("}")) {
+      if (at_eof()) throw SyntaxError("unterminated switch", peek().line);
+      Stmt::SwitchClause clause;
+      if (accept_keyword("case")) {
+        clause.test = expression();
+      } else if (accept_keyword("default")) {
+        if (saw_default) {
+          throw SyntaxError("duplicate default clause", peek().line);
+        }
+        saw_default = true;
+      } else {
+        throw SyntaxError("expected 'case' or 'default'", peek().line);
+      }
+      expect(":");
+      while (!is_punct("}") && !is_keyword("case") && !is_keyword("default")) {
+        clause.body.push_back(statement());
+      }
+      s->clauses.push_back(std::move(clause));
+    }
+    expect("}");
+    return s;
+  }
+
+  StmtPtr for_statement() {
+    expect("(");
+    auto s = std::make_unique<Stmt>(Stmt::Kind::kFor);
+    if (!accept(";")) {
+      if (is_keyword("var") || is_keyword("let") || is_keyword("const")) {
+        s->init_stmt = var_declaration();
+      } else {
+        s->init_expr = expression();
+      }
+      expect(";");
+    }
+    if (!is_punct(";")) s->expr = expression();  // condition
+    expect(";");
+    if (!is_punct(")")) s->step = expression();
+    expect(")");
+    s->body = statement();
+    return s;
+  }
+
+  StmtPtr try_statement() {
+    auto s = std::make_unique<Stmt>(Stmt::Kind::kTry);
+    StmtPtr tryBlock = block();
+    s->statements = std::move(tryBlock->statements);
+    if (accept_keyword("catch")) {
+      if (accept("(")) {
+        s->name = expect_identifier();
+        expect(")");
+      }
+      StmtPtr catchBlock = block();
+      s->catch_body = std::move(catchBlock->statements);
+    } else if (accept_keyword("finally")) {
+      // modelled as unconditional code after the try
+      StmtPtr finallyBlock = block();
+      s->catch_body = std::move(finallyBlock->statements);
+    } else {
+      throw SyntaxError("try without catch/finally", peek().line);
+    }
+    return s;
+  }
+
+  std::shared_ptr<AstFunction> function_rest(bool named) {
+    auto fn = std::make_shared<AstFunction>();
+    if (named) fn->name = expect_identifier();
+    expect("(");
+    if (!is_punct(")")) {
+      do {
+        fn->params.push_back(expect_identifier());
+      } while (accept(","));
+    }
+    expect(")");
+    expect("{");
+    while (!is_punct("}")) {
+      if (at_eof()) throw SyntaxError("unterminated function body", peek().line);
+      fn->body.push_back(statement());
+    }
+    expect("}");
+    return fn;
+  }
+
+  // --- expressions -------------------------------------------------------
+  ExprPtr expression() { return assignment(); }
+
+  ExprPtr assignment() {
+    ExprPtr lhs = conditional();
+    if (is_punct("=") || is_punct("+=") || is_punct("-=")) {
+      const std::string op = advance().text;
+      if (lhs->kind != Expr::Kind::kIdentifier &&
+          lhs->kind != Expr::Kind::kMember &&
+          lhs->kind != Expr::Kind::kIndex) {
+        throw SyntaxError("invalid assignment target", peek().line);
+      }
+      ExprPtr rhs = assignment();
+      if (op != "=") {
+        // desugar a += b into a = a + b (the target is re-evaluated; fine
+        // for the code our generator emits)
+        auto read = clone_target(*lhs);
+        auto bin = std::make_unique<Expr>(Expr::Kind::kBinary);
+        bin->binary_op = op == "+=" ? BinaryOp::kAdd : BinaryOp::kSub;
+        bin->lhs = std::move(read);
+        bin->rhs = std::move(rhs);
+        rhs = std::move(bin);
+      }
+      auto assign = std::make_unique<Expr>(Expr::Kind::kAssign);
+      assign->lhs = std::move(lhs);
+      assign->rhs = std::move(rhs);
+      return assign;
+    }
+    return lhs;
+  }
+
+  // Shallow structural clone of an assignment target for compound-assign
+  // desugaring.
+  ExprPtr clone_target(const Expr& e) {
+    auto out = std::make_unique<Expr>(e.kind);
+    out->text = e.text;
+    if (e.object) out->object = clone_target(*e.object);
+    if (e.index) out->index = clone_target(*e.index);
+    out->number = e.number;
+    out->boolean = e.boolean;
+    return out;
+  }
+
+  ExprPtr conditional() {
+    ExprPtr cond = binary_or();
+    if (accept("?")) {
+      auto e = std::make_unique<Expr>(Expr::Kind::kConditional);
+      e->cond = std::move(cond);
+      e->then_expr = assignment();
+      expect(":");
+      e->else_expr = assignment();
+      return e;
+    }
+    return cond;
+  }
+
+  ExprPtr binary_or() {
+    ExprPtr lhs = binary_and();
+    while (is_punct("||")) {
+      ++pos_;
+      auto e = std::make_unique<Expr>(Expr::Kind::kBinary);
+      e->binary_op = BinaryOp::kOr;
+      e->lhs = std::move(lhs);
+      e->rhs = binary_and();
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr binary_and() {
+    ExprPtr lhs = equality();
+    while (is_punct("&&")) {
+      ++pos_;
+      auto e = std::make_unique<Expr>(Expr::Kind::kBinary);
+      e->binary_op = BinaryOp::kAnd;
+      e->lhs = std::move(lhs);
+      e->rhs = equality();
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr equality() {
+    ExprPtr lhs = relational();
+    for (;;) {
+      BinaryOp op;
+      if (is_punct("===")) op = BinaryOp::kStrictEq;
+      else if (is_punct("!==")) op = BinaryOp::kStrictNe;
+      else if (is_punct("==")) op = BinaryOp::kEq;
+      else if (is_punct("!=")) op = BinaryOp::kNe;
+      else break;
+      ++pos_;
+      auto e = std::make_unique<Expr>(Expr::Kind::kBinary);
+      e->binary_op = op;
+      e->lhs = std::move(lhs);
+      e->rhs = relational();
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr relational() {
+    ExprPtr lhs = additive();
+    for (;;) {
+      BinaryOp op;
+      if (is_punct("<=")) op = BinaryOp::kLe;
+      else if (is_punct(">=")) op = BinaryOp::kGe;
+      else if (is_punct("<")) op = BinaryOp::kLt;
+      else if (is_punct(">")) op = BinaryOp::kGt;
+      else if (is_keyword("instanceof")) op = BinaryOp::kInstanceof;
+      else if (is_keyword("in")) op = BinaryOp::kIn;
+      else break;
+      ++pos_;
+      auto e = std::make_unique<Expr>(Expr::Kind::kBinary);
+      e->binary_op = op;
+      e->lhs = std::move(lhs);
+      e->rhs = additive();
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr additive() {
+    ExprPtr lhs = multiplicative();
+    for (;;) {
+      BinaryOp op;
+      if (is_punct("+")) op = BinaryOp::kAdd;
+      else if (is_punct("-")) op = BinaryOp::kSub;
+      else break;
+      ++pos_;
+      auto e = std::make_unique<Expr>(Expr::Kind::kBinary);
+      e->binary_op = op;
+      e->lhs = std::move(lhs);
+      e->rhs = multiplicative();
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr multiplicative() {
+    ExprPtr lhs = unary();
+    for (;;) {
+      BinaryOp op;
+      if (is_punct("*")) op = BinaryOp::kMul;
+      else if (is_punct("/")) op = BinaryOp::kDiv;
+      else if (is_punct("%")) op = BinaryOp::kMod;
+      else break;
+      ++pos_;
+      auto e = std::make_unique<Expr>(Expr::Kind::kBinary);
+      e->binary_op = op;
+      e->lhs = std::move(lhs);
+      e->rhs = unary();
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  ExprPtr unary() {
+    if (accept("!")) {
+      auto e = std::make_unique<Expr>(Expr::Kind::kUnary);
+      e->unary_op = UnaryOp::kNot;
+      e->lhs = unary();
+      return e;
+    }
+    if (accept("-")) {
+      auto e = std::make_unique<Expr>(Expr::Kind::kUnary);
+      e->unary_op = UnaryOp::kNeg;
+      e->lhs = unary();
+      return e;
+    }
+    if (accept_keyword("typeof")) {
+      auto e = std::make_unique<Expr>(Expr::Kind::kUnary);
+      e->unary_op = UnaryOp::kTypeof;
+      e->lhs = unary();
+      return e;
+    }
+    if (accept_keyword("delete")) {
+      auto e = std::make_unique<Expr>(Expr::Kind::kUnary);
+      e->unary_op = UnaryOp::kDelete;
+      e->lhs = unary();
+      if (e->lhs->kind != Expr::Kind::kMember &&
+          e->lhs->kind != Expr::Kind::kIndex) {
+        throw SyntaxError("delete needs a property reference", peek().line);
+      }
+      return e;
+    }
+    if (is_punct("++") || is_punct("--")) {
+      // prefix increment: desugar to assignment
+      const bool inc = advance().text == "++";
+      ExprPtr target = unary();
+      auto bin = std::make_unique<Expr>(Expr::Kind::kBinary);
+      bin->binary_op = inc ? BinaryOp::kAdd : BinaryOp::kSub;
+      bin->lhs = clone_target(*target);
+      auto one = std::make_unique<Expr>(Expr::Kind::kNumber);
+      one->number = 1;
+      bin->rhs = std::move(one);
+      auto assign = std::make_unique<Expr>(Expr::Kind::kAssign);
+      assign->lhs = std::move(target);
+      assign->rhs = std::move(bin);
+      return assign;
+    }
+    return postfix();
+  }
+
+  ExprPtr postfix() {
+    ExprPtr e = call_member(primary());
+    if (is_punct("++") || is_punct("--")) {
+      // postfix increment: value semantics simplified to the updated value
+      const bool inc = advance().text == "++";
+      auto bin = std::make_unique<Expr>(Expr::Kind::kBinary);
+      bin->binary_op = inc ? BinaryOp::kAdd : BinaryOp::kSub;
+      bin->lhs = clone_target(*e);
+      auto one = std::make_unique<Expr>(Expr::Kind::kNumber);
+      one->number = 1;
+      bin->rhs = std::move(one);
+      auto assign = std::make_unique<Expr>(Expr::Kind::kAssign);
+      assign->lhs = std::move(e);
+      assign->rhs = std::move(bin);
+      return assign;
+    }
+    return e;
+  }
+
+  ExprPtr call_member(ExprPtr base) {
+    for (;;) {
+      if (accept(".")) {
+        auto e = std::make_unique<Expr>(Expr::Kind::kMember);
+        e->object = std::move(base);
+        e->text = expect_identifier();
+        base = std::move(e);
+      } else if (accept("[")) {
+        auto e = std::make_unique<Expr>(Expr::Kind::kIndex);
+        e->object = std::move(base);
+        e->index = expression();
+        expect("]");
+        base = std::move(e);
+      } else if (is_punct("(")) {
+        auto e = std::make_unique<Expr>(Expr::Kind::kCall);
+        e->callee = std::move(base);
+        e->args = argument_list();
+        base = std::move(e);
+      } else {
+        return base;
+      }
+    }
+  }
+
+  std::vector<ExprPtr> argument_list() {
+    expect("(");
+    std::vector<ExprPtr> args;
+    if (!is_punct(")")) {
+      do {
+        args.push_back(assignment());
+      } while (accept(","));
+    }
+    expect(")");
+    return args;
+  }
+
+  ExprPtr primary() {
+    const Tok& t = peek();
+    if (t.kind == TokKind::kNumber) {
+      auto e = std::make_unique<Expr>(Expr::Kind::kNumber);
+      e->number = advance().number;
+      return e;
+    }
+    if (t.kind == TokKind::kString) {
+      auto e = std::make_unique<Expr>(Expr::Kind::kString);
+      e->text = advance().text;
+      return e;
+    }
+    if (accept("(")) {
+      ExprPtr e = expression();
+      expect(")");
+      return e;
+    }
+    if (is_punct("{")) return object_literal();
+    if (is_punct("[")) return array_literal();
+    if (t.kind == TokKind::kIdentifier) {
+      if (t.text == "true" || t.text == "false") {
+        auto e = std::make_unique<Expr>(Expr::Kind::kBool);
+        e->boolean = advance().text == "true";
+        return e;
+      }
+      if (t.text == "null") {
+        ++pos_;
+        return std::make_unique<Expr>(Expr::Kind::kNull);
+      }
+      if (t.text == "undefined") {
+        ++pos_;
+        return std::make_unique<Expr>(Expr::Kind::kUndefined);
+      }
+      if (t.text == "function") {
+        ++pos_;
+        auto e = std::make_unique<Expr>(Expr::Kind::kFunction);
+        const bool named = peek().kind == TokKind::kIdentifier;
+        e->function = function_rest(named);
+        return e;
+      }
+      if (t.text == "new") {
+        ++pos_;
+        auto e = std::make_unique<Expr>(Expr::Kind::kNew);
+        ExprPtr ctor = primary();
+        // allow member paths after new: new foo.Bar(...)
+        while (accept(".")) {
+          auto m = std::make_unique<Expr>(Expr::Kind::kMember);
+          m->object = std::move(ctor);
+          m->text = expect_identifier();
+          ctor = std::move(m);
+        }
+        e->callee = std::move(ctor);
+        if (is_punct("(")) e->args = argument_list();
+        return e;
+      }
+      auto e = std::make_unique<Expr>(Expr::Kind::kIdentifier);
+      e->text = advance().text;
+      return e;
+    }
+    throw SyntaxError("unexpected token '" + t.text + "'", t.line);
+  }
+
+  ExprPtr object_literal() {
+    expect("{");
+    auto e = std::make_unique<Expr>(Expr::Kind::kObjectLiteral);
+    while (!is_punct("}")) {
+      std::string key;
+      if (peek().kind == TokKind::kString) {
+        key = advance().text;
+      } else if (peek().kind == TokKind::kNumber) {
+        key = advance().text;
+      } else {
+        key = expect_identifier();
+      }
+      expect(":");
+      e->keys.push_back(std::move(key));
+      e->args.push_back(assignment());
+      if (!accept(",")) break;
+    }
+    expect("}");
+    return e;
+  }
+
+  ExprPtr array_literal() {
+    expect("[");
+    auto e = std::make_unique<Expr>(Expr::Kind::kArrayLiteral);
+    while (!is_punct("]")) {
+      e->args.push_back(assignment());
+      if (!accept(",")) break;
+    }
+    expect("]");
+    return e;
+  }
+
+  std::vector<Tok> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse_program(std::string_view source) {
+  return Parser(source).run();
+}
+
+}  // namespace fu::script

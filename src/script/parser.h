@@ -1,0 +1,18 @@
+// MiniJS recursive-descent parser. Covers the JavaScript subset our
+// synthetic pages use: var declarations, functions (declarations and
+// expressions, with closures), if/while/for, try/catch, return/break/
+// continue, the usual expression grammar with precedence, object/array
+// literals, member/index access, calls, `new`, and compound assignment.
+#pragma once
+
+#include <string_view>
+
+#include "script/ast.h"
+#include "script/lexer.h"
+
+namespace fu::script {
+
+// Parse a full program. Throws SyntaxError on malformed input.
+Program parse_program(std::string_view source);
+
+}  // namespace fu::script

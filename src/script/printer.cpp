@@ -1,0 +1,270 @@
+#include "script/printer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace fu::script {
+
+namespace {
+
+std::string escape_string(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string number_literal(double d) {
+  if (d == static_cast<double>(static_cast<long long>(d)) &&
+      std::abs(d) < 1e15) {
+    return std::to_string(static_cast<long long>(d));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  return buf;
+}
+
+const char* binary_op_text(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "==";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kStrictEq: return "===";
+    case BinaryOp::kStrictNe: return "!==";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "&&";
+    case BinaryOp::kOr: return "||";
+    case BinaryOp::kInstanceof: return "instanceof";
+    case BinaryOp::kIn: return "in";
+  }
+  return "?";
+}
+
+std::string pad(int indent) { return std::string(static_cast<std::size_t>(indent) * 2, ' '); }
+
+// Loop/if bodies are printed inside braces already; a Block body's own
+// braces would nest one level deeper on every print-parse round, so its
+// children are emitted directly.
+std::string body_source(const Stmt& body, int indent) {
+  if (body.kind == Stmt::Kind::kBlock) {
+    std::string out;
+    for (const StmtPtr& child : body.statements) {
+      out += to_source(*child, indent);
+    }
+    return out;
+  }
+  return to_source(body, indent);
+}
+
+std::string function_source(const AstFunction& fn) {
+  std::string out = "function ";
+  out += fn.name;
+  out += "(";
+  for (std::size_t i = 0; i < fn.params.size(); ++i) {
+    if (i) out += ", ";
+    out += fn.params[i];
+  }
+  out += ") {\n";
+  for (const StmtPtr& s : fn.body) out += to_source(*s, 1);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string to_source(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kNumber:
+      return number_literal(e.number);
+    case Expr::Kind::kString:
+      return escape_string(e.text);
+    case Expr::Kind::kBool:
+      return e.boolean ? "true" : "false";
+    case Expr::Kind::kNull:
+      return "null";
+    case Expr::Kind::kUndefined:
+      return "undefined";
+    case Expr::Kind::kIdentifier:
+      return e.text;
+    case Expr::Kind::kMember:
+      return "(" + to_source(*e.object) + ")." + e.text;
+    case Expr::Kind::kIndex:
+      return "(" + to_source(*e.object) + ")[" + to_source(*e.index) + "]";
+    case Expr::Kind::kCall: {
+      std::string out = "(" + to_source(*e.callee) + ")(";
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i) out += ", ";
+        out += to_source(*e.args[i]);
+      }
+      return out + ")";
+    }
+    case Expr::Kind::kNew: {
+      std::string out = "new (" + to_source(*e.callee) + ")(";
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i) out += ", ";
+        out += to_source(*e.args[i]);
+      }
+      return out + ")";
+    }
+    case Expr::Kind::kAssign:
+      return "(" + to_source(*e.lhs) + " = " + to_source(*e.rhs) + ")";
+    case Expr::Kind::kBinary:
+      return "(" + to_source(*e.lhs) + " " + binary_op_text(e.binary_op) +
+             " " + to_source(*e.rhs) + ")";
+    case Expr::Kind::kUnary:
+      switch (e.unary_op) {
+        case UnaryOp::kNot: return "(!" + to_source(*e.lhs) + ")";
+        case UnaryOp::kNeg: return "(-" + to_source(*e.lhs) + ")";
+        case UnaryOp::kTypeof: return "(typeof " + to_source(*e.lhs) + ")";
+        case UnaryOp::kDelete: return "(delete " + to_source(*e.lhs) + ")";
+      }
+      return "?";
+    case Expr::Kind::kConditional:
+      return "(" + to_source(*e.cond) + " ? " + to_source(*e.then_expr) +
+             " : " + to_source(*e.else_expr) + ")";
+    case Expr::Kind::kFunction:
+      return "(" + function_source(*e.function) + ")";
+    case Expr::Kind::kObjectLiteral: {
+      std::string out = "{ ";
+      for (std::size_t i = 0; i < e.keys.size(); ++i) {
+        if (i) out += ", ";
+        out += escape_string(e.keys[i]) + ": " + to_source(*e.args[i]);
+      }
+      return out + " }";
+    }
+    case Expr::Kind::kArrayLiteral: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i) out += ", ";
+        out += to_source(*e.args[i]);
+      }
+      return out + "]";
+    }
+  }
+  return "?";
+}
+
+std::string to_source(const Stmt& s, int indent) {
+  const std::string lead = pad(indent);
+  switch (s.kind) {
+    case Stmt::Kind::kEmpty:
+      return lead + ";\n";
+    case Stmt::Kind::kExpr:
+      return lead + to_source(*s.expr) + ";\n";
+    case Stmt::Kind::kVar:
+      return lead + "var " + s.name +
+             (s.expr ? " = " + to_source(*s.expr) : "") + ";\n";
+    case Stmt::Kind::kIf: {
+      std::string out = lead + "if (" + to_source(*s.expr) + ") {\n";
+      out += body_source(*s.body, indent + 1);
+      out += lead + "}";
+      if (s.else_body) {
+        out += " else {\n" + body_source(*s.else_body, indent + 1) + lead + "}";
+      }
+      return out + "\n";
+    }
+    case Stmt::Kind::kWhile:
+      return lead + "while (" + to_source(*s.expr) + ") {\n" +
+             body_source(*s.body, indent + 1) + lead + "}\n";
+    case Stmt::Kind::kDoWhile:
+      return lead + "do {\n" + body_source(*s.body, indent + 1) + lead +
+             "} while (" + to_source(*s.expr) + ");\n";
+    case Stmt::Kind::kSwitch: {
+      std::string out = lead + "switch (" + to_source(*s.expr) + ") {\n";
+      for (const Stmt::SwitchClause& clause : s.clauses) {
+        out += clause.test != nullptr
+                   ? lead + "case " + to_source(*clause.test) + ":\n"
+                   : lead + "default:\n";
+        for (const StmtPtr& child : clause.body) {
+          out += to_source(*child, indent + 1);
+        }
+      }
+      return out + lead + "}\n";
+    }
+    case Stmt::Kind::kFor: {
+      std::string out = lead + "for (";
+      if (s.init_stmt) {
+        // A multi-declarator init parses to a block of var statements;
+        // reconstitute "var a = x, b = y" for valid for-init syntax.
+        const auto strip = [](std::string text) {
+          while (!text.empty() && (text.back() == '\n' || text.back() == ';')) {
+            text.pop_back();
+          }
+          return text;
+        };
+        if (s.init_stmt->kind == Stmt::Kind::kBlock) {
+          std::string init;
+          for (std::size_t i = 0; i < s.init_stmt->statements.size(); ++i) {
+            std::string piece = strip(to_source(*s.init_stmt->statements[i], 0));
+            if (i > 0 && piece.rfind("var ", 0) == 0) piece = piece.substr(4);
+            if (i) init += ", ";
+            init += piece;
+          }
+          out += init;
+        } else {
+          out += strip(to_source(*s.init_stmt, 0));
+        }
+      } else if (s.init_expr) {
+        out += to_source(*s.init_expr);
+      }
+      out += "; ";
+      if (s.expr) out += to_source(*s.expr);
+      out += "; ";
+      if (s.step) out += to_source(*s.step);
+      out += ") {\n" + body_source(*s.body, indent + 1) + lead + "}\n";
+      return out;
+    }
+    case Stmt::Kind::kReturn:
+      return lead + "return" + (s.expr ? " " + to_source(*s.expr) : "") +
+             ";\n";
+    case Stmt::Kind::kBreak:
+      return lead + "break;\n";
+    case Stmt::Kind::kContinue:
+      return lead + "continue;\n";
+    case Stmt::Kind::kBlock: {
+      std::string out = lead + "{\n";
+      for (const StmtPtr& child : s.statements) {
+        out += to_source(*child, indent + 1);
+      }
+      return out + lead + "}\n";
+    }
+    case Stmt::Kind::kFunction:
+      return lead + function_source(*s.function) + "\n";
+    case Stmt::Kind::kTry: {
+      std::string out = lead + "try {\n";
+      for (const StmtPtr& child : s.statements) {
+        out += to_source(*child, indent + 1);
+      }
+      out += lead + "} catch (" + (s.name.empty() ? "e" : s.name) + ") {\n";
+      for (const StmtPtr& child : s.catch_body) {
+        out += to_source(*child, indent + 1);
+      }
+      return out + lead + "}\n";
+    }
+  }
+  return lead + "?;\n";
+}
+
+std::string to_source(const Program& program) {
+  std::string out;
+  for (const StmtPtr& s : program.statements) out += to_source(*s, 0);
+  return out;
+}
+
+}  // namespace fu::script

@@ -1,0 +1,16 @@
+// MiniJS AST pretty-printer. to_source(parse(x)) is valid MiniJS that
+// parses back to an equivalent program — the property the round-trip tests
+// lean on. Also handy for debugging generated site scripts.
+#pragma once
+
+#include <string>
+
+#include "script/ast.h"
+
+namespace fu::script {
+
+std::string to_source(const Expr& expr);
+std::string to_source(const Stmt& stmt, int indent = 0);
+std::string to_source(const Program& program);
+
+}  // namespace fu::script

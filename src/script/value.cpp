@@ -1,0 +1,147 @@
+#include "script/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace fu::script {
+
+bool Value::truthy() const {
+  if (is_undefined() || is_null()) return false;
+  if (is_bool()) return as_bool();
+  if (is_number()) {
+    const double d = as_number();
+    return d != 0 && !std::isnan(d);
+  }
+  if (is_string()) return !as_string().empty();
+  return !as_object().null();
+}
+
+double Value::to_number() const {
+  if (is_number()) return as_number();
+  if (is_bool()) return as_bool() ? 1 : 0;
+  if (is_null()) return 0;
+  if (is_string()) {
+    try {
+      std::size_t used = 0;
+      const double d = std::stod(as_string(), &used);
+      if (used == as_string().size()) return d;
+    } catch (const std::exception&) {
+    }
+    return std::nan("");
+  }
+  return std::nan("");
+}
+
+std::string Value::to_display_string() const {
+  if (is_undefined()) return "undefined";
+  if (is_null()) return "null";
+  if (is_bool()) return as_bool() ? "true" : "false";
+  if (is_string()) return as_string();
+  if (is_number()) {
+    const double d = as_number();
+    if (std::isnan(d)) return "NaN";
+    if (d == static_cast<double>(static_cast<long long>(d)) &&
+        std::fabs(d) < 1e15) {
+      return std::to_string(static_cast<long long>(d));
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", d);
+    return buf;
+  }
+  return "[object]";
+}
+
+bool Value::loose_equals(const Value& other) const {
+  if (data_.index() == other.data_.index()) return *this == other;
+  // cross-type: undefined == null, number-vs-string/bool coercion
+  if ((is_undefined() || is_null()) && (other.is_undefined() || other.is_null())) {
+    return true;
+  }
+  if (is_object() || other.is_object()) return false;
+  if (is_undefined() || other.is_undefined()) return false;
+  const double a = to_number();
+  const double b = other.to_number();
+  return !std::isnan(a) && !std::isnan(b) && a == b;
+}
+
+Heap::Heap() {
+  objects_.push_back(nullptr);  // index 0 reserved
+}
+
+ObjectRef Heap::make_object(ObjectRef prototype, std::string class_name) {
+  auto obj = std::make_unique<JsObject>();
+  obj->prototype = prototype;
+  obj->class_name = std::move(class_name);
+  objects_.push_back(std::move(obj));
+  return ObjectRef(static_cast<std::uint32_t>(objects_.size() - 1));
+}
+
+ObjectRef Heap::make_function(NativeFn fn, std::string name) {
+  const ObjectRef ref = make_object(ObjectRef(), "Function");
+  auto callable = std::make_unique<Callable>();
+  callable->native = std::move(fn);
+  callable->name = std::move(name);
+  get(ref).callable = std::move(callable);
+  return ref;
+}
+
+ObjectRef Heap::make_script_function(std::shared_ptr<const AstFunction> fn,
+                                     Environment* closure) {
+  const ObjectRef ref = make_object(ObjectRef(), "Function");
+  auto callable = std::make_unique<Callable>();
+  callable->script = std::move(fn);
+  callable->closure = closure;
+  get(ref).callable = std::move(callable);
+  // Like JavaScript, every script function is a potential constructor and
+  // carries a fresh .prototype object (new F() instances chain to it,
+  // which is also what `instanceof` inspects).
+  const ObjectRef proto = make_object(ObjectRef(), "Object");
+  get(proto).properties["constructor"] = Value(ref);
+  get(ref).properties["prototype"] = Value(proto);
+  return ref;
+}
+
+JsObject& Heap::get(ObjectRef ref) {
+  if (ref.null() || ref.index() >= objects_.size()) {
+    throw std::out_of_range("Heap::get: bad object reference");
+  }
+  return *objects_[ref.index()];
+}
+
+const JsObject& Heap::get(ObjectRef ref) const {
+  if (ref.null() || ref.index() >= objects_.size()) {
+    throw std::out_of_range("Heap::get: bad object reference");
+  }
+  return *objects_[ref.index()];
+}
+
+Value Heap::get_property(ObjectRef ref, std::string_view name) const {
+  // bounded walk to survive accidental prototype cycles
+  for (int depth = 0; depth < 32 && !ref.null(); ++depth) {
+    const JsObject& obj = get(ref);
+    const auto it = obj.properties.find(name);
+    if (it != obj.properties.end()) return it->second;
+    ref = obj.prototype;
+  }
+  return Value();
+}
+
+bool Heap::has_property(ObjectRef ref, std::string_view name) const {
+  for (int depth = 0; depth < 32 && !ref.null(); ++depth) {
+    const JsObject& obj = get(ref);
+    if (obj.properties.find(name) != obj.properties.end()) return true;
+    ref = obj.prototype;
+  }
+  return false;
+}
+
+void Heap::set_property(ObjectRef ref, std::string_view name, Value value) {
+  JsObject& obj = get(ref);
+  obj.properties[std::string(name)] = std::move(value);
+  if (obj.watch) {
+    (*obj.watch)(std::string(name), obj.properties[std::string(name)]);
+  }
+}
+
+}  // namespace fu::script

@@ -1,0 +1,158 @@
+// MiniJS value model: a small prototype-based dynamic object system.
+//
+// This is the reproduction's stand-in for SpiderMonkey. It is deliberately
+// faithful to the parts of JavaScript the paper's instrumentation relies on:
+//   * objects with prototype chains — methods live on Interface.prototype
+//     objects and are *replaceable*, so the measuring extension can shim them
+//     with counting wrappers that close over the originals (§4.2.1);
+//   * watchable objects — a per-object property-write hook equivalent to
+//     Firefox's non-standard Object.watch(), which the extension uses to
+//     count property writes on singletons (window, document, navigator)
+//     and which cannot see writes on other objects (§4.2.2);
+//   * first-class functions and closures, so pages can register handlers.
+//
+// Memory: all objects live in a Heap arena owned by the page's Interpreter;
+// nothing is collected mid-page (pages are short-lived). ObjectRef is an
+// index into the arena.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace fu::script {
+
+class Heap;
+class Interpreter;
+struct JsObject;
+
+// Index of an object in its heap. 0 is reserved (null object reference).
+class ObjectRef {
+ public:
+  constexpr ObjectRef() = default;
+  constexpr explicit ObjectRef(std::uint32_t index) : index_(index) {}
+
+  constexpr bool null() const noexcept { return index_ == 0; }
+  constexpr std::uint32_t index() const noexcept { return index_; }
+  friend constexpr bool operator==(ObjectRef, ObjectRef) = default;
+  friend constexpr auto operator<=>(ObjectRef, ObjectRef) = default;
+
+ private:
+  std::uint32_t index_ = 0;
+};
+
+struct Undefined {
+  friend constexpr bool operator==(Undefined, Undefined) { return true; }
+};
+struct Null {
+  friend constexpr bool operator==(Null, Null) { return true; }
+};
+
+class Value {
+ public:
+  Value() : data_(Undefined{}) {}
+  Value(Undefined) : data_(Undefined{}) {}
+  Value(Null) : data_(Null{}) {}
+  Value(bool b) : data_(b) {}
+  Value(double d) : data_(d) {}
+  Value(int i) : data_(static_cast<double>(i)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(ObjectRef ref) : data_(ref) {}
+
+  bool is_undefined() const { return std::holds_alternative<Undefined>(data_); }
+  bool is_null() const { return std::holds_alternative<Null>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_number() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_object() const { return std::holds_alternative<ObjectRef>(data_); }
+
+  bool as_bool() const { return std::get<bool>(data_); }
+  double as_number() const { return std::get<double>(data_); }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+  ObjectRef as_object() const { return std::get<ObjectRef>(data_); }
+
+  // JavaScript-style coercions.
+  bool truthy() const;
+  double to_number() const;          // NaN for non-coercible
+  std::string to_display_string() const;
+
+  // Loose equality for primitives; objects compare by identity.
+  bool loose_equals(const Value& other) const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  std::variant<Undefined, Null, bool, double, std::string, ObjectRef> data_;
+};
+
+// Native (C++-implemented) function. Receives the interpreter, the `this`
+// value and the argument list.
+using NativeFn =
+    std::function<Value(Interpreter&, const Value& self, std::span<const Value>)>;
+
+// Property-write hook, the Object.watch() equivalent. Called *after* the
+// write with (property name, new value).
+using WatchHandler = std::function<void(const std::string&, const Value&)>;
+
+struct AstFunction;  // defined in ast.h
+class Environment;   // defined in interp.h
+
+// Function payload attached to a callable object.
+struct Callable {
+  // exactly one of native / script is set
+  NativeFn native;
+  // Shared ownership: a function value keeps its AST alive even if the
+  // Program it was parsed from has been destroyed (handlers frequently
+  // outlive the script that registered them).
+  std::shared_ptr<const AstFunction> script;
+  Environment* closure = nullptr;  // captured scope for script functions
+  std::string name;                // diagnostic / shim bookkeeping
+};
+
+struct JsObject {
+  std::map<std::string, Value, std::less<>> properties;
+  ObjectRef prototype;
+  std::unique_ptr<Callable> callable;  // set iff the object is a function
+  std::optional<WatchHandler> watch;   // Object.watch-style hook
+  std::string class_name = "Object";   // e.g. "XMLHttpRequest" for instances
+  // Host back-pointer for DOM wrapper objects (non-owning).
+  void* host = nullptr;
+};
+
+class Heap {
+ public:
+  Heap();
+
+  ObjectRef make_object(ObjectRef prototype = ObjectRef(),
+                        std::string class_name = "Object");
+  ObjectRef make_function(NativeFn fn, std::string name);
+  ObjectRef make_script_function(std::shared_ptr<const AstFunction> fn,
+                                 Environment* closure);
+
+  JsObject& get(ObjectRef ref);
+  const JsObject& get(ObjectRef ref) const;
+
+  // Property access with prototype-chain walk.
+  Value get_property(ObjectRef ref, std::string_view name) const;
+  bool has_property(ObjectRef ref, std::string_view name) const;
+  // Sets an *own* property (like JS assignment), firing any watch handler.
+  void set_property(ObjectRef ref, std::string_view name, Value value);
+
+  std::size_t size() const noexcept { return objects_.size(); }
+
+ private:
+  // deque-like stable storage: objects are never moved once created
+  std::vector<std::unique_ptr<JsObject>> objects_;
+};
+
+}  // namespace fu::script

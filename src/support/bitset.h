@@ -1,0 +1,85 @@
+// Compact dynamic bitset for per-site feature sets (1,392 bits × 10k sites
+// × passes — vector<bool> per pass would be wasteful and slow to union).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fu::support {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  std::size_t size() const noexcept { return bits_; }
+
+  void set(std::size_t i) noexcept {
+    words_[i >> 6] |= (std::uint64_t{1} << (i & 63));
+  }
+  void reset(std::size_t i) noexcept {
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  bool test(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  std::size_t count() const noexcept {
+    std::size_t n = 0;
+    for (const std::uint64_t w : words_) n += static_cast<std::size_t>(
+        std::popcount(w));
+    return n;
+  }
+
+  bool any() const noexcept {
+    for (const std::uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  DynamicBitset& operator|=(const DynamicBitset& other) noexcept {
+    for (std::size_t i = 0; i < words_.size() && i < other.words_.size(); ++i) {
+      words_[i] |= other.words_[i];
+    }
+    return *this;
+  }
+
+  DynamicBitset& operator&=(const DynamicBitset& other) noexcept {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] &= i < other.words_.size() ? other.words_[i] : 0;
+    }
+    return *this;
+  }
+
+  // this \ other
+  DynamicBitset minus(const DynamicBitset& other) const {
+    DynamicBitset out = *this;
+    for (std::size_t i = 0; i < out.words_.size() && i < other.words_.size();
+         ++i) {
+      out.words_[i] &= ~other.words_[i];
+    }
+    return out;
+  }
+
+  friend bool operator==(const DynamicBitset& a, const DynamicBitset& b) {
+    return a.bits_ == b.bits_ && a.words_ == b.words_;
+  }
+
+  // Raw word access, for serialization.
+  const std::vector<std::uint64_t>& words() const noexcept { return words_; }
+  void assign_words(std::size_t bits, std::vector<std::uint64_t> words) {
+    bits_ = bits;
+    words_ = std::move(words);
+    words_.resize((bits + 63) / 64, 0);
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace fu::support

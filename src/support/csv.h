@@ -1,0 +1,51 @@
+// Tiny CSV writer/reader. The crawler's usage recorder emits rows shaped like
+// the paper's example ("blocking,example.com,Node.cloneNode(),10") and the
+// analysis layer can persist/reload result tables.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fu::support {
+
+// Quote a field if it contains a comma, quote or newline (RFC 4180 style).
+std::string csv_escape(std::string_view field);
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+  // Variadic convenience: accepts strings and arithmetic values.
+  template <typename... Fields>
+  void row(const Fields&... fields) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(fields));
+    (cells.push_back(to_cell(fields)), ...);
+    write_row(cells);
+  }
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(std::string_view s) { return std::string(s); }
+  static std::string to_cell(const char* s) { return s; }
+  template <typename T>
+  static std::string to_cell(const T& value) {
+    return std::to_string(value);
+  }
+
+  std::ostream* out_;
+};
+
+// Parse one CSV line into fields, honouring quoted fields.
+std::vector<std::string> csv_parse_line(std::string_view line);
+
+// Parse a whole CSV document (no embedded newlines inside quotes supported,
+// which is all we need for our own output).
+std::vector<std::vector<std::string>> csv_parse(std::string_view text);
+
+}  // namespace fu::support

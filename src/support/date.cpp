@@ -1,0 +1,81 @@
+#include "support/date.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace fu::support {
+
+namespace {
+
+// Howard Hinnant's days-from-civil algorithm (public-domain formulas).
+constexpr std::int64_t days_from_civil(int y, int m, int d) noexcept {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+struct Civil {
+  int year;
+  unsigned month;
+  unsigned day;
+};
+
+constexpr Civil civil_from_days(std::int64_t z) noexcept {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : static_cast<unsigned>(-9));
+  return {static_cast<int>(y + (m <= 2)), m, d};
+}
+
+constexpr bool is_leap(int y) noexcept {
+  return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+}
+
+constexpr int days_in_month(int y, int m) noexcept {
+  constexpr int table[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  return m == 2 && is_leap(y) ? 29 : table[m - 1];
+}
+
+}  // namespace
+
+Date::Date(int year, int month, int day) {
+  if (month < 1 || month > 12 || day < 1 || day > days_in_month(year, month)) {
+    throw std::invalid_argument("Date: invalid calendar date");
+  }
+  days_ = days_from_civil(year, month, day);
+}
+
+int Date::year() const noexcept { return civil_from_days(days_).year; }
+int Date::month() const noexcept {
+  return static_cast<int>(civil_from_days(days_).month);
+}
+int Date::day() const noexcept {
+  return static_cast<int>(civil_from_days(days_).day);
+}
+
+double Date::fractional_year() const noexcept {
+  const Civil c = civil_from_days(days_);
+  const std::int64_t start = days_from_civil(c.year, 1, 1);
+  const std::int64_t end = days_from_civil(c.year + 1, 1, 1);
+  return static_cast<double>(c.year) +
+         static_cast<double>(days_ - start) / static_cast<double>(end - start);
+}
+
+std::string Date::to_string() const {
+  const Civil c = civil_from_days(days_);
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%04d-%02u-%02u", c.year, c.month, c.day);
+  return buf;
+}
+
+}  // namespace fu::support

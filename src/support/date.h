@@ -1,0 +1,52 @@
+// Minimal calendar-date type for the release-timeline and CVE data.
+// Internally a days-since-epoch count; supports Y-M-D construction,
+// comparison, arithmetic in days and fractional-year rendering.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace fu::support {
+
+class Date {
+ public:
+  constexpr Date() = default;
+
+  // Construct from a calendar date (proleptic Gregorian). Validated.
+  Date(int year, int month, int day);
+
+  static constexpr Date from_days(std::int64_t days) noexcept {
+    Date d;
+    d.days_ = days;
+    return d;
+  }
+
+  std::int64_t days_since_epoch() const noexcept { return days_; }
+
+  int year() const noexcept;
+  int month() const noexcept;
+  int day() const noexcept;
+
+  // Year plus fraction, e.g. 2013.5 for ~July 2013. Used as figure x-axis.
+  double fractional_year() const noexcept;
+
+  Date plus_days(std::int64_t n) const noexcept {
+    return from_days(days_ + n);
+  }
+
+  std::string to_string() const;  // "2016-05-20"
+
+  friend constexpr auto operator<=>(const Date&, const Date&) = default;
+
+ private:
+  // Days since 1970-01-01 (can be negative).
+  std::int64_t days_ = 0;
+};
+
+// Days between two dates (b - a).
+inline std::int64_t days_between(const Date& a, const Date& b) noexcept {
+  return b.days_since_epoch() - a.days_since_epoch();
+}
+
+}  // namespace fu::support

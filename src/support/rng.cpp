@@ -1,0 +1,33 @@
+#include "support/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fu::support {
+
+Zipf::Zipf(std::size_t n, double exponent) {
+  if (n == 0) throw std::invalid_argument("Zipf: n must be positive");
+  cdf_.resize(n);
+  double total = 0;
+  for (std::size_t rank = 1; rank <= n; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank), exponent);
+    cdf_[rank - 1] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t Zipf::sample(Rng& rng) const noexcept {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+double Zipf::pmf(std::size_t rank) const noexcept {
+  if (rank == 0 || rank > cdf_.size()) return 0;
+  if (rank == 1) return cdf_[0];
+  return cdf_[rank - 1] - cdf_[rank - 2];
+}
+
+}  // namespace fu::support

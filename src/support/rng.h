@@ -1,0 +1,159 @@
+// Deterministic pseudo-random number generation for the whole project.
+//
+// Every source of randomness in the reproduction flows from a single uint64
+// seed through these generators, so a survey run is bit-reproducible. We use
+// splitmix64 for seeding and xoshiro256** as the workhorse generator; both
+// are tiny, fast and well understood.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace fu::support {
+
+// splitmix64: used to expand a single seed into generator state, and to
+// derive independent child seeds from (seed, label) pairs.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// FNV-1a hash of a string, used to mix textual labels into child seeds so
+// that e.g. the RNG stream for site "example0042.com" is independent of the
+// stream for "example0043.com".
+constexpr std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm),
+// reimplemented here. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xfeedfaceULL) noexcept { reseed(seed); }
+
+  // Child generator whose stream is independent per (parent seed, label).
+  Rng(std::uint64_t seed, std::string_view label) noexcept {
+    reseed(seed ^ fnv1a(label));
+  }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0. Uses rejection
+  // sampling to avoid modulo bias.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Bernoulli trial.
+  bool chance(double probability) noexcept { return uniform() < probability; }
+
+  // Pick an index according to non-negative weights; returns weights.size()
+  // only if all weights are zero or the span is empty.
+  std::size_t weighted_index(std::span<const double> weights) noexcept {
+    double total = 0;
+    for (const double w : weights) total += w;
+    if (total <= 0) return weights.size();
+    double target = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      target -= weights[i];
+      if (target < 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[below(i)]);
+    }
+  }
+
+  // Geometric-ish count: number of successes before first failure, capped.
+  int run_length(double continue_probability, int cap) noexcept {
+    int n = 0;
+    while (n < cap && chance(continue_probability)) ++n;
+    return n;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+// Bounded Zipf(s) sampler over ranks 1..n, via inverse-CDF on a precomputed
+// table. Used for Alexa visit weights and intra-standard feature popularity.
+class Zipf {
+ public:
+  Zipf(std::size_t n, double exponent);
+
+  // Returns a rank in [1, n]; rank 1 is the most likely.
+  std::size_t sample(Rng& rng) const noexcept;
+
+  // Probability mass of a given rank (1-based).
+  double pmf(std::size_t rank) const noexcept;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i+1)
+};
+
+}  // namespace fu::support

@@ -1,0 +1,136 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace fu::support {
+
+void Summary::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  sum_sq_ += x * x;
+}
+
+double Summary::mean() const noexcept {
+  return count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
+}
+
+double Summary::variance() const noexcept {
+  if (count_ == 0) return 0;
+  const double m = mean();
+  return sum_sq_ / static_cast<double>(count_) - m * m;
+}
+
+double Summary::stddev() const noexcept {
+  return std::sqrt(std::max(0.0, variance()));
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (p < 0 || p > 100) throw std::invalid_argument("percentile: bad p");
+  std::sort(values.begin(), values.end());
+  const double pos = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1 - frac) + values[hi] * frac;
+}
+
+double cdf_at(const std::vector<double>& values, double threshold) {
+  if (values.empty()) return 0;
+  const auto n = static_cast<double>(
+      std::count_if(values.begin(), values.end(),
+                    [threshold](double v) { return v <= threshold; }));
+  return n / static_cast<double>(values.size());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0 || hi <= lo) throw std::invalid_argument("Histogram: bad range");
+}
+
+void Histogram::add(double x) noexcept {
+  const double span = hi_ - lo_;
+  auto bin = static_cast<std::ptrdiff_t>((x - lo_) / span *
+                                         static_cast<double>(counts_.size()));
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_low(std::size_t bin) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_high(std::size_t bin) const noexcept {
+  return bin_low(bin + 1);
+}
+
+double Histogram::bin_fraction(std::size_t bin) const {
+  if (total_ == 0) return 0;
+  return static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0;
+  const auto n = static_cast<double>(xs.size());
+  const double mx = std::accumulate(xs.begin(), xs.end(), 0.0) / n;
+  const double my = std::accumulate(ys.begin(), ys.end(), 0.0) / n;
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0 || syy <= 0) return 0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+std::vector<double> ranks_of(std::vector<double> values) {
+  std::vector<std::size_t> order(values.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&values](std::size_t a, std::size_t b) {
+    return values[a] < values[b];
+  });
+  std::vector<double> ranks(values.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    // average ranks across ties
+    std::size_t j = i;
+    while (j + 1 < order.size() && values[order[j + 1]] == values[order[i]]) ++j;
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2 + 1;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+}  // namespace
+
+double spearman(std::vector<double> xs, std::vector<double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0;
+  return pearson(ranks_of(std::move(xs)), ranks_of(std::move(ys)));
+}
+
+std::string ascii_bar(double fraction, std::size_t width) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto filled =
+      static_cast<std::size_t>(fraction * static_cast<double>(width) + 0.5);
+  std::string bar(filled, '#');
+  bar.append(width - filled, ' ');
+  return bar;
+}
+
+}  // namespace fu::support

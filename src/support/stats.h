@@ -1,0 +1,71 @@
+// Small statistics helpers used by the analysis and validation code:
+// percentiles, empirical CDFs, histograms and summary accumulators.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fu::support {
+
+// Running summary of a stream of doubles.
+class Summary {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept;
+  double variance() const noexcept;  // population variance
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Percentile of a sample using linear interpolation between order statistics.
+// p in [0, 100]. The input is copied and sorted.
+double percentile(std::vector<double> values, double p);
+
+// Point on the empirical CDF: fraction of values <= threshold.
+double cdf_at(const std::vector<double>& values, double threshold);
+
+// Equal-width histogram over [lo, hi) with `bins` buckets; values outside
+// the range are clamped into the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  std::size_t bin_count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t total() const noexcept { return total_; }
+  double bin_low(std::size_t bin) const noexcept;
+  double bin_high(std::size_t bin) const noexcept;
+  // Fraction of all observations in this bin (0 if empty histogram).
+  double bin_fraction(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+// Pearson correlation coefficient; returns 0 for degenerate input.
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+// Spearman rank correlation; returns 0 for degenerate input.
+double spearman(std::vector<double> xs, std::vector<double> ys);
+
+// Render a count as a fixed-width ASCII bar, for the figure benches.
+std::string ascii_bar(double fraction, std::size_t width);
+
+}  // namespace fu::support

@@ -1,0 +1,38 @@
+// String helpers shared across modules. Nothing clever: split/join/trim,
+// case folding, prefix/suffix tests and simple formatting.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fu::support {
+
+std::vector<std::string> split(std::string_view text, char sep);
+
+// Split, dropping empty fields.
+std::vector<std::string> split_nonempty(std::string_view text, char sep);
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+std::string_view trim(std::string_view text);
+
+std::string to_lower(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+bool contains(std::string_view text, std::string_view needle);
+
+// Case-insensitive equality.
+bool iequals(std::string_view a, std::string_view b);
+
+// "1,234,567" style thousands separators, for table output.
+std::string with_commas(unsigned long long value);
+
+// Fixed-point percent like "86.8%".
+std::string percent(double fraction, int decimals = 1);
+
+// Simple glob match supporting '*' (any run) and '?' (any one char).
+bool glob_match(std::string_view pattern, std::string_view text);
+
+}  // namespace fu::support

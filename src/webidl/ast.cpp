@@ -1,0 +1,30 @@
+#include "webidl/ast.h"
+
+namespace fu::webidl {
+
+std::string feature_name(const std::string& interface_name,
+                         const std::string& member_name, MemberKind kind) {
+  switch (kind) {
+    case MemberKind::kStaticOperation:
+    case MemberKind::kStaticAttribute:
+    case MemberKind::kConstant:
+      return interface_name + "." + member_name;
+    default:
+      return interface_name + ".prototype." + member_name;
+  }
+}
+
+std::vector<ExtractedFeature> extract_features(const Document& doc) {
+  std::vector<ExtractedFeature> features;
+  for (const Interface& iface : doc.interfaces) {
+    for (const Member& m : iface.members) {
+      if (m.kind == MemberKind::kConstant) continue;
+      if (m.name.empty()) continue;
+      features.push_back({iface.name, m.name, m.kind,
+                          feature_name(iface.name, m.name, m.kind)});
+    }
+  }
+  return features;
+}
+
+}  // namespace fu::webidl

@@ -1,0 +1,97 @@
+// AST for the WebIDL subset we parse. Mirrors the way the paper extracts
+// features from Firefox's .webidl files (§3.2): each interface member that is
+// reachable from JavaScript becomes one "feature", named
+//   Interface.prototype.member   for regular members,
+//   Interface.member             for static members and constants.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fu::webidl {
+
+enum class MemberKind {
+  kOperation,          // regular method
+  kStaticOperation,    // static method
+  kAttribute,          // read-write attribute
+  kReadonlyAttribute,  // readonly attribute
+  kStaticAttribute,    // static attribute
+  kConstant,           // const member
+};
+
+struct Argument {
+  std::string type;
+  std::string name;
+  bool optional = false;
+  bool variadic = false;
+};
+
+struct Member {
+  MemberKind kind = MemberKind::kOperation;
+  std::string return_type;  // or attribute/constant type
+  std::string name;
+  std::vector<Argument> arguments;  // operations only
+  std::vector<std::string> extended_attributes;
+};
+
+struct Interface {
+  std::string name;
+  std::optional<std::string> parent;  // ": Parent"
+  bool partial = false;
+  bool is_namespace = false;  // `namespace Foo {}` — members are static
+  std::vector<Member> members;
+  std::vector<std::string> extended_attributes;
+};
+
+struct EnumDef {
+  std::string name;
+  std::vector<std::string> values;
+};
+
+struct DictionaryMember {
+  std::string type;
+  std::string name;
+  bool required = false;
+};
+
+struct Dictionary {
+  std::string name;
+  std::optional<std::string> parent;
+  std::vector<DictionaryMember> members;
+};
+
+struct Typedef {
+  std::string type;
+  std::string name;
+};
+
+// One parsed .webidl file.
+struct Document {
+  std::vector<Interface> interfaces;
+  std::vector<EnumDef> enums;
+  std::vector<Dictionary> dictionaries;
+  std::vector<Typedef> typedefs;
+};
+
+// A JavaScript-exposed feature extracted from parsed WebIDL.
+struct ExtractedFeature {
+  std::string interface_name;
+  std::string member_name;
+  MemberKind kind;
+  // Canonical feature name, e.g. "Node.prototype.insertBefore".
+  std::string full_name;
+};
+
+// Flatten a document into features. Dictionary members, enum values and
+// typedefs are not JavaScript-callable endpoints and are skipped, as in the
+// paper. Constants are also skipped (they are not functions or writable
+// properties). Partial interfaces contribute members under their interface
+// name; merging across files is the caller's concern.
+std::vector<ExtractedFeature> extract_features(const Document& doc);
+
+// Canonical feature name for an interface member.
+std::string feature_name(const std::string& interface_name,
+                         const std::string& member_name, MemberKind kind);
+
+}  // namespace fu::webidl

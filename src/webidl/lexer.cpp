@@ -1,0 +1,128 @@
+#include "webidl/lexer.h"
+
+#include <cctype>
+
+namespace fu::webidl {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  std::size_t line = 1;
+
+  const auto peek = [&](std::size_t off = 0) -> char {
+    return i + off < src.size() ? src[i + off] : '\0';
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const std::size_t start_line = line;
+      i += 2;
+      for (;;) {
+        if (i + 1 >= src.size()) {
+          throw LexError("unterminated block comment", start_line);
+        }
+        if (src[i] == '\n') ++line;
+        if (src[i] == '*' && src[i + 1] == '/') {
+          i += 2;
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    if (is_ident_start(c)) {
+      const std::size_t start = i;
+      while (i < src.size() && is_ident_char(src[i])) ++i;
+      tokens.push_back(
+          {TokenKind::kIdentifier, std::string(src.substr(start, i - start)),
+           line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      const std::size_t start = i;
+      if (src[i] == '-') ++i;
+      bool is_float = false;
+      // hex literal
+      if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+        i += 2;
+        while (i < src.size() &&
+               std::isxdigit(static_cast<unsigned char>(src[i]))) {
+          ++i;
+        }
+      } else {
+        while (i < src.size() &&
+               (std::isdigit(static_cast<unsigned char>(src[i])) ||
+                src[i] == '.' || src[i] == 'e' || src[i] == 'E' ||
+                ((src[i] == '+' || src[i] == '-') &&
+                 (src[i - 1] == 'e' || src[i - 1] == 'E')))) {
+          if (src[i] == '.' || src[i] == 'e' || src[i] == 'E') is_float = true;
+          ++i;
+        }
+      }
+      tokens.push_back({is_float ? TokenKind::kFloat : TokenKind::kInteger,
+                        std::string(src.substr(start, i - start)), line});
+      continue;
+    }
+    if (c == '"') {
+      const std::size_t start_line = line;
+      ++i;
+      std::string text;
+      for (;;) {
+        if (i >= src.size()) {
+          throw LexError("unterminated string literal", start_line);
+        }
+        if (src[i] == '"') {
+          ++i;
+          break;
+        }
+        if (src[i] == '\n') ++line;
+        text.push_back(src[i++]);
+      }
+      tokens.push_back({TokenKind::kString, std::move(text), line});
+      continue;
+    }
+    if (c == '.' && peek(1) == '.' && peek(2) == '.') {
+      tokens.push_back({TokenKind::kPunct, "...", line});
+      i += 3;
+      continue;
+    }
+    constexpr std::string_view punct = "{}[]();:,<>=?.-";
+    if (punct.find(c) != std::string_view::npos) {
+      tokens.push_back({TokenKind::kPunct, std::string(1, c), line});
+      ++i;
+      continue;
+    }
+    throw LexError(std::string("unexpected character '") + c + "'", line);
+  }
+  tokens.push_back({TokenKind::kEof, "", line});
+  return tokens;
+}
+
+}  // namespace fu::webidl

@@ -1,0 +1,43 @@
+// Lexer for the WebIDL subset. Produces a flat token stream; comments
+// (// and /* */) and whitespace are skipped.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fu::webidl {
+
+enum class TokenKind {
+  kIdentifier,
+  kInteger,
+  kFloat,
+  kString,
+  kPunct,  // single punctuation char or "..." / "?" etc.
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  std::size_t line = 0;
+};
+
+class LexError : public std::runtime_error {
+ public:
+  LexError(const std::string& message, std::size_t line)
+      : std::runtime_error(message + " (line " + std::to_string(line) + ")"),
+        line_(line) {}
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+// Tokenize a full WebIDL document. Throws LexError on malformed input
+// (unterminated string/comment, stray byte).
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace fu::webidl

@@ -1,0 +1,402 @@
+#include "webidl/parser.h"
+
+#include <map>
+#include <utility>
+
+namespace fu::webidl {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : tokens_(lex(source)) {}
+
+  Document parse_document() {
+    Document doc;
+    while (!at_eof()) {
+      std::vector<std::string> attrs = parse_extended_attributes();
+      if (accept_ident("interface")) {
+        doc.interfaces.push_back(parse_interface(false, std::move(attrs)));
+      } else if (accept_ident("partial")) {
+        expect_ident("interface");
+        doc.interfaces.push_back(parse_interface(true, std::move(attrs)));
+      } else if (accept_ident("namespace")) {
+        doc.interfaces.push_back(parse_namespace(std::move(attrs)));
+      } else if (accept_ident("enum")) {
+        doc.enums.push_back(parse_enum());
+      } else if (accept_ident("dictionary")) {
+        doc.dictionaries.push_back(parse_dictionary());
+      } else if (accept_ident("typedef")) {
+        doc.typedefs.push_back(parse_typedef());
+      } else if (accept_ident("callback")) {
+        parse_callback(doc);
+      } else {
+        throw ParseError("expected a top-level definition, got '" +
+                             peek().text + "'",
+                         peek().line);
+      }
+    }
+    return doc;
+  }
+
+ private:
+  // --- token plumbing ------------------------------------------------
+  const Token& peek(std::size_t off = 0) const {
+    const std::size_t i = pos_ + off;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool at_eof() const { return peek().kind == TokenKind::kEof; }
+  const Token& advance() { return tokens_[pos_++]; }
+
+  bool accept_punct(std::string_view p) {
+    if (peek().kind == TokenKind::kPunct && peek().text == p) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void expect_punct(std::string_view p) {
+    if (!accept_punct(p)) {
+      throw ParseError("expected '" + std::string(p) + "', got '" +
+                           peek().text + "'",
+                       peek().line);
+    }
+  }
+  bool accept_ident(std::string_view name) {
+    if (peek().kind == TokenKind::kIdentifier && peek().text == name) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void expect_ident(std::string_view name) {
+    if (!accept_ident(name)) {
+      throw ParseError("expected '" + std::string(name) + "', got '" +
+                           peek().text + "'",
+                       peek().line);
+    }
+  }
+  std::string expect_any_ident() {
+    if (peek().kind != TokenKind::kIdentifier) {
+      throw ParseError("expected identifier, got '" + peek().text + "'",
+                       peek().line);
+    }
+    return advance().text;
+  }
+
+  // --- grammar productions --------------------------------------------
+  std::vector<std::string> parse_extended_attributes() {
+    std::vector<std::string> attrs;
+    if (!accept_punct("[")) return attrs;
+    // Extended attributes can be arbitrarily shaped; we record each
+    // top-level comma-separated item as flat text and otherwise skip.
+    std::string current;
+    int depth = 1;
+    while (depth > 0) {
+      if (at_eof()) throw ParseError("unterminated extended attribute list",
+                                     peek().line);
+      const Token& t = advance();
+      if (t.kind == TokenKind::kPunct) {
+        if (t.text == "[" || t.text == "(" || t.text == "<") ++depth;
+        if (t.text == "]" || t.text == ")" || t.text == ">") --depth;
+        if (depth == 0) break;
+        if (t.text == "," && depth == 1) {
+          attrs.push_back(std::move(current));
+          current.clear();
+          continue;
+        }
+      }
+      if (!current.empty()) current.push_back(' ');
+      current += t.text;
+    }
+    if (!current.empty()) attrs.push_back(std::move(current));
+    return attrs;
+  }
+
+  // Type := single ('or' handled at union level); returns flat text.
+  std::string parse_type() {
+    std::string type;
+    if (accept_punct("(")) {  // union type
+      type = "(";
+      type += parse_type();
+      while (accept_ident("or")) {
+        type += " or ";
+        type += parse_type();
+      }
+      expect_punct(")");
+      type += ")";
+    } else {
+      // leading modifiers
+      while (peek().kind == TokenKind::kIdentifier &&
+             (peek().text == "unsigned" || peek().text == "unrestricted")) {
+        type += advance().text;
+        type.push_back(' ');
+      }
+      std::string base = expect_any_ident();
+      if (base == "long" && peek().kind == TokenKind::kIdentifier &&
+          peek().text == "long") {
+        base += " long";
+        ++pos_;
+      }
+      type += base;
+      if (accept_punct("<")) {  // sequence<T>, Promise<T>, record<K,V>
+        type += "<";
+        type += parse_type();
+        while (accept_punct(",")) {
+          type += ",";
+          type += parse_type();
+        }
+        expect_punct(">");
+        type += ">";
+      }
+    }
+    if (accept_punct("?")) type += "?";
+    return type;
+  }
+
+  std::vector<Argument> parse_argument_list() {
+    std::vector<Argument> args;
+    expect_punct("(");
+    if (accept_punct(")")) return args;
+    do {
+      Argument arg;
+      // per-argument extended attributes, skipped
+      parse_extended_attributes();
+      if (accept_ident("optional")) arg.optional = true;
+      arg.type = parse_type();
+      if (accept_punct("...")) arg.variadic = true;
+      arg.name = expect_any_ident();
+      if (accept_punct("=")) skip_default_value();
+      args.push_back(std::move(arg));
+    } while (accept_punct(","));
+    expect_punct(")");
+    return args;
+  }
+
+  void skip_default_value() {
+    // default values: literal, identifier, [], {}, or negative numbers
+    if (accept_punct("[")) {
+      expect_punct("]");
+      return;
+    }
+    if (accept_punct("{")) {
+      expect_punct("}");
+      return;
+    }
+    if (accept_punct("-")) { /* sign consumed; number follows */
+    }
+    advance();
+  }
+
+  Member parse_member(std::vector<std::string> attrs) {
+    Member m;
+    m.extended_attributes = std::move(attrs);
+    bool is_static = false;
+    if (accept_ident("static")) is_static = true;
+    if (accept_ident("stringifier")) {
+      // `stringifier;` alone defines toString; with a member it's a prefix.
+      if (accept_punct(";")) {
+        m.kind = MemberKind::kOperation;
+        m.return_type = "DOMString";
+        m.name = "toString";
+        return m;
+      }
+    }
+    if (accept_ident("const")) {
+      m.kind = MemberKind::kConstant;
+      m.return_type = parse_type();
+      m.name = expect_any_ident();
+      expect_punct("=");
+      skip_default_value();
+      expect_punct(";");
+      return m;
+    }
+    bool readonly = false;
+    if (accept_ident("readonly")) readonly = true;
+    if (accept_ident("attribute")) {
+      m.kind = is_static ? MemberKind::kStaticAttribute
+               : readonly ? MemberKind::kReadonlyAttribute
+                          : MemberKind::kAttribute;
+      m.return_type = parse_type();
+      m.name = expect_any_ident();
+      expect_punct(";");
+      return m;
+    }
+    if (readonly) {
+      // `readonly maplike<K,V>` / `readonly setlike<T>` — skip to ';'
+      skip_to_semicolon();
+      m.kind = MemberKind::kOperation;
+      m.name.clear();
+      return m;
+    }
+    // special operations: getter/setter/deleter — may be unnamed
+    bool special = false;
+    while (peek().kind == TokenKind::kIdentifier &&
+           (peek().text == "getter" || peek().text == "setter" ||
+            peek().text == "deleter")) {
+      ++pos_;
+      special = true;
+    }
+    if (peek().kind == TokenKind::kIdentifier &&
+        (peek().text == "iterable" || peek().text == "maplike" ||
+         peek().text == "setlike")) {
+      skip_to_semicolon();
+      m.kind = MemberKind::kOperation;
+      m.name.clear();
+      return m;
+    }
+    m.kind = is_static ? MemberKind::kStaticOperation : MemberKind::kOperation;
+    m.return_type = parse_type();
+    if (peek().kind == TokenKind::kIdentifier) {
+      m.name = expect_any_ident();
+    } else if (!special) {
+      throw ParseError("expected member name, got '" + peek().text + "'",
+                       peek().line);
+    }
+    m.arguments = parse_argument_list();
+    expect_punct(";");
+    return m;
+  }
+
+  void skip_to_semicolon() {
+    int depth = 0;
+    while (!at_eof()) {
+      const Token& t = advance();
+      if (t.kind == TokenKind::kPunct) {
+        if (t.text == "{" || t.text == "(" || t.text == "<") ++depth;
+        if (t.text == "}" || t.text == ")" || t.text == ">") --depth;
+        if (t.text == ";" && depth <= 0) return;
+      }
+    }
+    throw ParseError("unterminated member", peek().line);
+  }
+
+  Interface parse_interface(bool partial, std::vector<std::string> attrs) {
+    Interface iface;
+    iface.partial = partial;
+    iface.extended_attributes = std::move(attrs);
+    accept_ident("mixin");  // `interface mixin Name` treated as interface
+    iface.name = expect_any_ident();
+    if (accept_punct(":")) iface.parent = expect_any_ident();
+    expect_punct("{");
+    while (!accept_punct("}")) {
+      std::vector<std::string> member_attrs = parse_extended_attributes();
+      Member m = parse_member(std::move(member_attrs));
+      if (!m.name.empty()) iface.members.push_back(std::move(m));
+    }
+    expect_punct(";");
+    return iface;
+  }
+
+  Interface parse_namespace(std::vector<std::string> attrs) {
+    Interface iface;
+    iface.is_namespace = true;
+    iface.extended_attributes = std::move(attrs);
+    iface.name = expect_any_ident();
+    expect_punct("{");
+    while (!accept_punct("}")) {
+      std::vector<std::string> member_attrs = parse_extended_attributes();
+      Member m = parse_member(std::move(member_attrs));
+      // namespace members are implicitly static
+      if (m.kind == MemberKind::kOperation) m.kind = MemberKind::kStaticOperation;
+      if (m.kind == MemberKind::kAttribute ||
+          m.kind == MemberKind::kReadonlyAttribute) {
+        m.kind = MemberKind::kStaticAttribute;
+      }
+      if (!m.name.empty()) iface.members.push_back(std::move(m));
+    }
+    expect_punct(";");
+    return iface;
+  }
+
+  EnumDef parse_enum() {
+    EnumDef e;
+    e.name = expect_any_ident();
+    expect_punct("{");
+    while (!accept_punct("}")) {
+      if (peek().kind != TokenKind::kString) {
+        throw ParseError("expected string enum value", peek().line);
+      }
+      e.values.push_back(advance().text);
+      accept_punct(",");
+    }
+    expect_punct(";");
+    return e;
+  }
+
+  Dictionary parse_dictionary() {
+    Dictionary d;
+    d.name = expect_any_ident();
+    if (accept_punct(":")) d.parent = expect_any_ident();
+    expect_punct("{");
+    while (!accept_punct("}")) {
+      parse_extended_attributes();
+      DictionaryMember m;
+      if (accept_ident("required")) m.required = true;
+      m.type = parse_type();
+      m.name = expect_any_ident();
+      if (accept_punct("=")) skip_default_value();
+      expect_punct(";");
+      d.members.push_back(std::move(m));
+    }
+    expect_punct(";");
+    return d;
+  }
+
+  Typedef parse_typedef() {
+    Typedef t;
+    t.type = parse_type();
+    t.name = expect_any_ident();
+    expect_punct(";");
+    return t;
+  }
+
+  void parse_callback(Document& doc) {
+    if (accept_ident("interface")) {
+      doc.interfaces.push_back(parse_interface(false, {}));
+      return;
+    }
+    Typedef t;
+    t.name = expect_any_ident();
+    expect_punct("=");
+    t.type = parse_type();
+    parse_argument_list();
+    expect_punct(";");
+    t.type += " callback";
+    doc.typedefs.push_back(std::move(t));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Document parse(std::string_view source) {
+  return Parser(source).parse_document();
+}
+
+Document merge_partials(const Document& doc) {
+  Document out;
+  out.enums = doc.enums;
+  out.dictionaries = doc.dictionaries;
+  out.typedefs = doc.typedefs;
+  std::map<std::string, std::size_t> index;
+  for (const Interface& iface : doc.interfaces) {
+    const auto it = index.find(iface.name);
+    if (it == index.end()) {
+      index.emplace(iface.name, out.interfaces.size());
+      Interface merged = iface;
+      merged.partial = false;
+      out.interfaces.push_back(std::move(merged));
+    } else {
+      Interface& target = out.interfaces[it->second];
+      target.members.insert(target.members.end(), iface.members.begin(),
+                            iface.members.end());
+      if (!target.parent && iface.parent) target.parent = iface.parent;
+    }
+  }
+  return out;
+}
+
+}  // namespace fu::webidl

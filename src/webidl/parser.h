@@ -1,0 +1,53 @@
+// Recursive-descent parser for the WebIDL subset used by the catalog:
+//
+//   [ExtendedAttrs] interface Name : Parent { members };
+//   partial interface Name { members };
+//   namespace Name { members };
+//   enum Name { "a", "b" };
+//   dictionary Name : Parent { required long x; DOMString y; };
+//   typedef Type Name;
+//   callback Name = Type (args);           // recorded as a typedef
+//
+// Members:
+//   [Attrs] ReturnType name(Type a, optional Type b, Type... rest);
+//   [Attrs] static ReturnType name(...);
+//   [Attrs] attribute Type name;
+//   [Attrs] readonly attribute Type name;
+//   [Attrs] static attribute Type name;
+//   const Type NAME = value;
+//   getter/setter/deleter/stringifier are accepted and skipped when unnamed.
+//
+// Types cover the WebIDL forms that appear in practice: identifiers,
+// sequence<T>, Promise<T>, record<K,V>, nullable (T?), unions
+// ((A or B)), unsigned/long long/unrestricted double compounds, any, void.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "webidl/ast.h"
+#include "webidl/lexer.h"
+
+namespace fu::webidl {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, std::size_t line)
+      : std::runtime_error(message + " (line " + std::to_string(line) + ")"),
+        line_(line) {}
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+// Parse one WebIDL document. Throws ParseError / LexError on bad input.
+Document parse(std::string_view source);
+
+// Merge partial interfaces / repeated interface declarations into single
+// interfaces (members concatenated, first parent wins). Order preserved by
+// first appearance.
+Document merge_partials(const Document& doc);
+
+}  // namespace fu::webidl

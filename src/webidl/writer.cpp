@@ -1,0 +1,84 @@
+#include "webidl/writer.h"
+
+namespace fu::webidl {
+
+namespace {
+
+void write_member(std::string& out, const Member& m) {
+  out += "  ";
+  switch (m.kind) {
+    case MemberKind::kConstant:
+      out += "const " + m.return_type + " " + m.name + " = 0;\n";
+      return;
+    case MemberKind::kStaticAttribute:
+      out += "static attribute " + m.return_type + " " + m.name + ";\n";
+      return;
+    case MemberKind::kReadonlyAttribute:
+      out += "readonly attribute " + m.return_type + " " + m.name + ";\n";
+      return;
+    case MemberKind::kAttribute:
+      out += "attribute " + m.return_type + " " + m.name + ";\n";
+      return;
+    case MemberKind::kStaticOperation:
+      out += "static ";
+      break;
+    case MemberKind::kOperation:
+      break;
+  }
+  out += (m.return_type.empty() ? "void" : m.return_type) + " " + m.name + "(";
+  for (std::size_t i = 0; i < m.arguments.size(); ++i) {
+    const Argument& a = m.arguments[i];
+    if (i) out += ", ";
+    if (a.optional) out += "optional ";
+    out += a.type;
+    if (a.variadic) out += "...";
+    out += " " + a.name;
+  }
+  out += ");\n";
+}
+
+}  // namespace
+
+std::string write_interface(const Interface& iface) {
+  std::string out;
+  out += iface.partial ? "partial interface " : "interface ";
+  out += iface.name;
+  if (iface.parent) out += " : " + *iface.parent;
+  out += " {\n";
+  for (const Member& m : iface.members) write_member(out, m);
+  out += "};\n";
+  return out;
+}
+
+std::string write_document(const Document& doc) {
+  std::string out;
+  for (const EnumDef& e : doc.enums) {
+    out += "enum " + e.name + " {";
+    for (std::size_t i = 0; i < e.values.size(); ++i) {
+      if (i) out += ",";
+      out += " \"" + e.values[i] + "\"";
+    }
+    out += " };\n\n";
+  }
+  for (const Dictionary& d : doc.dictionaries) {
+    out += "dictionary " + d.name;
+    if (d.parent) out += " : " + *d.parent;
+    out += " {\n";
+    for (const DictionaryMember& m : d.members) {
+      out += "  ";
+      if (m.required) out += "required ";
+      out += m.type + " " + m.name + ";\n";
+    }
+    out += "};\n\n";
+  }
+  for (const Typedef& t : doc.typedefs) {
+    out += "typedef " + t.type + " " + t.name + ";\n";
+  }
+  for (const Interface& iface : doc.interfaces) {
+    out += write_interface(iface);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace fu::webidl

@@ -1,0 +1,15 @@
+// WebIDL pretty-printer. The catalog uses this to materialize its feature
+// tables as .webidl text (the stand-in for Firefox's 757 WebIDL source
+// files); tests round-trip writer output through the parser.
+#pragma once
+
+#include <string>
+
+#include "webidl/ast.h"
+
+namespace fu::webidl {
+
+std::string write_interface(const Interface& iface);
+std::string write_document(const Document& doc);
+
+}  // namespace fu::webidl

@@ -1,0 +1,207 @@
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "analysis/tables.h"
+#include "support/stats.h"
+#include "test_util.h"
+
+namespace fu::analysis {
+namespace {
+
+const Analysis& an() { return fu::test::small_analysis(); }
+const catalog::Catalog& cat() { return fu::test::shared_catalog(); }
+
+// -------------------------------------------------------------- metrics --
+
+TEST(Metrics, MeasuredSitesMatchesSurvey) {
+  EXPECT_EQ(an().measured_sites(), fu::test::small_survey().sites_measured());
+  EXPECT_GT(an().measured_sites(), 100);
+}
+
+TEST(Metrics, FeatureSitesAreBounded) {
+  for (std::size_t f = 0; f < cat().features().size(); ++f) {
+    const auto fid = static_cast<catalog::FeatureId>(f);
+    for (const auto config : crawler::kAllConfigs) {
+      const int sites = an().feature_sites(fid, config);
+      EXPECT_GE(sites, 0);
+      EXPECT_LE(sites, an().measured_sites());
+    }
+  }
+}
+
+TEST(Metrics, BlockRatesAreWithinUnitInterval) {
+  for (std::size_t s = 0; s < cat().standard_count(); ++s) {
+    const auto sid = static_cast<catalog::StandardId>(s);
+    for (const auto config :
+         {BrowsingConfig::kBlocking, BrowsingConfig::kAdOnly,
+          BrowsingConfig::kTrackingOnly}) {
+      const double rate = an().standard_block_rate(sid, config);
+      EXPECT_GE(rate, 0.0) << s;
+      EXPECT_LE(rate, 1.0) << s;
+    }
+  }
+}
+
+TEST(Metrics, StandardSitesBoundedByFeatureSum) {
+  // a standard is used wherever >= 1 feature is, so its site count is at
+  // least the max and at most the sum of its features' counts
+  for (std::size_t s = 0; s < cat().standard_count(); ++s) {
+    const auto sid = static_cast<catalog::StandardId>(s);
+    int max_feature = 0;
+    long sum_features = 0;
+    for (const catalog::FeatureId fid : cat().features_of(sid)) {
+      const int sites = an().feature_sites(fid, BrowsingConfig::kDefault);
+      max_feature = std::max(max_feature, sites);
+      sum_features += sites;
+    }
+    const int standard = an().standard_sites(sid, BrowsingConfig::kDefault);
+    EXPECT_GE(standard, max_feature) << s;
+    EXPECT_LE(standard, sum_features) << s;
+  }
+}
+
+TEST(Metrics, CoreDomIsNearlyEverywhereAndUnblocked) {
+  const auto dom1 = cat().standard_by_abbreviation("DOM1");
+  EXPECT_GT(an().standard_site_fraction(dom1), 0.85);
+  EXPECT_LT(an().standard_block_rate(dom1), 0.1);
+}
+
+TEST(Metrics, HeavilyBlockedStandardsAreBlocked) {
+  const auto svg = cat().standard_by_abbreviation("SVG");
+  if (an().standard_sites(svg, BrowsingConfig::kDefault) >= 5) {
+    EXPECT_GT(an().standard_block_rate(svg), 0.6);
+  }
+  const auto be = cat().standard_by_abbreviation("BE");
+  if (an().standard_sites(be, BrowsingConfig::kDefault) >= 5) {
+    EXPECT_GT(an().standard_block_rate(be), 0.6);
+  }
+}
+
+TEST(Metrics, TrackerStandardsBlockMoreUnderGhostery) {
+  // WebRTC & WebCrypto usage sits in tracker scripts (Figure 7); Ghostery
+  // alone should block them more than AdBlock alone.
+  const auto wcr = cat().standard_by_abbreviation("WCR");
+  const double ad = an().standard_block_rate(wcr, BrowsingConfig::kAdOnly);
+  const double tracking =
+      an().standard_block_rate(wcr, BrowsingConfig::kTrackingOnly);
+  EXPECT_GT(tracking, ad);
+}
+
+TEST(Metrics, ChannelMessagingBlocksMoreUnderAdBlock) {
+  // H-CM is the paper's example of ad-carried usage.
+  const auto hcm = cat().standard_by_abbreviation("H-CM");
+  const double ad = an().standard_block_rate(hcm, BrowsingConfig::kAdOnly);
+  const double tracking =
+      an().standard_block_rate(hcm, BrowsingConfig::kTrackingOnly);
+  EXPECT_GT(ad, tracking);
+}
+
+TEST(Metrics, ComplexityDistributionIsPlausible) {
+  const std::vector<int> complexity = an().standards_per_site();
+  ASSERT_EQ(complexity.size(),
+            static_cast<std::size_t>(an().measured_sites()));
+  std::vector<double> values(complexity.begin(), complexity.end());
+  const double median = support::percentile(values, 50);
+  // §5.9: most sites use between 14 and 32 standards
+  EXPECT_GT(median, 10.0);
+  EXPECT_LT(median, 40.0);
+  for (const int c : complexity) {
+    EXPECT_GE(c, 0);
+    EXPECT_LE(c, 75);
+  }
+}
+
+TEST(Metrics, BlockingReducesComplexity) {
+  const std::vector<int> plain = an().standards_per_site();
+  const std::vector<int> shielded =
+      an().standards_per_site(BrowsingConfig::kBlocking);
+  double sum_plain = 0, sum_shielded = 0;
+  for (const int c : plain) sum_plain += c;
+  for (const int c : shielded) sum_shielded += c;
+  EXPECT_LT(sum_shielded, sum_plain);
+}
+
+TEST(Metrics, VisitFractionsAreWeightedFractions) {
+  for (std::size_t s = 0; s < cat().standard_count(); ++s) {
+    const auto sid = static_cast<catalog::StandardId>(s);
+    const double v = an().standard_visit_fraction(sid);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    // a standard on zero sites has zero visit share
+    if (an().standard_sites(sid, BrowsingConfig::kDefault) == 0) {
+      EXPECT_EQ(v, 0.0);
+    }
+  }
+}
+
+TEST(Metrics, HeadlineIsInternallyConsistent) {
+  const Analysis::Headline h = an().headline();
+  EXPECT_EQ(h.features_total, 1392);
+  EXPECT_EQ(h.standards_total, 75);
+  EXPECT_GE(h.features_never_used, 0);
+  EXPECT_LE(h.features_never_used + h.features_under_1pct, h.features_total);
+  // blocking shrinks usage overall (small slack: discovery randomness means
+  // a blocking pass can occasionally see a borderline feature the default
+  // passes missed)
+  EXPECT_GE(h.features_under_1pct_blocking + 5,
+            h.features_never_used + h.features_under_1pct);
+  EXPECT_GE(h.standards_never_used_blocking + 1, h.standards_never_used);
+  EXPECT_GE(h.standards_under_1pct_blocking + 1, h.standards_under_1pct);
+}
+
+// ------------------------------------------------------------ renderers --
+
+TEST(Renderers, Table1ContainsAllRows) {
+  const std::string out = render_table1(fu::test::small_survey());
+  EXPECT_NE(out.find("Domains measured"), std::string::npos);
+  EXPECT_NE(out.find("Total website interaction time"), std::string::npos);
+  EXPECT_NE(out.find("Web pages visited"), std::string::npos);
+  EXPECT_NE(out.find("Feature invocations recorded"), std::string::npos);
+}
+
+TEST(Renderers, Table2ListsMajorStandards) {
+  const std::string out = render_table2(an());
+  EXPECT_NE(out.find("HTML: Canvas"), std::string::npos);
+  EXPECT_NE(out.find("Scalable Vector Graphics"), std::string::npos);
+  EXPECT_NE(out.find("Non-Standard"), std::string::npos);
+  // 0-CVE standards below 1% don't make the cut
+  EXPECT_EQ(out.find("Web MIDI API"), std::string::npos);
+  // CVE ordering: Canvas (15 CVEs) precedes DOM1 (0 CVEs)
+  EXPECT_LT(out.find("HTML: Canvas"), out.find("DOM, Level 1"));
+}
+
+TEST(Renderers, Table3HasRounds2Through) {
+  const std::string out = render_table3(fu::test::small_survey());
+  EXPECT_NE(out.find("Round #"), std::string::npos);
+  EXPECT_NE(out.find("2"), std::string::npos);
+}
+
+TEST(Renderers, FiguresRenderNonEmpty) {
+  EXPECT_NE(render_fig1(cat()).find("Blink"), std::string::npos);
+  EXPECT_NE(render_fig3(an()).find("Portion of standards"), std::string::npos);
+  EXPECT_NE(render_fig4(an()).find("Block rate"), std::string::npos);
+  EXPECT_NE(render_fig5(an()).find("% of visits"), std::string::npos);
+  EXPECT_NE(render_fig6(an()).find("block rate < 33%"), std::string::npos);
+  EXPECT_NE(render_fig7(an()).find("Tracking block rate"), std::string::npos);
+  EXPECT_NE(render_fig8(an()).find("median"), std::string::npos);
+  EXPECT_NE(render_headline(an()).find("features never used"),
+            std::string::npos);
+}
+
+TEST(Renderers, Fig4OmitsUnusedStandards) {
+  const std::string out = render_fig4(an());
+  // the never-shipped tail cannot appear on a log-scale popularity plot
+  EXPECT_EQ(out.find("MIDI"), std::string::npos);
+}
+
+TEST(Renderers, Fig9RendersHistogram) {
+  const crawler::ExternalValidation validation =
+      crawler::run_external_validation(fu::test::small_survey(), 30, 99);
+  const std::string out = render_fig9(validation);
+  EXPECT_NE(out.find("domains evaluated"), std::string::npos);
+  EXPECT_NE(out.find("83.7%"), std::string::npos);  // the paper anchor
+}
+
+}  // namespace
+}  // namespace fu::analysis

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "blocker/extensions.h"
+#include "blocker/filter.h"
+#include "test_util.h"
+
+namespace fu::blocker {
+namespace {
+
+net::Url url(const char* text) { return *net::Url::parse(text); }
+
+RequestContext ctx(const char* page_domain, bool third_party,
+                   ResourceType type = ResourceType::kScript) {
+  RequestContext out;
+  out.page_domain = page_domain;
+  out.third_party = third_party;
+  out.type = type;
+  return out;
+}
+
+// --------------------------------------------------------- rule parsing --
+
+TEST(RuleParsing, SkipsCommentsBlanksAndHiding) {
+  EXPECT_FALSE(parse_rule("! a comment"));
+  EXPECT_FALSE(parse_rule("   "));
+  EXPECT_FALSE(parse_rule("example.com##.ad"));
+}
+
+TEST(RuleParsing, RecognizesAnchors) {
+  EXPECT_EQ(parse_rule("||ads.example.com^")->anchor,
+            FilterRule::Anchor::kDomain);
+  EXPECT_EQ(parse_rule("|http://exact.com/")->anchor,
+            FilterRule::Anchor::kStart);
+  EXPECT_EQ(parse_rule("/adtag/*")->anchor, FilterRule::Anchor::kNone);
+}
+
+TEST(RuleParsing, ParsesOptions) {
+  const auto rule = parse_rule("||x.com^$third-party,script,domain=a.com|~b.com");
+  ASSERT_TRUE(rule);
+  EXPECT_TRUE(rule->opt_third_party);
+  EXPECT_TRUE(rule->opt_script);
+  EXPECT_EQ(rule->opt_domains, std::vector<std::string>{"a.com"});
+  EXPECT_EQ(rule->opt_not_domains, std::vector<std::string>{"b.com"});
+}
+
+TEST(RuleParsing, ExceptionRules) {
+  const auto rule = parse_rule("@@||good.com^");
+  ASSERT_TRUE(rule);
+  EXPECT_TRUE(rule->exception);
+}
+
+// -------------------------------------------------------- rule matching --
+
+TEST(RuleMatching, DomainAnchorMatchesHostAndSubdomains) {
+  const auto rule = parse_rule("||adserve.com^");
+  EXPECT_TRUE(rule->matches(url("http://adserve.com/x.js"), ctx("s.com", true)));
+  EXPECT_TRUE(
+      rule->matches(url("http://cdn.adserve.com/x.js"), ctx("s.com", true)));
+  EXPECT_FALSE(
+      rule->matches(url("http://notadserve.com/x.js"), ctx("s.com", true)));
+  EXPECT_FALSE(
+      rule->matches(url("http://adserve.com.evil.org/"), ctx("s.com", true)));
+}
+
+TEST(RuleMatching, DomainAnchorWithPath) {
+  const auto rule = parse_rule("||adserve.com/tags/*");
+  EXPECT_TRUE(rule->matches(url("http://adserve.com/tags/a.js"),
+                            ctx("s.com", true)));
+  EXPECT_FALSE(
+      rule->matches(url("http://adserve.com/other/a.js"), ctx("s.com", true)));
+  // '^' matches a separator or the end of the URL, not an ordinary letter
+  const auto sep = parse_rule("||adserve.com/tags^");
+  EXPECT_TRUE(
+      sep->matches(url("http://adserve.com/tags/a.js"), ctx("s.com", true)));
+  EXPECT_TRUE(
+      sep->matches(url("http://adserve.com/tags"), ctx("s.com", true)));
+  EXPECT_FALSE(
+      sep->matches(url("http://adserve.com/tagsX"), ctx("s.com", true)));
+}
+
+TEST(RuleMatching, StartAnchor) {
+  const auto rule = parse_rule("|http://exact.com/path");
+  EXPECT_TRUE(
+      rule->matches(url("http://exact.com/path/x"), ctx("s.com", true)));
+  EXPECT_FALSE(
+      rule->matches(url("https://exact.com/path"), ctx("s.com", true)));
+}
+
+TEST(RuleMatching, SubstringWithWildcardsAndSeparator) {
+  const auto rule = parse_rule("/adtag/*.js^");
+  EXPECT_TRUE(rule->matches(url("http://a.com/adtag/tag.js"),
+                            ctx("s.com", true)));
+  EXPECT_TRUE(rule->matches(url("http://a.com/adtag/x/tag.js?q=1"),
+                            ctx("s.com", true)));
+  EXPECT_FALSE(
+      rule->matches(url("http://a.com/content/tag.css"), ctx("s.com", true)));
+}
+
+TEST(RuleMatching, ThirdPartyOption) {
+  const auto rule = parse_rule("||tracker.com^$third-party");
+  EXPECT_TRUE(
+      rule->matches(url("http://tracker.com/t.js"), ctx("site.com", true)));
+  EXPECT_FALSE(
+      rule->matches(url("http://tracker.com/t.js"), ctx("tracker.com", false)));
+}
+
+TEST(RuleMatching, ScriptOption) {
+  const auto rule = parse_rule("/collect/*$script");
+  EXPECT_TRUE(rule->matches(url("http://t.com/collect/t.js"),
+                            ctx("s.com", true, ResourceType::kScript)));
+  EXPECT_FALSE(rule->matches(url("http://t.com/collect/p.gif"),
+                             ctx("s.com", true, ResourceType::kImage)));
+}
+
+TEST(RuleMatching, DomainOptionLimitsPageSite) {
+  const auto rule = parse_rule("||ads.com^$domain=news.com");
+  EXPECT_TRUE(rule->matches(url("http://ads.com/a.js"), ctx("news.com", true)));
+  EXPECT_FALSE(rule->matches(url("http://ads.com/a.js"), ctx("blog.com", true)));
+  const auto neg = parse_rule("||ads.com^$domain=~news.com");
+  EXPECT_FALSE(neg->matches(url("http://ads.com/a.js"), ctx("news.com", true)));
+  EXPECT_TRUE(neg->matches(url("http://ads.com/a.js"), ctx("blog.com", true)));
+}
+
+// ---------------------------------------------------------- filter list --
+
+TEST(FilterListTest, BlocksAndWhitelists) {
+  const FilterList list = FilterList::parse(R"(
+! test list
+||ads.com^
+@@||ads.com/acceptable/*
+/adtag/*
+)", "test");
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_TRUE(list.should_block(url("http://ads.com/banner.js"),
+                                ctx("s.com", true)));
+  EXPECT_FALSE(list.should_block(url("http://ads.com/acceptable/x.js"),
+                                 ctx("s.com", true)));
+  EXPECT_TRUE(list.should_block(url("http://other.com/adtag/t.js"),
+                                ctx("s.com", true)));
+  EXPECT_FALSE(list.should_block(url("http://other.com/app.js"),
+                                 ctx("s.com", true)));
+}
+
+TEST(FilterListTest, HidingRules) {
+  const FilterList list = FilterList::parse(R"(
+##.ad-slot
+news.com##.sponsored
+)", "test");
+  ASSERT_EQ(list.hiding_rules().size(), 2u);
+  const auto global = list.hiding_selectors_for("blog.com");
+  EXPECT_EQ(global, std::vector<std::string>{".ad-slot"});
+  const auto scoped = list.hiding_selectors_for("news.com");
+  EXPECT_EQ(scoped.size(), 2u);
+}
+
+// ----------------------------------------------- generated study lists ---
+
+TEST(StudyLists, AdListBlocksAdAndDualHostsOnly) {
+  const net::SyntheticWeb& web = fu::test::small_web();
+  const FilterList list = FilterList::parse(ad_list_text(web), "ads");
+  const auto page = ctx("site00001.net", true);
+  for (const std::string& host : web.ad_hosts()) {
+    EXPECT_TRUE(
+        list.should_block(url(("http://" + host + "/adtag/tag.js").c_str()),
+                          page))
+        << host;
+  }
+  for (const std::string& host : web.dual_hosts()) {
+    EXPECT_TRUE(list.should_block(
+        url(("http://" + host + "/sync/tag.js").c_str()), page))
+        << host;
+  }
+  for (const std::string& host : web.tracker_hosts()) {
+    EXPECT_FALSE(list.should_block(
+        url(("http://" + host + "/collect/t.js").c_str()), page))
+        << host;
+  }
+  // first-party site scripts are never ad-blocked
+  EXPECT_FALSE(list.should_block(url("http://site00001.net/js/app0.js"),
+                                 ctx("site00001.net", false)));
+}
+
+TEST(StudyLists, TrackingListBlocksTrackerAndDualHostsOnly) {
+  const net::SyntheticWeb& web = fu::test::small_web();
+  const FilterList list = FilterList::parse(tracking_list_text(web), "trk");
+  const auto page = ctx("site00001.net", true);
+  for (const std::string& host : web.tracker_hosts()) {
+    EXPECT_TRUE(list.should_block(
+        url(("http://" + host + "/collect/t.js").c_str()), page))
+        << host;
+  }
+  for (const std::string& host : web.dual_hosts()) {
+    EXPECT_TRUE(list.should_block(
+        url(("http://" + host + "/sync/tag.js").c_str()), page))
+        << host;
+  }
+  for (const std::string& host : web.ad_hosts()) {
+    EXPECT_FALSE(list.should_block(
+        url(("http://" + host + "/adtag/tag.js").c_str()), page))
+        << host;
+  }
+}
+
+TEST(StudyLists, ExtensionsFactoryWiresNames) {
+  const net::SyntheticWeb& web = fu::test::small_web();
+  EXPECT_EQ(make_ad_blocker(web)->name(), "AdBlockPlus");
+  EXPECT_EQ(make_tracking_blocker(web)->name(), "Ghostery");
+  EXPECT_GT(make_ad_blocker(web)->list().size(), 40u);
+}
+
+}  // namespace
+}  // namespace fu::blocker

@@ -1,0 +1,342 @@
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "browser/session.h"
+#include "script/parser.h"
+#include "test_util.h"
+
+namespace fu::browser {
+namespace {
+
+const net::SyntheticWeb& web() { return fu::test::small_web(); }
+const catalog::Catalog& cat() { return fu::test::shared_catalog(); }
+
+// Find the first healthy site.
+const net::SitePlan& ok_site() {
+  for (const net::SitePlan& site : web().sites()) {
+    if (site.status == net::SiteStatus::kOk) return site;
+  }
+  throw std::logic_error("no healthy site");
+}
+
+// ------------------------------------------------------------- bindings --
+
+TEST(Bindings, EveryInterfaceGetsAConstructorAndPrototype) {
+  script::Interpreter interp;
+  DomBindings bindings(interp, cat());
+  for (const catalog::Catalog::InterfaceInfo& info : cat().interfaces()) {
+    const script::Value* ctor = interp.globals().lookup(info.name);
+    ASSERT_NE(ctor, nullptr) << info.name;
+    ASSERT_TRUE(ctor->is_object());
+    EXPECT_FALSE(bindings.prototype_of(info.name).null());
+  }
+}
+
+TEST(Bindings, MethodSlotsExistOnPrototypes) {
+  script::Interpreter interp;
+  DomBindings bindings(interp, cat());
+  int checked = 0;
+  for (const catalog::Feature& f : cat().features()) {
+    if (f.kind != catalog::FeatureKind::kMethod) continue;
+    const script::ObjectRef proto = bindings.prototype_of(f.interface_name);
+    ASSERT_FALSE(proto.null()) << f.full_name;
+    EXPECT_TRUE(interp.heap().get(proto).properties.count(f.member_name))
+        << f.full_name;
+    if (++checked >= 200) break;
+  }
+}
+
+TEST(Bindings, SingletonAccessPathsResolve) {
+  script::Interpreter interp;
+  DomBindings bindings(interp, cat());
+  // every non-empty global access path must reach a live object
+  std::set<std::string> interfaces;
+  for (const catalog::Feature& f : cat().features()) {
+    interfaces.insert(f.interface_name);
+  }
+  auto program = script::parse_program(
+      "var probes = 0;"
+      "if (typeof navigator.plugins === \"object\") { probes = probes + 1; }"
+      "if (typeof crypto.subtle === \"object\") { probes = probes + 1; }"
+      "if (typeof performance.timing === \"object\") { probes = probes + 1; }"
+      "if (typeof localStorage === \"object\") { probes = probes + 1; }"
+      "if (typeof window.document === \"object\" || window.document == null)"
+      "{ probes = probes + 1; }");
+  interp.execute(program);
+  EXPECT_DOUBLE_EQ(interp.globals().lookup("probes")->as_number(), 5);
+}
+
+TEST(Bindings, NewInstanceInheritsPrototypeMethods) {
+  script::Interpreter interp;
+  DomBindings bindings(interp, cat());
+  auto program = script::parse_program(
+      "var xhr = new XMLHttpRequest();"
+      "xhr.open(\"GET\", \"/x\");"  // inert native, must not throw
+      "var ok = typeof xhr.open;");
+  interp.execute(program);
+  EXPECT_EQ(interp.globals().lookup("ok")->as_string(), "function");
+}
+
+// ------------------------------------------------------------ extension --
+
+struct Instrumented {
+  script::Interpreter interp;
+  UsageRecorder recorder;
+  DomBindings bindings;
+  MeasuringExtension extension;
+  dom::Document dom;
+
+  Instrumented()
+      : recorder(cat().features().size()),
+        bindings(interp, cat()),
+        extension(cat(), recorder) {
+    extension.inject(interp, bindings);
+    const script::ObjectRef doc = bindings.begin_page(dom);
+    extension.watch_singleton(interp, doc, "Document");
+  }
+
+  void run(const std::string& source) {
+    static std::vector<std::unique_ptr<script::Program>> retained;
+    retained.push_back(
+        std::make_unique<script::Program>(script::parse_program(source)));
+    interp.execute(*retained.back());
+  }
+
+  std::uint64_t count(const char* feature) const {
+    const catalog::Feature* f = cat().find_feature(feature);
+    EXPECT_NE(f, nullptr) << feature;
+    return recorder.count(f->id);
+  }
+};
+
+TEST(Extension, CountsMethodCallsThroughShims) {
+  Instrumented page;
+  page.run("var x = new XMLHttpRequest(); x.open(\"GET\", \"/\"); x.open(\"POST\", \"/\"); x.send();");
+  EXPECT_EQ(page.count("XMLHttpRequest.prototype.open"), 2u);
+  EXPECT_EQ(page.count("XMLHttpRequest.prototype.send"), 1u);
+  EXPECT_EQ(page.count("XMLHttpRequest.prototype.abort"), 0u);
+}
+
+TEST(Extension, CountsSingletonMethodCalls) {
+  Instrumented page;
+  page.run("crypto.getRandomValues(8); navigator.sendBeacon(\"/b\");");
+  EXPECT_EQ(page.count("Crypto.prototype.getRandomValues"), 1u);
+  EXPECT_EQ(page.count("Navigator.prototype.sendBeacon"), 1u);
+}
+
+TEST(Extension, ShimPreservesBehaviour) {
+  Instrumented page;
+  // createElement has a live implementation returning an element wrapper;
+  // the shim must still return it.
+  page.run("var el = document.createElement(\"div\");"
+           "var kind = typeof el; var tag = el.tagName;");
+  EXPECT_EQ(page.interp.globals().lookup("kind")->as_string(), "object");
+  EXPECT_EQ(page.interp.globals().lookup("tag")->as_string(), "div");
+  EXPECT_EQ(page.count("Document.prototype.createElement"), 1u);
+}
+
+TEST(Extension, PagesCannotReachTheOriginalImplementation) {
+  Instrumented page;
+  // Reading the slot and calling it still goes through the shim (§4.2.1):
+  // the original only lives in the shim's closure.
+  page.run("var f = document.createElement; f(\"span\"); f(\"span\");");
+  EXPECT_EQ(page.count("Document.prototype.createElement"), 2u);
+}
+
+TEST(Extension, CountsPropertyWritesOnSingletons) {
+  Instrumented page;
+  const catalog::Feature* prop = nullptr;
+  for (const catalog::Feature& f : cat().features()) {
+    if (f.kind == catalog::FeatureKind::kProperty &&
+        f.interface_name == "Navigator") {
+      prop = &f;
+      break;
+    }
+  }
+  ASSERT_NE(prop, nullptr) << "catalog should have Navigator properties";
+  page.run("navigator." + prop->member_name + " = \"v\";");
+  EXPECT_EQ(page.recorder.count(prop->id), 1u);
+}
+
+TEST(Extension, DoesNotCountUninstrumentedPropertyWrites) {
+  Instrumented page;
+  const std::uint64_t before = page.recorder.total_invocations();
+  page.run("navigator.myCustomThing = 1; window.onclick = function () {};");
+  EXPECT_EQ(page.recorder.total_invocations(), before);
+}
+
+TEST(Extension, PropertyWritesOnScriptObjectsAreInvisible) {
+  // §4.2.2: Object.watch only works on objects that exist at injection
+  // time; writes on script-created objects cannot be observed.
+  Instrumented page;
+  const std::uint64_t before = page.recorder.total_invocations();
+  page.run("var mine = {}; mine.anything = 42;");
+  EXPECT_EQ(page.recorder.total_invocations(), before);
+}
+
+TEST(Extension, ShimCoverageMatchesCatalog) {
+  Instrumented page;
+  int methods = 0;
+  for (const catalog::Feature& f : cat().features()) {
+    methods += f.kind == catalog::FeatureKind::kMethod ? 1 : 0;
+  }
+  EXPECT_EQ(page.extension.methods_shimmed(), methods);
+  EXPECT_GT(page.extension.properties_watched(), 3);
+}
+
+// -------------------------------------------------------------- session --
+
+TEST(Session, LoadsPageAndCollectsLinks) {
+  BrowserConfig config;
+  BrowserSession session(web(), config, 1);
+  const PageLoadResult result = session.load_page(web().home_url(ok_site()));
+  EXPECT_TRUE(result.loaded);
+  EXPECT_GT(result.scripts_total, 0);
+  EXPECT_EQ(result.scripts_blocked, 0);
+  EXPECT_FALSE(session.links().empty());
+  EXPECT_GT(session.usage().total_invocations(), 0u);
+}
+
+TEST(Session, DeadSiteFailsToLoad) {
+  const net::SyntheticWeb& fweb = fu::test::failing_web();
+  int dead = 0;
+  for (const net::SitePlan& site : fweb.sites()) {
+    if (site.status != net::SiteStatus::kDead) continue;
+    ++dead;
+    BrowserConfig config;
+    BrowserSession session(fweb, config, 1);
+    EXPECT_FALSE(session.load_page(fweb.home_url(site)).loaded);
+  }
+  EXPECT_GT(dead, 0);
+}
+
+TEST(Session, BrokenSiteReportsAllScriptsFailed) {
+  const net::SyntheticWeb& fweb = fu::test::failing_web();
+  int broken = 0;
+  for (const net::SitePlan& site : fweb.sites()) {
+    if (site.status != net::SiteStatus::kBrokenScripts) continue;
+    ++broken;
+    BrowserConfig config;
+    BrowserSession session(fweb, config, 1);
+    const PageLoadResult result = session.load_page(fweb.home_url(site));
+    EXPECT_TRUE(result.loaded);
+    EXPECT_TRUE(result.all_scripts_failed);
+    EXPECT_EQ(session.usage().total_invocations(), 0u);
+  }
+  EXPECT_GT(broken, 0);
+}
+
+TEST(Session, BlockersPreventThirdPartyScripts) {
+  // find a site with a sitewide, unframed blockable placement
+  for (const net::SitePlan& site : web().sites()) {
+    if (site.status != net::SiteStatus::kOk) continue;
+    bool has = false;
+    for (const net::StandardPlacement& p : site.placements) {
+      has |= p.blockable && p.sitewide && !p.framed;
+    }
+    if (!has) continue;
+
+    BrowserConfig plain;
+    BrowserSession a(web(), plain, 1);
+    const PageLoadResult without = a.load_page(web().home_url(site));
+
+    BrowserConfig shielded;
+    shielded.ad_blocker = blocker::make_ad_blocker(web());
+    shielded.tracking_blocker = blocker::make_tracking_blocker(web());
+    BrowserSession b(web(), shielded, 1);
+    const PageLoadResult with = b.load_page(web().home_url(site));
+
+    EXPECT_EQ(without.scripts_blocked, 0);
+    EXPECT_GT(with.scripts_blocked, 0);
+    EXPECT_LT(with.scripts_total, without.scripts_total);
+    return;
+  }
+  FAIL() << "no suitable site";
+}
+
+TEST(Session, EventHandlersFire) {
+  BrowserConfig config;
+  BrowserSession session(web(), config, 1);
+  session.load_page(web().home_url(ok_site()));
+  const std::uint64_t before = session.usage().total_invocations();
+  session.fire_event("click");
+  session.fire_event("scroll");
+  session.fire_event("input");
+  session.run_timers();
+  // firing events must never crash; usage may or may not grow depending on
+  // which placements this site gates behind interaction
+  EXPECT_GE(session.usage().total_invocations(), before);
+}
+
+TEST(Session, Dom0HandlersFireAndDieWithThePage) {
+  BrowserConfig config;
+  BrowserSession session(web(), config, 7);
+  session.load_page(web().home_url(ok_site()));
+
+  // install a DOM0 handler by running a script through the page's engine
+  auto program = script::parse_program(
+      "var fired = 0; window.onclick = function () { fired = fired + 1; };");
+  session.interpreter().execute(program);
+  session.fire_event("click");
+  session.fire_event("click");
+  EXPECT_DOUBLE_EQ(session.interpreter().globals().lookup("fired")->as_number(),
+                   2);
+
+  // navigation clears DOM0 handlers
+  session.load_page(web().home_url(ok_site()));
+  session.fire_event("click");
+  EXPECT_DOUBLE_EQ(session.interpreter().globals().lookup("fired")->as_number(),
+                   2);
+}
+
+TEST(Session, ResetUsageZeroesCounters) {
+  BrowserConfig config;
+  BrowserSession session(web(), config, 1);
+  session.load_page(web().home_url(ok_site()));
+  EXPECT_GT(session.usage().total_invocations(), 0u);
+  session.reset_usage();
+  EXPECT_EQ(session.usage().total_invocations(), 0u);
+  EXPECT_TRUE(session.usage().features_used().empty());
+}
+
+TEST(Session, SharedCacheServesIdenticalContent) {
+  SiteCache cache;
+  BrowserConfig config;
+  config.cache = &cache;
+  BrowserSession a(web(), config, 1);
+  a.load_page(web().home_url(ok_site()));
+  const std::size_t resources_after_first = cache.resources.size();
+  EXPECT_GT(resources_after_first, 0u);
+
+  BrowserSession b(web(), config, 2);
+  b.load_page(web().home_url(ok_site()));
+  // second session reuses the cache instead of refetching
+  EXPECT_EQ(cache.resources.size(), resources_after_first);
+}
+
+TEST(Recorder, CsvOutputMatchesPaperShape) {
+  Instrumented page;
+  page.run("var x = new XMLHttpRequest(); x.open(\"GET\", \"/\");");
+  std::ostringstream out;
+  page.recorder.write_csv(out, cat(), "default", "example.com");
+  EXPECT_NE(out.str().find("default,example.com,XMLHttpRequest.open(),1"),
+            std::string::npos);
+}
+
+TEST(Recorder, MergeAccumulates) {
+  UsageRecorder a(10), b(10);
+  a.record(3);
+  b.record(3);
+  b.record(7);
+  a.merge(b);
+  EXPECT_EQ(a.count(3), 2u);
+  EXPECT_EQ(a.count(7), 1u);
+  EXPECT_EQ(a.total_invocations(), 3u);
+  EXPECT_EQ(a.features_used(), (std::vector<catalog::FeatureId>{3, 7}));
+}
+
+}  // namespace
+}  // namespace fu::browser

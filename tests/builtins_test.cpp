@@ -1,0 +1,160 @@
+// Extended-builtin tests: Array methods, String methods, JSON, Object.
+#include <gtest/gtest.h>
+
+#include "script/interp.h"
+#include "script/parser.h"
+
+namespace fu::script {
+namespace {
+
+Value eval(const std::string& expr) {
+  static std::vector<std::unique_ptr<Program>> retained;
+  Interpreter interp;
+  retained.push_back(
+      std::make_unique<Program>(parse_program("var result = " + expr + ";")));
+  interp.execute(*retained.back());
+  return *interp.globals().lookup("result");
+}
+
+Value run(Interpreter& interp, const std::string& source) {
+  static std::vector<std::unique_ptr<Program>> retained;
+  retained.push_back(std::make_unique<Program>(parse_program(source)));
+  interp.execute(*retained.back());
+  const Value* v = interp.globals().lookup("result");
+  return v == nullptr ? Value() : *v;
+}
+
+// ---------------------------------------------------------------- array --
+
+TEST(ArrayBuiltins, PushPopAndLength) {
+  Interpreter interp;
+  EXPECT_DOUBLE_EQ(run(interp, R"(
+    var a = [1, 2];
+    a.push(3);
+    a.push(4, 5);
+    var result = a.length;
+  )").as_number(), 5);
+  EXPECT_DOUBLE_EQ(run(interp, "var result = a.pop();").as_number(), 5);
+  EXPECT_DOUBLE_EQ(run(interp, "var result = a.length;").as_number(), 4);
+}
+
+TEST(ArrayBuiltins, PopOnEmptyIsUndefined) {
+  EXPECT_TRUE(eval("[].pop()").is_undefined());
+}
+
+TEST(ArrayBuiltins, Join) {
+  EXPECT_EQ(eval("[1, 2, 3].join(\"-\")").as_string(), "1-2-3");
+  EXPECT_EQ(eval("[1, 2].join()").as_string(), "1,2");
+  EXPECT_EQ(eval("[].join(\",\")").as_string(), "");
+  EXPECT_EQ(eval("[null, 1, undefined].join(\",\")").as_string(), ",1,");
+}
+
+TEST(ArrayBuiltins, IndexOf) {
+  EXPECT_DOUBLE_EQ(eval("[10, 20, 30].indexOf(20)").as_number(), 1);
+  EXPECT_DOUBLE_EQ(eval("[10, 20].indexOf(99)").as_number(), -1);
+  EXPECT_DOUBLE_EQ(eval("[\"a\", \"b\"].indexOf(\"b\")").as_number(), 1);
+}
+
+TEST(ArrayBuiltins, Slice) {
+  EXPECT_EQ(eval("[1,2,3,4].slice(1, 3).join(\",\")").as_string(), "2,3");
+  EXPECT_EQ(eval("[1,2,3,4].slice(2).join(\",\")").as_string(), "3,4");
+  EXPECT_EQ(eval("[1,2,3,4].slice(-2).join(\",\")").as_string(), "3,4");
+  EXPECT_DOUBLE_EQ(eval("[1,2,3].slice(5).length").as_number(), 0);
+}
+
+TEST(ArrayBuiltins, IsArray) {
+  EXPECT_TRUE(eval("Array.isArray([1])").as_bool());
+  EXPECT_FALSE(eval("Array.isArray({})").as_bool());
+  EXPECT_FALSE(eval("Array.isArray(\"x\")").as_bool());
+}
+
+// --------------------------------------------------------------- string --
+
+TEST(StringBuiltins, IndexOf) {
+  EXPECT_DOUBLE_EQ(eval("\"hello world\".indexOf(\"world\")").as_number(), 6);
+  EXPECT_DOUBLE_EQ(eval("\"abc\".indexOf(\"z\")").as_number(), -1);
+}
+
+TEST(StringBuiltins, SliceAndSubstring) {
+  EXPECT_EQ(eval("\"abcdef\".slice(1, 4)").as_string(), "bcd");
+  EXPECT_EQ(eval("\"abcdef\".slice(-2)").as_string(), "ef");
+  EXPECT_EQ(eval("\"abcdef\".substring(0, 2)").as_string(), "ab");
+  EXPECT_EQ(eval("\"abc\".slice(2, 1)").as_string(), "");
+}
+
+TEST(StringBuiltins, Split) {
+  EXPECT_EQ(eval("\"a,b,c\".split(\",\").length").to_number(), 3);
+  EXPECT_EQ(eval("\"a,b,c\".split(\",\")[1]").as_string(), "b");
+  EXPECT_EQ(eval("\"abc\".split(\"\").length").to_number(), 3);
+  EXPECT_EQ(eval("\"a//b\".split(\"/\").length").to_number(), 3);
+}
+
+TEST(StringBuiltins, ReplaceFirstOccurrence) {
+  EXPECT_EQ(eval("\"a-b-c\".replace(\"-\", \"+\")").as_string(), "a+b-c");
+  EXPECT_EQ(eval("\"abc\".replace(\"z\", \"y\")").as_string(), "abc");
+}
+
+TEST(StringBuiltins, CaseAndCharAt) {
+  EXPECT_EQ(eval("\"MiXeD\".toLowerCase()").as_string(), "mixed");
+  EXPECT_EQ(eval("\"MiXeD\".toUpperCase()").as_string(), "MIXED");
+  EXPECT_EQ(eval("\"abc\".charAt(1)").as_string(), "b");
+  EXPECT_EQ(eval("\"abc\".charAt(9)").as_string(), "");
+}
+
+TEST(StringBuiltins, ChainedCalls) {
+  EXPECT_EQ(eval("\"A-B-C\".toLowerCase().split(\"-\").join(\"\")")
+                .as_string(),
+            "abc");
+}
+
+// ----------------------------------------------------------------- JSON --
+
+TEST(JsonBuiltins, StringifyPrimitives) {
+  EXPECT_EQ(eval("JSON.stringify(1)").as_string(), "1");
+  EXPECT_EQ(eval("JSON.stringify(\"a\\\"b\")").as_string(), "\"a\\\"b\"");
+  EXPECT_EQ(eval("JSON.stringify(true)").as_string(), "true");
+  EXPECT_EQ(eval("JSON.stringify(null)").as_string(), "null");
+  EXPECT_EQ(eval("JSON.stringify(undefined)").as_string(), "null");
+}
+
+TEST(JsonBuiltins, StringifyComposites) {
+  EXPECT_EQ(eval("JSON.stringify([1, \"x\", false])").as_string(),
+            "[1,\"x\",false]");
+  EXPECT_EQ(eval("JSON.stringify({ a: 1, b: [2, 3] })").as_string(),
+            "{\"a\":1,\"b\":[2,3]}");
+}
+
+TEST(JsonBuiltins, ParseRoundTrip) {
+  Interpreter interp;
+  EXPECT_DOUBLE_EQ(run(interp, R"(
+    var obj = JSON.parse("{\"x\": 5, \"list\": [1, 2, 3]}");
+    var result = obj.x + obj.list.length + obj.list[2];
+  )").as_number(), 5 + 3 + 3);
+}
+
+TEST(JsonBuiltins, ParseRejectsGarbage) {
+  Interpreter interp;
+  EXPECT_THROW(run(interp, "JSON.parse(\"{bad\");"), ScriptError);
+  EXPECT_THROW(run(interp, "JSON.parse(\"[1, ]extra\");"), ScriptError);
+  EXPECT_THROW(run(interp, "JSON.parse(123);"), ScriptError);
+}
+
+TEST(JsonBuiltins, StringifyParseIdentity) {
+  Interpreter interp;
+  EXPECT_EQ(run(interp, R"(
+    var original = { name: "probe", tags: ["a", "b"], depth: 2 };
+    var copy = JSON.parse(JSON.stringify(original));
+    var result = copy.name + copy.tags.join("") + copy.depth;
+  )").as_string(), "probeab2");
+}
+
+// --------------------------------------------------------------- object --
+
+TEST(ObjectBuiltins, Keys) {
+  EXPECT_DOUBLE_EQ(eval("Object.keys({ a: 1, b: 2 }).length").as_number(), 2);
+  EXPECT_EQ(eval("Object.keys({ z: 1, a: 2 })[0]").as_string(), "a");
+  EXPECT_DOUBLE_EQ(eval("Object.keys({}).length").as_number(), 0);
+}
+
+}  // namespace
+}  // namespace fu::script

@@ -1,0 +1,322 @@
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "catalog/cves.h"
+#include "catalog/growth.h"
+#include "catalog/names.h"
+#include "catalog/releases.h"
+#include "test_util.h"
+
+namespace fu::catalog {
+namespace {
+
+const Catalog& cat() { return fu::test::shared_catalog(); }
+
+// ------------------------------------------------------------- totals ----
+
+TEST(CatalogTotals, MatchesThePaper) {
+  EXPECT_EQ(cat().standard_count(), 75u);          // 74 standards + NS
+  EXPECT_EQ(cat().features().size(), 1392u);       // §3.2
+}
+
+TEST(CatalogTotals, SpecTableIsInternallyConsistent) {
+  int features = 0;
+  int used = 0;
+  for (const StandardSpec& spec : standard_specs()) {
+    EXPECT_GE(spec.feature_count, 1) << spec.name;
+    EXPECT_GE(spec.used_features, 0) << spec.name;
+    EXPECT_LE(spec.used_features, spec.feature_count) << spec.name;
+    EXPECT_GE(spec.target_sites, 0) << spec.name;
+    EXPECT_LE(spec.target_sites, kAlexaSites) << spec.name;
+    EXPECT_GE(spec.block_rate, 0.0) << spec.name;
+    EXPECT_LE(spec.block_rate, 1.0) << spec.name;
+    if (spec.target_sites == 0) {
+      EXPECT_EQ(spec.used_features, 0) << spec.name;
+    } else {
+      EXPECT_GE(spec.used_features, 1) << spec.name;
+    }
+    features += spec.feature_count;
+    used += spec.used_features;
+  }
+  EXPECT_EQ(features, kFeatureTotal);
+  // never-used features ~689 of 1,392 (§5.3)
+  EXPECT_NEAR(kFeatureTotal - used, 689, 15);
+}
+
+TEST(CatalogTotals, ElevenStandardsAreNeverUsed) {
+  int unused = 0;
+  for (const StandardSpec& spec : standard_specs()) {
+    unused += spec.target_sites == 0 ? 1 : 0;
+  }
+  EXPECT_EQ(unused, 11);  // §5.2
+}
+
+TEST(CatalogTotals, AbbreviationsAreUnique) {
+  std::set<std::string> seen;
+  for (const StandardSpec& spec : standard_specs()) {
+    EXPECT_TRUE(seen.insert(spec.abbreviation).second)
+        << "duplicate abbreviation " << spec.abbreviation;
+  }
+}
+
+// ----------------------------------------------------- Table 2 verbatim --
+
+struct Table2Row {
+  const char* abbrev;
+  int features;
+  int sites;
+  double block_rate;
+  int cves;
+};
+
+class Table2Spec : public ::testing::TestWithParam<Table2Row> {};
+
+TEST_P(Table2Spec, MatchesPaperRow) {
+  const Table2Row& row = GetParam();
+  const StandardId sid = cat().standard_by_abbreviation(row.abbrev);
+  ASSERT_NE(sid, kInvalidStandard) << row.abbrev;
+  const StandardSpec& spec = cat().standard(sid);
+  EXPECT_EQ(spec.feature_count, row.features);
+  EXPECT_EQ(spec.target_sites, row.sites);
+  EXPECT_NEAR(spec.block_rate, row.block_rate, 1e-9);
+  EXPECT_EQ(spec.cve_count, row.cves);
+  EXPECT_EQ(cat().cve_count(sid), row.cves);
+  EXPECT_EQ(static_cast<int>(cat().features_of(sid).size()), row.features);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, Table2Spec,
+    ::testing::Values(Table2Row{"H-C", 54, 7061, 0.331, 15},
+                      Table2Row{"SVG", 138, 1554, 0.868, 14},
+                      Table2Row{"WEBGL", 136, 913, 0.607, 13},
+                      Table2Row{"H-WW", 2, 952, 0.599, 11},
+                      Table2Row{"HTML5", 69, 7077, 0.262, 10},
+                      Table2Row{"WEBA", 52, 157, 0.811, 10},
+                      Table2Row{"WRTC", 28, 30, 0.292, 8},
+                      Table2Row{"AJAX", 13, 7957, 0.139, 8},
+                      Table2Row{"DOM", 36, 9088, 0.020, 4},
+                      Table2Row{"IDB", 48, 302, 0.563, 3},
+                      Table2Row{"BE", 1, 2373, 0.836, 2},
+                      Table2Row{"WCR", 14, 7113, 0.678, 2},
+                      Table2Row{"HRT", 1, 5769, 0.502, 1},
+                      Table2Row{"V", 1, 1, 0.0, 1},
+                      Table2Row{"DOM1", 47, 9139, 0.018, 0},
+                      Table2Row{"HTML", 195, 8980, 0.043, 0},
+                      Table2Row{"PT2", 1, 1728, 0.937, 0},
+                      Table2Row{"SLC", 6, 8674, 0.077, 0},
+                      Table2Row{"TC", 1, 3568, 0.769, 0},
+                      Table2Row{"NS", 65, 8669, 0.245, 0}));
+
+// ----------------------------------------------------------- features ----
+
+TEST(CatalogFeatures, PinnedPaperFeaturesExist) {
+  for (const char* name :
+       {"Document.prototype.createElement", "Node.prototype.insertBefore",
+        "Node.prototype.cloneNode", "XMLHttpRequest.prototype.open",
+        "Document.prototype.querySelectorAll", "Navigator.prototype.vibrate",
+        "PluginArray.prototype.refresh",
+        "SVGTextContentElement.prototype.getComputedTextLength",
+        "Crypto.prototype.getRandomValues", "Navigator.prototype.sendBeacon",
+        "Window.prototype.requestAnimationFrame",
+        "Performance.prototype.now"}) {
+    EXPECT_NE(cat().find_feature(name), nullptr) << name;
+  }
+  EXPECT_EQ(cat().find_feature("No.prototype.suchFeature"), nullptr);
+}
+
+TEST(CatalogFeatures, TopFeatureCarriesTheStandardPopularity) {
+  const Feature* open = cat().find_feature("XMLHttpRequest.prototype.open");
+  ASSERT_NE(open, nullptr);
+  EXPECT_EQ(open->rank_in_standard, 0);
+  // The paper: XMLHttpRequest.prototype.open used on 7,955 sites and the
+  // AJAX standard on 7,957 — the flagship feature carries the standard.
+  EXPECT_EQ(open->target_sites, 7957);
+  EXPECT_FALSE(open->blocked_only);
+}
+
+TEST(CatalogFeatures, RanksAreDenseAndOrdered) {
+  for (std::size_t s = 0; s < cat().standard_count(); ++s) {
+    const auto& fids = cat().features_of(static_cast<StandardId>(s));
+    for (std::size_t i = 0; i < fids.size(); ++i) {
+      EXPECT_EQ(cat().feature(fids[i]).rank_in_standard,
+                static_cast<int>(i));
+      EXPECT_EQ(cat().feature(fids[i]).standard, static_cast<StandardId>(s));
+    }
+  }
+}
+
+TEST(CatalogFeatures, TargetsDecayWithRank) {
+  const StandardId svg = cat().standard_by_abbreviation("SVG");
+  const auto& fids = cat().features_of(svg);
+  int previous = cat().feature(fids[0]).target_sites;
+  for (std::size_t i = 1; i < fids.size(); ++i) {
+    const int target = cat().feature(fids[i]).target_sites;
+    EXPECT_LE(target, previous);
+    previous = target;
+  }
+}
+
+TEST(CatalogFeatures, UsedFeatureCountsMatchSpecs) {
+  for (std::size_t s = 0; s < cat().standard_count(); ++s) {
+    const StandardSpec& spec = cat().standard(static_cast<StandardId>(s));
+    int used = 0;
+    for (const FeatureId fid : cat().features_of(static_cast<StandardId>(s))) {
+      used += cat().feature(fid).target_sites > 0 ? 1 : 0;
+    }
+    EXPECT_EQ(used, spec.used_features) << spec.name;
+  }
+}
+
+TEST(CatalogFeatures, PropertyFeaturesLiveOnSingletonsOnly) {
+  for (const Feature& f : cat().features()) {
+    if (f.kind == FeatureKind::kProperty) {
+      EXPECT_TRUE(is_singleton_interface(f.interface_name))
+          << f.full_name
+          << " — the extension can only watch singleton objects (§4.2.2)";
+    }
+  }
+}
+
+TEST(CatalogFeatures, FullNamesAreUnique) {
+  std::set<std::string> names;
+  for (const Feature& f : cat().features()) {
+    EXPECT_TRUE(names.insert(f.full_name).second) << f.full_name;
+  }
+}
+
+// --------------------------------------------------------------- dates ---
+
+TEST(CatalogDates, EveryFeatureMapsToARealRelease) {
+  const auto& timeline = releases();
+  std::set<std::string> versions;
+  for (const Release& r : timeline) versions.insert(r.version);
+  for (const Feature& f : cat().features()) {
+    EXPECT_TRUE(versions.count(f.first_version)) << f.full_name;
+    EXPECT_GE(f.implemented, timeline.front().date);
+    EXPECT_LE(f.implemented, timeline.back().date);
+  }
+}
+
+TEST(CatalogDates, FlagshipFeatureLandsWithTheStandard) {
+  const StandardId ajax = cat().standard_by_abbreviation("AJAX");
+  const Feature& open = cat().feature(cat().features_of(ajax)[0]);
+  EXPECT_EQ(open.implemented.year(), 2004);  // Firefox 1.0 era
+}
+
+TEST(CatalogDates, StandardDateIsItsMostPopularFeatures) {
+  // §3.4: the standard's implementation date is its most popular feature's.
+  const StandardId slc = cat().standard_by_abbreviation("SLC");
+  const Feature& qsa = cat().feature(cat().features_of(slc)[0]);
+  EXPECT_EQ(cat().standard_implementation_date(slc).days_since_epoch(),
+            qsa.implemented.days_since_epoch());
+}
+
+TEST(CatalogDates, UnusedStandardFallsBackToEarliestFeature) {
+  const StandardId sd = cat().standard_by_abbreviation("SD");
+  ASSERT_NE(sd, kInvalidStandard);
+  support::Date earliest = cat().feature(cat().features_of(sd)[0]).implemented;
+  for (const FeatureId fid : cat().features_of(sd)) {
+    earliest = std::min(earliest, cat().feature(fid).implemented);
+  }
+  EXPECT_EQ(cat().standard_implementation_date(sd).days_since_epoch(),
+            earliest.days_since_epoch());
+}
+
+// ------------------------------------------------------------- releases --
+
+TEST(Releases, HistoricalShape) {
+  const auto& timeline = releases();
+  EXPECT_EQ(timeline.size(), static_cast<std::size_t>(kReleaseCount));
+  EXPECT_EQ(timeline.front().version, "1.0");
+  EXPECT_EQ(timeline.front().date.to_string(), "2004-11-09");
+  EXPECT_EQ(timeline.back().version, "46.0.1");
+  for (std::size_t i = 1; i < timeline.size(); ++i) {
+    EXPECT_LE(timeline[i - 1].date, timeline[i].date);
+  }
+}
+
+TEST(Releases, LookupHelpers) {
+  EXPECT_EQ(release_by_version("4.0").date.to_string(), "2011-03-22");
+  EXPECT_THROW(release_by_version("99.0"), std::out_of_range);
+  const Release& r = release_on_or_after(support::Date(2011, 3, 1));
+  EXPECT_EQ(r.version, "4.0");
+  // past the end clamps to the last release
+  EXPECT_EQ(release_on_or_after(support::Date(2030, 1, 1)).version, "46.0.1");
+}
+
+// ----------------------------------------------------------------- CVEs --
+
+TEST(Cves, FeedMatchesSection35) {
+  const auto feed = generate_cve_feed(standard_specs());
+  EXPECT_EQ(feed.size(), static_cast<std::size_t>(kCveCandidates));  // 470
+  const auto firefox = firefox_cves(feed);
+  EXPECT_EQ(firefox.size(), static_cast<std::size_t>(kCveFirefox));  // 456
+  const auto attributed = attributed_cves(firefox);
+  EXPECT_EQ(attributed.size(), 111u);  // sum of Table 2's CVE column
+  for (const Cve& cve : attributed) {
+    EXPECT_GE(cve.year, 2013);
+    EXPECT_LE(cve.year, 2016);
+    EXPECT_TRUE(cve.id.rfind("CVE-", 0) == 0) << cve.id;
+  }
+}
+
+TEST(Cves, PerStandardCountsMatchTable2) {
+  std::map<StandardId, int> counts;
+  for (const Cve& cve : cat().cves()) {
+    if (cve.standard != kInvalidStandard) ++counts[cve.standard];
+  }
+  for (std::size_t s = 0; s < cat().standard_count(); ++s) {
+    const auto sid = static_cast<StandardId>(s);
+    EXPECT_EQ(counts[sid], cat().standard(sid).cve_count)
+        << cat().standard(sid).name;
+  }
+}
+
+// ---------------------------------------------------------------- names --
+
+TEST(Names, GlobalAccessPathsPointAtSingletons) {
+  EXPECT_EQ(global_access_path("Navigator"), "navigator");
+  EXPECT_EQ(global_access_path("SubtleCrypto"), "crypto.subtle");
+  EXPECT_EQ(global_access_path("CanvasGradient"), "");
+}
+
+TEST(Names, MembersForIsDeterministicAndSized) {
+  const StandardSpec& svg =
+      cat().standard(cat().standard_by_abbreviation("SVG"));
+  const auto a = members_for(svg);
+  const auto b = members_for(svg);
+  ASSERT_EQ(a.size(), static_cast<std::size_t>(svg.feature_count));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].interface_name, b[i].interface_name);
+    EXPECT_EQ(a[i].member_name, b[i].member_name);
+  }
+}
+
+// --------------------------------------------------------------- growth --
+
+TEST(Growth, StandardsAccumulateOverTime) {
+  int previous = 0;
+  for (const auto& [year, count] : standards_by_year(cat())) {
+    EXPECT_GE(count, previous) << year;
+    previous = count;
+  }
+  EXPECT_EQ(standards_available_by(cat(), 2016.99), 75);
+  EXPECT_GT(standards_available_by(cat(), 2004.99), 0);
+}
+
+TEST(Growth, ChromeLocDropsAtBlinkFork) {
+  for (const auto& series : browser_loc_history()) {
+    if (series.browser != "Chrome") continue;
+    double before = 0, after = 0;
+    for (const auto& sample : series.samples) {
+      if (sample.year == 2013.25) before = sample.million_loc;
+      if (sample.year == 2013.75) after = sample.million_loc;
+    }
+    EXPECT_GT(before - after, 5.0);  // ~8.8M lines removed [34]
+  }
+}
+
+}  // namespace
+}  // namespace fu::catalog

@@ -1,0 +1,266 @@
+#include <fstream>
+#include <gtest/gtest.h>
+
+#include "crawler/serialize.h"
+#include "test_util.h"
+
+namespace fu::crawler {
+namespace {
+
+const net::SyntheticWeb& web() { return fu::test::small_web(); }
+const SurveyResults& survey() { return fu::test::small_survey(); }
+
+const net::SitePlan& ok_site() {
+  for (const net::SitePlan& site : web().sites()) {
+    if (site.status == net::SiteStatus::kOk) return site;
+  }
+  throw std::logic_error("no healthy site");
+}
+
+// --------------------------------------------------------------- monkey --
+
+TEST(Monkey, ReturnsOnlySameSiteCandidates) {
+  browser::BrowserConfig config;
+  browser::BrowserSession session(web(), config, 5);
+  session.load_page(web().home_url(ok_site()));
+  support::Rng rng(5);
+  const std::vector<net::Url> candidates = monkey_interact(session, rng);
+  EXPECT_FALSE(candidates.empty());
+  for (const net::Url& url : candidates) {
+    EXPECT_TRUE(net::same_site(url, session.current_url())) << url.spec();
+  }
+}
+
+TEST(Monkey, DifferentSeedsExploreDifferently) {
+  browser::BrowserConfig config;
+  browser::BrowserSession session(web(), config, 5);
+  session.load_page(web().home_url(ok_site()));
+  support::Rng rng_a(1), rng_b(2);
+  const auto a = monkey_interact(session, rng_a);
+  const auto b = monkey_interact(session, rng_b);
+  // same page, different walks: order/number of candidates usually differs
+  std::vector<std::string> sa, sb;
+  for (const auto& u : a) sa.push_back(u.spec());
+  for (const auto& u : b) sb.push_back(u.spec());
+  EXPECT_TRUE(sa != sb || sa.empty());
+}
+
+// ---------------------------------------------------------------- crawl --
+
+TEST(Crawl, VisitsAtMostThirteenPages) {
+  CrawlConfig config;
+  const SiteVisit visit = crawl_site(web(), config, ok_site(), 3);
+  EXPECT_TRUE(visit.measured);
+  EXPECT_GE(visit.pages_visited, 1);
+  EXPECT_LE(visit.pages_visited, 13);  // 1 + 3 + 3x3 (§4.3.1)
+  EXPECT_GT(visit.invocations, 0u);
+  EXPECT_TRUE(visit.features.any());
+}
+
+TEST(Crawl, IsDeterministicPerSeed) {
+  CrawlConfig config;
+  const SiteVisit a = crawl_site(web(), config, ok_site(), 17);
+  const SiteVisit b = crawl_site(web(), config, ok_site(), 17);
+  EXPECT_EQ(a.features, b.features);
+  EXPECT_EQ(a.invocations, b.invocations);
+  EXPECT_EQ(a.pages_visited, b.pages_visited);
+}
+
+TEST(Crawl, DeadSiteIsUnmeasured) {
+  const net::SyntheticWeb& fweb = fu::test::failing_web();
+  int dead = 0;
+  for (const net::SitePlan& site : fweb.sites()) {
+    if (site.status != net::SiteStatus::kDead) continue;
+    ++dead;
+    CrawlConfig config;
+    const SiteVisit visit = crawl_site(fweb, config, site, 3);
+    EXPECT_FALSE(visit.home_loaded);
+    EXPECT_FALSE(visit.measured);
+    EXPECT_EQ(visit.pages_visited, 0);
+  }
+  EXPECT_GT(dead, 0);
+}
+
+TEST(Crawl, BrokenSiteIsUnmeasuredButResponded) {
+  const net::SyntheticWeb& fweb = fu::test::failing_web();
+  int broken = 0;
+  for (const net::SitePlan& site : fweb.sites()) {
+    if (site.status != net::SiteStatus::kBrokenScripts) continue;
+    ++broken;
+    CrawlConfig config;
+    const SiteVisit visit = crawl_site(fweb, config, site, 3);
+    EXPECT_TRUE(visit.home_loaded);
+    EXPECT_FALSE(visit.measured);
+  }
+  EXPECT_GT(broken, 0);
+}
+
+TEST(Crawl, BlockingConfigurationBlocksScripts) {
+  CrawlConfig blocking;
+  blocking.browser.ad_blocker = blocker::make_ad_blocker(web());
+  blocking.browser.tracking_blocker = blocker::make_tracking_blocker(web());
+  int blocked = 0;
+  int tried = 0;
+  for (const net::SitePlan& site : web().sites()) {
+    if (site.status != net::SiteStatus::kOk) continue;
+    blocked += crawl_site(web(), blocking, site, 3).scripts_blocked;
+    if (++tried >= 10) break;
+  }
+  EXPECT_GT(blocked, 0);
+}
+
+TEST(HumanVisit, VisitsUpToThreePages) {
+  CrawlConfig config;
+  const SiteVisit visit = human_visit(web(), config, ok_site(), 11);
+  EXPECT_TRUE(visit.measured);
+  EXPECT_GE(visit.pages_visited, 1);
+  EXPECT_LE(visit.pages_visited, 3);  // §6.2: home + two prominent links
+  EXPECT_TRUE(visit.features.any());
+}
+
+// --------------------------------------------------------------- survey --
+
+TEST(Survey, CoversEverySiteOnce) {
+  EXPECT_EQ(survey().sites.size(), web().sites().size());
+  EXPECT_EQ(survey().passes, 3);
+  EXPECT_TRUE(survey().has_ad_only);
+  EXPECT_TRUE(survey().has_tracking_only);
+}
+
+TEST(Survey, MeasuredMatchesSiteHealth) {
+  for (std::size_t i = 0; i < survey().sites.size(); ++i) {
+    const SiteOutcome& outcome = survey().sites[i];
+    switch (web().sites()[i].status) {
+      case net::SiteStatus::kOk:
+        EXPECT_TRUE(outcome.measured) << i;
+        break;
+      case net::SiteStatus::kDead:
+        EXPECT_FALSE(outcome.responded) << i;
+        EXPECT_FALSE(outcome.measured) << i;
+        break;
+      case net::SiteStatus::kBrokenScripts:
+        EXPECT_TRUE(outcome.responded) << i;
+        EXPECT_FALSE(outcome.measured) << i;
+        break;
+    }
+  }
+}
+
+TEST(Survey, DefaultPassesAreRecordedPerRound) {
+  for (const SiteOutcome& outcome : survey().sites) {
+    if (!outcome.measured) continue;
+    ASSERT_EQ(outcome.default_passes.size(), 3u);
+    // the union of passes equals the default-config feature set
+    support::DynamicBitset unioned(outcome.default_passes[0].size());
+    for (const auto& pass : outcome.default_passes) unioned |= pass;
+    EXPECT_EQ(unioned,
+              outcome.features[static_cast<std::size_t>(
+                  BrowsingConfig::kDefault)]);
+  }
+}
+
+TEST(Survey, BlockingReducesOverallFeatureUse) {
+  std::size_t features_default = 0, features_blocking = 0;
+  for (const SiteOutcome& outcome : survey().sites) {
+    features_default +=
+        outcome.features[static_cast<std::size_t>(BrowsingConfig::kDefault)]
+            .count();
+    features_blocking +=
+        outcome.features[static_cast<std::size_t>(BrowsingConfig::kBlocking)]
+            .count();
+  }
+  EXPECT_LT(features_blocking, features_default);
+}
+
+TEST(Survey, TotalsAreConsistent) {
+  EXPECT_GT(survey().sites_measured(), 100);
+  EXPECT_GT(survey().total_pages_visited(), 1000u);
+  EXPECT_EQ(survey().interaction_seconds(),
+            survey().total_pages_visited() * 30);
+  EXPECT_GT(survey().total_invocations(), 10000u);
+}
+
+// ----------------------------------------------------------- validation --
+
+TEST(InternalValidation, NewStandardsDecayAcrossRounds) {
+  const std::vector<double> rounds = new_standards_per_round(survey());
+  ASSERT_EQ(rounds.size(), 3u);
+  EXPECT_GT(rounds[0], 5.0);       // round 1 finds most standards
+  EXPECT_LT(rounds[1], rounds[0]); // later rounds find fewer (Table 3)
+  EXPECT_LT(rounds[2], rounds[1] + 0.5);
+  EXPECT_GE(rounds[2], 0.0);
+}
+
+TEST(ExternalValidationTest, MostDomainsShowNothingNew) {
+  const ExternalValidation validation =
+      run_external_validation(survey(), 40, 1234);
+  EXPECT_GT(validation.domains_evaluated, 20);
+  EXPECT_EQ(validation.new_standards_per_domain.size(),
+            static_cast<std::size_t>(validation.domains_evaluated));
+  // §6.2: in the great majority of cases the human finds nothing new
+  EXPECT_GT(validation.fraction_nothing_new(), 0.5);
+  for (const int n : validation.new_standards_per_domain) {
+    EXPECT_GE(n, 0);
+    EXPECT_LE(n, 75);
+  }
+}
+
+// ---------------------------------------------------------- persistence --
+
+TEST(Serialization, RoundTripsSurveyResults) {
+  const std::string path = ::testing::TempDir() + "/fu_survey_test.bin";
+  ASSERT_TRUE(save_survey(survey(), 0x50e11edULL, path));
+
+  const SurveyKey key = key_of(survey(), 0x50e11edULL);
+  const auto loaded = load_survey(web(), key, path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->sites.size(), survey().sites.size());
+  EXPECT_EQ(loaded->passes, survey().passes);
+  for (std::size_t i = 0; i < loaded->sites.size(); ++i) {
+    const SiteOutcome& a = survey().sites[i];
+    const SiteOutcome& b = loaded->sites[i];
+    EXPECT_EQ(a.measured, b.measured);
+    EXPECT_EQ(a.invocations, b.invocations);
+    EXPECT_EQ(a.pages_visited, b.pages_visited);
+    for (std::size_t c = 0; c < a.features.size(); ++c) {
+      EXPECT_EQ(a.features[c], b.features[c]);
+    }
+    EXPECT_EQ(a.default_passes.size(), b.default_passes.size());
+  }
+}
+
+TEST(Serialization, RejectsMismatchedKey) {
+  const std::string path = ::testing::TempDir() + "/fu_survey_test2.bin";
+  ASSERT_TRUE(save_survey(survey(), 1, path));
+  SurveyKey wrong = key_of(survey(), 1);
+  wrong.passes += 1;
+  EXPECT_FALSE(load_survey(web(), wrong, path).has_value());
+  SurveyKey wrong_seed = key_of(survey(), 1);
+  wrong_seed.seed = 2;
+  EXPECT_FALSE(load_survey(web(), wrong_seed, path).has_value());
+}
+
+TEST(Serialization, RejectsCorruptFiles) {
+  const std::string path = ::testing::TempDir() + "/fu_survey_corrupt.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a survey file";
+  }
+  EXPECT_FALSE(
+      load_survey(web(), key_of(survey(), 1), path).has_value());
+  EXPECT_FALSE(load_survey(web(), key_of(survey(), 1), "/no/such/file")
+                   .has_value());
+}
+
+TEST(Serialization, CacheFilenameEncodesKey) {
+  SurveyKey key;
+  key.seed = 0x10f3a7;
+  key.site_count = 10000;
+  key.passes = 5;
+  key.ad_only = true;
+  key.tracking_only = true;
+  EXPECT_EQ(cache_filename(key), "survey_s10f3a7_n10000_p5_tt.bin");
+}
+
+}  // namespace
+}  // namespace fu::crawler

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "dom/html.h"
+#include "dom/node.h"
+
+namespace fu::dom {
+namespace {
+
+// ------------------------------------------------------------ node tree --
+
+TEST(NodeTree, AppendAndTraverse) {
+  Document doc;
+  Element* div = doc.create_element("div");
+  Element* span = doc.create_element("span");
+  Text* text = doc.create_text("hello");
+  doc.append_child(div);
+  div->append_child(span);
+  span->append_child(text);
+
+  EXPECT_EQ(div->parent(), &doc);
+  EXPECT_EQ(span->parent(), div);
+  EXPECT_EQ(doc.text_content(), "hello");
+  EXPECT_EQ(doc.node_count(), 3u);
+}
+
+TEST(NodeTree, InsertBeforeOrdersSiblings) {
+  Document doc;
+  Element* a = doc.create_element("a");
+  Element* b = doc.create_element("b");
+  Element* c = doc.create_element("c");
+  doc.append_child(a);
+  doc.append_child(c);
+  doc.insert_before(b, c);
+  ASSERT_EQ(doc.children().size(), 3u);
+  EXPECT_EQ(doc.children()[1], b);
+}
+
+TEST(NodeTree, ReinsertionMovesNode) {
+  Document doc;
+  Element* a = doc.create_element("a");
+  Element* b = doc.create_element("b");
+  doc.append_child(a);
+  doc.append_child(b);
+  b->append_child(a);  // move a under b
+  EXPECT_EQ(a->parent(), b);
+  EXPECT_EQ(doc.children().size(), 1u);
+}
+
+TEST(NodeTree, RejectsCyclesAndBadArguments) {
+  Document doc;
+  Element* a = doc.create_element("a");
+  Element* b = doc.create_element("b");
+  doc.append_child(a);
+  a->append_child(b);
+  EXPECT_THROW(b->append_child(a), std::invalid_argument);   // ancestor
+  EXPECT_THROW(a->append_child(a), std::invalid_argument);   // self
+  EXPECT_THROW(doc.remove_child(b), std::invalid_argument);  // not a child
+  Element* c = doc.create_element("c");
+  EXPECT_THROW(doc.insert_before(c, b), std::invalid_argument);  // bad ref
+}
+
+TEST(NodeTree, RemoveChildUnlinks) {
+  Document doc;
+  Element* a = doc.create_element("a");
+  doc.append_child(a);
+  doc.remove_child(a);
+  EXPECT_EQ(a->parent(), nullptr);
+  EXPECT_TRUE(doc.children().empty());
+}
+
+TEST(ElementTest, AttributeAccess) {
+  Document doc;
+  Element* el = doc.create_element("input");
+  EXPECT_FALSE(el->has_attribute("type"));
+  EXPECT_EQ(el->attribute("type"), "");
+  el->set_attribute("type", "text");
+  el->set_attribute("id", "q");
+  EXPECT_TRUE(el->has_attribute("type"));
+  EXPECT_EQ(el->attribute("type"), "text");
+  EXPECT_EQ(el->id(), "q");
+  el->set_attribute("type", "email");  // overwrite
+  EXPECT_EQ(el->attribute("type"), "email");
+}
+
+TEST(DocumentTest, QueriesByIdAndTag) {
+  Document doc;
+  doc.ensure_scaffold();
+  Element* one = doc.create_element("p");
+  one->set_attribute("id", "one");
+  Element* two = doc.create_element("p");
+  doc.body()->append_child(one);
+  doc.body()->append_child(two);
+
+  EXPECT_EQ(doc.get_element_by_id("one"), one);
+  EXPECT_EQ(doc.get_element_by_id("missing"), nullptr);
+  EXPECT_EQ(doc.get_elements_by_tag("p").size(), 2u);
+  EXPECT_GE(doc.all_elements().size(), 5u);  // html/head/body/p/p
+}
+
+TEST(DocumentTest, EnsureScaffoldIsIdempotent) {
+  Document doc;
+  doc.ensure_scaffold();
+  Element* head = doc.head();
+  Element* body = doc.body();
+  doc.ensure_scaffold();
+  EXPECT_EQ(doc.head(), head);
+  EXPECT_EQ(doc.body(), body);
+  EXPECT_EQ(doc.html()->children().size(), 2u);
+}
+
+// ---------------------------------------------------------- HTML parser --
+
+TEST(HtmlParser, BasicDocument) {
+  const auto doc = parse_html(
+      "<!doctype html><html><head><title>T</title></head>"
+      "<body><p id=\"x\">hi</p></body></html>");
+  EXPECT_NE(doc->head(), nullptr);
+  EXPECT_NE(doc->body(), nullptr);
+  Element* p = doc->get_element_by_id("x");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->text_content(), "hi");
+}
+
+TEST(HtmlParser, AttributeSyntaxVariants) {
+  const auto doc = parse_html(
+      "<div a=\"1\" b='2' c=3 d e =\"x y\"><br></div>");
+  const auto divs = doc->get_elements_by_tag("div");
+  ASSERT_EQ(divs.size(), 1u);
+  EXPECT_EQ(divs[0]->attribute("a"), "1");
+  EXPECT_EQ(divs[0]->attribute("b"), "2");
+  EXPECT_EQ(divs[0]->attribute("c"), "3");
+  EXPECT_TRUE(divs[0]->has_attribute("d"));
+  EXPECT_EQ(divs[0]->attribute("e"), "x y");
+}
+
+TEST(HtmlParser, VoidAndSelfClosingElements) {
+  const auto doc = parse_html("<body><img src=\"a.png\"><input/><p>t</p></body>");
+  EXPECT_EQ(doc->get_elements_by_tag("img").size(), 1u);
+  EXPECT_EQ(doc->get_elements_by_tag("input").size(), 1u);
+  // the img did not swallow the rest of the document
+  EXPECT_EQ(doc->get_elements_by_tag("img")[0]->children().size(), 0u);
+  EXPECT_EQ(doc->get_elements_by_tag("p").size(), 1u);
+}
+
+TEST(HtmlParser, ScriptBodyIsRawText) {
+  const auto doc = parse_html(
+      "<head><script>if (a < b && c > d) { x = \"<div>\"; }</script></head>");
+  const auto scripts = doc->get_elements_by_tag("script");
+  ASSERT_EQ(scripts.size(), 1u);
+  EXPECT_EQ(scripts[0]->text_content(),
+            "if (a < b && c > d) { x = \"<div>\"; }");
+  // no <div> element was created from the string inside the script
+  EXPECT_TRUE(doc->get_elements_by_tag("div").empty());
+}
+
+TEST(HtmlParser, CommentsAndDoctype) {
+  const auto doc =
+      parse_html("<!doctype html><!-- note --><body><!-- inner --></body>");
+  int comments = 0;
+  doc->for_each([&comments](Node& node) {
+    comments += node.type() == NodeType::kComment ? 1 : 0;
+  });
+  EXPECT_EQ(comments, 2);
+}
+
+TEST(HtmlParser, RecoversFromMisnestedTags) {
+  const auto doc = parse_html("<body><b><i>x</b></i><p>y</p></body>");
+  EXPECT_EQ(doc->get_elements_by_tag("p").size(), 1u);
+  EXPECT_EQ(doc->text_content(), "xy");
+}
+
+TEST(HtmlParser, IgnoresStrayCloseTagsAndBrokenMarkup) {
+  const auto doc = parse_html("</nothing><body><p>ok</p><");
+  EXPECT_EQ(doc->get_elements_by_tag("p").size(), 1u);
+  const auto doc2 = parse_html("</nothing><body><p>ok</p>");
+  EXPECT_EQ(doc2->get_elements_by_tag("p").size(), 1u);
+  const auto doc3 = parse_html("text only, no tags at all");
+  EXPECT_EQ(doc3->text_content(), "text only, no tags at all");
+}
+
+TEST(HtmlParser, UnterminatedScriptDoesNotCrash) {
+  const auto doc = parse_html("<head><script>var x = 1;");
+  const auto scripts = doc->get_elements_by_tag("script");
+  ASSERT_EQ(scripts.size(), 1u);
+  EXPECT_EQ(scripts[0]->text_content(), "var x = 1;");
+}
+
+TEST(HtmlSerializer, RoundTripPreservesStructure) {
+  const char* source =
+      "<html><head><script src=\"/js/app0.js\"></script></head>"
+      "<body><a href=\"/s0/p0.html\">link</a><img src=\"x.png\"></body></html>";
+  const auto doc = parse_html(source);
+  const std::string serialized = serialize(*doc);
+  const auto reparsed = parse_html(serialized);
+  EXPECT_EQ(reparsed->get_elements_by_tag("a").size(), 1u);
+  EXPECT_EQ(reparsed->get_elements_by_tag("a")[0]->attribute("href"),
+            "/s0/p0.html");
+  EXPECT_EQ(reparsed->get_elements_by_tag("img").size(), 1u);
+  EXPECT_EQ(serialize(*reparsed), serialized);  // fixed point
+}
+
+TEST(HtmlSerializer, EscapesTextAndAttributes) {
+  Document doc;
+  doc.ensure_scaffold();
+  Element* el = doc.create_element("div");
+  el->set_attribute("title", "a<b & \"c\"");
+  el->append_child(doc.create_text("1 < 2 & 3"));
+  doc.body()->append_child(el);
+  const std::string html = serialize(*doc.body());
+  EXPECT_NE(html.find("a&lt;b &amp; &quot;c&quot;"), std::string::npos);
+  EXPECT_NE(html.find("1 &lt; 2 &amp; 3"), std::string::npos);
+}
+
+TEST(VoidElements, KnownTags) {
+  EXPECT_TRUE(is_void_element("br"));
+  EXPECT_TRUE(is_void_element("meta"));
+  EXPECT_FALSE(is_void_element("div"));
+  EXPECT_FALSE(is_void_element("script"));
+}
+
+}  // namespace
+}  // namespace fu::dom

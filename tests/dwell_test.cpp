@@ -1,0 +1,118 @@
+// Long-dwell semantics (§6.2 outliers): timers beyond the monkey's
+// 30-second budget fire only for longer, human-style dwells.
+#include <gtest/gtest.h>
+
+#include "crawler/monkey.h"
+#include "script/parser.h"
+#include "test_util.h"
+
+namespace fu::browser {
+namespace {
+
+const net::SyntheticWeb& web() { return fu::test::small_web(); }
+
+const net::SitePlan& ok_site() {
+  for (const net::SitePlan& site : web().sites()) {
+    if (site.status == net::SiteStatus::kOk) return site;
+  }
+  throw std::logic_error("no healthy site");
+}
+
+void install_timers(BrowserSession& session) {
+  auto program = script::parse_program(R"(
+    var fired_fast = 0;
+    var fired_slow = 0;
+    window.setTimeout(function () { fired_fast = fired_fast + 1; }, 500);
+    window.setTimeout(function () { fired_slow = fired_slow + 1; }, 60000);
+  )");
+  session.interpreter().execute(program);
+}
+
+double global_number(BrowserSession& session, const char* name) {
+  const script::Value* v = session.interpreter().globals().lookup(name);
+  return v == nullptr ? -1 : v->to_number();
+}
+
+TEST(LongDwell, ShortBudgetSkipsLongTimers) {
+  BrowserConfig config;
+  BrowserSession session(web(), config, 1);
+  session.load_page(web().home_url(ok_site()));
+  install_timers(session);
+
+  session.run_timers();  // default 30 s budget
+  EXPECT_EQ(global_number(session, "fired_fast"), 1);
+  EXPECT_EQ(global_number(session, "fired_slow"), 0);
+
+  // the long timer is still queued; a longer dwell reaches it
+  session.run_timers(90'000);
+  EXPECT_EQ(global_number(session, "fired_fast"), 1);
+  EXPECT_EQ(global_number(session, "fired_slow"), 1);
+
+  // and it fired exactly once
+  session.run_timers(90'000);
+  EXPECT_EQ(global_number(session, "fired_slow"), 1);
+}
+
+TEST(LongDwell, MonkeyNeverFiresThem) {
+  BrowserConfig config;
+  BrowserSession session(web(), config, 2);
+  session.load_page(web().home_url(ok_site()));
+  install_timers(session);
+
+  support::Rng rng(7);
+  for (int pass = 0; pass < 5; ++pass) {
+    crawler::monkey_interact(session, rng);
+  }
+  EXPECT_EQ(global_number(session, "fired_fast"), 1);
+  EXPECT_EQ(global_number(session, "fired_slow"), 0);
+}
+
+TEST(LongDwell, HumanModelFiresThem) {
+  BrowserConfig config;
+  BrowserSession session(web(), config, 3);
+  session.load_page(web().home_url(ok_site()));
+  install_timers(session);
+
+  support::Rng rng(7);
+  crawler::human_interact(session, rng);
+  EXPECT_EQ(global_number(session, "fired_slow"), 1);
+}
+
+TEST(LongDwell, SomeSitesCarryLongDwellPlacements) {
+  int long_dwell = 0;
+  for (const net::SitePlan& site : web().sites()) {
+    for (const net::StandardPlacement& p : site.placements) {
+      if (p.trigger == net::Trigger::kLongDwell) {
+        ++long_dwell;
+        EXPECT_TRUE(p.sitewide);  // calibration: sitewide only
+      }
+    }
+  }
+  EXPECT_GT(long_dwell, 0);
+}
+
+TEST(SurveyDeterminism, ThreadCountDoesNotChangeResults) {
+  crawler::SurveyOptions one;
+  one.passes = 2;
+  one.threads = 1;
+  one.include_ad_only = false;
+  one.include_tracking_only = false;
+  crawler::SurveyOptions four = one;
+  four.threads = 4;
+
+  net::SyntheticWeb::Config config;
+  config.site_count = 40;
+  const net::SyntheticWeb small(fu::test::shared_catalog(), config);
+
+  const auto a = run_survey(small, one);
+  const auto b = run_survey(small, four);
+  ASSERT_EQ(a.sites.size(), b.sites.size());
+  for (std::size_t i = 0; i < a.sites.size(); ++i) {
+    EXPECT_EQ(a.sites[i].invocations, b.sites[i].invocations) << i;
+    EXPECT_EQ(a.sites[i].features[0], b.sites[i].features[0]) << i;
+    EXPECT_EQ(a.sites[i].features[1], b.sites[i].features[1]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace fu::browser

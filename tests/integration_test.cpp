@@ -1,0 +1,205 @@
+// End-to-end pipeline tests: catalog -> synthetic web -> survey -> analysis
+// through the public facade, plus cross-module invariants that only hold if
+// every stage cooperates.
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "support/stats.h"
+#include "test_util.h"
+
+namespace fu {
+namespace {
+
+TEST(Facade, LazyPipelineBuildsEachStage) {
+  ReproductionConfig config;
+  config.sites = 40;
+  config.passes = 2;
+  config.single_blocker_configs = false;
+  Reproduction repro(config);
+
+  EXPECT_EQ(repro.catalog().features().size(), 1392u);
+  EXPECT_EQ(repro.web().sites().size(), 40u);
+  const crawler::SurveyResults& survey = repro.survey();
+  EXPECT_EQ(survey.passes, 2);
+  EXPECT_FALSE(survey.has_ad_only);
+  EXPECT_GT(repro.analysis().measured_sites(), 30);
+}
+
+TEST(Facade, EnvOverridesAreRead) {
+  ::setenv("FU_SITES", "77", 1);
+  ::setenv("FU_PASSES", "4", 1);
+  ::setenv("FU_FIG7", "0", 1);
+  const ReproductionConfig config = ReproductionConfig::from_env();
+  EXPECT_EQ(config.sites, 77);
+  EXPECT_EQ(config.passes, 4);
+  EXPECT_FALSE(config.single_blocker_configs);
+  ::unsetenv("FU_SITES");
+  ::unsetenv("FU_PASSES");
+  ::unsetenv("FU_FIG7");
+  const ReproductionConfig defaults = ReproductionConfig::from_env();
+  EXPECT_EQ(defaults.sites, 10000);
+  EXPECT_EQ(defaults.passes, 5);
+}
+
+TEST(Facade, SurveyCacheRoundTrips) {
+  const std::string dir = ::testing::TempDir() + "/fu_cache_test";
+  ::setenv("FU_CACHE_DIR", dir.c_str(), 1);
+
+  ReproductionConfig config;
+  config.sites = 25;
+  config.passes = 2;
+  config.seed = 777;
+  config.single_blocker_configs = false;
+
+  Reproduction first(config);
+  const std::uint64_t invocations = first.survey().total_invocations();
+
+  // second instance must load from the cache and agree exactly
+  Reproduction second(config);
+  EXPECT_EQ(second.survey().total_invocations(), invocations);
+  EXPECT_EQ(second.survey().sites_measured(), first.survey().sites_measured());
+  ::unsetenv("FU_CACHE_DIR");
+}
+
+TEST(Pipeline, SurveyIsDeterministicEndToEnd) {
+  ReproductionConfig config;
+  config.sites = 30;
+  config.passes = 2;
+  config.seed = 4242;
+  config.single_blocker_configs = false;
+
+  ::setenv("FU_CACHE", "0", 1);
+  Reproduction a(config);
+  Reproduction b(config);
+  EXPECT_EQ(a.survey().total_invocations(), b.survey().total_invocations());
+  for (std::size_t i = 0; i < a.survey().sites.size(); ++i) {
+    EXPECT_EQ(a.survey().sites[i].features[0], b.survey().sites[i].features[0])
+        << "site " << i;
+  }
+  ::unsetenv("FU_CACHE");
+}
+
+// ------------------------------------------------ paper-shape invariants --
+
+TEST(PaperShape, MostSitesAreMeasured) {
+  const auto& survey = test::small_survey();
+  const double measured_fraction =
+      static_cast<double>(survey.sites_measured()) /
+      static_cast<double>(survey.sites.size());
+  // paper: 9,733 of 10,000 (§4.3.3)
+  EXPECT_GT(measured_fraction, 0.90);
+  EXPECT_LT(measured_fraction, 1.0 + 1e-9);
+}
+
+TEST(PaperShape, AboutHalfOfFeaturesAreNeverUsed) {
+  // At 120 sites the long tail can't fully materialize, so the bound is
+  // loose and one-sided: at least the calibration's never-used mass.
+  const auto h = test::small_analysis().headline();
+  EXPECT_GT(h.features_never_used, 600);
+  EXPECT_LT(h.features_never_used, 1200);
+}
+
+TEST(PaperShape, BlockedFeatureMassIsSubstantial) {
+  const auto h = test::small_analysis().headline();
+  // §5.3: ~10% of features have block rates over 90%
+  EXPECT_GT(h.features_blocked_90, 50);
+  // §5.3: >83% of features land under 1% with blockers on
+  EXPECT_GT(h.features_under_1pct_blocking, 1000);
+}
+
+TEST(PaperShape, BeaconIsHeavilyBlocked) {
+  const auto& an = test::small_analysis();
+  const auto be = test::shared_catalog().standard_by_abbreviation("BE");
+  if (an.standard_sites(be, analysis::BrowsingConfig::kDefault) >= 10) {
+    EXPECT_GT(an.standard_block_rate(be), 0.6);  // paper: 83.6%
+  }
+}
+
+TEST(PaperShape, AmbientLightIsRareAndFullyBlocked) {
+  const auto& an = test::small_analysis();
+  const auto als = test::shared_catalog().standard_by_abbreviation("ALS");
+  const int sites = an.standard_sites(als, analysis::BrowsingConfig::kDefault);
+  EXPECT_LE(sites, 3);  // ~14 of 10k in the paper
+  if (sites > 0) {
+    EXPECT_DOUBLE_EQ(an.standard_block_rate(als), 1.0);  // §5.4
+  }
+}
+
+TEST(PaperShape, OldDoesNotImplyPopular) {
+  // §5.6: AJAX (2004) is extremely popular, H-P (2005) is nearly dead,
+  // SLC (2013) is very popular — age alone doesn't predict usage.
+  const auto& an = test::small_analysis();
+  const auto& cat = test::shared_catalog();
+  const double ajax =
+      an.standard_site_fraction(cat.standard_by_abbreviation("AJAX"));
+  const double hp =
+      an.standard_site_fraction(cat.standard_by_abbreviation("H-P"));
+  const double slc =
+      an.standard_site_fraction(cat.standard_by_abbreviation("SLC"));
+  EXPECT_GT(ajax, 0.6);
+  EXPECT_LT(hp, 0.1);
+  EXPECT_GT(slc, 0.6);
+}
+
+TEST(PaperShape, VisitWeightedPopularityTracksSitePopularity) {
+  // Figure 5: standards cluster around the x=y line.
+  const auto& an = test::small_analysis();
+  std::vector<double> site_frac, visit_frac;
+  for (std::size_t s = 0; s < test::shared_catalog().standard_count(); ++s) {
+    const auto sid = static_cast<catalog::StandardId>(s);
+    if (an.standard_sites(sid, analysis::BrowsingConfig::kDefault) == 0) {
+      continue;
+    }
+    site_frac.push_back(an.standard_site_fraction(sid));
+    visit_frac.push_back(an.standard_visit_fraction(sid));
+  }
+  EXPECT_GT(support::pearson(site_frac, visit_frac), 0.9);
+}
+
+TEST(PaperShape, OpenWebOnlyRecordsCalibratedFeatures) {
+  // Every feature the open-web survey observes must be one the calibration
+  // table says is used somewhere (target > 0). Never-used features can only
+  // exist behind logins, which the default crawl cannot reach — if this
+  // fails, either the generator leaked a feature or the instrumentation
+  // miscounted.
+  const auto& cat = test::shared_catalog();
+  for (const auto& outcome : test::small_survey().sites) {
+    for (const auto& bits : outcome.features) {
+      for (std::size_t f = 0; f < bits.size(); ++f) {
+        if (!bits.test(f)) continue;
+        EXPECT_GT(cat.feature(static_cast<catalog::FeatureId>(f)).target_sites,
+                  0)
+            << cat.feature(static_cast<catalog::FeatureId>(f)).full_name;
+      }
+    }
+  }
+}
+
+TEST(PaperShape, BlockedOnlyFeaturesVanishUnderBlocking) {
+  // Features calibrated as ad/tracker-exclusive must have high measured
+  // block rates whenever they were seen at all by default.
+  const auto& cat = test::shared_catalog();
+  const auto& an = test::small_analysis();
+  int checked = 0;
+  for (const catalog::Feature& f : cat.features()) {
+    if (!f.blocked_only) continue;
+    const int by_default =
+        an.feature_sites(f.id, analysis::BrowsingConfig::kDefault);
+    if (by_default < 5) continue;  // too rare to judge at this scale
+    EXPECT_GT(an.feature_block_rate(f.id), 0.5) << f.full_name;
+    ++checked;
+  }
+  EXPECT_GT(checked, 3);
+}
+
+TEST(PaperShape, CveProneStandardsCanBeUnpopular) {
+  // §5.8: Web Audio — <2% of sites, 10 CVEs.
+  const auto& cat = test::shared_catalog();
+  const auto weba = cat.standard_by_abbreviation("WEBA");
+  EXPECT_EQ(cat.cve_count(weba), 10);
+  EXPECT_LT(test::small_analysis().standard_site_fraction(weba), 0.05);
+}
+
+}  // namespace
+}  // namespace fu

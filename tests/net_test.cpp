@@ -1,0 +1,347 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "catalog/names.h"
+#include "net/scriptgen.h"
+#include "net/url.h"
+#include "net/web.h"
+#include "script/parser.h"
+#include "test_util.h"
+
+namespace fu::net {
+namespace {
+
+const SyntheticWeb& web() { return fu::test::small_web(); }
+
+// ------------------------------------------------------------------ URL --
+
+TEST(UrlTest, ParsesComponents) {
+  const auto u = Url::parse("http://www.example.com:8080/a/b.html?x=1#frag");
+  ASSERT_TRUE(u);
+  EXPECT_EQ(u->scheme(), "http");
+  EXPECT_EQ(u->host(), "www.example.com");
+  EXPECT_EQ(u->port(), 8080);
+  EXPECT_EQ(u->path(), "/a/b.html");
+  EXPECT_EQ(u->query(), "x=1");
+}
+
+TEST(UrlTest, DefaultsAndNormalization) {
+  const auto u = Url::parse("HTTPS://Example.COM");
+  ASSERT_TRUE(u);
+  EXPECT_EQ(u->scheme(), "https");
+  EXPECT_EQ(u->host(), "example.com");
+  EXPECT_EQ(u->path(), "/");
+  EXPECT_EQ(u->spec(), "https://example.com/");
+}
+
+TEST(UrlTest, RejectsGarbage) {
+  EXPECT_FALSE(Url::parse(""));
+  EXPECT_FALSE(Url::parse("not a url"));
+  EXPECT_FALSE(Url::parse("ftp://example.com/"));
+  EXPECT_FALSE(Url::parse("http://"));
+  EXPECT_FALSE(Url::parse("http://bad host/"));
+  EXPECT_FALSE(Url::parse("http://h:99999/"));
+}
+
+TEST(UrlTest, ResolveVariants) {
+  const Url base = *Url::parse("http://site.com/a/b/page.html?old=1");
+  EXPECT_EQ(base.resolve("http://other.com/x")->spec(), "http://other.com/x");
+  EXPECT_EQ(base.resolve("/root.html")->spec(), "http://site.com/root.html");
+  EXPECT_EQ(base.resolve("sibling.html")->spec(),
+            "http://site.com/a/b/sibling.html");
+  EXPECT_EQ(base.resolve("x.html?q=2")->query(), "q=2");
+  EXPECT_EQ(base.resolve("")->spec(), base.spec());
+}
+
+TEST(UrlTest, PathSegmentsAndDirectory) {
+  const Url u = *Url::parse("http://s.com/a/b/c.html");
+  EXPECT_EQ(u.path_segments(), (std::vector<std::string>{"a", "b", "c.html"}));
+  EXPECT_EQ(u.directory(), "/a/b");
+  EXPECT_EQ(Url::parse("http://s.com/")->directory(), "/");
+}
+
+TEST(UrlTest, RegistrableDomain) {
+  EXPECT_EQ(registrable_domain("www.example.com"), "example.com");
+  EXPECT_EQ(registrable_domain("a.b.example.com"), "example.com");
+  EXPECT_EQ(registrable_domain("example.com"), "example.com");
+  EXPECT_EQ(registrable_domain("www.example.co.uk"), "example.co.uk");
+  EXPECT_EQ(registrable_domain("localhost"), "localhost");
+}
+
+TEST(UrlTest, SameSiteAndDomainMatch) {
+  EXPECT_TRUE(same_site(*Url::parse("http://www.s.com/a"),
+                        *Url::parse("http://cdn.s.com/b")));
+  EXPECT_FALSE(same_site(*Url::parse("http://s.com/"),
+                         *Url::parse("http://t.com/")));
+  EXPECT_TRUE(host_matches_domain("cdn.ads.com", "ads.com"));
+  EXPECT_TRUE(host_matches_domain("ads.com", "ads.com"));
+  EXPECT_FALSE(host_matches_domain("notads.com", "ads.com"));
+}
+
+// -------------------------------------------------------- web structure --
+
+TEST(SyntheticWebTest, SiteCountAndRanking) {
+  EXPECT_EQ(web().sites().size(), 120u);
+  for (std::size_t i = 0; i < web().sites().size(); ++i) {
+    EXPECT_EQ(web().sites()[i].rank, static_cast<int>(i) + 1);
+  }
+}
+
+TEST(SyntheticWebTest, VisitWeightsAreZipfian) {
+  double total = 0;
+  double previous = 1.0;
+  for (const SitePlan& site : web().sites()) {
+    EXPECT_LE(site.visit_weight, previous);
+    previous = site.visit_weight;
+    total += site.visit_weight;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(web().sites().front().visit_weight,
+            10 * web().sites().back().visit_weight);
+}
+
+TEST(SyntheticWebTest, DeterministicAcrossConstructions) {
+  SyntheticWeb::Config config;
+  config.site_count = 30;
+  const SyntheticWeb a(fu::test::shared_catalog(), config);
+  const SyntheticWeb b(fu::test::shared_catalog(), config);
+  for (std::size_t i = 0; i < a.sites().size(); ++i) {
+    EXPECT_EQ(a.sites()[i].domain, b.sites()[i].domain);
+    EXPECT_EQ(a.sites()[i].placements.size(), b.sites()[i].placements.size());
+    EXPECT_EQ(a.sites()[i].status, b.sites()[i].status);
+  }
+  const Url home = a.home_url(a.sites()[0]);
+  EXPECT_EQ(a.fetch(home)->body, b.fetch(home)->body);
+}
+
+TEST(SyntheticWebTest, LookupByHostHandlesSubdomains) {
+  const SitePlan& site = web().sites()[2];
+  EXPECT_EQ(web().site_by_host(site.domain), &site);
+  EXPECT_EQ(web().site_by_host("www." + site.domain), &site);
+  EXPECT_EQ(web().site_by_host("unknown.example"), nullptr);
+}
+
+TEST(SyntheticWebTest, PlacementInvariants) {
+  const catalog::Catalog& cat = fu::test::shared_catalog();
+  for (const SitePlan& site : web().sites()) {
+    for (const StandardPlacement& p : site.placements) {
+      ASSERT_LT(p.standard, cat.standard_count());
+      EXPECT_FALSE(p.features.empty());
+      // the standard's flagship feature is always present
+      EXPECT_EQ(p.features.front(), cat.features_of(p.standard).front());
+      if (p.blockable) {
+        EXPECT_NE(p.script_class, ScriptClass::kFirstParty);
+        EXPECT_FALSE(p.third_party_host.empty());
+      } else {
+        EXPECT_EQ(p.script_class, ScriptClass::kFirstParty);
+      }
+      if (!p.sitewide) {
+        EXPECT_GE(p.section, 0);
+        EXPECT_LT(p.section, site.sections);
+      }
+      for (const catalog::FeatureId fid : p.features) {
+        EXPECT_EQ(cat.feature(fid).standard, p.standard);
+      }
+    }
+  }
+}
+
+TEST(SyntheticWebTest, FailureRatesAreConfigured) {
+  int dead = 0, broken = 0;
+  for (const SitePlan& site : web().sites()) {
+    dead += site.status == SiteStatus::kDead ? 1 : 0;
+    broken += site.status == SiteStatus::kBrokenScripts ? 1 : 0;
+  }
+  // ~2.7% combined, like the paper's 267/10000 (§4.3.3); loose bounds for
+  // a 120-site sample.
+  EXPECT_LE(dead + broken, 12);
+}
+
+// ------------------------------------------------------------ fetching ---
+
+TEST(Fetching, HomePageHasScaffoldScriptsAndLinks) {
+  const SitePlan& site = web().sites()[0];
+  const auto res = web().fetch(web().home_url(site));
+  ASSERT_TRUE(res);
+  EXPECT_EQ(res->kind, ResourceKind::kDocument);
+  EXPECT_NE(res->body.find("/js/app0.js"), std::string::npos);
+  EXPECT_NE(res->body.find("<a href=\"/s0/p0.html\""), std::string::npos);
+}
+
+TEST(Fetching, SectionAndDeepPages) {
+  const SitePlan& site = web().sites()[0];
+  EXPECT_TRUE(web().fetch(*Url::parse("http://" + site.domain + "/s0/p0.html")));
+  EXPECT_TRUE(web().fetch(
+      *Url::parse("http://" + site.domain + "/s0/p0/d0.html")));
+  // out-of-range section/page/deep indexes 404
+  EXPECT_FALSE(web().fetch(
+      *Url::parse("http://" + site.domain + "/s99/p0.html")));
+  EXPECT_FALSE(web().fetch(
+      *Url::parse("http://" + site.domain + "/s0/p99.html")));
+  EXPECT_FALSE(web().fetch(
+      *Url::parse("http://" + site.domain + "/s0/p0/d9.html")));
+  EXPECT_FALSE(web().fetch(*Url::parse("http://" + site.domain + "/nope")));
+}
+
+TEST(Fetching, FirstPartyScriptsParse) {
+  const SitePlan* site = nullptr;
+  for (const SitePlan& candidate : web().sites()) {
+    if (candidate.status == SiteStatus::kOk) {
+      site = &candidate;
+      break;
+    }
+  }
+  ASSERT_NE(site, nullptr);
+  const auto res =
+      web().fetch(*Url::parse("http://" + site->domain + "/js/app0.js"));
+  ASSERT_TRUE(res);
+  EXPECT_EQ(res->kind, ResourceKind::kScript);
+  EXPECT_NO_THROW(script::parse_program(res->body));
+}
+
+TEST(Fetching, DeadSitesNeverRespond) {
+  const net::SyntheticWeb& fweb = fu::test::failing_web();
+  int dead = 0;
+  for (const SitePlan& site : fweb.sites()) {
+    if (site.status != SiteStatus::kDead) continue;
+    ++dead;
+    EXPECT_FALSE(fweb.fetch(fweb.home_url(site)));
+  }
+  EXPECT_GT(dead, 0);
+}
+
+TEST(Fetching, BrokenSitesServeSyntaxErrors) {
+  const net::SyntheticWeb& fweb = fu::test::failing_web();
+  int broken = 0;
+  for (const SitePlan& site : fweb.sites()) {
+    if (site.status != SiteStatus::kBrokenScripts) continue;
+    ++broken;
+    const auto res =
+        fweb.fetch(*Url::parse("http://" + site.domain + "/js/app0.js"));
+    ASSERT_TRUE(res);
+    EXPECT_THROW(script::parse_program(res->body), script::SyntaxError);
+  }
+  EXPECT_GT(broken, 0);
+}
+
+TEST(Fetching, ThirdPartyTagScripts) {
+  // find a blockable placement and fetch its tag
+  for (const SitePlan& site : web().sites()) {
+    if (site.status != SiteStatus::kOk) continue;
+    for (std::size_t i = 0; i < site.placements.size(); ++i) {
+      const StandardPlacement& p = site.placements[i];
+      if (!p.blockable) continue;
+      const char* path = p.script_class == ScriptClass::kAd ? "/adtag/tag.js"
+                         : p.script_class == ScriptClass::kTracker
+                             ? "/collect/t.js"
+                             : "/sync/tag.js";
+      const auto res = web().fetch(*Url::parse(
+          "http://" + p.third_party_host + path + "?site=" + site.domain +
+          "&p=" + std::to_string(i)));
+      ASSERT_TRUE(res);
+      EXPECT_EQ(res->kind, ResourceKind::kScript);
+      EXPECT_NO_THROW(script::parse_program(res->body));
+      return;
+    }
+  }
+  FAIL() << "no blockable placement found";
+}
+
+TEST(Fetching, ThirdPartyRejectsBadParameters) {
+  const std::string host = web().ad_hosts().front();
+  EXPECT_FALSE(web().fetch(*Url::parse("http://" + host + "/adtag/tag.js")));
+  EXPECT_FALSE(web().fetch(
+      *Url::parse("http://" + host + "/adtag/tag.js?site=nope.com&p=0")));
+  EXPECT_FALSE(web().fetch(*Url::parse(
+      "http://" + host + "/adtag/tag.js?site=" + web().sites()[0].domain +
+      "&p=99999")));
+}
+
+// ----------------------------------------------------------- scriptgen ---
+
+TEST(ScriptGen, SnippetsExerciseTheirFeaturesAndParse) {
+  const catalog::Catalog& cat = fu::test::shared_catalog();
+  support::Rng rng(1);
+  int checked = 0;
+  for (const SitePlan& site : web().sites()) {
+    for (const StandardPlacement& p : site.placements) {
+      const std::string code = placement_snippet(cat, p, 7, rng);
+      EXPECT_NO_THROW(script::parse_program(code));
+      // every selected feature's member name appears in the code
+      for (const catalog::FeatureId fid : p.features) {
+        EXPECT_NE(code.find(cat.feature(fid).member_name), std::string::npos)
+            << cat.feature(fid).full_name;
+      }
+      if (++checked >= 60) return;
+    }
+  }
+}
+
+TEST(ScriptGen, TriggerWrappersAreApplied) {
+  const catalog::Catalog& cat = fu::test::shared_catalog();
+  support::Rng rng(2);
+  StandardPlacement p;
+  p.standard = cat.standard_by_abbreviation("AJAX");
+  p.features = {cat.features_of(p.standard).front()};
+
+  p.trigger = Trigger::kClick;
+  EXPECT_NE(placement_snippet(cat, p, 0, rng).find("addEventListener(\"click\""),
+            std::string::npos);
+  p.dom0_handlers = true;
+  EXPECT_NE(placement_snippet(cat, p, 0, rng).find("window.onclick"),
+            std::string::npos);
+  p.trigger = Trigger::kTimer;
+  EXPECT_NE(placement_snippet(cat, p, 0, rng).find("setTimeout"),
+            std::string::npos);
+}
+
+TEST(ScriptGen, FillerIsFeatureFreeAndParses) {
+  support::Rng rng(3);
+  const std::string code = filler_code(rng, 10);
+  EXPECT_NO_THROW(script::parse_program(code));
+  // no DOM access — filler must not touch instrumented objects
+  EXPECT_EQ(code.find("document."), std::string::npos);
+  EXPECT_EQ(code.find("navigator."), std::string::npos);
+  EXPECT_EQ(code.find("new "), std::string::npos);
+}
+
+TEST(ScriptGen, BrokenScriptFailsToParse) {
+  EXPECT_THROW(script::parse_program(broken_script()), script::SyntaxError);
+}
+
+// ------------------------------------------------------- calibration ----
+
+TEST(Calibration, PopularStandardsAppearOnMostSites) {
+  const catalog::Catalog& cat = fu::test::shared_catalog();
+  const catalog::StandardId dom1 = cat.standard_by_abbreviation("DOM1");
+  int present = 0, ok_sites = 0;
+  for (const SitePlan& site : web().sites()) {
+    if (site.status != SiteStatus::kOk) continue;
+    ++ok_sites;
+    for (const StandardPlacement& p : site.placements) {
+      if (p.standard == dom1) {
+        ++present;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(present) / ok_sites, 0.8);
+}
+
+TEST(Calibration, TiltIsBoundedAndPinnedStandardsPositive) {
+  for (const catalog::StandardSpec& spec : catalog::standard_specs()) {
+    const double tilt = popularity_tilt(spec);
+    EXPECT_GE(tilt, -1.0);
+    EXPECT_LE(tilt, 1.0);
+  }
+  const catalog::Catalog& cat = fu::test::shared_catalog();
+  EXPECT_GT(popularity_tilt(
+                cat.standard(cat.standard_by_abbreviation("DOM4"))),
+            0.5);
+  EXPECT_GT(popularity_tilt(cat.standard(cat.standard_by_abbreviation("TC"))),
+            0.5);
+}
+
+}  // namespace
+}  // namespace fu::net

@@ -1,0 +1,97 @@
+// AST printer tests, including the parser round-trip property: printing a
+// parsed program and reparsing it reaches a fixed point, and both versions
+// behave identically when executed.
+#include <gtest/gtest.h>
+
+#include "net/scriptgen.h"
+#include "net/web.h"
+#include "script/interp.h"
+#include "script/parser.h"
+#include "script/printer.h"
+#include "test_util.h"
+
+namespace fu::script {
+namespace {
+
+std::string normalize(const std::string& source) {
+  return to_source(parse_program(source));
+}
+
+TEST(Printer, Expressions) {
+  EXPECT_EQ(normalize("1 + 2 * 3;"), "(1 + (2 * 3));\n");
+  EXPECT_EQ(normalize("var s = \"a\\\"b\";"), "var s = \"a\\\"b\";\n");
+  EXPECT_EQ(normalize("x = a < b ? 1 : 2;"),
+            "(x = ((a < b) ? 1 : 2));\n");
+}
+
+TEST(Printer, StatementsRender) {
+  const std::string out = normalize(R"(
+    function add(a, b) { return a + b; }
+    var total = 0;
+    for (var i = 0; i < 3; i = i + 1) { total += add(total, i); }
+    while (total > 100) { total = total - 1; }
+    if (total == 3) { total = 0; } else { total = 1; }
+    try { ghost(); } catch (e) { total = -1; }
+  )");
+  EXPECT_NE(out.find("function add(a, b)"), std::string::npos);
+  EXPECT_NE(out.find("for (var i = 0; "), std::string::npos);
+  EXPECT_NE(out.find("while ("), std::string::npos);
+  EXPECT_NE(out.find("} else {"), std::string::npos);
+  EXPECT_NE(out.find("} catch (e) {"), std::string::npos);
+}
+
+TEST(Printer, RoundTripFixedPoint) {
+  for (const char* source : {
+           "var a = 1, b = 2; a = a + b;",
+           "function f(x) { return x * 2; } f(21);",
+           "var o = { k: [1, 2, { n: 3 }] }; o.k[2].n = 4;",
+           "window.setTimeout(function () { go(); }, 100);",
+           "for (var i = 0, j = 9; i < j; i++) { if (i == 4) { break; } }",
+           "var t = typeof missing; var n = -x; var z = !y;",
+           "new Foo(1, \"two\").bar().baz;",
+       }) {
+    const std::string once = normalize(source);
+    const std::string twice = normalize(once);
+    EXPECT_EQ(once, twice) << source;
+  }
+}
+
+TEST(Printer, RoundTripPreservesBehaviour) {
+  const char* source = R"(
+    function fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+    var parts = [];
+    for (var i = 0; i < 8; i = i + 1) { parts.push(fib(i)); }
+    var result = parts.join(",");
+  )";
+  const std::string printed = normalize(source);
+
+  Interpreter a, b;
+  const Program original = parse_program(source);
+  const Program reparsed = parse_program(printed);
+  a.execute(original);
+  b.execute(reparsed);
+  EXPECT_EQ(a.globals().lookup("result")->as_string(),
+            b.globals().lookup("result")->as_string());
+  EXPECT_EQ(a.globals().lookup("result")->as_string(), "0,1,1,2,3,5,8,13");
+}
+
+// Property sweep: every generated site script round-trips through the
+// printer to a fixed point.
+class GeneratedScriptRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratedScriptRoundTrip, FixedPoint) {
+  const net::SyntheticWeb& web = fu::test::small_web();
+  const net::SitePlan& site = web.sites()[static_cast<std::size_t>(GetParam())];
+  if (site.status != net::SiteStatus::kOk) GTEST_SKIP();
+  const auto res = web.fetch(
+      *net::Url::parse("http://" + site.domain + "/js/app0.js"));
+  ASSERT_TRUE(res);
+  const std::string once = normalize(res->body);
+  EXPECT_EQ(once, normalize(once));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sites, GeneratedScriptRoundTrip,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace fu::script

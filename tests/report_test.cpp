@@ -1,0 +1,83 @@
+// Report-exporter tests: files land on disk, CSVs parse and carry the right
+// columns/rows.
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "analysis/report.h"
+#include "support/csv.h"
+#include "test_util.h"
+
+namespace fu::analysis {
+namespace {
+
+TEST(Report, WritesAllArtifacts) {
+  const std::string dir = ::testing::TempDir() + "/fu_report";
+  const int files = write_report(dir, fu::test::small_analysis());
+  EXPECT_GE(files, 20);
+  for (const char* name :
+       {"table1.txt", "table2.txt", "table3.txt", "fig1.txt", "fig3.txt",
+        "fig4.txt", "fig5.txt", "fig6.txt", "fig7.txt", "fig8.txt",
+        "fig9.txt", "headline.txt", "features.csv", "standards.csv",
+        "cves.csv", "fig4.csv", "fig8.csv"}) {
+    EXPECT_TRUE(std::filesystem::exists(std::filesystem::path(dir) / name))
+        << name;
+    EXPECT_GT(std::filesystem::file_size(std::filesystem::path(dir) / name),
+              0u)
+        << name;
+  }
+}
+
+TEST(Report, FeaturesCsvHasOneRowPerFeature) {
+  const std::string csv = features_csv(fu::test::small_analysis());
+  const auto rows = support::csv_parse(csv);
+  ASSERT_EQ(rows.size(), 1392u + 1);  // header + catalog
+  EXPECT_EQ(rows[0][0], "feature");
+  EXPECT_EQ(rows[0].size(), 8u);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    ASSERT_EQ(rows[i].size(), 8u) << i;
+  }
+}
+
+TEST(Report, StandardsCsvHasOneRowPerStandard) {
+  const std::string csv = standards_csv(fu::test::small_analysis());
+  const auto rows = support::csv_parse(csv);
+  ASSERT_EQ(rows.size(), 75u + 1);
+  EXPECT_EQ(rows[0].back(), "cves");
+}
+
+TEST(Report, CvesCsvMatchesDatabase) {
+  const auto& cat = fu::test::shared_catalog();
+  const auto rows = support::csv_parse(cves_csv(cat));
+  EXPECT_EQ(rows.size(), cat.cves().size() + 1);
+}
+
+TEST(Report, FigureCsvsParse) {
+  const Analysis& an = fu::test::small_analysis();
+  for (const std::string& csv :
+       {fig3_csv(an), fig4_csv(an), fig5_csv(an), fig6_csv(an), fig7_csv(an),
+        fig8_csv(an)}) {
+    const auto rows = support::csv_parse(csv);
+    EXPECT_GT(rows.size(), 2u);
+    for (const auto& row : rows) {
+      EXPECT_EQ(row.size(), rows[0].size());
+    }
+  }
+}
+
+TEST(Report, Fig5FractionsAreUnitInterval) {
+  const auto rows = support::csv_parse(fig5_csv(fu::test::small_analysis()));
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const double sites = std::stod(rows[i][1]);
+    const double visits = std::stod(rows[i][2]);
+    EXPECT_GE(sites, 0.0);
+    EXPECT_LE(sites, 1.0);
+    EXPECT_GE(visits, 0.0);
+    EXPECT_LE(visits, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace fu::analysis

@@ -1,0 +1,194 @@
+// Robustness sweeps: seeded random inputs against every parser in the
+// system. The property under test is "no crash, no hang, graceful error" —
+// these are the components that consume attacker-controlled bytes in the
+// real systems they model.
+#include <gtest/gtest.h>
+
+#include "blocker/filter.h"
+#include "dom/html.h"
+#include "dom/selector.h"
+#include "net/url.h"
+#include "script/parser.h"
+#include "support/rng.h"
+#include "webidl/parser.h"
+
+namespace fu {
+namespace {
+
+// Random byte soup, biased toward structural characters.
+std::string random_text(support::Rng& rng, std::size_t max_len) {
+  static const std::string alphabet =
+      "abcdefghijklmnopqrstuvwxyz0123456789<>/=\"'{}()[];,.*#@!|^$&?:%+- \n\t";
+  const std::size_t len = rng.below(max_len) + 1;
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(alphabet[rng.below(alphabet.size())]);
+  }
+  return out;
+}
+
+class FuzzSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSweep, HtmlParserNeverThrows) {
+  support::Rng rng(1000 + static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 200; ++i) {
+    const std::string input = random_text(rng, 400);
+    const auto doc = dom::parse_html(input);  // must not throw
+    ASSERT_NE(doc, nullptr);
+    // the result is a well-formed tree with scaffold present
+    ASSERT_NE(doc->head(), nullptr);
+    ASSERT_NE(doc->body(), nullptr);
+    // serialization of whatever came out must also not throw
+    const std::string out = dom::serialize(*doc);
+    (void)out;
+  }
+}
+
+TEST_P(FuzzSweep, UrlParserNeverThrows) {
+  support::Rng rng(2000 + static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 500; ++i) {
+    const std::string input = "http://" + random_text(rng, 120);
+    const auto url = net::Url::parse(input);  // nullopt is fine
+    if (url) {
+      // accepted URLs round-trip through spec()
+      const auto again = net::Url::parse(url->spec());
+      ASSERT_TRUE(again) << url->spec();
+      EXPECT_EQ(*again, *url);
+      (void)net::registrable_domain(url->host());
+      (void)url->path_segments();
+    }
+  }
+}
+
+TEST_P(FuzzSweep, UrlResolveNeverThrows) {
+  support::Rng rng(2500 + static_cast<std::uint64_t>(GetParam()));
+  const net::Url base = *net::Url::parse("http://example.com/a/b.html");
+  for (int i = 0; i < 500; ++i) {
+    (void)base.resolve(random_text(rng, 80));
+  }
+}
+
+TEST_P(FuzzSweep, FilterRuleParserNeverThrows) {
+  support::Rng rng(3000 + static_cast<std::uint64_t>(GetParam()));
+  const net::Url probe = *net::Url::parse("http://cdn.ads.com/tag.js?x=1");
+  blocker::RequestContext ctx;
+  ctx.page_domain = "example.com";
+  ctx.third_party = true;
+  ctx.type = blocker::ResourceType::kScript;
+  for (int i = 0; i < 300; ++i) {
+    const std::string line = random_text(rng, 60);
+    const auto rule = blocker::parse_rule(line);
+    if (rule) (void)rule->matches(probe, ctx);  // matching must be total
+  }
+}
+
+TEST_P(FuzzSweep, FilterListParserNeverThrows) {
+  support::Rng rng(3500 + static_cast<std::uint64_t>(GetParam()));
+  std::string list_text;
+  for (int i = 0; i < 60; ++i) {
+    list_text += random_text(rng, 40);
+    list_text += "\n";
+  }
+  const auto list = blocker::FilterList::parse(list_text, "fuzz");
+  const net::Url probe = *net::Url::parse("http://x.com/y?z=1");
+  blocker::RequestContext ctx;
+  ctx.page_domain = "x.com";
+  (void)list.should_block(probe, ctx);
+  (void)list.hiding_selectors_for("x.com");
+}
+
+TEST_P(FuzzSweep, SelectorParserNeverThrows) {
+  support::Rng rng(4000 + static_cast<std::uint64_t>(GetParam()));
+  const auto doc = dom::parse_html("<div class=\"a b\"><p id=\"x\">t</p></div>");
+  for (int i = 0; i < 300; ++i) {
+    const auto selector = dom::Selector::parse(random_text(rng, 50));
+    if (selector) (void)selector->select_all(*doc);
+  }
+}
+
+TEST_P(FuzzSweep, ScriptLexerAndParserFailGracefully) {
+  support::Rng rng(5000 + static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 200; ++i) {
+    const std::string input = random_text(rng, 200);
+    try {
+      (void)script::parse_program(input);  // either parses...
+    } catch (const script::SyntaxError&) {
+      // ...or raises exactly SyntaxError — nothing else
+    }
+  }
+}
+
+TEST_P(FuzzSweep, WebIdlParserFailsGracefully) {
+  support::Rng rng(6000 + static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 200; ++i) {
+    const std::string input = random_text(rng, 200);
+    try {
+      (void)webidl::parse(input);
+    } catch (const webidl::ParseError&) {
+    } catch (const webidl::LexError&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Range(0, 5));
+
+// Adversarial hand-picked inputs that historically break hand-written
+// parsers.
+TEST(Adversarial, HtmlEdgeCases) {
+  for (const char* input : {
+           "<",
+           ">",
+           "<>",
+           "</>",
+           "<!---->",
+           "<!--",
+           "<script>",
+           "<script><script></script>",
+           "<a b=c d='e' f=\"g\" h>",
+           "<div><div><div><div>",
+           "</div></div>",
+           "<img src=x><img src=y>",
+           "<<<<><><><>",
+           "<a href=\"x\" href=\"y\">dup</a>",
+       }) {
+    const auto doc = dom::parse_html(input);
+    ASSERT_NE(doc, nullptr) << input;
+  }
+}
+
+TEST(Adversarial, DeeplyNestedHtmlTerminates) {
+  std::string deep;
+  for (int i = 0; i < 3000; ++i) deep += "<div>";
+  const auto doc = dom::parse_html(deep);
+  ASSERT_NE(doc, nullptr);
+  EXPECT_EQ(doc->get_elements_by_tag("div").size(), 3000u);
+}
+
+TEST(Adversarial, ScriptParserPathologies) {
+  for (const char* input : {
+           "(((((((((((((((1)))))))))))))));",
+           "a.b.c.d.e.f.g.h.i.j.k.l.m.n;",
+           "f(g(h(i(j(k(l(1)))))));",
+           "var x = {a:{b:{c:{d:{e:1}}}}};",
+           "\"\\\\\\\\\\\\\";",
+       }) {
+    try {
+      (void)script::parse_program(input);
+    } catch (const script::SyntaxError&) {
+    }
+  }
+}
+
+TEST(Adversarial, DeepExpressionNestingDoesNotOverflow) {
+  // 20k nested parens would smash the stack in a naive recursive parser if
+  // each level were heavy; this documents the accepted depth instead of
+  // crashing. Use a flat-ish but long expression chain.
+  std::string chain = "var x = 1";
+  for (int i = 0; i < 20000; ++i) chain += " + 1";
+  chain += ";";
+  EXPECT_NO_THROW((void)script::parse_program(chain));
+}
+
+}  // namespace
+}  // namespace fu

@@ -1,0 +1,552 @@
+#include <gtest/gtest.h>
+
+#include "script/interp.h"
+#include "script/parser.h"
+
+namespace fu::script {
+namespace {
+
+// Helper: run source, return the value of global `result`.
+Value run_and_get(Interpreter& interp, const std::string& source,
+                  const char* global = "result") {
+  static std::vector<std::unique_ptr<Program>> retained;
+  retained.push_back(std::make_unique<Program>(parse_program(source)));
+  interp.execute(*retained.back());
+  const Value* v = interp.globals().lookup(global);
+  return v == nullptr ? Value() : *v;
+}
+
+Value eval(const std::string& expr) {
+  Interpreter interp;
+  return run_and_get(interp, "var result = " + expr + ";");
+}
+
+// ---------------------------------------------------------------- lexer --
+
+TEST(ScriptLexer, TokenKinds) {
+  const auto toks = tokenize("var x = 1.5; // comment\n\"s\" === x");
+  EXPECT_EQ(toks[0].text, "var");
+  EXPECT_EQ(toks[3].kind, TokKind::kNumber);
+  EXPECT_DOUBLE_EQ(toks[3].number, 1.5);
+  EXPECT_EQ(toks[5].kind, TokKind::kString);
+  EXPECT_EQ(toks[6].text, "===");
+}
+
+TEST(ScriptLexer, StringEscapes) {
+  const auto toks = tokenize(R"('a\n\t\\\'b' "q\"q")");
+  EXPECT_EQ(toks[0].text, "a\n\t\\'b");
+  EXPECT_EQ(toks[1].text, "q\"q");
+}
+
+TEST(ScriptLexer, ThrowsOnBadInput) {
+  EXPECT_THROW(tokenize("\"unterminated"), SyntaxError);
+  EXPECT_THROW(tokenize("/* unterminated"), SyntaxError);
+  EXPECT_THROW(tokenize("var x = @;"), SyntaxError);
+}
+
+// --------------------------------------------------------- expressions ---
+
+TEST(Interp, ArithmeticAndPrecedence) {
+  EXPECT_DOUBLE_EQ(eval("1 + 2 * 3").as_number(), 7);
+  EXPECT_DOUBLE_EQ(eval("(1 + 2) * 3").as_number(), 9);
+  EXPECT_DOUBLE_EQ(eval("10 % 4").as_number(), 2);
+  EXPECT_DOUBLE_EQ(eval("-3 + 1").as_number(), -2);
+  EXPECT_DOUBLE_EQ(eval("7 / 2").as_number(), 3.5);
+}
+
+TEST(Interp, StringConcatenationCoerces) {
+  EXPECT_EQ(eval("\"a\" + 1").as_string(), "a1");
+  EXPECT_EQ(eval("1 + \"a\"").as_string(), "1a");
+  EXPECT_EQ(eval("\"x\" + true").as_string(), "xtrue");
+}
+
+TEST(Interp, ComparisonOperators) {
+  EXPECT_TRUE(eval("1 < 2").as_bool());
+  EXPECT_FALSE(eval("2 <= 1").as_bool());
+  EXPECT_TRUE(eval("\"a\" < \"b\"").as_bool());
+  EXPECT_TRUE(eval("3 >= 3").as_bool());
+}
+
+TEST(Interp, EqualityLooseVsStrict) {
+  EXPECT_TRUE(eval("1 == \"1\"").as_bool());
+  EXPECT_FALSE(eval("1 === \"1\"").as_bool());
+  EXPECT_TRUE(eval("null == undefined").as_bool());
+  EXPECT_FALSE(eval("null === undefined").as_bool());
+  EXPECT_TRUE(eval("2 !== 3").as_bool());
+}
+
+TEST(Interp, LogicalOperatorsShortCircuit) {
+  EXPECT_TRUE(eval("true && true").as_bool());
+  EXPECT_DOUBLE_EQ(eval("false || 5").as_number(), 5);
+  // short-circuit: the unbound identifier is never evaluated
+  Interpreter interp;
+  EXPECT_NO_THROW(run_and_get(interp, "var result = false && nope();"));
+  EXPECT_FALSE(eval("false && true").as_bool());
+}
+
+TEST(Interp, ConditionalExpression) {
+  EXPECT_EQ(eval("1 < 2 ? \"yes\" : \"no\"").as_string(), "yes");
+  EXPECT_EQ(eval("1 > 2 ? \"yes\" : \"no\"").as_string(), "no");
+}
+
+TEST(Interp, TypeofOperator) {
+  EXPECT_EQ(eval("typeof 1").as_string(), "number");
+  EXPECT_EQ(eval("typeof \"s\"").as_string(), "string");
+  EXPECT_EQ(eval("typeof true").as_string(), "boolean");
+  EXPECT_EQ(eval("typeof undefined").as_string(), "undefined");
+  EXPECT_EQ(eval("typeof notBound").as_string(), "undefined");
+  EXPECT_EQ(eval("typeof {}").as_string(), "object");
+  EXPECT_EQ(eval("typeof function () {}").as_string(), "function");
+}
+
+TEST(Interp, ObjectAndArrayLiterals) {
+  EXPECT_DOUBLE_EQ(eval("({ a: 1, \"b\": 2 }).a").as_number(), 1);
+  EXPECT_DOUBLE_EQ(eval("[10, 20, 30][1]").as_number(), 20);
+  EXPECT_DOUBLE_EQ(eval("[1, 2, 3].length").as_number(), 3);
+  EXPECT_DOUBLE_EQ(eval("\"hello\".length").as_number(), 5);
+}
+
+// ----------------------------------------------------------- statements --
+
+TEST(Interp, VarDeclarationsAndAssignment) {
+  Interpreter interp;
+  const Value v = run_and_get(interp, "var a = 1, b = 2; var result = a + b;");
+  EXPECT_DOUBLE_EQ(v.as_number(), 3);
+}
+
+TEST(Interp, CompoundAssignmentAndIncrement) {
+  Interpreter interp;
+  EXPECT_DOUBLE_EQ(
+      run_and_get(interp, "var x = 1; x += 4; x -= 2; var result = x;")
+          .as_number(),
+      3);
+  EXPECT_DOUBLE_EQ(
+      run_and_get(interp, "var y = 0; y++; ++y; var result = y;").as_number(),
+      2);
+}
+
+TEST(Interp, IfElseChain) {
+  Interpreter interp;
+  const Value v = run_and_get(interp, R"(
+    var result = "";
+    var x = 7;
+    if (x > 10) { result = "big"; }
+    else if (x > 5) { result = "mid"; }
+    else { result = "small"; }
+  )");
+  EXPECT_EQ(v.as_string(), "mid");
+}
+
+TEST(Interp, WhileAndForLoops) {
+  Interpreter interp;
+  EXPECT_DOUBLE_EQ(run_and_get(interp, R"(
+    var sum = 0;
+    for (var i = 0; i < 5; i = i + 1) { sum += i; }
+    var result = sum;
+  )").as_number(), 10);
+  EXPECT_DOUBLE_EQ(run_and_get(interp, R"(
+    var n = 0;
+    while (n < 8) { n += 3; }
+    var result = n;
+  )").as_number(), 9);
+}
+
+TEST(Interp, BreakAndContinue) {
+  Interpreter interp;
+  EXPECT_DOUBLE_EQ(run_and_get(interp, R"(
+    var sum = 0;
+    for (var i = 0; i < 10; i = i + 1) {
+      if (i == 2) { continue; }
+      if (i == 5) { break; }
+      sum += i;
+    }
+    var result = sum;
+  )").as_number(), 0 + 1 + 3 + 4);
+}
+
+TEST(Interp, DoWhileRunsBodyAtLeastOnce) {
+  Interpreter interp;
+  EXPECT_DOUBLE_EQ(run_and_get(interp, R"(
+    var n = 0;
+    do { n = n + 1; } while (false);
+    var result = n;
+  )").as_number(), 1);
+  EXPECT_DOUBLE_EQ(run_and_get(interp, R"(
+    var total = 0, i = 0;
+    do { total += i; i = i + 1; } while (i < 5);
+    var result = total;
+  )").as_number(), 10);
+}
+
+TEST(Interp, DoWhileHonoursBreakAndContinue) {
+  Interpreter interp;
+  EXPECT_DOUBLE_EQ(run_and_get(interp, R"(
+    var n = 0, i = 0;
+    do {
+      i = i + 1;
+      if (i == 2) { continue; }
+      if (i == 5) { break; }
+      n = n + i;
+    } while (i < 100);
+    var result = n;
+  )").as_number(), 1 + 3 + 4);
+}
+
+TEST(Interp, SwitchSelectsMatchingCase) {
+  Interpreter interp;
+  EXPECT_EQ(run_and_get(interp, R"(
+    function name(code) {
+      switch (code) {
+        case 1: return "one";
+        case 2: return "two";
+        default: return "many";
+      }
+    }
+    var result = name(2) + name(1) + name(9);
+  )").as_string(), "twoonemany");
+}
+
+TEST(Interp, SwitchFallsThroughWithoutBreak) {
+  Interpreter interp;
+  EXPECT_EQ(run_and_get(interp, R"(
+    var log = "";
+    switch (2) {
+      case 1: log += "a";
+      case 2: log += "b";
+      case 3: log += "c"; break;
+      case 4: log += "d";
+    }
+    var result = log;
+  )").as_string(), "bc");
+}
+
+TEST(Interp, SwitchUsesStrictComparison) {
+  Interpreter interp;
+  EXPECT_EQ(run_and_get(interp, R"(
+    var result = "";
+    switch ("1") {
+      case 1: result = "number"; break;
+      case "1": result = "string"; break;
+    }
+  )").as_string(), "string");
+}
+
+TEST(Interp, SwitchWithNoMatchAndNoDefaultDoesNothing) {
+  Interpreter interp;
+  EXPECT_EQ(run_and_get(interp, R"(
+    var result = "untouched";
+    switch (42) { case 1: result = "no"; break; }
+  )").as_string(), "untouched");
+}
+
+TEST(Interp, InOperatorChecksPropertyExistence) {
+  Interpreter interp;
+  EXPECT_TRUE(run_and_get(interp, R"(
+    var o = { present: undefined };
+    var result = "present" in o;
+  )").as_bool());
+  EXPECT_FALSE(run_and_get(interp, "var result = \"absent\" in ({});")
+                   .as_bool());
+  EXPECT_THROW(run_and_get(interp, "var result = \"x\" in 5;"), ScriptError);
+}
+
+TEST(Interp, InstanceofWalksPrototypeChain) {
+  Interpreter interp;
+  EXPECT_TRUE(run_and_get(interp, R"(
+    function Gadget() { return undefined; }
+    var g = new Gadget();
+    var result = g instanceof Gadget;
+  )").as_bool());
+  EXPECT_FALSE(run_and_get(interp, R"(
+    function Widget() { return undefined; }
+    var result = ({}) instanceof Widget;
+  )").as_bool());
+  EXPECT_THROW(run_and_get(interp, "var result = ({}) instanceof 3;"),
+               ScriptError);
+}
+
+TEST(Interp, DeleteRemovesOwnProperties) {
+  Interpreter interp;
+  EXPECT_EQ(run_and_get(interp, R"(
+    var o = { gone: 1, kept: 2 };
+    delete o.gone;
+    var result = ("gone" in o ? "still" : "deleted") + o.kept;
+  )").as_string(), "deleted2");
+  // delete through an index expression too
+  EXPECT_FALSE(run_and_get(interp, R"(
+    var o2 = { k: 1 };
+    delete o2["k"];
+    var result = "k" in o2;
+  )").as_bool());
+  EXPECT_THROW(run_and_get(interp, "delete justAName;"), SyntaxError);
+}
+
+TEST(Interp, TryCatchRecoversFromRuntimeErrors) {
+  Interpreter interp;
+  const Value v = run_and_get(interp, R"(
+    var result = "before";
+    try {
+      missingFunction();
+      result = "not reached";
+    } catch (e) {
+      result = "caught";
+    }
+  )");
+  EXPECT_EQ(v.as_string(), "caught");
+}
+
+TEST(Interp, CatchBindingReceivesMessage) {
+  Interpreter interp;
+  const Value v = run_and_get(interp, R"(
+    var result = "";
+    try { undefinedThing.call(); } catch (err) { result = err; }
+  )");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_NE(v.as_string().find("ReferenceError"), std::string::npos);
+}
+
+// ------------------------------------------------------------ functions --
+
+TEST(Interp, FunctionDeclarationAndCall) {
+  Interpreter interp;
+  EXPECT_DOUBLE_EQ(run_and_get(interp, R"(
+    function add(a, b) { return a + b; }
+    var result = add(2, 3);
+  )").as_number(), 5);
+}
+
+TEST(Interp, MissingArgumentsAreUndefined) {
+  Interpreter interp;
+  EXPECT_EQ(run_and_get(interp, R"(
+    function probe(a, b) { return typeof b; }
+    var result = probe(1);
+  )").as_string(), "undefined");
+}
+
+TEST(Interp, ClosuresCaptureEnvironment) {
+  Interpreter interp;
+  EXPECT_DOUBLE_EQ(run_and_get(interp, R"(
+    function counter() {
+      var n = 0;
+      return function () { n = n + 1; return n; };
+    }
+    var c = counter();
+    c(); c();
+    var result = c();
+  )").as_number(), 3);
+}
+
+TEST(Interp, RecursionWorks) {
+  Interpreter interp;
+  EXPECT_DOUBLE_EQ(run_and_get(interp, R"(
+    function fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+    var result = fib(10);
+  )").as_number(), 55);
+}
+
+TEST(Interp, DeepRecursionIsBounded) {
+  Interpreter interp;
+  EXPECT_THROW(run_and_get(interp, R"(
+    function forever(n) { return forever(n + 1); }
+    forever(0);
+  )"), ScriptError);
+}
+
+TEST(Interp, ArgumentsObject) {
+  Interpreter interp;
+  EXPECT_DOUBLE_EQ(run_and_get(interp, R"(
+    function count() { return arguments.length; }
+    var result = count(1, "a", true);
+  )").as_number(), 3);
+}
+
+// ----------------------------------------------- prototypes & new -------
+
+TEST(Interp, NewUsesConstructorPrototype) {
+  Interpreter interp;
+  Heap& heap = interp.heap();
+  const ObjectRef proto = heap.make_object(ObjectRef(), "GadgetPrototype");
+  heap.get(proto).properties["ping"] = Value(heap.make_function(
+      [](Interpreter&, const Value&, std::span<const Value>) {
+        return Value("pong");
+      },
+      "ping"));
+  const ObjectRef ctor = heap.make_function(
+      [](Interpreter&, const Value&, std::span<const Value>) {
+        return Value();
+      },
+      "Gadget");
+  heap.get(ctor).properties["prototype"] = Value(proto);
+  interp.globals().define("Gadget", Value(ctor));
+
+  EXPECT_EQ(run_and_get(interp, R"(
+    var g = new Gadget();
+    var result = g.ping();
+  )").as_string(), "pong");
+}
+
+TEST(Interp, MethodCallBindsThis) {
+  Interpreter interp;
+  EXPECT_DOUBLE_EQ(run_and_get(interp, R"(
+    var obj = { value: 41, bump: function () { this.value = this.value + 1; return this.value; } };
+    var result = obj.bump();
+  )").as_number(), 42);
+}
+
+TEST(Interp, PrototypeChainLookup) {
+  Interpreter interp;
+  Heap& heap = interp.heap();
+  const ObjectRef base = heap.make_object();
+  heap.get(base).properties["inherited"] = Value(7.0);
+  const ObjectRef derived = heap.make_object(base);
+  interp.globals().define("derived", Value(derived));
+  EXPECT_DOUBLE_EQ(
+      run_and_get(interp, "var result = derived.inherited;").as_number(), 7);
+  // own properties shadow the prototype
+  run_and_get(interp, "derived.inherited = 9; var result = derived.inherited;");
+  EXPECT_DOUBLE_EQ(interp.globals().lookup("result")->as_number(), 9);
+  EXPECT_DOUBLE_EQ(heap.get_property(base, "inherited").as_number(), 7);
+}
+
+// ------------------------------------------------------ watch handlers ---
+
+TEST(Interp, WatchFiresOnPropertyWrites) {
+  Interpreter interp;
+  Heap& heap = interp.heap();
+  const ObjectRef obj = heap.make_object();
+  std::vector<std::string> writes;
+  heap.get(obj).watch = [&writes](const std::string& name, const Value&) {
+    writes.push_back(name);
+  };
+  interp.globals().define("nav", Value(obj));
+  run_and_get(interp, "nav.userToken = \"x\"; nav.other = 1; var result = 0;");
+  EXPECT_EQ(writes, (std::vector<std::string>{"userToken", "other"}));
+}
+
+TEST(Interp, WatchDoesNotFireOnReads) {
+  Interpreter interp;
+  Heap& heap = interp.heap();
+  const ObjectRef obj = heap.make_object();
+  int fires = 0;
+  heap.get(obj).properties["p"] = Value(1.0);
+  heap.get(obj).watch = [&fires](const std::string&, const Value&) { ++fires; };
+  interp.globals().define("o", Value(obj));
+  run_and_get(interp, "var result = o.p + o.p;");
+  EXPECT_EQ(fires, 0);
+}
+
+// --------------------------------------------------------------- errors --
+
+TEST(Interp, ReferenceAndTypeErrors) {
+  Interpreter interp;
+  EXPECT_THROW(run_and_get(interp, "ghost();"), ScriptError);
+  EXPECT_THROW(run_and_get(interp, "var x = 1; x.method();"), ScriptError);
+  EXPECT_THROW(run_and_get(interp, "var u; u.prop;"), ScriptError);
+  EXPECT_THROW(run_and_get(interp, "null.x = 1;"), ScriptError);
+}
+
+TEST(Interp, FuelBudgetStopsRunawayScripts) {
+  Interpreter interp;
+  interp.set_fuel_per_run(5000);
+  EXPECT_THROW(run_and_get(interp, "while (true) { var x = 1; }"),
+               ScriptError);
+  // the budget resets per top-level run
+  EXPECT_NO_THROW(run_and_get(interp, "var result = 1;"));
+}
+
+TEST(ScriptParser, SyntaxErrors) {
+  EXPECT_THROW(parse_program("var = 5;"), SyntaxError);
+  EXPECT_THROW(parse_program("var x = ;"), SyntaxError);
+  EXPECT_THROW(parse_program("function () { return"), SyntaxError);
+  EXPECT_THROW(parse_program("if (x { }"), SyntaxError);
+  EXPECT_THROW(parse_program("1 + 2"), SyntaxError);  // missing semicolon
+}
+
+// -------------------------------------------------------------- builtins --
+
+TEST(Builtins, MathFunctions) {
+  EXPECT_DOUBLE_EQ(eval("Math.floor(2.9)").as_number(), 2);
+  EXPECT_DOUBLE_EQ(eval("Math.ceil(2.1)").as_number(), 3);
+  EXPECT_DOUBLE_EQ(eval("Math.abs(-5)").as_number(), 5);
+  EXPECT_DOUBLE_EQ(eval("Math.max(1, 7, 3)").as_number(), 7);
+  EXPECT_DOUBLE_EQ(eval("Math.min(4, 2, 9)").as_number(), 2);
+  EXPECT_DOUBLE_EQ(eval("Math.pow(2, 10)").as_number(), 1024);
+  EXPECT_DOUBLE_EQ(eval("Math.sqrt(81)").as_number(), 9);
+}
+
+TEST(Builtins, MathRandomIsDeterministicPerSeed) {
+  Interpreter a(99), b(99), c(100);
+  const double va =
+      run_and_get(a, "var result = Math.random();").as_number();
+  const double vb =
+      run_and_get(b, "var result = Math.random();").as_number();
+  const double vc =
+      run_and_get(c, "var result = Math.random();").as_number();
+  EXPECT_EQ(va, vb);
+  EXPECT_NE(va, vc);
+  EXPECT_GE(va, 0.0);
+  EXPECT_LT(va, 1.0);
+}
+
+TEST(Builtins, ConversionHelpers) {
+  EXPECT_EQ(eval("String(42)").as_string(), "42");
+  EXPECT_DOUBLE_EQ(eval("Number(\"3.5\")").as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(eval("parseInt(\"7.9\")").as_number(), 7);
+  EXPECT_TRUE(eval("isNaN(Number(\"xyz\"))").as_bool());
+  EXPECT_FALSE(eval("isNaN(5)").as_bool());
+}
+
+// --------------------------------------------------------------- values --
+
+TEST(Values, Truthiness) {
+  EXPECT_FALSE(Value().truthy());
+  EXPECT_FALSE(Value(Null{}).truthy());
+  EXPECT_FALSE(Value(0.0).truthy());
+  EXPECT_FALSE(Value("").truthy());
+  EXPECT_FALSE(Value(false).truthy());
+  EXPECT_TRUE(Value(1.0).truthy());
+  EXPECT_TRUE(Value("x").truthy());
+}
+
+TEST(Values, DisplayStrings) {
+  EXPECT_EQ(Value(42.0).to_display_string(), "42");
+  EXPECT_EQ(Value(2.5).to_display_string(), "2.5");
+  EXPECT_EQ(Value(true).to_display_string(), "true");
+  EXPECT_EQ(Value().to_display_string(), "undefined");
+  EXPECT_EQ(Value(Null{}).to_display_string(), "null");
+}
+
+TEST(Values, HeapRejectsBadRefs) {
+  Heap heap;
+  EXPECT_THROW(heap.get(ObjectRef()), std::out_of_range);
+  EXPECT_THROW(heap.get(ObjectRef(12345)), std::out_of_range);
+}
+
+// Property-access sweep: table-driven expression checks.
+struct ExprCase {
+  const char* source;
+  double expected;
+};
+
+class ExpressionSweep : public ::testing::TestWithParam<ExprCase> {};
+
+TEST_P(ExpressionSweep, Evaluates) {
+  EXPECT_DOUBLE_EQ(eval(GetParam().source).to_number(), GetParam().expected)
+      << GetParam().source;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, ExpressionSweep,
+    ::testing::Values(ExprCase{"2 + 3 * 4 - 1", 13},
+                      ExprCase{"(2 + 3) * (4 - 1)", 15},
+                      ExprCase{"1 / 4 + 1 / 4", 0.5},
+                      ExprCase{"10 % 3 + 20 % 7", 7},
+                      ExprCase{"1 < 2 ? 10 : 20", 10},
+                      ExprCase{"!false ? 1 : 0", 1},
+                      ExprCase{"[1,2,3,4].length", 4},
+                      ExprCase{"({n: 5}).n * 2", 10},
+                      ExprCase{"Math.max(1, Math.min(9, 5))", 5},
+                      ExprCase{"\"ab\".length + \"c\".length", 3}));
+
+}  // namespace
+}  // namespace fu::script

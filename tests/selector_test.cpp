@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "dom/html.h"
+#include "dom/selector.h"
+
+namespace fu::dom {
+namespace {
+
+std::unique_ptr<Document> fixture() {
+  return parse_html(R"(
+    <html><body>
+      <nav id="menu" class="top sticky">
+        <ul>
+          <li class="item first"><a href="/home">Home</a></li>
+          <li class="item"><a href="http://other.com/x" rel="external">Out</a></li>
+        </ul>
+      </nav>
+      <div class="content">
+        <p id="intro" data-lang="en">intro text</p>
+        <div class="ad-slot banner"><img src="banner.png"></div>
+        <input type="text" name="q">
+        <input type="submit">
+      </div>
+    </body></html>
+  )");
+}
+
+// ---------------------------------------------------------------- parse --
+
+TEST(SelectorParse, RejectsMalformed) {
+  EXPECT_FALSE(Selector::parse(""));
+  EXPECT_FALSE(Selector::parse("   "));
+  EXPECT_FALSE(Selector::parse("#"));
+  EXPECT_FALSE(Selector::parse("."));
+  EXPECT_FALSE(Selector::parse("div["));
+  EXPECT_FALSE(Selector::parse("div[attr"));
+  EXPECT_FALSE(Selector::parse("div[attr^x]"));
+  EXPECT_FALSE(Selector::parse("a,,b"));
+  EXPECT_FALSE(Selector::parse("a >"));
+}
+
+TEST(SelectorParse, AcceptsTheSupportedGrammar) {
+  for (const char* text :
+       {"div", "*", "#menu", ".item", "li.item.first", "div#x.y",
+        "[data-lang]", "input[type=text]", "a[href^=\"http\"]",
+        "nav a", "ul > li", "a, button, .cta", "div .ad-slot img"}) {
+    EXPECT_TRUE(Selector::parse(text)) << text;
+  }
+}
+
+// ---------------------------------------------------------------- match --
+
+TEST(SelectorMatch, ByTagIdClass) {
+  auto doc = fixture();
+  EXPECT_EQ(Selector::parse("li")->select_all(*doc).size(), 2u);
+  EXPECT_EQ(Selector::parse("#menu")->select_all(*doc).size(), 1u);
+  EXPECT_EQ(Selector::parse(".item")->select_all(*doc).size(), 2u);
+  EXPECT_EQ(Selector::parse(".item.first")->select_all(*doc).size(), 1u);
+  EXPECT_EQ(Selector::parse("li.first")->select_all(*doc).size(), 1u);
+  EXPECT_EQ(Selector::parse("p#intro")->select_all(*doc).size(), 1u);
+  EXPECT_EQ(Selector::parse("span")->select_all(*doc).size(), 0u);
+  EXPECT_GT(Selector::parse("*")->select_all(*doc).size(), 10u);
+}
+
+TEST(SelectorMatch, ClassMatchingIsExactWord) {
+  auto doc = fixture();
+  // "top" and "sticky" are classes of nav; "tops" is not
+  EXPECT_EQ(Selector::parse(".top")->select_all(*doc).size(), 1u);
+  EXPECT_EQ(Selector::parse(".sticky")->select_all(*doc).size(), 1u);
+  EXPECT_EQ(Selector::parse(".tops")->select_all(*doc).size(), 0u);
+  EXPECT_EQ(Selector::parse(".stick")->select_all(*doc).size(), 0u);
+}
+
+TEST(SelectorMatch, AttributeOperators) {
+  auto doc = fixture();
+  EXPECT_EQ(Selector::parse("[data-lang]")->select_all(*doc).size(), 1u);
+  EXPECT_EQ(Selector::parse("[data-lang=en]")->select_all(*doc).size(), 1u);
+  EXPECT_EQ(Selector::parse("[data-lang=fr]")->select_all(*doc).size(), 0u);
+  EXPECT_EQ(Selector::parse("input[type=text]")->select_all(*doc).size(), 1u);
+  EXPECT_EQ(Selector::parse("a[href^=\"http\"]")->select_all(*doc).size(),
+            1u);
+  EXPECT_EQ(Selector::parse("a[href$=\"home\"]")->select_all(*doc).size(),
+            1u);
+  EXPECT_EQ(Selector::parse("img[src*=\"banner\"]")->select_all(*doc).size(),
+            1u);
+  EXPECT_EQ(Selector::parse("[class~=\"banner\"]")->select_all(*doc).size(),
+            1u);
+  EXPECT_EQ(Selector::parse("[class~=\"ban\"]")->select_all(*doc).size(), 0u);
+}
+
+TEST(SelectorMatch, DescendantCombinator) {
+  auto doc = fixture();
+  EXPECT_EQ(Selector::parse("nav a")->select_all(*doc).size(), 2u);
+  EXPECT_EQ(Selector::parse("#menu .item a")->select_all(*doc).size(), 2u);
+  EXPECT_EQ(Selector::parse(".content a")->select_all(*doc).size(), 0u);
+}
+
+TEST(SelectorMatch, ChildCombinator) {
+  auto doc = fixture();
+  EXPECT_EQ(Selector::parse("ul > li")->select_all(*doc).size(), 2u);
+  // <a> is a grandchild of <ul>, not a child
+  EXPECT_EQ(Selector::parse("ul > a")->select_all(*doc).size(), 0u);
+  EXPECT_EQ(Selector::parse("li > a")->select_all(*doc).size(), 2u);
+}
+
+TEST(SelectorMatch, SelectorLists) {
+  auto doc = fixture();
+  EXPECT_EQ(Selector::parse("input, img")->select_all(*doc).size(), 3u);
+  EXPECT_EQ(Selector::parse("#intro, .ad-slot, nav")->select_all(*doc).size(),
+            3u);
+}
+
+TEST(SelectorMatch, SelectFirstIsDocumentOrder) {
+  auto doc = fixture();
+  Element* first = Selector::parse("input")->select_first(*doc);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->attribute("type"), "text");
+  EXPECT_EQ(Selector::parse("video")->select_first(*doc), nullptr);
+}
+
+TEST(SelectorMatch, AdHidingShape) {
+  // the exact patterns the generated blocking lists use
+  auto doc = fixture();
+  const auto hidden = Selector::parse(".ad-slot")->select_all(*doc);
+  ASSERT_EQ(hidden.size(), 1u);
+  EXPECT_EQ(hidden[0]->tag(), "div");
+}
+
+// Parameterized sweep: pattern/count pairs over the fixture document.
+struct SelectorCase {
+  const char* selector;
+  std::size_t expected;
+};
+
+class SelectorSweep : public ::testing::TestWithParam<SelectorCase> {};
+
+TEST_P(SelectorSweep, CountMatches) {
+  auto doc = fixture();
+  const auto sel = Selector::parse(GetParam().selector);
+  ASSERT_TRUE(sel) << GetParam().selector;
+  EXPECT_EQ(sel->select_all(*doc).size(), GetParam().expected)
+      << GetParam().selector;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SelectorSweep,
+    ::testing::Values(SelectorCase{"body div", 2},
+                      SelectorCase{"body > div", 1},
+                      SelectorCase{"div div", 1},
+                      SelectorCase{"nav ul li a", 2},
+                      SelectorCase{"nav > ul > li > a", 2},
+                      SelectorCase{"html body nav", 1},
+                      SelectorCase{"li a[rel=external]", 1},
+                      SelectorCase{"div.content input", 2},
+                      SelectorCase{".content > p", 1},
+                      SelectorCase{".content > a", 0},
+                      SelectorCase{"p, li, img", 4}));
+
+}  // namespace
+}  // namespace fu::dom

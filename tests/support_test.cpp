@@ -1,0 +1,443 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "support/bitset.h"
+#include "support/csv.h"
+#include "support/date.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/strings.h"
+
+namespace fu::support {
+namespace {
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a() == b() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, LabeledChildStreamsAreIndependent) {
+  Rng a(7, "alpha"), b(7, "beta"), a2(7, "alpha");
+  EXPECT_NE(a(), b());
+  Rng a3(7, "alpha");
+  EXPECT_EQ(a3(), a2());
+}
+
+TEST(Rng, UniformStaysInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCloseToHalf) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BetweenIsInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceZeroAndOne) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequencyTracksProbability) {
+  Rng rng(17);
+  int hits = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedIndexHonoursWeights) {
+  Rng rng(23);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.25);
+}
+
+TEST(Rng, WeightedIndexDegenerateCases) {
+  Rng rng(29);
+  const std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_EQ(rng.weighted_index(zeros), zeros.size());
+  EXPECT_EQ(rng.weighted_index({}), 0u);
+}
+
+TEST(Rng, ShuffleProducesPermutation) {
+  Rng rng(31);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Fnv1a, StableAndDistinct) {
+  EXPECT_EQ(fnv1a("abc"), fnv1a("abc"));
+  EXPECT_NE(fnv1a("abc"), fnv1a("abd"));
+  EXPECT_NE(fnv1a(""), fnv1a("a"));
+}
+
+// ---------------------------------------------------------------- Zipf ---
+
+TEST(Zipf, PmfSumsToOne) {
+  const Zipf zipf(1000, 0.95);
+  double total = 0;
+  for (std::size_t r = 1; r <= 1000; ++r) total += zipf.pmf(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, PmfIsMonotonicallyDecreasing) {
+  const Zipf zipf(100, 1.1);
+  for (std::size_t r = 1; r < 100; ++r) {
+    EXPECT_GE(zipf.pmf(r), zipf.pmf(r + 1));
+  }
+}
+
+TEST(Zipf, SampleMatchesPmfForTopRank) {
+  const Zipf zipf(50, 1.0);
+  Rng rng(37);
+  int top = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) top += zipf.sample(rng) == 1 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(top) / kN, zipf.pmf(1), 0.01);
+}
+
+TEST(Zipf, RejectsEmptyDomain) {
+  EXPECT_THROW(Zipf(0, 1.0), std::invalid_argument);
+}
+
+class ZipfExponentSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfExponentSweep, ValidDistribution) {
+  const Zipf zipf(200, GetParam());
+  double total = 0;
+  for (std::size_t r = 1; r <= 200; ++r) {
+    EXPECT_GE(zipf.pmf(r), 0.0);
+    total += zipf.pmf(r);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(zipf.pmf(0), 0.0);
+  EXPECT_EQ(zipf.pmf(201), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfExponentSweep,
+                         ::testing::Values(0.0, 0.5, 0.95, 1.0, 1.5, 2.0));
+
+// --------------------------------------------------------------- stats ---
+
+TEST(Summary, TracksMoments) {
+  Summary s;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(1.25), 1e-12);
+}
+
+TEST(Summary, EmptyIsZero) {
+  const Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> v = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, -1), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101), std::invalid_argument);
+}
+
+TEST(CdfAt, CountsInclusive) {
+  const std::vector<double> v = {1, 2, 2, 3};
+  EXPECT_DOUBLE_EQ(cdf_at(v, 2), 0.75);
+  EXPECT_DOUBLE_EQ(cdf_at(v, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf_at(v, 3), 1.0);
+}
+
+TEST(HistogramTest, BinsAndClamps) {
+  Histogram h(0, 10, 5);
+  h.add(-1);   // clamps into bin 0
+  h.add(0.5);
+  h.add(9.9);
+  h.add(100);  // clamps into last bin
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_low(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(1), 4.0);
+}
+
+TEST(HistogramTest, RejectsBadRange) {
+  EXPECT_THROW(Histogram(0, 0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(0, 10, 0), std::invalid_argument);
+}
+
+TEST(Correlation, PearsonPerfectAndInverse) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  std::vector<double> inv(y.rbegin(), y.rend());
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, inv), -1.0, 1e-12);
+}
+
+TEST(Correlation, DegenerateInputsReturnZero) {
+  EXPECT_EQ(pearson({1}, {1}), 0.0);
+  EXPECT_EQ(pearson({1, 2}, {5, 5}), 0.0);
+  EXPECT_EQ(spearman({1}, {2}), 0.0);
+}
+
+TEST(Correlation, SpearmanHandlesMonotonicNonlinear) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {1, 8, 27, 64, 125};
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(AsciiBar, WidthAndFill) {
+  EXPECT_EQ(ascii_bar(0, 10), std::string(10, ' '));
+  EXPECT_EQ(ascii_bar(1, 10), std::string(10, '#'));
+  EXPECT_EQ(ascii_bar(0.5, 10).substr(0, 5), "#####");
+  EXPECT_EQ(ascii_bar(2.0, 4), "####");  // clamped
+}
+
+// -------------------------------------------------------------- strings --
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Strings, SplitNonemptyDropsEmpties) {
+  EXPECT_EQ(split_nonempty("/a//b/", '/'),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Strings, JoinRoundTrip) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(join(parts, "::"), "x::y::z");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  a b \t\n"), "a b");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, CaseHelpers) {
+  EXPECT_EQ(to_lower("MiXeD"), "mixed");
+  EXPECT_TRUE(iequals("ABC", "abc"));
+  EXPECT_FALSE(iequals("abc", "abd"));
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_TRUE(ends_with("foobar", "bar"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_TRUE(contains("hello world", "lo wo"));
+}
+
+TEST(Strings, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(21511926733ULL), "21,511,926,733");
+}
+
+TEST(Strings, PercentFormatting) {
+  EXPECT_EQ(percent(0.868), "86.8%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+  EXPECT_EQ(percent(0.00123, 2), "0.12%");
+}
+
+struct GlobCase {
+  const char* pattern;
+  const char* text;
+  bool match;
+};
+
+class GlobMatch : public ::testing::TestWithParam<GlobCase> {};
+
+TEST_P(GlobMatch, Matches) {
+  const GlobCase& c = GetParam();
+  EXPECT_EQ(glob_match(c.pattern, c.text), c.match)
+      << c.pattern << " vs " << c.text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, GlobMatch,
+    ::testing::Values(GlobCase{"*", "", true}, GlobCase{"*", "anything", true},
+                      GlobCase{"a*c", "abc", true},
+                      GlobCase{"a*c", "ac", true},
+                      GlobCase{"a*c", "abd", false},
+                      GlobCase{"?x", "ax", true}, GlobCase{"?x", "x", false},
+                      GlobCase{"*.js", "tag.js", true},
+                      GlobCase{"*.js", "tag.json", false},
+                      GlobCase{"a**b", "a123b", true},
+                      GlobCase{"", "", true}, GlobCase{"", "a", false}));
+
+// ---------------------------------------------------------------- Date ---
+
+TEST(DateTest, RoundTripsCivil) {
+  const Date d(2016, 5, 20);
+  EXPECT_EQ(d.year(), 2016);
+  EXPECT_EQ(d.month(), 5);
+  EXPECT_EQ(d.day(), 20);
+  EXPECT_EQ(d.to_string(), "2016-05-20");
+}
+
+TEST(DateTest, EpochIsZero) {
+  EXPECT_EQ(Date(1970, 1, 1).days_since_epoch(), 0);
+  EXPECT_EQ(Date(1970, 1, 2).days_since_epoch(), 1);
+}
+
+TEST(DateTest, LeapYearHandling) {
+  EXPECT_NO_THROW(Date(2016, 2, 29));
+  EXPECT_THROW(Date(2015, 2, 29), std::invalid_argument);
+  EXPECT_THROW(Date(2000, 13, 1), std::invalid_argument);
+  EXPECT_THROW(Date(2000, 0, 1), std::invalid_argument);
+}
+
+TEST(DateTest, ArithmeticAndComparison) {
+  const Date a(2004, 11, 9);
+  const Date b = a.plus_days(365);
+  EXPECT_EQ(days_between(a, b), 365);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(b.to_string(), "2005-11-09");
+}
+
+TEST(DateTest, FractionalYear) {
+  EXPECT_NEAR(Date(2013, 1, 1).fractional_year(), 2013.0, 1e-9);
+  EXPECT_NEAR(Date(2013, 7, 2).fractional_year(), 2013.5, 0.01);
+}
+
+// ----------------------------------------------------------------- CSV ---
+
+TEST(Csv, EscapesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WriterReaderRoundTrip) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.row("blocking", "example.com", "Node.cloneNode()", 10);
+  writer.row("default", "a,b.com", 1.5);
+  const auto rows = csv_parse(out.str());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0],
+            (std::vector<std::string>{"blocking", "example.com",
+                                      "Node.cloneNode()", "10"}));
+  EXPECT_EQ(rows[1][1], "a,b.com");
+}
+
+TEST(Csv, ParsesQuotedFields) {
+  const auto fields = csv_parse_line("a,\"b,c\",\"d\"\"e\"");
+  EXPECT_EQ(fields, (std::vector<std::string>{"a", "b,c", "d\"e"}));
+}
+
+// --------------------------------------------------------------- bitset --
+
+TEST(Bitset, SetTestResetCount) {
+  DynamicBitset bits(130);
+  EXPECT_FALSE(bits.any());
+  bits.set(0);
+  bits.set(64);
+  bits.set(129);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_TRUE(bits.test(129));
+  EXPECT_FALSE(bits.test(1));
+  EXPECT_EQ(bits.count(), 3u);
+  bits.reset(64);
+  EXPECT_EQ(bits.count(), 2u);
+  EXPECT_TRUE(bits.any());
+}
+
+TEST(Bitset, UnionIntersectionDifference) {
+  DynamicBitset a(100), b(100);
+  a.set(1);
+  a.set(50);
+  b.set(50);
+  b.set(99);
+  DynamicBitset u = a;
+  u |= b;
+  EXPECT_EQ(u.count(), 3u);
+  DynamicBitset i = a;
+  i &= b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(50));
+  const DynamicBitset d = a.minus(b);
+  EXPECT_EQ(d.count(), 1u);
+  EXPECT_TRUE(d.test(1));
+}
+
+TEST(Bitset, SerializationWords) {
+  DynamicBitset a(70);
+  a.set(3);
+  a.set(69);
+  DynamicBitset b;
+  b.assign_words(70, a.words());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace fu::support

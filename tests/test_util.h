@@ -1,0 +1,55 @@
+// Shared fixtures: the catalog and small synthetic webs/surveys are
+// expensive to build, so tests share lazily-constructed singletons. All are
+// deterministic, so sharing cannot introduce order dependence.
+#pragma once
+
+#include "core/featureusage.h"
+
+namespace fu::test {
+
+inline const catalog::Catalog& shared_catalog() {
+  static const catalog::Catalog kCatalog;
+  return kCatalog;
+}
+
+// A 120-site web: big enough for statistical sanity checks, small enough to
+// crawl in tests.
+inline const net::SyntheticWeb& small_web() {
+  static const net::SyntheticWeb kWeb = [] {
+    net::SyntheticWeb::Config config;
+    config.site_count = 120;
+    return net::SyntheticWeb(shared_catalog(), config);
+  }();
+  return kWeb;
+}
+
+// A tiny web where half the sites are dead and many are broken — for the
+// failure-handling tests, which need both kinds present deterministically.
+inline const net::SyntheticWeb& failing_web() {
+  static const net::SyntheticWeb kWeb = [] {
+    net::SyntheticWeb::Config config;
+    config.site_count = 20;
+    config.dead_fraction = 0.5;
+    config.broken_fraction = 0.5;  // applied after the dead roll
+    return net::SyntheticWeb(shared_catalog(), config);
+  }();
+  return kWeb;
+}
+
+// A survey over the small web (all four configurations, 3 passes).
+inline const crawler::SurveyResults& small_survey() {
+  static const crawler::SurveyResults kResults = [] {
+    crawler::SurveyOptions options;
+    options.passes = 3;
+    options.threads = 1;
+    return crawler::run_survey(small_web(), options);
+  }();
+  return kResults;
+}
+
+inline const analysis::Analysis& small_analysis() {
+  static const analysis::Analysis kAnalysis(small_survey());
+  return kAnalysis;
+}
+
+}  // namespace fu::test

@@ -1,0 +1,257 @@
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "test_util.h"
+#include "webidl/lexer.h"
+#include "webidl/parser.h"
+#include "webidl/writer.h"
+
+namespace fu::webidl {
+namespace {
+
+// ---------------------------------------------------------------- lexer --
+
+TEST(WebIdlLexer, BasicTokens) {
+  const auto toks = lex("interface Foo { void bar(long x); };");
+  ASSERT_FALSE(toks.empty());
+  EXPECT_EQ(toks[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(toks[0].text, "interface");
+  EXPECT_EQ(toks.back().kind, TokenKind::kEof);
+}
+
+TEST(WebIdlLexer, SkipsComments) {
+  const auto toks = lex("// line\n/* block\nmulti */ interface");
+  EXPECT_EQ(toks.size(), 2u);  // "interface" + eof
+  EXPECT_EQ(toks[0].text, "interface");
+}
+
+TEST(WebIdlLexer, NumbersAndStrings) {
+  const auto toks = lex("1 0x1F 2.5 1e-3 \"text\"");
+  EXPECT_EQ(toks[0].kind, TokenKind::kInteger);
+  EXPECT_EQ(toks[1].kind, TokenKind::kInteger);
+  EXPECT_EQ(toks[1].text, "0x1F");
+  EXPECT_EQ(toks[2].kind, TokenKind::kFloat);
+  EXPECT_EQ(toks[3].kind, TokenKind::kFloat);
+  EXPECT_EQ(toks[4].kind, TokenKind::kString);
+  EXPECT_EQ(toks[4].text, "text");
+}
+
+TEST(WebIdlLexer, EllipsisToken) {
+  const auto toks = lex("any... rest");
+  EXPECT_EQ(toks[1].text, "...");
+}
+
+TEST(WebIdlLexer, ThrowsOnUnterminatedConstructs) {
+  EXPECT_THROW(lex("/* never closed"), LexError);
+  EXPECT_THROW(lex("\"never closed"), LexError);
+  EXPECT_THROW(lex("interface @"), LexError);
+}
+
+TEST(WebIdlLexer, TracksLineNumbers) {
+  try {
+    lex("interface A;\n\n\"oops");
+    FAIL() << "expected LexError";
+  } catch (const LexError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+// --------------------------------------------------------------- parser --
+
+TEST(WebIdlParser, SimpleInterface) {
+  const Document doc = parse(R"(
+    interface Node {
+      Node insertBefore(Node node, Node child);
+      readonly attribute DOMString nodeName;
+      attribute DOMString textContent;
+    };
+  )");
+  ASSERT_EQ(doc.interfaces.size(), 1u);
+  const Interface& node = doc.interfaces[0];
+  EXPECT_EQ(node.name, "Node");
+  ASSERT_EQ(node.members.size(), 3u);
+  EXPECT_EQ(node.members[0].kind, MemberKind::kOperation);
+  EXPECT_EQ(node.members[0].name, "insertBefore");
+  ASSERT_EQ(node.members[0].arguments.size(), 2u);
+  EXPECT_EQ(node.members[0].arguments[0].type, "Node");
+  EXPECT_EQ(node.members[1].kind, MemberKind::kReadonlyAttribute);
+  EXPECT_EQ(node.members[2].kind, MemberKind::kAttribute);
+}
+
+TEST(WebIdlParser, InheritanceAndPartial) {
+  const Document doc = parse(R"(
+    interface Element : Node { void remove(); };
+    partial interface Element { void after(); };
+  )");
+  ASSERT_EQ(doc.interfaces.size(), 2u);
+  EXPECT_EQ(*doc.interfaces[0].parent, "Node");
+  EXPECT_TRUE(doc.interfaces[1].partial);
+
+  const Document merged = merge_partials(doc);
+  ASSERT_EQ(merged.interfaces.size(), 1u);
+  EXPECT_EQ(merged.interfaces[0].members.size(), 2u);
+  EXPECT_EQ(*merged.interfaces[0].parent, "Node");
+}
+
+TEST(WebIdlParser, StaticAndConstMembers) {
+  const Document doc = parse(R"(
+    interface MediaSource {
+      static boolean isTypeSupported(DOMString type);
+      const unsigned short CLOSED = 0;
+    };
+  )");
+  const Interface& iface = doc.interfaces[0];
+  EXPECT_EQ(iface.members[0].kind, MemberKind::kStaticOperation);
+  EXPECT_EQ(iface.members[1].kind, MemberKind::kConstant);
+  EXPECT_EQ(iface.members[1].return_type, "unsigned short");
+}
+
+TEST(WebIdlParser, ComplexTypes) {
+  const Document doc = parse(R"(
+    interface Fancy {
+      Promise<sequence<DOMString>> list(optional record<DOMString, any> init);
+      (Node or DOMString)? pick(long... indexes);
+    };
+  )");
+  const Interface& iface = doc.interfaces[0];
+  EXPECT_EQ(iface.members[0].return_type, "Promise<sequence<DOMString>>");
+  EXPECT_TRUE(iface.members[0].arguments[0].optional);
+  EXPECT_EQ(iface.members[1].return_type, "(Node or DOMString)?");
+  EXPECT_TRUE(iface.members[1].arguments[0].variadic);
+}
+
+TEST(WebIdlParser, ExtendedAttributesAreRecorded) {
+  const Document doc = parse(R"(
+    [Constructor(DOMString url), Exposed=Window]
+    interface WebSocket {
+      [Throws] void send(DOMString data);
+    };
+  )");
+  const Interface& iface = doc.interfaces[0];
+  ASSERT_EQ(iface.extended_attributes.size(), 2u);
+  EXPECT_EQ(iface.members[0].extended_attributes.size(), 1u);
+  EXPECT_EQ(iface.members[0].extended_attributes[0], "Throws");
+}
+
+TEST(WebIdlParser, EnumDictionaryTypedefCallback) {
+  const Document doc = parse(R"(
+    enum BinaryType { "blob", "arraybuffer" };
+    dictionary EventInit { boolean bubbles = false; required long when; };
+    typedef (DOMString or long) Key;
+    callback EventHandler = void (Event event);
+    callback interface Listener { void handleEvent(Event e); };
+  )");
+  ASSERT_EQ(doc.enums.size(), 1u);
+  EXPECT_EQ(doc.enums[0].values.size(), 2u);
+  ASSERT_EQ(doc.dictionaries.size(), 1u);
+  EXPECT_FALSE(doc.dictionaries[0].members[0].required);
+  EXPECT_TRUE(doc.dictionaries[0].members[1].required);
+  ASSERT_EQ(doc.typedefs.size(), 2u);  // typedef + callback
+  ASSERT_EQ(doc.interfaces.size(), 1u);
+  EXPECT_EQ(doc.interfaces[0].name, "Listener");
+}
+
+TEST(WebIdlParser, SpecialOperationsAreSkippedWhenUnnamed) {
+  const Document doc = parse(R"(
+    interface Bag {
+      getter any (unsigned long index);
+      getter any item(unsigned long index);
+      iterable<DOMString>;
+      stringifier;
+    };
+  )");
+  const auto features = extract_features(doc);
+  // only the named getter and the stringifier-generated toString survive
+  ASSERT_EQ(features.size(), 2u);
+  EXPECT_EQ(features[0].member_name, "item");
+  EXPECT_EQ(features[1].member_name, "toString");
+}
+
+TEST(WebIdlParser, NamespaceMembersAreStatic) {
+  const Document doc = parse(R"(
+    namespace CSS { boolean supports(DOMString cond); };
+  )");
+  ASSERT_EQ(doc.interfaces.size(), 1u);
+  EXPECT_TRUE(doc.interfaces[0].is_namespace);
+  EXPECT_EQ(doc.interfaces[0].members[0].kind, MemberKind::kStaticOperation);
+}
+
+TEST(WebIdlParser, ThrowsOnMalformedInput) {
+  EXPECT_THROW(parse("interface { };"), ParseError);
+  EXPECT_THROW(parse("interface A { void f( };"), ParseError);
+  EXPECT_THROW(parse("bogus A {};"), ParseError);
+  EXPECT_THROW(parse("interface A { void f(); }"), ParseError);  // missing ;
+}
+
+// ------------------------------------------------------------- features --
+
+TEST(FeatureExtraction, NamesFollowThePaperConvention) {
+  const Document doc = parse(R"(
+    interface Node {
+      Node insertBefore(Node n, Node c);
+      attribute DOMString nodeValue;
+      static void adopt(Node n);
+      const short KIND = 1;
+    };
+  )");
+  const auto features = extract_features(doc);
+  ASSERT_EQ(features.size(), 3u);  // constant skipped
+  EXPECT_EQ(features[0].full_name, "Node.prototype.insertBefore");
+  EXPECT_EQ(features[1].full_name, "Node.prototype.nodeValue");
+  EXPECT_EQ(features[2].full_name, "Node.adopt");
+}
+
+// --------------------------------------------------------------- writer --
+
+TEST(WebIdlWriter, RoundTripsSyntheticInterface) {
+  Document doc;
+  Interface iface;
+  iface.name = "Probe";
+  Member m;
+  m.kind = MemberKind::kOperation;
+  m.return_type = "any";
+  m.name = "run";
+  m.arguments.push_back({"DOMString", "label", true, false});
+  iface.members.push_back(m);
+  Member attr;
+  attr.kind = MemberKind::kAttribute;
+  attr.return_type = "DOMString";
+  attr.name = "mode";
+  iface.members.push_back(attr);
+  doc.interfaces.push_back(iface);
+
+  const Document reparsed = parse(write_document(doc));
+  ASSERT_EQ(reparsed.interfaces.size(), 1u);
+  EXPECT_EQ(reparsed.interfaces[0].name, "Probe");
+  ASSERT_EQ(reparsed.interfaces[0].members.size(), 2u);
+  EXPECT_TRUE(reparsed.interfaces[0].members[0].arguments[0].optional);
+}
+
+// The catalog's generated corpus must round-trip exactly: parse(corpus[i])
+// yields the features of standard i with identical names.
+class CorpusRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorpusRoundTrip, ParsesToStandardFeatures) {
+  const catalog::Catalog& cat = fu::test::shared_catalog();
+  const int sid = GetParam();
+  const Document doc = merge_partials(parse(cat.webidl_corpus()[sid]));
+  const auto extracted = extract_features(doc);
+  const auto& expected = cat.features_of(static_cast<catalog::StandardId>(sid));
+  ASSERT_EQ(extracted.size(), expected.size());
+  // same names, set-wise
+  std::set<std::string> extracted_names, expected_names;
+  for (const auto& f : extracted) extracted_names.insert(f.full_name);
+  for (const auto fid : expected) {
+    expected_names.insert(cat.feature(fid).full_name);
+  }
+  EXPECT_EQ(extracted_names, expected_names);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStandards, CorpusRoundTrip,
+                         ::testing::Range(0, catalog::kStandardCount));
+
+}  // namespace
+}  // namespace fu::webidl

@@ -1,0 +1,202 @@
+// fu — command-line driver for the featureusage library.
+//
+//   fu catalog [abbrev]         the 75 standards, or one standard's features
+//   fu feature <full-name>      one feature's details
+//   fu fetch <url> [--auth]     fetch a synthetic-web resource, print body
+//   fu crawl <domain> [--blockers] [--auth]
+//                               one monkey-testing pass; prints feature CSV
+//   fu survey                   run the survey, print Tables 1-3 + headline
+//   fu report <dir>             full artifact export (tables, figures, CSVs)
+//   fu lists                    print the generated ad/tracking filter lists
+//
+// Scale via FU_SITES / FU_PASSES / FU_SEED (see README).
+#include <cstring>
+#include <iostream>
+
+#include "analysis/report.h"
+#include "blocker/extensions.h"
+#include "core/featureusage.h"
+
+namespace {
+
+using namespace fu;
+
+int usage() {
+  std::cerr <<
+      "usage: fu <command> [args]\n"
+      "  catalog [abbrev]      list standards / one standard's features\n"
+      "  feature <full-name>   one feature's details\n"
+      "  fetch <url> [--auth]  fetch a synthetic resource\n"
+      "  crawl <domain> [--blockers] [--auth]\n"
+      "  standard <abbrev>     survey-backed deep-dive for one standard\n"
+      "  survey                run the survey, print the main tables\n"
+      "  report <dir>          export every table/figure/CSV\n"
+      "  lists                 print the generated filter lists\n";
+  return 2;
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+int cmd_catalog(Reproduction& repro, int argc, char** argv) {
+  const catalog::Catalog& cat = repro.catalog();
+  if (argc > 0) {
+    const catalog::StandardId sid = cat.standard_by_abbreviation(argv[0]);
+    if (sid == catalog::kInvalidStandard) {
+      std::cerr << "unknown standard: " << argv[0] << "\n";
+      return 1;
+    }
+    const catalog::StandardSpec& spec = cat.standard(sid);
+    std::cout << spec.name << " (" << spec.abbreviation << ")\n"
+              << "  introduced:  "
+              << cat.standard_implementation_date(sid).to_string() << "\n"
+              << "  features:    " << spec.feature_count << "\n"
+              << "  CVEs:        " << cat.cve_count(sid) << "\n\n";
+    for (const catalog::FeatureId fid : cat.features_of(sid)) {
+      const catalog::Feature& f = cat.feature(fid);
+      std::cout << "  " << f.full_name
+                << (f.kind == catalog::FeatureKind::kProperty ? "  [property]"
+                                                              : "")
+                << "  (Firefox " << f.first_version << ")\n";
+    }
+    return 0;
+  }
+  std::printf("%-8s %6s %5s  %s\n", "abbrev", "#feat", "CVEs", "name");
+  for (std::size_t s = 0; s < cat.standard_count(); ++s) {
+    const auto sid = static_cast<catalog::StandardId>(s);
+    const catalog::StandardSpec& spec = cat.standard(sid);
+    std::printf("%-8s %6d %5d  %s\n", spec.abbreviation.c_str(),
+                spec.feature_count, cat.cve_count(sid), spec.name.c_str());
+  }
+  return 0;
+}
+
+int cmd_feature(Reproduction& repro, int argc, char** argv) {
+  if (argc < 1) return usage();
+  const catalog::Feature* f = repro.catalog().find_feature(argv[0]);
+  if (f == nullptr) {
+    std::cerr << "unknown feature: " << argv[0] << "\n";
+    return 1;
+  }
+  const catalog::StandardSpec& spec = repro.catalog().standard(f->standard);
+  std::cout << f->full_name << "\n"
+            << "  standard:   " << spec.name << " (" << spec.abbreviation
+            << ")\n"
+            << "  kind:       "
+            << (f->kind == catalog::FeatureKind::kMethod ? "method"
+                                                         : "property")
+            << "\n"
+            << "  first in:   Firefox " << f->first_version << " ("
+            << f->implemented.to_string() << ")\n";
+  return 0;
+}
+
+int cmd_fetch(Reproduction& repro, int argc, char** argv) {
+  if (argc < 1) return usage();
+  const auto url = net::Url::parse(argv[0]);
+  if (!url) {
+    std::cerr << "bad url: " << argv[0] << "\n";
+    return 1;
+  }
+  const bool auth = has_flag(argc, argv, "--auth");
+  const auto res = repro.web().fetch(*url, auth);
+  if (!res) {
+    std::cerr << "no response (dead site, 404, or login required)\n";
+    return 1;
+  }
+  std::cout << res->body;
+  return 0;
+}
+
+int cmd_crawl(Reproduction& repro, int argc, char** argv) {
+  if (argc < 1) return usage();
+  const net::SitePlan* site = repro.web().site_by_host(argv[0]);
+  if (site == nullptr) {
+    std::cerr << "unknown domain: " << argv[0] << "\n";
+    return 1;
+  }
+  crawler::CrawlConfig config;
+  if (has_flag(argc, argv, "--blockers")) {
+    config.browser.ad_blocker = blocker::make_ad_blocker(repro.web());
+    config.browser.tracking_blocker =
+        blocker::make_tracking_blocker(repro.web());
+  }
+  config.browser.authenticated = has_flag(argc, argv, "--auth");
+
+  const crawler::SiteVisit visit =
+      crawler::crawl_site(repro.web(), config, *site, repro.config().seed);
+  std::cerr << "measured=" << visit.measured
+            << " pages=" << visit.pages_visited
+            << " invocations=" << visit.invocations
+            << " scripts_blocked=" << visit.scripts_blocked << "\n";
+  const catalog::Catalog& cat = repro.catalog();
+  for (std::size_t f = 0; f < visit.features.size(); ++f) {
+    if (!visit.features.test(f)) continue;
+    const catalog::Feature& feature =
+        cat.feature(static_cast<catalog::FeatureId>(f));
+    std::cout << site->domain << "," << feature.full_name << ","
+              << cat.standard(feature.standard).abbreviation << "\n";
+  }
+  return 0;
+}
+
+int cmd_standard(Reproduction& repro, int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string detail =
+      analysis::render_standard_detail(repro.analysis(), argv[0]);
+  if (detail.empty()) {
+    std::cerr << "unknown standard: " << argv[0] << "\n";
+    return 1;
+  }
+  std::cout << detail;
+  return 0;
+}
+
+int cmd_survey(Reproduction& repro) {
+  const analysis::Analysis& an = repro.analysis();
+  std::cout << analysis::render_table1(repro.survey()) << "\n"
+            << analysis::render_table3(repro.survey()) << "\n"
+            << analysis::render_headline(an);
+  return 0;
+}
+
+int cmd_report(Reproduction& repro, int argc, char** argv) {
+  if (argc < 1) return usage();
+  const int files = analysis::write_report(argv[0], repro.analysis());
+  std::cout << "wrote " << files << " files to " << argv[0] << "\n";
+  return 0;
+}
+
+int cmd_lists(Reproduction& repro) {
+  std::cout << blocker::ad_list_text(repro.web()) << "\n"
+            << blocker::tracking_list_text(repro.web());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  Reproduction repro(ReproductionConfig::from_env());
+  const std::string command = argv[1];
+  char** rest = argv + 2;
+  const int nrest = argc - 2;
+  try {
+    if (command == "catalog") return cmd_catalog(repro, nrest, rest);
+    if (command == "feature") return cmd_feature(repro, nrest, rest);
+    if (command == "fetch") return cmd_fetch(repro, nrest, rest);
+    if (command == "crawl") return cmd_crawl(repro, nrest, rest);
+    if (command == "standard") return cmd_standard(repro, nrest, rest);
+    if (command == "survey") return cmd_survey(repro);
+    if (command == "report") return cmd_report(repro, nrest, rest);
+    if (command == "lists") return cmd_lists(repro);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
