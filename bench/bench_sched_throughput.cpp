@@ -1,0 +1,109 @@
+// bench_sched_throughput — scheduler overhead and scaling.
+//
+// Two questions, answered against the seed's shared-atomic-counter loop
+// ("striped", kept in the scheduler as a reference policy):
+//
+//   1. Raw overhead: how many nanoseconds does the work-stealing pool add
+//      per job when the jobs are nearly free?
+//   2. Real survey throughput: on a 200-site survey — whose per-site cost
+//      has exactly the long tail stealing exists for — is work-stealing at
+//      least as fast as striping at every thread count?
+//
+// Scale the survey with FU_SITES (default 200) and FU_PASSES (default 2).
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_common.h"
+#include "sched/worksteal.h"
+
+namespace {
+
+using namespace fu;
+
+double time_policy(std::size_t jobs, const sched::Job& job,
+                   sched::SchedulerOptions::Policy policy, int threads) {
+  sched::SchedulerOptions options;
+  options.threads = threads;
+  options.policy = policy;
+  const bench::Timer timer;
+  const sched::RunReport report = sched::run_jobs(jobs, job, options);
+  const double seconds = timer.seconds();
+  if (!report.all_ok()) std::fprintf(stderr, "warning: jobs failed\n");
+  return seconds;
+}
+
+void overhead_microbench() {
+  std::printf("-- scheduler overhead (100k near-empty jobs, ns/job) --\n");
+  std::printf("%8s %12s %12s\n", "threads", "striped", "stealing");
+  constexpr std::size_t kJobs = 100'000;
+  std::vector<std::uint64_t> sink(kJobs, 0);
+  const sched::Job job = [&](std::size_t i, int) { sink[i] = i * 2654435761u; };
+  for (const int threads : {1, 2, 4, 8}) {
+    const double striped = time_policy(
+        kJobs, job, sched::SchedulerOptions::Policy::kStriped, threads);
+    const double stealing = time_policy(
+        kJobs, job, sched::SchedulerOptions::Policy::kWorkStealing, threads);
+    std::printf("%8d %12.0f %12.0f\n", threads, striped * 1e9 / kJobs,
+                stealing * 1e9 / kJobs);
+  }
+  std::printf("\n");
+}
+
+double time_survey(const net::SyntheticWeb& web,
+                   crawler::SurveyOptions options,
+                   sched::SchedulerOptions::Policy policy, int threads,
+                   std::uint64_t& invocations) {
+  options.scheduler_policy = policy;
+  options.threads = threads;
+  const bench::Timer timer;
+  const crawler::SurveyResults results = crawler::run_survey(web, options);
+  const double seconds = timer.seconds();
+  invocations = results.total_invocations();
+  if (results.sites_measured() == 0) {
+    std::fprintf(stderr, "warning: nothing measured\n");
+  }
+  return seconds;
+}
+
+void survey_bench() {
+  ReproductionConfig config = ReproductionConfig::from_env();
+  if (std::getenv("FU_SITES") == nullptr) config.sites = 200;
+  if (std::getenv("FU_PASSES") == nullptr) config.passes = 2;
+
+  Reproduction repro(config);
+  const net::SyntheticWeb& web = repro.web();
+
+  crawler::SurveyOptions options;
+  options.passes = config.passes;
+  options.seed = config.seed;
+
+  std::printf("-- %d-site survey, %d passes x 4 configs --\n", config.sites,
+              config.passes);
+  std::printf("%8s %12s %12s %10s %14s\n", "threads", "striped(s)",
+              "stealing(s)", "speedup", "stealing inv/s");
+  for (const int threads : {1, 2, 4, 8}) {
+    std::uint64_t striped_inv = 0, stealing_inv = 0;
+    const double striped_s =
+        time_survey(web, options, sched::SchedulerOptions::Policy::kStriped,
+                    threads, striped_inv);
+    const double stealing_s = time_survey(
+        web, options, sched::SchedulerOptions::Policy::kWorkStealing, threads,
+        stealing_inv);
+    if (striped_inv != stealing_inv) {
+      std::fprintf(stderr, "warning: policies disagree on invocations!\n");
+    }
+    std::printf("%8d %12.2f %12.2f %9.2fx %14.0f\n", threads, striped_s,
+                stealing_s, striped_s / stealing_s,
+                static_cast<double>(stealing_inv) / stealing_s);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== scheduler throughput: work-stealing vs striped ===\n\n");
+  overhead_microbench();
+  survey_bench();
+  return 0;
+}

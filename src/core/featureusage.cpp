@@ -1,10 +1,14 @@
 #include "core/featureusage.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
+#include <iostream>
+#include <memory>
 #include <string>
 
 #include "crawler/serialize.h"
+#include "sched/progress.h"
 
 namespace fu {
 
@@ -30,6 +34,11 @@ ReproductionConfig ReproductionConfig::from_env() {
       env_long("FU_SEED", static_cast<long>(config.seed)));
   config.threads = static_cast<int>(env_long("FU_THREADS", config.threads));
   config.single_blocker_configs = env_long("FU_FIG7", 1) != 0;
+  config.retries = static_cast<int>(env_long("FU_RETRIES", config.retries));
+  const char* checkpoint_dir = std::getenv("FU_CHECKPOINT_DIR");
+  if (checkpoint_dir != nullptr && *checkpoint_dir != '\0') {
+    config.checkpoint_dir = checkpoint_dir;
+  }
   return config;
 }
 
@@ -60,6 +69,9 @@ const crawler::SurveyResults& Reproduction::survey() {
   options.include_tracking_only = config_.single_blocker_configs;
   options.threads = config_.threads;
   options.seed = config_.seed;
+  options.max_attempts = 1 + std::max(0, config_.retries);
+  options.checkpoint_dir = config_.checkpoint_dir;
+  options.resume = config_.resume;
 
   // Survey runs are expensive and fully determined by their parameters, so
   // they are cached on disk (FU_CACHE_DIR, default "fu_cache"; FU_CACHE=0
@@ -67,17 +79,7 @@ const crawler::SurveyResults& Reproduction::survey() {
   const bool use_cache = env_long("FU_CACHE", 1) != 0;
   std::string cache_path;
   if (use_cache) {
-    crawler::SurveyKey key;
-    key.seed = config_.seed;
-    key.site_count = static_cast<std::uint32_t>(config_.sites);
-    key.passes = static_cast<std::uint32_t>(config_.passes);
-    key.ad_only = config_.single_blocker_configs;
-    key.tracking_only = config_.single_blocker_configs;
-    key.feature_count =
-        static_cast<std::uint32_t>(catalog().features().size());
-    key.standard_count =
-        static_cast<std::uint32_t>(catalog().standard_count());
-    key.catalog_fingerprint = crawler::catalog_fingerprint(catalog());
+    const crawler::SurveyKey key = crawler::key_for(web(), options);
 
     const char* dir_env = std::getenv("FU_CACHE_DIR");
     const std::filesystem::path dir =
@@ -92,8 +94,15 @@ const crawler::SurveyResults& Reproduction::survey() {
     }
   }
 
+  sched::ProgressMeter meter;
+  std::unique_ptr<sched::ProgressPrinter> printer;
+  if (config_.progress) {
+    options.progress = &meter;
+    printer = std::make_unique<sched::ProgressPrinter>(meter, std::cerr);
+  }
   survey_ =
       std::make_unique<crawler::SurveyResults>(run_survey(web(), options));
+  printer.reset();  // stop the printer before anything else writes stderr
   if (use_cache && !cache_path.empty()) {
     crawler::save_survey(*survey_, config_.seed, cache_path);
   }

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "analysis/metrics.h"
 #include "analysis/tables.h"
@@ -40,8 +41,18 @@ struct ReproductionConfig {
   // crawl; switch them off when only the main survey is needed.
   bool single_blocker_configs = true;
 
+  // Extra attempts for a site whose crawl throws (0 = fail on first throw);
+  // the failure is contained into its SiteOutcome either way.
+  int retries = 0;
+  // When set, completed site outcomes stream into checkpoint shards here
+  // and `resume` picks an interrupted survey back up from them.
+  std::string checkpoint_dir;
+  bool resume = false;
+  // Print live crawl progress (sites done, invocations/s, ETA) to stderr.
+  bool progress = false;
+
   // Read overrides from the environment: FU_SITES, FU_PASSES, FU_SEED,
-  // FU_THREADS, FU_FIG7 (0/1).
+  // FU_THREADS, FU_FIG7 (0/1), FU_RETRIES, FU_CHECKPOINT_DIR.
   static ReproductionConfig from_env();
 };
 

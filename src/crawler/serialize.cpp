@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
 #include "support/rng.h"
 
@@ -10,7 +11,8 @@ namespace fu::crawler {
 
 namespace {
 
-constexpr char kMagic[8] = {'F', 'U', 'S', 'V', '0', '0', '0', '3'};
+// Bumped 0003 -> 0004: SiteOutcome gained failed/attempts/error.
+constexpr char kMagic[8] = {'F', 'U', 'S', 'V', '0', '0', '0', '4'};
 
 void put_u64(std::ostream& out, std::uint64_t v) {
   char buf[8];
@@ -29,6 +31,21 @@ bool get_u64(std::istream& in, std::uint64_t& v) {
   return true;
 }
 
+void put_string(std::ostream& out, const std::string& s) {
+  put_u64(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool get_string(std::istream& in, std::string& s) {
+  std::uint64_t size = 0;
+  if (!get_u64(in, size)) return false;
+  if (size > (1u << 20)) return false;  // no sane error string is a MB
+  s.resize(size);
+  return size == 0 ||
+         static_cast<bool>(in.read(s.data(),
+                                   static_cast<std::streamsize>(size)));
+}
+
 void put_bitset(std::ostream& out, const support::DynamicBitset& bits) {
   put_u64(out, bits.size());
   put_u64(out, bits.words().size());
@@ -44,6 +61,48 @@ bool get_bitset(std::istream& in, support::DynamicBitset& bits) {
     if (!get_u64(in, w)) return false;
   }
   bits.assign_words(size, std::move(data));
+  return true;
+}
+
+void put_site_outcome(std::ostream& out, const SiteOutcome& site) {
+  put_u64(out, (site.responded ? 1u : 0u) | (site.measured ? 2u : 0u) |
+                   (site.failed ? 4u : 0u));
+  put_u64(out, static_cast<std::uint64_t>(site.attempts));
+  put_string(out, site.error);
+  put_u64(out, site.invocations);
+  put_u64(out, static_cast<std::uint64_t>(site.pages_visited));
+  put_u64(out, static_cast<std::uint64_t>(site.scripts_blocked));
+  for (const support::DynamicBitset& bits : site.features) {
+    put_bitset(out, bits);
+  }
+  put_u64(out, site.default_passes.size());
+  for (const support::DynamicBitset& bits : site.default_passes) {
+    put_bitset(out, bits);
+  }
+}
+
+bool get_site_outcome(std::istream& in, SiteOutcome& site) {
+  std::uint64_t flags = 0, attempts = 0;
+  std::uint64_t pages = 0, blocked = 0, pass_count = 0;
+  if (!get_u64(in, flags) || !get_u64(in, attempts) ||
+      !get_string(in, site.error) || !get_u64(in, site.invocations) ||
+      !get_u64(in, pages) || !get_u64(in, blocked)) {
+    return false;
+  }
+  site.responded = (flags & 1u) != 0;
+  site.measured = (flags & 2u) != 0;
+  site.failed = (flags & 4u) != 0;
+  site.attempts = static_cast<int>(attempts);
+  site.pages_visited = static_cast<int>(pages);
+  site.scripts_blocked = static_cast<int>(blocked);
+  for (support::DynamicBitset& bits : site.features) {
+    if (!get_bitset(in, bits)) return false;
+  }
+  if (!get_u64(in, pass_count) || pass_count > 64) return false;
+  site.default_passes.resize(pass_count);
+  for (support::DynamicBitset& bits : site.default_passes) {
+    if (!get_bitset(in, bits)) return false;
+  }
   return true;
 }
 
@@ -107,6 +166,39 @@ SurveyKey key_of(const SurveyResults& results, std::uint64_t seed) {
   return key;
 }
 
+SurveyKey key_for(const net::SyntheticWeb& web, const SurveyOptions& options) {
+  SurveyKey key;
+  key.seed = options.seed;
+  key.site_count = static_cast<std::uint32_t>(web.sites().size());
+  key.passes = static_cast<std::uint32_t>(options.passes);
+  key.ad_only = options.include_ad_only;
+  key.tracking_only = options.include_tracking_only;
+  key.feature_count =
+      static_cast<std::uint32_t>(web.feature_catalog().features().size());
+  key.standard_count =
+      static_cast<std::uint32_t>(web.feature_catalog().standard_count());
+  key.catalog_fingerprint = catalog_fingerprint(web.feature_catalog());
+  return key;
+}
+
+std::string encode_survey_key(const SurveyKey& key) {
+  std::ostringstream out(std::ios::binary);
+  put_key(out, key);
+  return std::move(out).str();
+}
+
+std::string encode_site_outcome(const SiteOutcome& outcome) {
+  std::ostringstream out(std::ios::binary);
+  put_site_outcome(out, outcome);
+  return std::move(out).str();
+}
+
+bool decode_site_outcome(const std::string& bytes, SiteOutcome& outcome) {
+  std::istringstream in(bytes, std::ios::binary);
+  if (!get_site_outcome(in, outcome)) return false;
+  return in.peek() == std::istringstream::traits_type::eof();
+}
+
 std::string cache_filename(const SurveyKey& key) {
   char buf[96];
   std::snprintf(buf, sizeof buf, "survey_s%llx_n%u_p%u_%c%c.bin",
@@ -125,17 +217,7 @@ bool save_survey(const SurveyResults& results, std::uint64_t seed,
 
   put_u64(out, results.sites.size());
   for (const SiteOutcome& site : results.sites) {
-    put_u64(out, (site.responded ? 1u : 0u) | (site.measured ? 2u : 0u));
-    put_u64(out, site.invocations);
-    put_u64(out, static_cast<std::uint64_t>(site.pages_visited));
-    put_u64(out, static_cast<std::uint64_t>(site.scripts_blocked));
-    for (const support::DynamicBitset& bits : site.features) {
-      put_bitset(out, bits);
-    }
-    put_u64(out, site.default_passes.size());
-    for (const support::DynamicBitset& bits : site.default_passes) {
-      put_bitset(out, bits);
-    }
+    put_site_outcome(out, site);
   }
   return static_cast<bool>(out);
 }
@@ -147,7 +229,7 @@ std::optional<SurveyResults> load_survey(const net::SyntheticWeb& web,
   if (!in) return std::nullopt;
   char magic[sizeof kMagic];
   if (!in.read(magic, sizeof magic) ||
-      std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+      std::memcmp(magic, kMagic, sizeof magic) != 0) {
     return std::nullopt;
   }
   if (!key_matches(in, expected)) return std::nullopt;
@@ -164,24 +246,7 @@ std::optional<SurveyResults> load_survey(const net::SyntheticWeb& web,
   }
   results.sites.resize(site_count);
   for (SiteOutcome& site : results.sites) {
-    std::uint64_t flags = 0;
-    std::uint64_t pages = 0, blocked = 0, pass_count = 0;
-    if (!get_u64(in, flags) || !get_u64(in, site.invocations) ||
-        !get_u64(in, pages) || !get_u64(in, blocked)) {
-      return std::nullopt;
-    }
-    site.responded = (flags & 1u) != 0;
-    site.measured = (flags & 2u) != 0;
-    site.pages_visited = static_cast<int>(pages);
-    site.scripts_blocked = static_cast<int>(blocked);
-    for (support::DynamicBitset& bits : site.features) {
-      if (!get_bitset(in, bits)) return std::nullopt;
-    }
-    if (!get_u64(in, pass_count) || pass_count > 64) return std::nullopt;
-    site.default_passes.resize(pass_count);
-    for (support::DynamicBitset& bits : site.default_passes) {
-      if (!get_bitset(in, bits)) return std::nullopt;
-    }
+    if (!get_site_outcome(in, site)) return std::nullopt;
   }
   return results;
 }

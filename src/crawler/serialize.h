@@ -39,6 +39,19 @@ std::uint64_t catalog_fingerprint(const catalog::Catalog& cat);
 
 SurveyKey key_of(const SurveyResults& results, std::uint64_t seed);
 
+// Key a run *before* it exists — what a scheduler needs to stamp its
+// checkpoint shards and what the cache needs to probe for a hit.
+SurveyKey key_for(const net::SyntheticWeb& web, const SurveyOptions& options);
+
+// Canonical byte encodings shared between the whole-survey cache file and
+// the sched checkpoint shards (the shard store is byte-oriented; these are
+// its payloads and header).
+std::string encode_survey_key(const SurveyKey& key);
+std::string encode_site_outcome(const SiteOutcome& outcome);
+// Strict decode: returns false on any truncation, trailing bytes, or
+// implausible field, leaving `outcome` unspecified.
+bool decode_site_outcome(const std::string& bytes, SiteOutcome& outcome);
+
 // Write results to `path`. Returns false on I/O failure.
 bool save_survey(const SurveyResults& results, std::uint64_t seed,
                  const std::string& path);

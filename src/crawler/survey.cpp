@@ -1,9 +1,12 @@
 #include "crawler/survey.h"
 
-#include <atomic>
-#include <thread>
+#include <memory>
 
 #include "blocker/extensions.h"
+#include "crawler/serialize.h"
+#include "sched/checkpoint.h"
+#include "sched/progress.h"
+#include "sched/worksteal.h"
 #include "support/rng.h"
 
 namespace fu::crawler {
@@ -24,6 +27,12 @@ int SurveyResults::sites_measured() const {
   return n;
 }
 
+int SurveyResults::sites_failed() const {
+  int n = 0;
+  for (const SiteOutcome& s : sites) n += s.failed ? 1 : 0;
+  return n;
+}
+
 std::uint64_t SurveyResults::total_invocations() const {
   std::uint64_t n = 0;
   for (const SiteOutcome& s : sites) n += s.invocations;
@@ -40,6 +49,43 @@ std::uint64_t SurveyResults::total_pages_visited() const {
 std::uint64_t SurveyResults::interaction_seconds() const {
   return total_pages_visited() * 30;
 }
+
+namespace {
+
+// Streams completed outcomes into checkpoint shards and the progress meter
+// as jobs finish. Runs on worker threads; the outcome it reads was written
+// by the same worker that is reporting it, and the shard writer / meter are
+// internally synchronized.
+class SurveyObserver : public sched::Observer {
+ public:
+  SurveyObserver(const SurveyResults& results,
+                 const std::vector<std::size_t>& pending,
+                 sched::ShardWriter* writer, sched::ProgressMeter* progress)
+      : results_(results),
+        pending_(pending),
+        writer_(writer),
+        progress_(progress) {}
+
+  void on_job_done(std::size_t job, bool ok, int /*attempts*/,
+                   const std::string& /*error*/) override {
+    const std::size_t site = pending_[job];
+    const SiteOutcome& outcome = results_.sites[site];
+    // Failed sites are deliberately not checkpointed: a resumed run should
+    // retry them, not inherit the failure.
+    if (ok && writer_ != nullptr) {
+      writer_->add(site, encode_site_outcome(outcome));
+    }
+    if (progress_ != nullptr) progress_->job_done(ok ? outcome.invocations : 0);
+  }
+
+ private:
+  const SurveyResults& results_;
+  const std::vector<std::size_t>& pending_;
+  sched::ShardWriter* writer_;
+  sched::ProgressMeter* progress_;
+};
+
+}  // namespace
 
 SurveyResults run_survey(const net::SyntheticWeb& web,
                          const SurveyOptions& options) {
@@ -82,12 +128,27 @@ SurveyResults run_survey(const net::SyntheticWeb& web,
 
   const std::size_t feature_count = web.feature_catalog().features().size();
 
-  const auto survey_one_site = [&](std::size_t index) {
-    const net::SitePlan& site = web.sites()[index];
-    SiteOutcome& outcome = results.sites[index];
+  const auto blank_outcome = [&] {
+    SiteOutcome outcome;
     for (auto& bits : outcome.features) {
       bits = support::DynamicBitset(feature_count);
     }
+    return outcome;
+  };
+
+  // `attempt` > 0 on retries; every attempt starts from a blank outcome so
+  // a half-crawled failure never leaks into the retry's measurements.
+  const auto survey_one_site = [&](std::size_t index, int attempt) {
+    if (options.fault_injection) options.fault_injection(index, attempt);
+
+    const net::SitePlan& site = web.sites()[index];
+    SiteOutcome& outcome = results.sites[index];
+    outcome = blank_outcome();
+
+    const std::string retry_salt =
+        (attempt > 0 && options.reseed_on_retry)
+            ? "|retry" + std::to_string(attempt)
+            : std::string();
 
     // All sessions for this site share one resource/AST cache; each
     // configuration reuses one browser session across its passes.
@@ -101,14 +162,14 @@ SurveyResults run_survey(const net::SyntheticWeb& web,
 
       const std::uint64_t session_seed =
           options.seed ^
-          support::fnv1a(site.domain + "|" + to_string(config));
+          support::fnv1a(site.domain + "|" + to_string(config) + retry_salt);
       browser::BrowserSession session(web, crawl_config.browser, session_seed);
 
       for (int pass = 0; pass < options.passes; ++pass) {
         const std::uint64_t pass_seed =
             options.seed ^
             support::fnv1a(site.domain + "|" + to_string(config) + "|" +
-                           std::to_string(pass));
+                           std::to_string(pass) + retry_salt);
         const SiteVisit visit =
             crawl_site(web, crawl_config, site, pass_seed, &session);
         outcome.responded |= visit.home_loaded;
@@ -124,31 +185,75 @@ SurveyResults run_survey(const net::SyntheticWeb& web,
     }
   };
 
-  unsigned thread_count = options.threads > 0
-                              ? static_cast<unsigned>(options.threads)
-                              : std::thread::hardware_concurrency();
-  if (thread_count == 0) thread_count = 4;
-  thread_count = std::min<unsigned>(
-      thread_count, static_cast<unsigned>(web.sites().size()));
-
-  if (thread_count <= 1) {
-    for (std::size_t i = 0; i < web.sites().size(); ++i) survey_one_site(i);
-    return results;
-  }
-
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> workers;
-  workers.reserve(thread_count);
-  for (unsigned t = 0; t < thread_count; ++t) {
-    workers.emplace_back([&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1);
-        if (i >= web.sites().size()) return;
-        survey_one_site(i);
+  // --- checkpoint/resume -------------------------------------------------
+  std::vector<char> restored(results.sites.size(), 0);
+  std::unique_ptr<sched::ShardWriter> writer;
+  if (!options.checkpoint_dir.empty()) {
+    const std::string header =
+        encode_survey_key(key_for(web, options));
+    if (options.resume) {
+      // Later shards win, so a site re-crawled after an earlier partial run
+      // replays to its newest outcome.
+      for (sched::ShardRecord& record :
+           sched::load_shards(options.checkpoint_dir, header)) {
+        if (record.index >= results.sites.size()) continue;
+        SiteOutcome outcome;
+        if (!decode_site_outcome(record.payload, outcome)) continue;
+        results.sites[record.index] = std::move(outcome);
+        restored[record.index] = 1;
       }
-    });
+    }
+    writer = std::make_unique<sched::ShardWriter>(
+        options.checkpoint_dir, header,
+        options.checkpoint_every > 0
+            ? static_cast<std::size_t>(options.checkpoint_every)
+            : 64);
   }
-  for (std::thread& w : workers) w.join();
+
+  std::vector<std::size_t> pending;
+  pending.reserve(results.sites.size());
+  for (std::size_t i = 0; i < results.sites.size(); ++i) {
+    if (!restored[i]) pending.push_back(i);
+  }
+
+  if (options.progress != nullptr) {
+    options.progress->reset(results.sites.size());
+    for (std::size_t i = 0; i < results.sites.size(); ++i) {
+      if (restored[i]) options.progress->job_skipped();
+    }
+  }
+
+  // --- schedule ----------------------------------------------------------
+  sched::SchedulerOptions sched_options;
+  sched_options.threads = options.threads;
+  sched_options.max_attempts = options.max_attempts > 0 ? options.max_attempts
+                                                        : 1;
+  sched_options.policy = options.scheduler_policy;
+  SurveyObserver observer(results, pending, writer.get(), options.progress);
+
+  const sched::RunReport run = sched::run_jobs(
+      pending.size(),
+      [&](std::size_t job, int attempt) {
+        survey_one_site(pending[job], attempt);
+      },
+      sched_options, &observer);
+
+  // Fold contained failures into their outcomes: a site that threw on every
+  // attempt reports as failed-with-reason, and the survey still completes.
+  for (std::size_t job = 0; job < run.jobs.size(); ++job) {
+    const sched::JobReport& report = run.jobs[job];
+    SiteOutcome& outcome = results.sites[pending[job]];
+    if (report.ok) {
+      outcome.attempts = report.attempts;
+    } else {
+      outcome = blank_outcome();
+      outcome.failed = true;
+      outcome.attempts = report.attempts;
+      outcome.error = report.error;
+    }
+  }
+
+  if (writer) writer->flush();
   return results;
 }
 

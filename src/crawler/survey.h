@@ -9,12 +9,18 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "crawler/crawl.h"
 #include "net/web.h"
+#include "sched/worksteal.h"
 #include "support/bitset.h"
+
+namespace fu::sched {
+class ProgressMeter;
+}
 
 namespace fu::crawler {
 
@@ -38,12 +44,50 @@ struct SurveyOptions {
   std::uint64_t seed = 0x50e11edULL;
   MonkeyConfig monkey;
   std::uint64_t fuel_per_script = 200'000;
+
+  // Fault containment: a site crawl that throws is retried up to
+  // `max_attempts` times total; the final failure is recorded in its
+  // SiteOutcome instead of killing the survey. With `reseed_on_retry` each
+  // retry mixes the attempt number into the pass seeds (a different walk
+  // may dodge the fault); off by default so retries of transient faults
+  // reproduce the exact run a clean pass would have produced.
+  int max_attempts = 1;
+  bool reseed_on_retry = false;
+
+  // Checkpointing: when `checkpoint_dir` is set, completed SiteOutcomes
+  // stream into shard files there (one shard per `checkpoint_every`
+  // outcomes), keyed by this run's SurveyKey. With `resume`, matching
+  // shards are loaded first and their sites are not recrawled — an
+  // interrupted survey picks up where it stopped.
+  std::string checkpoint_dir;
+  int checkpoint_every = 64;
+  bool resume = false;
+
+  // Optional throughput observer (sites done, invocations/s, ETA); fed from
+  // worker threads. Not owned.
+  sched::ProgressMeter* progress = nullptr;
+
+  // Scheduling policy. kStriped reproduces the seed's shared-atomic-counter
+  // loop; it exists so bench_sched_throughput can race the two on identical
+  // crawls. Results are bit-identical either way.
+  sched::SchedulerOptions::Policy scheduler_policy =
+      sched::SchedulerOptions::Policy::kWorkStealing;
+
+  // Test seam: invoked at the start of every site-crawl attempt; a throw
+  // here is contained exactly like a crawl fault. Null in production.
+  std::function<void(std::size_t site_index, int attempt)> fault_injection;
 };
 
 // Aggregated measurements for one site.
 struct SiteOutcome {
   bool responded = false;
   bool measured = false;
+  // The crawl threw on every attempt; `error` is the last failure and the
+  // other fields are reset to their empty state. Failed sites are reported
+  // like unresponsive ones but keep the reason for the operator.
+  bool failed = false;
+  int attempts = 0;  // crawl attempts consumed (0 = never scheduled)
+  std::string error;
   // Union of features seen across passes, per browsing configuration.
   std::array<support::DynamicBitset, 4> features;
   // Per-pass default-configuration feature sets (internal validation,
@@ -52,6 +96,17 @@ struct SiteOutcome {
   std::uint64_t invocations = 0;
   int pages_visited = 0;
   int scripts_blocked = 0;
+
+  // Bit-identical comparison (determinism and resume tests). `attempts` is
+  // excluded: it records scheduling history, not measurement.
+  friend bool operator==(const SiteOutcome& a, const SiteOutcome& b) {
+    return a.responded == b.responded && a.measured == b.measured &&
+           a.failed == b.failed && a.error == b.error &&
+           a.features == b.features && a.default_passes == b.default_passes &&
+           a.invocations == b.invocations &&
+           a.pages_visited == b.pages_visited &&
+           a.scripts_blocked == b.scripts_blocked;
+  }
 };
 
 struct SurveyResults {
@@ -62,6 +117,7 @@ struct SurveyResults {
   bool has_tracking_only = false;
 
   int sites_measured() const;
+  int sites_failed() const;
   std::uint64_t total_invocations() const;
   std::uint64_t total_pages_visited() const;
   // "Total website interaction time": pages × 30 s, as in Table 1.

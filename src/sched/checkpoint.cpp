@@ -1,0 +1,215 @@
+#include "sched/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+namespace fu::sched {
+
+namespace {
+
+// Bumped 0001 -> 0002: per-record payload checksum.
+constexpr char kMagic[8] = {'F', 'U', 'S', 'H', '0', '0', '0', '2'};
+constexpr const char* kExtension = ".fush";
+
+// Structural validation alone cannot catch a bit-flip *inside* a payload
+// (same length, still parses); every record carries a checksum so content
+// corruption rejects the shard like truncation does.
+std::uint64_t fnv1a_bytes(const std::string& bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(buf, 8);
+}
+
+bool get_u64(std::istream& in, std::uint64_t& v) {
+  char buf[8];
+  if (!in.read(buf, 8)) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i]))
+         << (8 * i);
+  }
+  return true;
+}
+
+std::string shard_name(std::size_t sequence) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "shard-%06zu%s", sequence, kExtension);
+  return buf;
+}
+
+// Parse "shard-NNNNNN.fush" -> NNNNNN; -1 for anything else.
+long long sequence_of(const std::filesystem::path& path) {
+  const std::string stem = path.stem().string();
+  if (path.extension() != kExtension) return -1;
+  if (stem.rfind("shard-", 0) != 0) return -1;
+  const std::string digits = stem.substr(6);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return -1;
+  }
+  return std::stoll(digits);
+}
+
+// Read one shard file completely; any defect rejects the whole shard.
+bool read_shard(const std::filesystem::path& path, const std::string& header,
+                std::vector<ShardRecord>& out) {
+  std::error_code ec;
+  const std::uint64_t file_size = std::filesystem::file_size(path, ec);
+  if (ec) return false;
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+
+  char magic[sizeof kMagic];
+  if (!in.read(magic, sizeof magic) ||
+      std::memcmp(magic, kMagic, sizeof magic) != 0) {
+    return false;
+  }
+  std::uint64_t header_len = 0;
+  if (!get_u64(in, header_len) || header_len != header.size()) return false;
+  std::string file_header(header_len, '\0');
+  if (header_len > 0 && !in.read(file_header.data(),
+                                 static_cast<std::streamsize>(header_len))) {
+    return false;
+  }
+  if (file_header != header) return false;
+
+  std::uint64_t count = 0;
+  if (!get_u64(in, count)) return false;
+  if (count > file_size / 16) return false;  // each record is >= 16 bytes
+  std::vector<ShardRecord> records;
+  records.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ShardRecord record;
+    std::uint64_t payload_len = 0, checksum = 0;
+    if (!get_u64(in, record.index) || !get_u64(in, payload_len)) return false;
+    // A corrupt length field must not drive the allocation below; nothing
+    // legitimate can claim more payload than the file holds.
+    if (payload_len > file_size) return false;
+    record.payload.resize(payload_len);
+    if (payload_len > 0 &&
+        !in.read(record.payload.data(),
+                 static_cast<std::streamsize>(payload_len))) {
+      return false;
+    }
+    if (!get_u64(in, checksum) || checksum != fnv1a_bytes(record.payload)) {
+      return false;
+    }
+    records.push_back(std::move(record));
+  }
+  // Trailing bytes mean the file is not what the writer produced.
+  if (in.peek() != std::ifstream::traits_type::eof()) return false;
+
+  out.insert(out.end(), std::make_move_iterator(records.begin()),
+             std::make_move_iterator(records.end()));
+  return true;
+}
+
+}  // namespace
+
+ShardWriter::ShardWriter(std::string dir, std::string header,
+                         std::size_t flush_every)
+    : dir_(std::move(dir)),
+      header_(std::move(header)),
+      flush_every_(flush_every > 0 ? flush_every : 1) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    ok_ = false;
+    return;
+  }
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const long long seq = sequence_of(entry.path());
+    if (seq >= 0 && static_cast<std::size_t>(seq) >= next_sequence_) {
+      next_sequence_ = static_cast<std::size_t>(seq) + 1;
+    }
+  }
+}
+
+ShardWriter::~ShardWriter() { flush(); }
+
+void ShardWriter::add(std::uint64_t index, std::string payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffer_.push_back(ShardRecord{index, std::move(payload)});
+  if (buffer_.size() >= flush_every_) flush_locked();
+}
+
+bool ShardWriter::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return flush_locked();
+}
+
+bool ShardWriter::flush_locked() {
+  if (buffer_.empty()) return ok_;
+
+  const std::filesystem::path dir(dir_);
+  const std::filesystem::path final_path = dir / shard_name(next_sequence_);
+  const std::filesystem::path tmp_path =
+      dir / (shard_name(next_sequence_) + ".tmp");
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      ok_ = false;
+      return false;
+    }
+    out.write(kMagic, sizeof kMagic);
+    put_u64(out, header_.size());
+    out.write(header_.data(), static_cast<std::streamsize>(header_.size()));
+    put_u64(out, buffer_.size());
+    for (const ShardRecord& record : buffer_) {
+      put_u64(out, record.index);
+      put_u64(out, record.payload.size());
+      out.write(record.payload.data(),
+                static_cast<std::streamsize>(record.payload.size()));
+      put_u64(out, fnv1a_bytes(record.payload));
+    }
+    out.flush();
+    if (!out) {
+      ok_ = false;
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp_path, ec);
+    ok_ = false;
+    return false;
+  }
+  buffer_.clear();
+  ++next_sequence_;
+  ++shards_written_;
+  return ok_;
+}
+
+std::vector<ShardRecord> load_shards(const std::string& dir,
+                                     const std::string& header) {
+  std::vector<std::filesystem::path> shards;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (sequence_of(entry.path()) >= 0) shards.push_back(entry.path());
+  }
+  // Shard order = write order (sequence numbers zero-padded to sort
+  // lexically), so later shards override earlier ones on replay.
+  std::sort(shards.begin(), shards.end());
+
+  std::vector<ShardRecord> records;
+  for (const std::filesystem::path& path : shards) {
+    read_shard(path, header, records);  // invalid shards skipped whole
+  }
+  return records;
+}
+
+}  // namespace fu::sched

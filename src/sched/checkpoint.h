@@ -1,0 +1,72 @@
+// Checkpoint shards: crash-safe incremental persistence for long runs.
+//
+// A long survey must survive interruption without losing hours of crawl.
+// Completed job results stream into a ShardWriter, which buffers them and
+// periodically writes a *shard*: a small immutable file, written to a temp
+// name and atomically renamed, so a crash can only lose the unflushed
+// buffer — never corrupt what is already on disk.
+//
+// The store is byte-oriented: records are (index, payload) pairs and every
+// shard carries an opaque `header` blob that must match byte-for-byte at
+// load time. The survey layer serializes its SurveyKey into the header, so
+// shards from a different seed, site count, catalog or code revision can
+// never be merged into a resumed run. A shard that is truncated, corrupt,
+// or carries the wrong header is rejected whole.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fu::sched {
+
+struct ShardRecord {
+  std::uint64_t index = 0;
+  std::string payload;
+};
+
+class ShardWriter {
+ public:
+  // Shards go to directory `dir` (created if missing); every shard embeds
+  // `header`; a flush happens automatically once `flush_every` records are
+  // buffered. The writer continues numbering after any shards already in
+  // the directory, so a resumed run never overwrites its predecessor's.
+  ShardWriter(std::string dir, std::string header,
+              std::size_t flush_every = 64);
+  ~ShardWriter();  // flushes the remainder
+
+  ShardWriter(const ShardWriter&) = delete;
+  ShardWriter& operator=(const ShardWriter&) = delete;
+
+  // Buffer one record; thread-safe. May flush inline.
+  void add(std::uint64_t index, std::string payload);
+
+  // Write all buffered records as one new shard. No-op on an empty buffer.
+  // Returns false if an I/O error occurred (also latched into ok()).
+  bool flush();
+
+  std::size_t shards_written() const { return shards_written_; }
+  bool ok() const { return ok_; }
+
+ private:
+  bool flush_locked();
+
+  std::string dir_;
+  std::string header_;
+  std::size_t flush_every_;
+  std::mutex mutex_;
+  std::vector<ShardRecord> buffer_;
+  std::size_t next_sequence_ = 0;
+  std::size_t shards_written_ = 0;
+  bool ok_ = true;
+};
+
+// Read every shard in `dir` whose header matches `header` exactly, in shard
+// order. Invalid shards — bad magic, mismatched header, truncated or
+// corrupt body — are skipped whole. On duplicate indices the later shard
+// wins (callers see records in order, so last-write-wins on replay).
+std::vector<ShardRecord> load_shards(const std::string& dir,
+                                     const std::string& header);
+
+}  // namespace fu::sched

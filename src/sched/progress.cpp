@@ -1,0 +1,119 @@
+#include "sched/progress.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace fu::sched {
+
+void ProgressMeter::reset(std::size_t total) {
+  done_.store(0, std::memory_order_relaxed);
+  skipped_.store(0, std::memory_order_relaxed);
+  units_.store(0, std::memory_order_relaxed);
+  total_ = total;
+  start_ = std::chrono::steady_clock::now();
+}
+
+void ProgressMeter::job_done(std::uint64_t units) {
+  units_.fetch_add(units, std::memory_order_relaxed);
+  done_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ProgressMeter::job_skipped() {
+  skipped_.fetch_add(1, std::memory_order_relaxed);
+  done_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ProgressMeter::Snapshot ProgressMeter::snapshot() const {
+  Snapshot snap;
+  snap.done = done_.load(std::memory_order_relaxed);
+  snap.skipped = skipped_.load(std::memory_order_relaxed);
+  snap.total = total_;
+  snap.units = units_.load(std::memory_order_relaxed);
+  snap.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  const std::size_t executed = snap.done - snap.skipped;
+  if (snap.elapsed_seconds > 0 && executed > 0) {
+    snap.jobs_per_second = static_cast<double>(executed) /
+                           snap.elapsed_seconds;
+    snap.units_per_second = static_cast<double>(snap.units) /
+                            snap.elapsed_seconds;
+    if (snap.done < snap.total) {
+      snap.eta_seconds = static_cast<double>(snap.total - snap.done) /
+                         snap.jobs_per_second;
+    }
+  }
+  return snap;
+}
+
+namespace {
+
+std::string human_count(double value) {
+  char buf[32];
+  if (value >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.1fM", value / 1e6);
+  } else if (value >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1fk", value / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f", value);
+  }
+  return buf;
+}
+
+std::string human_duration(double seconds) {
+  char buf[32];
+  if (seconds >= 3600) {
+    std::snprintf(buf, sizeof buf, "%dh%02dm", static_cast<int>(seconds) / 3600,
+                  (static_cast<int>(seconds) % 3600) / 60);
+  } else if (seconds >= 60) {
+    std::snprintf(buf, sizeof buf, "%dm%02ds", static_cast<int>(seconds) / 60,
+                  static_cast<int>(seconds) % 60);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0fs", seconds);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string format_progress(const ProgressMeter::Snapshot& snapshot,
+                            const char* noun) {
+  std::string line = std::to_string(snapshot.done) + "/" +
+                     std::to_string(snapshot.total) + " " + noun;
+  if (snapshot.skipped > 0) {
+    line += " (" + std::to_string(snapshot.skipped) + " resumed)";
+  }
+  if (snapshot.units_per_second > 0) {
+    line += "  " + human_count(snapshot.units_per_second) + " inv/s";
+  }
+  if (snapshot.eta_seconds > 0) {
+    line += "  eta " + human_duration(snapshot.eta_seconds);
+  }
+  return line;
+}
+
+ProgressPrinter::ProgressPrinter(const ProgressMeter& meter, std::ostream& out,
+                                 std::chrono::milliseconds interval,
+                                 const char* noun)
+    : meter_(meter), out_(out), noun_(noun) {
+  thread_ = std::thread([this, interval] {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!cv_.wait_for(lock, interval, [this] { return stop_; })) {
+      out_ << format_progress(meter_.snapshot(), noun_) << "\n";
+      out_.flush();
+    }
+  });
+}
+
+ProgressPrinter::~ProgressPrinter() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  out_ << format_progress(meter_.snapshot(), noun_) << "\n";
+  out_.flush();
+}
+
+}  // namespace fu::sched

@@ -1,0 +1,219 @@
+#include "sched/worksteal.h"
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace fu::sched {
+
+namespace {
+
+struct Task {
+  std::size_t index;
+  int attempt;
+};
+
+// One worker's queue. A plain mutex per deque is plenty here: survey jobs
+// are whole-site crawls (milliseconds to seconds), so queue operations are
+// nowhere near the contention regime that justifies a lock-free Chase-Lev
+// deque.
+struct WorkerQueue {
+  std::mutex mutex;
+  std::deque<Task> tasks;
+  // Keep hot queues on separate cache lines.
+  char padding[64];
+};
+
+// Runs one task to completion (including inline retries), filling in the
+// report. Returns nothing; failures are contained.
+void execute(const Job& job, const SchedulerOptions& options, Task task,
+             JobReport& report, std::atomic<std::uint64_t>& retries,
+             Observer* observer) {
+  const int max_attempts = options.max_attempts > 0 ? options.max_attempts : 1;
+  int attempt = task.attempt;
+  for (;;) {
+    try {
+      job(task.index, attempt);
+      report.ok = true;
+      report.attempts = attempt + 1;
+      report.error.clear();
+      break;
+    } catch (const std::exception& error) {
+      report.error = error.what();
+    } catch (...) {
+      report.error = "unknown exception";
+    }
+    report.ok = false;
+    report.attempts = attempt + 1;
+    if (attempt + 1 >= max_attempts) break;
+    ++attempt;
+    retries.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (observer != nullptr) {
+    observer->on_job_done(task.index, report.ok, report.attempts,
+                          report.ok ? std::string() : report.error);
+  }
+}
+
+RunReport run_striped(std::size_t count, const Job& job,
+                      const SchedulerOptions& options, Observer* observer,
+                      unsigned thread_count) {
+  RunReport report;
+  report.jobs.resize(count);
+  report.threads = thread_count;
+
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= count) return;
+      execute(job, options, Task{i, 0}, report.jobs[i], retries, observer);
+    }
+  };
+
+  if (thread_count <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(thread_count);
+    for (unsigned t = 0; t < thread_count; ++t) threads.emplace_back(worker);
+    for (std::thread& t : threads) t.join();
+  }
+  report.retries = retries.load();
+  return report;
+}
+
+RunReport run_stealing(std::size_t count, const Job& job,
+                       const SchedulerOptions& options, Observer* observer,
+                       unsigned thread_count) {
+  RunReport report;
+  report.jobs.resize(count);
+  report.threads = thread_count;
+
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> jobs_stolen{0};
+  std::atomic<std::size_t> remaining{count};
+
+  // Contiguous block distribution: worker t starts with sites
+  // [t·count/T, (t+1)·count/T). Any imbalance — long-tail sites clustering
+  // in one block — is what stealing exists to fix.
+  std::vector<WorkerQueue> queues(thread_count);
+  for (std::size_t i = 0; i < count; ++i) {
+    queues[i * thread_count / count].tasks.push_back(Task{i, 0});
+  }
+
+  const auto worker = [&](unsigned self) {
+    WorkerQueue& own = queues[self];
+    for (;;) {
+      if (remaining.load(std::memory_order_acquire) == 0) return;
+
+      Task task;
+      bool have = false;
+      {
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.tasks.empty()) {
+          task = own.tasks.front();
+          own.tasks.pop_front();
+          have = true;
+        }
+      }
+
+      if (!have) {
+        // Steal half of a victim's queue, from the back — away from the
+        // front the owner is popping. Loot moves through a local buffer so
+        // no two queue locks are ever held at once (deadlock-free by
+        // construction).
+        std::vector<Task> loot;
+        for (unsigned offset = 1; offset < thread_count && loot.empty();
+             ++offset) {
+          WorkerQueue& victim = queues[(self + offset) % thread_count];
+          std::lock_guard<std::mutex> lock(victim.mutex);
+          if (victim.tasks.empty()) continue;
+          const std::size_t take = (victim.tasks.size() + 1) / 2;
+          for (std::size_t k = 0; k < take; ++k) {
+            loot.push_back(victim.tasks.back());
+            victim.tasks.pop_back();
+          }
+        }
+        if (!loot.empty()) {
+          steals.fetch_add(1, std::memory_order_relaxed);
+          jobs_stolen.fetch_add(loot.size(), std::memory_order_relaxed);
+          task = loot.back();
+          loot.pop_back();
+          have = true;
+          if (!loot.empty()) {
+            std::lock_guard<std::mutex> lock(own.mutex);
+            own.tasks.insert(own.tasks.end(), loot.begin(), loot.end());
+          }
+        }
+      }
+
+      if (!have) {
+        // Everything is claimed but not finished; wait for stragglers (one
+        // of which may still push retries into its own queue — but retries
+        // run inline, so claimed work never reappears; this spin only ends
+        // the run).
+        std::this_thread::yield();
+        continue;
+      }
+
+      execute(job, options, task, report.jobs[task.index], retries, observer);
+      remaining.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  };
+
+  if (thread_count <= 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(thread_count);
+    for (unsigned t = 0; t < thread_count; ++t) {
+      threads.emplace_back(worker, t);
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  report.retries = retries.load();
+  report.steals = steals.load();
+  report.jobs_stolen = jobs_stolen.load();
+  return report;
+}
+
+}  // namespace
+
+bool RunReport::all_ok() const {
+  for (const JobReport& job : jobs) {
+    if (!job.ok) return false;
+  }
+  return true;
+}
+
+std::size_t RunReport::failed_count() const {
+  std::size_t n = 0;
+  for (const JobReport& job : jobs) n += job.ok ? 0 : 1;
+  return n;
+}
+
+RunReport run_jobs(std::size_t count, const Job& job,
+                   const SchedulerOptions& options, Observer* observer) {
+  unsigned thread_count = options.threads > 0
+                              ? static_cast<unsigned>(options.threads)
+                              : std::thread::hardware_concurrency();
+  if (thread_count == 0) thread_count = 4;
+  if (count > 0) {
+    thread_count = std::min<unsigned>(thread_count,
+                                      static_cast<unsigned>(count));
+  } else {
+    thread_count = 1;
+  }
+
+  if (options.policy == SchedulerOptions::Policy::kStriped) {
+    return run_striped(count, job, options, observer, thread_count);
+  }
+  return run_stealing(count, job, options, observer, thread_count);
+}
+
+}  // namespace fu::sched

@@ -1,0 +1,74 @@
+// Work-stealing job scheduler.
+//
+// The survey fans one independent job per site across worker threads. The
+// seed used a shared atomic counter, which kept every worker busy but gave
+// long-tail sites no help near the end of a run and turned any worker
+// exception into std::terminate. This pool fixes both:
+//
+//   * each worker owns a deque of jobs; when it runs dry it steals half of
+//     a victim's remaining queue, so the tail of a run stays parallel;
+//   * a job that throws is retried up to `max_attempts` times and its final
+//     failure is captured into a JobReport instead of killing the process.
+//
+// Jobs are independent and identified by index, so scheduling order can
+// never change results — determinism is the caller's seeding discipline,
+// which the scheduler preserves by construction (each index runs exactly
+// once per attempt, always on exactly one thread).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fu::sched {
+
+struct SchedulerOptions {
+  int threads = 0;  // 0 = hardware concurrency
+  // Attempts per job; a throw on the last attempt is recorded, not rethrown.
+  int max_attempts = 1;
+  // kStriped is the seed's shared-atomic-counter loop, kept as a reference
+  // implementation for benchmarking scheduler overhead.
+  enum class Policy { kWorkStealing, kStriped };
+  Policy policy = Policy::kWorkStealing;
+};
+
+// Outcome of one job after all its attempts.
+struct JobReport {
+  bool ok = false;
+  int attempts = 0;     // attempts consumed (1 = first try succeeded)
+  std::string error;    // what() of the last failure when !ok
+};
+
+struct RunReport {
+  std::vector<JobReport> jobs;
+  unsigned threads = 1;
+  std::uint64_t steals = 0;        // successful steal operations
+  std::uint64_t jobs_stolen = 0;   // jobs that changed owner
+  std::uint64_t retries = 0;       // extra attempts across all jobs
+
+  bool all_ok() const;
+  std::size_t failed_count() const;
+};
+
+// Called from worker threads after each job's final attempt; implementations
+// must be thread-safe. `attempts` is the count consumed, `error` is empty on
+// success.
+class Observer {
+ public:
+  virtual ~Observer() = default;
+  virtual void on_job_done(std::size_t index, bool ok, int attempts,
+                           const std::string& error) = 0;
+};
+
+// `attempt` is 0 on the first try and increments on every retry, so a job
+// can reseed itself (or not) across attempts.
+using Job = std::function<void(std::size_t index, int attempt)>;
+
+// Run jobs [0, count) to completion. Never throws on job failure; only a
+// job's own side effects and the returned reports tell them apart.
+RunReport run_jobs(std::size_t count, const Job& job,
+                   const SchedulerOptions& options = {},
+                   Observer* observer = nullptr);
+
+}  // namespace fu::sched

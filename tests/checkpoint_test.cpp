@@ -1,0 +1,306 @@
+// Checkpoint shards must be paranoid: a shard that is truncated, corrupt,
+// or written under a different SurveyKey can never leak into a resumed
+// survey — and a resume must reproduce the uninterrupted run bit for bit.
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+
+#include "crawler/serialize.h"
+#include "sched/checkpoint.h"
+#include "test_util.h"
+
+namespace fu {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Fresh scratch directory per test.
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("fu_ckpt_" + std::string(
+               ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir() const { return dir_.string(); }
+  std::vector<fs::path> shard_files() const {
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+  }
+
+  fs::path dir_;
+};
+
+// ----------------------------------------------------------- raw shards --
+
+TEST_F(CheckpointTest, RoundTripsRecordsAcrossFlushes) {
+  {
+    sched::ShardWriter writer(dir(), "hdr", /*flush_every=*/2);
+    writer.add(3, "three");
+    writer.add(1, "one");   // auto-flush at 2
+    writer.add(9, "nine");
+    EXPECT_TRUE(writer.flush());
+    EXPECT_EQ(writer.shards_written(), 2u);
+    EXPECT_TRUE(writer.ok());
+  }
+  const auto records = sched::load_shards(dir(), "hdr");
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].index, 3u);
+  EXPECT_EQ(records[0].payload, "three");
+  EXPECT_EQ(records[1].index, 1u);
+  EXPECT_EQ(records[2].payload, "nine");
+}
+
+TEST_F(CheckpointTest, EmptyBufferWritesNoShard) {
+  sched::ShardWriter writer(dir(), "hdr");
+  EXPECT_TRUE(writer.flush());
+  EXPECT_EQ(writer.shards_written(), 0u);
+  EXPECT_TRUE(shard_files().empty());
+}
+
+TEST_F(CheckpointTest, MismatchedHeaderIsRejected) {
+  {
+    sched::ShardWriter writer(dir(), "seed=1", 8);
+    writer.add(0, "payload");
+  }
+  EXPECT_TRUE(sched::load_shards(dir(), "seed=2").empty());
+  EXPECT_EQ(sched::load_shards(dir(), "seed=1").size(), 1u);
+}
+
+TEST_F(CheckpointTest, TruncatedShardIsRejectedWhole) {
+  {
+    sched::ShardWriter writer(dir(), "hdr", 8);
+    writer.add(0, "first payload");
+    writer.add(1, "second payload");
+  }
+  const auto files = shard_files();
+  ASSERT_EQ(files.size(), 1u);
+  const auto full_size = fs::file_size(files[0]);
+  fs::resize_file(files[0], full_size - 5);
+  EXPECT_TRUE(sched::load_shards(dir(), "hdr").empty());
+}
+
+TEST_F(CheckpointTest, CorruptRecordLengthIsRejected) {
+  {
+    sched::ShardWriter writer(dir(), "hdr", 8);
+    writer.add(0, "payload");
+  }
+  const auto files = shard_files();
+  ASSERT_EQ(files.size(), 1u);
+  // Blow up the payload-length field (the record tail is length + payload +
+  // checksum); an absurd length must not be trusted.
+  std::fstream f(files[0], std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(-static_cast<std::streamoff>(8 + 7 + 8), std::ios::end);
+  const char big[8] = {'\xff', '\xff', '\xff', '\xff',
+                       '\xff', '\xff', '\xff', '\x7f'};
+  f.write(big, 8);
+  f.close();
+  EXPECT_TRUE(sched::load_shards(dir(), "hdr").empty());
+}
+
+TEST_F(CheckpointTest, PayloadBitFlipIsRejected) {
+  {
+    sched::ShardWriter writer(dir(), "hdr", 8);
+    writer.add(0, "payload");
+  }
+  const auto files = shard_files();
+  ASSERT_EQ(files.size(), 1u);
+  // Flip one byte *inside* the payload: the file stays structurally valid
+  // (same lengths, same framing), so only the checksum can catch it.
+  std::fstream f(files[0], std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(-static_cast<std::streamoff>(7 + 8), std::ios::end);
+  f.put('X');
+  f.close();
+  EXPECT_TRUE(sched::load_shards(dir(), "hdr").empty());
+}
+
+TEST_F(CheckpointTest, TrailingGarbageIsRejected) {
+  {
+    sched::ShardWriter writer(dir(), "hdr", 8);
+    writer.add(0, "payload");
+  }
+  const auto files = shard_files();
+  ASSERT_EQ(files.size(), 1u);
+  std::ofstream(files[0], std::ios::binary | std::ios::app) << "junk";
+  EXPECT_TRUE(sched::load_shards(dir(), "hdr").empty());
+}
+
+TEST_F(CheckpointTest, OneBadShardDoesNotPoisonTheRest) {
+  {
+    sched::ShardWriter writer(dir(), "hdr", 1);
+    writer.add(0, "a");
+    writer.add(1, "b");
+  }
+  auto files = shard_files();
+  ASSERT_EQ(files.size(), 2u);
+  fs::resize_file(files[0], 4);  // kill the first shard only
+  const auto records = sched::load_shards(dir(), "hdr");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].payload, "b");
+}
+
+TEST_F(CheckpointTest, SecondWriterContinuesNumbering) {
+  {
+    sched::ShardWriter writer(dir(), "hdr", 1);
+    writer.add(0, "first run");
+  }
+  {
+    sched::ShardWriter writer(dir(), "hdr", 1);
+    writer.add(1, "second run");
+  }
+  EXPECT_EQ(shard_files().size(), 2u);
+  EXPECT_EQ(sched::load_shards(dir(), "hdr").size(), 2u);
+}
+
+TEST_F(CheckpointTest, LaterShardWinsOnDuplicateIndex) {
+  {
+    sched::ShardWriter writer(dir(), "hdr", 1);
+    writer.add(5, "old");
+    writer.add(5, "new");
+  }
+  const auto records = sched::load_shards(dir(), "hdr");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records.back().payload, "new");  // replay order = last wins
+}
+
+// ------------------------------------------------------ survey outcomes --
+
+TEST_F(CheckpointTest, SiteOutcomeEncodingRoundTrips) {
+  crawler::SiteOutcome outcome;
+  outcome.responded = true;
+  outcome.measured = true;
+  outcome.failed = false;
+  outcome.attempts = 2;
+  outcome.invocations = 12345;
+  outcome.pages_visited = 13;
+  outcome.scripts_blocked = 4;
+  for (auto& bits : outcome.features) bits = support::DynamicBitset(100);
+  outcome.features[0].set(7);
+  outcome.features[1].set(99);
+  outcome.default_passes.resize(2, support::DynamicBitset(100));
+  outcome.default_passes[1].set(42);
+
+  crawler::SiteOutcome decoded;
+  ASSERT_TRUE(crawler::decode_site_outcome(
+      crawler::encode_site_outcome(outcome), decoded));
+  EXPECT_TRUE(decoded == outcome);
+  EXPECT_EQ(decoded.attempts, 2);
+
+  // Truncation at any point must fail, never half-fill.
+  const std::string bytes = crawler::encode_site_outcome(outcome);
+  EXPECT_FALSE(crawler::decode_site_outcome(
+      bytes.substr(0, bytes.size() / 2), decoded));
+  EXPECT_FALSE(crawler::decode_site_outcome(bytes + "x", decoded));
+}
+
+TEST_F(CheckpointTest, FailedOutcomeSurvivesTheSurveyCacheFile) {
+  crawler::SurveyResults results = fu::test::small_survey();  // copy
+  results.sites[5] = crawler::SiteOutcome();
+  results.sites[5].failed = true;
+  results.sites[5].attempts = 3;
+  results.sites[5].error = "browser exploded: out of fuel";
+
+  const std::string path = (dir_ / "survey.bin").string();
+  ASSERT_TRUE(crawler::save_survey(results, 0x50e11edULL, path));
+  const auto loaded = crawler::load_survey(
+      *results.web, crawler::key_of(results, 0x50e11edULL), path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->sites[5].failed);
+  EXPECT_EQ(loaded->sites[5].attempts, 3);
+  EXPECT_EQ(loaded->sites[5].error, "browser exploded: out of fuel");
+  EXPECT_EQ(loaded->sites_failed(), 1);
+}
+
+// -------------------------------------------------------------- resume --
+
+const net::SyntheticWeb& resume_web() {
+  static const net::SyntheticWeb kWeb = [] {
+    net::SyntheticWeb::Config config;
+    config.site_count = 30;
+    return net::SyntheticWeb(fu::test::shared_catalog(), config);
+  }();
+  return kWeb;
+}
+
+crawler::SurveyOptions resume_options() {
+  crawler::SurveyOptions options;
+  options.passes = 2;
+  options.include_ad_only = false;
+  options.include_tracking_only = false;
+  options.threads = 2;
+  return options;
+}
+
+TEST_F(CheckpointTest, InterruptedSurveyResumesToTheIdenticalRun) {
+  const crawler::SurveyResults uninterrupted =
+      run_survey(resume_web(), resume_options());
+
+  // "Interrupt" the survey: sites >= 15 die on every attempt, so only the
+  // first half reaches the checkpoint shards.
+  crawler::SurveyOptions first = resume_options();
+  first.checkpoint_dir = dir();
+  first.checkpoint_every = 4;
+  first.fault_injection = [](std::size_t site, int) {
+    if (site >= 15) throw std::runtime_error("simulated interruption");
+  };
+  const crawler::SurveyResults interrupted = run_survey(resume_web(), first);
+  EXPECT_EQ(interrupted.sites_failed(), 15);
+  EXPECT_FALSE(shard_files().empty());
+
+  // Resume. The injection now kills any *restored* site that gets
+  // recrawled, proving checkpointed sites are loaded, not re-run.
+  crawler::SurveyOptions second = resume_options();
+  second.checkpoint_dir = dir();
+  second.resume = true;
+  second.fault_injection = [](std::size_t site, int) {
+    if (site < 15) throw std::runtime_error("recrawled a restored site");
+  };
+  const crawler::SurveyResults resumed = run_survey(resume_web(), second);
+
+  EXPECT_EQ(resumed.sites_failed(), 0);
+  ASSERT_EQ(resumed.sites.size(), uninterrupted.sites.size());
+  for (std::size_t i = 0; i < resumed.sites.size(); ++i) {
+    EXPECT_TRUE(resumed.sites[i] == uninterrupted.sites[i]) << "site " << i;
+  }
+}
+
+TEST_F(CheckpointTest, ShardsFromADifferentSeedAreIgnoredOnResume) {
+  crawler::SurveyOptions first = resume_options();
+  first.checkpoint_dir = dir();
+  const crawler::SurveyResults original = run_survey(resume_web(), first);
+  EXPECT_GT(original.sites_measured(), 0);
+  EXPECT_FALSE(shard_files().empty());
+
+  // Same directory, different seed: nothing may be restored, so the
+  // injection (which fails anything actually crawled) fails every site.
+  crawler::SurveyOptions second = resume_options();
+  second.seed = first.seed ^ 0xdeadbeefULL;
+  second.checkpoint_dir = dir();
+  second.resume = true;
+  second.fault_injection = [](std::size_t, int) {
+    throw std::runtime_error("crawled");
+  };
+  const crawler::SurveyResults resumed = run_survey(resume_web(), second);
+  EXPECT_EQ(static_cast<std::size_t>(resumed.sites_failed()),
+            resumed.sites.size());
+}
+
+TEST_F(CheckpointTest, ResumeWithEmptyDirectoryJustCrawls) {
+  crawler::SurveyOptions options = resume_options();
+  options.checkpoint_dir = dir();
+  options.resume = true;
+  const crawler::SurveyResults results = run_survey(resume_web(), options);
+  EXPECT_EQ(results.sites_failed(), 0);
+  EXPECT_GT(results.sites_measured(), 0);
+}
+
+}  // namespace
+}  // namespace fu

@@ -1,0 +1,321 @@
+// The scheduler's contract: every job runs exactly once (per attempt),
+// failures are contained and retried, stealing keeps the tail parallel —
+// and none of it may change survey results by so much as a bit.
+#include <atomic>
+#include <chrono>
+#include <gtest/gtest.h>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "sched/progress.h"
+#include "sched/worksteal.h"
+#include "test_util.h"
+
+namespace fu::sched {
+namespace {
+
+// ------------------------------------------------------------ worksteal --
+
+TEST(WorkSteal, EveryJobRunsExactlyOnce) {
+  constexpr std::size_t kJobs = 500;
+  std::vector<std::atomic<int>> runs(kJobs);
+  SchedulerOptions options;
+  options.threads = 8;
+  const RunReport report = run_jobs(
+      kJobs, [&](std::size_t i, int) { runs[i].fetch_add(1); }, options);
+  EXPECT_TRUE(report.all_ok());
+  EXPECT_EQ(report.jobs.size(), kJobs);
+  EXPECT_EQ(report.threads, 8u);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    EXPECT_EQ(runs[i].load(), 1) << "job " << i;
+  }
+  for (const JobReport& job : report.jobs) {
+    EXPECT_TRUE(job.ok);
+    EXPECT_EQ(job.attempts, 1);
+  }
+}
+
+TEST(WorkSteal, ZeroJobsIsANoop) {
+  const RunReport report =
+      run_jobs(0, [](std::size_t, int) { FAIL() << "job ran"; });
+  EXPECT_TRUE(report.jobs.empty());
+  EXPECT_TRUE(report.all_ok());
+}
+
+TEST(WorkSteal, StealsRebalanceASkewedLoad) {
+  // Block distribution puts jobs [0, 16) on worker 0; they are slow, the
+  // rest are free. The other workers must drain their blocks and then
+  // steal from worker 0's deque.
+  constexpr std::size_t kJobs = 64;
+  std::vector<std::atomic<int>> runs(kJobs);
+  SchedulerOptions options;
+  options.threads = 4;
+  const RunReport report = run_jobs(
+      kJobs,
+      [&](std::size_t i, int) {
+        runs[i].fetch_add(1);
+        if (i < kJobs / 4) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+      },
+      options);
+  EXPECT_TRUE(report.all_ok());
+  EXPECT_GT(report.steals, 0u);
+  EXPECT_GT(report.jobs_stolen, 0u);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    EXPECT_EQ(runs[i].load(), 1) << "job " << i;
+  }
+}
+
+TEST(WorkSteal, TransientFaultIsRetriedToSuccess) {
+  constexpr std::size_t kJobs = 32;
+  std::vector<std::atomic<int>> runs(kJobs);
+  SchedulerOptions options;
+  options.threads = 4;
+  options.max_attempts = 3;
+  const RunReport report = run_jobs(
+      kJobs,
+      [&](std::size_t i, int attempt) {
+        runs[i].fetch_add(1);
+        if (i % 2 == 1 && attempt == 0) {
+          throw std::runtime_error("transient");
+        }
+      },
+      options);
+  EXPECT_TRUE(report.all_ok());
+  EXPECT_EQ(report.retries, kJobs / 2);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    EXPECT_EQ(report.jobs[i].attempts, i % 2 == 1 ? 2 : 1);
+    EXPECT_EQ(runs[i].load(), i % 2 == 1 ? 2 : 1);
+  }
+}
+
+TEST(WorkSteal, FinalFailureIsContainedNotFatal) {
+  SchedulerOptions options;
+  options.threads = 2;
+  options.max_attempts = 2;
+  const RunReport report = run_jobs(
+      8,
+      [](std::size_t i, int) {
+        if (i == 3) throw std::runtime_error("boom 3");
+      },
+      options);
+  EXPECT_FALSE(report.all_ok());
+  EXPECT_EQ(report.failed_count(), 1u);
+  EXPECT_FALSE(report.jobs[3].ok);
+  EXPECT_EQ(report.jobs[3].attempts, 2);
+  EXPECT_EQ(report.jobs[3].error, "boom 3");
+  EXPECT_EQ(report.retries, 1u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (i != 3) {
+      EXPECT_TRUE(report.jobs[i].ok) << i;
+    }
+  }
+}
+
+TEST(WorkSteal, NonStdExceptionIsContained) {
+  const RunReport report =
+      run_jobs(1, [](std::size_t, int) { throw 42; });
+  EXPECT_FALSE(report.jobs[0].ok);
+  EXPECT_EQ(report.jobs[0].error, "unknown exception");
+}
+
+TEST(WorkSteal, ObserverSeesEveryJob) {
+  class Counter : public Observer {
+   public:
+    void on_job_done(std::size_t, bool ok, int, const std::string&) override {
+      (ok ? done_ : failed_).fetch_add(1);
+    }
+    std::atomic<int> done_{0};
+    std::atomic<int> failed_{0};
+  } counter;
+  SchedulerOptions options;
+  options.threads = 4;
+  run_jobs(
+      40,
+      [](std::size_t i, int) {
+        if (i == 7) throw std::runtime_error("x");
+      },
+      options, &counter);
+  EXPECT_EQ(counter.done_.load(), 39);
+  EXPECT_EQ(counter.failed_.load(), 1);
+}
+
+TEST(WorkSteal, StripedPolicyRunsEverythingToo) {
+  constexpr std::size_t kJobs = 100;
+  std::vector<std::atomic<int>> runs(kJobs);
+  SchedulerOptions options;
+  options.threads = 4;
+  options.policy = SchedulerOptions::Policy::kStriped;
+  const RunReport report = run_jobs(
+      kJobs, [&](std::size_t i, int) { runs[i].fetch_add(1); }, options);
+  EXPECT_TRUE(report.all_ok());
+  EXPECT_EQ(report.steals, 0u);
+  for (std::size_t i = 0; i < kJobs; ++i) EXPECT_EQ(runs[i].load(), 1);
+}
+
+// ------------------------------------------------------------- progress --
+
+TEST(Progress, MeterTracksDoneSkippedAndUnits) {
+  ProgressMeter meter(10);
+  meter.job_skipped();
+  meter.job_skipped();
+  meter.job_done(100);
+  meter.job_done(50);
+  const ProgressMeter::Snapshot snap = meter.snapshot();
+  EXPECT_EQ(snap.done, 4u);
+  EXPECT_EQ(snap.skipped, 2u);
+  EXPECT_EQ(snap.total, 10u);
+  EXPECT_EQ(snap.units, 150u);
+  EXPECT_GT(snap.jobs_per_second, 0.0);
+  EXPECT_GT(snap.units_per_second, 0.0);
+  EXPECT_GT(snap.eta_seconds, 0.0);  // 6 jobs left
+}
+
+TEST(Progress, EtaIsZeroWhenFinished) {
+  ProgressMeter meter(2);
+  meter.job_done(1);
+  meter.job_done(1);
+  EXPECT_EQ(meter.snapshot().eta_seconds, 0.0);
+}
+
+TEST(Progress, FormatMentionsCountsAndResumes) {
+  ProgressMeter::Snapshot snap;
+  snap.done = 247;
+  snap.total = 10000;
+  snap.skipped = 40;
+  snap.units_per_second = 1.25e6;
+  snap.eta_seconds = 192;
+  const std::string line = format_progress(snap);
+  EXPECT_NE(line.find("247/10000 sites"), std::string::npos) << line;
+  EXPECT_NE(line.find("(40 resumed)"), std::string::npos) << line;
+  EXPECT_NE(line.find("1.2M inv/s"), std::string::npos) << line;
+  EXPECT_NE(line.find("eta 3m12s"), std::string::npos) << line;
+}
+
+TEST(Progress, PrinterEmitsAtLeastAFinalLine) {
+  ProgressMeter meter(1);
+  std::ostringstream out;
+  {
+    ProgressPrinter printer(meter, out, std::chrono::milliseconds(10));
+    meter.job_done(7);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  EXPECT_NE(out.str().find("1/1 sites"), std::string::npos) << out.str();
+}
+
+}  // namespace
+}  // namespace fu::sched
+
+// ------------------------------------------------- survey on the sched --
+
+namespace fu::crawler {
+namespace {
+
+// A small but real web: every test below crawls it for real, so keep it
+// modest (the full test_util::small_web survey is exercised elsewhere).
+const net::SyntheticWeb& sched_web() {
+  static const net::SyntheticWeb kWeb = [] {
+    net::SyntheticWeb::Config config;
+    config.site_count = 40;
+    return net::SyntheticWeb(fu::test::shared_catalog(), config);
+  }();
+  return kWeb;
+}
+
+SurveyOptions fast_options() {
+  SurveyOptions options;
+  options.passes = 2;
+  options.include_ad_only = false;
+  options.include_tracking_only = false;
+  return options;
+}
+
+void expect_same_sites(const SurveyResults& a, const SurveyResults& b) {
+  ASSERT_EQ(a.sites.size(), b.sites.size());
+  for (std::size_t i = 0; i < a.sites.size(); ++i) {
+    EXPECT_TRUE(a.sites[i] == b.sites[i]) << "site " << i;
+  }
+}
+
+TEST(SchedSurvey, BitIdenticalAcrossThreadCounts) {
+  SurveyOptions options = fast_options();
+  options.threads = 1;
+  const SurveyResults one = run_survey(sched_web(), options);
+  options.threads = 4;
+  const SurveyResults four = run_survey(sched_web(), options);
+  options.threads = 8;
+  const SurveyResults eight = run_survey(sched_web(), options);
+  EXPECT_GT(one.sites_measured(), 0);
+  expect_same_sites(one, four);
+  expect_same_sites(one, eight);
+}
+
+TEST(SchedSurvey, ThrowingSiteIsContainedAndReported) {
+  SurveyOptions options = fast_options();
+  options.threads = 4;
+  options.fault_injection = [](std::size_t site, int) {
+    if (site == 7) throw std::runtime_error("injected crawl fault");
+  };
+  const SurveyResults results = run_survey(sched_web(), options);
+
+  ASSERT_EQ(results.sites.size(), sched_web().sites().size());
+  EXPECT_EQ(results.sites_failed(), 1);
+  const SiteOutcome& failed = results.sites[7];
+  EXPECT_TRUE(failed.failed);
+  EXPECT_FALSE(failed.measured);
+  EXPECT_EQ(failed.error, "injected crawl fault");
+  EXPECT_EQ(failed.attempts, 1);
+  EXPECT_EQ(failed.invocations, 0u);
+
+  // Every other site matches a fault-free run exactly.
+  const SurveyResults clean = run_survey(sched_web(), fast_options());
+  for (std::size_t i = 0; i < results.sites.size(); ++i) {
+    if (i == 7) continue;
+    EXPECT_TRUE(results.sites[i] == clean.sites[i]) << "site " << i;
+  }
+}
+
+TEST(SchedSurvey, TransientFaultRetriesToTheExactCleanRun) {
+  SurveyOptions options = fast_options();
+  options.threads = 4;
+  options.max_attempts = 2;
+  options.fault_injection = [](std::size_t site, int attempt) {
+    if (site == 7 && attempt == 0) throw std::runtime_error("first try dies");
+  };
+  const SurveyResults retried = run_survey(sched_web(), options);
+  EXPECT_EQ(retried.sites_failed(), 0);
+  EXPECT_EQ(retried.sites[7].attempts, 2);
+
+  const SurveyResults clean = run_survey(sched_web(), fast_options());
+  expect_same_sites(retried, clean);
+}
+
+TEST(SchedSurvey, ReseedOnRetryStillMeasuresTheSite) {
+  SurveyOptions options = fast_options();
+  options.max_attempts = 3;
+  options.reseed_on_retry = true;
+  options.fault_injection = [](std::size_t site, int attempt) {
+    if (site == 3 && attempt < 2) throw std::runtime_error("flaky");
+  };
+  const SurveyResults results = run_survey(sched_web(), options);
+  EXPECT_EQ(results.sites_failed(), 0);
+  EXPECT_EQ(results.sites[3].attempts, 3);
+  EXPECT_TRUE(results.sites[3].responded);
+}
+
+TEST(SchedSurvey, ProgressMeterObservesTheWholeRun) {
+  sched::ProgressMeter meter;
+  SurveyOptions options = fast_options();
+  options.threads = 2;
+  options.progress = &meter;
+  const SurveyResults results = run_survey(sched_web(), options);
+  const sched::ProgressMeter::Snapshot snap = meter.snapshot();
+  EXPECT_EQ(snap.done, results.sites.size());
+  EXPECT_EQ(snap.total, results.sites.size());
+  EXPECT_EQ(snap.units, results.total_invocations());
+}
+
+}  // namespace
+}  // namespace fu::crawler

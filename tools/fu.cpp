@@ -10,8 +10,10 @@
 //   fu lists                    print the generated ad/tracking filter lists
 //
 // Scale via FU_SITES / FU_PASSES / FU_SEED (see README).
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <string>
 
 #include "analysis/report.h"
 #include "blocker/extensions.h"
@@ -29,9 +31,26 @@ int usage() {
       "  fetch <url> [--auth]  fetch a synthetic resource\n"
       "  crawl <domain> [--blockers] [--auth]\n"
       "  standard <abbrev>     survey-backed deep-dive for one standard\n"
-      "  survey                run the survey, print the main tables\n"
+      "  survey [flags]        run the survey, print the main tables\n"
       "  report <dir>          export every table/figure/CSV\n"
-      "  lists                 print the generated filter lists\n";
+      "  lists                 print the generated filter lists\n"
+      "\n"
+      "survey flags:\n"
+      "  --threads <n>         worker threads (default: hardware concurrency)\n"
+      "  --progress            live progress to stderr (sites, inv/s, ETA)\n"
+      "  --checkpoint-dir <d>  stream completed sites into shards under <d>\n"
+      "  --resume              resume from matching shards in the\n"
+      "                        checkpoint dir instead of recrawling\n"
+      "  --retries <n>         extra attempts for a site whose crawl throws\n"
+      "\n"
+      "environment:\n"
+      "  FU_SITES / FU_PASSES / FU_SEED   survey scale (default 10000/5)\n"
+      "  FU_THREADS            worker threads (same as --threads)\n"
+      "  FU_FIG7=0             skip the two single-blocker configurations\n"
+      "  FU_CACHE=0            disable the on-disk survey cache\n"
+      "  FU_CACHE_DIR          cache directory (default ./fu_cache)\n"
+      "  FU_RETRIES            extra crawl attempts (same as --retries)\n"
+      "  FU_CHECKPOINT_DIR     shard directory (same as --checkpoint-dir)\n";
   return 2;
 }
 
@@ -156,11 +175,61 @@ int cmd_standard(Reproduction& repro, int argc, char** argv) {
   return 0;
 }
 
+// Fold `fu survey` flags into the config; returns false on a bad flag.
+bool parse_survey_flags(ReproductionConfig& config, int argc, char** argv) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    // A numeric flag rejects a missing or non-numeric value outright —
+    // atoi-style "abc -> 0" would silently launch a full-scale survey.
+    const auto int_value = [&](int& out) {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a number\n";
+        return false;
+      }
+      const char* text = argv[++i];
+      char* end = nullptr;
+      const long parsed = std::strtol(text, &end, 10);
+      if (end == text || *end != '\0' || parsed < 0) {
+        std::cerr << arg << ": not a number: " << text << "\n";
+        return false;
+      }
+      out = static_cast<int>(parsed);
+      return true;
+    };
+    if (arg == "--resume") {
+      config.resume = true;
+    } else if (arg == "--progress") {
+      config.progress = true;
+    } else if (arg == "--threads") {
+      if (!int_value(config.threads)) return false;
+    } else if (arg == "--retries") {
+      if (!int_value(config.retries)) return false;
+    } else if (arg == "--checkpoint-dir") {
+      if (i + 1 >= argc) return false;
+      config.checkpoint_dir = argv[++i];
+    } else {
+      std::cerr << "unknown survey flag: " << arg << "\n";
+      return false;
+    }
+  }
+  // Resuming implies shards exist somewhere; default next to the cache.
+  if (config.resume && config.checkpoint_dir.empty()) {
+    config.checkpoint_dir = "fu_checkpoint";
+  }
+  return true;
+}
+
 int cmd_survey(Reproduction& repro) {
   const analysis::Analysis& an = repro.analysis();
   std::cout << analysis::render_table1(repro.survey()) << "\n"
             << analysis::render_table3(repro.survey()) << "\n"
             << analysis::render_headline(an);
+  const int failed = repro.survey().sites_failed();
+  if (failed > 0) {
+    std::cerr << failed << " site(s) failed after "
+              << (1 + repro.config().retries)
+              << " attempt(s); see SiteOutcome::error\n";
+  }
   return 0;
 }
 
@@ -181,10 +250,14 @@ int cmd_lists(Reproduction& repro) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
-  Reproduction repro(ReproductionConfig::from_env());
   const std::string command = argv[1];
   char** rest = argv + 2;
   const int nrest = argc - 2;
+  ReproductionConfig config = ReproductionConfig::from_env();
+  if (command == "survey" && !parse_survey_flags(config, nrest, rest)) {
+    return usage();
+  }
+  Reproduction repro(config);
   try {
     if (command == "catalog") return cmd_catalog(repro, nrest, rest);
     if (command == "feature") return cmd_feature(repro, nrest, rest);
