@@ -1,0 +1,146 @@
+// bench_obs_overhead — what does always-compiled-in observability cost?
+//
+// Three answers:
+//
+//   1. Disabled tracing: a TraceSpan with no tracer installed must cost a
+//      relaxed load and a branch — single-digit nanoseconds. This bench
+//      *asserts* the bound (generously, 150 ns/span, ~50x the expected
+//      cost) so a regression that sneaks a lock or allocation onto the
+//      disabled path fails the build's bench job, not a profiling session
+//      three months later.
+//   2. Metric counters: the always-on relaxed sharded add, in ns/add.
+//   3. The real question: wall-clock of a survey untraced vs traced, with
+//      a check that both produce identical invocation counts.
+//
+// Scale the survey with FU_SITES (default 100) and FU_PASSES (default 2).
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace fu;
+
+// Keep the optimizer from deleting the measured loops.
+volatile std::uint64_t g_sink = 0;
+
+double disabled_span_ns(std::size_t iters) {
+  const bench::Timer timer;
+  for (std::size_t i = 0; i < iters; ++i) {
+    obs::TraceSpan span("bench-disabled");
+    g_sink = g_sink + 1;
+  }
+  return timer.seconds() * 1e9 / static_cast<double>(iters);
+}
+
+double baseline_ns(std::size_t iters) {
+  const bench::Timer timer;
+  for (std::size_t i = 0; i < iters; ++i) {
+    g_sink = g_sink + 1;
+  }
+  return timer.seconds() * 1e9 / static_cast<double>(iters);
+}
+
+double counter_add_ns(std::size_t iters) {
+  obs::Counter& counter = obs::Registry::global().counter("bench.counter");
+  const bench::Timer timer;
+  for (std::size_t i = 0; i < iters; ++i) counter.add();
+  return timer.seconds() * 1e9 / static_cast<double>(iters);
+}
+
+double enabled_span_ns(std::size_t iters) {
+  obs::Tracer tracer;
+  tracer.start();
+  const bench::Timer timer;
+  for (std::size_t i = 0; i < iters; ++i) {
+    obs::TraceSpan span("bench-enabled");
+    g_sink = g_sink + 1;
+  }
+  const double ns = timer.seconds() * 1e9 / static_cast<double>(iters);
+  tracer.stop();
+  return ns;
+}
+
+double time_survey(const net::SyntheticWeb& web,
+                   const crawler::SurveyOptions& options,
+                   std::uint64_t& invocations) {
+  const bench::Timer timer;
+  const crawler::SurveyResults results = crawler::run_survey(web, options);
+  invocations = results.total_invocations();
+  return timer.seconds();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== observability overhead ===\n\n");
+
+  constexpr std::size_t kIters = 2'000'000;
+  const double base = baseline_ns(kIters);
+  const double disabled = disabled_span_ns(kIters);
+  const double counter = counter_add_ns(kIters);
+  const double enabled = enabled_span_ns(1'000'000);
+  std::printf("-- hot-path microcosts (ns/op, %zuk iterations) --\n",
+              kIters / 1000);
+  std::printf("  %-28s %8.2f\n", "baseline (sink store)", base);
+  std::printf("  %-28s %8.2f\n", "TraceSpan, tracing off", disabled);
+  std::printf("  %-28s %8.2f\n", "Counter::add", counter);
+  std::printf("  %-28s %8.2f\n", "TraceSpan, tracing on", enabled);
+
+  // The contract this bench exists to enforce: the disabled span is within
+  // noise of doing nothing. 150 ns is ~50x the expected cost — loose enough
+  // for any CI machine, tight enough to catch a lock or allocation.
+  const double disabled_cost = disabled - base;
+  if (disabled_cost > 150.0) {
+    std::fprintf(stderr,
+                 "FAIL: disabled TraceSpan costs %.1f ns over baseline "
+                 "(budget 150 ns) — something heavy crept onto the "
+                 "tracing-off path\n",
+                 disabled_cost);
+    return 1;
+  }
+  std::printf("  disabled-span overhead %.2f ns/span: within budget "
+              "(150 ns)\n\n",
+              disabled_cost);
+
+  // Whole-survey cost, off vs on.
+  ReproductionConfig config = ReproductionConfig::from_env();
+  if (std::getenv("FU_SITES") == nullptr) config.sites = 100;
+  if (std::getenv("FU_PASSES") == nullptr) config.passes = 2;
+  Reproduction repro(config);
+  const net::SyntheticWeb& web = repro.web();
+
+  crawler::SurveyOptions options;
+  options.passes = config.passes;
+  options.seed = config.seed;
+  options.include_ad_only = false;
+  options.include_tracking_only = false;
+  options.threads = 4;
+
+  std::printf("-- %d-site survey, %d passes, 4 threads --\n", config.sites,
+              config.passes);
+  std::uint64_t untraced_inv = 0, traced_inv = 0;
+  const double untraced_s = time_survey(web, options, untraced_inv);
+
+  obs::Tracer tracer;
+  tracer.start();
+  const double traced_s = time_survey(web, options, traced_inv);
+  const std::size_t spans = tracer.stop().size();
+
+  std::printf("  %-28s %8.2f s\n", "tracing off", untraced_s);
+  std::printf("  %-28s %8.2f s  (%zu spans, %+.1f%%)\n", "tracing on",
+              traced_s, spans, (traced_s / untraced_s - 1.0) * 100.0);
+  if (untraced_inv != traced_inv) {
+    std::fprintf(stderr,
+                 "FAIL: tracing changed the survey (invocations %llu vs "
+                 "%llu)\n",
+                 static_cast<unsigned long long>(untraced_inv),
+                 static_cast<unsigned long long>(traced_inv));
+    return 1;
+  }
+  std::printf("  results identical with tracing on\n");
+  return 0;
+}

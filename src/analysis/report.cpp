@@ -29,6 +29,16 @@ std::string render_csv(
 
 }  // namespace
 
+std::string failures_csv(const crawler::SurveyResults& survey) {
+  return render_csv({"domain", "attempts", "error"}, [&](CsvWriter& w) {
+    for (std::size_t i = 0; i < survey.sites.size(); ++i) {
+      const crawler::SiteOutcome& outcome = survey.sites[i];
+      if (!outcome.failed) continue;
+      w.row(survey.web->sites()[i].domain, outcome.attempts, outcome.error);
+    }
+  });
+}
+
 std::string features_csv(const Analysis& analysis) {
   const catalog::Catalog& cat = analysis.catalog();
   return render_csv(
@@ -208,6 +218,7 @@ int write_report(const std::string& directory, const Analysis& analysis,
   emit("fig8.txt", render_fig8(analysis));
   emit("headline.txt", render_headline(analysis));
 
+  emit("failures.csv", failures_csv(survey));
   emit("features.csv", features_csv(analysis));
   emit("standards.csv", standards_csv(analysis));
   emit("cves.csv", cves_csv(analysis.catalog()));

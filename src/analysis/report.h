@@ -20,6 +20,10 @@ int write_report(const std::string& directory, const Analysis& analysis,
                  const ReportOptions& options = {});
 
 // Individual CSV emitters (also used by the full report).
+// One row per failed site: domain, attempts consumed, and the contained
+// error — the survey completes despite them, so this is where an operator
+// finds out which sites never contributed data and why.
+std::string failures_csv(const crawler::SurveyResults& survey);
 std::string features_csv(const Analysis& analysis);
 std::string standards_csv(const Analysis& analysis);
 std::string cves_csv(const catalog::Catalog& catalog);

@@ -2,6 +2,8 @@
 
 #include "dom/html.h"
 #include "dom/selector.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "script/parser.h"
 #include "support/rng.h"
 #include "support/strings.h"
@@ -13,6 +15,30 @@ namespace {
 using dom::Element;
 using dom::Node;
 using dom::NodeType;
+
+// Browser-layer metrics. Page-level latency is always recorded (one clock
+// read per page is noise); per-script execution latency needs a clock read
+// per script, so it is sampled only while tracing is enabled.
+struct BrowserMetrics {
+  obs::Counter& pages_loaded;
+  obs::Counter& scripts_executed;
+  obs::Counter& scripts_failed;
+  obs::Counter& scripts_blocked;
+  obs::Histogram& page_load_us;
+  obs::Histogram& script_exec_us;
+
+  static BrowserMetrics& get() {
+    static BrowserMetrics metrics{
+        obs::Registry::global().counter("browser.pages_loaded"),
+        obs::Registry::global().counter("browser.scripts_executed"),
+        obs::Registry::global().counter("browser.scripts_failed"),
+        obs::Registry::global().counter("browser.scripts_blocked"),
+        obs::Registry::global().histogram("browser.page_load_us"),
+        obs::Registry::global().histogram("browser.script_exec_us"),
+    };
+    return metrics;
+  }
+};
 
 }  // namespace
 
@@ -64,15 +90,26 @@ const std::optional<net::Resource>& BrowserSession::cached_fetch(
 }
 
 PageLoadResult BrowserSession::load_page(const net::Url& url) {
+  obs::ScopedLatency page_latency(BrowserMetrics::get().page_load_us);
+
   PageLoadResult result;
-  const std::optional<net::Resource>& doc = cached_fetch(url);
+  const std::optional<net::Resource>* doc_slot;
+  {
+    obs::TraceSpan fetch_span("fetch");
+    doc_slot = &cached_fetch(url);
+  }
+  const std::optional<net::Resource>& doc = *doc_slot;
   if (!doc || doc->kind != net::ResourceKind::kDocument) return result;
 
   current_url_ = url;
   page_domain_ = net::registrable_domain(url.host());
-  dom_ = dom::parse_html(doc->body);
+  {
+    obs::TraceSpan parse_span("parse");
+    dom_ = dom::parse_html(doc->body);
+  }
   result.loaded = true;
   ++pages_loaded_;
+  BrowserMetrics::get().pages_loaded.add();
 
   const script::ObjectRef doc_wrapper = bindings_.begin_page(*dom_);
   extension_.watch_singleton(interp_, doc_wrapper, "Document");
@@ -107,13 +144,21 @@ void BrowserSession::run_script_body(const std::string& cache_key,
   }
   if (program == nullptr) {
     ++result.scripts_failed;
+    BrowserMetrics::get().scripts_failed.add();
     return;
   }
   try {
-    interp_.execute(*program);
+    {
+      obs::TraceSpan exec_span("execute");
+      obs::ScopedLatency exec_latency(BrowserMetrics::get().script_exec_us,
+                                      obs::tracing_enabled());
+      interp_.execute(*program);
+    }
+    BrowserMetrics::get().scripts_executed.add();
     retained_programs_.push_back(std::move(program));
   } catch (const script::ScriptError&) {
     ++result.scripts_failed;
+    BrowserMetrics::get().scripts_failed.add();
   }
 }
 
@@ -135,6 +180,7 @@ void BrowserSession::load_scripts_and_frames(Node& root,
         if (!resolved) continue;
         if (blocked(*resolved, blocker::ResourceType::kScript)) {
           ++result.scripts_blocked;
+          BrowserMetrics::get().scripts_blocked.add();
           continue;
         }
         const std::optional<net::Resource>& res = cached_fetch(*resolved);

@@ -39,6 +39,13 @@ ReproductionConfig ReproductionConfig::from_env() {
   if (checkpoint_dir != nullptr && *checkpoint_dir != '\0') {
     config.checkpoint_dir = checkpoint_dir;
   }
+  const auto env_path = [](const char* name, std::string& out) {
+    const char* value = std::getenv(name);
+    if (value != nullptr && *value != '\0') out = value;
+  };
+  env_path("FU_TRACE_OUT", config.trace_out);
+  env_path("FU_TRACE_JSONL", config.trace_jsonl);
+  env_path("FU_METRICS_OUT", config.metrics_out);
   return config;
 }
 

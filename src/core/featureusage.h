@@ -51,8 +51,17 @@ struct ReproductionConfig {
   // Print live crawl progress (sites done, invocations/s, ETA) to stderr.
   bool progress = false;
 
+  // Observability outputs (empty = off). `trace_out` writes a Chrome
+  // trace_event JSON file, `trace_jsonl` the compact one-object-per-line
+  // stream, `metrics_out` the metrics-registry snapshot as JSON. Tracing is
+  // enabled for the survey iff either trace path is set.
+  std::string trace_out;
+  std::string trace_jsonl;
+  std::string metrics_out;
+
   // Read overrides from the environment: FU_SITES, FU_PASSES, FU_SEED,
-  // FU_THREADS, FU_FIG7 (0/1), FU_RETRIES, FU_CHECKPOINT_DIR.
+  // FU_THREADS, FU_FIG7 (0/1), FU_RETRIES, FU_CHECKPOINT_DIR, FU_TRACE_OUT,
+  // FU_TRACE_JSONL, FU_METRICS_OUT.
   static ReproductionConfig from_env();
 };
 

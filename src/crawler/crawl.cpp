@@ -4,9 +4,21 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace fu::crawler {
 
 namespace {
+
+// Traced wrapper around the monkey pass: the interaction phase is usually
+// where a slow site spends its time, so it gets its own span nested under
+// site-visit.
+std::vector<net::Url> traced_monkey_interact(browser::BrowserSession& session,
+                                             support::Rng& rng,
+                                             const MonkeyConfig& config) {
+  obs::TraceSpan span("monkey-pass");
+  return monkey_interact(session, rng, config);
+}
 
 // Choose up to `fanout` candidates, preferring URLs whose directory has not
 // been seen, never revisiting a URL.
@@ -85,8 +97,8 @@ SiteVisit crawl_site(const net::SyntheticWeb& web, const CrawlConfig& config,
   std::set<std::string> seen_dirs{home.directory()};
 
   std::vector<net::Url> frontier = select_targets(
-      monkey_interact(session, rng, config.monkey), seen_urls, seen_dirs,
-      config.fanout, rng);
+      traced_monkey_interact(session, rng, config.monkey), seen_urls,
+      seen_dirs, config.fanout, rng);
 
   for (int level = 0; level < config.levels; ++level) {
     std::vector<net::Url> next;
@@ -95,7 +107,7 @@ SiteVisit crawl_site(const net::SyntheticWeb& web, const CrawlConfig& config,
       absorb(visit, result);
       if (!result.loaded) continue;
       std::vector<net::Url> candidates =
-          monkey_interact(session, rng, config.monkey);
+          traced_monkey_interact(session, rng, config.monkey);
       if (level + 1 < config.levels) {
         std::vector<net::Url> picked = select_targets(
             std::move(candidates), seen_urls, seen_dirs, config.fanout, rng);

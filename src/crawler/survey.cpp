@@ -4,6 +4,8 @@
 
 #include "blocker/extensions.h"
 #include "crawler/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sched/checkpoint.h"
 #include "sched/progress.h"
 #include "sched/worksteal.h"
@@ -75,7 +77,13 @@ class SurveyObserver : public sched::Observer {
     if (ok && writer_ != nullptr) {
       writer_->add(site, encode_site_outcome(outcome));
     }
-    if (progress_ != nullptr) progress_->job_done(ok ? outcome.invocations : 0);
+    if (progress_ != nullptr) {
+      if (ok) {
+        progress_->job_done(outcome.invocations);
+      } else {
+        progress_->job_failed();
+      }
+    }
   }
 
  private:
@@ -139,9 +147,27 @@ SurveyResults run_survey(const net::SyntheticWeb& web,
   // `attempt` > 0 on retries; every attempt starts from a blank outcome so
   // a half-crawled failure never leaks into the retry's measurements.
   const auto survey_one_site = [&](std::size_t index, int attempt) {
+    const net::SitePlan& site = web.sites()[index];
+
+    // Observability only: spans/counters/timers read clocks and bump atomics
+    // but never touch the RNG or the outcome, so results stay bit-identical
+    // with tracing on or off (locked in by sched_test).
+    obs::TraceSpan visit_span("site-visit", site.domain);
+    static obs::Histogram& visit_us =
+        obs::Registry::global().histogram("crawler.site_visit_us");
+    obs::ScopedLatency visit_latency(visit_us);
+    static obs::Counter& crawled =
+        obs::Registry::global().counter("crawler.sites_crawled");
+    static obs::Counter& site_retries =
+        obs::Registry::global().counter("crawler.site_retries");
+    crawled.add();
+    if (attempt > 0) {
+      site_retries.add();
+      if (obs::tracing_enabled()) obs::trace_instant("retry", site.domain);
+    }
+
     if (options.fault_injection) options.fault_injection(index, attempt);
 
-    const net::SitePlan& site = web.sites()[index];
     SiteOutcome& outcome = results.sites[index];
     outcome = blank_outcome();
 

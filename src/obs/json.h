@@ -1,0 +1,40 @@
+// Minimal JSON reader — just enough to load back the trace and metrics
+// files this repo emits (`fu trace`, tests, CI validation). Full JSON value
+// model, recursive descent, no streaming; inputs are at most a few MB.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fu::obs {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const noexcept { return type == Type::kObject; }
+  bool is_array() const noexcept { return type == Type::kArray; }
+  bool is_string() const noexcept { return type == Type::kString; }
+  bool is_number() const noexcept { return type == Type::kNumber; }
+
+  // First object member named `key`, or null when absent / not an object.
+  const JsonValue* find(std::string_view key) const noexcept;
+  // Member lookup with defaults, for tolerant readers.
+  double number_or(std::string_view key, double fallback) const noexcept;
+  std::string string_or(std::string_view key,
+                        const std::string& fallback) const;
+};
+
+// Parse one JSON document. Returns false (and sets `error` with an offset
+// description) on malformed input; trailing non-whitespace is an error.
+bool json_parse(std::string_view text, JsonValue& out,
+                std::string* error = nullptr);
+
+}  // namespace fu::obs

@@ -1,0 +1,308 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace fu::obs {
+
+namespace {
+
+// Minimal JSON string escaping for metric names (they are plain identifiers,
+// but the emitter must not be able to produce invalid JSON regardless).
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void atomic_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) noexcept {
+  std::uint64_t seen = slot.load(std::memory_order_relaxed);
+  while (seen < v &&
+         !slot.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<std::uint64_t>& slot, std::uint64_t v) noexcept {
+  std::uint64_t seen = slot.load(std::memory_order_relaxed);
+  while (seen > v &&
+         !slot.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::size_t this_thread_shard() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return slot;
+}
+
+// ------------------------------------------------------------- counter --
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const Cell& cell : cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::reset() noexcept {
+  for (Cell& cell : cells_) cell.value.store(0, std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------------- gauge --
+
+void Gauge::set(std::int64_t v) noexcept {
+  value_.store(v, std::memory_order_relaxed);
+  record_max(v);
+}
+
+void Gauge::record_max(std::int64_t v) noexcept {
+  std::int64_t seen = max_.load(std::memory_order_relaxed);
+  while (seen < v &&
+         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::reset() noexcept {
+  value_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// ----------------------------------------------------------- histogram --
+
+Histogram::Histogram(std::string name, std::vector<std::uint64_t> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  for (Shard& shard : shards_) {
+    shard.buckets = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+std::size_t Histogram::bucket_for(std::uint64_t value) const noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+void Histogram::record(std::uint64_t value) noexcept {
+  Shard& shard = shards_[this_thread_shard()];
+  shard.buckets[bucket_for(value)].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.name = name_;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (std::size_t b = 0; b < shard.buckets.size(); ++b) {
+      snap.counts[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+    snap.count += shard.count.load(std::memory_order_relaxed);
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+  }
+  if (snap.count > 0) {
+    snap.min = min_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::reset() noexcept {
+  for (Shard& shard : shards_) {
+    for (auto& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0, std::memory_order_relaxed);
+  }
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+double Histogram::Snapshot::percentile(double p) const {
+  if (count == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count);
+  double cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const double in_bucket = static_cast<double>(counts[b]);
+    if (cumulative + in_bucket < target || in_bucket == 0) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // Interpolate inside this bucket; edge buckets clamp to observed values.
+    const double lo =
+        b == 0 ? static_cast<double>(min)
+               : static_cast<double>(bounds[b - 1]);
+    const double hi = b < bounds.size() ? static_cast<double>(bounds[b])
+                                        : static_cast<double>(max);
+    const double fraction =
+        in_bucket > 0 ? (target - cumulative) / in_bucket : 0.0;
+    const double value = lo + (std::max(hi, lo) - lo) * fraction;
+    return std::clamp(value, static_cast<double>(min),
+                      static_cast<double>(max));
+  }
+  return static_cast<double>(max);
+}
+
+// ---------------------------------------------------------------- misc --
+
+std::vector<std::uint64_t> exponential_bounds(std::uint64_t first,
+                                              double factor,
+                                              std::size_t count) {
+  std::vector<std::uint64_t> bounds;
+  bounds.reserve(count);
+  double edge = static_cast<double>(first);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto rounded = static_cast<std::uint64_t>(std::llround(edge));
+    if (bounds.empty() || rounded > bounds.back()) bounds.push_back(rounded);
+    edge *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<std::uint64_t>& default_latency_bounds_us() {
+  static const std::vector<std::uint64_t> kBounds =
+      exponential_bounds(1, 2.0, 27);
+  return kBounds;
+}
+
+// ------------------------------------------------------------ snapshot --
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escape(name) + "\": " + std::to_string(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const GaugeValue& gauge : gauges) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escape(gauge.name) +
+           "\": {\"value\": " + std::to_string(gauge.value) +
+           ", \"max\": " + std::to_string(gauge.max) + "}";
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const Histogram::Snapshot& hist : histograms) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escape(hist.name) + "\": {\"count\": " +
+           std::to_string(hist.count) + ", \"sum\": " +
+           std::to_string(hist.sum) + ", \"min\": " + std::to_string(hist.min) +
+           ", \"max\": " + std::to_string(hist.max);
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  ", \"p50\": %.1f, \"p95\": %.1f, \"p99\": %.1f",
+                  hist.percentile(50), hist.percentile(95),
+                  hist.percentile(99));
+    out += buf;
+    out += ", \"bounds\": [";
+    for (std::size_t i = 0; i < hist.bounds.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(hist.bounds[i]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(hist.counts[i]);
+    }
+    out += "]}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+// ------------------------------------------------------------ registry --
+
+Registry& Registry::global() {
+  static Registry* kRegistry = new Registry();  // never destroyed
+  return *kRegistry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  auto handle = std::unique_ptr<Counter>(new Counter(std::string(name)));
+  return *counters_.emplace(std::string(name), std::move(handle))
+              .first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  auto handle = std::unique_ptr<Gauge>(new Gauge(std::string(name)));
+  return *gauges_.emplace(std::string(name), std::move(handle)).first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<std::uint64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  auto handle = std::unique_ptr<Histogram>(
+      new Histogram(std::string(name), std::move(bounds)));
+  return *histograms_.emplace(std::string(name), std::move(handle))
+              .first->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->value(), gauge->max()});
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.push_back(histogram->snapshot());
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+}  // namespace fu::obs

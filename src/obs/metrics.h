@@ -1,0 +1,202 @@
+// Metrics registry: named Counter / Gauge / Histogram handles for the crawl
+// pipeline.
+//
+// The survey is a long-running fan-out across worker threads, so hot-path
+// recording must never serialize the workers: every metric is sharded into
+// cache-line-sized cells and a thread picks its cell once (a thread-local
+// slot), after which recording is a single relaxed atomic add. Snapshots
+// merge the shards — they are read-mostly, rare, and allowed to race with
+// recording (a snapshot is a consistent-enough view of monotonic counters,
+// not a barrier).
+//
+// Handles are registered by name in a Registry and have stable addresses for
+// the life of the registry, so instrumentation sites can cache a reference:
+//
+//   static obs::Counter& steals =
+//       obs::Registry::global().counter("sched.steals");
+//   steals.add();
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fu::obs {
+
+// Shard count per metric. Threads hash onto shards via a process-wide
+// thread-local slot; collisions only cost an occasional shared cache line,
+// never correctness.
+inline constexpr std::size_t kMetricShards = 16;
+
+// The slot this thread records into (assigned round-robin on first use).
+std::size_t this_thread_shard() noexcept;
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    cells_[this_thread_shard()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept;
+  void reset() noexcept;
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Cell, kMetricShards> cells_;
+  std::string name_;
+};
+
+// Last-set value plus the maximum ever set (the interesting half for things
+// like deque depth, where the peak tells the balance story).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept;
+  // Raise the max without touching the last-set value.
+  void record_max(std::int64_t v) noexcept;
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  std::int64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+  std::string name_;
+};
+
+// Fixed-bucket histogram over unsigned values (latencies in microseconds).
+// `bounds` are ascending upper-inclusive bucket edges; an implicit overflow
+// bucket catches everything above the last bound. Recording is a relaxed add
+// into the caller's shard.
+class Histogram {
+ public:
+  void record(std::uint64_t value) noexcept;
+
+  // Which bucket `value` lands in: the first i with value <= bounds[i],
+  // else bounds.size() (the overflow bucket). Exposed for tests.
+  std::size_t bucket_for(std::uint64_t value) const noexcept;
+
+  struct Snapshot {
+    std::string name;
+    std::vector<std::uint64_t> bounds;
+    std::vector<std::uint64_t> counts;  // bounds.size() + 1, last = overflow
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;  // smallest / largest recorded value (0 if empty)
+    std::uint64_t max = 0;
+
+    // Percentile estimate (p in [0,100]): linear interpolation inside the
+    // bucket holding the target rank, clamped to the recorded min/max.
+    double percentile(double p) const;
+  };
+  Snapshot snapshot() const;
+  void reset() noexcept;
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  friend class Registry;
+  Histogram(std::string name, std::vector<std::uint64_t> bounds);
+
+  struct alignas(64) Shard {
+    std::vector<std::atomic<std::uint64_t>> buckets;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  std::string name_;
+  std::vector<std::uint64_t> bounds_;
+  std::array<Shard, kMetricShards> shards_;
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+// Bucket helpers. `exponential_bounds(1, 2, 8)` -> 1,2,4,...,128.
+std::vector<std::uint64_t> exponential_bounds(std::uint64_t first,
+                                              double factor,
+                                              std::size_t count);
+// 1 µs .. ~67 s in powers of two — the default latency bucketing.
+const std::vector<std::uint64_t>& default_latency_bounds_us();
+
+// Point-in-time view of every registered metric; renders to JSON for
+// `fu survey --metrics-out`.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  struct GaugeValue {
+    std::string name;
+    std::int64_t value = 0;
+    std::int64_t max = 0;
+  };
+  std::vector<GaugeValue> gauges;
+  std::vector<Histogram::Snapshot> histograms;
+
+  std::string to_json() const;
+};
+
+class Registry {
+ public:
+  // The process-wide registry every instrumentation site records into.
+  static Registry& global();
+
+  // Find-or-create by name; returned references stay valid for the life of
+  // the registry. `histogram` ignores `bounds` when the name already exists.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name,
+                       std::vector<std::uint64_t> bounds =
+                           default_latency_bounds_us());
+
+  MetricsSnapshot snapshot() const;
+  // Zero every value; handles stay registered and valid (tests/benches).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// Records elapsed wall time into `histogram` (µs) on destruction. When
+// `enabled` is false the clock is never read — used to keep per-script
+// timing off the hot path unless tracing is on.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram& histogram, bool enabled = true)
+      : histogram_(enabled ? &histogram : nullptr),
+        start_(enabled ? std::chrono::steady_clock::now()
+                       : std::chrono::steady_clock::time_point()) {}
+  ~ScopedLatency() {
+    if (histogram_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count()));
+  }
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace fu::obs

@@ -1,0 +1,295 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+
+namespace fu::obs {
+
+namespace internal {
+
+struct ThreadBuffer {
+  std::uint32_t tid = 0;
+  std::uint64_t sequence = 0;  // per-thread edge counter (begin/end edges)
+  std::uint64_t pushed = 0;    // completed records ever pushed
+  std::size_t capacity = 0;
+  std::chrono::steady_clock::time_point t0;
+  std::vector<std::uint64_t> open_begin_seq;  // stack: spans close LIFO
+  std::vector<SpanRecord> ring;
+
+  std::uint64_t now_us() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+
+  void push(SpanRecord record) {
+    if (ring.size() < capacity) {
+      ring.push_back(std::move(record));
+    } else {
+      ring[pushed % capacity] = std::move(record);
+    }
+    ++pushed;
+  }
+};
+
+struct TracerImpl {
+  std::uint64_t epoch = 0;
+  std::size_t capacity = 0;
+  std::chrono::steady_clock::time_point start_time;
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+};
+
+std::atomic<TracerImpl*> g_active{nullptr};
+
+namespace {
+
+std::atomic<std::uint64_t> g_epoch{1};
+
+// Which tracer epoch this thread's cached buffer belongs to. A thread that
+// outlives one tracer re-registers with the next.
+struct TlsCache {
+  std::uint64_t epoch = 0;
+  ThreadBuffer* buffer = nullptr;
+};
+thread_local TlsCache t_cache;
+
+}  // namespace
+
+ThreadBuffer* acquire_buffer() {
+  TracerImpl* impl = g_active.load(std::memory_order_acquire);
+  if (impl == nullptr) return nullptr;
+  if (t_cache.epoch != impl->epoch) {
+    std::lock_guard<std::mutex> lock(impl->mutex);
+    auto buffer = std::make_unique<ThreadBuffer>();
+    buffer->tid = static_cast<std::uint32_t>(impl->buffers.size());
+    buffer->capacity = impl->capacity;
+    buffer->t0 = impl->start_time;
+    buffer->ring.reserve(std::min<std::size_t>(impl->capacity, 1024));
+    t_cache.buffer = impl->buffers.emplace_back(std::move(buffer)).get();
+    t_cache.epoch = impl->epoch;
+  }
+  return t_cache.buffer;
+}
+
+std::uint64_t begin_span(ThreadBuffer* buffer) {
+  buffer->open_begin_seq.push_back(++buffer->sequence);
+  return buffer->now_us();
+}
+
+void end_span(ThreadBuffer* buffer, const char* name, std::uint64_t start_us,
+              std::string arg) {
+  SpanRecord record;
+  record.name = name;
+  record.tid = buffer->tid;
+  record.depth =
+      static_cast<std::uint32_t>(buffer->open_begin_seq.size() - 1);
+  record.begin_seq = buffer->open_begin_seq.back();
+  buffer->open_begin_seq.pop_back();
+  record.start_us = start_us;
+  const std::uint64_t end_us = buffer->now_us();
+  record.dur_us = end_us > start_us ? end_us - start_us : 0;
+  record.end_seq = ++buffer->sequence;
+  record.arg = std::move(arg);
+  buffer->push(std::move(record));
+}
+
+void instant_event(ThreadBuffer* buffer, const char* name, std::string arg) {
+  SpanRecord record;
+  record.name = name;
+  record.tid = buffer->tid;
+  record.depth = static_cast<std::uint32_t>(buffer->open_begin_seq.size());
+  record.start_us = buffer->now_us();
+  record.begin_seq = record.end_seq = ++buffer->sequence;
+  record.instant = true;
+  record.arg = std::move(arg);
+  buffer->push(std::move(record));
+}
+
+}  // namespace internal
+
+void trace_instant(const char* name, std::string arg) {
+  internal::ThreadBuffer* buffer = internal::acquire_buffer();
+  if (buffer == nullptr) return;
+  internal::instant_event(buffer, name, std::move(arg));
+}
+
+// -------------------------------------------------------------- tracer --
+
+Tracer::Tracer(std::size_t events_per_thread)
+    : impl_(std::make_unique<internal::TracerImpl>()) {
+  impl_->capacity = events_per_thread > 0 ? events_per_thread : 1;
+}
+
+Tracer::~Tracer() {
+  internal::TracerImpl* expected = impl_.get();
+  internal::g_active.compare_exchange_strong(expected, nullptr,
+                                             std::memory_order_acq_rel);
+}
+
+void Tracer::start() {
+  if (active()) return;
+  impl_->epoch = internal::g_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+  impl_->start_time = std::chrono::steady_clock::now();
+  stopped_ = false;
+  drained_.clear();
+  dropped_ = 0;
+  internal::TracerImpl* expected = nullptr;
+  if (!internal::g_active.compare_exchange_strong(
+          expected, impl_.get(), std::memory_order_release,
+          std::memory_order_relaxed)) {
+    throw std::logic_error("obs::Tracer::start: another tracer is active");
+  }
+}
+
+bool Tracer::active() const noexcept {
+  return internal::g_active.load(std::memory_order_relaxed) == impl_.get();
+}
+
+std::vector<SpanRecord> Tracer::stop() {
+  internal::TracerImpl* expected = impl_.get();
+  internal::g_active.compare_exchange_strong(expected, nullptr,
+                                             std::memory_order_acq_rel);
+  if (stopped_) return drained_;
+  stopped_ = true;
+
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  drained_.clear();
+  dropped_ = 0;
+  for (const auto& buffer : impl_->buffers) {
+    const std::size_t kept = buffer->ring.size();
+    if (buffer->pushed > kept) dropped_ += buffer->pushed - kept;
+    // Ring order: oldest surviving record first.
+    const std::size_t head = kept > 0 ? buffer->pushed % kept : 0;
+    for (std::size_t i = 0; i < kept; ++i) {
+      drained_.push_back(buffer->ring[(head + i) % kept]);
+    }
+  }
+  std::sort(drained_.begin(), drained_.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.begin_seq < b.begin_seq;
+            });
+  return drained_;
+}
+
+std::uint64_t Tracer::dropped() const noexcept { return dropped_; }
+
+// ----------------------------------------------------------- rendering --
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += ' ';
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// One begin/end/instant edge of a span, for the Chrome event stream.
+struct Edge {
+  std::uint32_t tid = 0;
+  std::uint64_t seq = 0;  // per-thread order, tie-proof
+  char phase = 'B';       // 'B', 'E' or 'i'
+  const SpanRecord* record = nullptr;
+};
+
+std::string chrome_event(const Edge& edge) {
+  const SpanRecord& record = *edge.record;
+  std::string out = "{\"name\": \"" + json_escape(record.name) +
+                    "\", \"cat\": \"fu\", \"ph\": \"";
+  out += edge.phase;
+  out += "\", \"pid\": 1, \"tid\": " + std::to_string(record.tid) +
+         ", \"ts\": " +
+         std::to_string(edge.phase == 'E' ? record.start_us + record.dur_us
+                                          : record.start_us);
+  if (edge.phase == 'i') out += ", \"s\": \"t\"";
+  if (edge.phase != 'E' && !record.arg.empty()) {
+    out += ", \"args\": {\"arg\": \"" + json_escape(record.arg) + "\"}";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string Tracer::chrome_json(const std::vector<SpanRecord>& records) {
+  // Expand spans into begin/end edges and order each thread's stream by its
+  // edge sequence numbers — timestamps can tie at µs resolution, sequence
+  // numbers cannot, so begins and ends always nest correctly.
+  std::vector<Edge> edges;
+  edges.reserve(records.size() * 2);
+  for (const SpanRecord& record : records) {
+    if (record.instant) {
+      edges.push_back({record.tid, record.begin_seq, 'i', &record});
+    } else {
+      edges.push_back({record.tid, record.begin_seq, 'B', &record});
+      edges.push_back({record.tid, record.end_seq, 'E', &record});
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return a.seq < b.seq;
+  });
+
+  std::string out = "{\"traceEvents\": [\n";
+  // Thread-name metadata rows make Perfetto label the tracks.
+  std::uint32_t max_tid = 0;
+  for (const SpanRecord& record : records) {
+    max_tid = std::max(max_tid, record.tid);
+  }
+  bool first = true;
+  if (!records.empty()) {
+    for (std::uint32_t t = 0; t <= max_tid; ++t) {
+      out += first ? "" : ",\n";
+      out += "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+             "\"tid\": " +
+             std::to_string(t) + ", \"args\": {\"name\": \"worker-" +
+             std::to_string(t) + "\"}}";
+      first = false;
+    }
+  }
+  for (const Edge& edge : edges) {
+    out += first ? "" : ",\n";
+    out += chrome_event(edge);
+    first = false;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string Tracer::jsonl(const std::vector<SpanRecord>& records) {
+  std::string out;
+  for (const SpanRecord& record : records) {
+    out += "{\"name\": \"" + json_escape(record.name) +
+           "\", \"tid\": " + std::to_string(record.tid) +
+           ", \"depth\": " + std::to_string(record.depth) +
+           ", \"ts\": " + std::to_string(record.start_us) +
+           ", \"dur\": " + std::to_string(record.dur_us);
+    if (record.instant) out += ", \"instant\": true";
+    if (!record.arg.empty()) {
+      out += ", \"arg\": \"" + json_escape(record.arg) + "\"";
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace fu::obs

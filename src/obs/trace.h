@@ -1,0 +1,132 @@
+// Structured tracing: RAII spans into per-thread ring buffers.
+//
+// A Tracer, once started, becomes the process-wide trace sink. Worker
+// threads record TraceSpan scopes (site-visit -> fetch -> parse -> execute
+// -> monkey-pass -> checkpoint-flush) with a monotonic clock; each thread
+// appends to its own fixed-capacity ring buffer, so recording never takes a
+// lock after a thread's first event. stop() drains every buffer into a flat
+// span list that renders as Chrome trace_event JSON (load it in
+// chrome://tracing or https://ui.perfetto.dev) or as a compact JSONL stream.
+//
+// Tracing compiles in always and is zero-cost when disabled: constructing a
+// TraceSpan with no active tracer is a single relaxed atomic load and a
+// branch. Tracing never reads or perturbs survey state — results are
+// bit-identical with tracing on or off (sched_test enforces this).
+//
+// Lifecycle contract: start() and stop() must not race with open spans —
+// in practice, start before run_survey and stop after it returns (worker
+// threads are joined inside). Ring overflow drops the *oldest* completed
+// spans whole, so begin/end events always stay matched.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fu::obs {
+
+// One completed span (or instant event) as drained from a thread buffer.
+struct SpanRecord {
+  const char* name = "";       // static-string span name
+  std::uint32_t tid = 0;       // dense thread id, registration order
+  std::uint32_t depth = 0;     // nesting depth within its thread
+  std::uint64_t start_us = 0;  // µs since the tracer started
+  std::uint64_t dur_us = 0;    // 0 allowed (µs resolution)
+  // Per-thread sequence numbers of the begin/end edges; they order events
+  // unambiguously even when microsecond timestamps tie.
+  std::uint64_t begin_seq = 0;
+  std::uint64_t end_seq = 0;
+  bool instant = false;
+  std::string arg;             // optional annotation (e.g. the site domain)
+};
+
+namespace internal {
+struct TracerImpl;
+struct ThreadBuffer;
+// Active-tracer sink; null when tracing is disabled.
+extern std::atomic<TracerImpl*> g_active;
+// This thread's buffer under the active tracer (registers on first use);
+// null when tracing is disabled.
+ThreadBuffer* acquire_buffer();
+std::uint64_t begin_span(ThreadBuffer* buffer);  // returns start_us
+void end_span(ThreadBuffer* buffer, const char* name, std::uint64_t start_us,
+              std::string arg);
+void instant_event(ThreadBuffer* buffer, const char* name, std::string arg);
+}  // namespace internal
+
+// The single branch every disabled-tracing hot path pays.
+inline bool tracing_enabled() noexcept {
+  return internal::g_active.load(std::memory_order_relaxed) != nullptr;
+}
+
+// RAII scope: records one span from construction to destruction. `arg` is
+// copied only while tracing is live.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name)
+      : buffer_(internal::acquire_buffer()), name_(name) {
+    if (buffer_ != nullptr) start_us_ = internal::begin_span(buffer_);
+  }
+  TraceSpan(const char* name, const std::string& arg)
+      : buffer_(internal::acquire_buffer()), name_(name) {
+    if (buffer_ != nullptr) {
+      arg_ = arg;
+      start_us_ = internal::begin_span(buffer_);
+    }
+  }
+  ~TraceSpan() {
+    if (buffer_ != nullptr) {
+      internal::end_span(buffer_, name_, start_us_, std::move(arg_));
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  internal::ThreadBuffer* buffer_;
+  const char* name_;
+  std::uint64_t start_us_ = 0;
+  std::string arg_;
+};
+
+// Zero-duration marker ("retry", "steal", ...). `arg` only evaluated cheaply;
+// pass a prebuilt string only when tracing_enabled().
+void trace_instant(const char* name, std::string arg = {});
+
+class Tracer {
+ public:
+  // Each thread keeps up to `events_per_thread` completed spans; beyond
+  // that the oldest are overwritten (counted in dropped()).
+  explicit Tracer(std::size_t events_per_thread = 1 << 16);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Install as the process-wide sink. Only one tracer may be active; a
+  // second start() while another tracer is live throws std::logic_error.
+  void start();
+  bool active() const noexcept;
+
+  // Uninstall and drain every thread buffer. Records are sorted by
+  // (tid, begin_seq) — i.e. per-thread program order. Idempotent: a second
+  // stop() returns the same records.
+  std::vector<SpanRecord> stop();
+
+  // Completed spans lost to ring overflow (valid after stop()).
+  std::uint64_t dropped() const noexcept;
+
+  // Renderers for drained records.
+  static std::string chrome_json(const std::vector<SpanRecord>& records);
+  static std::string jsonl(const std::vector<SpanRecord>& records);
+
+ private:
+  std::unique_ptr<internal::TracerImpl> impl_;
+  std::vector<SpanRecord> drained_;
+  std::uint64_t dropped_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace fu::obs

@@ -1,0 +1,246 @@
+#include "obs/tracefile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "obs/json.h"
+#include "support/stats.h"
+
+namespace fu::obs {
+
+namespace {
+
+bool set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+}  // namespace
+
+bool parse_chrome_trace(std::string_view text, std::vector<ParsedSpan>& out,
+                        std::string* error) {
+  JsonValue root;
+  std::string json_error;
+  if (!json_parse(text, root, &json_error)) {
+    return set_error(error, "invalid JSON: " + json_error);
+  }
+  const JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return set_error(error, "missing traceEvents array");
+  }
+
+  // Per-thread stack of open begins; E events must match LIFO.
+  struct OpenSpan {
+    std::string name;
+    std::uint64_t ts_us = 0;
+    std::string arg;
+  };
+  std::map<int, std::vector<OpenSpan>> open;
+
+  for (const JsonValue& event : events->array) {
+    if (!event.is_object()) return set_error(error, "event is not an object");
+    const std::string phase = event.string_or("ph", "");
+    if (phase == "M") continue;  // metadata (thread names)
+    const int tid = static_cast<int>(event.number_or("tid", 0));
+    const std::string name = event.string_or("name", "");
+    const auto ts = static_cast<std::uint64_t>(event.number_or("ts", 0));
+    std::string arg;
+    if (const JsonValue* args = event.find("args"); args != nullptr) {
+      arg = args->string_or("arg", "");
+    }
+    if (phase == "B") {
+      open[tid].push_back({name, ts, std::move(arg)});
+    } else if (phase == "E") {
+      std::vector<OpenSpan>& stack = open[tid];
+      if (stack.empty()) {
+        return set_error(error, "end without begin: '" + name + "' on tid " +
+                                    std::to_string(tid));
+      }
+      if (stack.back().name != name) {
+        return set_error(error, "misnested span: end '" + name +
+                                    "' while '" + stack.back().name +
+                                    "' is open on tid " + std::to_string(tid));
+      }
+      ParsedSpan span;
+      span.name = name;
+      span.tid = tid;
+      span.depth = static_cast<int>(stack.size()) - 1;
+      span.ts_us = stack.back().ts_us;
+      span.dur_us = ts > span.ts_us ? ts - span.ts_us : 0;
+      span.arg = std::move(stack.back().arg);
+      stack.pop_back();
+      out.push_back(std::move(span));
+    } else if (phase == "i" || phase == "I") {
+      ParsedSpan span;
+      span.name = name;
+      span.tid = tid;
+      span.depth = static_cast<int>(open[tid].size());
+      span.ts_us = ts;
+      span.instant = true;
+      span.arg = std::move(arg);
+      out.push_back(std::move(span));
+    } else if (phase == "X") {  // complete events, for foreign traces
+      ParsedSpan span;
+      span.name = name;
+      span.tid = tid;
+      span.ts_us = ts;
+      span.dur_us = static_cast<std::uint64_t>(event.number_or("dur", 0));
+      span.arg = std::move(arg);
+      out.push_back(std::move(span));
+    } else {
+      return set_error(error, "unsupported phase '" + phase + "'");
+    }
+  }
+  for (const auto& [tid, stack] : open) {
+    if (!stack.empty()) {
+      return set_error(error, "begin without end: '" + stack.back().name +
+                                  "' on tid " + std::to_string(tid));
+    }
+  }
+  return true;
+}
+
+bool parse_trace_jsonl(std::string_view text, std::vector<ParsedSpan>& out,
+                       std::string* error) {
+  std::size_t line_number = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_number;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+
+    JsonValue value;
+    std::string json_error;
+    if (!json_parse(line, value, &json_error)) {
+      return set_error(error, "line " + std::to_string(line_number) + ": " +
+                                  json_error);
+    }
+    if (!value.is_object() || value.find("name") == nullptr) {
+      return set_error(error, "line " + std::to_string(line_number) +
+                                  ": not a span object");
+    }
+    ParsedSpan span;
+    span.name = value.string_or("name", "");
+    span.tid = static_cast<int>(value.number_or("tid", 0));
+    span.depth = static_cast<int>(value.number_or("depth", 0));
+    span.ts_us = static_cast<std::uint64_t>(value.number_or("ts", 0));
+    span.dur_us = static_cast<std::uint64_t>(value.number_or("dur", 0));
+    const JsonValue* instant = value.find("instant");
+    span.instant = instant != nullptr && instant->boolean;
+    span.arg = value.string_or("arg", "");
+    out.push_back(std::move(span));
+  }
+  return true;
+}
+
+bool load_trace_file(const std::string& path, std::vector<ParsedSpan>& out,
+                     std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return set_error(error, "cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  const std::size_t first = text.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return set_error(error, "empty trace file");
+  if (text[first] == '{' &&
+      text.find("\"traceEvents\"") != std::string::npos) {
+    return parse_chrome_trace(text, out, error);
+  }
+  return parse_trace_jsonl(text, out, error);
+}
+
+std::string render_trace_summary(const std::vector<ParsedSpan>& spans,
+                                 const TraceSummaryOptions& options) {
+  std::ostringstream out;
+  std::size_t span_count = 0;
+  for (const ParsedSpan& span : spans) span_count += span.instant ? 0 : 1;
+  out << "trace: " << span_count << " spans, "
+      << spans.size() - span_count << " instants\n\n";
+
+  // --- per-stage latency ------------------------------------------------
+  std::map<std::string, std::vector<double>> by_stage;
+  for (const ParsedSpan& span : spans) {
+    if (!span.instant) {
+      by_stage[span.name].push_back(static_cast<double>(span.dur_us));
+    }
+  }
+  out << "per-stage latency (µs):\n";
+  char row[160];
+  std::snprintf(row, sizeof row, "  %-18s %9s %10s %10s %10s %10s\n", "stage",
+                "count", "p50", "p95", "p99", "max");
+  out << row;
+  for (const auto& [stage, durations] : by_stage) {
+    std::snprintf(row, sizeof row,
+                  "  %-18s %9zu %10.0f %10.0f %10.0f %10.0f\n", stage.c_str(),
+                  durations.size(), support::percentile(durations, 50),
+                  support::percentile(durations, 95),
+                  support::percentile(durations, 99),
+                  *std::max_element(durations.begin(), durations.end()));
+    out << row;
+  }
+
+  // --- slowest sites ----------------------------------------------------
+  std::vector<const ParsedSpan*> sites;
+  for (const ParsedSpan& span : spans) {
+    if (!span.instant && span.name == options.site_span) {
+      sites.push_back(&span);
+    }
+  }
+  if (!sites.empty()) {
+    std::sort(sites.begin(), sites.end(),
+              [](const ParsedSpan* a, const ParsedSpan* b) {
+                return a->dur_us > b->dur_us;
+              });
+    out << "\nslowest sites:\n";
+    const std::size_t show = std::min(options.top_n, sites.size());
+    for (std::size_t i = 0; i < show; ++i) {
+      std::snprintf(row, sizeof row, "  %2zu. %-32s %10llu µs  (tid %d)\n",
+                    i + 1,
+                    sites[i]->arg.empty() ? "?" : sites[i]->arg.c_str(),
+                    static_cast<unsigned long long>(sites[i]->dur_us),
+                    sites[i]->tid);
+      out << row;
+    }
+  }
+
+  // --- scheduler balance ------------------------------------------------
+  // Busy time per thread = top-level span time (depth 0), so nested stages
+  // are not double-counted.
+  std::map<int, std::pair<std::uint64_t, std::size_t>> by_tid;  // busy, spans
+  for (const ParsedSpan& span : spans) {
+    if (span.instant) continue;
+    auto& [busy, count] = by_tid[span.tid];
+    if (span.depth == 0) busy += span.dur_us;
+    ++count;
+  }
+  if (!by_tid.empty()) {
+    out << "\nscheduler balance (top-level busy µs per thread):\n";
+    std::uint64_t min_busy = ~std::uint64_t{0};
+    std::uint64_t max_busy = 0;
+    for (const auto& [tid, stats] : by_tid) {
+      std::snprintf(row, sizeof row, "  tid %-4d %12llu µs  %8zu spans\n",
+                    tid, static_cast<unsigned long long>(stats.first),
+                    stats.second);
+      out << row;
+      min_busy = std::min(min_busy, stats.first);
+      max_busy = std::max(max_busy, stats.first);
+    }
+    if (by_tid.size() > 1 && max_busy > 0) {
+      std::snprintf(row, sizeof row,
+                    "  balance: min/max busy = %.2f (1.00 = perfectly even)\n",
+                    static_cast<double>(min_busy) /
+                        static_cast<double>(max_busy));
+      out << row;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace fu::obs

@@ -1,0 +1,53 @@
+// Trace-file reader and reporter behind `fu trace <file>`.
+//
+// Loads either of the two formats `fu survey` emits — Chrome
+// trace_event-format JSON (--trace-out) or the compact JSONL stream
+// (--trace-jsonl) — validating structure as it goes: every begin event must
+// have a matching end on the same thread, properly nested. The summary
+// reports what an operator babysitting a long crawl wants first: per-stage
+// latency percentiles, the slowest sites, and how evenly the scheduler kept
+// the workers busy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fu::obs {
+
+struct ParsedSpan {
+  std::string name;
+  int tid = 0;
+  int depth = 0;
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+  bool instant = false;
+  std::string arg;  // "arg" annotation (the site domain for site-visit)
+};
+
+// Chrome trace_event JSON: {"traceEvents": [...]} with B/E/i/M/X phases.
+// Fails (with `error` set) on malformed JSON or unmatched/misnested
+// begin/end pairs — which makes it double as the trace validator.
+bool parse_chrome_trace(std::string_view text, std::vector<ParsedSpan>& out,
+                        std::string* error = nullptr);
+
+// One JSON object per line: {"name":..,"tid":..,"ts":..,"dur":..,...}.
+bool parse_trace_jsonl(std::string_view text, std::vector<ParsedSpan>& out,
+                       std::string* error = nullptr);
+
+// Reads `path` and auto-detects the format (a leading '{' holding a
+// "traceEvents" member is Chrome JSON; anything else is tried as JSONL).
+bool load_trace_file(const std::string& path, std::vector<ParsedSpan>& out,
+                     std::string* error = nullptr);
+
+struct TraceSummaryOptions {
+  std::size_t top_n = 10;             // slowest sites to list
+  std::string site_span = "site-visit";  // stage that carries the site arg
+};
+
+// Per-stage p50/p95/p99 (µs), top-N slowest sites, scheduler balance.
+std::string render_trace_summary(const std::vector<ParsedSpan>& spans,
+                                 const TraceSummaryOptions& options = {});
+
+}  // namespace fu::obs

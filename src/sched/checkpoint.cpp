@@ -6,6 +6,9 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace fu::sched {
 
 namespace {
@@ -153,6 +156,17 @@ bool ShardWriter::flush() {
 
 bool ShardWriter::flush_locked() {
   if (buffer_.empty()) return ok_;
+
+  obs::TraceSpan span("checkpoint-flush");
+  static obs::Histogram& flush_us =
+      obs::Registry::global().histogram("sched.checkpoint_flush_us");
+  obs::ScopedLatency latency(flush_us);
+  static obs::Counter& flushes =
+      obs::Registry::global().counter("sched.checkpoint_flushes");
+  static obs::Counter& records =
+      obs::Registry::global().counter("sched.checkpoint_records");
+  flushes.add();
+  records.add(buffer_.size());
 
   const std::filesystem::path dir(dir_);
   const std::filesystem::path final_path = dir / shard_name(next_sequence_);

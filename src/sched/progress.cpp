@@ -8,6 +8,7 @@ namespace fu::sched {
 void ProgressMeter::reset(std::size_t total) {
   done_.store(0, std::memory_order_relaxed);
   skipped_.store(0, std::memory_order_relaxed);
+  failed_.store(0, std::memory_order_relaxed);
   units_.store(0, std::memory_order_relaxed);
   total_ = total;
   start_ = std::chrono::steady_clock::now();
@@ -23,10 +24,16 @@ void ProgressMeter::job_skipped() {
   done_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void ProgressMeter::job_failed() {
+  failed_.fetch_add(1, std::memory_order_relaxed);
+  done_.fetch_add(1, std::memory_order_relaxed);
+}
+
 ProgressMeter::Snapshot ProgressMeter::snapshot() const {
   Snapshot snap;
   snap.done = done_.load(std::memory_order_relaxed);
   snap.skipped = skipped_.load(std::memory_order_relaxed);
+  snap.failed = failed_.load(std::memory_order_relaxed);
   snap.total = total_;
   snap.units = units_.load(std::memory_order_relaxed);
   snap.elapsed_seconds =
@@ -82,6 +89,9 @@ std::string format_progress(const ProgressMeter::Snapshot& snapshot,
                      std::to_string(snapshot.total) + " " + noun;
   if (snapshot.skipped > 0) {
     line += " (" + std::to_string(snapshot.skipped) + " resumed)";
+  }
+  if (snapshot.failed > 0) {
+    line += " (" + std::to_string(snapshot.failed) + " failed)";
   }
   if (snapshot.units_per_second > 0) {
     line += "  " + human_count(snapshot.units_per_second) + " inv/s";

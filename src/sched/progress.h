@@ -33,9 +33,15 @@ class ProgressMeter {
   // Counts toward done/ETA but not toward throughput.
   void job_skipped();
 
+  // One job that ran but exhausted its attempts. Counts toward done (the
+  // scheduler will not run it again) and toward throughput — a failed crawl
+  // still consumed a worker — and is surfaced in the progress line.
+  void job_failed();
+
   struct Snapshot {
     std::size_t done = 0;
     std::size_t skipped = 0;  // subset of done
+    std::size_t failed = 0;   // subset of done
     std::size_t total = 0;
     std::uint64_t units = 0;
     double elapsed_seconds = 0;
@@ -48,6 +54,7 @@ class ProgressMeter {
  private:
   std::atomic<std::size_t> done_{0};
   std::atomic<std::size_t> skipped_{0};
+  std::atomic<std::size_t> failed_{0};
   std::atomic<std::uint64_t> units_{0};
   std::size_t total_ = 0;
   std::chrono::steady_clock::time_point start_;

@@ -1,13 +1,44 @@
 #include "sched/worksteal.h"
 
 #include <atomic>
+#include <chrono>
 #include <deque>
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace fu::sched {
 
 namespace {
+
+// Scheduler metrics, registered once. Counters are always on (a relaxed add
+// per event); the queue-wait histogram needs a clock read per job, so it is
+// recorded only while tracing is enabled — the 100k-near-empty-jobs
+// microbench in bench_obs_overhead keeps that path honest.
+struct SchedMetrics {
+  obs::Counter& jobs_executed;
+  obs::Counter& steal_attempts;
+  obs::Counter& steals;
+  obs::Counter& jobs_stolen;
+  obs::Counter& retries;
+  obs::Gauge& deque_depth;
+  obs::Histogram& queue_wait_us;
+
+  static SchedMetrics& get() {
+    static SchedMetrics metrics{
+        obs::Registry::global().counter("sched.jobs_executed"),
+        obs::Registry::global().counter("sched.steal_attempts"),
+        obs::Registry::global().counter("sched.steals"),
+        obs::Registry::global().counter("sched.jobs_stolen"),
+        obs::Registry::global().counter("sched.retries"),
+        obs::Registry::global().gauge("sched.deque_depth"),
+        obs::Registry::global().histogram("sched.queue_wait_us"),
+    };
+    return metrics;
+  }
+};
 
 struct Task {
   std::size_t index;
@@ -49,7 +80,9 @@ void execute(const Job& job, const SchedulerOptions& options, Task task,
     if (attempt + 1 >= max_attempts) break;
     ++attempt;
     retries.fetch_add(1, std::memory_order_relaxed);
+    SchedMetrics::get().retries.add();
   }
+  SchedMetrics::get().jobs_executed.add();
   if (observer != nullptr) {
     observer->on_job_done(task.index, report.ok, report.attempts,
                           report.ok ? std::string() : report.error);
@@ -104,6 +137,14 @@ RunReport run_stealing(std::size_t count, const Job& job,
   for (std::size_t i = 0; i < count; ++i) {
     queues[i * thread_count / count].tasks.push_back(Task{i, 0});
   }
+  SchedMetrics::get().deque_depth.record_max(
+      static_cast<std::int64_t>((count + thread_count - 1) / thread_count));
+
+  // Queue wait is the delay from run start (when every task is enqueued) to
+  // the moment a worker pops it. It needs a clock read per job, so it is
+  // sampled only when a tracer is live.
+  const bool timed = obs::tracing_enabled();
+  const auto run_start = std::chrono::steady_clock::now();
 
   const auto worker = [&](unsigned self) {
     WorkerQueue& own = queues[self];
@@ -120,8 +161,15 @@ RunReport run_stealing(std::size_t count, const Job& job,
           have = true;
         }
       }
+      if (have && timed) {
+        SchedMetrics::get().queue_wait_us.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - run_start)
+                .count()));
+      }
 
       if (!have) {
+        SchedMetrics::get().steal_attempts.add();
         // Steal half of a victim's queue, from the back — away from the
         // front the owner is popping. Loot moves through a local buffer so
         // no two queue locks are ever held at once (deadlock-free by
@@ -141,6 +189,11 @@ RunReport run_stealing(std::size_t count, const Job& job,
         if (!loot.empty()) {
           steals.fetch_add(1, std::memory_order_relaxed);
           jobs_stolen.fetch_add(loot.size(), std::memory_order_relaxed);
+          SchedMetrics::get().steals.add();
+          SchedMetrics::get().jobs_stolen.add(loot.size());
+          if (obs::tracing_enabled()) {
+            obs::trace_instant("steal", std::to_string(loot.size()));
+          }
           task = loot.back();
           loot.pop_back();
           have = true;

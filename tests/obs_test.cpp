@@ -1,0 +1,465 @@
+// src/obs contract: lock-free metrics merge correctly across threads,
+// spans nest and stay matched through every renderer, ring overflow drops
+// whole spans (never half of one), and tracing a survey changes nothing
+// about its results.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/tracefile.h"
+#include "test_util.h"
+
+namespace fu::obs {
+namespace {
+
+// -------------------------------------------------------------- metrics --
+
+TEST(Metrics, CounterMergesAcrossThreads) {
+  Registry registry;
+  Counter& counter = registry.counter("test.counter");
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kAddsPerThread; ++i) counter.add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(),
+            static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST(Metrics, CounterAddsArbitraryIncrements) {
+  Registry registry;
+  Counter& counter = registry.counter("test.counter");
+  counter.add(5);
+  counter.add(37);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Metrics, RegistryFindsOrCreatesStableHandles) {
+  Registry registry;
+  Counter& a = registry.counter("same.name");
+  Counter& b = registry.counter("same.name");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&registry.counter("other.name"), &a);
+  // The global registry is a process-wide singleton.
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+TEST(Metrics, GaugeTracksValueAndMax) {
+  Registry registry;
+  Gauge& gauge = registry.gauge("test.gauge");
+  gauge.set(10);
+  gauge.set(3);
+  EXPECT_EQ(gauge.value(), 3);
+  EXPECT_EQ(gauge.max(), 10);
+  gauge.record_max(50);
+  EXPECT_EQ(gauge.value(), 3);  // record_max leaves the last-set value alone
+  EXPECT_EQ(gauge.max(), 50);
+  gauge.record_max(7);
+  EXPECT_EQ(gauge.max(), 50);
+}
+
+TEST(Metrics, HistogramBucketBoundariesAreUpperInclusive) {
+  Registry registry;
+  Histogram& hist = registry.histogram("test.hist", {10, 100, 1000});
+  EXPECT_EQ(hist.bucket_for(0), 0u);
+  EXPECT_EQ(hist.bucket_for(10), 0u);    // on the edge: lower bucket
+  EXPECT_EQ(hist.bucket_for(11), 1u);
+  EXPECT_EQ(hist.bucket_for(100), 1u);
+  EXPECT_EQ(hist.bucket_for(101), 2u);
+  EXPECT_EQ(hist.bucket_for(1000), 2u);
+  EXPECT_EQ(hist.bucket_for(1001), 3u);  // overflow bucket
+  EXPECT_EQ(hist.bucket_for(~std::uint64_t{0}), 3u);
+}
+
+TEST(Metrics, HistogramSnapshotCountsSumsAndExtremes) {
+  Registry registry;
+  Histogram& hist = registry.histogram("test.hist", {10, 100, 1000});
+  for (const std::uint64_t v : {5u, 50u, 500u, 5000u}) hist.record(v);
+  const Histogram::Snapshot snap = hist.snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum, 5555u);
+  EXPECT_EQ(snap.min, 5u);
+  EXPECT_EQ(snap.max, 5000u);
+}
+
+TEST(Metrics, HistogramPercentilesAreClampedAndMonotonic) {
+  Registry registry;
+  Histogram& hist = registry.histogram("test.hist", default_latency_bounds_us());
+  for (std::uint64_t v = 1; v <= 1000; ++v) hist.record(v);
+  const Histogram::Snapshot snap = hist.snapshot();
+  const double p50 = snap.percentile(50);
+  const double p95 = snap.percentile(95);
+  const double p99 = snap.percentile(99);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p99, 1000.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // p50 of uniform 1..1000 should land in the right region even with
+  // power-of-two buckets (the bucket holding rank 500 spans 257..512).
+  EXPECT_GE(p50, 257.0);
+  EXPECT_LE(p50, 512.0);
+  EXPECT_EQ(snap.percentile(0), 1.0);
+  EXPECT_EQ(snap.percentile(100), 1000.0);
+}
+
+TEST(Metrics, HistogramMergesAcrossThreads) {
+  Registry registry;
+  Histogram& hist = registry.histogram("test.hist", {100});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&hist] {
+      for (int i = 0; i < 1000; ++i) hist.record(50);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const Histogram::Snapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 4000u);
+  EXPECT_EQ(snap.counts[0], 4000u);
+  EXPECT_EQ(snap.sum, 200000u);
+}
+
+TEST(Metrics, ExponentialBounds) {
+  const std::vector<std::uint64_t> bounds = exponential_bounds(1, 2.0, 8);
+  const std::vector<std::uint64_t> expected = {1, 2, 4, 8, 16, 32, 64, 128};
+  EXPECT_EQ(bounds, expected);
+}
+
+TEST(Metrics, SnapshotRendersValidJson) {
+  Registry registry;
+  registry.counter("a.count").add(3);
+  registry.gauge("b.gauge").set(-7);
+  registry.histogram("c.hist", {10, 100}).record(42);
+  const std::string json = registry.snapshot().to_json();
+
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(json_parse(json, root, &error)) << error << "\n" << json;
+  const JsonValue* counters = root.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->number_or("a.count", -1), 3.0);
+  const JsonValue* gauges = root.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  const JsonValue* histograms = root.find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const JsonValue* hist = histograms->find("c.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->number_or("count", -1), 1.0);
+}
+
+// ----------------------------------------------------------------- json --
+
+TEST(Json, ParsesScalarsAndContainers) {
+  JsonValue v;
+  ASSERT_TRUE(json_parse(R"({"a": [1, 2.5, -3], "b": {"c": true},
+                             "d": null, "e": "x"})",
+                         v));
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_EQ(a->array[0].number, 1.0);
+  EXPECT_EQ(a->array[1].number, 2.5);
+  EXPECT_EQ(a->array[2].number, -3.0);
+  EXPECT_TRUE(v.find("b")->find("c")->boolean);
+  EXPECT_EQ(v.string_or("e", ""), "x");
+}
+
+TEST(Json, DecodesStringEscapes) {
+  JsonValue v;
+  ASSERT_TRUE(json_parse(R"({"s": "a\"b\\c\ndA"})", v));
+  EXPECT_EQ(v.string_or("s", ""), "a\"b\\c\ndA");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(json_parse("{", v, &error));
+  EXPECT_FALSE(json_parse("{\"a\": 1} trailing", v, &error));
+  EXPECT_FALSE(json_parse("\"unterminated", v, &error));
+  EXPECT_FALSE(json_parse("", v, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// ---------------------------------------------------------------- trace --
+
+TEST(Trace, DisabledTracingIsANoop) {
+  ASSERT_FALSE(tracing_enabled());
+  TraceSpan span("never-recorded", std::string("arg"));
+  trace_instant("also-never");
+  // Nothing to assert beyond "did not crash": with no tracer installed the
+  // span must not allocate or record anywhere.
+  EXPECT_FALSE(tracing_enabled());
+}
+
+TEST(Trace, SpansNestAndArriveInProgramOrder) {
+  Tracer tracer;
+  tracer.start();
+  EXPECT_TRUE(tracing_enabled());
+  {
+    TraceSpan outer("site-visit", std::string("example.com"));
+    { TraceSpan inner("fetch"); }
+    { TraceSpan inner("parse"); }
+    trace_instant("retry", "example.com");
+  }
+  const std::vector<SpanRecord> records = tracer.stop();
+  EXPECT_FALSE(tracing_enabled());
+
+  ASSERT_EQ(records.size(), 4u);
+  // Sorted by begin order within the thread, parents before children.
+  EXPECT_STREQ(records[0].name, "site-visit");
+  EXPECT_EQ(records[0].depth, 0u);
+  EXPECT_EQ(records[0].arg, "example.com");
+  EXPECT_STREQ(records[1].name, "fetch");
+  EXPECT_EQ(records[1].depth, 1u);
+  EXPECT_STREQ(records[2].name, "parse");
+  EXPECT_EQ(records[2].depth, 1u);
+  EXPECT_STREQ(records[3].name, "retry");
+  EXPECT_TRUE(records[3].instant);
+
+  // Children start no earlier than the parent and fit inside it.
+  EXPECT_GE(records[1].start_us, records[0].start_us);
+  EXPECT_LE(records[1].start_us + records[1].dur_us,
+            records[0].start_us + records[0].dur_us);
+  // Program order: fetch closed before parse began.
+  EXPECT_LE(records[1].start_us + records[1].dur_us, records[2].start_us);
+}
+
+TEST(Trace, JsonlRoundTripsSpans) {
+  Tracer tracer;
+  tracer.start();
+  {
+    TraceSpan outer("site-visit", std::string("site.org"));
+    TraceSpan inner("execute");
+  }
+  const std::vector<SpanRecord> records = tracer.stop();
+  const std::string jsonl = Tracer::jsonl(records);
+
+  std::vector<ParsedSpan> spans;
+  std::string error;
+  ASSERT_TRUE(parse_trace_jsonl(jsonl, spans, &error)) << error;
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "site-visit");
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[0].arg, "site.org");
+  EXPECT_EQ(spans[1].name, "execute");
+  EXPECT_EQ(spans[1].depth, 1);
+}
+
+TEST(Trace, ChromeJsonHasMatchedBeginEndPairs) {
+  Tracer tracer;
+  tracer.start();
+  for (int i = 0; i < 5; ++i) {
+    TraceSpan outer("site-visit", "site" + std::to_string(i));
+    TraceSpan inner("fetch");
+    trace_instant("steal");
+  }
+  const std::vector<SpanRecord> records = tracer.stop();
+  const std::string json = Tracer::chrome_json(records);
+
+  // parse_chrome_trace fails on any unmatched or misnested begin/end, so a
+  // successful parse is the well-formedness proof.
+  std::vector<ParsedSpan> spans;
+  std::string error;
+  ASSERT_TRUE(parse_chrome_trace(json, spans, &error)) << error;
+  int visits = 0;
+  for (const ParsedSpan& span : spans) {
+    if (span.name == "site-visit") {
+      ++visits;
+      EXPECT_EQ(span.arg.rfind("site", 0), 0u) << span.arg;
+    }
+  }
+  EXPECT_EQ(visits, 5);
+}
+
+TEST(Trace, MultiThreadSpansStayMatchedPerThread) {
+  Tracer tracer;
+  tracer.start();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 50; ++i) {
+        TraceSpan outer("site-visit");
+        TraceSpan inner("execute");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::vector<SpanRecord> records = tracer.stop();
+  EXPECT_EQ(records.size(), 4u * 50u * 2u);
+
+  std::vector<ParsedSpan> spans;
+  std::string error;
+  ASSERT_TRUE(parse_chrome_trace(Tracer::chrome_json(records), spans, &error))
+      << error;
+  EXPECT_EQ(spans.size(), records.size());
+}
+
+TEST(Trace, RingOverflowDropsWholeSpansOnly) {
+  Tracer tracer(/*events_per_thread=*/8);
+  tracer.start();
+  for (int i = 0; i < 100; ++i) {
+    TraceSpan span("tiny");
+  }
+  const std::vector<SpanRecord> records = tracer.stop();
+  EXPECT_GT(tracer.dropped(), 0u);
+  EXPECT_LE(records.size(), 8u);
+  // The survivors still render to a valid, fully matched trace.
+  std::vector<ParsedSpan> spans;
+  std::string error;
+  ASSERT_TRUE(parse_chrome_trace(Tracer::chrome_json(records), spans, &error))
+      << error;
+  EXPECT_EQ(spans.size(), records.size());
+}
+
+TEST(Trace, SecondActiveTracerIsRejected) {
+  Tracer first;
+  first.start();
+  Tracer second;
+  EXPECT_THROW(second.start(), std::logic_error);
+  first.stop();
+  // Once the first stops, a new tracer may start.
+  second.start();
+  second.stop();
+}
+
+TEST(Trace, StopIsIdempotent) {
+  Tracer tracer;
+  tracer.start();
+  { TraceSpan span("once"); }
+  const std::vector<SpanRecord> a = tracer.stop();
+  const std::vector<SpanRecord> b = tracer.stop();
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(b.size(), 1u);
+}
+
+// ------------------------------------------------------------ tracefile --
+
+TEST(TraceFile, SummaryReportsStagesSlowSitesAndBalance) {
+  std::vector<ParsedSpan> spans;
+  for (int tid = 0; tid < 2; ++tid) {
+    for (int i = 0; i < 10; ++i) {
+      ParsedSpan visit;
+      visit.name = "site-visit";
+      visit.tid = tid;
+      visit.depth = 0;
+      visit.ts_us = static_cast<std::uint64_t>(i) * 1000;
+      visit.dur_us = static_cast<std::uint64_t>(100 + 10 * i + tid);
+      visit.arg = "site" + std::to_string(tid) + "-" + std::to_string(i);
+      spans.push_back(visit);
+    }
+  }
+  TraceSummaryOptions options;
+  options.top_n = 3;
+  const std::string summary = render_trace_summary(spans, options);
+  EXPECT_NE(summary.find("site-visit"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("p95"), std::string::npos);
+  EXPECT_NE(summary.find("slowest sites:"), std::string::npos);
+  // Slowest span overall is tid 1, i=9 (dur 191).
+  EXPECT_NE(summary.find("site1-9"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("scheduler balance"), std::string::npos);
+  EXPECT_NE(summary.find("tid 1"), std::string::npos);
+}
+
+TEST(TraceFile, RejectsMisnestedTraces) {
+  const char* misnested = R"({"traceEvents": [
+    {"ph": "B", "name": "a", "tid": 0, "ts": 0},
+    {"ph": "B", "name": "b", "tid": 0, "ts": 1},
+    {"ph": "E", "name": "a", "tid": 0, "ts": 2}
+  ]})";
+  std::vector<ParsedSpan> spans;
+  std::string error;
+  EXPECT_FALSE(parse_chrome_trace(misnested, spans, &error));
+  EXPECT_NE(error.find("misnested"), std::string::npos) << error;
+
+  const char* unclosed = R"({"traceEvents": [
+    {"ph": "B", "name": "a", "tid": 0, "ts": 0}
+  ]})";
+  spans.clear();
+  EXPECT_FALSE(parse_chrome_trace(unclosed, spans, &error));
+  EXPECT_NE(error.find("begin without end"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace fu::obs
+
+// ------------------------------------------------- traced survey, whole --
+
+namespace fu::crawler {
+namespace {
+
+TEST(TracedSurvey, ResultsAreBitIdenticalAndTraceIsWellFormed) {
+  net::SyntheticWeb::Config web_config;
+  web_config.site_count = 24;
+  const net::SyntheticWeb web(fu::test::shared_catalog(), web_config);
+
+  SurveyOptions options;
+  options.passes = 2;
+  options.include_ad_only = false;
+  options.include_tracking_only = false;
+  options.threads = 4;
+
+  const SurveyResults untraced = run_survey(web, options);
+
+  obs::Tracer tracer;
+  tracer.start();
+  const SurveyResults traced = run_survey(web, options);
+  const std::vector<obs::SpanRecord> records = tracer.stop();
+
+  // Tracing must not perturb the survey by a single bit.
+  ASSERT_EQ(untraced.sites.size(), traced.sites.size());
+  for (std::size_t i = 0; i < untraced.sites.size(); ++i) {
+    EXPECT_TRUE(untraced.sites[i] == traced.sites[i]) << "site " << i;
+  }
+
+  // The trace itself is non-trivial and well formed in both formats.
+  EXPECT_FALSE(records.empty());
+  std::vector<obs::ParsedSpan> spans;
+  std::string error;
+  ASSERT_TRUE(obs::parse_chrome_trace(obs::Tracer::chrome_json(records),
+                                      spans, &error))
+      << error;
+  int site_visits = 0;
+  bool saw_fetch = false, saw_parse = false, saw_execute = false,
+       saw_monkey = false;
+  for (const obs::ParsedSpan& span : spans) {
+    if (span.instant) continue;
+    if (span.name == "site-visit") {
+      ++site_visits;
+      EXPECT_FALSE(span.arg.empty());  // carries the domain
+    }
+    saw_fetch |= span.name == "fetch";
+    saw_parse |= span.name == "parse";
+    saw_execute |= span.name == "execute";
+    saw_monkey |= span.name == "monkey-pass";
+  }
+  EXPECT_EQ(site_visits, 24);
+  EXPECT_TRUE(saw_fetch);
+  EXPECT_TRUE(saw_parse);
+  EXPECT_TRUE(saw_execute);
+  EXPECT_TRUE(saw_monkey);
+
+  std::vector<obs::ParsedSpan> jsonl_spans;
+  ASSERT_TRUE(obs::parse_trace_jsonl(obs::Tracer::jsonl(records),
+                                     jsonl_spans, &error))
+      << error;
+  EXPECT_EQ(jsonl_spans.size(), records.size());
+}
+
+}  // namespace
+}  // namespace fu::crawler

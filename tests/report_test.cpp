@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
@@ -20,13 +21,42 @@ TEST(Report, WritesAllArtifacts) {
   for (const char* name :
        {"table1.txt", "table2.txt", "table3.txt", "fig1.txt", "fig3.txt",
         "fig4.txt", "fig5.txt", "fig6.txt", "fig7.txt", "fig8.txt",
-        "fig9.txt", "headline.txt", "features.csv", "standards.csv",
-        "cves.csv", "fig4.csv", "fig8.csv"}) {
+        "fig9.txt", "headline.txt", "failures.csv", "features.csv",
+        "standards.csv", "cves.csv", "fig4.csv", "fig8.csv"}) {
     EXPECT_TRUE(std::filesystem::exists(std::filesystem::path(dir) / name))
         << name;
     EXPECT_GT(std::filesystem::file_size(std::filesystem::path(dir) / name),
               0u)
         << name;
+  }
+}
+
+TEST(Report, FailuresCsvListsEachFailedSiteWithReason) {
+  // A clean survey yields a header-only file.
+  const auto clean_rows =
+      support::csv_parse(failures_csv(fu::test::small_survey()));
+  ASSERT_EQ(clean_rows.size(), 1u);
+  EXPECT_EQ(clean_rows[0],
+            (std::vector<std::string>{"domain", "attempts", "error"}));
+
+  // Inject two failing sites and find exactly them, with their reasons.
+  crawler::SurveyOptions options;
+  options.passes = 2;
+  options.include_ad_only = false;
+  options.include_tracking_only = false;
+  options.fault_injection = [](std::size_t site, int) {
+    if (site == 2 || site == 5) throw std::runtime_error("injected fault");
+  };
+  const crawler::SurveyResults results =
+      crawler::run_survey(fu::test::small_web(), options);
+  const auto rows = support::csv_parse(failures_csv(results));
+  ASSERT_EQ(rows.size(), 3u);
+  const auto& web_sites = fu::test::small_web().sites();
+  EXPECT_EQ(rows[1][0], web_sites[2].domain);
+  EXPECT_EQ(rows[2][0], web_sites[5].domain);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i][1], "1");  // one attempt, no retries configured
+    EXPECT_EQ(rows[i][2], "injected fault");
   }
 }
 

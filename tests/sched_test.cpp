@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/trace.h"
 #include "sched/progress.h"
 #include "sched/worksteal.h"
 #include "test_util.h"
@@ -180,6 +181,32 @@ TEST(Progress, EtaIsZeroWhenFinished) {
   EXPECT_EQ(meter.snapshot().eta_seconds, 0.0);
 }
 
+TEST(Progress, EtaRateExcludesSkippedJobs) {
+  // 100 of 102 jobs restored from a checkpoint instantly, one real job done
+  // after ~20ms. The rate must come from the one executed job — if skips
+  // leaked in, the rate would look ~100x too fast and the ETA for the last
+  // job would collapse toward zero.
+  ProgressMeter meter(102);
+  for (int i = 0; i < 100; ++i) meter.job_skipped();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  meter.job_done(10);
+  const ProgressMeter::Snapshot snap = meter.snapshot();
+  ASSERT_GT(snap.elapsed_seconds, 0.0);
+  EXPECT_LT(snap.jobs_per_second * snap.elapsed_seconds, 2.0);
+  EXPECT_GT(snap.eta_seconds, snap.elapsed_seconds * 0.5);
+}
+
+TEST(Progress, MeterCountsFailedJobs) {
+  ProgressMeter meter(4);
+  meter.job_done(10);
+  meter.job_failed();
+  meter.job_failed();
+  const ProgressMeter::Snapshot snap = meter.snapshot();
+  EXPECT_EQ(snap.done, 3u);    // failed jobs are finished jobs
+  EXPECT_EQ(snap.failed, 2u);
+  EXPECT_EQ(snap.skipped, 0u);
+}
+
 TEST(Progress, FormatMentionsCountsAndResumes) {
   ProgressMeter::Snapshot snap;
   snap.done = 247;
@@ -192,6 +219,11 @@ TEST(Progress, FormatMentionsCountsAndResumes) {
   EXPECT_NE(line.find("(40 resumed)"), std::string::npos) << line;
   EXPECT_NE(line.find("1.2M inv/s"), std::string::npos) << line;
   EXPECT_NE(line.find("eta 3m12s"), std::string::npos) << line;
+  EXPECT_EQ(line.find("failed"), std::string::npos) << line;  // only if > 0
+
+  snap.failed = 3;
+  const std::string with_failed = format_progress(snap);
+  EXPECT_NE(with_failed.find("(3 failed)"), std::string::npos) << with_failed;
 }
 
 TEST(Progress, PrinterEmitsAtLeastAFinalLine) {
@@ -250,6 +282,25 @@ TEST(SchedSurvey, BitIdenticalAcrossThreadCounts) {
   EXPECT_GT(one.sites_measured(), 0);
   expect_same_sites(one, four);
   expect_same_sites(one, eight);
+}
+
+TEST(SchedSurvey, BitIdenticalWithTracingOnAcrossThreadCounts) {
+  // Instrumentation reads clocks and bumps atomics but never touches the
+  // RNG or outcomes — a traced run at any thread count must reproduce the
+  // untraced single-threaded crawl exactly.
+  SurveyOptions options = fast_options();
+  options.threads = 1;
+  const SurveyResults baseline = run_survey(sched_web(), options);
+
+  for (const int threads : {1, 4, 8}) {
+    obs::Tracer tracer;
+    tracer.start();
+    options.threads = threads;
+    const SurveyResults traced = run_survey(sched_web(), options);
+    const std::vector<obs::SpanRecord> records = tracer.stop();
+    EXPECT_FALSE(records.empty()) << "threads=" << threads;
+    expect_same_sites(baseline, traced);
+  }
 }
 
 TEST(SchedSurvey, ThrowingSiteIsContainedAndReported) {
@@ -315,6 +366,24 @@ TEST(SchedSurvey, ProgressMeterObservesTheWholeRun) {
   EXPECT_EQ(snap.done, results.sites.size());
   EXPECT_EQ(snap.total, results.sites.size());
   EXPECT_EQ(snap.units, results.total_invocations());
+  EXPECT_EQ(snap.failed, 0u);
+}
+
+TEST(SchedSurvey, FailedSitesShowUpInProgress) {
+  sched::ProgressMeter meter;
+  SurveyOptions options = fast_options();
+  options.threads = 2;
+  options.progress = &meter;
+  options.fault_injection = [](std::size_t site, int) {
+    if (site == 3 || site == 11) throw std::runtime_error("injected");
+  };
+  const SurveyResults results = run_survey(sched_web(), options);
+  EXPECT_EQ(results.sites_failed(), 2);
+  const sched::ProgressMeter::Snapshot snap = meter.snapshot();
+  EXPECT_EQ(snap.done, results.sites.size());  // failures still finish
+  EXPECT_EQ(snap.failed, 2u);
+  EXPECT_NE(sched::format_progress(snap).find("(2 failed)"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -12,12 +12,17 @@
 // Scale via FU_SITES / FU_PASSES / FU_SEED (see README).
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "analysis/report.h"
 #include "blocker/extensions.h"
 #include "core/featureusage.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/tracefile.h"
 
 namespace {
 
@@ -33,15 +38,23 @@ int usage() {
       "  standard <abbrev>     survey-backed deep-dive for one standard\n"
       "  survey [flags]        run the survey, print the main tables\n"
       "  report <dir>          export every table/figure/CSV\n"
+      "  trace <file> [--top n]\n"
+      "                        summarize a trace written by survey\n"
+      "                        (per-stage percentiles, slowest sites,\n"
+      "                        scheduler balance)\n"
       "  lists                 print the generated filter lists\n"
       "\n"
-      "survey flags:\n"
+      "survey flags (values as '--flag v' or '--flag=v'):\n"
       "  --threads <n>         worker threads (default: hardware concurrency)\n"
       "  --progress            live progress to stderr (sites, inv/s, ETA)\n"
       "  --checkpoint-dir <d>  stream completed sites into shards under <d>\n"
       "  --resume              resume from matching shards in the\n"
       "                        checkpoint dir instead of recrawling\n"
       "  --retries <n>         extra attempts for a site whose crawl throws\n"
+      "  --trace-out <f>       write a Chrome trace_event JSON trace of the\n"
+      "                        crawl (chrome://tracing, ui.perfetto.dev)\n"
+      "  --trace-jsonl <f>     write the trace as compact JSONL instead\n"
+      "  --metrics-out <f>     write the metrics-registry snapshot as JSON\n"
       "\n"
       "environment:\n"
       "  FU_SITES / FU_PASSES / FU_SEED   survey scale (default 10000/5)\n"
@@ -50,7 +63,10 @@ int usage() {
       "  FU_CACHE=0            disable the on-disk survey cache\n"
       "  FU_CACHE_DIR          cache directory (default ./fu_cache)\n"
       "  FU_RETRIES            extra crawl attempts (same as --retries)\n"
-      "  FU_CHECKPOINT_DIR     shard directory (same as --checkpoint-dir)\n";
+      "  FU_CHECKPOINT_DIR     shard directory (same as --checkpoint-dir)\n"
+      "  FU_TRACE_OUT / FU_TRACE_JSONL / FU_METRICS_OUT\n"
+      "                        same as the --trace-out/--trace-jsonl/\n"
+      "                        --metrics-out survey flags\n";
   return 2;
 }
 
@@ -176,37 +192,67 @@ int cmd_standard(Reproduction& repro, int argc, char** argv) {
 }
 
 // Fold `fu survey` flags into the config; returns false on a bad flag.
+// Values are accepted as either "--flag value" or "--flag=value".
 bool parse_survey_flags(ReproductionConfig& config, int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    std::optional<std::string> inline_value;
+    if (arg.rfind("--", 0) == 0) {
+      if (const std::size_t eq = arg.find('='); eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.resize(eq);
+      }
+    }
+    const auto string_value = [&](std::string& out) {
+      if (inline_value) {
+        out = *inline_value;
+        return true;
+      }
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        return false;
+      }
+      out = argv[++i];
+      return true;
+    };
     // A numeric flag rejects a missing or non-numeric value outright —
     // atoi-style "abc -> 0" would silently launch a full-scale survey.
     const auto int_value = [&](int& out) {
-      if (i + 1 >= argc) {
-        std::cerr << arg << " needs a number\n";
-        return false;
-      }
-      const char* text = argv[++i];
+      std::string text;
+      if (!string_value(text)) return false;
       char* end = nullptr;
-      const long parsed = std::strtol(text, &end, 10);
-      if (end == text || *end != '\0' || parsed < 0) {
+      const long parsed = std::strtol(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0' || parsed < 0) {
         std::cerr << arg << ": not a number: " << text << "\n";
         return false;
       }
       out = static_cast<int>(parsed);
       return true;
     };
+    const auto boolean = [&](bool& out) {
+      if (inline_value) {
+        std::cerr << arg << " takes no value\n";
+        return false;
+      }
+      out = true;
+      return true;
+    };
     if (arg == "--resume") {
-      config.resume = true;
+      if (!boolean(config.resume)) return false;
     } else if (arg == "--progress") {
-      config.progress = true;
+      if (!boolean(config.progress)) return false;
     } else if (arg == "--threads") {
       if (!int_value(config.threads)) return false;
     } else if (arg == "--retries") {
       if (!int_value(config.retries)) return false;
     } else if (arg == "--checkpoint-dir") {
-      if (i + 1 >= argc) return false;
-      config.checkpoint_dir = argv[++i];
+      if (!string_value(config.checkpoint_dir)) return false;
+    } else if (arg == "--trace-out") {
+      if (!string_value(config.trace_out)) return false;
+    } else if (arg == "--trace-jsonl") {
+      if (!string_value(config.trace_jsonl)) return false;
+    } else if (arg == "--metrics-out") {
+      if (!string_value(config.metrics_out)) return false;
     } else {
       std::cerr << "unknown survey flag: " << arg << "\n";
       return false;
@@ -219,17 +265,110 @@ bool parse_survey_flags(ReproductionConfig& config, int argc, char** argv) {
   return true;
 }
 
+bool write_text_file(const std::string& path, const std::string& text,
+                     const char* what) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  out.flush();
+  if (!out) {
+    std::cerr << "cannot write " << what << " to " << path << "\n";
+    return false;
+  }
+  return true;
+}
+
 int cmd_survey(Reproduction& repro) {
+  const ReproductionConfig& config = repro.config();
+  const bool tracing =
+      !config.trace_out.empty() || !config.trace_jsonl.empty();
+
+  // Run the crawl first, under the tracer if one was requested, so the
+  // observability files cover exactly the survey (not the analysis pass).
+  std::optional<obs::Tracer> tracer;
+  if (tracing) {
+    obs::Registry::global().reset();
+    tracer.emplace();
+    tracer->start();
+  }
+  const crawler::SurveyResults& survey = repro.survey();
+  if (tracer) {
+    const std::vector<obs::SpanRecord> records = tracer->stop();
+    if (records.empty()) {
+      std::cerr << "note: trace is empty — the survey was served from the "
+                   "on-disk cache (set FU_CACHE=0 to trace a real crawl)\n";
+    }
+    if (tracer->dropped() > 0) {
+      std::cerr << "note: " << tracer->dropped()
+                << " span(s) dropped to ring-buffer overflow\n";
+    }
+    if (!config.trace_out.empty() &&
+        !write_text_file(config.trace_out, obs::Tracer::chrome_json(records),
+                         "trace")) {
+      return 1;
+    }
+    if (!config.trace_jsonl.empty() &&
+        !write_text_file(config.trace_jsonl, obs::Tracer::jsonl(records),
+                         "trace")) {
+      return 1;
+    }
+  }
+  if (!config.metrics_out.empty() &&
+      !write_text_file(config.metrics_out,
+                       obs::Registry::global().snapshot().to_json(),
+                       "metrics")) {
+    return 1;
+  }
+
   const analysis::Analysis& an = repro.analysis();
-  std::cout << analysis::render_table1(repro.survey()) << "\n"
-            << analysis::render_table3(repro.survey()) << "\n"
+  std::cout << analysis::render_table1(survey) << "\n"
+            << analysis::render_table3(survey) << "\n"
             << analysis::render_headline(an);
-  const int failed = repro.survey().sites_failed();
+  const int failed = survey.sites_failed();
   if (failed > 0) {
     std::cerr << failed << " site(s) failed after "
-              << (1 + repro.config().retries)
-              << " attempt(s); see SiteOutcome::error\n";
+              << (1 + config.retries)
+              << " attempt(s); see failures.csv in fu report\n";
   }
+  return 0;
+}
+
+int cmd_trace(int argc, char** argv) {
+  obs::TraceSummaryOptions options;
+  std::string path;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    const std::size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.resize(eq);
+    } else if (arg == "--top" && i + 1 < argc) {
+      value = argv[++i];
+    }
+    if (arg == "--top") {
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed <= 0) {
+        std::cerr << "--top: not a positive number: " << value << "\n";
+        return 2;
+      }
+      options.top_n = static_cast<std::size_t>(parsed);
+    } else if (path.empty() && arg.rfind("--", 0) != 0) {
+      path = arg;
+    } else {
+      std::cerr << "unknown trace argument: " << argv[i] << "\n";
+      return 2;
+    }
+  }
+  if (path.empty()) return usage();
+
+  std::vector<obs::ParsedSpan> spans;
+  std::string error;
+  if (!obs::load_trace_file(path, spans, &error)) {
+    std::cerr << "fu trace: " << path << ": " << error << "\n";
+    return 1;
+  }
+  std::cout << obs::render_trace_summary(spans, options);
   return 0;
 }
 
@@ -253,6 +392,8 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   char** rest = argv + 2;
   const int nrest = argc - 2;
+  // `fu trace` only reads a file; it needs no reproduction pipeline.
+  if (command == "trace") return cmd_trace(nrest, rest);
   ReproductionConfig config = ReproductionConfig::from_env();
   if (command == "survey" && !parse_survey_flags(config, nrest, rest)) {
     return usage();
