@@ -66,6 +66,84 @@ void BM_ScriptFunctionCalls(benchmark::State& state) {
 }
 BENCHMARK(BM_ScriptFunctionCalls);
 
+// The atom/inline-cache targets: repeated property reads and writes on the
+// same receiver, identifier-heavy arithmetic, element access through index
+// expressions, and method lookup through the prototype chain. These are the
+// loops the measuring extension's shims sit inside on every page visit.
+
+void BM_PropertyReadLoop(benchmark::State& state) {
+  fu::script::Interpreter interp;
+  const auto setup = fu::script::parse_program(
+      "var o = { alpha: 1, beta: 2, gamma: 3, delta: 4, epsilon: 5 };");
+  interp.execute(setup);
+  const auto program = fu::script::parse_program(
+      "var acc = 0;"
+      "for (var i = 0; i < 500; i = i + 1) {"
+      "  acc = acc + o.alpha + o.beta + o.gamma + o.delta + o.epsilon;"
+      "}");
+  for (auto _ : state) interp.execute(program);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2500);
+}
+BENCHMARK(BM_PropertyReadLoop);
+
+void BM_PropertyWriteLoop(benchmark::State& state) {
+  fu::script::Interpreter interp;
+  const auto setup = fu::script::parse_program(
+      "var o = { x: 0, y: 0 };");
+  interp.execute(setup);
+  const auto program = fu::script::parse_program(
+      "for (var i = 0; i < 500; i = i + 1) { o.x = i; o.y = o.x + 1; }");
+  for (auto _ : state) interp.execute(program);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_PropertyWriteLoop);
+
+void BM_IdentifierHeavyLoop(benchmark::State& state) {
+  fu::script::Interpreter interp;
+  const auto setup = fu::script::parse_program(
+      "var a = 1, b = 2, c = 3, d = 4, e = 5, f = 6;");
+  interp.execute(setup);
+  const auto program = fu::script::parse_program(
+      "var acc = 0;"
+      "for (var i = 0; i < 500; i = i + 1) {"
+      "  acc = acc + a + b + c + d + e + f - a - b - c;"
+      "}");
+  for (auto _ : state) interp.execute(program);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 500);
+}
+BENCHMARK(BM_IdentifierHeavyLoop);
+
+void BM_ArrayElementLoop(benchmark::State& state) {
+  fu::script::Interpreter interp;
+  const auto setup = fu::script::parse_program(
+      "var arr = [];"
+      "for (var i = 0; i < 64; i = i + 1) { arr.push(i); }");
+  interp.execute(setup);
+  const auto program = fu::script::parse_program(
+      "var acc = 0;"
+      "for (var j = 0; j < 10; j = j + 1) {"
+      "  for (var i = 0; i < 64; i = i + 1) { acc = acc + arr[i]; }"
+      "}");
+  for (auto _ : state) interp.execute(program);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 640);
+}
+BENCHMARK(BM_ArrayElementLoop);
+
+void BM_PrototypeMethodLookupLoop(benchmark::State& state) {
+  fu::script::Interpreter interp;
+  const auto setup = fu::script::parse_program(
+      "function Widget() { return undefined; }"
+      "Widget.prototype.poke = function () { return 1; };"
+      "var w = new Widget();");
+  interp.execute(setup);
+  const auto program = fu::script::parse_program(
+      "var acc = 0;"
+      "for (var i = 0; i < 300; i = i + 1) { acc = acc + w.poke(); }");
+  for (auto _ : state) interp.execute(program);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 300);
+}
+BENCHMARK(BM_PrototypeMethodLookupLoop);
+
 // -------------------------------------------- instrumentation ablation ---
 
 void BM_MethodCall_Uninstrumented(benchmark::State& state) {

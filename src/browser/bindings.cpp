@@ -49,8 +49,8 @@ void DomBindings::build_interfaces() {
     prototypes_[info.name] = proto;
 
     const ObjectRef ctor = heap.make_function(inert, info.name);
-    heap.get(ctor).properties["prototype"] = Value(proto);
-    heap.get(proto).properties["constructor"] = Value(ctor);
+    heap.define_property(ctor, "prototype", Value(proto));
+    heap.define_property(proto, "constructor", Value(ctor));
     interp_.globals().define(info.name, Value(ctor));
   }
 
@@ -59,8 +59,8 @@ void DomBindings::build_interfaces() {
     if (f.kind != catalog::FeatureKind::kMethod) continue;
     const ObjectRef proto = prototype_of(f.interface_name);
     Heap& h = interp_.heap();
-    h.get(proto).properties[f.member_name] =
-        Value(h.make_function(inert, f.full_name));
+    h.define_property(proto, f.member_name,
+                      Value(h.make_function(inert, f.full_name)));
   }
 }
 
@@ -75,7 +75,7 @@ void DomBindings::build_singletons() {
   window_ = make_instance("Window");
   interp_.globals().define("window", Value(window_));
   // window.window === window, handy for generated code
-  heap.get(window_).properties["window"] = Value(window_);
+  heap.define_property(window_, "window", Value(window_));
 
   constexpr std::array<const char*, 8> kSimpleSingletons = {
       "Navigator", "Screen",  "History", "Location",
@@ -87,7 +87,7 @@ void DomBindings::build_singletons() {
     const ObjectRef obj = make_instance(kSimpleSingletons[i]);
     singletons_[kSimpleSingletons[i]] = obj;
     interp_.globals().define(kGlobalNames[i], Value(obj));
-    heap.get(window_).properties[kGlobalNames[i]] = Value(obj);
+    heap.define_property(window_, kGlobalNames[i], Value(obj));
   }
   singletons_["Window"] = window_;
   singletons_["LocalStorage"] = singletons_["Storage"];
@@ -99,7 +99,7 @@ void DomBindings::build_singletons() {
     if (it == singletons_.end()) return;
     const ObjectRef child = make_instance(iface);
     singletons_[iface] = child;
-    heap.get(it->second).properties[prop] = Value(child);
+    heap.define_property(it->second, prop, Value(child));
   };
   nest("Navigator", "plugins", "PluginArray");
   nest("Navigator", "mimeTypes", "MimeTypeArray");
@@ -117,7 +117,7 @@ void DomBindings::install_dom_natives() {
   // the shared EventTarget prototype root. The measuring extension shims
   // over these, preserving behaviour while counting calls (§4.2.1).
   PageHooks* hooks = &hooks_;
-  heap.get(event_target_proto_).properties["addEventListener"] =
+  heap.define_property(event_target_proto_, "addEventListener",
       Value(heap.make_function(
           [hooks](Interpreter&, const Value&, std::span<const Value> args) {
             if (args.size() >= 2 && args[0].is_string() && args[1].is_object()) {
@@ -125,8 +125,8 @@ void DomBindings::install_dom_natives() {
             }
             return Value();
           },
-          "EventTarget.prototype.addEventListener"));
-  heap.get(event_target_proto_).properties["removeEventListener"] =
+          "EventTarget.prototype.addEventListener")));
+  heap.define_property(event_target_proto_, "removeEventListener",
       Value(heap.make_function(
           [hooks](Interpreter&, const Value&, std::span<const Value> args) {
             if (args.size() >= 2 && args[0].is_string()) {
@@ -138,13 +138,13 @@ void DomBindings::install_dom_natives() {
             }
             return Value();
           },
-          "EventTarget.prototype.removeEventListener"));
+          "EventTarget.prototype.removeEventListener")));
 
   // Timers: browser plumbing, not catalog features — uninstrumented.
   const ObjectRef window_proto = prototype_of("Window");
   const ObjectRef timer_target =
       window_proto.null() ? window_ : window_proto;
-  heap.get(timer_target).properties["setTimeout"] = Value(heap.make_function(
+  heap.define_property(timer_target, "setTimeout", Value(heap.make_function(
       [hooks](Interpreter&, const Value&, std::span<const Value> args) {
         if (!args.empty() && args[0].is_object()) {
           const double delay =
@@ -153,26 +153,26 @@ void DomBindings::install_dom_natives() {
         }
         return Value(static_cast<double>(hooks->timers.size()));
       },
-      "setTimeout"));
-  heap.get(timer_target).properties["setInterval"] =
-      heap.get(timer_target).properties["setTimeout"];
-  heap.get(timer_target).properties["clearTimeout"] =
-      Value(heap.make_function(inert, "clearTimeout"));
+      "setTimeout")));
+  heap.define_property(timer_target, "setInterval",
+                       *heap.own_property(timer_target, "setTimeout"));
+  heap.define_property(timer_target, "clearTimeout",
+                       Value(heap.make_function(inert, "clearTimeout")));
 
   // Live DOM access: createElement / getElementById / querySelector return
   // real wrappers so example code can chain on them.
   const ObjectRef doc_proto = prototype_of("Document");
   if (!doc_proto.null()) {
     DomBindings* self = this;
-    heap.get(doc_proto).properties["createElement"] = Value(heap.make_function(
+    heap.define_property(doc_proto, "createElement", Value(heap.make_function(
         [self](Interpreter&, const Value&, std::span<const Value> args) {
           if (self->hooks_.dom == nullptr) return Value();
           const std::string tag =
               args.empty() ? "div" : args[0].to_display_string();
           return Value(self->wrap_element(*self->hooks_.dom->create_element(tag)));
         },
-        "Document.prototype.createElement"));
-    heap.get(doc_proto).properties["getElementById"] = Value(heap.make_function(
+        "Document.prototype.createElement")));
+    heap.define_property(doc_proto, "getElementById", Value(heap.make_function(
         [self](Interpreter&, const Value&, std::span<const Value> args) {
           if (self->hooks_.dom == nullptr || args.empty()) return Value();
           dom::Element* el =
@@ -180,8 +180,8 @@ void DomBindings::install_dom_natives() {
           if (el == nullptr) return Value(script::Null{});
           return Value(self->wrap_element(*el));
         },
-        "Document.prototype.getElementById"));
-    heap.get(doc_proto).properties["querySelector"] = Value(heap.make_function(
+        "Document.prototype.getElementById")));
+    heap.define_property(doc_proto, "querySelector", Value(heap.make_function(
         [self](Interpreter&, const Value&, std::span<const Value> args) {
           if (self->hooks_.dom == nullptr || args.empty()) return Value();
           const auto selector =
@@ -191,29 +191,31 @@ void DomBindings::install_dom_natives() {
           if (el == nullptr) return Value(script::Null{});
           return Value(self->wrap_element(*el));
         },
-        "Document.prototype.querySelector"));
-    heap.get(doc_proto).properties["querySelectorAll"] =
+        "Document.prototype.querySelector")));
+    heap.define_property(doc_proto, "querySelectorAll",
         Value(heap.make_function(
             [self](Interpreter& in, const Value&,
                    std::span<const Value> args) {
               const ObjectRef list =
                   in.heap().make_object(ObjectRef(), "NodeList");
-              script::JsObject& arr = in.heap().get(list);
               std::size_t n = 0;
               if (self->hooks_.dom != nullptr && !args.empty()) {
                 if (const auto selector =
                         dom::Selector::parse(args[0].to_display_string())) {
                   for (dom::Element* el :
                        selector->select_all(*self->hooks_.dom)) {
-                    arr.properties[std::to_string(n++)] =
-                        Value(self->wrap_element(*el));
+                    in.heap().define_property(
+                        list, in.heap().atoms().intern_index(n++),
+                        Value(self->wrap_element(*el)));
                   }
                 }
               }
-              arr.properties["length"] = Value(static_cast<double>(n));
+              in.heap().define_property(
+                  list, in.heap().atoms().well_known().length,
+                  Value(static_cast<double>(n)));
               return Value(list);
             },
-            "Document.prototype.querySelectorAll"));
+            "Document.prototype.querySelectorAll")));
   }
 }
 
@@ -224,14 +226,20 @@ script::ObjectRef DomBindings::begin_page(dom::Document& dom) {
 
   // DOM0 handlers ("window.onclick = ...") die with the page they were
   // registered on; everything else on window persists for the session.
-  script::JsObject& win = interp_.heap().get(window_);
-  std::erase_if(win.properties, [](const auto& entry) {
-    return entry.first.size() > 2 && entry.first.compare(0, 2, "on") == 0;
-  });
+  Heap& heap = interp_.heap();
+  script::JsObject& win = heap.get(window_);
+  std::vector<script::Atom> dom0;
+  for (const script::PropertySlots::Slot& slot : win.properties.slots()) {
+    const std::string& name = heap.atoms().name(slot.atom);
+    if (name.size() > 2 && name.compare(0, 2, "on") == 0) {
+      dom0.push_back(slot.atom);
+    }
+  }
+  for (const script::Atom atom : dom0) win.properties.erase(atom);
 
   document_ = make_instance("Document");
   interp_.globals().define("document", Value(document_));
-  interp_.heap().get(window_).properties["document"] = Value(document_);
+  heap.define_property(window_, "document", Value(document_));
   return document_;
 }
 
@@ -239,10 +247,12 @@ script::ObjectRef DomBindings::wrap_element(dom::Element& element) {
   ObjectRef proto = prototype_of("HTMLElement");
   if (proto.null()) proto = prototype_of("Element");
   const ObjectRef ref = interp_.heap().make_object(proto, "HTMLElement");
-  script::JsObject& obj = interp_.heap().get(ref);
-  obj.host = &element;
-  obj.properties["tagName"] = Value(support::to_lower(element.tag()));
-  if (!element.id().empty()) obj.properties["id"] = Value(element.id());
+  interp_.heap().get(ref).host = &element;
+  interp_.heap().define_property(ref, "tagName",
+                                 Value(support::to_lower(element.tag())));
+  if (!element.id().empty()) {
+    interp_.heap().define_property(ref, "id", Value(element.id()));
+  }
   return ref;
 }
 

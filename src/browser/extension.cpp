@@ -29,19 +29,19 @@ void MeasuringExtension::inject(Interpreter& interp, DomBindings& bindings) {
     if (f.kind != catalog::FeatureKind::kMethod) continue;
     const ObjectRef proto = bindings.prototype_of(f.interface_name);
     if (proto.null()) continue;
-    script::JsObject& proto_obj = heap.get(proto);
-    const auto slot = proto_obj.properties.find(f.member_name);
-    if (slot == proto_obj.properties.end() || !slot->second.is_object()) {
-      continue;
-    }
+    Value* slot = heap.own_property(proto, f.member_name);
+    if (slot == nullptr || !slot->is_object()) continue;
 
     // The original implementation is captured by value in the shim's
     // closure; nothing else references it afterwards, so page JavaScript
-    // cannot recover the un-instrumented version (§4.2.1).
-    const Value original = slot->second;
+    // cannot recover the un-instrumented version (§4.2.1). Replacing the
+    // slot *value* in place leaves the prototype's shape untouched, so
+    // inline caches pointing at this slot keep hitting — and now read the
+    // shim, which is exactly the §4.2.1 requirement.
+    const Value original = *slot;
     UsageRecorder* recorder = recorder_;
     const catalog::FeatureId fid = f.id;
-    slot->second = Value(heap.make_function(
+    *slot = Value(heap.make_function(
         [recorder, fid, original](Interpreter& in, const Value& self,
                                   std::span<const Value> args) {
           recorder->record(fid);

@@ -135,8 +135,11 @@ void BrowserSession::run_script_body(const std::string& cache_key,
     program = it->second;
   } else {
     try {
+      // Parse against this interpreter's atom table so every name in the
+      // tree is already an atom before first execution. Sessions that share
+      // the cached program re-intern lazily through the per-site caches.
       program = std::make_shared<const script::Program>(
-          script::parse_program(body));
+          script::parse_program(body, &interp_.heap().atoms()));
     } catch (const script::SyntaxError&) {
       program = nullptr;  // remembered as a permanent syntax error
     }

@@ -24,6 +24,16 @@ long env_long(const char* name, long fallback) {
   }
 }
 
+double env_double(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  try {
+    return std::stod(value);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
 }  // namespace
 
 ReproductionConfig ReproductionConfig::from_env() {
@@ -39,6 +49,10 @@ ReproductionConfig ReproductionConfig::from_env() {
   if (checkpoint_dir != nullptr && *checkpoint_dir != '\0') {
     config.checkpoint_dir = checkpoint_dir;
   }
+  config.checkpoint_secs =
+      env_double("FU_CHECKPOINT_SECS", config.checkpoint_secs);
+  config.trace_sample =
+      static_cast<int>(env_long("FU_TRACE_SAMPLE", config.trace_sample));
   const auto env_path = [](const char* name, std::string& out) {
     const char* value = std::getenv(name);
     if (value != nullptr && *value != '\0') out = value;
@@ -78,6 +92,7 @@ const crawler::SurveyResults& Reproduction::survey() {
   options.seed = config_.seed;
   options.max_attempts = 1 + std::max(0, config_.retries);
   options.checkpoint_dir = config_.checkpoint_dir;
+  options.checkpoint_secs = config_.checkpoint_secs;
   options.resume = config_.resume;
 
   // Survey runs are expensive and fully determined by their parameters, so

@@ -47,6 +47,9 @@ struct ReproductionConfig {
   // When set, completed site outcomes stream into checkpoint shards here
   // and `resume` picks an interrupted survey back up from them.
   std::string checkpoint_dir;
+  // > 0: also cut a shard once this many seconds have passed since the
+  // first unflushed outcome, bounding the crash-loss window of slow crawls.
+  double checkpoint_secs = 0;
   bool resume = false;
   // Print live crawl progress (sites done, invocations/s, ETA) to stderr.
   bool progress = false;
@@ -58,10 +61,16 @@ struct ReproductionConfig {
   std::string trace_out;
   std::string trace_jsonl;
   std::string metrics_out;
+  // > 1: sample 1-in-N site-visit spans (suppressing the per-stage spans of
+  // unsampled visits) while always keeping a visit slower than every visit
+  // before it, so huge surveys produce bounded trace files that still show
+  // the outliers.
+  int trace_sample = 0;
 
   // Read overrides from the environment: FU_SITES, FU_PASSES, FU_SEED,
-  // FU_THREADS, FU_FIG7 (0/1), FU_RETRIES, FU_CHECKPOINT_DIR, FU_TRACE_OUT,
-  // FU_TRACE_JSONL, FU_METRICS_OUT.
+  // FU_THREADS, FU_FIG7 (0/1), FU_RETRIES, FU_CHECKPOINT_DIR,
+  // FU_CHECKPOINT_SECS, FU_TRACE_OUT, FU_TRACE_JSONL, FU_TRACE_SAMPLE,
+  // FU_METRICS_OUT.
   static ReproductionConfig from_env();
 };
 

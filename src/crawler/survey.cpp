@@ -152,7 +152,10 @@ SurveyResults run_survey(const net::SyntheticWeb& web,
     // Observability only: spans/counters/timers read clocks and bump atomics
     // but never touch the RNG or the outcome, so results stay bit-identical
     // with tracing on or off (locked in by sched_test).
-    obs::TraceSpan visit_span("site-visit", site.domain);
+    // The root span is sampling-aware: under --trace-sample only 1-in-N
+    // visits trace (plus any new slowest-so-far visit); the nested fetch/
+    // parse/execute spans of unsampled visits are suppressed with it.
+    obs::SampledSiteSpan visit_span("site-visit", site.domain);
     static obs::Histogram& visit_us =
         obs::Registry::global().histogram("crawler.site_visit_us");
     obs::ScopedLatency visit_latency(visit_us);
@@ -229,11 +232,14 @@ SurveyResults run_survey(const net::SyntheticWeb& web,
         restored[record.index] = 1;
       }
     }
-    writer = std::make_unique<sched::ShardWriter>(
-        options.checkpoint_dir, header,
-        options.checkpoint_every > 0
-            ? static_cast<std::size_t>(options.checkpoint_every)
-            : 64);
+    sched::FlushCadence cadence;
+    cadence.records = options.checkpoint_every > 0
+                          ? static_cast<std::size_t>(options.checkpoint_every)
+                          : 64;
+    cadence.seconds = options.checkpoint_secs;
+    cadence.bytes = options.checkpoint_bytes;
+    writer = std::make_unique<sched::ShardWriter>(options.checkpoint_dir,
+                                                  header, cadence);
   }
 
   std::vector<std::size_t> pending;

@@ -59,8 +59,16 @@ struct SurveyOptions {
   // outcomes), keyed by this run's SurveyKey. With `resume`, matching
   // shards are loaded first and their sites are not recrawled — an
   // interrupted survey picks up where it stopped.
+  //
+  // `checkpoint_secs` / `checkpoint_bytes` (> 0 = enabled) additionally cut
+  // a shard once that much time has passed since the first unflushed
+  // outcome, or that many payload bytes have accumulated — whichever bound
+  // trips first. A slow crawl then bounds its crash-loss window by time
+  // while a fast one still batches by count (FU_CHECKPOINT_SECS).
   std::string checkpoint_dir;
   int checkpoint_every = 64;
+  double checkpoint_secs = 0;
+  std::size_t checkpoint_bytes = 0;
   bool resume = false;
 
   // Optional throughput observer (sites done, invocations/s, ETA); fed from

@@ -49,6 +49,16 @@ namespace {
 
 std::atomic<std::uint64_t> g_epoch{1};
 
+// Sampling state (see set_trace_sampling): rate, round-robin counter, and
+// the slowest site-visit duration recorded so far.
+std::atomic<std::uint64_t> g_sample_every{0};
+std::atomic<std::uint64_t> g_sample_counter{0};
+std::atomic<std::uint64_t> g_slowest_us{0};
+
+// > 0 while this thread is inside an unsampled SampledSiteSpan; every
+// nested TraceSpan / trace_instant then records nothing.
+thread_local int t_suppress_depth = 0;
+
 // Which tracer epoch this thread's cached buffer belongs to. A thread that
 // outlives one tracer re-registers with the next.
 struct TlsCache {
@@ -57,9 +67,40 @@ struct TlsCache {
 };
 thread_local TlsCache t_cache;
 
+// Raise the slowest-so-far watermark to `dur_us`; true when it was a new
+// maximum (the caller's span outran everything recorded before it).
+bool raise_slowest(std::uint64_t dur_us) {
+  std::uint64_t prev = g_slowest_us.load(std::memory_order_relaxed);
+  while (dur_us > prev) {
+    if (g_slowest_us.compare_exchange_weak(prev, dur_us,
+                                           std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Append an already-timed span as a balanced begin/end pair at the current
+// nesting depth (used to keep an unsampled-but-slowest visit).
+void complete_span(ThreadBuffer* buffer, const char* name,
+                   std::uint64_t start_us, std::uint64_t dur_us,
+                   std::string arg) {
+  SpanRecord record;
+  record.name = name;
+  record.tid = buffer->tid;
+  record.depth = static_cast<std::uint32_t>(buffer->open_begin_seq.size());
+  record.begin_seq = ++buffer->sequence;
+  record.end_seq = ++buffer->sequence;
+  record.start_us = start_us;
+  record.dur_us = dur_us;
+  record.arg = std::move(arg);
+  buffer->push(std::move(record));
+}
+
 }  // namespace
 
 ThreadBuffer* acquire_buffer() {
+  if (t_suppress_depth > 0) return nullptr;
   TracerImpl* impl = g_active.load(std::memory_order_acquire);
   if (impl == nullptr) return nullptr;
   if (t_cache.epoch != impl->epoch) {
@@ -117,6 +158,56 @@ void trace_instant(const char* name, std::string arg) {
   internal::instant_event(buffer, name, std::move(arg));
 }
 
+// ------------------------------------------------------------- sampling --
+
+void set_trace_sampling(std::uint64_t n) {
+  internal::g_sample_every.store(n, std::memory_order_relaxed);
+}
+
+std::uint64_t trace_sampling() noexcept {
+  return internal::g_sample_every.load(std::memory_order_relaxed);
+}
+
+SampledSiteSpan::SampledSiteSpan(const char* name, const std::string& arg)
+    : name_(name) {
+  internal::ThreadBuffer* buffer = internal::acquire_buffer();
+  if (buffer == nullptr) return;
+  buffer_ = buffer;
+  arg_ = arg;
+  const std::uint64_t n =
+      internal::g_sample_every.load(std::memory_order_relaxed);
+  if (n > 1 &&
+      internal::g_sample_counter.fetch_add(1, std::memory_order_relaxed) %
+              n !=
+          0) {
+    // Unsampled: time the visit but suppress its whole subtree.
+    suppressed_ = true;
+    start_us_ = buffer->now_us();
+    ++internal::t_suppress_depth;
+    return;
+  }
+  start_us_ = internal::begin_span(buffer);
+}
+
+SampledSiteSpan::~SampledSiteSpan() {
+  if (buffer_ == nullptr) return;
+  if (!suppressed_) {
+    const std::uint64_t end_us = buffer_->now_us();
+    internal::raise_slowest(end_us > start_us_ ? end_us - start_us_ : 0);
+    internal::end_span(buffer_, name_, start_us_, std::move(arg_));
+    return;
+  }
+  --internal::t_suppress_depth;
+  const std::uint64_t end_us = buffer_->now_us();
+  const std::uint64_t dur_us = end_us > start_us_ ? end_us - start_us_ : 0;
+  // A new maximum must survive sampling — that outlier is the one an
+  // operator goes looking for.
+  if (internal::raise_slowest(dur_us)) {
+    internal::complete_span(buffer_, name_, start_us_, dur_us,
+                            std::move(arg_));
+  }
+}
+
 // -------------------------------------------------------------- tracer --
 
 Tracer::Tracer(std::size_t events_per_thread)
@@ -134,6 +225,8 @@ void Tracer::start() {
   if (active()) return;
   impl_->epoch = internal::g_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
   impl_->start_time = std::chrono::steady_clock::now();
+  internal::g_sample_counter.store(0, std::memory_order_relaxed);
+  internal::g_slowest_us.store(0, std::memory_order_relaxed);
   stopped_ = false;
   drained_.clear();
   dropped_ = 0;

@@ -95,6 +95,36 @@ class TraceSpan {
 // pass a prebuilt string only when tracing_enabled().
 void trace_instant(const char* name, std::string arg = {});
 
+// --------------------------------------------------------------- sampling --
+//
+// A 10k-site survey emits millions of spans; sampling caps the file while
+// keeping what matters. With set_trace_sampling(n), only 1-in-n
+// SampledSiteSpan scopes record normally — every TraceSpan nested inside an
+// unsampled scope is suppressed with it. An unsampled visit is still timed,
+// and if it turns out slower than every visit seen so far it is kept
+// retroactively as a complete span (without children): the tail latencies
+// that justify tracing at all are never sampled away. n <= 1 disables
+// sampling. The sample counter and the slowest-so-far watermark reset at
+// Tracer::start().
+void set_trace_sampling(std::uint64_t n);
+std::uint64_t trace_sampling() noexcept;
+
+// Sampling-aware variant of TraceSpan for the per-site root span.
+class SampledSiteSpan {
+ public:
+  SampledSiteSpan(const char* name, const std::string& arg);
+  ~SampledSiteSpan();
+  SampledSiteSpan(const SampledSiteSpan&) = delete;
+  SampledSiteSpan& operator=(const SampledSiteSpan&) = delete;
+
+ private:
+  internal::ThreadBuffer* buffer_ = nullptr;  // null = tracing disabled
+  const char* name_;
+  std::string arg_;
+  std::uint64_t start_us_ = 0;
+  bool suppressed_ = false;
+};
+
 class Tracer {
  public:
   // Each thread keeps up to `events_per_thread` completed spans; beyond

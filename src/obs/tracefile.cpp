@@ -243,4 +243,127 @@ std::string render_trace_summary(const std::vector<ParsedSpan>& spans,
   return out.str();
 }
 
+// ------------------------------------------------------- regression gate --
+
+std::vector<StageStats> trace_stage_stats(
+    const std::vector<ParsedSpan>& spans) {
+  std::map<std::string, std::vector<double>> by_stage;
+  for (const ParsedSpan& span : spans) {
+    if (!span.instant) {
+      by_stage[span.name].push_back(static_cast<double>(span.dur_us));
+    }
+  }
+  std::vector<StageStats> stats;
+  stats.reserve(by_stage.size());
+  for (const auto& [stage, durations] : by_stage) {
+    StageStats s;
+    s.name = stage;
+    s.count = durations.size();
+    s.p50_us = support::percentile(durations, 50);
+    s.p95_us = support::percentile(durations, 95);
+    s.p99_us = support::percentile(durations, 99);
+    stats.push_back(std::move(s));
+  }
+  return stats;  // std::map iteration order = sorted by name
+}
+
+std::string stage_stats_json(const std::vector<StageStats>& stats) {
+  std::ostringstream out;
+  out << "{\"stages\": [\n";
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const StageStats& s = stats[i];
+    char row[256];
+    std::snprintf(row, sizeof row,
+                  "  {\"name\": \"%s\", \"count\": %zu, \"p50_us\": %.1f, "
+                  "\"p95_us\": %.1f, \"p99_us\": %.1f}%s\n",
+                  s.name.c_str(), s.count, s.p50_us, s.p95_us, s.p99_us,
+                  i + 1 < stats.size() ? "," : "");
+    out << row;
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+bool parse_stage_stats_json(std::string_view text,
+                            std::vector<StageStats>& out, std::string* error) {
+  JsonValue root;
+  std::string json_error;
+  if (!json_parse(text, root, &json_error)) {
+    return set_error(error, "invalid JSON: " + json_error);
+  }
+  const JsonValue* stages = root.find("stages");
+  if (stages == nullptr || !stages->is_array()) {
+    return set_error(error, "missing stages array");
+  }
+  for (const JsonValue& stage : stages->array) {
+    if (!stage.is_object() || stage.find("name") == nullptr) {
+      return set_error(error, "stage entry without a name");
+    }
+    StageStats s;
+    s.name = stage.string_or("name", "");
+    s.count = static_cast<std::size_t>(stage.number_or("count", 0));
+    s.p50_us = stage.number_or("p50_us", 0);
+    s.p95_us = stage.number_or("p95_us", 0);
+    s.p99_us = stage.number_or("p99_us", 0);
+    out.push_back(std::move(s));
+  }
+  return true;
+}
+
+RegressionReport check_stage_regression(
+    const std::vector<StageStats>& baseline,
+    const std::vector<StageStats>& current, double tolerance) {
+  // Jitter floor (µs): sub-50µs movement is scheduler noise at any scale.
+  constexpr double kFloorUs = 50.0;
+  RegressionReport report;
+  std::ostringstream out;
+
+  std::map<std::string, const StageStats*> by_name;
+  for (const StageStats& s : current) by_name[s.name] = &s;
+  std::map<std::string, bool> seen;
+
+  for (const StageStats& base : baseline) {
+    const auto it = by_name.find(base.name);
+    if (it == by_name.end()) {
+      out << "  " << base.name << ": missing from current trace (skipped)\n";
+      continue;
+    }
+    seen[base.name] = true;
+    const StageStats& cur = *it->second;
+    const auto check = [&](const char* which, double base_us,
+                           double cur_us) -> bool {
+      const double limit = base_us * (1.0 + tolerance) + kFloorUs;
+      if (cur_us <= limit) return true;
+      char row[256];
+      std::snprintf(row, sizeof row,
+                    "  %s %s: %.0fµs -> %.0fµs (limit %.0fµs)  REGRESSED\n",
+                    base.name.c_str(), which, base_us, cur_us, limit);
+      out << row;
+      return false;
+    };
+    bool ok = true;
+    ok &= check("p50", base.p50_us, cur.p50_us);
+    ok &= check("p95", base.p95_us, cur.p95_us);
+    ok &= check("p99", base.p99_us, cur.p99_us);
+    if (ok) {
+      char row[256];
+      std::snprintf(row, sizeof row,
+                    "  %s: p50 %.0f/%.0f p95 %.0f/%.0f p99 %.0f/%.0f µs "
+                    "(current/baseline)  ok\n",
+                    base.name.c_str(), cur.p50_us, base.p50_us, cur.p95_us,
+                    base.p95_us, cur.p99_us, base.p99_us);
+      out << row;
+    } else {
+      report.regressed = true;
+    }
+  }
+  for (const StageStats& cur : current) {
+    if (!seen.count(cur.name)) {
+      out << "  " << cur.name << ": not in baseline (skipped)\n";
+    }
+  }
+  report.text = out.str();
+  return report;
+}
+
 }  // namespace fu::obs

@@ -50,4 +50,44 @@ struct TraceSummaryOptions {
 std::string render_trace_summary(const std::vector<ParsedSpan>& spans,
                                  const TraceSummaryOptions& options = {});
 
+// ------------------------------------------------------- regression gate --
+//
+// CI traces a small survey, reduces it to per-stage percentiles, and diffs
+// those against a checked-in baseline: a stage whose latency grew beyond
+// the tolerance fails the job before the regression reaches a real crawl.
+
+struct StageStats {
+  std::string name;
+  std::size_t count = 0;
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+};
+
+// Duration percentiles of every non-instant span, grouped by name, sorted
+// by name (deterministic output for baseline files).
+std::vector<StageStats> trace_stage_stats(const std::vector<ParsedSpan>& spans);
+
+// {"stages": [{"name":.., "count":.., "p50_us":.., ...}, ...]} — what
+// `fu trace --write-baseline` persists and `--check-baseline` reads.
+std::string stage_stats_json(const std::vector<StageStats>& stats);
+bool parse_stage_stats_json(std::string_view text,
+                            std::vector<StageStats>& out,
+                            std::string* error = nullptr);
+
+struct RegressionReport {
+  bool regressed = false;
+  std::string text;  // per-stage verdict lines, human-readable
+};
+
+// A stage regresses when a current percentile exceeds
+// baseline * (1 + tolerance) + 50µs — the relative bound absorbs machine
+// speed differences, the absolute floor keeps microsecond-scale stages from
+// tripping on scheduler jitter. Stages present on only one side are
+// reported but never fail (sampling or config changes legitimately add and
+// remove stages).
+RegressionReport check_stage_regression(
+    const std::vector<StageStats>& baseline,
+    const std::vector<StageStats>& current, double tolerance);
+
 }  // namespace fu::obs

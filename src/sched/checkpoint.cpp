@@ -123,10 +123,8 @@ bool read_shard(const std::filesystem::path& path, const std::string& header,
 }  // namespace
 
 ShardWriter::ShardWriter(std::string dir, std::string header,
-                         std::size_t flush_every)
-    : dir_(std::move(dir)),
-      header_(std::move(header)),
-      flush_every_(flush_every > 0 ? flush_every : 1) {
+                         FlushCadence cadence)
+    : dir_(std::move(dir)), header_(std::move(header)), cadence_(cadence) {
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   if (ec) {
@@ -145,8 +143,23 @@ ShardWriter::~ShardWriter() { flush(); }
 
 void ShardWriter::add(std::uint64_t index, std::string payload) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (buffer_.empty()) first_buffered_ = std::chrono::steady_clock::now();
+  buffered_bytes_ += payload.size();
   buffer_.push_back(ShardRecord{index, std::move(payload)});
-  if (buffer_.size() >= flush_every_) flush_locked();
+  if (flush_due_locked()) flush_locked();
+}
+
+bool ShardWriter::flush_due_locked() const {
+  if (cadence_.records > 0 && buffer_.size() >= cadence_.records) return true;
+  if (cadence_.bytes > 0 && buffered_bytes_ >= cadence_.bytes) return true;
+  if (cadence_.seconds > 0) {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - first_buffered_;
+    if (elapsed.count() >= cadence_.seconds) return true;
+  }
+  // Every bound disabled: degenerate to one shard per record.
+  return cadence_.records == 0 && cadence_.bytes == 0 &&
+         cadence_.seconds <= 0;
 }
 
 bool ShardWriter::flush() {
@@ -203,6 +216,7 @@ bool ShardWriter::flush_locked() {
     return false;
   }
   buffer_.clear();
+  buffered_bytes_ = 0;
   ++next_sequence_;
   ++shards_written_;
   return ok_;

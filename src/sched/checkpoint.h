@@ -14,6 +14,7 @@
 // or carries the wrong header is rejected whole.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -26,14 +27,29 @@ struct ShardRecord {
   std::string payload;
 };
 
+// When to cut a shard: whichever enabled bound trips first. Slow crawls
+// (big sites, few threads) hit the time bound so a crash loses at most
+// `seconds` of work; fast crawls hit the record/byte bounds so shards stay
+// reasonably sized. A zero disables that bound; all-zero flushes on every
+// add(). Bounds are evaluated at add() time — there is no timer thread, so
+// an idle writer's remainder goes out at flush() or destruction.
+struct FlushCadence {
+  std::size_t records = 64;  // buffered record count
+  double seconds = 0;        // elapsed since the first unflushed record
+  std::size_t bytes = 0;     // accumulated payload bytes
+};
+
 class ShardWriter {
  public:
   // Shards go to directory `dir` (created if missing); every shard embeds
-  // `header`; a flush happens automatically once `flush_every` records are
-  // buffered. The writer continues numbering after any shards already in
-  // the directory, so a resumed run never overwrites its predecessor's.
+  // `header`; flushes happen automatically per `cadence`. The writer
+  // continues numbering after any shards already in the directory, so a
+  // resumed run never overwrites its predecessor's.
+  ShardWriter(std::string dir, std::string header, FlushCadence cadence);
   ShardWriter(std::string dir, std::string header,
-              std::size_t flush_every = 64);
+              std::size_t flush_every = 64)
+      : ShardWriter(std::move(dir), std::move(header),
+                    FlushCadence{flush_every, 0, 0}) {}
   ~ShardWriter();  // flushes the remainder
 
   ShardWriter(const ShardWriter&) = delete;
@@ -51,12 +67,15 @@ class ShardWriter {
 
  private:
   bool flush_locked();
+  bool flush_due_locked() const;
 
   std::string dir_;
   std::string header_;
-  std::size_t flush_every_;
+  FlushCadence cadence_;
   std::mutex mutex_;
   std::vector<ShardRecord> buffer_;
+  std::size_t buffered_bytes_ = 0;
+  std::chrono::steady_clock::time_point first_buffered_{};
   std::size_t next_sequence_ = 0;
   std::size_t shards_written_ = 0;
   bool ok_ = true;

@@ -1,12 +1,18 @@
 // MiniJS abstract syntax tree. Owned as a Program of unique_ptrs; the
-// interpreter walks it without mutating, so one parsed script can be
-// executed many times (the crawler re-runs the same page scripts on every
-// measurement pass).
+// interpreter walks it many times (the crawler re-runs the same page
+// scripts on every measurement pass). The only mutation the walk performs
+// is filling the `mutable` inline-cache fields below — site caches share
+// one Program across every session visiting a site, and sites are
+// single-threaded (the SiteCache contract), so unsynchronized IC state is
+// safe; the caches self-invalidate across interpreters via engine_id.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "script/atoms.h"
 
 namespace fu::script {
 
@@ -30,6 +36,12 @@ struct AstFunction {
   std::string name;  // empty for anonymous
   std::vector<std::string> params;
   std::vector<StmtPtr> body;
+
+  // Per-engine memo of the interned parameter atoms (call_function defines
+  // params on every activation; interning once per engine keeps that off
+  // the hot path).
+  mutable std::uint64_t param_engine = 0;
+  mutable std::vector<Atom> param_atoms;
 };
 
 struct Expr {
@@ -59,6 +71,14 @@ struct Expr {
   std::shared_ptr<AstFunction> function;  // function expressions
   // object literal: parallel vectors of keys and value expressions
   std::vector<std::string> keys;
+
+  // --- inline caches (see atoms.h for validity rules) ---
+  mutable VarIC var_ic;           // kIdentifier reads / assign targets
+  mutable PropertyIC prop_ic;     // kMember reads
+  mutable PropertyWriteIC write_ic;  // kMember assignment targets
+  // object literal: per-engine memo of interned key atoms
+  mutable std::uint64_t keys_engine = 0;
+  mutable std::vector<Atom> key_atoms;
 };
 
 struct Stmt {
@@ -72,6 +92,9 @@ struct Stmt {
   Kind kind;
   ExprPtr expr;              // expr stmt / var init / return value / conditions
   std::string name;          // var name / catch binding
+  // per-engine memo of `name` interned (var statements in loops)
+  mutable std::uint64_t name_engine = 0;
+  mutable Atom name_atom = kNoAtom;
   StmtPtr body;              // loop body, if-then
   StmtPtr else_body;         // if-else
   ExprPtr init_expr;         // for-init expression (var handled via init_stmt)

@@ -1,0 +1,54 @@
+#include "script/atoms.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace fu::script {
+namespace {
+
+std::uint64_t next_table_id() {
+  // Starts at 1: engine_id 0 marks an empty inline cache.
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+AtomTable::AtomTable() : id_(next_table_id()) {
+  well_known_.length = intern("length");
+  well_known_.prototype = intern("prototype");
+  well_known_.constructor = intern("constructor");
+  well_known_.this_ = intern("this");
+  well_known_.arguments = intern("arguments");
+}
+
+Atom AtomTable::intern(std::string_view name) {
+  if (const auto it = ids_.find(name); it != ids_.end()) return it->second;
+  const Atom atom = static_cast<Atom>(names_.size());
+  names_.emplace_back(name);  // deque: no reallocation, views stay valid
+  ids_.emplace(std::string_view(names_.back()), atom);
+  return atom;
+}
+
+Atom AtomTable::lookup(std::string_view name) const {
+  const auto it = ids_.find(name);
+  return it == ids_.end() ? kNoAtom : it->second;
+}
+
+Atom AtomTable::intern_index(std::uint64_t index) {
+  constexpr std::uint64_t kSmallLimit = 4096;
+  if (index < kSmallLimit) {
+    if (index >= small_indices_.size()) {
+      small_indices_.resize(index + 1, kNoAtom);
+    }
+    Atom& cached = small_indices_[index];
+    if (cached == kNoAtom) cached = intern(std::to_string(index));
+    return cached;
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(index));
+  return intern(buf);
+}
+
+}  // namespace fu::script

@@ -1,0 +1,135 @@
+// Atom table: per-interpreter string interning for the MiniJS engine.
+//
+// Every identifier and property name is interned once into a dense
+// std::uint32_t `Atom`; the hot paths (property lookup, environment
+// resolution) then compare and hash integers instead of strings, the way
+// SpiderMonkey's atom table backs its property tables. The table is
+// append-only: an atom, once handed out, names the same string for the
+// table's whole lifetime, so inline caches can key on it.
+//
+// This header also defines the inline-cache records that parser-emitted AST
+// nodes carry (one per member-access / identifier site). Caches are tagged
+// with the owning table's process-unique id: a cached AST executed by a
+// different interpreter misses cleanly and re-resolves (site caches share
+// parsed programs across the up-to-20 sessions that crawl one site).
+// Programs — and therefore these mutable cache fields — are single-threaded
+// by the same contract as browser::SiteCache: sites are the unit of
+// parallelism.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace fu::script {
+
+using Atom = std::uint32_t;
+inline constexpr Atom kNoAtom = 0xFFFFFFFFu;
+
+class Environment;
+
+class AtomTable {
+ public:
+  // Atoms the engine needs on every call; interned first so their ids are
+  // compile-time-stable within any table.
+  struct WellKnown {
+    Atom length;
+    Atom prototype;
+    Atom constructor;
+    Atom this_;
+    Atom arguments;
+  };
+
+  AtomTable();
+  AtomTable(const AtomTable&) = delete;
+  AtomTable& operator=(const AtomTable&) = delete;
+
+  // Insert-or-get. Idempotent: the same name always returns the same atom.
+  Atom intern(std::string_view name);
+
+  // Lookup without inserting; kNoAtom when the name was never interned
+  // (no object can hold a property whose name was never interned, so a
+  // read miss needs no table growth).
+  Atom lookup(std::string_view name) const;
+
+  // Atom for the canonical decimal spelling of `index` ("0", "1", ...).
+  // Small indices are served from a cache so array element access never
+  // allocates a key string.
+  Atom intern_index(std::uint64_t index);
+
+  const std::string& name(Atom atom) const { return names_[atom]; }
+  std::size_t size() const noexcept { return names_.size(); }
+
+  // Process-unique identity of this table; inline caches are tagged with it.
+  std::uint64_t id() const noexcept { return id_; }
+
+  const WellKnown& well_known() const noexcept { return well_known_; }
+
+ private:
+  std::uint64_t id_;
+  std::deque<std::string> names_;  // stable storage; index = Atom
+  std::unordered_map<std::string_view, Atom> ids_;  // views into names_
+  std::vector<Atom> small_indices_;  // lazily-filled cache for 0..4095
+  WellKnown well_known_{};
+};
+
+// ---------------------------------------------------------------------------
+// Inline-cache records. All are "monomorphic": each remembers exactly one
+// resolution and falls back to the slow path (then re-caches) on mismatch.
+// Validity is anchored in things that cannot silently change under the
+// cache: atom-table identity, per-object shape versions (bumped on every
+// property-layout mutation — add or delete, never value overwrite, so the
+// measuring extension's shim-over-prototype-method replacement keeps caches
+// valid and reads the *shim*), and environment serial numbers.
+
+// Property read through an AST member-access site. chain[0] is the
+// receiver, chain[chain_len-1] the holder whose slot holds the value; every
+// link's shape is revalidated on use, which also guards against a new
+// shadowing property appearing anywhere on the cached prototype path.
+struct PropertyIC {
+  static constexpr int kMaxChain = 4;
+  static constexpr std::uint32_t kMissSlot = 0xFFFFFFFFu;
+
+  struct Link {
+    std::uint32_t object = 0;  // ObjectRef index
+    std::uint32_t shape = 0;
+  };
+
+  std::uint64_t engine_id = 0;  // owning AtomTable::id(); 0 = empty
+  Atom atom = kNoAtom;
+  Link chain[kMaxChain];
+  std::uint8_t chain_len = 0;  // 0 = no cached resolution (atom memo only)
+  // Slot index in the holder; kMissSlot = negative cache ("definitely
+  // absent along the whole recorded chain").
+  std::uint32_t slot = 0;
+};
+
+// Property write through an AST member-assignment site: JS assignment
+// always targets an *own* slot of the receiver.
+struct PropertyWriteIC {
+  std::uint64_t engine_id = 0;
+  Atom atom = kNoAtom;
+  std::uint32_t object = 0;
+  std::uint32_t shape = 0;
+  std::uint32_t slot = 0;
+  bool valid = false;
+};
+
+// Identifier resolution. Only filled when the name resolved in the scope
+// the site executed in (nothing nearer can ever shadow it, and environment
+// binding stores are append-only, so the slot index stays good); the
+// environment serial — unique per environment per interpreter — keys the
+// cache, which makes global-scope loops hit while each fresh function
+// activation re-resolves once.
+struct VarIC {
+  std::uint64_t engine_id = 0;
+  Atom atom = kNoAtom;
+  std::uint64_t env_serial = 0;  // 0 = no cached resolution
+  Environment* env = nullptr;
+  std::uint32_t slot = 0;
+};
+
+}  // namespace fu::script

@@ -18,7 +18,7 @@ double array_length(Heap& heap, ObjectRef arr) {
 }
 
 void set_array_length(Heap& heap, ObjectRef arr, double n) {
-  heap.get(arr).properties["length"] = Value(n);
+  heap.define_property(arr, heap.atoms().well_known().length, Value(n));
 }
 
 Value array_push(Interpreter& in, const Value& self,
@@ -27,8 +27,9 @@ Value array_push(Interpreter& in, const Value& self,
   Heap& heap = in.heap();
   double n = array_length(heap, self.as_object());
   for (const Value& v : args) {
-    heap.get(self.as_object())
-        .properties[std::to_string(static_cast<long long>(n))] = v;
+    heap.define_property(
+        self.as_object(),
+        heap.atoms().intern_index(static_cast<std::uint64_t>(n)), v);
     n += 1;
   }
   set_array_length(heap, self.as_object(), n);
@@ -41,12 +42,12 @@ Value array_pop(Interpreter& in, const Value& self, std::span<const Value>) {
   double n = array_length(heap, self.as_object());
   if (n <= 0) return Value();
   n -= 1;
-  const std::string key = std::to_string(static_cast<long long>(n));
+  const Atom key = heap.atoms().intern_index(static_cast<std::uint64_t>(n));
   JsObject& obj = heap.get(self.as_object());
   Value out;
-  if (const auto it = obj.properties.find(key); it != obj.properties.end()) {
-    out = it->second;
-    obj.properties.erase(it);
+  if (const Value* v = obj.properties.find(key)) {
+    out = *v;
+    obj.properties.erase(key);
   }
   set_array_length(heap, self.as_object(), n);
   return out;
@@ -62,8 +63,9 @@ Value array_join(Interpreter& in, const Value& self,
   std::string out;
   for (long long i = 0; i < static_cast<long long>(n); ++i) {
     if (i) out += sep;
-    const Value v =
-        heap.get_property(self.as_object(), std::to_string(i));
+    const Value v = heap.get_property(
+        self.as_object(),
+        heap.atoms().intern_index(static_cast<std::uint64_t>(i)));
     if (!v.is_undefined() && !v.is_null()) out += v.to_display_string();
   }
   return Value(std::move(out));
@@ -75,7 +77,10 @@ Value array_index_of(Interpreter& in, const Value& self,
   Heap& heap = in.heap();
   const double n = array_length(heap, self.as_object());
   for (long long i = 0; i < static_cast<long long>(n); ++i) {
-    if (heap.get_property(self.as_object(), std::to_string(i)) == args[0]) {
+    if (heap.get_property(
+            self.as_object(),
+            heap.atoms().intern_index(static_cast<std::uint64_t>(i))) ==
+        args[0]) {
       return Value(static_cast<double>(i));
     }
   }
@@ -97,7 +102,9 @@ Value array_slice(Interpreter& in, const Value& self,
   to = std::clamp<long long>(to, 0, n);
   std::vector<Value> out;
   for (long long i = from; i < to; ++i) {
-    out.push_back(heap.get_property(self.as_object(), std::to_string(i)));
+    out.push_back(heap.get_property(
+        self.as_object(),
+        heap.atoms().intern_index(static_cast<std::uint64_t>(i))));
   }
   return in.make_array(out);
 }
@@ -229,22 +236,26 @@ void json_stringify_into(Heap& heap, const Value& value, std::string& out,
     const double n = array_length(heap, value.as_object());
     for (long long i = 0; i < static_cast<long long>(n); ++i) {
       if (i) out.push_back(',');
-      json_stringify_into(heap,
-                          heap.get_property(value.as_object(),
-                                            std::to_string(i)),
-                          out, depth + 1);
+      json_stringify_into(
+          heap,
+          heap.get_property(
+              value.as_object(),
+              heap.atoms().intern_index(static_cast<std::uint64_t>(i))),
+          out, depth + 1);
     }
     out.push_back(']');
     return;
   }
   out.push_back('{');
   bool first = true;
-  for (const auto& [key, member] : obj.properties) {
+  // insertion order, like JSON.stringify over ordinary JS objects
+  for (const PropertySlots::Slot& slot : obj.properties.slots()) {
     if (!first) out.push_back(',');
     first = false;
-    json_stringify_into(heap, Value(key), out, depth + 1);
+    json_stringify_into(heap, Value(heap.atoms().name(slot.atom)), out,
+                        depth + 1);
     out.push_back(':');
-    json_stringify_into(heap, member, out, depth + 1);
+    json_stringify_into(heap, slot.value, out, depth + 1);
   }
   out.push_back('}');
 }
@@ -364,7 +375,7 @@ class JsonParser {
       skip_space();
       if (peek() != ':') throw ScriptError("JSON.parse: missing ':'");
       ++pos_;
-      in_.heap().get(obj).properties[key.as_string()] = parse_value();
+      in_.heap().define_property(obj, key.as_string(), parse_value());
       skip_space();
       if (peek() == ',') {
         ++pos_;
@@ -389,17 +400,17 @@ Value Interpreter::make_array(std::span<const Value> elements) {
   const ObjectRef arr = heap_.make_object(array_prototype_, "Array");
   JsObject& obj = heap_.get(arr);
   for (std::size_t i = 0; i < elements.size(); ++i) {
-    obj.properties[std::to_string(i)] = elements[i];
+    obj.properties.put(heap_.atoms().intern_index(i)) = elements[i];
   }
-  obj.properties["length"] = Value(static_cast<double>(elements.size()));
+  obj.properties.put(heap_.atoms().well_known().length) =
+      Value(static_cast<double>(elements.size()));
   return Value(arr);
 }
 
 void Interpreter::install_extended_builtins() {
   Heap& h = heap_;
   const auto def = [&h](ObjectRef target, const char* name, NativeFn fn) {
-    h.get(target).properties[name] =
-        Value(h.make_function(std::move(fn), name));
+    h.define_property(target, name, Value(h.make_function(std::move(fn), name)));
   };
 
   // Array.prototype
@@ -460,9 +471,10 @@ void Interpreter::install_extended_builtins() {
       [](Interpreter& in, const Value&, std::span<const Value> args) {
         std::vector<Value> keys;
         if (!args.empty() && args[0].is_object()) {
-          for (const auto& [key, value] :
-               in.heap().get(args[0].as_object()).properties) {
-            keys.emplace_back(key);
+          // insertion order, like JavaScript's Object.keys
+          for (const PropertySlots::Slot& slot :
+               in.heap().get(args[0].as_object()).properties.slots()) {
+            keys.emplace_back(in.heap().atoms().name(slot.atom));
           }
         }
         return in.make_array(keys);
@@ -470,7 +482,8 @@ void Interpreter::install_extended_builtins() {
   global_env_->define("Object", Value(object_ns));
 
   const ObjectRef array_ns = h.make_object(ObjectRef(), "ArrayNamespace");
-  h.get(array_ns).properties["prototype"] = Value(array_prototype_);
+  h.define_property(array_ns, h.atoms().well_known().prototype,
+                    Value(array_prototype_));
   def(array_ns, "isArray",
       [](Interpreter& in, const Value&, std::span<const Value> args) {
         return Value(!args.empty() && args[0].is_object() &&

@@ -1,44 +1,31 @@
 #include "script/interp.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace fu::script {
 
 namespace {
 
-// Non-error control-flow signals.
-struct ReturnSignal {
-  Value value;
-};
-struct BreakSignal {};
-struct ContinueSignal {};
+// Non-error control flow (return/break/continue) propagates as a status
+// code, not an exception: function-call-heavy pages spent most of their
+// time in the unwinder when every `return` threw. ScriptError remains an
+// exception — it is the rare path and must cross native frames.
+enum class Flow : std::uint8_t { kNormal, kReturn, kBreak, kContinue };
 
 }  // namespace
 
-void Environment::define(std::string_view name, Value value) {
-  bindings_[std::string(name)] = std::move(value);
-}
-
-void Environment::assign(std::string_view name, Value value) {
+void Environment::assign(Atom atom, Value value) {
   for (Environment* env = this; env != nullptr; env = env->parent_) {
-    const auto it = env->bindings_.find(name);
-    if (it != env->bindings_.end()) {
-      it->second = std::move(value);
+    if (Value* v = env->bindings_.find(atom)) {
+      *v = std::move(value);
       return;
     }
   }
   // sloppy mode: implicit global
   Environment* root = this;
   while (root->parent_ != nullptr) root = root->parent_;
-  root->bindings_[std::string(name)] = std::move(value);
-}
-
-const Value* Environment::lookup(std::string_view name) const {
-  for (const Environment* env = this; env != nullptr; env = env->parent_) {
-    const auto it = env->bindings_.find(name);
-    if (it != env->bindings_.end()) return &it->second;
-  }
-  return nullptr;
+  root->bindings_.put(atom) = std::move(value);
 }
 
 // Walks the AST. A member class so it can reach interpreter internals.
@@ -47,48 +34,49 @@ class Evaluator {
   Evaluator(Interpreter& interp, Environment* env)
       : interp_(interp), env_(env) {}
 
-  void run_block(const std::vector<StmtPtr>& stmts) {
-    for (const StmtPtr& s : stmts) exec(*s);
+  Flow run_block(const std::vector<StmtPtr>& stmts) {
+    for (const StmtPtr& s : stmts) {
+      const Flow flow = exec(*s);
+      if (flow != Flow::kNormal) return flow;
+    }
+    return Flow::kNormal;
   }
 
-  void exec(const Stmt& s) {
+  // The value carried by the last Flow::kReturn.
+  Value take_return_value() { return std::move(return_value_); }
+
+  Flow exec(const Stmt& s) {
     interp_.burn_fuel();
     switch (s.kind) {
       case Stmt::Kind::kEmpty:
-        return;
+        return Flow::kNormal;
       case Stmt::Kind::kExpr:
         eval(*s.expr);
-        return;
+        return Flow::kNormal;
       case Stmt::Kind::kVar:
-        env_->define(s.name, s.expr ? eval(*s.expr) : Value());
-        return;
+        env_->define(stmt_atom(s, s.name), s.expr ? eval(*s.expr) : Value());
+        return Flow::kNormal;
       case Stmt::Kind::kIf:
         if (eval(*s.expr).truthy()) {
-          exec(*s.body);
+          return exec(*s.body);
         } else if (s.else_body) {
-          exec(*s.else_body);
+          return exec(*s.else_body);
         }
-        return;
+        return Flow::kNormal;
       case Stmt::Kind::kWhile:
         while (eval(*s.expr).truthy()) {
-          try {
-            exec(*s.body);
-          } catch (const BreakSignal&) {
-            break;
-          } catch (const ContinueSignal&) {
-          }
+          const Flow flow = exec(*s.body);
+          if (flow == Flow::kBreak) break;
+          if (flow == Flow::kReturn) return flow;
         }
-        return;
+        return Flow::kNormal;
       case Stmt::Kind::kDoWhile:
         do {
-          try {
-            exec(*s.body);
-          } catch (const BreakSignal&) {
-            break;
-          } catch (const ContinueSignal&) {
-          }
+          const Flow flow = exec(*s.body);
+          if (flow == Flow::kBreak) break;
+          if (flow == Flow::kReturn) return flow;
         } while (eval(*s.expr).truthy());
-        return;
+        return Flow::kNormal;
       case Stmt::Kind::kSwitch: {
         const Value discriminant = eval(*s.expr);
         // find the matching clause (=== semantics), else the default
@@ -108,53 +96,51 @@ class Evaluator {
             }
           }
         }
-        try {
-          // fallthrough: run from the matched clause to the end or a break
-          for (std::size_t i = start; i < s.clauses.size(); ++i) {
-            for (const StmtPtr& child : s.clauses[i].body) exec(*child);
+        // fallthrough: run from the matched clause to the end or a break
+        for (std::size_t i = start; i < s.clauses.size(); ++i) {
+          for (const StmtPtr& child : s.clauses[i].body) {
+            const Flow flow = exec(*child);
+            if (flow == Flow::kBreak) return Flow::kNormal;  // consumed
+            if (flow != Flow::kNormal) return flow;
           }
-        } catch (const BreakSignal&) {
         }
-        return;
+        return Flow::kNormal;
       }
       case Stmt::Kind::kFor: {
         if (s.init_stmt) exec(*s.init_stmt);
         if (s.init_expr) eval(*s.init_expr);
         while (s.expr == nullptr || eval(*s.expr).truthy()) {
-          try {
-            exec(*s.body);
-          } catch (const BreakSignal&) {
-            break;
-          } catch (const ContinueSignal&) {
-          }
+          const Flow flow = exec(*s.body);
+          if (flow == Flow::kBreak) break;
+          if (flow == Flow::kReturn) return flow;
           if (s.step) eval(*s.step);
         }
-        return;
+        return Flow::kNormal;
       }
       case Stmt::Kind::kReturn:
-        throw ReturnSignal{s.expr ? eval(*s.expr) : Value()};
+        return_value_ = s.expr ? eval(*s.expr) : Value();
+        return Flow::kReturn;
       case Stmt::Kind::kBreak:
-        throw BreakSignal{};
+        return Flow::kBreak;
       case Stmt::Kind::kContinue:
-        throw ContinueSignal{};
+        return Flow::kContinue;
       case Stmt::Kind::kBlock: {
         // blocks share their enclosing function scope (var semantics)
-        run_block(s.statements);
-        return;
+        return run_block(s.statements);
       }
       case Stmt::Kind::kFunction:
-        env_->define(s.function->name,
+        env_->define(stmt_atom(s, s.function->name),
                      interp_.heap_.make_script_function(s.function, env_));
-        return;
+        return Flow::kNormal;
       case Stmt::Kind::kTry:
         try {
-          run_block(s.statements);
+          return run_block(s.statements);
         } catch (const ScriptError& err) {
           if (!s.name.empty()) env_->define(s.name, Value(err.what()));
-          run_block(s.catch_body);
+          return run_block(s.catch_body);
         }
-        return;
     }
+    return Flow::kNormal;
   }
 
   Value eval(const Expr& e) {
@@ -170,20 +156,20 @@ class Evaluator {
         return Value(Null{});
       case Expr::Kind::kUndefined:
         return Value();
-      case Expr::Kind::kIdentifier: {
-        const Value* v = env_->lookup(e.text);
-        if (v == nullptr) {
-          throw ScriptError("ReferenceError: " + e.text + " is not defined");
-        }
-        return *v;
-      }
+      case Expr::Kind::kIdentifier:
+        return eval_identifier(e);
       case Expr::Kind::kMember: {
         const Value base = eval(*e.object);
-        return member_of(base, e.text);
+        return member_with_ic(base, e);
       }
       case Expr::Kind::kIndex: {
         const Value base = eval(*e.object);
         const Value idx = eval(*e.index);
+        if (base.is_object()) {
+          if (const Atom atom = index_atom(idx); atom != kNoAtom) {
+            return interp_.heap_.get_property(base.as_object(), atom);
+          }
+        }
         return member_of(base, idx.to_display_string());
       }
       case Expr::Kind::kCall:
@@ -204,9 +190,18 @@ class Evaluator {
       case Expr::Kind::kFunction:
         return interp_.heap_.make_script_function(e.function, env_);
       case Expr::Kind::kObjectLiteral: {
-        const ObjectRef obj = interp_.heap_.make_object();
-        for (std::size_t i = 0; i < e.keys.size(); ++i) {
-          interp_.heap_.get(obj).properties[e.keys[i]] = eval(*e.args[i]);
+        Heap& h = interp_.heap_;
+        if (e.keys_engine != h.atoms().id()) {
+          e.key_atoms.clear();
+          e.key_atoms.reserve(e.keys.size());
+          for (const std::string& k : e.keys) {
+            e.key_atoms.push_back(h.atoms().intern(k));
+          }
+          e.keys_engine = h.atoms().id();
+        }
+        const ObjectRef obj = h.make_object();
+        for (std::size_t i = 0; i < e.key_atoms.size(); ++i) {
+          h.define_property(obj, e.key_atoms[i], eval(*e.args[i]));
         }
         return Value(obj);
       }
@@ -221,14 +216,162 @@ class Evaluator {
   }
 
  private:
+  // Per-engine memo of a statement's bound name (var / function decls).
+  Atom stmt_atom(const Stmt& s, const std::string& name) {
+    AtomTable& at = interp_.heap_.atoms();
+    if (s.name_engine != at.id()) {
+      s.name_atom = at.intern(name);
+      s.name_engine = at.id();
+    }
+    return s.name_atom;
+  }
+
+  // Memoizes the site's name atom for the current engine; clears any stale
+  // cached resolution from a previous engine.
+  Atom site_atom(const Expr& e, VarIC& ic) {
+    AtomTable& at = interp_.heap_.atoms();
+    if (ic.engine_id != at.id()) {
+      ic.engine_id = at.id();
+      ic.atom = at.intern(e.text);
+      ic.env_serial = 0;
+    }
+    return ic.atom;
+  }
+
+  Atom member_atom(const Expr& e, PropertyIC& ic) {
+    AtomTable& at = interp_.heap_.atoms();
+    if (ic.engine_id != at.id()) {
+      ic.engine_id = at.id();
+      ic.atom = at.intern(e.text);
+      ic.chain_len = 0;
+    }
+    return ic.atom;
+  }
+
+  // Atom for a computed index when its canonical string form is a plain
+  // decimal integer (the array hot path); kNoAtom otherwise. The guard
+  // matches Value::to_display_string's integer formatting exactly, so the
+  // atom names the same property the generic path would.
+  Atom index_atom(const Value& idx) {
+    if (!idx.is_number()) return kNoAtom;
+    const double d = idx.as_number();
+    if (!(d >= 0) || d >= 1e15 || d != std::trunc(d)) return kNoAtom;
+    return interp_.heap_.atoms().intern_index(static_cast<std::uint64_t>(d));
+  }
+
+  Value eval_identifier(const Expr& e) {
+    VarIC& ic = e.var_ic;
+    const Atom atom = site_atom(e, ic);
+    if (ic.env_serial == env_->serial()) {
+      return env_->slot_value(ic.slot);
+    }
+    for (Environment* env = env_; env != nullptr; env = env->parent()) {
+      const std::uint32_t slot = env->own_slot(atom);
+      if (slot != PropertySlots::kMissSlot) {
+        if (env == env_) {
+          // Cacheable: resolved in the starting scope itself, where no
+          // nearer binding can ever appear to shadow it.
+          ic.env_serial = env_->serial();
+          ic.slot = slot;
+        }
+        return env->slot_value(slot);
+      }
+    }
+    throw ScriptError("ReferenceError: " + e.text + " is not defined");
+  }
+
+  // Property read with a shape-guarded prototype-chain cache. `e` is the
+  // member expression owning the cache; base has already been evaluated.
+  Value member_with_ic(const Value& base, const Expr& e) {
+    Heap& h = interp_.heap_;
+    PropertyIC& ic = e.prop_ic;
+    const Atom atom = member_atom(e, ic);
+    if (!base.is_object()) {
+      if (base.is_string()) {
+        if (atom == h.atoms().well_known().length) {
+          return Value(static_cast<double>(base.as_string().size()));
+        }
+        // string methods live on the shared string prototype and receive
+        // the string itself as `this`
+        return h.get_property(interp_.string_prototype(), atom);
+      }
+      if (base.is_undefined() || base.is_null()) {
+        throw ScriptError("TypeError: cannot read property '" + e.text +
+                          "' of " + base.to_display_string());
+      }
+      return Value();  // other primitive members: undefined
+    }
+
+    const ObjectRef ref = base.as_object();
+    if (ic.chain_len > 0 && ic.chain[0].object == ref.index()) {
+      // Validate every recorded link: shape unchanged and still wired to
+      // the next link (guards both new shadowing properties and prototype
+      // re-pointing). A negative cache additionally requires the chain to
+      // still terminate.
+      bool valid = true;
+      for (int i = 0; i < ic.chain_len; ++i) {
+        const JsObject& o = h.get(ObjectRef(ic.chain[i].object));
+        if (o.properties.shape() != ic.chain[i].shape) {
+          valid = false;
+          break;
+        }
+        const bool last = i + 1 == ic.chain_len;
+        if (!last) {
+          if (o.prototype.index() != ic.chain[i + 1].object) {
+            valid = false;
+            break;
+          }
+        } else if (ic.slot == PropertyIC::kMissSlot && !o.prototype.null()) {
+          valid = false;
+        }
+      }
+      if (valid) {
+        if (ic.slot == PropertyIC::kMissSlot) return Value();
+        return h.get(ObjectRef(ic.chain[ic.chain_len - 1].object))
+            .properties.value_at(ic.slot);
+      }
+    }
+
+    // Slow path: walk the chain, recording links for the next hit.
+    PropertyIC::Link links[PropertyIC::kMaxChain];
+    ObjectRef cursor = ref;
+    int depth = 0;
+    for (; depth < 32 && !cursor.null(); ++depth) {
+      const JsObject& o = h.get(cursor);
+      if (depth < PropertyIC::kMaxChain) {
+        links[depth] = {cursor.index(), o.properties.shape()};
+      }
+      const std::uint32_t slot = o.properties.index_of(atom);
+      if (slot != PropertySlots::kMissSlot) {
+        if (depth < PropertyIC::kMaxChain) {
+          std::copy(links, links + depth + 1, ic.chain);
+          ic.chain_len = static_cast<std::uint8_t>(depth + 1);
+          ic.slot = slot;
+        } else {
+          ic.chain_len = 0;  // holder too deep to guard; stay uncached
+        }
+        return o.properties.value_at(slot);
+      }
+      cursor = o.prototype;
+    }
+    if (cursor.null() && depth <= PropertyIC::kMaxChain) {
+      // Whole (short) chain walked without a hit: negative-cache it.
+      std::copy(links, links + depth, ic.chain);
+      ic.chain_len = static_cast<std::uint8_t>(depth);
+      ic.slot = PropertyIC::kMissSlot;
+    } else {
+      ic.chain_len = 0;
+    }
+    return Value();
+  }
+
+  // Uncached member access (computed names).
   Value member_of(const Value& base, std::string_view name) {
     if (!base.is_object()) {
       if (base.is_string()) {
         if (name == "length") {
           return Value(static_cast<double>(base.as_string().size()));
         }
-        // string methods live on the shared string prototype and receive
-        // the string itself as `this`
         return interp_.heap_.get_property(interp_.string_prototype(), name);
       }
       if (base.is_undefined() || base.is_null()) {
@@ -254,7 +397,7 @@ class Evaluator {
     Value fn;
     if (e.callee->kind == Expr::Kind::kMember) {
       self = eval(*e.callee->object);
-      fn = member_of(self, e.callee->text);
+      fn = member_with_ic(self, *e.callee);
       if (fn.is_undefined()) {
         throw ScriptError("TypeError: " + self.to_display_string() + "." +
                           e.callee->text + " is not a function");
@@ -273,16 +416,56 @@ class Evaluator {
     Value value = eval(*e.rhs);
     const Expr& target = *e.lhs;
     switch (target.kind) {
-      case Expr::Kind::kIdentifier:
-        env_->assign(target.text, value);
+      case Expr::Kind::kIdentifier: {
+        VarIC& ic = target.var_ic;
+        const Atom atom = site_atom(target, ic);
+        if (ic.env_serial == env_->serial()) {
+          env_->slot_value(ic.slot) = value;
+          return value;
+        }
+        for (Environment* env = env_; env != nullptr; env = env->parent()) {
+          const std::uint32_t slot = env->own_slot(atom);
+          if (slot != PropertySlots::kMissSlot) {
+            if (env == env_) {
+              ic.env_serial = env_->serial();
+              ic.slot = slot;
+            }
+            env->slot_value(slot) = value;
+            return value;
+          }
+        }
+        env_->assign(atom, value);  // unbound: sloppy-mode implicit global
         return value;
+      }
       case Expr::Kind::kMember: {
         const Value base = eval(*target.object);
         if (!base.is_object()) {
           throw ScriptError("TypeError: cannot set property '" + target.text +
                             "' of " + base.to_display_string());
         }
-        interp_.heap_.set_property(base.as_object(), target.text, value);
+        Heap& h = interp_.heap_;
+        PropertyWriteIC& ic = target.write_ic;
+        if (ic.engine_id != h.atoms().id()) {
+          ic.engine_id = h.atoms().id();
+          ic.atom = h.atoms().intern(target.text);
+          ic.valid = false;
+        }
+        const ObjectRef ref = base.as_object();
+        JsObject& obj = h.get(ref);
+        if (ic.valid && ic.object == ref.index() &&
+            ic.shape == obj.properties.shape()) {
+          obj.properties.value_at(ic.slot) = value;
+          if (obj.watch) {
+            const Value written = obj.properties.value_at(ic.slot);
+            (*obj.watch)(h.atoms().name(ic.atom), written);
+          }
+          return value;
+        }
+        h.set_property(ref, ic.atom, value);
+        ic.object = ref.index();
+        ic.shape = obj.properties.shape();
+        ic.slot = obj.properties.index_of(ic.atom);
+        ic.valid = ic.slot != PropertySlots::kMissSlot;
         return value;
       }
       case Expr::Kind::kIndex: {
@@ -292,8 +475,12 @@ class Evaluator {
           throw ScriptError("TypeError: cannot index " +
                             base.to_display_string());
         }
-        interp_.heap_.set_property(base.as_object(), idx.to_display_string(),
-                                   value);
+        if (const Atom atom = index_atom(idx); atom != kNoAtom) {
+          interp_.heap_.set_property(base.as_object(), atom, value);
+        } else {
+          interp_.heap_.set_property(base.as_object(),
+                                     idx.to_display_string(), value);
+        }
         return value;
       }
       default:
@@ -337,8 +524,8 @@ class Evaluator {
           throw ScriptError("TypeError: right side of instanceof is not an "
                             "object");
         }
-        const Value proto =
-            interp_.heap_.get_property(b.as_object(), "prototype");
+        const Value proto = interp_.heap_.get_property(
+            b.as_object(), interp_.heap_.atoms().well_known().prototype);
         if (!a.is_object() || !proto.is_object()) return Value(false);
         ObjectRef cursor = interp_.heap_.get(a.as_object()).prototype;
         for (int depth = 0; depth < 32 && !cursor.null(); ++depth) {
@@ -395,7 +582,7 @@ class Evaluator {
       const std::string name = target.kind == Expr::Kind::kMember
                                    ? target.text
                                    : eval(*target.index).to_display_string();
-      interp_.heap_.get(base.as_object()).properties.erase(name);
+      interp_.heap_.delete_property(base.as_object(), name);
       return Value(true);
     }
     const Value v = eval(*e.lhs);
@@ -405,17 +592,18 @@ class Evaluator {
 
   Interpreter& interp_;
   Environment* env_;
+  Value return_value_;
 };
 
 Interpreter::Interpreter(std::uint64_t rng_seed) : rng_(rng_seed) {
-  env_arena_.push_back(std::make_unique<Environment>(nullptr));
-  global_env_ = env_arena_.back().get();
+  global_env_ = make_environment(nullptr);
   install_builtins();
   install_extended_builtins();
 }
 
 Environment* Interpreter::make_environment(Environment* parent) {
-  env_arena_.push_back(std::make_unique<Environment>(parent));
+  env_arena_.push_back(std::make_unique<Environment>(
+      parent, &heap_.atoms(), ++env_serial_counter_));
   return env_arena_.back().get();
 }
 
@@ -448,28 +636,36 @@ Value Interpreter::call_function(const Value& fn, const Value& self,
   }
 
   const AstFunction& ast = *obj.callable->script;
+  AtomTable& at = heap_.atoms();
+  if (ast.param_engine != at.id()) {
+    ast.param_atoms.clear();
+    ast.param_atoms.reserve(ast.params.size());
+    for (const std::string& p : ast.params) {
+      ast.param_atoms.push_back(at.intern(p));
+    }
+    ast.param_engine = at.id();
+  }
   Environment* env = make_environment(obj.callable->closure != nullptr
                                           ? obj.callable->closure
                                           : global_env_);
-  for (std::size_t i = 0; i < ast.params.size(); ++i) {
-    env->define(ast.params[i], i < args.size() ? args[i] : Value());
+  env->reserve(ast.param_atoms.size() + 2);  // params + this + arguments
+  for (std::size_t i = 0; i < ast.param_atoms.size(); ++i) {
+    env->define(ast.param_atoms[i], i < args.size() ? args[i] : Value());
   }
-  env->define("this", self);
-  env->define("arguments", [&] {
+  env->define(at.well_known().this_, self);
+  env->define(at.well_known().arguments, [&] {
     const ObjectRef arr = heap_.make_object(ObjectRef(), "Arguments");
-    JsObject& a = heap_.get(arr);
     for (std::size_t i = 0; i < args.size(); ++i) {
-      a.properties[std::to_string(i)] = args[i];
+      heap_.define_property(arr, at.intern_index(i), args[i]);
     }
-    a.properties["length"] = Value(static_cast<double>(args.size()));
+    heap_.define_property(arr, at.well_known().length,
+                          Value(static_cast<double>(args.size())));
     return Value(arr);
   }());
 
   Evaluator ev(*this, env);
-  try {
-    ev.run_block(ast.body);
-  } catch (ReturnSignal& ret) {
-    return std::move(ret.value);
+  if (ev.run_block(ast.body) == Flow::kReturn) {
+    return ev.take_return_value();
   }
   return Value();
 }
@@ -483,9 +679,10 @@ Value Interpreter::construct(const Value& ctor, std::span<const Value> args) {
     throw ScriptError("TypeError: constructor is not callable");
   }
   ObjectRef proto;
-  const auto proto_it = ctor_obj.properties.find("prototype");
-  if (proto_it != ctor_obj.properties.end() && proto_it->second.is_object()) {
-    proto = proto_it->second.as_object();
+  const Value* proto_v =
+      ctor_obj.properties.find(heap_.atoms().well_known().prototype);
+  if (proto_v != nullptr && proto_v->is_object()) {
+    proto = proto_v->as_object();
   }
   const ObjectRef instance = heap_.make_object(proto, ctor_obj.callable->name);
   const Value result =
@@ -501,42 +698,42 @@ void Interpreter::install_builtins() {
   // Math
   const ObjectRef math = h.make_object(ObjectRef(), "Math");
   const auto def_math = [&](const char* name, double (*fn)(double)) {
-    h.get(math).properties[name] = Value(h.make_function(
+    h.define_property(math, name, Value(h.make_function(
         [fn](Interpreter&, const Value&, std::span<const Value> args) {
           return Value(fn(args.empty() ? std::nan("") : args[0].to_number()));
         },
-        name));
+        name)));
   };
   def_math("floor", [](double x) { return std::floor(x); });
   def_math("ceil", [](double x) { return std::ceil(x); });
   def_math("abs", [](double x) { return std::fabs(x); });
   def_math("sqrt", [](double x) { return std::sqrt(x); });
   def_math("round", [](double x) { return std::round(x); });
-  h.get(math).properties["random"] = Value(h.make_function(
+  h.define_property(math, "random", Value(h.make_function(
       [](Interpreter& in, const Value&, std::span<const Value>) {
         return Value(in.rng().uniform());
       },
-      "random"));
-  h.get(math).properties["max"] = Value(h.make_function(
+      "random")));
+  h.define_property(math, "max", Value(h.make_function(
       [](Interpreter&, const Value&, std::span<const Value> args) {
         double best = -HUGE_VAL;
         for (const Value& v : args) best = std::max(best, v.to_number());
         return Value(best);
       },
-      "max"));
-  h.get(math).properties["min"] = Value(h.make_function(
+      "max")));
+  h.define_property(math, "min", Value(h.make_function(
       [](Interpreter&, const Value&, std::span<const Value> args) {
         double best = HUGE_VAL;
         for (const Value& v : args) best = std::min(best, v.to_number());
         return Value(best);
       },
-      "min"));
-  h.get(math).properties["pow"] = Value(h.make_function(
+      "min")));
+  h.define_property(math, "pow", Value(h.make_function(
       [](Interpreter&, const Value&, std::span<const Value> args) {
         if (args.size() < 2) return Value(std::nan(""));
         return Value(std::pow(args[0].to_number(), args[1].to_number()));
       },
-      "pow"));
+      "pow")));
   global_env_->define("Math", Value(math));
 
   // String(x), Number(x), parseInt
@@ -564,11 +761,11 @@ void Interpreter::install_builtins() {
 
   // Date.now-alike counter so scripts can "time" things deterministically.
   const ObjectRef date = h.make_object(ObjectRef(), "Date");
-  h.get(date).properties["now"] = Value(h.make_function(
+  h.define_property(date, "now", Value(h.make_function(
       [](Interpreter& in, const Value&, std::span<const Value>) {
         return Value(1.4631e12 + static_cast<double>(in.steps_executed()));
       },
-      "now"));
+      "now")));
   global_env_->define("Date", Value(date));
 
   // isNaN

@@ -9,6 +9,14 @@
 // Execution is fuel-limited so pathological pages cannot hang the crawl;
 // running out of fuel aborts the current script with a ScriptError, which
 // the browser records the way it records other page script failures.
+//
+// Name resolution is atom-based end to end: environment bindings live in
+// the same insertion-ordered slot store as object properties, and every
+// environment carries a serial number (unique within its interpreter) that
+// identifier inline caches key on. Environments are arena-allocated and
+// never freed mid-page, so slot indices and Environment pointers cached by
+// an IC stay valid for the interpreter's lifetime; binding stores are
+// append-only (no `delete` on scopes in JavaScript).
 #pragma once
 
 #include <memory>
@@ -32,21 +40,58 @@ class ScriptError : public std::runtime_error {
 
 class Environment {
  public:
-  explicit Environment(Environment* parent) : parent_(parent) {}
+  Environment(Environment* parent, AtomTable* atoms, std::uint64_t serial)
+      : parent_(parent), atoms_(atoms), serial_(serial) {}
 
-  // Defines or overwrites in *this* scope.
-  void define(std::string_view name, Value value);
+  // Defines or overwrites in *this* scope. Overwrite reuses the existing
+  // slot, so cached slot indices survive redefinition.
+  void define(std::string_view name, Value value) {
+    define(atoms_->intern(name), std::move(value));
+  }
+  void define(Atom atom, Value value) {
+    bindings_.put(atom) = std::move(value);
+  }
+
   // Assignment: walks up to the defining scope; defines globally if unbound
   // (sloppy-mode JavaScript behaviour).
-  void assign(std::string_view name, Value value);
-  // nullptr when unbound.
-  const Value* lookup(std::string_view name) const;
+  void assign(std::string_view name, Value value) {
+    assign(atoms_->intern(name), std::move(value));
+  }
+  void assign(Atom atom, Value value);
 
+  // nullptr when unbound. The string_view form cannot grow the atom table
+  // (a name that was never interned is bound nowhere).
+  const Value* lookup(std::string_view name) const {
+    const Atom atom = atoms_->lookup(name);
+    return atom == kNoAtom ? nullptr : lookup(atom);
+  }
+  const Value* lookup(Atom atom) const {
+    for (const Environment* env = this; env != nullptr; env = env->parent_) {
+      if (const Value* v = env->bindings_.find(atom)) return v;
+    }
+    return nullptr;
+  }
+
+  // Inline-cache hooks: resolution within this scope only.
+  std::uint32_t own_slot(Atom atom) const {
+    return bindings_.index_of(atom);
+  }
+  Value& slot_value(std::uint32_t slot) { return bindings_.value_at(slot); }
+  const Value& slot_value(std::uint32_t slot) const {
+    return bindings_.value_at(slot);
+  }
+
+  std::uint64_t serial() const noexcept { return serial_; }
   Environment* parent() const noexcept { return parent_; }
 
+  // Pre-size the binding store (call activations know their slot count).
+  void reserve(std::size_t n) { bindings_.reserve(n); }
+
  private:
-  std::map<std::string, Value, std::less<>> bindings_;
+  PropertySlots bindings_;
   Environment* parent_;
+  AtomTable* atoms_;
+  std::uint64_t serial_;
 };
 
 class Interpreter {
@@ -115,6 +160,7 @@ class Interpreter {
   std::uint64_t fuel_per_run_ = 200'000;
   std::uint64_t fuel_ = 0;
   std::uint64_t steps_ = 0;
+  std::uint64_t env_serial_counter_ = 0;
   int call_depth_ = 0;
 };
 

@@ -13,6 +13,13 @@
 namespace fu::script {
 
 // Parse a full program. Throws SyntaxError on malformed input.
-Program parse_program(std::string_view source);
+//
+// When `atoms` is given, every identifier, member name, object-literal key
+// and parameter list in the tree is interned into it up front and the
+// per-site caches are seeded with the atom ids — so an interpreter backed
+// by that table never interns on the execution hot path. Pass the table of
+// the interpreter that will run the program (sessions pass their
+// interpreter's heap table through the site cache).
+Program parse_program(std::string_view source, AtomTable* atoms = nullptr);
 
 }  // namespace fu::script

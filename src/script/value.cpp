@@ -65,6 +65,38 @@ bool Value::loose_equals(const Value& other) const {
   return !std::isnan(a) && !std::isnan(b) && a == b;
 }
 
+Value& PropertySlots::put(Atom atom) {
+  const std::uint32_t slot = index_of(atom);
+  if (slot != kMissSlot) return slots_[slot].value;
+  slots_.push_back(Slot{atom, Value()});
+  ++shape_;
+  if (index_) {
+    index_->emplace(atom, static_cast<std::uint32_t>(slots_.size() - 1));
+  } else if (slots_.size() > kIndexThreshold) {
+    index_ = std::make_unique<std::unordered_map<Atom, std::uint32_t>>();
+    index_->reserve(slots_.size() * 2);
+    for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+      index_->emplace(slots_[i].atom, i);
+    }
+  }
+  return slots_.back().value;
+}
+
+bool PropertySlots::erase(Atom atom) {
+  const std::uint32_t slot = index_of(atom);
+  if (slot == kMissSlot) return false;
+  slots_.erase(slots_.begin() + slot);
+  ++shape_;
+  if (index_) {
+    // Deletes are rare (page scripts barely use `delete`); rebuild.
+    index_->clear();
+    for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+      index_->emplace(slots_[i].atom, i);
+    }
+  }
+  return true;
+}
+
 Heap::Heap() {
   objects_.push_back(nullptr);  // index 0 reserved
 }
@@ -97,8 +129,8 @@ ObjectRef Heap::make_script_function(std::shared_ptr<const AstFunction> fn,
   // carries a fresh .prototype object (new F() instances chain to it,
   // which is also what `instanceof` inspects).
   const ObjectRef proto = make_object(ObjectRef(), "Object");
-  get(proto).properties["constructor"] = Value(ref);
-  get(ref).properties["prototype"] = Value(proto);
+  define_property(proto, atoms_.well_known().constructor, Value(ref));
+  define_property(ref, atoms_.well_known().prototype, Value(proto));
   return ref;
 }
 
@@ -117,31 +149,79 @@ const JsObject& Heap::get(ObjectRef ref) const {
 }
 
 Value Heap::get_property(ObjectRef ref, std::string_view name) const {
+  const Atom atom = atoms_.lookup(name);
+  if (atom == kNoAtom) return Value();  // never interned => nowhere defined
+  return get_property(ref, atom);
+}
+
+Value Heap::get_property(ObjectRef ref, Atom atom) const {
   // bounded walk to survive accidental prototype cycles
   for (int depth = 0; depth < 32 && !ref.null(); ++depth) {
     const JsObject& obj = get(ref);
-    const auto it = obj.properties.find(name);
-    if (it != obj.properties.end()) return it->second;
+    if (const Value* v = obj.properties.find(atom)) return *v;
     ref = obj.prototype;
   }
   return Value();
 }
 
 bool Heap::has_property(ObjectRef ref, std::string_view name) const {
+  const Atom atom = atoms_.lookup(name);
+  return atom != kNoAtom && has_property(ref, atom);
+}
+
+bool Heap::has_property(ObjectRef ref, Atom atom) const {
   for (int depth = 0; depth < 32 && !ref.null(); ++depth) {
     const JsObject& obj = get(ref);
-    if (obj.properties.find(name) != obj.properties.end()) return true;
+    if (obj.properties.find(atom)) return true;
     ref = obj.prototype;
   }
   return false;
 }
 
 void Heap::set_property(ObjectRef ref, std::string_view name, Value value) {
+  set_property(ref, atoms_.intern(name), std::move(value));
+}
+
+void Heap::set_property(ObjectRef ref, Atom atom, Value value) {
   JsObject& obj = get(ref);
-  obj.properties[std::string(name)] = std::move(value);
+  Value& slot = obj.properties.put(atom);
+  slot = std::move(value);
   if (obj.watch) {
-    (*obj.watch)(std::string(name), obj.properties[std::string(name)]);
+    // Copy: a re-entrant write from the handler may grow the slot vector
+    // and move `slot` out from under the callback.
+    const Value written = slot;
+    (*obj.watch)(atoms_.name(atom), written);
   }
+}
+
+Value& Heap::define_property(ObjectRef ref, std::string_view name,
+                             Value value) {
+  return define_property(ref, atoms_.intern(name), std::move(value));
+}
+
+Value& Heap::define_property(ObjectRef ref, Atom atom, Value value) {
+  Value& slot = get(ref).properties.put(atom);
+  slot = std::move(value);
+  return slot;
+}
+
+Value* Heap::own_property(ObjectRef ref, std::string_view name) {
+  const Atom atom = atoms_.lookup(name);
+  return atom == kNoAtom ? nullptr : get(ref).properties.find(atom);
+}
+
+const Value* Heap::own_property(ObjectRef ref, std::string_view name) const {
+  const Atom atom = atoms_.lookup(name);
+  return atom == kNoAtom ? nullptr : get(ref).properties.find(atom);
+}
+
+Value* Heap::own_property(ObjectRef ref, Atom atom) {
+  return get(ref).properties.find(atom);
+}
+
+bool Heap::delete_property(ObjectRef ref, std::string_view name) {
+  const Atom atom = atoms_.lookup(name);
+  return atom != kNoAtom && get(ref).properties.erase(atom);
 }
 
 }  // namespace fu::script

@@ -11,6 +11,12 @@
 //     and which cannot see writes on other objects (§4.2.2);
 //   * first-class functions and closures, so pages can register handlers.
 //
+// Property storage is a flat slot vector keyed by interned Atom (see
+// atoms.h), in insertion order — which is both JavaScript's enumeration
+// order and what keeps watch-hook callbacks and Object.keys deterministic.
+// Each object carries a `shape` version, bumped only when the slot *layout*
+// changes (add/delete, not value overwrite); inline caches guard on it.
+//
 // Memory: all objects live in a Heap arena owned by the page's Interpreter;
 // nothing is collected mid-page (pages are short-lived). ObjectRef is an
 // index into the arena.
@@ -18,14 +24,16 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <variant>
 #include <vector>
+
+#include "script/atoms.h"
 
 namespace fu::script {
 
@@ -95,6 +103,69 @@ class Value {
   std::variant<Undefined, Null, bool, double, std::string, ObjectRef> data_;
 };
 
+// Insertion-ordered atom → Value store. Linear scan below a size threshold
+// (property counts on real objects are tiny and the scan compares uint32s);
+// a side hash index kicks in for the handful of big objects (window, the
+// interface map). Slot indices are stable until a delete; `shape()` changes
+// exactly when any slot index might have.
+class PropertySlots {
+ public:
+  static constexpr std::uint32_t kMissSlot = 0xFFFFFFFFu;
+
+  struct Slot {
+    Atom atom;
+    Value value;
+  };
+
+  std::uint32_t index_of(Atom atom) const {
+    if (index_) {
+      const auto it = index_->find(atom);
+      return it == index_->end() ? kMissSlot : it->second;
+    }
+    for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].atom == atom) return i;
+    }
+    return kMissSlot;
+  }
+
+  const Value* find(Atom atom) const {
+    const std::uint32_t slot = index_of(atom);
+    return slot == kMissSlot ? nullptr : &slots_[slot].value;
+  }
+  Value* find(Atom atom) {
+    const std::uint32_t slot = index_of(atom);
+    return slot == kMissSlot ? nullptr : &slots_[slot].value;
+  }
+
+  // Find-or-append. Appending bumps the shape; overwriting through the
+  // returned reference does not (value changes are invisible to caches).
+  Value& put(Atom atom);
+
+  bool erase(Atom atom);
+
+  Value& value_at(std::uint32_t slot) { return slots_[slot].value; }
+  const Value& value_at(std::uint32_t slot) const {
+    return slots_[slot].value;
+  }
+
+  std::span<const Slot> slots() const noexcept {
+    return {slots_.data(), slots_.size()};
+  }
+
+  std::uint32_t shape() const noexcept { return shape_; }
+  std::size_t size() const noexcept { return slots_.size(); }
+  bool empty() const noexcept { return slots_.empty(); }
+
+  void reserve(std::size_t n) { slots_.reserve(n); }
+
+ private:
+  static constexpr std::size_t kIndexThreshold = 12;
+
+  std::vector<Slot> slots_;  // insertion order == enumeration order
+  std::unique_ptr<std::unordered_map<Atom, std::uint32_t>> index_;
+  std::uint32_t shape_ = 0;
+};
+
 // Native (C++-implemented) function. Receives the interpreter, the `this`
 // value and the argument list.
 using NativeFn =
@@ -120,7 +191,7 @@ struct Callable {
 };
 
 struct JsObject {
-  std::map<std::string, Value, std::less<>> properties;
+  PropertySlots properties;
   ObjectRef prototype;
   std::unique_ptr<Callable> callable;  // set iff the object is a function
   std::optional<WatchHandler> watch;   // Object.watch-style hook
@@ -142,17 +213,42 @@ class Heap {
   JsObject& get(ObjectRef ref);
   const JsObject& get(ObjectRef ref) const;
 
-  // Property access with prototype-chain walk.
+  // The interning table every property name and identifier goes through.
+  AtomTable& atoms() noexcept { return atoms_; }
+  const AtomTable& atoms() const noexcept { return atoms_; }
+
+  // Property access with prototype-chain walk. The string_view overloads
+  // only *look up* the atom — a read of a never-interned name cannot grow
+  // the table.
   Value get_property(ObjectRef ref, std::string_view name) const;
+  Value get_property(ObjectRef ref, Atom atom) const;
   bool has_property(ObjectRef ref, std::string_view name) const;
+  bool has_property(ObjectRef ref, Atom atom) const;
+
   // Sets an *own* property (like JS assignment), firing any watch handler.
   void set_property(ObjectRef ref, std::string_view name, Value value);
+  void set_property(ObjectRef ref, Atom atom, Value value);
+
+  // Raw own-property write: no prototype walk, no watch fire. This is what
+  // hosts use to *build* objects (bindings, builtins); JS-visible
+  // assignment must go through set_property so watches see it.
+  Value& define_property(ObjectRef ref, std::string_view name, Value value);
+  Value& define_property(ObjectRef ref, Atom atom, Value value);
+
+  // Own-property pointer (no prototype walk); nullptr when absent.
+  Value* own_property(ObjectRef ref, std::string_view name);
+  const Value* own_property(ObjectRef ref, std::string_view name) const;
+  Value* own_property(ObjectRef ref, Atom atom);
+
+  // `delete obj.name`; true when a slot was removed.
+  bool delete_property(ObjectRef ref, std::string_view name);
 
   std::size_t size() const noexcept { return objects_.size(); }
 
  private:
   // deque-like stable storage: objects are never moved once created
   std::vector<std::unique_ptr<JsObject>> objects_;
+  AtomTable atoms_;
 };
 
 }  // namespace fu::script

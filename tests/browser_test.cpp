@@ -43,7 +43,7 @@ TEST(Bindings, MethodSlotsExistOnPrototypes) {
     if (f.kind != catalog::FeatureKind::kMethod) continue;
     const script::ObjectRef proto = bindings.prototype_of(f.interface_name);
     ASSERT_FALSE(proto.null()) << f.full_name;
-    EXPECT_TRUE(interp.heap().get(proto).properties.count(f.member_name))
+    EXPECT_TRUE(interp.heap().own_property(proto, f.member_name) != nullptr)
         << f.full_name;
     if (++checked >= 200) break;
   }
@@ -111,6 +111,34 @@ struct Instrumented {
     return recorder.count(f->id);
   }
 };
+
+TEST(Extension, ShimInstalledAfterIcWarmupIsStillCounted) {
+  // The engine's property inline caches must not go stale when the
+  // extension swaps prototype methods for counting shims: warm the caches
+  // on the original methods, inject mid-page, rerun the *same* Program
+  // (same AST, same warmed cache sites) and every call must be counted.
+  script::Interpreter interp;
+  UsageRecorder recorder(cat().features().size());
+  DomBindings bindings(interp, cat());
+
+  static std::vector<std::unique_ptr<script::Program>> retained;
+  retained.push_back(
+      std::make_unique<script::Program>(script::parse_program(
+          "var x = new XMLHttpRequest();"
+          "var i = 0;"
+          "for (i = 0; i < 50; i = i + 1) { x.open(\"GET\", \"/\"); }")));
+  interp.execute(*retained.back());
+
+  MeasuringExtension extension(cat(), recorder);
+  extension.inject(interp, bindings);  // replaces the cached methods
+
+  const catalog::Feature* open =
+      cat().find_feature("XMLHttpRequest.prototype.open");
+  ASSERT_NE(open, nullptr);
+  EXPECT_EQ(recorder.count(open->id), 0u);
+  interp.execute(*retained.back());
+  EXPECT_EQ(recorder.count(open->id), 50u);
+}
 
 TEST(Extension, CountsMethodCallsThroughShims) {
   Instrumented page;

@@ -1,8 +1,11 @@
 // Checkpoint shards must be paranoid: a shard that is truncated, corrupt,
 // or written under a different SurveyKey can never leak into a resumed
 // survey — and a resume must reproduce the uninterrupted run bit for bit.
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "crawler/serialize.h"
@@ -158,6 +161,47 @@ TEST_F(CheckpointTest, SecondWriterContinuesNumbering) {
   }
   EXPECT_EQ(shard_files().size(), 2u);
   EXPECT_EQ(sched::load_shards(dir(), "hdr").size(), 2u);
+}
+
+// ------------------------------------------------------ adaptive cadence --
+
+TEST_F(CheckpointTest, ByteCadenceCutsAShardWhenPayloadAccumulates) {
+  sched::FlushCadence cadence;
+  cadence.records = 1000;  // never reached
+  cadence.bytes = 10;
+  sched::ShardWriter writer(dir(), "hdr", cadence);
+  writer.add(0, "four");  // 4 bytes buffered: under the bound
+  EXPECT_EQ(writer.shards_written(), 0u);
+  writer.add(1, "sixteen payload!");  // 20 total: bound tripped
+  EXPECT_EQ(writer.shards_written(), 1u);
+  // The byte counter resets with the buffer.
+  writer.add(2, "x");
+  EXPECT_EQ(writer.shards_written(), 1u);
+  EXPECT_TRUE(writer.flush());
+  EXPECT_EQ(sched::load_shards(dir(), "hdr").size(), 3u);
+}
+
+TEST_F(CheckpointTest, TimeCadenceCutsAShardOnceTheDeadlinePasses) {
+  sched::FlushCadence cadence;
+  cadence.records = 1000;
+  cadence.seconds = 0.05;
+  sched::ShardWriter writer(dir(), "hdr", cadence);
+  writer.add(0, "early");
+  EXPECT_EQ(writer.shards_written(), 0u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  writer.add(1, "late");  // deadline passed: both records flush together
+  EXPECT_EQ(writer.shards_written(), 1u);
+  const auto records = sched::load_shards(dir(), "hdr");
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].payload, "early");
+  EXPECT_EQ(records[1].payload, "late");
+}
+
+TEST_F(CheckpointTest, AllCadenceBoundsDisabledFlushesEveryAdd) {
+  sched::ShardWriter writer(dir(), "hdr", sched::FlushCadence{0, 0, 0});
+  writer.add(0, "a");
+  writer.add(1, "b");
+  EXPECT_EQ(writer.shards_written(), 2u);
 }
 
 TEST_F(CheckpointTest, LaterShardWinsOnDuplicateIndex) {

@@ -1,0 +1,85 @@
+// Engine-identity lock: the survey's measurements must be bit-identical
+// across engine refactors. The golden fingerprint below was captured from
+// the pre-atom-table engine (std::map property storage, no inline caches);
+// any engine change that alters a single recorded feature bit, invocation
+// count or page count changes the hash and fails here.
+//
+// If this test fails, the engine CHANGED OBSERVABLE BEHAVIOUR — that is a
+// bug in the optimization, not a stale constant. Only regenerate the
+// constant for a deliberate, reviewed behaviour change (and bump
+// crawler::kSurveyRevision with it so stale caches die too).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "catalog/catalog.h"
+#include "crawler/serialize.h"
+#include "crawler/survey.h"
+#include "net/web.h"
+#include "support/strings.h"
+
+namespace fu {
+namespace {
+
+// FNV-1a over every site outcome's canonical byte encoding, in site order.
+std::uint64_t survey_fingerprint(const crawler::SurveyResults& results) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  const auto mix = [&hash](const std::string& bytes) {
+    for (const char c : bytes) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 0x100000001b3ULL;
+    }
+  };
+  for (const crawler::SiteOutcome& outcome : results.sites) {
+    mix(crawler::encode_site_outcome(outcome));
+  }
+  return hash;
+}
+
+crawler::SurveyResults small_survey(const net::SyntheticWeb& web,
+                                    int threads) {
+  crawler::SurveyOptions options;
+  options.passes = 2;
+  options.threads = threads;
+  // Keep the single-blocker configurations on: they exercise the blocking
+  // code paths (different scripts execute, different shims fire).
+  options.include_ad_only = true;
+  options.include_tracking_only = true;
+  return crawler::run_survey(web, options);
+}
+
+// Captured from the seed engine (see file comment). The survey below is
+// fully deterministic: synthetic web, per-pass seeds, no wall-clock input.
+constexpr std::uint64_t kGoldenFingerprint = 0xd86025fb02badc7eULL;
+
+TEST(EngineIdentity, SurveyBitsMatchPreOptimizationEngine) {
+  catalog::Catalog catalog;
+  net::SyntheticWeb::Config config;
+  config.site_count = 24;
+  const net::SyntheticWeb web(catalog, config);
+
+  const crawler::SurveyResults results = small_survey(web, 2);
+  const std::uint64_t hash = survey_fingerprint(results);
+  EXPECT_EQ(hash, kGoldenFingerprint)
+      << "engine output diverged from the pre-optimization baseline; "
+      << "actual fingerprint 0x" << std::hex << hash;
+
+  // Sanity: the survey actually measured something (a hash over empty
+  // outcomes would "pass" vacuously if crawling broke in a symmetric way).
+  EXPECT_GT(results.sites_measured(), 0);
+  EXPECT_GT(results.total_invocations(), 0u);
+}
+
+TEST(EngineIdentity, FingerprintStableAcrossThreadCounts) {
+  catalog::Catalog catalog;
+  net::SyntheticWeb::Config config;
+  config.site_count = 16;
+  const net::SyntheticWeb web(catalog, config);
+
+  const std::uint64_t one = survey_fingerprint(small_survey(web, 1));
+  const std::uint64_t four = survey_fingerprint(small_survey(web, 4));
+  EXPECT_EQ(one, four);
+}
+
+}  // namespace
+}  // namespace fu

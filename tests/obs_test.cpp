@@ -4,6 +4,7 @@
 // about its results.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -348,7 +349,121 @@ TEST(Trace, StopIsIdempotent) {
   EXPECT_EQ(b.size(), 1u);
 }
 
+// ------------------------------------------------------------- sampling --
+
+TEST(Trace, SamplingKeepsOneInNPlusEverySlowestSoFar) {
+  set_trace_sampling(4);
+  Tracer tracer;
+  tracer.start();
+  for (int i = 0; i < 8; ++i) {
+    // i = 0 and i = 4 are sampled in (1-in-4). i = 6 is unsampled but, at
+    // ~80ms, slower than the ~40ms watermark i = 0 set — it must be kept
+    // retroactively. Every other unsampled visit finishes in microseconds,
+    // far below the watermark even on a loaded machine, and must vanish,
+    // children included.
+    SampledSiteSpan visit("site-visit", "site-" + std::to_string(i));
+    TraceSpan child("fetch");
+    if (i == 0) std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    if (i == 6) std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  }
+  const std::vector<SpanRecord> records = tracer.stop();
+  set_trace_sampling(0);
+
+  std::vector<std::string> visits;
+  std::size_t children = 0;
+  for (const SpanRecord& record : records) {
+    if (std::string(record.name) == "site-visit") visits.push_back(record.arg);
+    if (std::string(record.name) == "fetch") ++children;
+  }
+  EXPECT_EQ(visits, (std::vector<std::string>{"site-0", "site-4", "site-6"}));
+  EXPECT_EQ(children, 2u);  // only the sampled visits kept their subtree
+
+  // The retroactively-kept span must not break renderer well-formedness.
+  std::vector<ParsedSpan> parsed;
+  std::string error;
+  EXPECT_TRUE(parse_chrome_trace(Tracer::chrome_json(records), parsed, &error))
+      << error;
+}
+
+TEST(Trace, SamplingDisabledRecordsEveryVisit) {
+  set_trace_sampling(0);
+  Tracer tracer;
+  tracer.start();
+  for (int i = 0; i < 5; ++i) {
+    SampledSiteSpan visit("site-visit", std::to_string(i));
+  }
+  const std::vector<SpanRecord> records = tracer.stop();
+  EXPECT_EQ(records.size(), 5u);
+}
+
 // ------------------------------------------------------------ tracefile --
+
+TEST(TraceFile, StageStatsRoundTripThroughJson) {
+  std::vector<ParsedSpan> spans;
+  for (int i = 0; i < 100; ++i) {
+    ParsedSpan fetch;
+    fetch.name = "fetch";
+    fetch.dur_us = static_cast<std::uint64_t>(100 + i);
+    spans.push_back(fetch);
+    ParsedSpan execute;
+    execute.name = "execute";
+    execute.dur_us = static_cast<std::uint64_t>(1000 + 10 * i);
+    spans.push_back(execute);
+  }
+  const std::vector<StageStats> stats = trace_stage_stats(spans);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "execute");  // sorted by name
+  EXPECT_EQ(stats[0].count, 100u);
+  EXPECT_GT(stats[0].p99_us, stats[0].p50_us);
+
+  std::vector<StageStats> parsed;
+  std::string error;
+  ASSERT_TRUE(parse_stage_stats_json(stage_stats_json(stats), parsed, &error))
+      << error;
+  ASSERT_EQ(parsed.size(), stats.size());
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    EXPECT_EQ(parsed[i].name, stats[i].name);
+    EXPECT_EQ(parsed[i].count, stats[i].count);
+    EXPECT_NEAR(parsed[i].p50_us, stats[i].p50_us, 0.1);
+    EXPECT_NEAR(parsed[i].p95_us, stats[i].p95_us, 0.1);
+    EXPECT_NEAR(parsed[i].p99_us, stats[i].p99_us, 0.1);
+  }
+}
+
+TEST(TraceFile, RegressionGatePassesItselfAndCatchesInflation) {
+  std::vector<ParsedSpan> spans;
+  for (int i = 0; i < 50; ++i) {
+    ParsedSpan span;
+    span.name = "execute";
+    span.dur_us = static_cast<std::uint64_t>(1000 + i);
+    spans.push_back(span);
+  }
+  const std::vector<StageStats> baseline = trace_stage_stats(spans);
+
+  // Identical percentiles pass at any tolerance.
+  EXPECT_FALSE(check_stage_regression(baseline, baseline, 0.0).regressed);
+
+  // 10x slower trips the gate; the report names the stage.
+  std::vector<StageStats> slower = baseline;
+  slower[0].p50_us *= 10;
+  slower[0].p95_us *= 10;
+  slower[0].p99_us *= 10;
+  const RegressionReport bad = check_stage_regression(baseline, slower, 0.5);
+  EXPECT_TRUE(bad.regressed);
+  EXPECT_NE(bad.text.find("execute"), std::string::npos) << bad.text;
+  EXPECT_NE(bad.text.find("REGRESSED"), std::string::npos) << bad.text;
+
+  // Growth inside the tolerance passes.
+  std::vector<StageStats> near = baseline;
+  near[0].p50_us *= 1.2;
+  near[0].p95_us *= 1.2;
+  near[0].p99_us *= 1.2;
+  EXPECT_FALSE(check_stage_regression(baseline, near, 0.5).regressed);
+
+  // Stages appearing or disappearing never fail the gate on their own.
+  EXPECT_FALSE(check_stage_regression(baseline, {}, 0.5).regressed);
+  EXPECT_FALSE(check_stage_regression({}, baseline, 0.5).regressed);
+}
 
 TEST(TraceFile, SummaryReportsStagesSlowSitesAndBalance) {
   std::vector<ParsedSpan> spans;

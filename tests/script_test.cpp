@@ -366,17 +366,17 @@ TEST(Interp, NewUsesConstructorPrototype) {
   Interpreter interp;
   Heap& heap = interp.heap();
   const ObjectRef proto = heap.make_object(ObjectRef(), "GadgetPrototype");
-  heap.get(proto).properties["ping"] = Value(heap.make_function(
+  heap.define_property(proto, "ping", Value(heap.make_function(
       [](Interpreter&, const Value&, std::span<const Value>) {
         return Value("pong");
       },
-      "ping"));
+      "ping")));
   const ObjectRef ctor = heap.make_function(
       [](Interpreter&, const Value&, std::span<const Value>) {
         return Value();
       },
       "Gadget");
-  heap.get(ctor).properties["prototype"] = Value(proto);
+  heap.define_property(ctor, "prototype", Value(proto));
   interp.globals().define("Gadget", Value(ctor));
 
   EXPECT_EQ(run_and_get(interp, R"(
@@ -397,7 +397,7 @@ TEST(Interp, PrototypeChainLookup) {
   Interpreter interp;
   Heap& heap = interp.heap();
   const ObjectRef base = heap.make_object();
-  heap.get(base).properties["inherited"] = Value(7.0);
+  heap.define_property(base, "inherited", Value(7.0));
   const ObjectRef derived = heap.make_object(base);
   interp.globals().define("derived", Value(derived));
   EXPECT_DOUBLE_EQ(
@@ -428,7 +428,7 @@ TEST(Interp, WatchDoesNotFireOnReads) {
   Heap& heap = interp.heap();
   const ObjectRef obj = heap.make_object();
   int fires = 0;
-  heap.get(obj).properties["p"] = Value(1.0);
+  heap.define_property(obj, "p", Value(1.0));
   heap.get(obj).watch = [&fires](const std::string&, const Value&) { ++fires; };
   interp.globals().define("o", Value(obj));
   run_and_get(interp, "var result = o.p + o.p;");
@@ -547,6 +547,113 @@ INSTANTIATE_TEST_SUITE_P(
                       ExprCase{"({n: 5}).n * 2", 10},
                       ExprCase{"Math.max(1, Math.min(9, 5))", 5},
                       ExprCase{"\"ab\".length + \"c\".length", 3}));
+
+
+// ------------------------------------------------------------- atoms --
+
+TEST(Atoms, EmptyNameInternsLikeAnyOther) {
+  AtomTable atoms;
+  const Atom empty = atoms.intern("");
+  EXPECT_NE(empty, kNoAtom);
+  EXPECT_EQ(atoms.intern(""), empty);  // idempotent
+  EXPECT_EQ(atoms.name(empty), "");
+  // The empty name works end to end as a property key.
+  Heap heap;
+  const ObjectRef obj = heap.make_object();
+  heap.set_property(obj, "", Value(7.0));
+  EXPECT_DOUBLE_EQ(heap.get_property(obj, "").as_number(), 7.0);
+}
+
+TEST(Atoms, DuplicateInternReturnsTheSameAtomWithoutGrowth) {
+  AtomTable atoms;
+  const Atom a = atoms.intern("foo");
+  const std::size_t size = atoms.size();
+  EXPECT_EQ(atoms.intern("foo"), a);
+  EXPECT_EQ(atoms.size(), size);  // no duplicate entry
+  // Interning goes by content, not string identity.
+  std::string spelled = "fo";
+  spelled += "o";
+  EXPECT_EQ(atoms.intern(spelled), a);
+  EXPECT_NE(atoms.intern("bar"), a);
+}
+
+TEST(Atoms, LookupNeverInserts) {
+  AtomTable atoms;
+  const std::size_t size = atoms.size();
+  EXPECT_EQ(atoms.lookup("never-interned"), kNoAtom);
+  EXPECT_EQ(atoms.size(), size);
+}
+
+TEST(Atoms, EnumerationFollowsInsertionOrderAcrossOverwrites) {
+  Heap heap;
+  const ObjectRef obj = heap.make_object();
+  heap.set_property(obj, "z", Value(1.0));
+  heap.set_property(obj, "a", Value(2.0));
+  heap.set_property(obj, "m", Value(3.0));
+  const std::uint32_t shape = heap.get(obj).properties.shape();
+  heap.set_property(obj, "a", Value(9.0));  // value overwrite
+  const auto slots = heap.get(obj).properties.slots();
+  ASSERT_EQ(slots.size(), 3u);
+  EXPECT_EQ(heap.atoms().name(slots[0].atom), "z");
+  EXPECT_EQ(heap.atoms().name(slots[1].atom), "a");
+  EXPECT_EQ(heap.atoms().name(slots[2].atom), "m");
+  EXPECT_DOUBLE_EQ(slots[1].value.as_number(), 9.0);
+  // Overwrite keeps the layout: caches guarding on shape stay valid.
+  EXPECT_EQ(heap.get(obj).properties.shape(), shape);
+
+  // Delete + re-add moves the key to the end (and bumps the shape twice).
+  heap.delete_property(obj, "z");
+  heap.set_property(obj, "z", Value(4.0));
+  const auto reordered = heap.get(obj).properties.slots();
+  ASSERT_EQ(reordered.size(), 3u);
+  EXPECT_EQ(heap.atoms().name(reordered[0].atom), "a");
+  EXPECT_EQ(heap.atoms().name(reordered[1].atom), "m");
+  EXPECT_EQ(heap.atoms().name(reordered[2].atom), "z");
+  EXPECT_NE(heap.get(obj).properties.shape(), shape);
+}
+
+TEST(Atoms, ReplacedPrototypeMethodIsSeenByWarmInlineCaches) {
+  // The extension-shim scenario, distilled: warm a call site's inline cache
+  // on a prototype method, replace the method *in place* (as
+  // MeasuringExtension::inject does), rerun the same AST. The cache may
+  // keep its (shape, slot) entry — the slot now holds the shim — but it
+  // must not keep serving the original.
+  Interpreter interp;
+  Heap& heap = interp.heap();
+  const ObjectRef proto = heap.make_object();
+  int original_calls = 0;
+  int shim_calls = 0;
+  heap.define_property(
+      proto, "ping",
+      Value(heap.make_function(
+          [&](Interpreter&, const Value&, std::span<const Value>) {
+            ++original_calls;
+            return Value(1.0);
+          },
+          "ping")));
+  const ObjectRef obj = heap.make_object(proto);
+  interp.globals().define("target", Value(obj));
+
+  static std::vector<std::unique_ptr<Program>> retained;
+  retained.push_back(std::make_unique<Program>(parse_program(
+      "var i = 0; for (i = 0; i < 20; i = i + 1) { target.ping(); }")));
+  interp.execute(*retained.back());
+  EXPECT_EQ(original_calls, 20);
+
+  // In-place overwrite of the same slot: shape does not change.
+  Value* slot = heap.own_property(proto, "ping");
+  ASSERT_NE(slot, nullptr);
+  *slot = Value(heap.make_function(
+      [&](Interpreter&, const Value&, std::span<const Value>) {
+        ++shim_calls;
+        return Value(2.0);
+      },
+      "ping-shim"));
+
+  interp.execute(*retained.back());  // same AST, warmed caches
+  EXPECT_EQ(original_calls, 20);  // original never called again
+  EXPECT_EQ(shim_calls, 20);      // every call went through the shim
+}
 
 }  // namespace
 }  // namespace fu::script

@@ -15,6 +15,7 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "analysis/report.h"
@@ -38,22 +39,33 @@ int usage() {
       "  standard <abbrev>     survey-backed deep-dive for one standard\n"
       "  survey [flags]        run the survey, print the main tables\n"
       "  report <dir>          export every table/figure/CSV\n"
-      "  trace <file> [--top n]\n"
+      "  trace <file> [--top n] [--json] [--write-baseline <f>]\n"
+      "        [--check-baseline <f>] [--tolerance <frac>]\n"
       "                        summarize a trace written by survey\n"
       "                        (per-stage percentiles, slowest sites,\n"
-      "                        scheduler balance)\n"
+      "                        scheduler balance); --json emits the\n"
+      "                        percentiles as machine-readable JSON,\n"
+      "                        --write-baseline saves them, and\n"
+      "                        --check-baseline exits 1 when a stage\n"
+      "                        regressed beyond the tolerance (default 0.5\n"
+      "                        = +50%) — the CI latency gate\n"
       "  lists                 print the generated filter lists\n"
       "\n"
       "survey flags (values as '--flag v' or '--flag=v'):\n"
       "  --threads <n>         worker threads (default: hardware concurrency)\n"
       "  --progress            live progress to stderr (sites, inv/s, ETA)\n"
       "  --checkpoint-dir <d>  stream completed sites into shards under <d>\n"
+      "  --checkpoint-secs <s> also cut a shard every <s> seconds of crawl\n"
+      "                        (bounds the crash-loss window of slow runs)\n"
       "  --resume              resume from matching shards in the\n"
       "                        checkpoint dir instead of recrawling\n"
       "  --retries <n>         extra attempts for a site whose crawl throws\n"
       "  --trace-out <f>       write a Chrome trace_event JSON trace of the\n"
       "                        crawl (chrome://tracing, ui.perfetto.dev)\n"
       "  --trace-jsonl <f>     write the trace as compact JSONL instead\n"
+      "  --trace-sample <n>    trace only 1-in-<n> site visits (always\n"
+      "                        keeping any new slowest-so-far visit), so\n"
+      "                        10k-site traces stay bounded\n"
       "  --metrics-out <f>     write the metrics-registry snapshot as JSON\n"
       "\n"
       "environment:\n"
@@ -64,6 +76,8 @@ int usage() {
       "  FU_CACHE_DIR          cache directory (default ./fu_cache)\n"
       "  FU_RETRIES            extra crawl attempts (same as --retries)\n"
       "  FU_CHECKPOINT_DIR     shard directory (same as --checkpoint-dir)\n"
+      "  FU_CHECKPOINT_SECS    time-based shard cadence (--checkpoint-secs)\n"
+      "  FU_TRACE_SAMPLE       site-visit sampling rate (--trace-sample)\n"
       "  FU_TRACE_OUT / FU_TRACE_JSONL / FU_METRICS_OUT\n"
       "                        same as the --trace-out/--trace-jsonl/\n"
       "                        --metrics-out survey flags\n";
@@ -229,6 +243,18 @@ bool parse_survey_flags(ReproductionConfig& config, int argc, char** argv) {
       out = static_cast<int>(parsed);
       return true;
     };
+    const auto double_value = [&](double& out) {
+      std::string text;
+      if (!string_value(text)) return false;
+      char* end = nullptr;
+      const double parsed = std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0' || parsed < 0) {
+        std::cerr << arg << ": not a number: " << text << "\n";
+        return false;
+      }
+      out = parsed;
+      return true;
+    };
     const auto boolean = [&](bool& out) {
       if (inline_value) {
         std::cerr << arg << " takes no value\n";
@@ -247,6 +273,10 @@ bool parse_survey_flags(ReproductionConfig& config, int argc, char** argv) {
       if (!int_value(config.retries)) return false;
     } else if (arg == "--checkpoint-dir") {
       if (!string_value(config.checkpoint_dir)) return false;
+    } else if (arg == "--checkpoint-secs") {
+      if (!double_value(config.checkpoint_secs)) return false;
+    } else if (arg == "--trace-sample") {
+      if (!int_value(config.trace_sample)) return false;
     } else if (arg == "--trace-out") {
       if (!string_value(config.trace_out)) return false;
     } else if (arg == "--trace-jsonl") {
@@ -287,6 +317,10 @@ int cmd_survey(Reproduction& repro) {
   std::optional<obs::Tracer> tracer;
   if (tracing) {
     obs::Registry::global().reset();
+    obs::set_trace_sampling(
+        config.trace_sample > 1
+            ? static_cast<std::uint64_t>(config.trace_sample)
+            : 0);
     tracer.emplace();
     tracer->start();
   }
@@ -335,14 +369,20 @@ int cmd_survey(Reproduction& repro) {
 int cmd_trace(int argc, char** argv) {
   obs::TraceSummaryOptions options;
   std::string path;
+  std::string write_baseline;
+  std::string check_baseline;
+  double tolerance = 0.5;
+  bool as_json = false;
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
     std::string value;
     const std::size_t eq = arg.find('=');
+    const bool takes_value = arg == "--top" || arg == "--write-baseline" ||
+                             arg == "--check-baseline" || arg == "--tolerance";
     if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
       value = arg.substr(eq + 1);
       arg.resize(eq);
-    } else if (arg == "--top" && i + 1 < argc) {
+    } else if (takes_value && i + 1 < argc) {
       value = argv[++i];
     }
     if (arg == "--top") {
@@ -353,6 +393,20 @@ int cmd_trace(int argc, char** argv) {
         return 2;
       }
       options.top_n = static_cast<std::size_t>(parsed);
+    } else if (arg == "--tolerance") {
+      char* end = nullptr;
+      const double parsed = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || parsed < 0) {
+        std::cerr << "--tolerance: not a number: " << value << "\n";
+        return 2;
+      }
+      tolerance = parsed;
+    } else if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--write-baseline") {
+      write_baseline = value;
+    } else if (arg == "--check-baseline") {
+      check_baseline = value;
     } else if (path.empty() && arg.rfind("--", 0) != 0) {
       path = arg;
     } else {
@@ -367,6 +421,41 @@ int cmd_trace(int argc, char** argv) {
   if (!obs::load_trace_file(path, spans, &error)) {
     std::cerr << "fu trace: " << path << ": " << error << "\n";
     return 1;
+  }
+
+  const std::vector<obs::StageStats> stats = obs::trace_stage_stats(spans);
+  if (!write_baseline.empty() &&
+      !write_text_file(write_baseline, obs::stage_stats_json(stats),
+                       "baseline")) {
+    return 1;
+  }
+  if (!check_baseline.empty()) {
+    std::ifstream in(check_baseline, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (!in) {
+      std::cerr << "fu trace: cannot read baseline " << check_baseline
+                << "\n";
+      return 1;
+    }
+    std::vector<obs::StageStats> baseline;
+    if (!obs::parse_stage_stats_json(buffer.str(), baseline, &error)) {
+      std::cerr << "fu trace: " << check_baseline << ": " << error << "\n";
+      return 1;
+    }
+    const obs::RegressionReport report =
+        obs::check_stage_regression(baseline, stats, tolerance);
+    std::cout << "latency gate (tolerance +" << tolerance * 100 << "%):\n"
+              << report.text;
+    if (report.regressed) {
+      std::cerr << "fu trace: stage latency regressed beyond tolerance\n";
+      return 1;
+    }
+    return 0;
+  }
+  if (as_json) {
+    std::cout << obs::stage_stats_json(stats);
+    return 0;
   }
   std::cout << obs::render_trace_summary(spans, options);
   return 0;
