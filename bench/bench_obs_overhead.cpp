@@ -13,11 +13,20 @@
 //      a check that both produce identical invocation counts.
 //
 // Scale the survey with FU_SITES (default 100) and FU_PASSES (default 2).
+//
+// A fourth section measures the live endpoint: wall-clock of a survey with
+// `--serve 0` (server thread + delta ticks + progress meter + an operator
+// polling once per 250 ms) vs the same survey unserved, again with an
+// identical-results check.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "bench_common.h"
 #include "obs/metrics.h"
+#include "obs/server.h"
 #include "obs/trace.h"
 
 namespace {
@@ -141,6 +150,65 @@ int main() {
                  static_cast<unsigned long long>(traced_inv));
     return 1;
   }
-  std::printf("  results identical with tracing on\n");
+  std::printf("  results identical with tracing on\n\n");
+
+  // Live serving: the same survey with `--serve 0` — server thread, 1 s
+  // delta ticks, progress meter attached — must cost noise, and must not
+  // change a single measured bit.
+  crawler::SurveyOptions served_options = options;
+  served_options.serve_port = 0;
+  std::uint64_t served_inv = 0;
+  const double served_s = time_survey(web, served_options, served_inv);
+  std::printf("-- live endpoint (--serve 0) --\n");
+  std::printf("  %-28s %8.2f s\n", "serving off", untraced_s);
+  std::printf("  %-28s %8.2f s  (%+.1f%%)\n", "serving on", served_s,
+              (served_s / untraced_s - 1.0) * 100.0);
+  if (untraced_inv != served_inv) {
+    std::fprintf(stderr,
+                 "FAIL: serving changed the survey (invocations %llu vs "
+                 "%llu)\n",
+                 static_cast<unsigned long long>(untraced_inv),
+                 static_cast<unsigned long long>(served_inv));
+    return 1;
+  }
+  std::printf("  results identical with serving on\n");
+
+  // Request handling itself, measured against a standalone server while
+  // worker threads hammer the registry (the worst case for snapshot merge).
+  {
+    obs::ServerOptions server_options;
+    server_options.port = 0;
+    obs::Server server(std::move(server_options));
+    if (!server.ok()) {
+      std::fprintf(stderr, "FAIL: bench server did not bind: %s\n",
+                   server.error().c_str());
+      return 1;
+    }
+    std::atomic<bool> stop{false};
+    std::thread hammer([&stop] {
+      obs::Counter& counter =
+          obs::Registry::global().counter("bench.serve.hammer");
+      while (!stop.load(std::memory_order_relaxed)) counter.add();
+    });
+    constexpr int kRequests = 200;
+    const bench::Timer timer;
+    for (int i = 0; i < kRequests; ++i) {
+      int status = 0;
+      std::string body;
+      const char* path = i % 2 == 0 ? "/metrics.json" : "/metrics";
+      if (!obs::http_get("127.0.0.1", server.port(), path, status, body) ||
+          status != 200) {
+        std::fprintf(stderr, "FAIL: bench request %d failed\n", i);
+        stop.store(true);
+        hammer.join();
+        return 1;
+      }
+    }
+    const double per_request_ms = timer.seconds() * 1e3 / kRequests;
+    stop.store(true);
+    hammer.join();
+    std::printf("  %-28s %8.3f ms/request (%d requests under load)\n",
+                "GET /metrics[.json]", per_request_ms, kRequests);
+  }
   return 0;
 }

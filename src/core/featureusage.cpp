@@ -60,6 +60,9 @@ ReproductionConfig ReproductionConfig::from_env() {
   env_path("FU_TRACE_OUT", config.trace_out);
   env_path("FU_TRACE_JSONL", config.trace_jsonl);
   env_path("FU_METRICS_OUT", config.metrics_out);
+  config.serve_port =
+      static_cast<int>(env_long("FU_SERVE_PORT", config.serve_port));
+  config.stall_secs = env_double("FU_STALL_SECS", config.stall_secs);
   return config;
 }
 
@@ -94,6 +97,8 @@ const crawler::SurveyResults& Reproduction::survey() {
   options.checkpoint_dir = config_.checkpoint_dir;
   options.checkpoint_secs = config_.checkpoint_secs;
   options.resume = config_.resume;
+  options.serve_port = config_.serve_port;
+  options.serve_stall_secs = config_.stall_secs;
 
   // Survey runs are expensive and fully determined by their parameters, so
   // they are cached on disk (FU_CACHE_DIR, default "fu_cache"; FU_CACHE=0
@@ -111,6 +116,10 @@ const crawler::SurveyResults& Reproduction::survey() {
     cache_path = (dir / crawler::cache_filename(key)).string();
 
     if (auto cached = crawler::load_survey(web(), key, cache_path)) {
+      if (config_.serve_port >= 0) {
+        std::cerr << "note: survey loaded from the on-disk cache — no crawl "
+                     "to serve live (set FU_CACHE=0 to watch a real run)\n";
+      }
       survey_ = std::make_unique<crawler::SurveyResults>(std::move(*cached));
       return *survey_;
     }

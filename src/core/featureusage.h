@@ -53,6 +53,13 @@ struct ReproductionConfig {
   bool resume = false;
   // Print live crawl progress (sites done, invocations/s, ETA) to stderr.
   bool progress = false;
+  // >= 0: serve live metrics/progress over loopback HTTP on this port while
+  // the survey runs (0 = ephemeral port, printed to stderr and written to
+  // <checkpoint_dir>/serve.port). -1 = off. See `fu watch`.
+  int serve_port = -1;
+  // /healthz stall window in seconds (no site completed for this long =>
+  // 503).
+  double stall_secs = 30;
 
   // Observability outputs (empty = off). `trace_out` writes a Chrome
   // trace_event JSON file, `trace_jsonl` the compact one-object-per-line
@@ -70,7 +77,7 @@ struct ReproductionConfig {
   // Read overrides from the environment: FU_SITES, FU_PASSES, FU_SEED,
   // FU_THREADS, FU_FIG7 (0/1), FU_RETRIES, FU_CHECKPOINT_DIR,
   // FU_CHECKPOINT_SECS, FU_TRACE_OUT, FU_TRACE_JSONL, FU_TRACE_SAMPLE,
-  // FU_METRICS_OUT.
+  // FU_METRICS_OUT, FU_SERVE_PORT, FU_STALL_SECS.
   static ReproductionConfig from_env();
 };
 

@@ -1,10 +1,12 @@
 #include "crawler/survey.h"
 
+#include <iostream>
 #include <memory>
 
 #include "blocker/extensions.h"
 #include "crawler/serialize.h"
 #include "obs/metrics.h"
+#include "obs/server.h"
 #include "obs/trace.h"
 #include "sched/checkpoint.h"
 #include "sched/progress.h"
@@ -100,6 +102,15 @@ SurveyResults run_survey(const net::SyntheticWeb& web,
   const auto ad_blocker = blocker::make_ad_blocker(web);
   const auto tracking_blocker = blocker::make_tracking_blocker(web);
 
+  // The progress meter backs both the --progress printer (caller-owned
+  // meter) and the live endpoint; when only --serve asked for one, use a
+  // local meter so /progress.json and /healthz still have a source.
+  sched::ProgressMeter serve_meter;
+  sched::ProgressMeter* const meter =
+      options.progress != nullptr
+          ? options.progress
+          : (options.serve_port >= 0 ? &serve_meter : nullptr);
+
   const auto browser_config_for = [&](BrowsingConfig config) {
     browser::BrowserConfig bc;
     bc.fuel_per_script = options.fuel_per_script;
@@ -148,6 +159,7 @@ SurveyResults run_survey(const net::SyntheticWeb& web,
   // a half-crawled failure never leaks into the retry's measurements.
   const auto survey_one_site = [&](std::size_t index, int attempt) {
     const net::SitePlan& site = web.sites()[index];
+    sched::InFlightScope in_flight(meter, site.domain);
 
     // Observability only: spans/counters/timers read clocks and bump atomics
     // but never touch the RNG or the outcome, so results stay bit-identical
@@ -248,10 +260,39 @@ SurveyResults run_survey(const net::SyntheticWeb& web,
     if (!restored[i]) pending.push_back(i);
   }
 
-  if (options.progress != nullptr) {
-    options.progress->reset(results.sites.size());
+  if (meter != nullptr) {
+    meter->reset(results.sites.size());
+    meter->set_stall_window(options.serve_stall_secs);
     for (std::size_t i = 0; i < results.sites.size(); ++i) {
-      if (restored[i]) options.progress->job_skipped();
+      if (restored[i]) meter->job_skipped();
+    }
+  }
+
+  // --- live endpoint -----------------------------------------------------
+  // Started after checkpoint restore (so restored sites already count) and
+  // before the first job; drained (destroyed) only after results are final,
+  // so a watcher polling at crawl end still sees the finished state.
+  std::unique_ptr<obs::Server> server;
+  if (options.serve_port >= 0) {
+    obs::ServerOptions server_options;
+    server_options.port = options.serve_port;
+    if (!options.checkpoint_dir.empty()) {
+      server_options.port_file = options.checkpoint_dir + "/serve.port";
+    }
+    server_options.progress_json = [meter] {
+      return sched::progress_json(meter->snapshot());
+    };
+    server_options.health = [meter] {
+      const sched::ProgressMeter::Snapshot snap = meter->snapshot();
+      return obs::HealthStatus{!snap.stalled, sched::health_json(snap)};
+    };
+    server = std::make_unique<obs::Server>(std::move(server_options));
+    if (server->ok()) {
+      std::cerr << "serving live metrics on http://127.0.0.1:"
+                << server->port() << "/\n";
+    } else {
+      std::cerr << "warning: live endpoint disabled: " << server->error()
+                << "\n";
     }
   }
 
@@ -261,7 +302,8 @@ SurveyResults run_survey(const net::SyntheticWeb& web,
   sched_options.max_attempts = options.max_attempts > 0 ? options.max_attempts
                                                         : 1;
   sched_options.policy = options.scheduler_policy;
-  SurveyObserver observer(results, pending, writer.get(), options.progress);
+  sched_options.progress = meter;
+  SurveyObserver observer(results, pending, writer.get(), meter);
 
   const sched::RunReport run = sched::run_jobs(
       pending.size(),
@@ -286,6 +328,7 @@ SurveyResults run_survey(const net::SyntheticWeb& web,
   }
 
   if (writer) writer->flush();
+  server.reset();  // drain: answer in-flight requests, then stop
   return results;
 }
 

@@ -75,6 +75,15 @@ struct SurveyOptions {
   // worker threads. Not owned.
   sched::ProgressMeter* progress = nullptr;
 
+  // Live observation endpoint: >= 0 starts a loopback HTTP server on this
+  // port for the duration of the crawl (0 = ephemeral; the bound port is
+  // printed to stderr and written to <checkpoint_dir>/serve.port when
+  // checkpointing). -1 = off. Serving is read-only — results are
+  // bit-identical with it on or off (locked by engine_identity_test).
+  int serve_port = -1;
+  // /healthz flips to 503 once no site has completed for this many seconds.
+  double serve_stall_secs = 30;
+
   // Scheduling policy. kStriped reproduces the seed's shared-atomic-counter
   // loop; it exists so bench_sched_throughput can race the two on identical
   // crawls. Results are bit-identical either way.

@@ -1,0 +1,195 @@
+#include "obs/delta.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace fu::obs {
+
+namespace {
+
+const std::string& entry_name(
+    const std::pair<std::string, std::uint64_t>& counter) {
+  return counter.first;
+}
+const std::string& entry_name(const Histogram::Snapshot& hist) {
+  return hist.name;
+}
+
+// Registry snapshots iterate std::map, so each section arrives sorted by
+// name — diffing is a two-pointer walk. Entries present only in `prev`
+// (impossible today: handles are never unregistered) simply drop out.
+template <typename Entry, typename Fn>
+void walk_matched(const std::vector<Entry>& cur, const std::vector<Entry>& prev,
+                  const Fn& fn) {
+  std::size_t p = 0;
+  for (const Entry& entry : cur) {
+    const std::string& name = entry_name(entry);
+    while (p < prev.size() && entry_name(prev[p]) < name) ++p;
+    const Entry* match =
+        p < prev.size() && entry_name(prev[p]) == name ? &prev[p] : nullptr;
+    fn(entry, match);
+  }
+}
+
+}  // namespace
+
+DeltaRing::DeltaRing(std::size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {}
+
+void DeltaRing::prime(MetricsSnapshot baseline, double now_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  prev_ = std::move(baseline);
+  prev_time_ = now_seconds;
+  primed_ = true;
+}
+
+std::uint64_t DeltaRing::record(const MetricsSnapshot& snap,
+                                double now_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!primed_) {
+    // Self-priming first call: establish the baseline, emit no interval.
+    prev_ = snap;
+    prev_time_ = now_seconds;
+    primed_ = true;
+    return 0;
+  }
+
+  DeltaInterval interval;
+  interval.seq = next_seq_++;
+  interval.t0 = prev_time_;
+  interval.t1 = now_seconds;
+
+  walk_matched(snap.counters, prev_.counters,
+               [&](const std::pair<std::string, std::uint64_t>& cur,
+                   const std::pair<std::string, std::uint64_t>* prev) {
+                 const std::uint64_t before = prev != nullptr ? prev->second : 0;
+                 if (cur.second > before) {
+                   interval.counters.emplace_back(cur.first,
+                                                  cur.second - before);
+                 }
+               });
+
+  // Gauges are levels, not rates: report the value as of the interval end.
+  interval.gauges = snap.gauges;
+
+  walk_matched(snap.histograms, prev_.histograms,
+               [&](const Histogram::Snapshot& cur,
+                   const Histogram::Snapshot* prev) {
+                 const std::uint64_t before = prev != nullptr ? prev->count : 0;
+                 if (cur.count <= before) return;
+                 DeltaInterval::HistogramDelta delta;
+                 delta.name = cur.name;
+                 delta.count = cur.count - before;
+                 delta.sum = cur.sum - (prev != nullptr ? prev->sum : 0);
+                 delta.bounds = cur.bounds;
+                 delta.counts = cur.counts;
+                 if (prev != nullptr &&
+                     prev->counts.size() == delta.counts.size()) {
+                   for (std::size_t b = 0; b < delta.counts.size(); ++b) {
+                     delta.counts[b] -= prev->counts[b];
+                   }
+                 }
+                 interval.histograms.push_back(std::move(delta));
+               });
+
+  intervals_.push_back(std::move(interval));
+  while (intervals_.size() > capacity_) intervals_.pop_front();
+  prev_ = snap;
+  prev_time_ = now_seconds;
+  return next_seq_ - 1;
+}
+
+std::vector<DeltaInterval> DeltaRing::since(std::uint64_t seq) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<DeltaInterval> out;
+  for (const DeltaInterval& interval : intervals_) {
+    if (interval.seq > seq) out.push_back(interval);
+  }
+  return out;
+}
+
+std::uint64_t DeltaRing::latest_seq() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_ - 1;
+}
+
+std::string DeltaRing::to_json(std::uint64_t since) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"latest_seq\": " + std::to_string(next_seq_ - 1) +
+                    ", \"deltas\": [";
+  bool first_interval = true;
+  for (const DeltaInterval& interval : intervals_) {
+    if (interval.seq <= since) continue;
+    if (!first_interval) out += ",";
+    first_interval = false;
+    char head[96];
+    std::snprintf(head, sizeof head, "\n  {\"seq\": %llu, \"t0\": %.3f, "
+                  "\"t1\": %.3f, \"counters\": {",
+                  static_cast<unsigned long long>(interval.seq), interval.t0,
+                  interval.t1);
+    out += head;
+    bool first = true;
+    for (const auto& [name, delta] : interval.counters) {
+      if (!first) out += ", ";
+      first = false;
+      out += json_quote(name) + ": " + std::to_string(delta);
+    }
+    out += "}, \"gauges\": {";
+    first = true;
+    for (const MetricsSnapshot::GaugeValue& gauge : interval.gauges) {
+      if (!first) out += ", ";
+      first = false;
+      out += json_quote(gauge.name) +
+             ": {\"value\": " + std::to_string(gauge.value) +
+             ", \"max\": " + std::to_string(gauge.max) + "}";
+    }
+    out += "}, \"histograms\": {";
+    first = true;
+    for (const DeltaInterval::HistogramDelta& hist : interval.histograms) {
+      if (!first) out += ", ";
+      first = false;
+      out += json_quote(hist.name) +
+             ": {\"count\": " + std::to_string(hist.count) +
+             ", \"sum\": " + std::to_string(hist.sum) + ", \"bounds\": [";
+      for (const std::uint64_t bound : hist.bounds) {
+        out += std::to_string(bound) + ", ";
+      }
+      out += "\"+inf\"], \"counts\": [";
+      for (std::size_t b = 0; b < hist.counts.size(); ++b) {
+        if (b > 0) out += ", ";
+        out += std::to_string(hist.counts[b]);
+      }
+      out += "]}";
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+double delta_percentile(const std::vector<std::uint64_t>& bounds,
+                        const std::vector<std::uint64_t>& counts, double p) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(total);
+  double cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const double in_bucket = static_cast<double>(counts[b]);
+    if (cumulative + in_bucket < target || in_bucket == 0) {
+      cumulative += in_bucket;
+      continue;
+    }
+    const double lo = b == 0 ? 0.0 : static_cast<double>(bounds[b - 1]);
+    const double hi =
+        b < bounds.size()
+            ? static_cast<double>(bounds[b])
+            : (bounds.empty() ? 0.0 : 2.0 * static_cast<double>(bounds.back()));
+    const double fraction = (target - cumulative) / in_bucket;
+    return lo + (std::max(hi, lo) - lo) * fraction;
+  }
+  return bounds.empty() ? 0.0 : static_cast<double>(bounds.back());
+}
+
+}  // namespace fu::obs

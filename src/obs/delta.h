@@ -1,0 +1,82 @@
+// Rolling registry deltas for the live survey endpoint.
+//
+// The metrics registry holds monotonic totals; an operator watching a crawl
+// wants *rates* — how many sites finished in the last second, where the
+// per-stage latency distribution sits right now. DeltaRing turns periodic
+// registry snapshots into a seq-numbered ring of per-interval diffs: the
+// serving thread calls record() once per interval, clients poll
+// `/deltas.json?since=SEQ` and receive only the intervals they have not seen
+// yet, so a dashboard (`fu watch`) can plot rates with no client-side state
+// beyond the last seq it was given.
+//
+// The ring is the only lock between the serving thread and request handling;
+// the registry hot path (worker-side relaxed adds) never touches it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace fu::obs {
+
+// One interval's worth of registry change. Only entries that moved are kept
+// (an idle interval is a timestamped empty diff).
+struct DeltaInterval {
+  std::uint64_t seq = 0;   // 1-based, strictly increasing
+  double t0 = 0;           // interval start/end, seconds since serving began
+  double t1 = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<MetricsSnapshot::GaugeValue> gauges;  // levels, not diffs
+  struct HistogramDelta {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::vector<std::uint64_t> bounds;  // upper-inclusive edges (no overflow)
+    std::vector<std::uint64_t> counts;  // bounds.size() + 1, last = overflow
+  };
+  std::vector<HistogramDelta> histograms;
+};
+
+class DeltaRing {
+ public:
+  explicit DeltaRing(std::size_t capacity = 600);
+
+  // Set the baseline the first record() diffs against (serving start).
+  void prime(MetricsSnapshot baseline, double now_seconds);
+
+  // Diff `snap` against the previous snapshot, append one interval, evict
+  // the oldest past capacity. Returns the new interval's seq.
+  std::uint64_t record(const MetricsSnapshot& snap, double now_seconds);
+
+  // Intervals with seq > since, oldest first (empty when caught up).
+  std::vector<DeltaInterval> since(std::uint64_t seq) const;
+  std::uint64_t latest_seq() const;
+
+  // The `/deltas.json?since=SEQ` body:
+  //   {"latest_seq": N, "deltas": [{"seq":.., "t0":.., "t1":..,
+  //    "counters": {...}, "gauges": {...}, "histograms": {...}}, ...]}
+  std::string to_json(std::uint64_t since) const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  MetricsSnapshot prev_;
+  double prev_time_ = 0;
+  bool primed_ = false;
+  std::uint64_t next_seq_ = 1;
+  std::deque<DeltaInterval> intervals_;
+};
+
+// Percentile estimate from one interval's (or an aggregate of intervals')
+// histogram delta: linear interpolation inside the target bucket. Buckets
+// are upper-inclusive edges as in Histogram; the overflow bucket is treated
+// as extending to twice the last bound. Display-quality only — exact
+// min/max are not recoverable from a diff.
+double delta_percentile(const std::vector<std::uint64_t>& bounds,
+                        const std::vector<std::uint64_t>& counts, double p);
+
+}  // namespace fu::obs

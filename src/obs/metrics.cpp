@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/json.h"
+
 namespace fu::obs {
 
 namespace {
@@ -48,6 +50,10 @@ void atomic_min(std::atomic<std::uint64_t>& slot, std::uint64_t v) noexcept {
 }
 
 }  // namespace
+
+std::string json_quote(std::string_view text) {
+  return "\"" + json_escape(text) + "\"";
+}
 
 std::size_t this_thread_shard() noexcept {
   static std::atomic<std::size_t> next{0};
@@ -230,12 +236,13 @@ std::string MetricsSnapshot::to_json() const {
                   hist.percentile(50), hist.percentile(95),
                   hist.percentile(99));
     out += buf;
+    // The trailing "+inf" entry makes the overflow bucket explicit: bounds
+    // and counts align one-to-one (histogram_from_json accepts both forms).
     out += ", \"bounds\": [";
     for (std::size_t i = 0; i < hist.bounds.size(); ++i) {
-      if (i > 0) out += ", ";
-      out += std::to_string(hist.bounds[i]);
+      out += std::to_string(hist.bounds[i]) + ", ";
     }
-    out += "], \"counts\": [";
+    out += "\"+inf\"], \"counts\": [";
     for (std::size_t i = 0; i < hist.counts.size(); ++i) {
       if (i > 0) out += ", ";
       out += std::to_string(hist.counts[i]);
@@ -246,6 +253,91 @@ std::string MetricsSnapshot::to_json() const {
   out += first ? "}\n" : "\n  }\n";
   out += "}\n";
   return out;
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; ours are dotted identifiers
+// ("sched.queue_wait_us"), so map everything else to '_' and prefix the
+// exporter namespace.
+std::string prometheus_name(std::string_view name) {
+  std::string out = "fu_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    const std::string pname = prometheus_name(name) + "_total";
+    out += "# TYPE " + pname + " counter\n";
+    out += pname + " " + std::to_string(value) + "\n";
+  }
+  for (const GaugeValue& gauge : gauges) {
+    const std::string pname = prometheus_name(gauge.name);
+    out += "# TYPE " + pname + " gauge\n";
+    out += pname + " " + std::to_string(gauge.value) + "\n";
+    out += "# TYPE " + pname + "_max gauge\n";
+    out += pname + "_max " + std::to_string(gauge.max) + "\n";
+  }
+  for (const Histogram::Snapshot& hist : histograms) {
+    const std::string pname = prometheus_name(hist.name);
+    out += "# TYPE " + pname + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < hist.counts.size(); ++b) {
+      cumulative += hist.counts[b];
+      const std::string le = b < hist.bounds.size()
+                                 ? std::to_string(hist.bounds[b])
+                                 : std::string("+Inf");
+      out += pname + "_bucket{le=\"" + le + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += pname + "_sum " + std::to_string(hist.sum) + "\n";
+    out += pname + "_count " + std::to_string(hist.count) + "\n";
+  }
+  return out;
+}
+
+bool histogram_from_json(const JsonValue& value, Histogram::Snapshot& out) {
+  if (!value.is_object()) return false;
+  const JsonValue* counts = value.find("counts");
+  const JsonValue* bounds = value.find("bounds");
+  if (counts == nullptr || !counts->is_array() || bounds == nullptr ||
+      !bounds->is_array()) {
+    return false;
+  }
+  out = Histogram::Snapshot{};
+  for (const JsonValue& entry : bounds->array) {
+    if (entry.is_number()) {
+      out.bounds.push_back(static_cast<std::uint64_t>(entry.number));
+      continue;
+    }
+    // Tolerate the explicit overflow marker (new form) in terminal
+    // position; any other string is malformed.
+    if (entry.is_string() && entry.string == "+inf" &&
+        &entry == &bounds->array.back()) {
+      continue;
+    }
+    return false;
+  }
+  for (const JsonValue& entry : counts->array) {
+    if (!entry.is_number()) return false;
+    out.counts.push_back(static_cast<std::uint64_t>(entry.number));
+  }
+  // Implicit or explicit, the overflow bucket must be present: counts is
+  // always one longer than the numeric bounds.
+  if (out.counts.size() != out.bounds.size() + 1) return false;
+  out.count = static_cast<std::uint64_t>(value.number_or("count", 0));
+  out.sum = static_cast<std::uint64_t>(value.number_or("sum", 0));
+  out.min = static_cast<std::uint64_t>(value.number_or("min", 0));
+  out.max = static_cast<std::uint64_t>(value.number_or("max", 0));
+  return true;
 }
 
 // ------------------------------------------------------------ registry --

@@ -136,8 +136,16 @@ std::vector<std::uint64_t> exponential_bounds(std::uint64_t first,
 // 1 µs .. ~67 s in powers of two — the default latency bucketing.
 const std::vector<std::uint64_t>& default_latency_bounds_us();
 
+// JSON-escape `text` and wrap it in double quotes. Metric names are plain
+// identifiers, but every emitter in obs/ goes through this so none of them
+// can produce invalid JSON regardless of input.
+std::string json_quote(std::string_view text);
+
+struct JsonValue;  // obs/json.h
+
 // Point-in-time view of every registered metric; renders to JSON for
-// `fu survey --metrics-out`.
+// `fu survey --metrics-out` and `/metrics.json`, or to Prometheus text
+// exposition for `/metrics`.
 struct MetricsSnapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   struct GaugeValue {
@@ -148,8 +156,23 @@ struct MetricsSnapshot {
   std::vector<GaugeValue> gauges;
   std::vector<Histogram::Snapshot> histograms;
 
+  // Histogram bounds are emitted with an explicit trailing "+inf" entry, so
+  // bounds and counts have equal length and the overflow bucket is
+  // self-describing. histogram_from_json() below reads both this form and
+  // the historical implicit-overflow form.
   std::string to_json() const;
+  // Prometheus text exposition (version 0.0.4): names sanitized to
+  // [a-zA-Z0-9_] with a "fu_" prefix, counters as _total, histograms as
+  // cumulative _bucket{le=...} series ending in le="+Inf".
+  std::string to_prometheus() const;
 };
+
+// Read one histogram object (the value under "histograms" in to_json()
+// output) back into a Snapshot. Tolerates both bound forms: a trailing
+// "+inf" string entry is the overflow marker, its absence means the
+// overflow bucket is implicit. Returns false when the object is not a
+// histogram (missing counts, non-numeric bounds, count/size mismatch).
+bool histogram_from_json(const JsonValue& value, Histogram::Snapshot& out);
 
 class Registry {
  public:

@@ -1,0 +1,277 @@
+#include "obs/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace fu::obs {
+
+namespace {
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+// Send all of `data`, swallowing EPIPE (the client hung up; their loss).
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string http_response(int status, const char* reason,
+                          const char* content_type, const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+// "since=42" out of "/deltas.json?since=42" (0 when absent or malformed —
+// malformed just means "send everything", which is safe).
+std::uint64_t parse_since(const std::string& query) {
+  const std::size_t key = query.find("since=");
+  if (key == std::string::npos) return 0;
+  return std::strtoull(query.c_str() + key + 6, nullptr, 10);
+}
+
+void set_socket_timeout(int fd, double seconds) {
+  timeval tv;
+  tv.tv_sec = static_cast<long>(seconds);
+  tv.tv_usec = static_cast<long>((seconds - static_cast<double>(tv.tv_sec)) *
+                                 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), ring_(options_.delta_capacity) {
+  if (options_.registry == nullptr) options_.registry = &Registry::global();
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    error_ = "socket: " + std::string(std::strerror(errno));
+    return;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    error_ = "bad bind address: " + options_.bind_address;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    error_ = "bind/listen: " + std::string(std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  if (!options_.port_file.empty()) {
+    std::ofstream out(options_.port_file, std::ios::trunc);
+    out << port_ << "\n";
+  }
+
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+Server::~Server() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void Server::serve_loop() {
+  const auto start = std::chrono::steady_clock::now();
+  const auto now_seconds = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  ring_.prime(options_.registry->snapshot(), now_seconds());
+  double last_tick = 0;
+  const double interval = options_.delta_interval_seconds > 0
+                              ? options_.delta_interval_seconds
+                              : 1.0;
+
+  while (!stop_.load(std::memory_order_relaxed)) {
+    // Short poll timeout so shutdown and delta ticks stay responsive even
+    // with no traffic.
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 50);
+
+    const double now = now_seconds();
+    if (now - last_tick >= interval) {
+      ring_.record(options_.registry->snapshot(), now);
+      last_tick = now;
+    }
+
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    set_socket_timeout(fd, 5.0);
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void Server::handle_connection(int fd) {
+  // Read until the end of the request head (we ignore headers and bodies; a
+  // GET has none worth reading) or a small cap — this is an operator
+  // endpoint, not a general web server.
+  std::string request;
+  char buf[1024];
+  while (request.size() < 8192 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::size_t eol = request.find("\r\n");
+  const std::string request_line =
+      eol == std::string::npos ? request : request.substr(0, eol);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  send_all(fd, respond(request_line));
+}
+
+std::string Server::respond(const std::string& request_line) {
+  // "GET /path?query HTTP/1.1"
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    return http_response(400, "Bad Request", "text/plain",
+                         "malformed request line\n");
+  }
+  const std::string method = request_line.substr(0, sp1);
+  std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET") {
+    return http_response(405, "Method Not Allowed", "text/plain",
+                         "only GET is served here\n");
+  }
+  std::string query;
+  if (const std::size_t q = target.find('?'); q != std::string::npos) {
+    query = target.substr(q + 1);
+    target.resize(q);
+  }
+
+  if (target == "/metrics.json") {
+    return http_response(200, "OK", "application/json",
+                         options_.registry->snapshot().to_json());
+  }
+  if (target == "/metrics") {
+    return http_response(200, "OK", "text/plain; version=0.0.4",
+                         options_.registry->snapshot().to_prometheus());
+  }
+  if (target == "/progress.json") {
+    if (!options_.progress_json) {
+      return http_response(404, "Not Found", "text/plain",
+                           "no progress source attached\n");
+    }
+    return http_response(200, "OK", "application/json",
+                         options_.progress_json());
+  }
+  if (target == "/deltas.json") {
+    return http_response(200, "OK", "application/json",
+                         ring_.to_json(parse_since(query)));
+  }
+  if (target == "/healthz") {
+    HealthStatus health;
+    if (options_.health) health = options_.health();
+    return health.ok
+               ? http_response(200, "OK", "application/json", health.body)
+               : http_response(503, "Service Unavailable", "application/json",
+                               health.body);
+  }
+  return http_response(404, "Not Found", "text/plain",
+                       "unknown path; try /metrics.json /metrics "
+                       "/progress.json /deltas.json /healthz\n");
+}
+
+bool http_get(const std::string& host, int port, const std::string& path,
+              int& status, std::string& body, std::string* error,
+              double timeout_seconds) {
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    return false;
+  };
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return fail("socket");
+  set_socket_timeout(fd, timeout_seconds);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  const std::string node = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, node.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    if (error != nullptr) *error = "bad host (IPv4 literal expected): " + host;
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const bool ok = false;
+    fail("connect");
+    ::close(fd);
+    return ok;
+  }
+
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  send_all(fd, request);
+
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  // "HTTP/1.1 200 OK\r\n...\r\n\r\n<body>"
+  if (response.rfind("HTTP/1.", 0) != 0 || response.size() < 12) {
+    if (error != nullptr) *error = "short or non-HTTP response";
+    return false;
+  }
+  status = std::atoi(response.c_str() + 9);
+  const std::size_t head_end = response.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    if (error != nullptr) *error = "truncated response head";
+    return false;
+  }
+  body = response.substr(head_end + 4);
+  return true;
+}
+
+}  // namespace fu::obs

@@ -1,0 +1,106 @@
+// Live survey operations endpoint: a tiny dependency-free HTTP/1.1 server
+// on a dedicated thread, loopback only, serving the metrics registry and
+// crawl progress while a survey runs.
+//
+//   GET /metrics.json          live registry snapshot (same JSON as
+//                              --metrics-out)
+//   GET /metrics               Prometheus text exposition, same snapshot
+//   GET /progress.json         crawl progress (injected callback)
+//   GET /deltas.json?since=SEQ per-interval registry diffs newer than SEQ
+//   GET /healthz               200 while workers advance, 503 on stall
+//
+// Design constraints, in order: the crawl's hot path must not notice the
+// server (it is strictly a registry *reader*; the only lock it ever takes
+// is the delta ring's), and the whole thing must stay portable POSIX
+// sockets with no third-party dependency. Throughput is a non-goal — one
+// operator polling once a second — so connections are handled serially on
+// the server thread, which doubles as the delta-ring ticker.
+//
+// Layering: fu_sched links fu_obs, so this header cannot know about
+// sched::ProgressMeter. Progress and health are injected as callbacks by
+// the caller that owns both (crawler::run_survey).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "obs/delta.h"
+#include "obs/metrics.h"
+
+namespace fu::obs {
+
+// What /healthz reports: `ok` selects 200 vs 503, `body` is the JSON
+// payload either way (so a 503 still explains itself).
+struct HealthStatus {
+  bool ok = true;
+  std::string body = "{\"ok\": true}\n";
+};
+
+struct ServerOptions {
+  // TCP port to bind; 0 asks the kernel for an ephemeral port (read it back
+  // from Server::port()). Loopback only — remote serving needs auth first
+  // (see ROADMAP).
+  int port = 0;
+  std::string bind_address = "127.0.0.1";
+  // When set, the bound port is written here (decimal + newline) so
+  // `fu watch <checkpoint-dir>` can find an ephemeral server.
+  std::string port_file;
+  // Cadence of delta-ring ticks; with the default capacity the ring holds
+  // the last ~10 minutes of per-second diffs.
+  double delta_interval_seconds = 1.0;
+  std::size_t delta_capacity = 600;
+  // /progress.json body; 404 when absent.
+  std::function<std::string()> progress_json;
+  // /healthz; always 200 when absent.
+  std::function<HealthStatus()> health;
+  // Registry to serve; null = Registry::global().
+  Registry* registry = nullptr;
+};
+
+class Server {
+ public:
+  // Binds and starts the serving thread. On bind failure the server is
+  // inert: ok() is false, error() says why, requests are never served.
+  explicit Server(ServerOptions options);
+  ~Server();  // stops the thread and closes the socket (drain on shutdown)
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  bool ok() const noexcept { return listen_fd_ >= 0; }
+  const std::string& error() const noexcept { return error_; }
+  // The bound port (the ephemeral one when options.port was 0); -1 if bind
+  // failed.
+  int port() const noexcept { return port_; }
+  std::uint64_t requests_served() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  DeltaRing& deltas() noexcept { return ring_; }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+  std::string respond(const std::string& request_line);
+
+  ServerOptions options_;
+  DeltaRing ring_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::string error_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+// Minimal HTTP/1.1 GET client for `fu watch`, the tests, and CI probes.
+// Returns false (with `error` set) on a transport failure; on success
+// `status` holds the response code and `body` the payload.
+bool http_get(const std::string& host, int port, const std::string& path,
+              int& status, std::string& body, std::string* error = nullptr,
+              double timeout_seconds = 5.0);
+
+}  // namespace fu::obs

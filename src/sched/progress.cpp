@@ -1,7 +1,10 @@
 #include "sched/progress.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <ostream>
+
+#include "obs/metrics.h"
 
 namespace fu::sched {
 
@@ -12,21 +15,85 @@ void ProgressMeter::reset(std::size_t total) {
   units_.store(0, std::memory_order_relaxed);
   total_ = total;
   start_ = std::chrono::steady_clock::now();
+  last_done_us_.store(0, std::memory_order_relaxed);
+  in_stall_.store(false, std::memory_order_relaxed);
+  stall_events_.store(0, std::memory_order_relaxed);
+  workers_.reset();
+  worker_count_ = 0;
+  for (std::size_t s = 0; s < kInFlightSlots; ++s) {
+    std::lock_guard<std::mutex> lock(in_flight_[s].mutex);
+    in_flight_[s].used = false;
+  }
+}
+
+void ProgressMeter::note_completion() {
+  const auto now_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+  last_done_us_.store(now_us, std::memory_order_relaxed);
+  in_stall_.store(false, std::memory_order_relaxed);
 }
 
 void ProgressMeter::job_done(std::uint64_t units) {
   units_.fetch_add(units, std::memory_order_relaxed);
   done_.fetch_add(1, std::memory_order_relaxed);
+  note_completion();
 }
 
 void ProgressMeter::job_skipped() {
   skipped_.fetch_add(1, std::memory_order_relaxed);
   done_.fetch_add(1, std::memory_order_relaxed);
+  note_completion();
 }
 
 void ProgressMeter::job_failed() {
   failed_.fetch_add(1, std::memory_order_relaxed);
   done_.fetch_add(1, std::memory_order_relaxed);
+  note_completion();
+}
+
+void ProgressMeter::set_stall_window(double seconds) {
+  stall_window_ = seconds > 0 ? seconds : 0;
+}
+
+void ProgressMeter::set_worker_count(std::size_t workers) {
+  worker_count_ = workers;
+  workers_ = workers > 0 ? std::make_unique<WorkerCell[]>(workers) : nullptr;
+}
+
+void ProgressMeter::worker_queue_depth(std::size_t worker, std::size_t depth) {
+  if (worker >= worker_count_) return;
+  workers_[worker].queue_depth.store(depth, std::memory_order_relaxed);
+}
+
+void ProgressMeter::worker_stole(std::size_t worker, std::size_t jobs) {
+  if (worker >= worker_count_) return;
+  workers_[worker].steals.fetch_add(1, std::memory_order_relaxed);
+  workers_[worker].jobs_stolen.fetch_add(jobs, std::memory_order_relaxed);
+}
+
+int ProgressMeter::begin_job(const std::string& label) {
+  for (std::size_t s = 0; s < kInFlightSlots; ++s) {
+    InFlightSlot& slot = in_flight_[s];
+    // try_lock keeps claiming wait-free against a concurrent snapshot.
+    if (!slot.mutex.try_lock()) continue;
+    if (slot.used) {
+      slot.mutex.unlock();
+      continue;
+    }
+    slot.used = true;
+    slot.label = label;
+    slot.start = std::chrono::steady_clock::now();
+    slot.mutex.unlock();
+    return static_cast<int>(s);
+  }
+  return -1;  // more workers than slots: tracking is best-effort
+}
+
+void ProgressMeter::end_job(int slot) {
+  if (slot < 0 || slot >= static_cast<int>(kInFlightSlots)) return;
+  std::lock_guard<std::mutex> lock(in_flight_[slot].mutex);
+  in_flight_[slot].used = false;
 }
 
 ProgressMeter::Snapshot ProgressMeter::snapshot() const {
@@ -36,9 +103,8 @@ ProgressMeter::Snapshot ProgressMeter::snapshot() const {
   snap.failed = failed_.load(std::memory_order_relaxed);
   snap.total = total_;
   snap.units = units_.load(std::memory_order_relaxed);
-  snap.elapsed_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
-          .count();
+  const auto now = std::chrono::steady_clock::now();
+  snap.elapsed_seconds = std::chrono::duration<double>(now - start_).count();
   const std::size_t executed = snap.done - snap.skipped;
   if (snap.elapsed_seconds > 0 && executed > 0) {
     snap.jobs_per_second = static_cast<double>(executed) /
@@ -50,6 +116,44 @@ ProgressMeter::Snapshot ProgressMeter::snapshot() const {
                          snap.jobs_per_second;
     }
   }
+
+  snap.seconds_since_last_done =
+      snap.elapsed_seconds -
+      static_cast<double>(last_done_us_.load(std::memory_order_relaxed)) / 1e6;
+  snap.stall_window_seconds = stall_window_;
+  if (stall_window_ > 0 && snap.total > 0 && snap.done < snap.total &&
+      snap.seconds_since_last_done > stall_window_) {
+    snap.stalled = true;
+    // First snapshot to observe this episode records it; completions clear
+    // in_stall_ so a later freeze counts again.
+    if (!in_stall_.exchange(true, std::memory_order_relaxed)) {
+      stall_events_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter& stalls =
+          obs::Registry::global().counter("sched.stalls");
+      stalls.add();
+    }
+  }
+  snap.stall_events = stall_events_.load(std::memory_order_relaxed);
+
+  snap.workers.reserve(worker_count_);
+  for (std::size_t w = 0; w < worker_count_; ++w) {
+    snap.workers.push_back(
+        {workers_[w].queue_depth.load(std::memory_order_relaxed),
+         workers_[w].steals.load(std::memory_order_relaxed),
+         workers_[w].jobs_stolen.load(std::memory_order_relaxed)});
+  }
+
+  for (std::size_t s = 0; s < kInFlightSlots; ++s) {
+    InFlightSlot& slot = in_flight_[s];
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    if (!slot.used) continue;
+    snap.in_flight.push_back(
+        {slot.label, std::chrono::duration<double>(now - slot.start).count()});
+  }
+  std::sort(snap.in_flight.begin(), snap.in_flight.end(),
+            [](const InFlightSite& a, const InFlightSite& b) {
+              return a.seconds > b.seconds;
+            });
   return snap;
 }
 
@@ -81,6 +185,12 @@ std::string human_duration(double seconds) {
   return buf;
 }
 
+std::string json_number(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", value);
+  return buf;
+}
+
 }  // namespace
 
 std::string format_progress(const ProgressMeter::Snapshot& snapshot,
@@ -99,7 +209,67 @@ std::string format_progress(const ProgressMeter::Snapshot& snapshot,
   if (snapshot.eta_seconds > 0) {
     line += "  eta " + human_duration(snapshot.eta_seconds);
   }
+  if (snapshot.stalled) {
+    line += "  STALLED " + human_duration(snapshot.seconds_since_last_done);
+  }
   return line;
+}
+
+std::string progress_json(const ProgressMeter::Snapshot& snapshot) {
+  std::string out = "{\n";
+  out += "  \"done\": " + std::to_string(snapshot.done) + ",\n";
+  out += "  \"skipped\": " + std::to_string(snapshot.skipped) + ",\n";
+  out += "  \"failed\": " + std::to_string(snapshot.failed) + ",\n";
+  out += "  \"total\": " + std::to_string(snapshot.total) + ",\n";
+  out += "  \"units\": " + std::to_string(snapshot.units) + ",\n";
+  out += "  \"elapsed_seconds\": " + json_number(snapshot.elapsed_seconds) +
+         ",\n";
+  out += "  \"jobs_per_second\": " + json_number(snapshot.jobs_per_second) +
+         ",\n";
+  out += "  \"units_per_second\": " + json_number(snapshot.units_per_second) +
+         ",\n";
+  out += "  \"eta_seconds\": " + json_number(snapshot.eta_seconds) + ",\n";
+  out += "  \"seconds_since_last_done\": " +
+         json_number(snapshot.seconds_since_last_done) + ",\n";
+  out += "  \"stall_window_seconds\": " +
+         json_number(snapshot.stall_window_seconds) + ",\n";
+  out += std::string("  \"stalled\": ") +
+         (snapshot.stalled ? "true" : "false") + ",\n";
+  out += "  \"stall_events\": " + std::to_string(snapshot.stall_events) +
+         ",\n";
+  out += "  \"workers\": [";
+  for (std::size_t w = 0; w < snapshot.workers.size(); ++w) {
+    const ProgressMeter::WorkerStat& worker = snapshot.workers[w];
+    out += w > 0 ? ",\n    " : "\n    ";
+    out += "{\"queue_depth\": " + std::to_string(worker.queue_depth) +
+           ", \"steals\": " + std::to_string(worker.steals) +
+           ", \"jobs_stolen\": " + std::to_string(worker.jobs_stolen) + "}";
+  }
+  out += snapshot.workers.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"in_flight\": [";
+  for (std::size_t s = 0; s < snapshot.in_flight.size(); ++s) {
+    const ProgressMeter::InFlightSite& site = snapshot.in_flight[s];
+    out += s > 0 ? ",\n    " : "\n    ";
+    out += "{\"site\": " + obs::json_quote(site.label) +
+           ", \"seconds\": " + json_number(site.seconds) + "}";
+  }
+  out += snapshot.in_flight.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string health_json(const ProgressMeter::Snapshot& snapshot) {
+  std::string out = "{";
+  out += std::string("\"ok\": ") + (snapshot.stalled ? "false" : "true");
+  out += ", \"done\": " + std::to_string(snapshot.done);
+  out += ", \"total\": " + std::to_string(snapshot.total);
+  out += ", \"seconds_since_last_done\": " +
+         json_number(snapshot.seconds_since_last_done);
+  out += ", \"stall_window_seconds\": " +
+         json_number(snapshot.stall_window_seconds);
+  out += ", \"stall_events\": " + std::to_string(snapshot.stall_events);
+  out += "}\n";
+  return out;
 }
 
 ProgressPrinter::ProgressPrinter(const ProgressMeter& meter, std::ostream& out,

@@ -3,8 +3,11 @@
 // A full 10k-site crawl runs for minutes (the paper's original took 480
 // machine-days), so the operator needs to see it moving: sites done,
 // invocations per second, ETA. ProgressMeter is the thread-safe counter the
-// workers feed; ProgressPrinter renders snapshots to a stream from its own
-// thread so observation never blocks the crawl.
+// workers feed; every rendering of it — the `--progress` stderr line, the
+// live `/progress.json` endpoint, `fu watch`, `fu report` — goes through
+// one Snapshot struct, so the ETA/rate math exists exactly once.
+// ProgressPrinter renders snapshots to a stream from its own thread so
+// observation never blocks the crawl.
 #pragma once
 
 #include <atomic>
@@ -12,9 +15,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 namespace fu::sched {
 
@@ -22,7 +27,8 @@ class ProgressMeter {
  public:
   explicit ProgressMeter(std::size_t total = 0) { reset(total); }
 
-  // Restart the clock for a run of `total` jobs.
+  // Restart the clock for a run of `total` jobs. Worker stats, in-flight
+  // slots and stall history reset with it; the stall window is kept.
   void reset(std::size_t total);
 
   // One job finished, contributing `units` of work (the survey reports
@@ -38,6 +44,37 @@ class ProgressMeter {
   // still consumed a worker — and is surfaced in the progress line.
   void job_failed();
 
+  // --- stall detection ---------------------------------------------------
+  // A run "stalls" when no job has completed for `seconds` (0 = detection
+  // off). Observed lazily: whoever takes a snapshot notices the gap, which
+  // is exactly when anyone cares (/healthz, the printer). Each distinct
+  // stall episode increments stall_events once.
+  void set_stall_window(double seconds);
+
+  // --- per-worker scheduler stats ----------------------------------------
+  // Sized by the scheduler before workers start; updates are relaxed atomic
+  // stores/adds so the worker loop never takes a lock for them.
+  void set_worker_count(std::size_t workers);
+  void worker_queue_depth(std::size_t worker, std::size_t depth);
+  void worker_stole(std::size_t worker, std::size_t jobs);
+
+  // --- in-flight sites ---------------------------------------------------
+  // begin_job claims one of a fixed pool of slots (or -1 when all are busy
+  // — tracking is best-effort by design); end_job releases it. Use the
+  // InFlightScope RAII below. Cost per *job* (a whole-site crawl), not per
+  // recorded event, so it is nowhere near the metrics hot path.
+  int begin_job(const std::string& label);
+  void end_job(int slot);
+
+  struct WorkerStat {
+    std::size_t queue_depth = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t jobs_stolen = 0;
+  };
+  struct InFlightSite {
+    std::string label;
+    double seconds = 0;  // how long this site has been crawling
+  };
   struct Snapshot {
     std::size_t done = 0;
     std::size_t skipped = 0;  // subset of done
@@ -48,21 +85,78 @@ class ProgressMeter {
     double jobs_per_second = 0;   // executed jobs only
     double units_per_second = 0;
     double eta_seconds = 0;       // 0 once done or before any job finishes
+    // Stall state. seconds_since_last_done counts from run start until the
+    // first completion.
+    double seconds_since_last_done = 0;
+    double stall_window_seconds = 0;
+    bool stalled = false;
+    std::uint64_t stall_events = 0;
+    std::vector<WorkerStat> workers;
+    std::vector<InFlightSite> in_flight;  // sorted slowest-first
   };
   Snapshot snapshot() const;
 
  private:
+  static constexpr std::size_t kInFlightSlots = 64;
+  struct WorkerCell {
+    std::atomic<std::size_t> queue_depth{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> jobs_stolen{0};
+  };
+  struct InFlightSlot {
+    std::mutex mutex;
+    bool used = false;
+    std::string label;
+    std::chrono::steady_clock::time_point start;
+  };
+
+  void note_completion();
+
   std::atomic<std::size_t> done_{0};
   std::atomic<std::size_t> skipped_{0};
   std::atomic<std::size_t> failed_{0};
   std::atomic<std::uint64_t> units_{0};
   std::size_t total_ = 0;
   std::chrono::steady_clock::time_point start_;
+
+  std::atomic<std::int64_t> last_done_us_{0};  // µs since start_
+  double stall_window_ = 0;
+  mutable std::atomic<bool> in_stall_{false};
+  mutable std::atomic<std::uint64_t> stall_events_{0};
+
+  std::unique_ptr<WorkerCell[]> workers_;
+  std::size_t worker_count_ = 0;
+
+  std::unique_ptr<InFlightSlot[]> in_flight_ =
+      std::make_unique<InFlightSlot[]>(kInFlightSlots);
+};
+
+// RAII in-flight marker; tolerates a null meter (tracking off).
+class InFlightScope {
+ public:
+  InFlightScope(ProgressMeter* meter, const std::string& label)
+      : meter_(meter), slot_(meter != nullptr ? meter->begin_job(label) : -1) {}
+  ~InFlightScope() {
+    if (meter_ != nullptr) meter_->end_job(slot_);
+  }
+  InFlightScope(const InFlightScope&) = delete;
+  InFlightScope& operator=(const InFlightScope&) = delete;
+
+ private:
+  ProgressMeter* meter_;
+  int slot_;
 };
 
 // Render "247/10000 sites  1.2M inv/s  eta 3m12s". Exposed for tests.
 std::string format_progress(const ProgressMeter::Snapshot& snapshot,
                             const char* noun = "sites");
+
+// The `/progress.json` body (also `fu report`'s progress.json artifact):
+// every Snapshot field, workers and in-flight lists included.
+std::string progress_json(const ProgressMeter::Snapshot& snapshot);
+
+// The `/healthz` body: ok flag plus the stall fields that justify it.
+std::string health_json(const ProgressMeter::Snapshot& snapshot);
 
 // Prints a progress line to `out` every `interval` until destroyed; the
 // destructor emits one final line. Construction spawns the printer thread.

@@ -8,6 +8,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sched/progress.h"
 
 namespace fu::sched {
 
@@ -96,6 +97,12 @@ RunReport run_striped(std::size_t count, const Job& job,
   report.jobs.resize(count);
   report.threads = thread_count;
 
+  // Striped workers have no queues to report; still size the worker list so
+  // /progress.json shows how many threads are crawling.
+  if (options.progress != nullptr) {
+    options.progress->set_worker_count(thread_count);
+  }
+
   std::atomic<std::uint64_t> retries{0};
   std::atomic<std::size_t> next{0};
   const auto worker = [&] {
@@ -140,6 +147,14 @@ RunReport run_stealing(std::size_t count, const Job& job,
   SchedMetrics::get().deque_depth.record_max(
       static_cast<std::int64_t>((count + thread_count - 1) / thread_count));
 
+  ProgressMeter* const meter = options.progress;
+  if (meter != nullptr) {
+    meter->set_worker_count(thread_count);
+    for (unsigned t = 0; t < thread_count; ++t) {
+      meter->worker_queue_depth(t, queues[t].tasks.size());
+    }
+  }
+
   // Queue wait is the delay from run start (when every task is enqueued) to
   // the moment a worker pops it. It needs a clock read per job, so it is
   // sampled only when a tracer is live.
@@ -159,6 +174,9 @@ RunReport run_stealing(std::size_t count, const Job& job,
           task = own.tasks.front();
           own.tasks.pop_front();
           have = true;
+        }
+        if (meter != nullptr) {
+          meter->worker_queue_depth(self, own.tasks.size());
         }
       }
       if (have && timed) {
@@ -191,6 +209,7 @@ RunReport run_stealing(std::size_t count, const Job& job,
           jobs_stolen.fetch_add(loot.size(), std::memory_order_relaxed);
           SchedMetrics::get().steals.add();
           SchedMetrics::get().jobs_stolen.add(loot.size());
+          if (meter != nullptr) meter->worker_stole(self, loot.size());
           if (obs::tracing_enabled()) {
             obs::trace_instant("steal", std::to_string(loot.size()));
           }
@@ -200,6 +219,9 @@ RunReport run_stealing(std::size_t count, const Job& job,
           if (!loot.empty()) {
             std::lock_guard<std::mutex> lock(own.mutex);
             own.tasks.insert(own.tasks.end(), loot.begin(), loot.end());
+            if (meter != nullptr) {
+              meter->worker_queue_depth(self, own.tasks.size());
+            }
           }
         }
       }

@@ -23,6 +23,8 @@
 
 namespace fu::sched {
 
+class ProgressMeter;
+
 struct SchedulerOptions {
   int threads = 0;  // 0 = hardware concurrency
   // Attempts per job; a throw on the last attempt is recorded, not rethrown.
@@ -31,6 +33,10 @@ struct SchedulerOptions {
   // implementation for benchmarking scheduler overhead.
   enum class Policy { kWorkStealing, kStriped };
   Policy policy = Policy::kWorkStealing;
+  // When set, the scheduler publishes per-worker queue depths and steal
+  // counts into the meter (relaxed stores only — the worker loop stays
+  // lock-free for stats). Job completions are still the Observer's job.
+  ProgressMeter* progress = nullptr;
 };
 
 // Outcome of one job after all its attempts.

@@ -81,5 +81,28 @@ TEST(EngineIdentity, FingerprintStableAcrossThreadCounts) {
   EXPECT_EQ(one, four);
 }
 
+TEST(EngineIdentity, FingerprintUnchangedByLiveServing) {
+  // The metrics server is strictly a reader; running a survey with
+  // `--serve 0` (live snapshots, delta ticks, progress meter attached) must
+  // leave every measured bit identical to the unserved run.
+  catalog::Catalog catalog;
+  net::SyntheticWeb::Config config;
+  config.site_count = 16;
+  const net::SyntheticWeb web(catalog, config);
+
+  const std::uint64_t plain = survey_fingerprint(small_survey(web, 4));
+
+  crawler::SurveyOptions options;
+  options.passes = 2;
+  options.threads = 4;
+  options.include_ad_only = true;
+  options.include_tracking_only = true;
+  options.serve_port = 0;  // ephemeral live endpoint for the whole run
+  options.serve_stall_secs = 0.01;  // force stall bookkeeping to engage too
+  const std::uint64_t served =
+      survey_fingerprint(crawler::run_survey(web, options));
+  EXPECT_EQ(plain, served);
+}
+
 }  // namespace
 }  // namespace fu

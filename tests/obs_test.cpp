@@ -164,6 +164,95 @@ TEST(Metrics, SnapshotRendersValidJson) {
   EXPECT_EQ(hist->number_or("count", -1), 1.0);
 }
 
+TEST(Metrics, HistogramJsonHasExplicitOverflowBoundAndRoundTrips) {
+  Registry registry;
+  Histogram& hist = registry.histogram("h", {10, 100});
+  hist.record(5);
+  hist.record(50);
+  hist.record(5000);  // overflow
+
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(json_parse(registry.snapshot().to_json(), root, &error))
+      << error;
+  const JsonValue* obj = root.find("histograms")->find("h");
+  ASSERT_NE(obj, nullptr);
+
+  // bounds ends in the string "+inf", making it the same length as counts —
+  // the overflow bucket is self-describing.
+  const JsonValue* bounds = obj->find("bounds");
+  const JsonValue* counts = obj->find("counts");
+  ASSERT_NE(bounds, nullptr);
+  ASSERT_NE(counts, nullptr);
+  ASSERT_EQ(bounds->array.size(), 3u);
+  ASSERT_EQ(counts->array.size(), 3u);
+  EXPECT_TRUE(bounds->array[2].is_string());
+  EXPECT_EQ(bounds->array[2].string, "+inf");
+
+  Histogram::Snapshot parsed;
+  ASSERT_TRUE(histogram_from_json(*obj, parsed));
+  EXPECT_EQ(parsed.count, 3u);
+  EXPECT_EQ(parsed.sum, 5055u);
+  const std::vector<std::uint64_t> expected_bounds = {10, 100};
+  const std::vector<std::uint64_t> expected_counts = {1, 1, 1};
+  EXPECT_EQ(parsed.bounds, expected_bounds);
+  EXPECT_EQ(parsed.counts, expected_counts);
+  EXPECT_EQ(parsed.min, 5u);
+  EXPECT_EQ(parsed.max, 5000u);
+}
+
+TEST(Metrics, HistogramFromJsonAcceptsImplicitOverflowForm) {
+  // The pre-"+inf" emitter wrote one fewer bound than counts; old baseline
+  // files must keep loading.
+  JsonValue obj;
+  ASSERT_TRUE(json_parse(
+      R"({"bounds": [10, 100], "counts": [1, 2, 3], "count": 6,
+          "sum": 60, "min": 1, "max": 500})",
+      obj));
+  Histogram::Snapshot parsed;
+  ASSERT_TRUE(histogram_from_json(obj, parsed));
+  const std::vector<std::uint64_t> expected_bounds = {10, 100};
+  const std::vector<std::uint64_t> expected_counts = {1, 2, 3};
+  EXPECT_EQ(parsed.bounds, expected_bounds);
+  EXPECT_EQ(parsed.counts, expected_counts);
+  EXPECT_EQ(parsed.count, 6u);
+}
+
+TEST(Metrics, HistogramFromJsonRejectsNonHistograms) {
+  Histogram::Snapshot parsed;
+  JsonValue obj;
+  ASSERT_TRUE(json_parse(R"({"bounds": [10], "counts": [1, 2, 3]})", obj));
+  EXPECT_FALSE(histogram_from_json(obj, parsed));  // size mismatch
+  ASSERT_TRUE(json_parse(R"({"bounds": ["+inf", 10], "counts": [1, 2]})",
+                         obj));
+  EXPECT_FALSE(histogram_from_json(obj, parsed));  // "+inf" not terminal
+  ASSERT_TRUE(json_parse(R"({"count": 3})", obj));
+  EXPECT_FALSE(histogram_from_json(obj, parsed));  // no counts at all
+}
+
+TEST(Metrics, PrometheusExpositionIsWellFormed) {
+  Registry registry;
+  registry.counter("sites.done").add(7);
+  registry.gauge("sched.deque-depth").set(4);
+  Histogram& hist = registry.histogram("visit.us", {10, 100});
+  hist.record(50);
+  hist.record(5000);
+  const std::string text = registry.snapshot().to_prometheus();
+
+  // Names sanitized to [a-zA-Z0-9_] under a fu_ prefix; counters get _total.
+  EXPECT_NE(text.find("# TYPE fu_sites_done_total counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("fu_sites_done_total 7"), std::string::npos);
+  EXPECT_NE(text.find("fu_sched_deque_depth 4"), std::string::npos);
+  // Histogram buckets are cumulative and end at le="+Inf" == count.
+  EXPECT_NE(text.find("fu_visit_us_bucket{le=\"100\"} 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("fu_visit_us_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("fu_visit_us_count 2"), std::string::npos);
+  EXPECT_NE(text.find("fu_visit_us_sum 5050"), std::string::npos);
+}
+
 // ----------------------------------------------------------------- json --
 
 TEST(Json, ParsesScalarsAndContainers) {
@@ -195,6 +284,47 @@ TEST(Json, RejectsMalformedInput) {
   EXPECT_FALSE(json_parse("\"unterminated", v, &error));
   EXPECT_FALSE(json_parse("", v, &error));
   EXPECT_FALSE(error.empty());
+}
+
+TEST(Json, ParsesEmptyContainers) {
+  JsonValue v;
+  ASSERT_TRUE(json_parse(R"({"o": {}, "a": [], "n": [[], {}]})", v));
+  EXPECT_TRUE(v.find("o")->is_object());
+  EXPECT_TRUE(v.find("o")->object.empty());
+  EXPECT_TRUE(v.find("a")->is_array());
+  EXPECT_TRUE(v.find("a")->array.empty());
+  ASSERT_EQ(v.find("n")->array.size(), 2u);
+}
+
+TEST(Json, ParsesExponentNumbers) {
+  JsonValue v;
+  ASSERT_TRUE(json_parse(R"([1e3, 2.5E-2, -1.25e+2, 0.0])", v));
+  ASSERT_EQ(v.array.size(), 4u);
+  EXPECT_DOUBLE_EQ(v.array[0].number, 1000.0);
+  EXPECT_DOUBLE_EQ(v.array[1].number, 0.025);
+  EXPECT_DOUBLE_EQ(v.array[2].number, -125.0);
+  EXPECT_DOUBLE_EQ(v.array[3].number, 0.0);
+}
+
+TEST(Json, EscapedQuotesAndBackslashesRoundTripThroughQuote) {
+  const std::string nasty = "a\"b\\c\n\t\x01z";
+  const std::string quoted = json_quote(nasty);
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(json_parse("{\"k\": " + quoted + "}", v, &error)) << error;
+  EXPECT_EQ(v.string_or("k", ""), nasty);
+}
+
+TEST(Json, RejectsTruncatedInput) {
+  // Every prefix of a valid document must fail cleanly, not crash or accept.
+  const std::string doc =
+      R"({"a": [1, 2.5], "s": "x\n", "b": true, "n": null})";
+  JsonValue v;
+  for (std::size_t len = 0; len < doc.size(); ++len) {
+    EXPECT_FALSE(json_parse(doc.substr(0, len), v))
+        << "accepted truncation at " << len;
+  }
+  EXPECT_TRUE(json_parse(doc, v));
 }
 
 // ---------------------------------------------------------------- trace --

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/json.h"
 #include "obs/trace.h"
 #include "sched/progress.h"
 #include "sched/worksteal.h"
@@ -67,6 +68,37 @@ TEST(WorkSteal, StealsRebalanceASkewedLoad) {
   for (std::size_t i = 0; i < kJobs; ++i) {
     EXPECT_EQ(runs[i].load(), 1) << "job " << i;
   }
+}
+
+TEST(WorkSteal, MeterSeesPerWorkerStats) {
+  // Same skewed load as above, but with a ProgressMeter attached: the
+  // scheduler must size the worker table and the per-worker steal totals
+  // must add up to the run report's.
+  constexpr std::size_t kJobs = 64;
+  ProgressMeter meter(kJobs);
+  SchedulerOptions options;
+  options.threads = 4;
+  options.progress = &meter;
+  const RunReport report = run_jobs(
+      kJobs,
+      [&](std::size_t i, int) {
+        if (i < kJobs / 4) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+      },
+      options);
+  EXPECT_TRUE(report.all_ok());
+
+  const ProgressMeter::Snapshot snap = meter.snapshot();
+  ASSERT_EQ(snap.workers.size(), 4u);
+  std::uint64_t steals = 0, stolen = 0;
+  for (const ProgressMeter::WorkerStat& w : snap.workers) {
+    steals += w.steals;
+    stolen += w.jobs_stolen;
+    EXPECT_EQ(w.queue_depth, 0u);  // everything drained
+  }
+  EXPECT_EQ(steals, report.steals);
+  EXPECT_EQ(stolen, report.jobs_stolen);
 }
 
 TEST(WorkSteal, TransientFaultIsRetriedToSuccess) {
@@ -224,6 +256,112 @@ TEST(Progress, FormatMentionsCountsAndResumes) {
   snap.failed = 3;
   const std::string with_failed = format_progress(snap);
   EXPECT_NE(with_failed.find("(3 failed)"), std::string::npos) << with_failed;
+}
+
+TEST(Progress, StallDetectionFlipsOncePerEpisode) {
+  ProgressMeter meter(10);
+  meter.set_stall_window(0.03);
+  meter.job_done(1);
+
+  // Within the window: healthy.
+  ProgressMeter::Snapshot snap = meter.snapshot();
+  EXPECT_FALSE(snap.stalled);
+  EXPECT_EQ(snap.stall_events, 0u);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  snap = meter.snapshot();
+  EXPECT_TRUE(snap.stalled);
+  EXPECT_EQ(snap.stall_events, 1u);
+  EXPECT_GE(snap.seconds_since_last_done, 0.03);
+  EXPECT_DOUBLE_EQ(snap.stall_window_seconds, 0.03);
+
+  // Repeated observation of the same episode does not re-count it.
+  snap = meter.snapshot();
+  EXPECT_TRUE(snap.stalled);
+  EXPECT_EQ(snap.stall_events, 1u);
+
+  // A completion ends the episode; the next gap is a new event.
+  meter.job_done(1);
+  snap = meter.snapshot();
+  EXPECT_FALSE(snap.stalled);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  snap = meter.snapshot();
+  EXPECT_TRUE(snap.stalled);
+  EXPECT_EQ(snap.stall_events, 2u);
+
+  // The stalled state shows up in the progress line.
+  EXPECT_NE(format_progress(snap).find("STALLED"), std::string::npos);
+}
+
+TEST(Progress, InFlightSitesTrackSlowestFirst) {
+  ProgressMeter meter(4);
+  const int slow = meter.begin_job("slow.example");
+  ASSERT_GE(slow, 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  InFlightScope fast(&meter, "fast.example");
+
+  ProgressMeter::Snapshot snap = meter.snapshot();
+  ASSERT_EQ(snap.in_flight.size(), 2u);
+  EXPECT_EQ(snap.in_flight[0].label, "slow.example");
+  EXPECT_GE(snap.in_flight[0].seconds, snap.in_flight[1].seconds);
+
+  meter.end_job(slow);
+  snap = meter.snapshot();
+  ASSERT_EQ(snap.in_flight.size(), 1u);
+  EXPECT_EQ(snap.in_flight[0].label, "fast.example");
+
+  // Null meter and slot exhaustion are both tolerated.
+  InFlightScope none(nullptr, "ignored");
+  meter.end_job(-1);
+}
+
+TEST(Progress, ProgressJsonCarriesEveryField) {
+  ProgressMeter meter(10);
+  meter.set_worker_count(2);
+  meter.worker_queue_depth(0, 3);
+  meter.worker_stole(1, 4);
+  meter.job_done(100);
+  meter.job_skipped();
+  meter.job_failed();
+  InFlightScope site(&meter, "busy.example");
+
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::json_parse(progress_json(meter.snapshot()), doc, &error))
+      << error;
+  EXPECT_EQ(doc.number_or("done", -1), 3);
+  EXPECT_EQ(doc.number_or("skipped", -1), 1);
+  EXPECT_EQ(doc.number_or("failed", -1), 1);
+  EXPECT_EQ(doc.number_or("total", -1), 10);
+  EXPECT_EQ(doc.number_or("units", -1), 100);
+  EXPECT_GE(doc.number_or("eta_seconds", -1), 0);
+
+  const obs::JsonValue* workers = doc.find("workers");
+  ASSERT_NE(workers, nullptr);
+  ASSERT_TRUE(workers->is_array());
+  ASSERT_EQ(workers->array.size(), 2u);
+  EXPECT_EQ(workers->array[0].number_or("queue_depth", -1), 3);
+  EXPECT_EQ(workers->array[1].number_or("steals", -1), 1);
+  EXPECT_EQ(workers->array[1].number_or("jobs_stolen", -1), 4);
+
+  const obs::JsonValue* in_flight = doc.find("in_flight");
+  ASSERT_NE(in_flight, nullptr);
+  ASSERT_EQ(in_flight->array.size(), 1u);
+  EXPECT_EQ(in_flight->array[0].string_or("site", ""), "busy.example");
+}
+
+TEST(Progress, HealthJsonJustifiesItsVerdict) {
+  ProgressMeter meter(5);
+  meter.set_stall_window(30);
+  meter.job_done(1);
+  obs::JsonValue doc;
+  ASSERT_TRUE(obs::json_parse(health_json(meter.snapshot()), doc, nullptr));
+  const obs::JsonValue* ok = doc.find("ok");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_TRUE(ok->boolean);
+  EXPECT_EQ(doc.number_or("done", -1), 1);
+  EXPECT_EQ(doc.number_or("total", -1), 5);
+  EXPECT_EQ(doc.number_or("stall_window_seconds", -1), 30);
 }
 
 TEST(Progress, PrinterEmitsAtLeastAFinalLine) {

@@ -10,20 +10,27 @@
 //   fu lists                    print the generated ad/tracking filter lists
 //
 // Scale via FU_SITES / FU_PASSES / FU_SEED (see README).
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "analysis/report.h"
 #include "blocker/extensions.h"
 #include "core/featureusage.h"
+#include "obs/delta.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/server.h"
 #include "obs/trace.h"
 #include "obs/tracefile.h"
+#include "sched/progress.h"
 
 namespace {
 
@@ -39,6 +46,11 @@ int usage() {
       "  standard <abbrev>     survey-backed deep-dive for one standard\n"
       "  survey [flags]        run the survey, print the main tables\n"
       "  report <dir>          export every table/figure/CSV\n"
+      "  watch <host:port|checkpoint-dir> [--interval s] [--once]\n"
+      "                        live dashboard for a survey started with\n"
+      "                        --serve (throughput, ETA, stage latency,\n"
+      "                        slow in-flight sites); exits 1 when /healthz\n"
+      "                        reports a stall, 0 when the survey finishes\n"
       "  trace <file> [--top n] [--json] [--write-baseline <f>]\n"
       "        [--check-baseline <f>] [--tolerance <frac>]\n"
       "                        summarize a trace written by survey\n"
@@ -67,6 +79,14 @@ int usage() {
       "                        keeping any new slowest-so-far visit), so\n"
       "                        10k-site traces stay bounded\n"
       "  --metrics-out <f>     write the metrics-registry snapshot as JSON\n"
+      "  --serve <port>        serve live metrics/progress over loopback\n"
+      "                        HTTP while the survey runs (0 = ephemeral\n"
+      "                        port, printed to stderr and written to\n"
+      "                        <checkpoint-dir>/serve.port); endpoints:\n"
+      "                        /metrics.json /metrics /progress.json\n"
+      "                        /deltas.json?since=SEQ /healthz\n"
+      "  --stall-secs <s>      /healthz stall window: 503 once no site\n"
+      "                        completed for <s> seconds (default 30)\n"
       "\n"
       "environment:\n"
       "  FU_SITES / FU_PASSES / FU_SEED   survey scale (default 10000/5)\n"
@@ -80,7 +100,9 @@ int usage() {
       "  FU_TRACE_SAMPLE       site-visit sampling rate (--trace-sample)\n"
       "  FU_TRACE_OUT / FU_TRACE_JSONL / FU_METRICS_OUT\n"
       "                        same as the --trace-out/--trace-jsonl/\n"
-      "                        --metrics-out survey flags\n";
+      "                        --metrics-out survey flags\n"
+      "  FU_SERVE_PORT         live endpoint port (same as --serve)\n"
+      "  FU_STALL_SECS         healthz stall window (same as --stall-secs)\n";
   return 2;
 }
 
@@ -283,6 +305,10 @@ bool parse_survey_flags(ReproductionConfig& config, int argc, char** argv) {
       if (!string_value(config.trace_jsonl)) return false;
     } else if (arg == "--metrics-out") {
       if (!string_value(config.metrics_out)) return false;
+    } else if (arg == "--serve") {
+      if (!int_value(config.serve_port)) return false;
+    } else if (arg == "--stall-secs") {
+      if (!double_value(config.stall_secs)) return false;
     } else {
       std::cerr << "unknown survey flag: " << arg << "\n";
       return false;
@@ -464,8 +490,218 @@ int cmd_trace(int argc, char** argv) {
 int cmd_report(Reproduction& repro, int argc, char** argv) {
   if (argc < 1) return usage();
   const int files = analysis::write_report(argv[0], repro.analysis());
-  std::cout << "wrote " << files << " files to " << argv[0] << "\n";
+  // Final progress summary — the post-hoc equivalent of /progress.json, so
+  // live and archived views of a run agree on the failure/stall tally.
+  const crawler::SurveyResults& survey = repro.survey();
+  sched::ProgressMeter::Snapshot summary;
+  summary.done = summary.total = survey.sites.size();
+  summary.failed = static_cast<std::size_t>(survey.sites_failed());
+  summary.units = survey.total_invocations();
+  summary.stall_events =
+      obs::Registry::global().counter("sched.stalls").value();
+  if (!write_text_file(std::string(argv[0]) + "/progress.json",
+                       sched::progress_json(summary), "progress summary")) {
+    return 1;
+  }
+  std::cout << "wrote " << (files + 1) << " files to " << argv[0] << "\n";
   return 0;
+}
+
+// ------------------------------------------------------------- fu watch --
+
+// Rebuild a progress snapshot from a /progress.json body so the dashboard
+// reuses format_progress (one copy of the ETA/rate rendering, satellite of
+// the shared-snapshot refactor).
+sched::ProgressMeter::Snapshot progress_from_json(const obs::JsonValue& v) {
+  sched::ProgressMeter::Snapshot s;
+  s.done = static_cast<std::size_t>(v.number_or("done", 0));
+  s.skipped = static_cast<std::size_t>(v.number_or("skipped", 0));
+  s.failed = static_cast<std::size_t>(v.number_or("failed", 0));
+  s.total = static_cast<std::size_t>(v.number_or("total", 0));
+  s.units = static_cast<std::uint64_t>(v.number_or("units", 0));
+  s.elapsed_seconds = v.number_or("elapsed_seconds", 0);
+  s.jobs_per_second = v.number_or("jobs_per_second", 0);
+  s.units_per_second = v.number_or("units_per_second", 0);
+  s.eta_seconds = v.number_or("eta_seconds", 0);
+  s.seconds_since_last_done = v.number_or("seconds_since_last_done", 0);
+  s.stall_window_seconds = v.number_or("stall_window_seconds", 0);
+  if (const obs::JsonValue* stalled = v.find("stalled")) {
+    s.stalled = stalled->type == obs::JsonValue::Type::kBool &&
+                stalled->boolean;
+  }
+  s.stall_events = static_cast<std::uint64_t>(v.number_or("stall_events", 0));
+  if (const obs::JsonValue* workers = v.find("workers");
+      workers != nullptr && workers->is_array()) {
+    for (const obs::JsonValue& w : workers->array) {
+      s.workers.push_back(
+          {static_cast<std::size_t>(w.number_or("queue_depth", 0)),
+           static_cast<std::uint64_t>(w.number_or("steals", 0)),
+           static_cast<std::uint64_t>(w.number_or("jobs_stolen", 0))});
+    }
+  }
+  if (const obs::JsonValue* sites = v.find("in_flight");
+      sites != nullptr && sites->is_array()) {
+    for (const obs::JsonValue& site : sites->array) {
+      s.in_flight.push_back(
+          {site.string_or("site", "?"), site.number_or("seconds", 0)});
+    }
+  }
+  return s;
+}
+
+int cmd_watch(int argc, char** argv) {
+  std::string target;
+  double interval = 1.0;
+  bool once = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--once") {
+      once = true;
+    } else if (arg == "--interval" && i + 1 < argc) {
+      interval = std::strtod(argv[++i], nullptr);
+      if (interval <= 0) interval = 1.0;
+    } else if (target.empty() && arg.rfind("--", 0) != 0) {
+      target = arg;
+    } else {
+      std::cerr << "unknown watch argument: " << arg << "\n";
+      return 2;
+    }
+  }
+  if (target.empty()) return usage();
+
+  // Resolve host:port, or a checkpoint dir holding serve.port.
+  std::string host = "127.0.0.1";
+  int port = -1;
+  if (const std::size_t colon = target.rfind(':');
+      colon != std::string::npos) {
+    char* end = nullptr;
+    const long parsed = std::strtol(target.c_str() + colon + 1, &end, 10);
+    if (end != target.c_str() + colon + 1 && *end == '\0' && parsed > 0 &&
+        parsed < 65536) {
+      host = target.substr(0, colon);
+      if (host.empty() || host == "localhost") host = "127.0.0.1";
+      port = static_cast<int>(parsed);
+    }
+  }
+  if (port < 0) {
+    std::ifstream in(target + "/serve.port");
+    if (!(in >> port) || port <= 0) {
+      std::cerr << "fu watch: " << target
+                << " is neither host:port nor a checkpoint dir with a "
+                   "serve.port file\n";
+      return 2;
+    }
+  }
+
+  // Stage latency distributions accumulate across the delta intervals this
+  // watcher has seen — p50/p95 of the run while we watched.
+  std::map<std::string,
+           std::pair<std::vector<std::uint64_t>, std::vector<std::uint64_t>>>
+      stages;  // name -> (bounds, summed counts)
+  std::uint64_t last_seq = 0;
+
+  for (;;) {
+    int status = 0;
+    std::string body;
+    std::string error;
+    if (!obs::http_get(host, port, "/progress.json", status, body, &error)) {
+      std::cerr << "fu watch: " << host << ":" << port << ": " << error
+                << "\n";
+      return 1;
+    }
+    obs::JsonValue progress;
+    if (status != 200 || !obs::json_parse(body, progress)) {
+      std::cerr << "fu watch: /progress.json: HTTP " << status << "\n";
+      return 1;
+    }
+    const sched::ProgressMeter::Snapshot snap = progress_from_json(progress);
+
+    bool stalled = false;
+    if (obs::http_get(host, port, "/healthz", status, body, &error)) {
+      stalled = status == 503;
+    }
+
+    if (obs::http_get(host, port,
+                      "/deltas.json?since=" + std::to_string(last_seq),
+                      status, body, &error) &&
+        status == 200) {
+      obs::JsonValue deltas;
+      if (obs::json_parse(body, deltas)) {
+        last_seq =
+            static_cast<std::uint64_t>(deltas.number_or("latest_seq", 0));
+        if (const obs::JsonValue* list = deltas.find("deltas");
+            list != nullptr && list->is_array()) {
+          for (const obs::JsonValue& interval : list->array) {
+            const obs::JsonValue* hists = interval.find("histograms");
+            if (hists == nullptr || !hists->is_object()) continue;
+            for (const auto& [name, hist] : hists->object) {
+              obs::Histogram::Snapshot parsed;
+              if (!obs::histogram_from_json(hist, parsed)) continue;
+              auto& [bounds, counts] = stages[name];
+              if (bounds.empty()) {
+                bounds = parsed.bounds;
+                counts.assign(parsed.counts.size(), 0);
+              }
+              if (counts.size() != parsed.counts.size()) continue;
+              for (std::size_t b = 0; b < counts.size(); ++b) {
+                counts[b] += parsed.counts[b];
+              }
+            }
+          }
+        }
+      }
+    }
+
+    // ---- render one screen ----
+    if (!once) std::cout << "\033[H\033[2J";
+    std::cout << "fu watch  " << host << ":" << port << "\n\n"
+              << sched::format_progress(snap) << "\n";
+    if (!snap.workers.empty()) {
+      std::size_t queued = 0;
+      std::uint64_t steals = 0;
+      for (const auto& worker : snap.workers) {
+        queued += worker.queue_depth;
+        steals += worker.steals;
+      }
+      std::cout << snap.workers.size() << " workers, " << queued
+                << " sites queued, " << steals << " steals\n";
+    }
+    if (!stages.empty()) {
+      std::cout << "\nstage latency while watching (p50 / p95):\n";
+      for (const auto& [name, stage] : stages) {
+        std::uint64_t n = 0;
+        for (const std::uint64_t c : stage.second) n += c;
+        if (n == 0) continue;
+        std::printf("  %-28s %9.0fus %9.0fus  (%llu)\n", name.c_str(),
+                    obs::delta_percentile(stage.first, stage.second, 50),
+                    obs::delta_percentile(stage.first, stage.second, 95),
+                    static_cast<unsigned long long>(n));
+      }
+    }
+    if (!snap.in_flight.empty()) {
+      std::cout << "\nslowest in-flight sites:\n";
+      std::size_t shown = 0;
+      for (const auto& site : snap.in_flight) {
+        if (++shown > 5) break;
+        std::printf("  %-32s %6.1fs\n", site.label.c_str(), site.seconds);
+      }
+    }
+    if (snap.failed > 0) {
+      std::cout << "\n" << snap.failed << " site(s) failed so far\n";
+    }
+    if (stalled) {
+      std::cout << "\nSTALLED: no site completed in "
+                << snap.seconds_since_last_done << "s (window "
+                << snap.stall_window_seconds << "s)\n";
+      return 1;
+    }
+    if (snap.total > 0 && snap.done >= snap.total) {
+      std::cout << "\nsurvey complete\n";
+      return 0;
+    }
+    if (once) return 0;
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+  }
 }
 
 int cmd_lists(Reproduction& repro) {
@@ -481,8 +717,10 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   char** rest = argv + 2;
   const int nrest = argc - 2;
-  // `fu trace` only reads a file; it needs no reproduction pipeline.
+  // `fu trace` and `fu watch` only read a file / poll a socket; they need
+  // no reproduction pipeline.
   if (command == "trace") return cmd_trace(nrest, rest);
+  if (command == "watch") return cmd_watch(nrest, rest);
   ReproductionConfig config = ReproductionConfig::from_env();
   if (command == "survey" && !parse_survey_flags(config, nrest, rest)) {
     return usage();
