@@ -108,7 +108,13 @@ Server::Server(ServerOptions options)
 Server::~Server() {
   stop_.store(true, std::memory_order_relaxed);
   if (thread_.joinable()) thread_.join();
-  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    // Best-effort: a stale serve.port would send `fu watch <checkpoint-dir>`
+    // to a dead port after the run ends; its absence tells tooling the
+    // server shut down cleanly (a crash leaves the file behind).
+    if (!options_.port_file.empty()) std::remove(options_.port_file.c_str());
+  }
 }
 
 void Server::serve_loop() {
@@ -139,7 +145,11 @@ void Server::serve_loop() {
     if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
-    set_socket_timeout(fd, 5.0);
+    // Connections are served one at a time on this thread, so a stalled
+    // client must not hold it: 1s socket timeouts plus a 2s whole-request
+    // deadline in handle_connection bound how late the next delta tick or
+    // the shutdown join can be.
+    set_socket_timeout(fd, 1.0);
     handle_connection(fd);
     ::close(fd);
   }
@@ -148,11 +158,15 @@ void Server::serve_loop() {
 void Server::handle_connection(int fd) {
   // Read until the end of the request head (we ignore headers and bodies; a
   // GET has none worth reading) or a small cap — this is an operator
-  // endpoint, not a general web server.
+  // endpoint, not a general web server. The deadline caps slow-drip clients
+  // that would otherwise dodge the per-recv timeout one byte at a time.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
   std::string request;
   char buf[1024];
   while (request.size() < 8192 &&
-         request.find("\r\n\r\n") == std::string::npos) {
+         request.find("\r\n\r\n") == std::string::npos &&
+         std::chrono::steady_clock::now() < deadline) {
     const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
     if (n <= 0) break;
     request.append(buf, static_cast<std::size_t>(n));

@@ -14,7 +14,11 @@
 // is the delta ring's), and the whole thing must stay portable POSIX
 // sockets with no third-party dependency. Throughput is a non-goal — one
 // operator polling once a second — so connections are handled serially on
-// the server thread, which doubles as the delta-ring ticker.
+// the server thread, which doubles as the delta-ring ticker. Known
+// limitation of that choice: while one client is being served nobody else
+// is, and a stalled client defers the next delta tick; 1s socket timeouts
+// plus a 2s per-request deadline cap the damage at a couple of seconds,
+// acceptable for a loopback operator endpoint.
 //
 // Layering: fu_sched links fu_obs, so this header cannot know about
 // sched::ProgressMeter. Progress and health are injected as callbacks by
@@ -47,7 +51,9 @@ struct ServerOptions {
   int port = 0;
   std::string bind_address = "127.0.0.1";
   // When set, the bound port is written here (decimal + newline) so
-  // `fu watch <checkpoint-dir>` can find an ephemeral server.
+  // `fu watch <checkpoint-dir>` can find an ephemeral server. Removed again
+  // (best-effort) on clean shutdown, so a lingering file means the process
+  // died rather than finished.
   std::string port_file;
   // Cadence of delta-ring ticks; with the default capacity the ring holds
   // the last ~10 minutes of per-second diffs.

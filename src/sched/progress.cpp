@@ -9,6 +9,10 @@
 namespace fu::sched {
 
 void ProgressMeter::reset(std::size_t total) {
+  // An observer (ProgressPrinter, live endpoint) may already be snapshotting
+  // when a run starts; the lock keeps it off the non-atomic fields and the
+  // worker array while they are replaced.
+  std::lock_guard<std::mutex> control(control_mutex_);
   done_.store(0, std::memory_order_relaxed);
   skipped_.store(0, std::memory_order_relaxed);
   failed_.store(0, std::memory_order_relaxed);
@@ -53,10 +57,15 @@ void ProgressMeter::job_failed() {
 }
 
 void ProgressMeter::set_stall_window(double seconds) {
+  std::lock_guard<std::mutex> control(control_mutex_);
   stall_window_ = seconds > 0 ? seconds : 0;
 }
 
 void ProgressMeter::set_worker_count(std::size_t workers) {
+  // The scheduler calls this while the --progress printer or the live
+  // endpoint may be mid-snapshot; swapping the array under the lock keeps a
+  // snapshot from indexing a freed (or not-yet-allocated) WorkerCell.
+  std::lock_guard<std::mutex> control(control_mutex_);
   worker_count_ = workers;
   workers_ = workers > 0 ? std::make_unique<WorkerCell[]>(workers) : nullptr;
 }
@@ -97,6 +106,11 @@ void ProgressMeter::end_job(int slot) {
 }
 
 ProgressMeter::Snapshot ProgressMeter::snapshot() const {
+  // Held for the whole read so total_/start_/stall_window_ and the worker
+  // array stay coherent against reset()/set_worker_count(). Observers only —
+  // workers never contend for it. Nests over the in-flight slot locks in the
+  // same order begin_job/end_job use them alone, so no inversion.
+  std::lock_guard<std::mutex> control(control_mutex_);
   Snapshot snap;
   snap.done = done_.load(std::memory_order_relaxed);
   snap.skipped = skipped_.load(std::memory_order_relaxed);

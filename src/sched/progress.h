@@ -52,7 +52,8 @@ class ProgressMeter {
   void set_stall_window(double seconds);
 
   // --- per-worker scheduler stats ----------------------------------------
-  // Sized by the scheduler before workers start; updates are relaxed atomic
+  // Sized by the scheduler before workers start (safe against observer
+  // threads snapshotting concurrently); updates are relaxed atomic
   // stores/adds so the worker loop never takes a lock for them.
   void set_worker_count(std::size_t workers);
   void worker_queue_depth(std::size_t worker, std::size_t depth);
@@ -124,6 +125,12 @@ class ProgressMeter {
   mutable std::atomic<bool> in_stall_{false};
   mutable std::atomic<std::uint64_t> stall_events_{0};
 
+  // Guards the fields reset()/set_stall_window()/set_worker_count() write
+  // against a concurrent snapshot() — the printer/server threads may already
+  // be polling when the scheduler (re)sizes the worker array. Never taken on
+  // the worker hot path (job_done, worker_queue_depth, ...), whose accesses
+  // are ordered by thread start/join instead.
+  mutable std::mutex control_mutex_;
   std::unique_ptr<WorkerCell[]> workers_;
   std::size_t worker_count_ = 0;
 

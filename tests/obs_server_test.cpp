@@ -360,13 +360,18 @@ TEST(Server, WritesPortFile) {
   options.port = 0;
   options.registry = &registry;
   options.port_file = port_file.string();
-  Server server(std::move(options));
-  ASSERT_TRUE(server.ok()) << server.error();
+  {
+    Server server(std::move(options));
+    ASSERT_TRUE(server.ok()) << server.error();
 
-  std::ifstream in(port_file);
-  int written = -1;
-  in >> written;
-  EXPECT_EQ(written, server.port());
+    std::ifstream in(port_file);
+    int written = -1;
+    in >> written;
+    EXPECT_EQ(written, server.port());
+  }
+  // Clean shutdown removes the file, so `fu watch <checkpoint-dir>` after
+  // the run reports "no serve.port" instead of dialing a dead port.
+  EXPECT_FALSE(std::filesystem::exists(port_file));
   std::filesystem::remove_all(dir);
 }
 

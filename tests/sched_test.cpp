@@ -375,6 +375,36 @@ TEST(Progress, PrinterEmitsAtLeastAFinalLine) {
   EXPECT_NE(out.str().find("1/1 sites"), std::string::npos) << out.str();
 }
 
+// In production the --progress printer (and the live endpoint) start
+// snapshotting before run_survey resets the meter and the scheduler sizes
+// the worker array; that overlap must be race-free. CI runs this under TSan,
+// which flags the unsynchronized workers_ reallocation this locks against.
+TEST(Progress, SnapshotRacesResetAndWorkerResizeSafely) {
+  ProgressMeter meter(100);
+  std::atomic<bool> stop{false};
+  std::thread observer([&meter, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const ProgressMeter::Snapshot snap = meter.snapshot();
+      // Whatever interleaving, the worker list is a coherent array.
+      for (const ProgressMeter::WorkerStat& w : snap.workers) {
+        EXPECT_LT(w.queue_depth, 1000u);
+      }
+    }
+  });
+  for (int round = 0; round < 200; ++round) {
+    meter.reset(100);
+    meter.set_stall_window(30);
+    const std::size_t workers = 1 + static_cast<std::size_t>(round % 8);
+    meter.set_worker_count(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      meter.worker_queue_depth(w, w);
+    }
+    meter.job_done(1);
+  }
+  stop.store(true);
+  observer.join();
+}
+
 }  // namespace
 }  // namespace fu::sched
 

@@ -588,7 +588,8 @@ int cmd_watch(int argc, char** argv) {
     if (!(in >> port) || port <= 0) {
       std::cerr << "fu watch: " << target
                 << " is neither host:port nor a checkpoint dir with a "
-                   "serve.port file\n";
+                   "serve.port file (a finished survey removes the file "
+                   "when its server shuts down)\n";
       return 2;
     }
   }
@@ -599,12 +600,24 @@ int cmd_watch(int argc, char** argv) {
            std::pair<std::vector<std::uint64_t>, std::vector<std::uint64_t>>>
       stages;  // name -> (bounds, summed counts)
   std::uint64_t last_seq = 0;
+  // Once we have successfully polled, a later connection failure means the
+  // survey process went away — the endpoint drains only after results are
+  // final — which is the run ending, not a stall: report it as such (exit 0)
+  // so scripts keyed on the exit status do not page for a finished run.
+  bool polled_ok = false;
+  std::size_t last_done = 0;
+  std::size_t last_total = 0;
 
   for (;;) {
     int status = 0;
     std::string body;
     std::string error;
     if (!obs::http_get(host, port, "/progress.json", status, body, &error)) {
+      if (polled_ok) {
+        std::cout << "\nsurvey endpoint gone — run ended (last seen "
+                  << last_done << "/" << last_total << " sites done)\n";
+        return 0;
+      }
       std::cerr << "fu watch: " << host << ":" << port << ": " << error
                 << "\n";
       return 1;
@@ -615,6 +628,9 @@ int cmd_watch(int argc, char** argv) {
       return 1;
     }
     const sched::ProgressMeter::Snapshot snap = progress_from_json(progress);
+    polled_ok = true;
+    last_done = snap.done;
+    last_total = snap.total;
 
     bool stalled = false;
     if (obs::http_get(host, port, "/healthz", status, body, &error)) {
