@@ -1,0 +1,106 @@
+#include "analysis/tables_json.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "crawler/validate.h"
+#include "obs/metrics.h"
+
+namespace fu::analysis {
+
+namespace {
+
+std::string num(double value) {
+  // Fixed precision keeps the document deterministic across platforms; six
+  // decimals is far below measurement granularity (whole sites).
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string tables_json(const Analysis& analysis,
+                        const TableOptions& options) {
+  const crawler::SurveyResults& results = analysis.results();
+  const catalog::Catalog& cat = analysis.catalog();
+
+  std::string out = "{\n";
+  out += "  \"options\": {\"table2_min_site_pct\": " +
+         num(options.table2_min_site_pct) +
+         ", \"table2_min_cves\": " + std::to_string(options.table2_min_cves) +
+         "},\n";
+
+  // --- Table 1: crawl summary -------------------------------------------
+  out += "  \"table1\": {";
+  out += "\"domains_measured\": " + std::to_string(results.sites_measured());
+  out += ", \"interaction_seconds\": " +
+         std::to_string(results.interaction_seconds());
+  out += ", \"pages_visited\": " +
+         std::to_string(results.total_pages_visited());
+  out += ", \"feature_invocations\": " +
+         std::to_string(results.total_invocations());
+  out += "},\n";
+
+  // --- Table 2: per-standard popularity and block rate -------------------
+  // Same cut and ordering as render_table2, with the cut parameterized.
+  const double site_cut =
+      options.table2_min_site_pct / 100.0 * analysis.measured_sites();
+  struct Row {
+    catalog::StandardId id;
+    int cves;
+    int sites;
+  };
+  std::vector<Row> rows;
+  for (std::size_t s = 0; s < cat.standard_count(); ++s) {
+    const auto sid = static_cast<catalog::StandardId>(s);
+    const int sites = analysis.standard_sites(sid, BrowsingConfig::kDefault);
+    const int cves = cat.cve_count(sid);
+    if (sites < site_cut && cves < options.table2_min_cves) continue;
+    rows.push_back({sid, cves, sites});
+  }
+  std::sort(rows.begin(), rows.end(), [&cat](const Row& a, const Row& b) {
+    if (a.cves != b.cves) return a.cves > b.cves;
+    return cat.standard(a.id).name < cat.standard(b.id).name;
+  });
+
+  out += "  \"table2\": {\"measured_sites\": " +
+         std::to_string(analysis.measured_sites()) + ", \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const catalog::StandardSpec& spec = cat.standard(rows[i].id);
+    out += "    {\"name\": " + obs::json_quote(spec.name) +
+           ", \"abbrev\": " + obs::json_quote(spec.abbreviation) +
+           ", \"features\": " + std::to_string(spec.feature_count) +
+           ", \"sites\": " + std::to_string(rows[i].sites) +
+           ", \"block_rate\": " +
+           num(analysis.standard_block_rate(rows[i].id)) +
+           ", \"cves\": " + std::to_string(rows[i].cves) + "}";
+    out += i + 1 < rows.size() ? ",\n" : "\n";
+  }
+  out += "  ]},\n";
+
+  // --- Table 3: new standards per crawl round ----------------------------
+  const std::vector<double> rounds = crawler::new_standards_per_round(results);
+  out += "  \"table3\": {\"rounds\": [";
+  for (std::size_t r = 1; r < rounds.size(); ++r) {
+    out += "{\"round\": " + std::to_string(r + 1) +
+           ", \"avg_new_standards\": " + num(rounds[r]) + "}";
+    if (r + 1 < rounds.size()) out += ", ";
+  }
+  out += "]}\n";
+  out += "}\n";
+  return out;
+}
+
+std::optional<std::string> tables_from_shards(
+    const net::SyntheticWeb& web, const crawler::SurveyOptions& options,
+    const std::string& dir, const TableOptions& tables) {
+  const std::optional<crawler::SurveyResults> results =
+      crawler::results_from_shards(web, options, dir);
+  if (!results) return std::nullopt;
+  const Analysis analysis(*results);
+  return tables_json(analysis, tables);
+}
+
+}  // namespace fu::analysis

@@ -1,0 +1,47 @@
+// Tables 1–3 as JSON — the survey daemon's answer format.
+//
+// The text renderers in tables.h stay exactly as they are (they regenerate
+// the paper's artifacts); this module renders the same quantities as one
+// machine-readable document, and — the daemon's warm path — can do so
+// straight from a survey's checkpoint shards without recrawling.
+//
+// TableOptions are *analysis-layer* parameters: they shape which rows a
+// table shows, never what was measured, so they are deliberately outside
+// SurveyKey. Two requests differing only here share one crawl.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "analysis/metrics.h"
+#include "crawler/serialize.h"
+
+namespace fu::analysis {
+
+struct TableOptions {
+  // Table 2's inclusion cut, the paper's "used on at least 1% of sites or
+  // with >= 1 CVE in the last three years". Lowering the percentage widens
+  // the table; raising min_cves narrows the CVE side of the OR.
+  double table2_min_site_pct = 1.0;
+  int table2_min_cves = 1;
+};
+
+// One JSON document holding tables 1–3 plus the options that shaped them:
+//   {"options": {...}, "table1": {...}, "table2": {"rows": [...]},
+//    "table3": {"rounds": [...]}}
+// Table 2 rows carry name/abbrev/features/sites/block_rate/cves in the
+// paper's ordering (CVEs descending, then name).
+std::string tables_json(const Analysis& analysis,
+                        const TableOptions& options = {});
+
+// The warm-shard path: rebuild SurveyResults from the checkpoint shards in
+// `dir` (crawler::results_from_shards) and render tables_json from them.
+// nullopt when the shards do not fully cover the survey key_for(web,
+// options) describes — the caller must crawl instead. Because shard decode
+// reproduces SiteOutcomes bit-for-bit, the JSON is byte-identical to what a
+// fresh crawl would have produced.
+std::optional<std::string> tables_from_shards(
+    const net::SyntheticWeb& web, const crawler::SurveyOptions& options,
+    const std::string& dir, const TableOptions& tables = {});
+
+}  // namespace fu::analysis

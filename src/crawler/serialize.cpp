@@ -4,7 +4,9 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
+#include "sched/checkpoint.h"
 #include "support/rng.h"
 
 namespace fu::crawler {
@@ -247,6 +249,33 @@ std::optional<SurveyResults> load_survey(const net::SyntheticWeb& web,
   results.sites.resize(site_count);
   for (SiteOutcome& site : results.sites) {
     if (!get_site_outcome(in, site)) return std::nullopt;
+  }
+  return results;
+}
+
+std::optional<SurveyResults> results_from_shards(const net::SyntheticWeb& web,
+                                                 const SurveyOptions& options,
+                                                 const std::string& dir) {
+  SurveyResults results;
+  results.web = &web;
+  results.passes = options.passes;
+  results.has_ad_only = options.include_ad_only;
+  results.has_tracking_only = options.include_tracking_only;
+  results.sites.resize(web.sites().size());
+
+  const std::string header = encode_survey_key(key_for(web, options));
+  std::vector<char> present(results.sites.size(), 0);
+  // Shard order is write order, so a duplicate index replays to its newest
+  // outcome — same later-shard-wins rule as run_survey's resume path.
+  for (sched::ShardRecord& record : sched::load_shards(dir, header)) {
+    if (record.index >= results.sites.size()) continue;
+    SiteOutcome outcome;
+    if (!decode_site_outcome(record.payload, outcome)) continue;
+    results.sites[record.index] = std::move(outcome);
+    present[record.index] = 1;
+  }
+  for (const char got : present) {
+    if (!got) return std::nullopt;
   }
   return results;
 }

@@ -66,4 +66,16 @@ std::optional<SurveyResults> load_survey(const net::SyntheticWeb& web,
 // "survey_s10f3a7_n10000_p5_ft.bin".
 std::string cache_filename(const SurveyKey& key);
 
+// Rebuild full SurveyResults purely from the checkpoint shards in `dir` —
+// the daemon's warm re-analysis path: tables for a request that differs
+// only in analysis-layer parameters come straight from here, no crawl.
+// Succeeds only when the shard header matches key_for(web, options) AND
+// every site index is present (failed sites are never checkpointed, so a
+// missing site means the crawl must run). The returned results point into
+// `web`, exactly like a fresh run_survey over it — bit-identical by
+// construction, locked in by tests.
+std::optional<SurveyResults> results_from_shards(const net::SyntheticWeb& web,
+                                                 const SurveyOptions& options,
+                                                 const std::string& dir);
+
 }  // namespace fu::crawler

@@ -9,6 +9,7 @@
 #include "obs/server.h"
 #include "obs/trace.h"
 #include "sched/checkpoint.h"
+#include "sched/pool.h"
 #include "sched/progress.h"
 #include "sched/worksteal.h"
 #include "support/rng.h"
@@ -297,20 +298,32 @@ SurveyResults run_survey(const net::SyntheticWeb& web,
   }
 
   // --- schedule ----------------------------------------------------------
-  sched::SchedulerOptions sched_options;
-  sched_options.threads = options.threads;
-  sched_options.max_attempts = options.max_attempts > 0 ? options.max_attempts
-                                                        : 1;
-  sched_options.policy = options.scheduler_policy;
-  sched_options.progress = meter;
   SurveyObserver observer(results, pending, writer.get(), meter);
+  const auto crawl_job = [&](std::size_t job, int attempt) {
+    survey_one_site(pending[job], attempt);
+  };
+  const int max_attempts = options.max_attempts > 0 ? options.max_attempts : 1;
 
-  const sched::RunReport run = sched::run_jobs(
-      pending.size(),
-      [&](std::size_t job, int attempt) {
-        survey_one_site(pending[job], attempt);
-      },
-      sched_options, &observer);
+  sched::RunReport run;
+  if (options.pool != nullptr &&
+      options.scheduler_policy ==
+          sched::SchedulerOptions::Policy::kWorkStealing) {
+    // Daemon path: the caller's persistent pool carries this survey as one
+    // batch, so queued surveys never drain/respawn the worker set.
+    sched::BatchOptions batch;
+    batch.max_attempts = max_attempts;
+    batch.progress = meter;
+    batch.cancel = options.cancel;
+    run = options.pool->run(pending.size(), crawl_job, batch, &observer);
+  } else {
+    sched::SchedulerOptions sched_options;
+    sched_options.threads = options.threads;
+    sched_options.max_attempts = max_attempts;
+    sched_options.policy = options.scheduler_policy;
+    sched_options.progress = meter;
+    sched_options.cancel = options.cancel;
+    run = sched::run_jobs(pending.size(), crawl_job, sched_options, &observer);
+  }
 
   // Fold contained failures into their outcomes: a site that threw on every
   // attempt reports as failed-with-reason, and the survey still completes.

@@ -19,6 +19,7 @@
 #include "support/bitset.h"
 
 namespace fu::sched {
+class Pool;
 class ProgressMeter;
 }
 
@@ -89,6 +90,16 @@ struct SurveyOptions {
   // crawls. Results are bit-identical either way.
   sched::SchedulerOptions::Policy scheduler_policy =
       sched::SchedulerOptions::Policy::kWorkStealing;
+
+  // Run on a caller-owned persistent pool instead of spawning workers for
+  // this survey — how the daemon keeps one worker set across queued surveys.
+  // Ignored under kStriped (the reference policy has no pool). `threads` is
+  // ignored too: the pool's size rules. Not owned.
+  sched::Pool* pool = nullptr;
+  // Cooperative cancellation (see SchedulerOptions::cancel): once it flips,
+  // sites not yet started are folded into results as failed with error
+  // "cancelled". run_survey still returns normally.
+  const std::atomic<bool>* cancel = nullptr;
 
   // Test seam: invoked at the start of every site-crawl attempt; a throw
   // here is contained exactly like a crawl fault. Null in production.

@@ -1,0 +1,96 @@
+#include "obs/router.h"
+
+namespace fu::obs {
+
+namespace {
+
+std::vector<std::string> split_path(const std::string& path) {
+  std::vector<std::string> segments;
+  std::size_t begin = 0;
+  while (begin <= path.size()) {
+    const std::size_t end = path.find('/', begin);
+    if (end == std::string::npos) {
+      segments.push_back(path.substr(begin));
+      break;
+    }
+    segments.push_back(path.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  // "/a/b" and "a/b" route identically; the empty leading segment from the
+  // leading slash carries no information.
+  if (!segments.empty() && segments.front().empty()) {
+    segments.erase(segments.begin());
+  }
+  // A trailing slash is equally insignificant ("/surveys/" == "/surveys").
+  if (segments.size() > 1 && segments.back().empty()) segments.pop_back();
+  return segments;
+}
+
+bool is_param(const std::string& segment) {
+  return segment.size() >= 2 && segment.front() == '<' &&
+         segment.back() == '>';
+}
+
+}  // namespace
+
+HttpResponse json_response(int status, std::string body) {
+  return HttpResponse{status, "application/json", std::move(body)};
+}
+
+HttpResponse text_response(int status, std::string body) {
+  return HttpResponse{status, "text/plain", std::move(body)};
+}
+
+void Router::handle(std::string method, std::string pattern, Handler handler) {
+  Route route;
+  route.method = std::move(method);
+  route.segments = split_path(pattern);
+  route.pattern = std::move(pattern);
+  route.handler = std::move(handler);
+  routes_.push_back(std::move(route));
+}
+
+bool Router::match(const Route& route, const std::string& path,
+                   std::vector<std::string>& params) {
+  const std::vector<std::string> segments = split_path(path);
+  if (segments.size() != route.segments.size()) return false;
+  params.clear();
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    if (is_param(route.segments[i])) {
+      if (segments[i].empty()) return false;
+      params.push_back(segments[i]);
+    } else if (segments[i] != route.segments[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+HttpResponse Router::dispatch(HttpRequest& request) const {
+  bool path_known = false;
+  std::string allowed;
+  std::vector<std::string> params;
+  for (const Route& route : routes_) {
+    if (!match(route, request.path, params)) continue;
+    if (route.method != request.method) {
+      path_known = true;
+      if (allowed.find(route.method) == std::string::npos) {
+        allowed += allowed.empty() ? route.method : ", " + route.method;
+      }
+      continue;
+    }
+    request.params = std::move(params);
+    return route.handler(request);
+  }
+  if (path_known) {
+    return text_response(405, request.path + " allows: " + allowed + "\n");
+  }
+  std::string known;
+  for (const Route& route : routes_) {
+    if (known.find(route.pattern) != std::string::npos) continue;
+    known += known.empty() ? route.pattern : " " + route.pattern;
+  }
+  return text_response(404, "unknown path; try: " + known + "\n");
+}
+
+}  // namespace fu::obs

@@ -1,0 +1,71 @@
+// HTTP routing core shared by every fu endpoint.
+//
+// PR 5's live-metrics server hardwired its five GET routes into the socket
+// loop; the survey daemon needs the same socket loop but its own routes
+// (including POST with a JSON body). The split: obs::Server owns sockets,
+// timeouts and auth; this Router owns "which handler answers this request".
+// One server core, any route table.
+//
+// Patterns are '/'-separated literals where a "<name>" segment matches any
+// one non-empty segment and is delivered through HttpRequest::params in
+// pattern order, so "/surveys/<id>/tables" serves every survey id with one
+// handler. Dispatch is a linear scan — route tables here have a dozen
+// entries, not thousands.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fu::obs {
+
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ... (upper-case as received)
+  std::string path;    // target without the query string
+  std::string query;   // raw query string, "" when absent
+  std::string body;    // request body, "" when absent
+  // Values captured by "<name>" pattern segments, in pattern order. Filled
+  // by Router::dispatch before the handler runs.
+  std::vector<std::string> params;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+// Shorthands for the two content types this repo serves.
+HttpResponse json_response(int status, std::string body);
+HttpResponse text_response(int status, std::string body);
+
+class Router {
+ public:
+  using Handler = std::function<HttpResponse(HttpRequest&)>;
+
+  // Register a route. Earlier registrations win on overlap, so mount the
+  // most specific patterns first.
+  void handle(std::string method, std::string pattern, Handler handler);
+
+  // Route the request: the first route whose pattern matches the path and
+  // whose method matches runs. A path that matches some pattern but with no
+  // method match is 405 (with an Allow-style hint in the body); no pattern
+  // match at all is 404 listing the registered patterns.
+  HttpResponse dispatch(HttpRequest& request) const;
+
+  bool empty() const noexcept { return routes_.empty(); }
+
+ private:
+  struct Route {
+    std::string method;
+    std::string pattern;                 // as registered, for the 404 list
+    std::vector<std::string> segments;   // split pattern; "<x>" = wildcard
+    Handler handler;
+  };
+  static bool match(const Route& route, const std::string& path,
+                    std::vector<std::string>& params);
+
+  std::vector<Route> routes_;
+};
+
+}  // namespace fu::obs

@@ -6,11 +6,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <string_view>
 
 namespace fu::obs {
 
@@ -31,14 +34,62 @@ void send_all(int fd, const std::string& data) {
   }
 }
 
-std::string http_response(int status, const char* reason,
-                          const char* content_type, const std::string& body) {
-  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + reason +
-                    "\r\nContent-Type: " + content_type +
-                    "\r\nContent-Length: " + std::to_string(body.size()) +
+const char* reason_for(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Response";
+  }
+}
+
+std::string serialize_response(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    reason_for(response.status) +
+                    "\r\nContent-Type: " + response.content_type +
+                    "\r\nContent-Length: " + std::to_string(
+                        response.body.size()) +
                     "\r\nConnection: close\r\n\r\n";
-  out += body;
+  out += response.body;
   return out;
+}
+
+// Case-insensitive lookup of one header's value in a request head ("" when
+// absent). Good enough for the two headers we care about; this is not a
+// general HTTP parser.
+std::string header_value(const std::string& head, std::string_view name) {
+  std::size_t line = head.find("\r\n");
+  while (line != std::string::npos && line + 2 < head.size()) {
+    const std::size_t start = line + 2;
+    const std::size_t end = head.find("\r\n", start);
+    const std::string_view text(head.data() + start,
+                                (end == std::string::npos ? head.size() : end) -
+                                    start);
+    if (text.size() > name.size() && text[name.size()] == ':') {
+      bool matches = true;
+      for (std::size_t i = 0; i < name.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(text[i])) !=
+            std::tolower(static_cast<unsigned char>(name[i]))) {
+          matches = false;
+          break;
+        }
+      }
+      if (matches) {
+        std::size_t value = name.size() + 1;
+        while (value < text.size() && text[value] == ' ') ++value;
+        return std::string(text.substr(value));
+      }
+    }
+    line = end;
+  }
+  return {};
 }
 
 // "since=42" out of "/deltas.json?since=42" (0 when absent or malformed —
@@ -63,6 +114,42 @@ void set_socket_timeout(int fd, double seconds) {
 Server::Server(ServerOptions options)
     : options_(std::move(options)), ring_(options_.delta_capacity) {
   if (options_.registry == nullptr) options_.registry = &Registry::global();
+
+  // Remote-serving guard: everything outside 127.0.0.0/8 is reachable by
+  // other hosts, so it must not start without a token to check.
+  if (options_.bind_address.rfind("127.", 0) != 0 &&
+      options_.auth_token.empty()) {
+    error_ = "refusing to bind " + options_.bind_address +
+             " without an auth token (set FU_SERVE_TOKEN)";
+    return;
+  }
+
+  // Caller routes mount first so a daemon can shadow a built-in if it must;
+  // the observability endpoints every fu server shares come after.
+  if (options_.routes) options_.routes(router_);
+  router_.handle("GET", "/metrics.json", [this](HttpRequest&) {
+    return json_response(200, options_.registry->snapshot().to_json());
+  });
+  router_.handle("GET", "/metrics", [this](HttpRequest&) {
+    HttpResponse response =
+        text_response(200, options_.registry->snapshot().to_prometheus());
+    response.content_type = "text/plain; version=0.0.4";
+    return response;
+  });
+  router_.handle("GET", "/progress.json", [this](HttpRequest&) {
+    if (!options_.progress_json) {
+      return text_response(404, "no progress source attached\n");
+    }
+    return json_response(200, options_.progress_json());
+  });
+  router_.handle("GET", "/deltas.json", [this](HttpRequest& request) {
+    return json_response(200, ring_.to_json(parse_since(request.query)));
+  });
+  router_.handle("GET", "/healthz", [this](HttpRequest&) {
+    HealthStatus health;
+    if (options_.health) health = options_.health();
+    return json_response(health.ok ? 200 : 503, health.body);
+  });
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -156,86 +243,113 @@ void Server::serve_loop() {
 }
 
 void Server::handle_connection(int fd) {
-  // Read until the end of the request head (we ignore headers and bodies; a
-  // GET has none worth reading) or a small cap — this is an operator
-  // endpoint, not a general web server. The deadline caps slow-drip clients
-  // that would otherwise dodge the per-recv timeout one byte at a time.
+  // Read the request head, then exactly Content-Length body bytes, both
+  // under one cap and one deadline — this is an operator endpoint, not a
+  // general web server. The deadline caps slow-drip clients that would
+  // otherwise dodge the per-recv timeout one byte at a time.
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(2);
-  std::string request;
-  char buf[1024];
-  while (request.size() < 8192 &&
-         request.find("\r\n\r\n") == std::string::npos &&
+  const std::size_t cap = options_.max_request_bytes > 0
+                              ? options_.max_request_bytes
+                              : 64 * 1024;
+  std::string raw;
+  char buf[4096];
+  std::size_t head_end = std::string::npos;
+  while (raw.size() <= cap && std::chrono::steady_clock::now() < deadline) {
+    head_end = raw.find("\r\n\r\n");
+    if (head_end != std::string::npos) break;
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (head_end == std::string::npos) {
+    send_all(fd, serialize_response(
+                     raw.size() > cap
+                         ? text_response(413, "request head too large\n")
+                         : text_response(400, "truncated request\n")));
+    return;
+  }
+
+  const std::string head = raw.substr(0, head_end + 2);
+  std::string body = raw.substr(head_end + 4);
+  const std::string length_text = header_value(head, "content-length");
+  std::size_t content_length = 0;
+  if (!length_text.empty()) {
+    char* end = nullptr;
+    const unsigned long long parsed =
+        std::strtoull(length_text.c_str(), &end, 10);
+    if (end == length_text.c_str() || *end != '\0') {
+      send_all(fd, serialize_response(
+                       text_response(400, "bad content-length\n")));
+      return;
+    }
+    content_length = static_cast<std::size_t>(parsed);
+  }
+  if (head.size() + content_length > cap) {
+    send_all(fd, serialize_response(
+                     text_response(413, "request body too large\n")));
+    return;
+  }
+  while (body.size() < content_length &&
          std::chrono::steady_clock::now() < deadline) {
     const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
     if (n <= 0) break;
-    request.append(buf, static_cast<std::size_t>(n));
+    body.append(buf, static_cast<std::size_t>(n));
   }
-  const std::size_t eol = request.find("\r\n");
-  const std::string request_line =
-      eol == std::string::npos ? request : request.substr(0, eol);
-  requests_.fetch_add(1, std::memory_order_relaxed);
-  send_all(fd, respond(request_line));
-}
+  if (body.size() < content_length) {
+    send_all(fd, serialize_response(
+                     text_response(400, "truncated request body\n")));
+    return;
+  }
+  body.resize(content_length);  // ignore pipelined bytes beyond the body
 
-std::string Server::respond(const std::string& request_line) {
   // "GET /path?query HTTP/1.1"
+  const std::size_t eol = head.find("\r\n");
+  const std::string request_line = head.substr(0, eol);
   const std::size_t sp1 = request_line.find(' ');
-  const std::size_t sp2 =
-      sp1 == std::string::npos ? std::string::npos
-                               : request_line.find(' ', sp1 + 1);
+  const std::size_t sp2 = sp1 == std::string::npos
+                              ? std::string::npos
+                              : request_line.find(' ', sp1 + 1);
   if (sp1 == std::string::npos || sp2 == std::string::npos) {
-    return http_response(400, "Bad Request", "text/plain",
-                         "malformed request line\n");
+    send_all(fd, serialize_response(
+                     text_response(400, "malformed request line\n")));
+    return;
   }
-  const std::string method = request_line.substr(0, sp1);
-  std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
-  if (method != "GET") {
-    return http_response(405, "Method Not Allowed", "text/plain",
-                         "only GET is served here\n");
-  }
-  std::string query;
-  if (const std::size_t q = target.find('?'); q != std::string::npos) {
-    query = target.substr(q + 1);
-    target.resize(q);
+  HttpRequest request;
+  request.method = request_line.substr(0, sp1);
+  request.path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  request.body = std::move(body);
+  if (const std::size_t q = request.path.find('?'); q != std::string::npos) {
+    request.query = request.path.substr(q + 1);
+    request.path.resize(q);
   }
 
-  if (target == "/metrics.json") {
-    return http_response(200, "OK", "application/json",
-                         options_.registry->snapshot().to_json());
+  std::string bearer = header_value(head, "authorization");
+  if (bearer.rfind("Bearer ", 0) == 0) {
+    bearer = bearer.substr(7);
+  } else {
+    bearer.clear();
   }
-  if (target == "/metrics") {
-    return http_response(200, "OK", "text/plain; version=0.0.4",
-                         options_.registry->snapshot().to_prometheus());
-  }
-  if (target == "/progress.json") {
-    if (!options_.progress_json) {
-      return http_response(404, "Not Found", "text/plain",
-                           "no progress source attached\n");
-    }
-    return http_response(200, "OK", "application/json",
-                         options_.progress_json());
-  }
-  if (target == "/deltas.json") {
-    return http_response(200, "OK", "application/json",
-                         ring_.to_json(parse_since(query)));
-  }
-  if (target == "/healthz") {
-    HealthStatus health;
-    if (options_.health) health = options_.health();
-    return health.ok
-               ? http_response(200, "OK", "application/json", health.body)
-               : http_response(503, "Service Unavailable", "application/json",
-                               health.body);
-  }
-  return http_response(404, "Not Found", "text/plain",
-                       "unknown path; try /metrics.json /metrics "
-                       "/progress.json /deltas.json /healthz\n");
+  send_all(fd, serialize_response(respond(request, bearer)));
 }
 
-bool http_get(const std::string& host, int port, const std::string& path,
-              int& status, std::string& body, std::string* error,
-              double timeout_seconds) {
+HttpResponse Server::respond(HttpRequest& request, const std::string& bearer) {
+  // Auth gates *everything*, the read-only built-ins included: an endpoint
+  // that leaks which sites a fleet is crawling is not harmless.
+  if (!options_.auth_token.empty() && bearer != options_.auth_token) {
+    return text_response(401, "missing or wrong bearer token\n");
+  }
+  return router_.dispatch(request);
+}
+
+namespace {
+
+bool http_request(const std::string& method, const std::string& host,
+                  int port, const std::string& path,
+                  const std::string& request_body, int& status,
+                  std::string& body, std::string* error,
+                  double timeout_seconds, const std::string& bearer) {
   const auto fail = [&](const std::string& what) {
     if (error != nullptr) *error = what + ": " + std::strerror(errno);
     return false;
@@ -260,8 +374,14 @@ bool http_get(const std::string& host, int port, const std::string& path,
     return ok;
   }
 
-  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
-                              "\r\nConnection: close\r\n\r\n";
+  std::string request = method + " " + path + " HTTP/1.1\r\nHost: " + host +
+                        "\r\nConnection: close\r\n";
+  if (!bearer.empty()) request += "Authorization: Bearer " + bearer + "\r\n";
+  if (!request_body.empty() || method == "POST") {
+    request += "Content-Type: application/json\r\nContent-Length: " +
+               std::to_string(request_body.size()) + "\r\n";
+  }
+  request += "\r\n" + request_body;
   send_all(fd, request);
 
   std::string response;
@@ -286,6 +406,23 @@ bool http_get(const std::string& host, int port, const std::string& path,
   }
   body = response.substr(head_end + 4);
   return true;
+}
+
+}  // namespace
+
+bool http_get(const std::string& host, int port, const std::string& path,
+              int& status, std::string& body, std::string* error,
+              double timeout_seconds, const std::string& bearer) {
+  return http_request("GET", host, port, path, {}, status, body, error,
+                      timeout_seconds, bearer);
+}
+
+bool http_post(const std::string& host, int port, const std::string& path,
+               const std::string& request_body, int& status, std::string& body,
+               std::string* error, double timeout_seconds,
+               const std::string& bearer) {
+  return http_request("POST", host, port, path, request_body, status, body,
+                      error, timeout_seconds, bearer);
 }
 
 }  // namespace fu::obs

@@ -1,6 +1,9 @@
-// Live survey operations endpoint: a tiny dependency-free HTTP/1.1 server
-// on a dedicated thread, loopback only, serving the metrics registry and
-// crawl progress while a survey runs.
+// Live operations endpoint: a tiny dependency-free HTTP/1.1 server on a
+// dedicated thread, serving the metrics registry and crawl progress while a
+// survey runs — and, through an injected Router, any additional routes a
+// caller mounts (the `fu serve` survey daemon rides this same core).
+//
+// Built-in routes, always registered after any injected ones:
 //
 //   GET /metrics.json          live registry snapshot (same JSON as
 //                              --metrics-out)
@@ -18,7 +21,12 @@
 // limitation of that choice: while one client is being served nobody else
 // is, and a stalled client defers the next delta tick; 1s socket timeouts
 // plus a 2s per-request deadline cap the damage at a couple of seconds,
-// acceptable for a loopback operator endpoint.
+// acceptable for an operator endpoint.
+//
+// Remote serving: binding anything but loopback requires a bearer token
+// (checked on *every* request, the read-only built-ins included) — the
+// constructor refuses a non-loopback bind without one, so an unauthenticated
+// daemon can never be exposed by accident.
 //
 // Layering: fu_sched links fu_obs, so this header cannot know about
 // sched::ProgressMeter. Progress and health are injected as callbacks by
@@ -34,6 +42,7 @@
 
 #include "obs/delta.h"
 #include "obs/metrics.h"
+#include "obs/router.h"
 
 namespace fu::obs {
 
@@ -46,10 +55,22 @@ struct HealthStatus {
 
 struct ServerOptions {
   // TCP port to bind; 0 asks the kernel for an ephemeral port (read it back
-  // from Server::port()). Loopback only — remote serving needs auth first
-  // (see ROADMAP).
+  // from Server::port()).
   int port = 0;
+  // IPv4 literal to bind. Anything outside 127.0.0.0/8 requires auth_token;
+  // the constructor refuses to start otherwise.
   std::string bind_address = "127.0.0.1";
+  // Bearer-token auth: when non-empty, every request (built-in read-only
+  // endpoints included) must carry "Authorization: Bearer <token>" or is
+  // refused with 401 before any routing happens.
+  std::string auth_token;
+  // Caller-mounted routes, registered ahead of the built-in observability
+  // endpoints (so a caller can even shadow them). Invoked once, from the
+  // constructor.
+  std::function<void(Router&)> routes;
+  // Requests larger than this (head + declared body) are refused with 413;
+  // operator endpoints have no business receiving megabytes.
+  std::size_t max_request_bytes = 64 * 1024;
   // When set, the bound port is written here (decimal + newline) so
   // `fu watch <checkpoint-dir>` can find an ephemeral server. Removed again
   // (best-effort) on clean shutdown, so a lingering file means the process
@@ -90,9 +111,10 @@ class Server {
  private:
   void serve_loop();
   void handle_connection(int fd);
-  std::string respond(const std::string& request_line);
+  HttpResponse respond(HttpRequest& request, const std::string& bearer);
 
   ServerOptions options_;
+  Router router_;
   DeltaRing ring_;
   int listen_fd_ = -1;
   int port_ = -1;
@@ -104,9 +126,17 @@ class Server {
 
 // Minimal HTTP/1.1 GET client for `fu watch`, the tests, and CI probes.
 // Returns false (with `error` set) on a transport failure; on success
-// `status` holds the response code and `body` the payload.
+// `status` holds the response code and `body` the payload. A non-empty
+// `bearer` is sent as "Authorization: Bearer <bearer>".
 bool http_get(const std::string& host, int port, const std::string& path,
               int& status, std::string& body, std::string* error = nullptr,
-              double timeout_seconds = 5.0);
+              double timeout_seconds = 5.0, const std::string& bearer = {});
+
+// Same client, POSTing `request_body` as application/json — how surveys are
+// submitted to the daemon from tests and `fu` tooling.
+bool http_post(const std::string& host, int port, const std::string& path,
+               const std::string& request_body, int& status, std::string& body,
+               std::string* error = nullptr, double timeout_seconds = 5.0,
+               const std::string& bearer = {});
 
 }  // namespace fu::obs

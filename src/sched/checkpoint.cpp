@@ -240,4 +240,102 @@ std::vector<ShardRecord> load_shards(const std::string& dir,
   return records;
 }
 
+std::vector<std::string> shard_headers(const std::string& dir) {
+  std::vector<std::filesystem::path> shards;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (sequence_of(entry.path()) >= 0) shards.push_back(entry.path());
+  }
+  std::sort(shards.begin(), shards.end());
+
+  std::vector<std::string> headers;
+  for (const std::filesystem::path& path : shards) {
+    const std::uint64_t file_size = std::filesystem::file_size(path, ec);
+    if (ec) continue;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    char magic[sizeof kMagic];
+    if (!in.read(magic, sizeof magic) ||
+        std::memcmp(magic, kMagic, sizeof magic) != 0) {
+      continue;
+    }
+    std::uint64_t header_len = 0;
+    if (!get_u64(in, header_len) || header_len > file_size) continue;
+    std::string header(header_len, '\0');
+    if (header_len > 0 &&
+        !in.read(header.data(), static_cast<std::streamsize>(header_len))) {
+      continue;
+    }
+    if (std::find(headers.begin(), headers.end(), header) == headers.end()) {
+      headers.push_back(std::move(header));
+    }
+  }
+  return headers;
+}
+
+bool compact_shards(const std::vector<std::string>& dirs,
+                    const std::string& out_dir, std::string* error) {
+  const auto fail = [error](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return false;
+  };
+
+  // Every source (and anything already compacted into out_dir) must agree
+  // on one header — this is what makes "compact" incapable of fabricating a
+  // survey that never ran.
+  std::string header;
+  bool have_header = false;
+  for (const std::string& dir : dirs) {
+    const std::vector<std::string> found = shard_headers(dir);
+    if (found.empty()) return fail("no readable shards in " + dir);
+    if (found.size() > 1) return fail("mixed shard headers within " + dir);
+    if (!have_header) {
+      header = found.front();
+      have_header = true;
+    } else if (found.front() != header) {
+      return fail(dir + " holds shards of a different survey key");
+    }
+  }
+  if (!have_header) return fail("no input shard directories");
+  if (std::filesystem::exists(out_dir)) {
+    for (const std::string& existing : shard_headers(out_dir)) {
+      if (existing != header) {
+        return fail(out_dir + " already holds shards of a different key");
+      }
+    }
+  }
+
+  // Later dirs / later shards win, as on resume replay; emit each index
+  // once, ascending, so compaction is deterministic byte-for-byte.
+  std::vector<ShardRecord> merged;
+  for (const std::string& dir : dirs) {
+    std::vector<ShardRecord> records = load_shards(dir, header);
+    merged.insert(merged.end(), std::make_move_iterator(records.begin()),
+                  std::make_move_iterator(records.end()));
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const ShardRecord& a, const ShardRecord& b) {
+                     return a.index < b.index;
+                   });
+  std::vector<ShardRecord> unique;
+  unique.reserve(merged.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    if (i + 1 < merged.size() && merged[i + 1].index == merged[i].index) {
+      continue;  // a later record for the same index follows
+    }
+    unique.push_back(std::move(merged[i]));
+  }
+
+  // One output shard: disable every cadence bound except the explicit
+  // flush() below.
+  FlushCadence cadence;
+  cadence.records = unique.size() + 1;
+  ShardWriter writer(out_dir, header, cadence);
+  for (ShardRecord& record : unique) {
+    writer.add(record.index, std::move(record.payload));
+  }
+  if (!writer.flush()) return fail("failed writing shards to " + out_dir);
+  return true;
+}
+
 }  // namespace fu::sched

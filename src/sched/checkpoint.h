@@ -88,4 +88,20 @@ class ShardWriter {
 std::vector<ShardRecord> load_shards(const std::string& dir,
                                      const std::string& header);
 
+// The distinct headers of the shards in `dir`, in shard order of first
+// appearance. Only the prefix (magic + header) of each shard is read;
+// unreadable or non-shard files are skipped. How `fu compact` and the
+// daemon's shard cache identify which survey a directory belongs to without
+// knowing its key in advance.
+std::vector<std::string> shard_headers(const std::string& dir);
+
+// Merge the shards of several directories into `out_dir` as one compact,
+// freshly-numbered shard set. All involved shards (sources and any already
+// in `out_dir`) must carry the same header — mixing SurveyKeys is refused
+// with `error` set and nothing written. Later directories, and later shards
+// within one, win on duplicate indices; the output holds each index once,
+// ascending. Returns false on refusal or I/O failure.
+bool compact_shards(const std::vector<std::string>& dirs,
+                    const std::string& out_dir, std::string* error = nullptr);
+
 }  // namespace fu::sched

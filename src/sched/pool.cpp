@@ -1,0 +1,213 @@
+#include "sched/pool.h"
+
+#include <chrono>
+
+#include "obs/trace.h"
+#include "sched/progress.h"
+#include "sched/sched_internal.h"
+
+namespace fu::sched {
+
+using internal::SchedMetrics;
+
+// One run() call. Workers reach it through Task::batch pointers; it lives on
+// run()'s stack, which is safe because run() returns only after the last
+// worker has released `mutex` with `remaining` at zero (the decrement and the
+// notify both happen under the lock, so the waiter cannot observe zero while
+// a worker still holds a reference).
+struct Pool::Batch {
+  const Job* job = nullptr;
+  int max_attempts = 1;
+  ProgressMeter* progress = nullptr;
+  const std::atomic<bool>* cancel = nullptr;
+  Observer* observer = nullptr;
+  JobReport* reports = nullptr;
+
+  // Queue wait is the delay from batch submission (when every task is
+  // enqueued) to the moment a worker pops it. It needs a clock read per job,
+  // so it is sampled only when a tracer was live at submission.
+  bool timed = false;
+  std::chrono::steady_clock::time_point start;
+
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> jobs_stolen{0};
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t remaining = 0;  // guarded by mutex
+};
+
+Pool::Pool(int threads) {
+  unsigned count = threads > 0 ? static_cast<unsigned>(threads)
+                               : std::thread::hardware_concurrency();
+  if (count == 0) count = 4;
+  thread_count_ = count;
+  queues_ = std::vector<WorkerQueue>(thread_count_);
+  threads_.reserve(thread_count_);
+  for (unsigned t = 0; t < thread_count_; ++t) {
+    threads_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+Pool::~Pool() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stop_ = true;
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+RunReport Pool::run(std::size_t count, const Job& job,
+                    const BatchOptions& options, Observer* observer) {
+  RunReport report;
+  report.jobs.resize(count);
+  report.threads = thread_count_;
+  if (count == 0) return report;
+
+  Batch batch;
+  batch.job = &job;
+  batch.max_attempts = options.max_attempts;
+  batch.progress = options.progress;
+  batch.cancel = options.cancel;
+  batch.observer = observer;
+  batch.reports = report.jobs.data();
+  batch.timed = obs::tracing_enabled();
+  batch.start = std::chrono::steady_clock::now();
+  batch.remaining = count;
+
+  // Contiguous block distribution: worker t starts with jobs
+  // [t·count/T, (t+1)·count/T). Any imbalance — long-tail sites clustering
+  // in one block — is what stealing exists to fix.
+  for (std::size_t i = 0; i < count; ++i) {
+    WorkerQueue& queue = queues_[i * thread_count_ / count];
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    queue.tasks.push_back(Task{&batch, i});
+  }
+  SchedMetrics::get().deque_depth.record_max(
+      static_cast<std::int64_t>((count + thread_count_ - 1) / thread_count_));
+
+  if (batch.progress != nullptr) {
+    batch.progress->set_worker_count(thread_count_);
+    for (unsigned t = 0; t < thread_count_; ++t) {
+      std::lock_guard<std::mutex> lock(queues_[t].mutex);
+      batch.progress->worker_queue_depth(t, queues_[t].tasks.size());
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    tasks_available_.fetch_add(count, std::memory_order_relaxed);
+  }
+  sleep_cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(batch.mutex);
+  batch.cv.wait(lock, [&batch] { return batch.remaining == 0; });
+
+  report.retries = batch.retries.load(std::memory_order_relaxed);
+  report.steals = batch.steals.load(std::memory_order_relaxed);
+  report.jobs_stolen = batch.jobs_stolen.load(std::memory_order_relaxed);
+  return report;
+}
+
+void Pool::worker_loop(unsigned self) {
+  WorkerQueue& own = queues_[self];
+  for (;;) {
+    Task task;
+    bool have = false;
+    {
+      std::lock_guard<std::mutex> lock(own.mutex);
+      if (!own.tasks.empty()) {
+        task = own.tasks.front();
+        own.tasks.pop_front();
+        have = true;
+        if (task.batch->progress != nullptr) {
+          task.batch->progress->worker_queue_depth(self, own.tasks.size());
+        }
+      }
+    }
+
+    // Steal only while work is known to exist somewhere; an idle pool must
+    // not spin the steal counters (or the CPU).
+    if (!have && tasks_available_.load(std::memory_order_acquire) > 0) {
+      SchedMetrics::get().steal_attempts.add();
+      // Steal half of a victim's queue, from the back — away from the front
+      // the owner is popping. Loot moves through a local buffer so no two
+      // queue locks are ever held at once (deadlock-free by construction).
+      std::vector<Task> loot;
+      for (unsigned offset = 1; offset < thread_count_ && loot.empty();
+           ++offset) {
+        const unsigned victim_index = (self + offset) % thread_count_;
+        WorkerQueue& victim = queues_[victim_index];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (victim.tasks.empty()) continue;
+        const std::size_t take = (victim.tasks.size() + 1) / 2;
+        for (std::size_t k = 0; k < take; ++k) {
+          loot.push_back(victim.tasks.back());
+          victim.tasks.pop_back();
+        }
+        // The victim may never pop again (its queue might now be empty), so
+        // the thief republishes its depth — under the victim's lock, which
+        // orders every depth store for that queue.
+        if (ProgressMeter* meter = loot.back().batch->progress) {
+          meter->worker_queue_depth(victim_index, victim.tasks.size());
+        }
+      }
+      if (!loot.empty()) {
+        task = loot.back();
+        loot.pop_back();
+        have = true;
+        Batch* batch = task.batch;
+        batch->steals.fetch_add(1, std::memory_order_relaxed);
+        batch->jobs_stolen.fetch_add(loot.size() + 1,
+                                     std::memory_order_relaxed);
+        SchedMetrics::get().steals.add();
+        SchedMetrics::get().jobs_stolen.add(loot.size() + 1);
+        if (batch->progress != nullptr) {
+          batch->progress->worker_stole(self, loot.size() + 1);
+        }
+        if (obs::tracing_enabled()) {
+          obs::trace_instant("steal", std::to_string(loot.size() + 1));
+        }
+        if (!loot.empty()) {
+          std::lock_guard<std::mutex> lock(own.mutex);
+          own.tasks.insert(own.tasks.end(), loot.begin(), loot.end());
+          if (batch->progress != nullptr) {
+            batch->progress->worker_queue_depth(self, own.tasks.size());
+          }
+        }
+      }
+    }
+
+    if (!have) {
+      std::unique_lock<std::mutex> lock(sleep_mutex_);
+      if (stop_) return;
+      if (tasks_available_.load(std::memory_order_relaxed) == 0) {
+        sleep_cv_.wait_for(lock, std::chrono::milliseconds(50));
+        if (stop_) return;
+      }
+      continue;
+    }
+
+    tasks_available_.fetch_sub(1, std::memory_order_release);
+    Batch* batch = task.batch;
+    if (batch->timed) {
+      SchedMetrics::get().queue_wait_us.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - batch->start)
+              .count()));
+    }
+
+    internal::execute_job(*batch->job, batch->max_attempts, task.index,
+                          batch->reports[task.index], batch->retries,
+                          batch->observer, batch->cancel);
+
+    {
+      std::lock_guard<std::mutex> lock(batch->mutex);
+      if (--batch->remaining == 0) batch->cv.notify_all();
+    }
+  }
+}
+
+}  // namespace fu::sched

@@ -1,0 +1,109 @@
+// Persistent work-stealing pool.
+//
+// run_jobs() spawns its workers per call, which is fine for one survey but
+// wrong for the survey daemon: `fu serve` accepts surveys for hours, and
+// draining/respawning the worker set between jobs would serialize submission
+// behind teardown. Pool keeps the workers alive across batches — a batch is
+// one run()-call's worth of jobs — so surveys can be submitted back-to-back
+// (or concurrently; batches interleave on the shared workers) without ever
+// draining the pool.
+//
+// The stealing engine is the same contiguous-blocks + steal-half-from-back
+// scheme run_jobs has always used; in fact run_jobs' kWorkStealing policy now
+// delegates to a transient Pool, so every existing scheduler test (including
+// the bit-identity ones) exercises this engine. Determinism is unchanged:
+// jobs are independent and identified by index, so which worker runs a job
+// can never change results.
+//
+// Cancellation: a batch may carry a `cancel` flag. Workers poll it before
+// every attempt; once it flips, still-queued jobs of that batch are reported
+// failed with error "cancelled" without running. run() still returns only
+// after every job of its batch was either executed or so discarded, which is
+// what makes daemon shutdown with jobs in flight clean: flip the flag, wait
+// for run() to return, destroy the pool.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sched/worksteal.h"
+
+namespace fu::sched {
+
+class ProgressMeter;
+
+// Per-batch knobs; the Pool-wide knob (thread count) lives on the Pool.
+struct BatchOptions {
+  // Attempts per job; a throw on the last attempt is recorded, not rethrown.
+  int max_attempts = 1;
+  // When set, per-worker queue depths and steal counts are published into
+  // the meter (relaxed stores only). With concurrent batches the depths are
+  // whole-queue numbers — a queue can hold tasks of several batches — which
+  // is the honest thing to display anyway.
+  ProgressMeter* progress = nullptr;
+  // Polled before every attempt; see the cancellation note above.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+class Pool {
+ public:
+  // Starts `threads` workers (0 = hardware concurrency). Workers sleep on a
+  // condition variable while no batch is live, so an idle pool costs nothing
+  // but memory.
+  explicit Pool(int threads = 0);
+  // Destroy only after every run() call has returned; the destructor stops
+  // and joins the workers, it does not wait for foreign batches.
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  unsigned thread_count() const noexcept { return thread_count_; }
+
+  // Run jobs [0, count) to completion (or cancellation) and block until the
+  // whole batch is accounted for. Thread-safe: concurrent run() calls
+  // interleave their tasks on the shared workers. Must not be called from a
+  // pool worker thread (a batch cannot help execute itself).
+  RunReport run(std::size_t count, const Job& job,
+                const BatchOptions& options = {}, Observer* observer = nullptr);
+
+ private:
+  struct Batch;  // one run() call; lives on run()'s stack
+  struct Task {
+    Batch* batch = nullptr;
+    std::size_t index = 0;
+  };
+  // One worker's queue. A plain mutex per deque is plenty here: survey jobs
+  // are whole-site crawls (milliseconds to seconds), so queue operations are
+  // nowhere near the contention regime that justifies a lock-free Chase-Lev
+  // deque.
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+    // Keep hot queues on separate cache lines.
+    char padding[64];
+  };
+
+  void worker_loop(unsigned self);
+
+  unsigned thread_count_ = 1;
+  std::vector<WorkerQueue> queues_;
+
+  // Sleep/wake machinery. `tasks_available_` counts tasks currently sitting
+  // in queues; increments happen under `sleep_mutex_` (so a worker that just
+  // decided to sleep cannot miss the wakeup), decrements are relaxed from
+  // the workers. The 50ms wait timeout is a backstop, not the mechanism.
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::atomic<std::size_t> tasks_available_{0};
+  bool stop_ = false;  // guarded by sleep_mutex_
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace fu::sched

@@ -1,0 +1,86 @@
+// Internals shared by the two scheduler policies: the metrics family and the
+// per-job execute loop (inline retries + cancellation). Included only by
+// worksteal.cpp (striped reference policy) and pool.cpp (the work-stealing
+// engine); nothing outside src/sched should include this.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+#include "sched/worksteal.h"
+
+namespace fu::sched::internal {
+
+// Scheduler metrics, registered once. Counters are always on (a relaxed add
+// per event); the queue-wait histogram needs a clock read per job, so it is
+// recorded only while tracing is enabled — the 100k-near-empty-jobs
+// microbench in bench_obs_overhead keeps that path honest.
+struct SchedMetrics {
+  obs::Counter& jobs_executed;
+  obs::Counter& steal_attempts;
+  obs::Counter& steals;
+  obs::Counter& jobs_stolen;
+  obs::Counter& retries;
+  obs::Gauge& deque_depth;
+  obs::Histogram& queue_wait_us;
+
+  static SchedMetrics& get() {
+    static SchedMetrics metrics{
+        obs::Registry::global().counter("sched.jobs_executed"),
+        obs::Registry::global().counter("sched.steal_attempts"),
+        obs::Registry::global().counter("sched.steals"),
+        obs::Registry::global().counter("sched.jobs_stolen"),
+        obs::Registry::global().counter("sched.retries"),
+        obs::Registry::global().gauge("sched.deque_depth"),
+        obs::Registry::global().histogram("sched.queue_wait_us"),
+    };
+    return metrics;
+  }
+};
+
+// Runs one job to completion (including inline retries), filling in the
+// report. Failures are contained, never rethrown. `cancel` is polled before
+// every attempt: once it flips, the job is reported failed with error
+// "cancelled" and whatever attempt count it had consumed — a job cancelled
+// before its first attempt has attempts == 0 and never touches the metrics'
+// executed counter.
+inline void execute_job(const Job& job, int max_attempts, std::size_t index,
+                        JobReport& report, std::atomic<std::uint64_t>& retries,
+                        Observer* observer, const std::atomic<bool>* cancel) {
+  const int attempts_allowed = max_attempts > 0 ? max_attempts : 1;
+  int attempt = 0;
+  for (;;) {
+    if (cancel != nullptr && cancel->load(std::memory_order_acquire)) {
+      report.ok = false;
+      report.attempts = attempt;
+      report.error = "cancelled";
+      break;
+    }
+    try {
+      job(index, attempt);
+      report.ok = true;
+      report.attempts = attempt + 1;
+      report.error.clear();
+      break;
+    } catch (const std::exception& error) {
+      report.error = error.what();
+    } catch (...) {
+      report.error = "unknown exception";
+    }
+    report.ok = false;
+    report.attempts = attempt + 1;
+    if (attempt + 1 >= attempts_allowed) break;
+    ++attempt;
+    retries.fetch_add(1, std::memory_order_relaxed);
+    SchedMetrics::get().retries.add();
+  }
+  if (report.attempts > 0) SchedMetrics::get().jobs_executed.add();
+  if (observer != nullptr) {
+    observer->on_job_done(index, report.ok, report.attempts,
+                          report.ok ? std::string() : report.error);
+  }
+}
+
+}  // namespace fu::sched::internal

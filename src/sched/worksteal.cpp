@@ -1,94 +1,15 @@
 #include "sched/worksteal.h"
 
 #include <atomic>
-#include <chrono>
-#include <deque>
-#include <mutex>
 #include <thread>
 
-#include "obs/metrics.h"
-#include "obs/trace.h"
+#include "sched/pool.h"
 #include "sched/progress.h"
+#include "sched/sched_internal.h"
 
 namespace fu::sched {
 
 namespace {
-
-// Scheduler metrics, registered once. Counters are always on (a relaxed add
-// per event); the queue-wait histogram needs a clock read per job, so it is
-// recorded only while tracing is enabled — the 100k-near-empty-jobs
-// microbench in bench_obs_overhead keeps that path honest.
-struct SchedMetrics {
-  obs::Counter& jobs_executed;
-  obs::Counter& steal_attempts;
-  obs::Counter& steals;
-  obs::Counter& jobs_stolen;
-  obs::Counter& retries;
-  obs::Gauge& deque_depth;
-  obs::Histogram& queue_wait_us;
-
-  static SchedMetrics& get() {
-    static SchedMetrics metrics{
-        obs::Registry::global().counter("sched.jobs_executed"),
-        obs::Registry::global().counter("sched.steal_attempts"),
-        obs::Registry::global().counter("sched.steals"),
-        obs::Registry::global().counter("sched.jobs_stolen"),
-        obs::Registry::global().counter("sched.retries"),
-        obs::Registry::global().gauge("sched.deque_depth"),
-        obs::Registry::global().histogram("sched.queue_wait_us"),
-    };
-    return metrics;
-  }
-};
-
-struct Task {
-  std::size_t index;
-  int attempt;
-};
-
-// One worker's queue. A plain mutex per deque is plenty here: survey jobs
-// are whole-site crawls (milliseconds to seconds), so queue operations are
-// nowhere near the contention regime that justifies a lock-free Chase-Lev
-// deque.
-struct WorkerQueue {
-  std::mutex mutex;
-  std::deque<Task> tasks;
-  // Keep hot queues on separate cache lines.
-  char padding[64];
-};
-
-// Runs one task to completion (including inline retries), filling in the
-// report. Returns nothing; failures are contained.
-void execute(const Job& job, const SchedulerOptions& options, Task task,
-             JobReport& report, std::atomic<std::uint64_t>& retries,
-             Observer* observer) {
-  const int max_attempts = options.max_attempts > 0 ? options.max_attempts : 1;
-  int attempt = task.attempt;
-  for (;;) {
-    try {
-      job(task.index, attempt);
-      report.ok = true;
-      report.attempts = attempt + 1;
-      report.error.clear();
-      break;
-    } catch (const std::exception& error) {
-      report.error = error.what();
-    } catch (...) {
-      report.error = "unknown exception";
-    }
-    report.ok = false;
-    report.attempts = attempt + 1;
-    if (attempt + 1 >= max_attempts) break;
-    ++attempt;
-    retries.fetch_add(1, std::memory_order_relaxed);
-    SchedMetrics::get().retries.add();
-  }
-  SchedMetrics::get().jobs_executed.add();
-  if (observer != nullptr) {
-    observer->on_job_done(task.index, report.ok, report.attempts,
-                          report.ok ? std::string() : report.error);
-  }
-}
 
 RunReport run_striped(std::size_t count, const Job& job,
                       const SchedulerOptions& options, Observer* observer,
@@ -109,7 +30,8 @@ RunReport run_striped(std::size_t count, const Job& job,
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= count) return;
-      execute(job, options, Task{i, 0}, report.jobs[i], retries, observer);
+      internal::execute_job(job, options.max_attempts, i, report.jobs[i],
+                            retries, observer, options.cancel);
     }
   };
 
@@ -122,138 +44,6 @@ RunReport run_striped(std::size_t count, const Job& job,
     for (std::thread& t : threads) t.join();
   }
   report.retries = retries.load();
-  return report;
-}
-
-RunReport run_stealing(std::size_t count, const Job& job,
-                       const SchedulerOptions& options, Observer* observer,
-                       unsigned thread_count) {
-  RunReport report;
-  report.jobs.resize(count);
-  report.threads = thread_count;
-
-  std::atomic<std::uint64_t> retries{0};
-  std::atomic<std::uint64_t> steals{0};
-  std::atomic<std::uint64_t> jobs_stolen{0};
-  std::atomic<std::size_t> remaining{count};
-
-  // Contiguous block distribution: worker t starts with sites
-  // [t·count/T, (t+1)·count/T). Any imbalance — long-tail sites clustering
-  // in one block — is what stealing exists to fix.
-  std::vector<WorkerQueue> queues(thread_count);
-  for (std::size_t i = 0; i < count; ++i) {
-    queues[i * thread_count / count].tasks.push_back(Task{i, 0});
-  }
-  SchedMetrics::get().deque_depth.record_max(
-      static_cast<std::int64_t>((count + thread_count - 1) / thread_count));
-
-  ProgressMeter* const meter = options.progress;
-  if (meter != nullptr) {
-    meter->set_worker_count(thread_count);
-    for (unsigned t = 0; t < thread_count; ++t) {
-      meter->worker_queue_depth(t, queues[t].tasks.size());
-    }
-  }
-
-  // Queue wait is the delay from run start (when every task is enqueued) to
-  // the moment a worker pops it. It needs a clock read per job, so it is
-  // sampled only when a tracer is live.
-  const bool timed = obs::tracing_enabled();
-  const auto run_start = std::chrono::steady_clock::now();
-
-  const auto worker = [&](unsigned self) {
-    WorkerQueue& own = queues[self];
-    for (;;) {
-      if (remaining.load(std::memory_order_acquire) == 0) return;
-
-      Task task;
-      bool have = false;
-      {
-        std::lock_guard<std::mutex> lock(own.mutex);
-        if (!own.tasks.empty()) {
-          task = own.tasks.front();
-          own.tasks.pop_front();
-          have = true;
-        }
-        if (meter != nullptr) {
-          meter->worker_queue_depth(self, own.tasks.size());
-        }
-      }
-      if (have && timed) {
-        SchedMetrics::get().queue_wait_us.record(static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::microseconds>(
-                std::chrono::steady_clock::now() - run_start)
-                .count()));
-      }
-
-      if (!have) {
-        SchedMetrics::get().steal_attempts.add();
-        // Steal half of a victim's queue, from the back — away from the
-        // front the owner is popping. Loot moves through a local buffer so
-        // no two queue locks are ever held at once (deadlock-free by
-        // construction).
-        std::vector<Task> loot;
-        for (unsigned offset = 1; offset < thread_count && loot.empty();
-             ++offset) {
-          WorkerQueue& victim = queues[(self + offset) % thread_count];
-          std::lock_guard<std::mutex> lock(victim.mutex);
-          if (victim.tasks.empty()) continue;
-          const std::size_t take = (victim.tasks.size() + 1) / 2;
-          for (std::size_t k = 0; k < take; ++k) {
-            loot.push_back(victim.tasks.back());
-            victim.tasks.pop_back();
-          }
-        }
-        if (!loot.empty()) {
-          steals.fetch_add(1, std::memory_order_relaxed);
-          jobs_stolen.fetch_add(loot.size(), std::memory_order_relaxed);
-          SchedMetrics::get().steals.add();
-          SchedMetrics::get().jobs_stolen.add(loot.size());
-          if (meter != nullptr) meter->worker_stole(self, loot.size());
-          if (obs::tracing_enabled()) {
-            obs::trace_instant("steal", std::to_string(loot.size()));
-          }
-          task = loot.back();
-          loot.pop_back();
-          have = true;
-          if (!loot.empty()) {
-            std::lock_guard<std::mutex> lock(own.mutex);
-            own.tasks.insert(own.tasks.end(), loot.begin(), loot.end());
-            if (meter != nullptr) {
-              meter->worker_queue_depth(self, own.tasks.size());
-            }
-          }
-        }
-      }
-
-      if (!have) {
-        // Everything is claimed but not finished; wait for stragglers (one
-        // of which may still push retries into its own queue — but retries
-        // run inline, so claimed work never reappears; this spin only ends
-        // the run).
-        std::this_thread::yield();
-        continue;
-      }
-
-      execute(job, options, task, report.jobs[task.index], retries, observer);
-      remaining.fetch_sub(1, std::memory_order_acq_rel);
-    }
-  };
-
-  if (thread_count <= 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(thread_count);
-    for (unsigned t = 0; t < thread_count; ++t) {
-      threads.emplace_back(worker, t);
-    }
-    for (std::thread& t : threads) t.join();
-  }
-
-  report.retries = retries.load();
-  report.steals = steals.load();
-  report.jobs_stolen = jobs_stolen.load();
   return report;
 }
 
@@ -288,7 +78,15 @@ RunReport run_jobs(std::size_t count, const Job& job,
   if (options.policy == SchedulerOptions::Policy::kStriped) {
     return run_striped(count, job, options, observer, thread_count);
   }
-  return run_stealing(count, job, options, observer, thread_count);
+  // The stealing policy is the persistent pool run transiently: one batch,
+  // then teardown. Long-lived callers (the survey daemon) hold a Pool
+  // directly and skip the per-run thread spawn.
+  Pool pool(static_cast<int>(thread_count));
+  BatchOptions batch;
+  batch.max_attempts = options.max_attempts;
+  batch.progress = options.progress;
+  batch.cancel = options.cancel;
+  return pool.run(count, job, batch, observer);
 }
 
 }  // namespace fu::sched

@@ -16,6 +16,7 @@
 // once per attempt, always on exactly one thread).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -37,6 +38,11 @@ struct SchedulerOptions {
   // counts into the meter (relaxed stores only — the worker loop stays
   // lock-free for stats). Job completions are still the Observer's job.
   ProgressMeter* progress = nullptr;
+  // Cooperative cancellation: polled before every attempt. Once it flips,
+  // jobs that have not started are reported failed with error "cancelled"
+  // without running; run_jobs still returns only when every index is
+  // accounted for.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 // Outcome of one job after all its attempts.

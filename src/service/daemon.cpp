@@ -1,0 +1,396 @@
+#include "service/daemon.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <optional>
+#include <utility>
+
+#include "analysis/tables_json.h"
+#include "crawler/serialize.h"
+#include "crawler/survey.h"
+#include "net/web.h"
+#include "obs/metrics.h"
+#include "obs/router.h"
+
+namespace fu::service {
+
+namespace {
+
+// Registry activity attributable to one survey: counters and histogram
+// buckets are monotone, so "after minus before" is exactly what the crawl
+// between the two snapshots did — exact here because the executor
+// serializes crawls. Gauges (and histogram min/max) are levels, not sums;
+// they carry the `after` values unchanged.
+obs::MetricsSnapshot snapshot_delta(const obs::MetricsSnapshot& before,
+                                    const obs::MetricsSnapshot& after) {
+  obs::MetricsSnapshot delta;
+  for (const auto& [name, value] : after.counters) {
+    std::uint64_t base = 0;
+    for (const auto& [before_name, before_value] : before.counters) {
+      if (before_name == name) {
+        base = before_value;
+        break;
+      }
+    }
+    delta.counters.emplace_back(name, value >= base ? value - base : value);
+  }
+  delta.gauges = after.gauges;
+  for (const obs::Histogram::Snapshot& hist : after.histograms) {
+    const obs::Histogram::Snapshot* base = nullptr;
+    for (const obs::Histogram::Snapshot& candidate : before.histograms) {
+      if (candidate.name == hist.name && candidate.bounds == hist.bounds &&
+          candidate.counts.size() == hist.counts.size()) {
+        base = &candidate;
+        break;
+      }
+    }
+    obs::Histogram::Snapshot diff = hist;
+    if (base != nullptr) {
+      for (std::size_t b = 0; b < diff.counts.size(); ++b) {
+        diff.counts[b] -= std::min(base->counts[b], diff.counts[b]);
+      }
+      diff.count -= std::min(base->count, diff.count);
+      diff.sum -= std::min(base->sum, diff.sum);
+    }
+    delta.histograms.push_back(std::move(diff));
+  }
+  return delta;
+}
+
+obs::HttpResponse error_response(int status, const std::string& message) {
+  return obs::json_response(status,
+                            "{\"error\": " + obs::json_quote(message) + "}\n");
+}
+
+// The shard-cache directory name for a key: the canonical cache filename
+// with its ".bin" swapped for "-shards", e.g. "survey_s10f3a7_n100_p5_ft-shards".
+std::string shard_dir_name(const crawler::SurveyKey& key) {
+  std::string name = crawler::cache_filename(key);
+  if (const std::size_t dot = name.rfind(".bin"); dot != std::string::npos) {
+    name.resize(dot);
+  }
+  return name + "-shards";
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
+  std::error_code ec;
+  std::filesystem::create_directories(options_.cache_dir, ec);
+  if (ec) {
+    error_ = "cannot create cache dir " + options_.cache_dir + ": " +
+             ec.message();
+    return;
+  }
+  pool_ = std::make_unique<sched::Pool>(options_.threads);
+
+  obs::ServerOptions server;
+  server.port = options_.port;
+  server.bind_address = options_.bind_address;
+  server.auth_token = options_.auth_token;
+  server.max_request_bytes = options_.max_request_bytes;
+  server.port_file = options_.cache_dir + "/serve.port";
+  server.routes = [this](obs::Router& router) { mount_routes(router); };
+  // The daemon-level /progress.json and /healthz follow the running (else
+  // most recent) survey, so `fu watch host:port` works unchanged against a
+  // daemon.
+  server.progress_json = [this] {
+    if (const std::shared_ptr<Job> job = table_.active_or_latest()) {
+      return sched::progress_json(job->meter->snapshot());
+    }
+    return sched::progress_json(sched::ProgressMeter().snapshot());
+  };
+  server.health = [this] {
+    obs::HealthStatus health;
+    if (const std::shared_ptr<Job> job = table_.active_or_latest()) {
+      const sched::ProgressMeter::Snapshot snap = job->meter->snapshot();
+      // Only a *running* crawl can stall; a queued or finished survey's
+      // completion gap is idleness, not sickness.
+      health.ok = !(table_.copy_of(job).state == JobState::kRunning &&
+                    snap.stalled);
+      health.body = sched::health_json(snap);
+    }
+    return health;
+  };
+  server_ = std::make_unique<obs::Server>(std::move(server));
+  if (!server_->ok()) {
+    error_ = server_->error();
+    server_.reset();
+    return;
+  }
+  ok_ = true;
+  executor_ = std::thread([this] { executor_loop(); });
+}
+
+Daemon::~Daemon() {
+  // Order matters: stop answering requests first (drains the in-flight
+  // one), then cancel and join the executor — whose running survey folds
+  // its unstarted sites as cancelled and returns — then let the members
+  // destroy the pool after its last user is gone.
+  server_.reset();
+  cancel_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(exec_mutex_);
+    stop_ = true;
+  }
+  exec_cv_.notify_all();
+  if (executor_.joinable()) executor_.join();
+}
+
+void Daemon::mount_routes(obs::Router& router) {
+  const auto with_job =
+      [this](obs::HttpRequest& request,
+             obs::HttpResponse (Daemon::*method)(const std::shared_ptr<Job>&)) {
+        const std::shared_ptr<Job> job = job_from(request);
+        if (job == nullptr) return error_response(404, "no such survey");
+        return (this->*method)(job);
+      };
+  // Most specific first: the Router gives earlier registrations priority.
+  router.handle("GET", "/surveys/<id>/tables",
+                [this, with_job](obs::HttpRequest& request) {
+                  return with_job(request, &Daemon::handle_tables);
+                });
+  router.handle("GET", "/surveys/<id>/progress.json",
+                [this, with_job](obs::HttpRequest& request) {
+                  return with_job(request, &Daemon::handle_progress);
+                });
+  router.handle("GET", "/surveys/<id>/metrics.json",
+                [this, with_job](obs::HttpRequest& request) {
+                  return with_job(request, &Daemon::handle_metrics);
+                });
+  router.handle("GET", "/surveys/<id>",
+                [this, with_job](obs::HttpRequest& request) {
+                  return with_job(request, &Daemon::handle_detail);
+                });
+  router.handle("GET", "/surveys", [this](obs::HttpRequest&) {
+    return handle_list();
+  });
+  router.handle("POST", "/surveys", [this](obs::HttpRequest& request) {
+    return handle_submit(request);
+  });
+}
+
+const catalog::Catalog& Daemon::catalog_for(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(catalog_mutex_);
+  std::unique_ptr<catalog::Catalog>& slot = catalogs_[seed];
+  if (!slot) slot = std::make_unique<catalog::Catalog>(seed);
+  return *slot;
+}
+
+obs::HttpResponse Daemon::handle_submit(obs::HttpRequest& request) {
+  SurveyRequest survey;
+  std::string error;
+  if (!parse_survey_request(request.body, options_.max_sites, survey, error)) {
+    return error_response(400, error);
+  }
+
+  // The crawl identity, computed without building the web: key_for() only
+  // needs the catalog shape (one catalog per seed, cached) plus the request
+  // fields. The executor re-derives the key from the real web and refuses
+  // to run on a mismatch, so this shortcut can never poison the cache.
+  const catalog::Catalog& cat = catalog_for(survey.seed);
+  crawler::SurveyKey key;
+  key.seed = survey.seed;
+  key.site_count = survey.sites;
+  key.passes = static_cast<std::uint32_t>(survey.passes);
+  key.ad_only = survey.ad_only;
+  key.tracking_only = survey.tracking_only;
+  key.feature_count = static_cast<std::uint32_t>(cat.features().size());
+  key.standard_count = static_cast<std::uint32_t>(cat.standard_count());
+  key.catalog_fingerprint = crawler::catalog_fingerprint(cat);
+
+  const JobTable::Submitted submitted =
+      table_.submit(survey, crawler::encode_survey_key(key),
+                    options_.cache_dir + "/" + shard_dir_name(key));
+  if (submitted.created) {
+    std::lock_guard<std::mutex> lock(exec_mutex_);
+    exec_cv_.notify_all();
+  }
+  const Job copy = table_.copy_of(submitted.job);
+  std::string body = "{\"id\": " + std::to_string(copy.id);
+  body += ", \"state\": \"" + std::string(to_string(copy.state)) + "\"";
+  body += std::string(", \"deduplicated\": ") +
+          (submitted.created ? "false" : "true");
+  body += ", \"location\": \"/surveys/" + std::to_string(copy.id) + "\"}\n";
+  return obs::json_response(submitted.created ? 202 : 200, std::move(body));
+}
+
+std::string Daemon::job_json(const Job& job) const {
+  const sched::ProgressMeter::Snapshot progress = job.meter->snapshot();
+  std::string out = "{";
+  out += "\"id\": " + std::to_string(job.id);
+  out += ", \"state\": \"" + std::string(to_string(job.state)) + "\"";
+  out += ", \"request\": " + request_json(job.request);
+  out += ", \"done\": " + std::to_string(progress.done);
+  out += ", \"total\": " + std::to_string(progress.total);
+  out += std::string(", \"from_cache\": ") + (job.from_cache ? "true" : "false");
+  out += ", \"sites_recrawled\": " + std::to_string(job.sites_recrawled);
+  out += ", \"sites_failed\": " + std::to_string(job.sites_failed);
+  out += ", \"error\": " + obs::json_quote(job.error);
+  out += ", \"location\": \"/surveys/" + std::to_string(job.id) + "\"";
+  out += "}";
+  return out;
+}
+
+obs::HttpResponse Daemon::handle_list() {
+  std::string body = "{\"jobs\": [";
+  bool first = true;
+  for (const std::shared_ptr<Job>& job : table_.all()) {
+    if (!first) body += ", ";
+    first = false;
+    body += job_json(table_.copy_of(job));
+  }
+  body += "]}\n";
+  return obs::json_response(200, std::move(body));
+}
+
+obs::HttpResponse Daemon::handle_detail(const std::shared_ptr<Job>& job) {
+  return obs::json_response(200, job_json(table_.copy_of(job)) + "\n");
+}
+
+obs::HttpResponse Daemon::handle_tables(const std::shared_ptr<Job>& job) {
+  const Job copy = table_.copy_of(job);
+  if (copy.state != JobState::kDone) {
+    return error_response(409, "survey is " +
+                                   std::string(to_string(copy.state)) +
+                                   (copy.error.empty() ? "" : ": " + copy.error));
+  }
+  return obs::json_response(200, copy.tables);
+}
+
+obs::HttpResponse Daemon::handle_progress(const std::shared_ptr<Job>& job) {
+  return obs::json_response(200,
+                            sched::progress_json(job->meter->snapshot()));
+}
+
+obs::HttpResponse Daemon::handle_metrics(const std::shared_ptr<Job>& job) {
+  const Job copy = table_.copy_of(job);
+  if (copy.state == JobState::kRunning) {
+    // Live view: the crawl is between its two bracketing snapshots, and it
+    // is the only crawl running, so (now - start) is its activity so far.
+    return obs::json_response(
+        200, snapshot_delta(copy.metrics_start,
+                            obs::Registry::global().snapshot())
+                 .to_json());
+  }
+  if (!copy.metrics.empty()) return obs::json_response(200, copy.metrics);
+  return obs::json_response(200, obs::MetricsSnapshot{}.to_json());
+}
+
+std::shared_ptr<Job> Daemon::job_from(const obs::HttpRequest& request) const {
+  if (request.params.empty()) return nullptr;
+  const std::string& text = request.params.front();
+  if (text.empty() || text.size() > 18 ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    return nullptr;
+  }
+  return table_.find(std::strtoull(text.c_str(), nullptr, 10));
+}
+
+void Daemon::executor_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(exec_mutex_);
+      exec_cv_.wait(lock, [&] {
+        if (stop_) return true;  // checked first so shutdown never claims
+        job = table_.claim_next_queued();
+        return job != nullptr;
+      });
+      if (stop_) break;
+    }
+    run_job(job);
+  }
+  table_.cancel_queued("daemon shutting down");
+}
+
+void Daemon::run_job(const std::shared_ptr<Job>& job) {
+  const Job copy = table_.copy_of(job);
+  const SurveyRequest& request = copy.request;
+  try {
+    const catalog::Catalog& cat = catalog_for(request.seed);
+    net::SyntheticWeb::Config web_config;
+    web_config.site_count = static_cast<int>(request.sites);
+    web_config.seed = request.seed;
+    const net::SyntheticWeb web(cat, web_config);
+
+    crawler::SurveyOptions survey;
+    survey.passes = request.passes;
+    survey.include_ad_only = request.ad_only;
+    survey.include_tracking_only = request.tracking_only;
+    survey.seed = request.seed;
+    survey.checkpoint_dir = copy.shard_dir;
+    survey.checkpoint_every = options_.checkpoint_every;
+    survey.resume = true;  // an interrupted daemon resumes, never recrawls
+    survey.progress = job->meter.get();
+    survey.serve_stall_secs = options_.stall_secs;
+    survey.pool = pool_.get();
+    survey.cancel = &cancel_;
+
+    if (crawler::encode_survey_key(crawler::key_for(web, survey)) !=
+        copy.key_bytes) {
+      table_.update(job, [](Job& j) {
+        j.state = JobState::kFailed;
+        j.error = "internal: submission key does not match crawl key";
+      });
+      return;
+    }
+
+    // Warm path: a previous crawl of this exact key left a complete shard
+    // set, so the tables come straight from the cached per-site feature
+    // bitsets — zero sites recrawled, bit-identical by construction.
+    if (std::optional<std::string> warm = analysis::tables_from_shards(
+            web, survey, copy.shard_dir, request.tables)) {
+      job->meter->reset(request.sites);
+      for (std::uint32_t i = 0; i < request.sites; ++i) {
+        job->meter->job_skipped();
+      }
+      table_.update(job, [&warm](Job& j) {
+        j.state = JobState::kDone;
+        j.from_cache = true;
+        j.tables = std::move(*warm);
+        j.metrics = obs::MetricsSnapshot{}.to_json();
+      });
+      surveys_from_cache_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+
+    const obs::MetricsSnapshot before = obs::Registry::global().snapshot();
+    table_.update(job, [&before](Job& j) { j.metrics_start = before; });
+    const crawler::SurveyResults results = crawler::run_survey(web, survey);
+    const obs::MetricsSnapshot after = obs::Registry::global().snapshot();
+    const std::string metrics = snapshot_delta(before, after).to_json();
+
+    if (cancel_.load(std::memory_order_acquire)) {
+      // Shutdown mid-crawl: whatever completed is already in the shards
+      // (the next daemon resumes from them); the job itself is cancelled.
+      table_.update(job, [&metrics](Job& j) {
+        j.state = JobState::kCancelled;
+        j.error = "daemon shutting down";
+        j.metrics = metrics;
+      });
+      return;
+    }
+
+    const sched::ProgressMeter::Snapshot progress = job->meter->snapshot();
+    const analysis::Analysis analysis(results);
+    std::string tables = analysis::tables_json(analysis, request.tables);
+    table_.update(job, [&](Job& j) {
+      j.state = JobState::kDone;
+      j.tables = std::move(tables);
+      j.metrics = metrics;
+      j.sites_failed = static_cast<std::size_t>(results.sites_failed());
+      j.sites_recrawled = progress.done - progress.skipped;
+      j.from_cache = j.sites_recrawled == 0;
+    });
+    surveys_crawled_.fetch_add(1, std::memory_order_relaxed);
+  } catch (const std::exception& error) {
+    const std::string what = error.what();
+    table_.update(job, [&what](Job& j) {
+      j.state = JobState::kFailed;
+      j.error = what;
+    });
+  }
+}
+
+}  // namespace fu::service

@@ -1,0 +1,152 @@
+// Survey-as-a-service: the `fu serve` daemon.
+//
+// One process owns one persistent work-stealing pool (sched::Pool), one
+// HTTP server (obs::Server + Router) and a job table. Clients POST survey
+// requests; the daemon queues them, crawls them one at a time on the shared
+// pool, and keeps every finished crawl's checkpoint shards in a keyed shard
+// cache under `cache_dir`. A later request with the same crawl identity but
+// different analysis parameters (table cuts) never recrawls: its tables are
+// re-derived from the cached per-site feature bitsets via
+// analysis::tables_from_shards — bit-identical to a fresh crawl, locked in
+// by tests.
+//
+// Endpoints (everything under the server's bearer-token auth):
+//
+//   POST /surveys                    submit (JSON body, see request.h);
+//                                    202 {id,...} created, 200 deduplicated
+//   GET  /surveys                    all jobs with state + progress
+//   GET  /surveys/<id>               one job in full
+//   GET  /surveys/<id>/tables        Tables 1-3 JSON (409 until done)
+//   GET  /surveys/<id>/progress.json that job's live progress snapshot
+//   GET  /surveys/<id>/metrics.json  that job's registry delta (counters
+//                                    and histograms accumulated by exactly
+//                                    that crawl; exact because the executor
+//                                    serializes crawls)
+//   GET  /metrics.json /metrics /progress.json /deltas.json /healthz
+//                                    the PR 5 observability built-ins;
+//                                    /progress.json and /healthz follow the
+//                                    running (else latest) job
+//
+// Crawls are serialized deliberately: the pool's worker set is the
+// parallelism budget, and two concurrent surveys would just time-slice it
+// while blurring per-survey metrics. Queued jobs wait their turn; duplicate
+// submissions of an in-flight survey attach to it (one crawl, N waiters).
+//
+// Shutdown (the destructor) is clean by construction: the cancel flag
+// flips, the in-flight survey folds its unstarted sites as cancelled and
+// returns (already-crawled sites keep their shards, so a restarted daemon
+// resumes instead of recrawling), queued jobs flip to kCancelled, and the
+// server drains before the pool dies.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "catalog/catalog.h"
+#include "obs/server.h"
+#include "sched/pool.h"
+#include "service/jobs.h"
+
+namespace fu::service {
+
+struct DaemonOptions {
+  // Socket: same meaning as obs::ServerOptions — port 0 = ephemeral,
+  // non-loopback bind refuses to start without auth_token.
+  int port = 0;
+  std::string bind_address = "127.0.0.1";
+  std::string auth_token;
+
+  // Where the keyed shard cache lives (one subdirectory per SurveyKey) and
+  // where serve.port is written. Created if missing.
+  std::string cache_dir = "fu-serve-cache";
+
+  // Worker threads in the persistent pool (0 = hardware concurrency).
+  int threads = 0;
+
+  // Requests above this site count are rejected with 400 — the daemon's
+  // admission control, not a crawl limit.
+  std::uint32_t max_sites = 100000;
+
+  // Checkpoint cadence for crawls (shards per `checkpoint_every` outcomes).
+  int checkpoint_every = 64;
+
+  // /healthz stall window for the running survey (0 = off).
+  double stall_secs = 30;
+
+  // Request-size cap forwarded to the server (413 above it).
+  std::size_t max_request_bytes = 64 * 1024;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions options);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  // False when the server failed to bind (port taken, non-loopback bind
+  // without a token, unwritable cache dir); error() says why and no
+  // executor thread was started.
+  bool ok() const noexcept { return ok_; }
+  const std::string& error() const noexcept { return error_; }
+  int port() const noexcept { return server_ ? server_->port() : -1; }
+
+  // How many surveys this process actually crawled vs served purely from
+  // the warm shard cache — the counters the no-recrawl tests and the CI
+  // smoke assert on (also exposed in every job document as "from_cache").
+  std::uint64_t surveys_crawled() const noexcept {
+    return surveys_crawled_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t surveys_from_cache() const noexcept {
+    return surveys_from_cache_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void mount_routes(obs::Router& router);
+  obs::HttpResponse handle_submit(obs::HttpRequest& request);
+  obs::HttpResponse handle_list();
+  obs::HttpResponse handle_detail(const std::shared_ptr<Job>& job);
+  obs::HttpResponse handle_tables(const std::shared_ptr<Job>& job);
+  obs::HttpResponse handle_progress(const std::shared_ptr<Job>& job);
+  obs::HttpResponse handle_metrics(const std::shared_ptr<Job>& job);
+  std::shared_ptr<Job> job_from(const obs::HttpRequest& request) const;
+
+  void executor_loop();
+  void run_job(const std::shared_ptr<Job>& job);
+
+  // One catalog per seed, built on first use and kept — every request with
+  // the same seed shares it (catalog construction is pure in the seed).
+  const catalog::Catalog& catalog_for(std::uint64_t seed);
+
+  std::string job_json(const Job& job) const;
+
+  DaemonOptions options_;
+  bool ok_ = false;
+  std::string error_;
+
+  JobTable table_;
+  std::unique_ptr<sched::Pool> pool_;
+
+  std::mutex catalog_mutex_;
+  std::map<std::uint64_t, std::unique_ptr<catalog::Catalog>> catalogs_;
+
+  std::atomic<bool> cancel_{false};
+  std::atomic<std::uint64_t> surveys_crawled_{0};
+  std::atomic<std::uint64_t> surveys_from_cache_{0};
+
+  std::mutex exec_mutex_;
+  std::condition_variable exec_cv_;
+  bool stop_ = false;  // guarded by exec_mutex_
+
+  std::unique_ptr<obs::Server> server_;
+  std::thread executor_;
+};
+
+}  // namespace fu::service

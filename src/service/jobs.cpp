@@ -1,0 +1,92 @@
+#include "service/jobs.h"
+
+namespace fu::service {
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+JobTable::Submitted JobTable::submit(const SurveyRequest& request,
+                                     std::string key_bytes,
+                                     std::string shard_dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::shared_ptr<Job>& existing : jobs_) {
+    if (existing->state == JobState::kFailed ||
+        existing->state == JobState::kCancelled) {
+      continue;  // retries may resubmit these
+    }
+    if (existing->key_bytes == key_bytes &&
+        existing->request.same_analysis(request)) {
+      return {existing, false};
+    }
+  }
+  auto job = std::make_shared<Job>();
+  job->id = next_id_++;
+  job->request = request;
+  job->key_bytes = std::move(key_bytes);
+  job->shard_dir = std::move(shard_dir);
+  job->meter = std::make_shared<sched::ProgressMeter>(request.sites);
+  jobs_.push_back(job);
+  return {job, true};
+}
+
+std::shared_ptr<Job> JobTable::find(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::shared_ptr<Job>& job : jobs_) {
+    if (job->id == id) return job;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<Job> JobTable::claim_next_queued() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::shared_ptr<Job>& job : jobs_) {
+    if (job->state == JobState::kQueued) {
+      job->state = JobState::kRunning;
+      return job;
+    }
+  }
+  return nullptr;
+}
+
+Job JobTable::copy_of(const std::shared_ptr<Job>& job) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return *job;
+}
+
+std::vector<std::shared_ptr<Job>> JobTable::all() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return jobs_;
+}
+
+std::shared_ptr<Job> JobTable::active_or_latest() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::shared_ptr<Job>& job : jobs_) {
+    if (job->state == JobState::kRunning) return job;
+  }
+  return jobs_.empty() ? nullptr : jobs_.back();
+}
+
+void JobTable::cancel_queued(const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::shared_ptr<Job>& job : jobs_) {
+    if (job->state == JobState::kQueued) {
+      job->state = JobState::kCancelled;
+      job->error = reason;
+    }
+  }
+}
+
+}  // namespace fu::service

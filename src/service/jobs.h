@@ -1,0 +1,103 @@
+// The daemon's job table: every survey ever submitted to this process, in
+// submission order, with its lifecycle state.
+//
+//   queued -> running -> done | failed | cancelled
+//
+// Jobs are deduplicated at submission: a request whose crawl identity
+// (encoded SurveyKey) *and* analysis parameters match a live or completed
+// job returns that job instead of creating one — N clients POSTing the same
+// survey share one crawl and poll one id. Failed and cancelled jobs do not
+// absorb resubmissions, so a client can retry by POSTing again.
+//
+// One mutex guards the whole table; HTTP handlers and the executor thread
+// both go through it with short critical sections (state flips, pointer
+// copies, string copies of finished tables). ProgressMeters are internally
+// thread-safe and are snapshotted outside the lock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sched/progress.h"
+#include "service/request.h"
+
+namespace fu::service {
+
+enum class JobState : std::uint8_t {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,
+  kCancelled,
+};
+const char* to_string(JobState state);
+
+// All fields except `meter` are guarded by the owning JobTable's mutex;
+// read them via JobTable::copy_of. The meter pointer itself is immutable
+// after construction and the meter is safe to snapshot from any thread.
+struct Job {
+  std::uint64_t id = 0;
+  SurveyRequest request;
+  std::string key_bytes;  // encoded SurveyKey — the crawl identity
+  std::string shard_dir;  // keyed shard-cache directory for that identity
+  JobState state = JobState::kQueued;
+  std::string error;       // why kFailed / kCancelled
+  bool from_cache = false; // tables derived from shards, nothing crawled
+  std::size_t sites_failed = 0;
+  std::size_t sites_recrawled = 0;  // sites actually crawled (not restored)
+  std::string tables;   // tables_json document once kDone
+  std::string metrics;  // per-survey registry delta (MetricsSnapshot JSON)
+  // Registry snapshot taken when the crawl began — the "before" of the
+  // delta; while kRunning, /metrics.json diffs the live registry against it.
+  obs::MetricsSnapshot metrics_start;
+  std::shared_ptr<sched::ProgressMeter> meter;  // live from submission on
+};
+
+class JobTable {
+ public:
+  struct Submitted {
+    std::shared_ptr<Job> job;
+    bool created = false;  // false = deduplicated onto an existing job
+  };
+
+  // Deduplicating submit; `key_bytes` must be the encoded SurveyKey of
+  // `request`. A fresh job starts kQueued with a meter sized to the site
+  // count, so progress polls work before the crawl starts.
+  Submitted submit(const SurveyRequest& request, std::string key_bytes,
+                   std::string shard_dir);
+
+  std::shared_ptr<Job> find(std::uint64_t id) const;
+
+  // Executor side: atomically claim the oldest queued job as kRunning.
+  std::shared_ptr<Job> claim_next_queued();
+
+  // Executor side: mutate a job's guarded fields under the table lock.
+  template <typename Fn>
+  void update(const std::shared_ptr<Job>& job, Fn&& fn) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn(*job);
+  }
+
+  // Consistent copy of a job's guarded fields for rendering.
+  Job copy_of(const std::shared_ptr<Job>& job) const;
+
+  std::vector<std::shared_ptr<Job>> all() const;
+
+  // The job currently kRunning (the executor runs at most one), or the most
+  // recently submitted one — what the daemon-level /progress.json shows.
+  std::shared_ptr<Job> active_or_latest() const;
+
+  // Shutdown: every still-queued job flips to kCancelled.
+  void cancel_queued(const std::string& reason);
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<Job>> jobs_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace fu::service

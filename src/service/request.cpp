@@ -1,0 +1,116 @@
+#include "service/request.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace fu::service {
+
+namespace {
+
+// Bounds beyond which a value is a client error rather than a big survey.
+constexpr int kMaxPasses = 50;
+constexpr int kMaxTable2Cves = 1'000'000;
+
+bool integral_in_range(const obs::JsonValue& value, double lo, double hi,
+                       double& out) {
+  if (!value.is_number()) return false;
+  if (std::floor(value.number) != value.number) return false;
+  if (value.number < lo || value.number > hi) return false;
+  out = value.number;
+  return true;
+}
+
+}  // namespace
+
+bool parse_survey_request(const std::string& body, std::uint32_t max_sites,
+                          SurveyRequest& out, std::string& error) {
+  obs::JsonValue doc;
+  if (!obs::json_parse(body, doc, &error)) {
+    error = "malformed JSON: " + error;
+    return false;
+  }
+  if (!doc.is_object()) {
+    error = "request body must be a JSON object";
+    return false;
+  }
+
+  SurveyRequest request;
+  bool have_sites = false;
+  for (const auto& [key, value] : doc.object) {
+    double number = 0;
+    if (key == "sites") {
+      if (!integral_in_range(value, 1, max_sites, number)) {
+        error = "\"sites\" must be an integer in [1, " +
+                std::to_string(max_sites) + "]";
+        return false;
+      }
+      request.sites = static_cast<std::uint32_t>(number);
+      have_sites = true;
+    } else if (key == "seed") {
+      // Doubles carry 53 integer bits exactly; a seed beyond that would not
+      // round-trip through JSON, so it is refused rather than quietly bent.
+      if (!integral_in_range(value, 0, 9007199254740992.0, number)) {
+        error = "\"seed\" must be a non-negative integer (<= 2^53)";
+        return false;
+      }
+      request.seed = static_cast<std::uint64_t>(number);
+    } else if (key == "passes") {
+      if (!integral_in_range(value, 1, kMaxPasses, number)) {
+        error = "\"passes\" must be an integer in [1, " +
+                std::to_string(kMaxPasses) + "]";
+        return false;
+      }
+      request.passes = static_cast<int>(number);
+    } else if (key == "ad_only" || key == "tracking_only") {
+      if (value.type != obs::JsonValue::Type::kBool) {
+        error = "\"" + key + "\" must be a boolean";
+        return false;
+      }
+      (key == "ad_only" ? request.ad_only : request.tracking_only) =
+          value.boolean;
+    } else if (key == "table2_min_site_pct") {
+      if (!value.is_number() || value.number < 0 || value.number > 100) {
+        error = "\"table2_min_site_pct\" must be a number in [0, 100]";
+        return false;
+      }
+      request.tables.table2_min_site_pct = value.number;
+    } else if (key == "table2_min_cves") {
+      if (!integral_in_range(value, 0, kMaxTable2Cves, number)) {
+        error = "\"table2_min_cves\" must be a non-negative integer";
+        return false;
+      }
+      request.tables.table2_min_cves = static_cast<int>(number);
+    } else {
+      error = "unknown field \"" + key + "\"";
+      return false;
+    }
+  }
+  if (!have_sites) {
+    error = "missing required field \"sites\"";
+    return false;
+  }
+  out = request;
+  return true;
+}
+
+std::string request_json(const SurveyRequest& request) {
+  char pct[64];
+  std::snprintf(pct, sizeof pct, "%.6f", request.tables.table2_min_site_pct);
+  std::string out = "{";
+  out += "\"sites\": " + std::to_string(request.sites);
+  out += ", \"seed\": " + std::to_string(request.seed);
+  out += ", \"passes\": " + std::to_string(request.passes);
+  out += std::string(", \"ad_only\": ") +
+         (request.ad_only ? "true" : "false");
+  out += std::string(", \"tracking_only\": ") +
+         (request.tracking_only ? "true" : "false");
+  out += std::string(", \"table2_min_site_pct\": ") + pct;
+  out += ", \"table2_min_cves\": " +
+         std::to_string(request.tables.table2_min_cves);
+  out += "}";
+  return out;
+}
+
+}  // namespace fu::service

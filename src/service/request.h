@@ -1,0 +1,52 @@
+// Survey daemon request model: the JSON body of `POST /surveys`.
+//
+// A request names exactly one survey. Its crawl-identity fields (sites,
+// seed, passes, blocker configurations) enter the SurveyKey and therefore
+// decide whether a crawl must run; the table options are analysis-layer
+// parameters that deliberately stay *outside* the key, so a request that
+// differs only in them is served from the warm shard cache of an earlier
+// crawl — re-derived tables, zero recrawled sites.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/tables_json.h"
+
+namespace fu::service {
+
+struct SurveyRequest {
+  std::uint32_t sites = 0;           // required; 1 .. DaemonOptions::max_sites
+  std::uint64_t seed = 0x10f3a7ULL;  // default mirrors ReproductionConfig
+  int passes = 5;
+  bool ad_only = true;        // AdBlock-Plus-only configuration (Figure 7)
+  bool tracking_only = true;  // Ghostery-only configuration (Figure 7)
+  analysis::TableOptions tables;
+
+  // Same crawl identity (same SurveyKey, given one catalog per seed)?
+  bool same_crawl(const SurveyRequest& other) const {
+    return sites == other.sites && seed == other.seed &&
+           passes == other.passes && ad_only == other.ad_only &&
+           tracking_only == other.tracking_only;
+  }
+  // Same analysis parameters? same_crawl && same_analysis == same job.
+  bool same_analysis(const SurveyRequest& other) const {
+    return tables.table2_min_site_pct == other.tables.table2_min_site_pct &&
+           tables.table2_min_cves == other.tables.table2_min_cves;
+  }
+};
+
+// Strict parse + validation of a POST /surveys body. The document must be a
+// JSON object; "sites" is required; every other field is optional with the
+// defaults above. Unknown keys, wrong types, non-integral counts and
+// out-of-range values are all rejected — a typo must fail loudly, not
+// silently crawl the wrong survey. Returns false with `error` set (the 400
+// body) on any defect.
+bool parse_survey_request(const std::string& body, std::uint32_t max_sites,
+                          SurveyRequest& out, std::string& error);
+
+// The request echoed back as JSON — the "request" member of every job
+// document, so a client can always see what a job will (or did) crawl.
+std::string request_json(const SurveyRequest& request);
+
+}  // namespace fu::service

@@ -346,5 +346,118 @@ TEST_F(CheckpointTest, ResumeWithEmptyDirectoryJustCrawls) {
   EXPECT_GT(results.sites_measured(), 0);
 }
 
+// ------------------------------------------------------------ compaction --
+
+TEST_F(CheckpointTest, ShardHeadersListsDistinctHeadersInOrder) {
+  const std::string dir_a = dir() + "/a";
+  {
+    sched::ShardWriter first(dir_a, "alpha", /*flush_every=*/1);
+    first.add(0, "x");
+    first.add(1, "y");
+  }
+  {
+    sched::ShardWriter second(dir_a, "beta", /*flush_every=*/1);
+    second.add(2, "z");
+  }
+  const std::vector<std::string> headers = sched::shard_headers(dir_a);
+  ASSERT_EQ(headers.size(), 2u);
+  EXPECT_EQ(headers[0], "alpha");
+  EXPECT_EQ(headers[1], "beta");
+  EXPECT_TRUE(sched::shard_headers(dir() + "/missing").empty());
+}
+
+TEST_F(CheckpointTest, CompactMergesDirsWithLaterDirWinning) {
+  const std::string dir_a = dir() + "/a";
+  const std::string dir_b = dir() + "/b";
+  const std::string out = dir() + "/out";
+  {
+    sched::ShardWriter writer(dir_a, "key", /*flush_every=*/1);
+    writer.add(0, "a0");
+    writer.add(1, "a1");
+    writer.add(2, "a2");
+  }
+  {
+    sched::ShardWriter writer(dir_b, "key", /*flush_every=*/1);
+    writer.add(1, "b1");  // must override a1
+    writer.add(3, "b3");
+  }
+  std::string error;
+  ASSERT_TRUE(sched::compact_shards({dir_a, dir_b}, out, &error)) << error;
+
+  // One output shard, each index once, ascending, later dir's record kept.
+  std::size_t shard_count = 0;
+  for (const auto& entry : fs::directory_iterator(out)) {
+    shard_count += entry.path().extension() == ".fush" ? 1 : 0;
+  }
+  EXPECT_EQ(shard_count, 1u);
+  const auto records = sched::load_shards(out, "key");
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].payload, "a0");
+  EXPECT_EQ(records[1].payload, "b1");
+  EXPECT_EQ(records[2].payload, "a2");
+  EXPECT_EQ(records[3].payload, "b3");
+}
+
+TEST_F(CheckpointTest, CompactRefusesMixedKeys) {
+  const std::string dir_a = dir() + "/a";
+  const std::string dir_b = dir() + "/b";
+  const std::string out = dir() + "/out";
+  {
+    sched::ShardWriter writer(dir_a, "key-one", /*flush_every=*/1);
+    writer.add(0, "x");
+  }
+  {
+    sched::ShardWriter writer(dir_b, "key-two", /*flush_every=*/1);
+    writer.add(0, "y");
+  }
+  std::string error;
+  EXPECT_FALSE(sched::compact_shards({dir_a, dir_b}, out, &error));
+  EXPECT_NE(error.find("different survey key"), std::string::npos) << error;
+  EXPECT_FALSE(fs::exists(out));
+
+  // Mixed headers *within* one directory are just as fatal.
+  {
+    sched::ShardWriter writer(dir_a, "key-two", /*flush_every=*/1);
+    writer.add(1, "z");
+  }
+  EXPECT_FALSE(sched::compact_shards({dir_a}, out, &error));
+  EXPECT_NE(error.find("mixed"), std::string::npos) << error;
+}
+
+TEST_F(CheckpointTest, CompactRefusesEmptyInputs) {
+  std::string error;
+  EXPECT_FALSE(sched::compact_shards({}, dir() + "/out", &error));
+  EXPECT_FALSE(
+      sched::compact_shards({dir() + "/nothing"}, dir() + "/out", &error));
+  EXPECT_NE(error.find("no readable shards"), std::string::npos) << error;
+}
+
+TEST_F(CheckpointTest, CompactedShardsResumeIdentically) {
+  // A survey checkpointed across many small shards, compacted, must restore
+  // the exact same outcomes from the compact dir.
+  crawler::SurveyOptions options = resume_options();
+  options.checkpoint_dir = dir() + "/raw";
+  options.checkpoint_every = 1;  // one shard per site: worst case
+  const crawler::SurveyResults fresh = run_survey(resume_web(), options);
+
+  const std::string out = dir() + "/compact";
+  std::string error;
+  ASSERT_TRUE(sched::compact_shards({options.checkpoint_dir}, out, &error))
+      << error;
+
+  crawler::SurveyOptions from_compact = resume_options();
+  from_compact.checkpoint_dir = out;
+  from_compact.resume = true;
+  from_compact.fault_injection = [](std::size_t, int) {
+    throw std::runtime_error("resume should not crawl anything");
+  };
+  const crawler::SurveyResults resumed =
+      run_survey(resume_web(), from_compact);
+  ASSERT_EQ(resumed.sites.size(), fresh.sites.size());
+  for (std::size_t i = 0; i < fresh.sites.size(); ++i) {
+    EXPECT_TRUE(resumed.sites[i] == fresh.sites[i]) << "site " << i;
+  }
+}
+
 }  // namespace
 }  // namespace fu

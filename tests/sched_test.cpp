@@ -11,6 +11,7 @@
 #include "obs/json.h"
 #include "obs/trace.h"
 #include "sched/progress.h"
+#include "sched/pool.h"
 #include "sched/worksteal.h"
 #include "test_util.h"
 
@@ -186,6 +187,132 @@ TEST(WorkSteal, StripedPolicyRunsEverythingToo) {
   EXPECT_TRUE(report.all_ok());
   EXPECT_EQ(report.steals, 0u);
   for (std::size_t i = 0; i < kJobs; ++i) EXPECT_EQ(runs[i].load(), 1);
+}
+
+// ----------------------------------------------------- persistent pool --
+
+TEST(Pool, BatchesRunBackToBackWithoutRespawn) {
+  // The daemon's life: one pool, many surveys. Every batch must run every
+  // job exactly once on the same worker set.
+  Pool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  for (int batch = 0; batch < 5; ++batch) {
+    constexpr std::size_t kJobs = 100;
+    std::vector<std::atomic<int>> runs(kJobs);
+    const RunReport report =
+        pool.run(kJobs, [&](std::size_t i, int) { runs[i].fetch_add(1); });
+    EXPECT_TRUE(report.all_ok());
+    EXPECT_EQ(report.threads, 4u);
+    for (std::size_t i = 0; i < kJobs; ++i) {
+      EXPECT_EQ(runs[i].load(), 1) << "batch " << batch << " job " << i;
+    }
+  }
+}
+
+TEST(Pool, ConcurrentBatchesShareTheWorkers) {
+  // Two threads submit batches at once; both complete, neither loses or
+  // duplicates a job. This is the "multi-survey submission without draining
+  // the pool" contract the daemon depends on.
+  Pool pool(4);
+  constexpr std::size_t kJobs = 200;
+  std::vector<std::atomic<int>> runs_a(kJobs), runs_b(kJobs);
+  RunReport report_a, report_b;
+  std::thread submit_a([&] {
+    report_a = pool.run(kJobs, [&](std::size_t i, int) {
+      runs_a[i].fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    });
+  });
+  std::thread submit_b([&] {
+    report_b = pool.run(kJobs, [&](std::size_t i, int) {
+      runs_b[i].fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    });
+  });
+  submit_a.join();
+  submit_b.join();
+  EXPECT_TRUE(report_a.all_ok());
+  EXPECT_TRUE(report_b.all_ok());
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    EXPECT_EQ(runs_a[i].load(), 1) << "batch a job " << i;
+    EXPECT_EQ(runs_b[i].load(), 1) << "batch b job " << i;
+  }
+}
+
+TEST(Pool, CancelAbandonsQueuedJobsButAccountsForAll) {
+  // Flip the cancel flag from inside an early job: jobs not yet started are
+  // reported "cancelled" without running, and run() still returns a report
+  // covering every index.
+  Pool pool(2);
+  constexpr std::size_t kJobs = 64;
+  std::atomic<bool> cancel{false};
+  std::atomic<int> executed{0};
+  BatchOptions options;
+  options.cancel = &cancel;
+  const RunReport report = pool.run(
+      kJobs,
+      [&](std::size_t i, int) {
+        executed.fetch_add(1);
+        if (i == 0) cancel.store(true);
+        // Every job takes real time, so most of the batch is still queued
+        // when job 0 (front of worker 0's block) flips the flag.
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      },
+      options);
+  EXPECT_EQ(report.jobs.size(), kJobs);
+  EXPECT_FALSE(report.all_ok());
+  std::size_t cancelled = 0;
+  for (const JobReport& job : report.jobs) {
+    if (job.ok) continue;
+    EXPECT_EQ(job.error, "cancelled");
+    EXPECT_EQ(job.attempts, 0);
+    ++cancelled;
+  }
+  EXPECT_GT(cancelled, 0u);
+  EXPECT_EQ(static_cast<std::size_t>(executed.load()), kJobs - cancelled);
+}
+
+TEST(Pool, CancelSetBeforeRunDiscardsEverything) {
+  Pool pool(2);
+  std::atomic<bool> cancel{true};
+  BatchOptions options;
+  options.cancel = &cancel;
+  const RunReport report = pool.run(
+      16, [&](std::size_t, int) { FAIL() << "job ran"; }, options);
+  EXPECT_EQ(report.jobs.size(), 16u);
+  EXPECT_EQ(report.failed_count(), 16u);
+  for (const JobReport& job : report.jobs) EXPECT_EQ(job.error, "cancelled");
+}
+
+TEST(Pool, ObserverSeesCancelledJobsToo) {
+  Pool pool(2);
+  std::atomic<bool> cancel{true};
+  struct Count : Observer {
+    std::atomic<std::size_t> done{0};
+    std::atomic<std::size_t> cancelled{0};
+    void on_job_done(std::size_t, bool ok, int,
+                     const std::string& error) override {
+      done.fetch_add(1);
+      if (!ok && error == "cancelled") cancelled.fetch_add(1);
+    }
+  } count;
+  BatchOptions options;
+  options.cancel = &cancel;
+  pool.run(32, [](std::size_t, int) {}, options, &count);
+  EXPECT_EQ(count.done.load(), 32u);
+  EXPECT_EQ(count.cancelled.load(), 32u);
+}
+
+TEST(Pool, IdlePoolDestructsPromptly) {
+  const auto start = std::chrono::steady_clock::now();
+  {
+    Pool pool(4);
+    pool.run(8, [](std::size_t, int) {});
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(seconds, 2.0);  // workers must not sleep through shutdown
 }
 
 // ------------------------------------------------------------- progress --

@@ -1,0 +1,444 @@
+// Tests for the survey daemon: submission/validation, deduplicated
+// concurrent POSTs (one crawl, N waiters), warm-shard re-analysis
+// bit-identity against a fresh in-process crawl, the auth rejection matrix,
+// and clean shutdown with jobs in flight (run under TSan in CI).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/metrics.h"
+#include "analysis/tables_json.h"
+#include "catalog/catalog.h"
+#include "crawler/survey.h"
+#include "net/web.h"
+#include "obs/json.h"
+#include "obs/server.h"
+#include "service/daemon.h"
+#include "service/request.h"
+
+namespace fu::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Fresh scratch cache directory per test.
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("fu_svc_" + std::string(::testing::UnitTest::GetInstance()
+                                        ->current_test_info()
+                                        ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  DaemonOptions options() const {
+    DaemonOptions opts;
+    opts.cache_dir = dir_.string();
+    opts.threads = 4;
+    return opts;
+  }
+
+  fs::path dir_;
+};
+
+std::string http(const char* method, int port, const std::string& path,
+                 const std::string& body, int& status,
+                 const std::string& bearer = {}) {
+  std::string response;
+  std::string error;
+  const bool ok =
+      std::string(method) == "GET"
+          ? obs::http_get("127.0.0.1", port, path, status, response, &error,
+                          5.0, bearer)
+          : obs::http_post("127.0.0.1", port, path, body, status, response,
+                           &error, 5.0, bearer);
+  EXPECT_TRUE(ok) << method << " " << path << ": " << error;
+  return response;
+}
+
+obs::JsonValue parsed(const std::string& body) {
+  obs::JsonValue value;
+  std::string error;
+  EXPECT_TRUE(obs::json_parse(body, value, &error)) << error << "\n" << body;
+  return value;
+}
+
+// Poll one job until it leaves queued/running (or the deadline passes).
+std::string wait_state(int port, std::uint64_t id,
+                       const std::string& bearer = {}) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(240);
+  for (;;) {
+    int status = 0;
+    const obs::JsonValue job = parsed(
+        http("GET", port, "/surveys/" + std::to_string(id), "", status,
+             bearer));
+    const std::string state = job.string_or("state", "?");
+    if (state != "queued" && state != "running") return state;
+    if (std::chrono::steady_clock::now() > deadline) return "timeout";
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+// The daemon-side request mirrored locally: what run_survey + tables_json
+// produce in-process for the same parameters.
+std::string local_tables(std::uint32_t sites, int passes,
+                         const analysis::TableOptions& cut) {
+  const catalog::Catalog cat(0x10f3a7ULL);
+  net::SyntheticWeb::Config config;
+  config.site_count = static_cast<int>(sites);
+  config.seed = 0x10f3a7ULL;
+  const net::SyntheticWeb web(cat, config);
+  crawler::SurveyOptions options;
+  options.passes = passes;
+  options.seed = 0x10f3a7ULL;
+  const crawler::SurveyResults results = crawler::run_survey(web, options);
+  const analysis::Analysis analysis(results);
+  return analysis::tables_json(analysis, cut);
+}
+
+// ------------------------------------------------------ request parsing --
+
+TEST(SurveyRequestParse, DefaultsAndOverrides) {
+  SurveyRequest request;
+  std::string error;
+  ASSERT_TRUE(parse_survey_request("{\"sites\": 40}", 100, request, error))
+      << error;
+  EXPECT_EQ(request.sites, 40u);
+  EXPECT_EQ(request.seed, 0x10f3a7ULL);
+  EXPECT_EQ(request.passes, 5);
+  EXPECT_TRUE(request.ad_only);
+  EXPECT_TRUE(request.tracking_only);
+  EXPECT_DOUBLE_EQ(request.tables.table2_min_site_pct, 1.0);
+
+  ASSERT_TRUE(parse_survey_request(
+      "{\"sites\": 7, \"seed\": 42, \"passes\": 3, \"ad_only\": false, "
+      "\"tracking_only\": false, \"table2_min_site_pct\": 0.5, "
+      "\"table2_min_cves\": 2}",
+      100, request, error))
+      << error;
+  EXPECT_EQ(request.sites, 7u);
+  EXPECT_EQ(request.seed, 42u);
+  EXPECT_EQ(request.passes, 3);
+  EXPECT_FALSE(request.ad_only);
+  EXPECT_FALSE(request.tracking_only);
+  EXPECT_DOUBLE_EQ(request.tables.table2_min_site_pct, 0.5);
+  EXPECT_EQ(request.tables.table2_min_cves, 2);
+}
+
+TEST(SurveyRequestParse, RejectsEveryDefect) {
+  const char* bad[] = {
+      "",                                   // empty
+      "not json",                           // malformed
+      "[1, 2]",                             // not an object
+      "{}",                                 // missing sites
+      "{\"sites\": 0}",                     // below range
+      "{\"sites\": 101}",                   // above max_sites
+      "{\"sites\": 1.5}",                   // non-integral
+      "{\"sites\": \"12\"}",                // wrong type
+      "{\"sites\": 12, \"passes\": 0}",     // passes below range
+      "{\"sites\": 12, \"seed\": -1}",      // negative seed
+      "{\"sites\": 12, \"ad_only\": 1}",    // bool field as number
+      "{\"sites\": 12, \"sties\": 5}",      // typo'd key must fail loudly
+      "{\"sites\": 12, \"table2_min_site_pct\": 150}",  // pct out of range
+  };
+  for (const char* body : bad) {
+    SurveyRequest request;
+    std::string error;
+    EXPECT_FALSE(parse_survey_request(body, 100, request, error))
+        << "accepted: " << body;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+// ------------------------------------------------- submission & tables --
+
+TEST_F(ServiceTest, WarmReanalysisIsBitIdenticalToFreshCrawl) {
+  DaemonOptions opts = options();
+  std::uint64_t crawled_after_restart = 0;
+  std::string daemon_tables;
+  std::string daemon_tables_wide;
+  {
+    Daemon daemon(opts);
+    ASSERT_TRUE(daemon.ok()) << daemon.error();
+    int status = 0;
+    const obs::JsonValue submitted = parsed(
+        http("POST", daemon.port(), "/surveys",
+             "{\"sites\": 12, \"passes\": 2}", status));
+    EXPECT_EQ(status, 202);
+    const auto id =
+        static_cast<std::uint64_t>(submitted.number_or("id", 0));
+    ASSERT_EQ(wait_state(daemon.port(), id), "done");
+    daemon_tables = http("GET", daemon.port(),
+                         "/surveys/" + std::to_string(id) + "/tables", "",
+                         status);
+    EXPECT_EQ(status, 200);
+    EXPECT_EQ(daemon.surveys_crawled(), 1u);
+
+    // Analysis-only variant: same crawl identity, different Table 2 cut —
+    // served from the warm shard cache without touching a worker.
+    const obs::JsonValue wide = parsed(http(
+        "POST", daemon.port(), "/surveys",
+        "{\"sites\": 12, \"passes\": 2, \"table2_min_site_pct\": 0.0}",
+        status));
+    EXPECT_EQ(status, 202);
+    const auto wide_id = static_cast<std::uint64_t>(wide.number_or("id", 0));
+    EXPECT_NE(wide_id, id);
+    ASSERT_EQ(wait_state(daemon.port(), wide_id), "done");
+    const obs::JsonValue wide_job = parsed(
+        http("GET", daemon.port(), "/surveys/" + std::to_string(wide_id),
+             "", status));
+    EXPECT_EQ(wide_job.number_or("sites_recrawled", -1), 0);
+    if (const obs::JsonValue* from_cache = wide_job.find("from_cache")) {
+      EXPECT_TRUE(from_cache->boolean);
+    }
+    daemon_tables_wide =
+        http("GET", daemon.port(),
+             "/surveys/" + std::to_string(wide_id) + "/tables", "", status);
+    EXPECT_EQ(daemon.surveys_crawled(), 1u);  // still just the one crawl
+    EXPECT_EQ(daemon.surveys_from_cache(), 1u);
+
+    // Per-survey observability: progress shows the finished crawl, metrics
+    // is a valid registry-delta document.
+    const obs::JsonValue progress = parsed(
+        http("GET", daemon.port(),
+             "/surveys/" + std::to_string(id) + "/progress.json", "",
+             status));
+    EXPECT_EQ(progress.number_or("done", -1), 12);
+    EXPECT_EQ(progress.number_or("total", -1), 12);
+    const obs::JsonValue metrics = parsed(
+        http("GET", daemon.port(),
+             "/surveys/" + std::to_string(id) + "/metrics.json", "",
+             status));
+    ASSERT_NE(metrics.find("counters"), nullptr);
+    bool crawl_counter_moved = false;
+    for (const auto& [name, value] : metrics.find("counters")->object) {
+      if (name == "sched.jobs_executed") {
+        crawl_counter_moved = value.number >= 12;
+      }
+    }
+    EXPECT_TRUE(crawl_counter_moved);
+  }
+
+  // A restarted daemon re-derives from the shard cache left on disk: the
+  // same submission completes with zero sites crawled.
+  {
+    Daemon daemon(opts);
+    ASSERT_TRUE(daemon.ok()) << daemon.error();
+    int status = 0;
+    const obs::JsonValue submitted = parsed(
+        http("POST", daemon.port(), "/surveys",
+             "{\"sites\": 12, \"passes\": 2}", status));
+    const auto id =
+        static_cast<std::uint64_t>(submitted.number_or("id", 0));
+    ASSERT_EQ(wait_state(daemon.port(), id), "done");
+    const std::string restarted = http(
+        "GET", daemon.port(), "/surveys/" + std::to_string(id) + "/tables",
+        "", status);
+    EXPECT_EQ(restarted, daemon_tables);
+    crawled_after_restart = daemon.surveys_crawled();
+    EXPECT_EQ(daemon.surveys_from_cache(), 1u);
+  }
+  EXPECT_EQ(crawled_after_restart, 0u);
+
+  // The acceptance bar: both documents bit-identical to an in-process
+  // crawl + analysis with the same parameters.
+  EXPECT_EQ(daemon_tables, local_tables(12, 2, {}));
+  analysis::TableOptions wide_cut;
+  wide_cut.table2_min_site_pct = 0.0;
+  EXPECT_EQ(daemon_tables_wide, local_tables(12, 2, wide_cut));
+}
+
+TEST_F(ServiceTest, ConcurrentDuplicatePostsShareOneCrawl) {
+  Daemon daemon(options());
+  ASSERT_TRUE(daemon.ok()) << daemon.error();
+
+  constexpr int kClients = 8;
+  std::vector<std::uint64_t> ids(kClients, 0);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&daemon, &ids, c] {
+      int status = 0;
+      std::string response;
+      std::string error;
+      ASSERT_TRUE(obs::http_post("127.0.0.1", daemon.port(), "/surveys",
+                                 "{\"sites\": 16, \"passes\": 2}", status,
+                                 response, &error))
+          << error;
+      EXPECT_TRUE(status == 202 || status == 200) << response;
+      obs::JsonValue body;
+      ASSERT_TRUE(obs::json_parse(response, body));
+      ids[c] = static_cast<std::uint64_t>(body.number_or("id", 0));
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  // Every client was attached to the same job...
+  for (const std::uint64_t id : ids) EXPECT_EQ(id, ids.front());
+  ASSERT_EQ(wait_state(daemon.port(), ids.front()), "done");
+  // ...which crawled exactly once and is the only job in the table.
+  EXPECT_EQ(daemon.surveys_crawled(), 1u);
+  int status = 0;
+  const obs::JsonValue list =
+      parsed(http("GET", daemon.port(), "/surveys", "", status));
+  ASSERT_NE(list.find("jobs"), nullptr);
+  EXPECT_EQ(list.find("jobs")->array.size(), 1u);
+}
+
+// -------------------------------------------------------------- rejects --
+
+TEST_F(ServiceTest, MalformedAndOversizedSubmissionsAreRejected) {
+  DaemonOptions opts = options();
+  opts.max_sites = 100;
+  Daemon daemon(opts);
+  ASSERT_TRUE(daemon.ok()) << daemon.error();
+
+  int status = 0;
+  const char* bad[] = {"{not json", "{\"sites\": 0}", "{\"sites\": 101}",
+                       "{}", "{\"sites\": 12, \"bogus\": true}"};
+  for (const char* body : bad) {
+    const obs::JsonValue response =
+        parsed(http("POST", daemon.port(), "/surveys", body, status));
+    EXPECT_EQ(status, 400) << body;
+    EXPECT_FALSE(response.string_or("error", "").empty());
+  }
+
+  // Oversized body: refused by the server's request cap with 413, long
+  // before the JSON parser sees it.
+  http("POST", daemon.port(), "/surveys",
+       "{\"pad\": \"" + std::string(70 * 1024, 'x') + "\"}", status);
+  EXPECT_EQ(status, 413);
+
+  // Unknown ids and non-numeric ids are 404, not crashes.
+  http("GET", daemon.port(), "/surveys/999", "", status);
+  EXPECT_EQ(status, 404);
+  http("GET", daemon.port(), "/surveys/abc/tables", "", status);
+  EXPECT_EQ(status, 404);
+
+  // Nothing slipped into the job table.
+  const obs::JsonValue list =
+      parsed(http("GET", daemon.port(), "/surveys", "", status));
+  EXPECT_EQ(list.find("jobs")->array.size(), 0u);
+  EXPECT_EQ(daemon.surveys_crawled(), 0u);
+}
+
+TEST_F(ServiceTest, AuthRejectionMatrix) {
+  DaemonOptions opts = options();
+  opts.auth_token = "sekrit";
+  Daemon daemon(opts);
+  ASSERT_TRUE(daemon.ok()) << daemon.error();
+
+  // Every endpoint — the daemon's own and the PR 5 read-only built-ins —
+  // refuses a missing or wrong bearer before routing.
+  const char* reads[] = {"/surveys",     "/surveys/1",    "/metrics.json",
+                         "/metrics",     "/progress.json", "/healthz",
+                         "/deltas.json"};
+  int status = 0;
+  for (const char* path : reads) {
+    http("GET", daemon.port(), path, "", status);
+    EXPECT_EQ(status, 401) << path;
+    http("GET", daemon.port(), path, "", status, "wrong-token");
+    EXPECT_EQ(status, 401) << path;
+  }
+  http("POST", daemon.port(), "/surveys", "{\"sites\": 4, \"passes\": 1}",
+       status);
+  EXPECT_EQ(status, 401);
+  EXPECT_EQ(daemon.surveys_crawled() + daemon.surveys_from_cache(), 0u);
+
+  // The right token reaches the handlers.
+  http("GET", daemon.port(), "/surveys", "", status, "sekrit");
+  EXPECT_EQ(status, 200);
+  const obs::JsonValue submitted =
+      parsed(http("POST", daemon.port(), "/surveys",
+                  "{\"sites\": 4, \"passes\": 1}", status, "sekrit"));
+  EXPECT_EQ(status, 202);
+  EXPECT_EQ(wait_state(daemon.port(),
+                       static_cast<std::uint64_t>(
+                           submitted.number_or("id", 0)),
+                       "sekrit"),
+            "done");
+}
+
+TEST_F(ServiceTest, NonLoopbackBindRefusesToStartWithoutToken) {
+  DaemonOptions opts = options();
+  opts.bind_address = "0.0.0.0";
+  Daemon exposed(opts);
+  EXPECT_FALSE(exposed.ok());
+  EXPECT_NE(exposed.error().find("token"), std::string::npos)
+      << exposed.error();
+
+  opts.auth_token = "sekrit";
+  Daemon guarded(opts);
+  EXPECT_TRUE(guarded.ok()) << guarded.error();
+}
+
+// ------------------------------------------------------------- shutdown --
+
+TEST_F(ServiceTest, CleanShutdownWithJobsInFlightThenResume) {
+  DaemonOptions opts = options();
+  opts.checkpoint_every = 1;  // shard every site so the resume test bites
+  const std::string survey = "{\"sites\": 48, \"passes\": 3}";
+  {
+    Daemon daemon(opts);
+    ASSERT_TRUE(daemon.ok()) << daemon.error();
+    int status = 0;
+    const obs::JsonValue submitted =
+        parsed(http("POST", daemon.port(), "/surveys", survey, status));
+    const auto id =
+        static_cast<std::uint64_t>(submitted.number_or("id", 0));
+    // A second, different survey sits queued behind the first.
+    http("POST", daemon.port(), "/surveys", "{\"sites\": 8, \"seed\": 9}",
+         status);
+    EXPECT_EQ(status, 202);
+
+    // Let the crawl make some progress before pulling the plug, so shards
+    // exist and the shutdown genuinely interrupts in-flight work.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(240);
+    for (;;) {
+      const obs::JsonValue progress = parsed(
+          http("GET", daemon.port(),
+               "/surveys/" + std::to_string(id) + "/progress.json", "",
+               status));
+      const double done = progress.number_or("done", 0);
+      if (done > 0 || std::chrono::steady_clock::now() > deadline) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    // ~Daemon: drain the server, cancel the crawl, join the executor. The
+    // whole point is that this returns instead of hanging.
+  }
+
+  // The interrupted crawl left valid shards; a fresh daemon resumes from
+  // them and completes the same submission without starting over.
+  Daemon daemon(opts);
+  ASSERT_TRUE(daemon.ok()) << daemon.error();
+  int status = 0;
+  const obs::JsonValue submitted =
+      parsed(http("POST", daemon.port(), "/surveys", survey, status));
+  const auto id = static_cast<std::uint64_t>(submitted.number_or("id", 0));
+  ASSERT_EQ(wait_state(daemon.port(), id), "done");
+  const obs::JsonValue job = parsed(
+      http("GET", daemon.port(), "/surveys/" + std::to_string(id), "",
+           status));
+  const double recrawled = job.number_or("sites_recrawled", -1);
+  EXPECT_GE(recrawled, 0);
+  EXPECT_LE(recrawled, 48);
+  // And the result is the same document a never-interrupted crawl yields.
+  const std::string tables = http(
+      "GET", daemon.port(), "/surveys/" + std::to_string(id) + "/tables",
+      "", status);
+  EXPECT_EQ(tables, local_tables(48, 3, {}));
+}
+
+}  // namespace
+}  // namespace fu::service

@@ -11,6 +11,7 @@
 //
 // Scale via FU_SITES / FU_PASSES / FU_SEED (see README).
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -20,6 +21,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "analysis/report.h"
 #include "blocker/extensions.h"
@@ -30,7 +32,9 @@
 #include "obs/server.h"
 #include "obs/trace.h"
 #include "obs/tracefile.h"
+#include "sched/checkpoint.h"
 #include "sched/progress.h"
+#include "service/daemon.h"
 
 namespace {
 
@@ -46,11 +50,26 @@ int usage() {
       "  standard <abbrev>     survey-backed deep-dive for one standard\n"
       "  survey [flags]        run the survey, print the main tables\n"
       "  report <dir>          export every table/figure/CSV\n"
-      "  watch <host:port|checkpoint-dir> [--interval s] [--once]\n"
+      "  serve [--port p] [--bind addr] [--threads n] [--cache-dir d]\n"
+      "        [--stall-secs s]\n"
+      "                        survey daemon: POST /surveys queues crawls\n"
+      "                        onto one persistent worker pool; completed\n"
+      "                        crawls keep their checkpoint shards in a\n"
+      "                        keyed cache so analysis-only re-submissions\n"
+      "                        never recrawl. Binding a non-loopback\n"
+      "                        address requires FU_SERVE_TOKEN (bearer\n"
+      "                        auth, checked on every endpoint)\n"
+      "  compact <shard-dir>... <out-dir>\n"
+      "                        merge checkpoint shard dirs (same survey\n"
+      "                        key only; later dirs win) into one compact\n"
+      "                        shard set under <out-dir>\n"
+      "  watch <host:port|host:port/surveys/<id>|checkpoint-dir>\n"
+      "        [--interval s] [--once]\n"
       "                        live dashboard for a survey started with\n"
-      "                        --serve (throughput, ETA, stage latency,\n"
-      "                        slow in-flight sites); exits 1 when /healthz\n"
-      "                        reports a stall, 0 when the survey finishes\n"
+      "                        --serve, or for one daemon survey by URL\n"
+      "                        (FU_SERVE_TOKEN sent as bearer when set);\n"
+      "                        exits 1 when /healthz reports a stall, 0\n"
+      "                        when the survey finishes\n"
       "  trace <file> [--top n] [--json] [--write-baseline <f>]\n"
       "        [--check-baseline <f>] [--tolerance <frac>]\n"
       "                        summarize a trace written by survey\n"
@@ -507,6 +526,113 @@ int cmd_report(Reproduction& repro, int argc, char** argv) {
   return 0;
 }
 
+// ------------------------------------------------------------- fu serve --
+
+volatile std::sig_atomic_t g_serve_stop = 0;
+
+void serve_signal(int) { g_serve_stop = 1; }
+
+int cmd_serve(int argc, char** argv) {
+  service::DaemonOptions options;
+  if (const char* token = std::getenv("FU_SERVE_TOKEN")) {
+    options.auth_token = token;
+  }
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const auto int_value = [&](int& out) {
+      const char* text = value();
+      if (text == nullptr) return false;
+      char* end = nullptr;
+      const long parsed = std::strtol(text, &end, 10);
+      if (end == text || *end != '\0' || parsed < 0) {
+        std::cerr << arg << ": not a number: " << text << "\n";
+        return false;
+      }
+      out = static_cast<int>(parsed);
+      return true;
+    };
+    if (arg == "--port") {
+      if (!int_value(options.port)) return 2;
+    } else if (arg == "--threads") {
+      if (!int_value(options.threads)) return 2;
+    } else if (arg == "--bind") {
+      const char* text = value();
+      if (text == nullptr) return 2;
+      options.bind_address = text;
+    } else if (arg == "--cache-dir") {
+      const char* text = value();
+      if (text == nullptr) return 2;
+      options.cache_dir = text;
+    } else if (arg == "--stall-secs") {
+      const char* text = value();
+      if (text == nullptr) return 2;
+      char* end = nullptr;
+      options.stall_secs = std::strtod(text, &end);
+      if (end == text || *end != '\0' || options.stall_secs < 0) {
+        std::cerr << arg << ": not a number: " << text << "\n";
+        return 2;
+      }
+    } else {
+      std::cerr << "unknown serve flag: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  service::Daemon daemon(options);
+  if (!daemon.ok()) {
+    std::cerr << "fu serve: " << daemon.error() << "\n";
+    return 1;
+  }
+  std::cerr << "fu serve: listening on " << options.bind_address << ":"
+            << daemon.port() << " (cache: " << options.cache_dir
+            << (options.auth_token.empty() ? ", no auth"
+                                           : ", bearer auth on")
+            << ")\nfu serve: POST /surveys to submit; ctrl-c for a clean "
+               "shutdown (in-flight crawls checkpoint and resume)\n";
+  std::signal(SIGINT, serve_signal);
+  std::signal(SIGTERM, serve_signal);
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::cerr << "fu serve: shutting down\n";
+  return 0;  // ~Daemon drains the server and cancels in-flight work
+}
+
+// ----------------------------------------------------------- fu compact --
+
+int cmd_compact(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 0; i < argc; ++i) {
+    if (argv[i][0] == '-') {
+      std::cerr << "unknown compact argument: " << argv[i] << "\n";
+      return 2;
+    }
+    args.emplace_back(argv[i]);
+  }
+  if (args.size() < 2) {
+    std::cerr << "fu compact: need at least one shard dir and an output "
+                 "dir\n";
+    return usage();
+  }
+  const std::string out_dir = args.back();
+  args.pop_back();
+  std::string error;
+  if (!sched::compact_shards(args, out_dir, &error)) {
+    std::cerr << "fu compact: " << error << "\n";
+    return 1;
+  }
+  std::cout << "compacted " << args.size() << " dir(s) into " << out_dir
+            << "\n";
+  return 0;
+}
+
 // ------------------------------------------------------------- fu watch --
 
 // Rebuild a progress snapshot from a /progress.json body so the dashboard
@@ -569,20 +695,38 @@ int cmd_watch(int argc, char** argv) {
   }
   if (target.empty()) return usage();
 
-  // Resolve host:port, or a checkpoint dir holding serve.port.
+  // Resolve host:port (optionally with a /surveys/<id> path scoping the
+  // dashboard to one daemon survey), or a checkpoint dir holding
+  // serve.port. The split only happens when the part before the first '/'
+  // really parses as host:port, so directory targets — which contain
+  // slashes too — are never misread as URLs.
   std::string host = "127.0.0.1";
   int port = -1;
-  if (const std::size_t colon = target.rfind(':');
+  std::string base;  // path prefix for per-survey endpoints ("" = root)
+  std::string authority = target;
+  std::string url_path;
+  if (const std::size_t slash = target.find('/');
+      slash != std::string::npos) {
+    authority = target.substr(0, slash);
+    url_path = target.substr(slash);
+  }
+  if (const std::size_t colon = authority.rfind(':');
       colon != std::string::npos) {
     char* end = nullptr;
-    const long parsed = std::strtol(target.c_str() + colon + 1, &end, 10);
-    if (end != target.c_str() + colon + 1 && *end == '\0' && parsed > 0 &&
+    const long parsed = std::strtol(authority.c_str() + colon + 1, &end, 10);
+    if (end != authority.c_str() + colon + 1 && *end == '\0' && parsed > 0 &&
         parsed < 65536) {
-      host = target.substr(0, colon);
+      host = authority.substr(0, colon);
       if (host.empty() || host == "localhost") host = "127.0.0.1";
       port = static_cast<int>(parsed);
+      base = url_path;
+      while (!base.empty() && base.back() == '/') base.pop_back();
     }
   }
+  // A daemon with auth enabled rejects unauthenticated reads too; send the
+  // operator's token on every poll when one is configured.
+  std::string bearer;
+  if (const char* token = std::getenv("FU_SERVE_TOKEN")) bearer = token;
   if (port < 0) {
     std::ifstream in(target + "/serve.port");
     if (!(in >> port) || port <= 0) {
@@ -612,7 +756,8 @@ int cmd_watch(int argc, char** argv) {
     int status = 0;
     std::string body;
     std::string error;
-    if (!obs::http_get(host, port, "/progress.json", status, body, &error)) {
+    if (!obs::http_get(host, port, base + "/progress.json", status, body,
+                       &error, 5.0, bearer)) {
       if (polled_ok) {
         std::cout << "\nsurvey endpoint gone — run ended (last seen "
                   << last_done << "/" << last_total << " sites done)\n";
@@ -633,13 +778,14 @@ int cmd_watch(int argc, char** argv) {
     last_total = snap.total;
 
     bool stalled = false;
-    if (obs::http_get(host, port, "/healthz", status, body, &error)) {
+    if (obs::http_get(host, port, "/healthz", status, body, &error, 5.0,
+                      bearer)) {
       stalled = status == 503;
     }
 
     if (obs::http_get(host, port,
                       "/deltas.json?since=" + std::to_string(last_seq),
-                      status, body, &error) &&
+                      status, body, &error, 5.0, bearer) &&
         status == 200) {
       obs::JsonValue deltas;
       if (obs::json_parse(body, deltas)) {
@@ -737,6 +883,10 @@ int main(int argc, char** argv) {
   // no reproduction pipeline.
   if (command == "trace") return cmd_trace(nrest, rest);
   if (command == "watch") return cmd_watch(nrest, rest);
+  // `fu serve` builds catalogs per request seed and `fu compact` only
+  // touches shard files; neither needs the whole reproduction either.
+  if (command == "serve") return cmd_serve(nrest, rest);
+  if (command == "compact") return cmd_compact(nrest, rest);
   ReproductionConfig config = ReproductionConfig::from_env();
   if (command == "survey" && !parse_survey_flags(config, nrest, rest)) {
     return usage();
