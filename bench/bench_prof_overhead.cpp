@@ -1,0 +1,140 @@
+// bench_prof_overhead — what does always-compiled-in profiling cost?
+//
+// Three answers, mirroring bench_obs_overhead:
+//
+//   1. Disabled hooks: with no profiler live, a StageFrame (and the script
+//      frame hook in the interpreter) must cost one relaxed atomic load and
+//      a branch. This bench *asserts* the bound (generously, 150 ns per
+//      push/pop pair, ~50x the expected cost) so a regression that sneaks a
+//      lock or allocation onto the disabled path fails the bench job, not a
+//      profiling session later.
+//   2. Enabled hooks: the push/pop cost under a live sampler, in ns/frame.
+//   3. The real question: wall-clock of a survey unprofiled vs profiled at
+//      the default 97 Hz, with a check that both runs measure identical
+//      invocation counts (the bit-identity claim, cross-checked by
+//      engine_identity_test on exact bytes).
+//
+// Scale the survey with FU_SITES (default 100) and FU_PASSES (default 2).
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "obs/profiler.h"
+
+namespace {
+
+using namespace fu;
+
+// Keep the optimizer from deleting the measured loops.
+volatile std::uint64_t g_sink = 0;
+
+double baseline_ns(std::size_t iters) {
+  const bench::Timer timer;
+  for (std::size_t i = 0; i < iters; ++i) {
+    g_sink = g_sink + 1;
+  }
+  return timer.seconds() * 1e9 / static_cast<double>(iters);
+}
+
+double disabled_frame_ns(std::size_t iters) {
+  static const char* kName = "bench-prof-disabled";
+  const bench::Timer timer;
+  for (std::size_t i = 0; i < iters; ++i) {
+    obs::StageFrame frame(kName);
+    g_sink = g_sink + 1;
+  }
+  return timer.seconds() * 1e9 / static_cast<double>(iters);
+}
+
+double enabled_frame_ns(std::size_t iters) {
+  obs::Profiler profiler(97.0);
+  profiler.start();
+  static const char* kName = "bench-prof-enabled";
+  const bench::Timer timer;
+  for (std::size_t i = 0; i < iters; ++i) {
+    obs::StageFrame frame(kName);
+    g_sink = g_sink + 1;
+  }
+  const double ns = timer.seconds() * 1e9 / static_cast<double>(iters);
+  profiler.stop();
+  return ns;
+}
+
+double time_survey(const net::SyntheticWeb& web,
+                   const crawler::SurveyOptions& options,
+                   std::uint64_t& invocations) {
+  const bench::Timer timer;
+  const crawler::SurveyResults results = crawler::run_survey(web, options);
+  invocations = results.total_invocations();
+  return timer.seconds();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== profiling overhead ===\n\n");
+
+  constexpr std::size_t kIters = 2'000'000;
+  const double base = baseline_ns(kIters);
+  const double disabled = disabled_frame_ns(kIters);
+  const double enabled = enabled_frame_ns(1'000'000);
+  std::printf("-- hot-path microcosts (ns/frame push+pop, %zuk iters) --\n",
+              kIters / 1000);
+  std::printf("  %-28s %8.2f\n", "baseline (sink store)", base);
+  std::printf("  %-28s %8.2f\n", "StageFrame, profiler off", disabled);
+  std::printf("  %-28s %8.2f\n", "StageFrame, profiler on", enabled);
+
+  // The contract this bench exists to enforce: the disabled frame is within
+  // noise of doing nothing — one relaxed load and a branch.
+  const double disabled_cost = disabled - base;
+  if (disabled_cost > 150.0) {
+    std::fprintf(stderr,
+                 "FAIL: disabled StageFrame costs %.1f ns over baseline "
+                 "(budget 150 ns) — something heavy crept onto the "
+                 "profiling-off path\n",
+                 disabled_cost);
+    return 1;
+  }
+  std::printf("  disabled-frame overhead %.2f ns: within budget (150 ns)\n\n",
+              disabled_cost);
+
+  // Whole-survey cost, off vs on at the default rate.
+  ReproductionConfig config = ReproductionConfig::from_env();
+  if (std::getenv("FU_SITES") == nullptr) config.sites = 100;
+  if (std::getenv("FU_PASSES") == nullptr) config.passes = 2;
+  Reproduction repro(config);
+  const net::SyntheticWeb& web = repro.web();
+
+  crawler::SurveyOptions options;
+  options.passes = config.passes;
+  options.seed = config.seed;
+  options.include_ad_only = false;
+  options.include_tracking_only = false;
+  options.threads = 4;
+
+  std::printf("-- %d-site survey, %d passes, 4 threads --\n", config.sites,
+              config.passes);
+  std::uint64_t plain_inv = 0, profiled_inv = 0;
+  const double plain_s = time_survey(web, options, plain_inv);
+
+  obs::Profiler profiler(97.0);
+  profiler.start();
+  const double profiled_s = time_survey(web, options, profiled_inv);
+  const obs::FoldedProfile profile = profiler.stop();
+
+  std::printf("  %-28s %8.2f s\n", "profiling off", plain_s);
+  std::printf("  %-28s %8.2f s  (%llu samples, %+.1f%%)\n", "profiling on",
+              profiled_s,
+              static_cast<unsigned long long>(profile.total()),
+              (profiled_s / plain_s - 1.0) * 100.0);
+  if (plain_inv != profiled_inv) {
+    std::fprintf(stderr,
+                 "FAIL: profiling changed the survey (invocations %llu vs "
+                 "%llu)\n",
+                 static_cast<unsigned long long>(plain_inv),
+                 static_cast<unsigned long long>(profiled_inv));
+    return 1;
+  }
+  std::printf("  results identical with profiling on\n");
+  return 0;
+}

@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "obs/profiler.h"
+
 namespace fu::browser {
 
 namespace {
@@ -45,6 +47,10 @@ void MeasuringExtension::inject(Interpreter& interp, DomBindings& bindings) {
         [recorder, fid, original](Interpreter& in, const Value& self,
                                   std::span<const Value> args) {
           recorder->record(fid);
+          // Profiler attribution point: time spent inside the original
+          // implementation (and anything it calls back into) samples as
+          // this feature's standard (see obs/profiler.h).
+          obs::ProfFrame feature_frame(obs::FrameKind::kFeature, fid);
           return in.call_function(original, self, args);
         },
         "instrumented:" + f.full_name));

@@ -155,6 +155,14 @@ void BrowserSession::run_script_body(const std::string& cache_key,
       obs::TraceSpan exec_span("execute");
       obs::ScopedLatency exec_latency(BrowserMetrics::get().script_exec_us,
                                       obs::tracing_enabled());
+      // Source-site profiler frame: MiniJS function frames sampled below
+      // nest under "script:<site>/<resource>" (interned only while a
+      // profiler is live; the cache key is exactly the resource spec).
+      obs::ProfFrame script_frame(obs::FrameKind::kScript,
+                                  obs::prof::enabled()
+                                      ? obs::prof::intern_label("script:" +
+                                                                cache_key)
+                                      : 0);
       interp_.execute(*program);
     }
     BrowserMetrics::get().scripts_executed.add();

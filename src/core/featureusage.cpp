@@ -60,6 +60,8 @@ ReproductionConfig ReproductionConfig::from_env() {
   env_path("FU_TRACE_OUT", config.trace_out);
   env_path("FU_TRACE_JSONL", config.trace_jsonl);
   env_path("FU_METRICS_OUT", config.metrics_out);
+  config.profile_hz = env_double("FU_PROFILE_HZ", config.profile_hz);
+  env_path("FU_PROFILE_OUT", config.profile_out);
   config.serve_port =
       static_cast<int>(env_long("FU_SERVE_PORT", config.serve_port));
   config.stall_secs = env_double("FU_STALL_SECS", config.stall_secs);

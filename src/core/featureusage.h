@@ -74,10 +74,20 @@ struct ReproductionConfig {
   // the outliers.
   int trace_sample = 0;
 
+  // Continuous profiling (off by default). Profiling runs iff `profile_out`
+  // is set or `profile_hz` > 0: the survey executes under a sampling
+  // obs::Profiler and the folded-stack profile lands in `profile_out`
+  // (default "profile.folded" when only the rate was given), with the
+  // flamegraph beside it as <out>.html and the per-standard CPU attribution
+  // as <out>.standards.csv. `profile_hz` <= 0 means the 97 Hz default.
+  double profile_hz = 0;
+  std::string profile_out;
+
   // Read overrides from the environment: FU_SITES, FU_PASSES, FU_SEED,
   // FU_THREADS, FU_FIG7 (0/1), FU_RETRIES, FU_CHECKPOINT_DIR,
   // FU_CHECKPOINT_SECS, FU_TRACE_OUT, FU_TRACE_JSONL, FU_TRACE_SAMPLE,
-  // FU_METRICS_OUT, FU_SERVE_PORT, FU_STALL_SECS.
+  // FU_METRICS_OUT, FU_SERVE_PORT, FU_STALL_SECS, FU_PROFILE_HZ,
+  // FU_PROFILE_OUT.
   static ReproductionConfig from_env();
 };
 

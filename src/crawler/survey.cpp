@@ -1,11 +1,13 @@
 #include "crawler/survey.h"
 
+#include <cstdio>
 #include <iostream>
 #include <memory>
 
 #include "blocker/extensions.h"
 #include "crawler/serialize.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/server.h"
 #include "obs/trace.h"
 #include "sched/checkpoint.h"
@@ -148,6 +150,22 @@ SurveyResults run_survey(const net::SyntheticWeb& web,
 
   const std::size_t feature_count = web.feature_catalog().features().size();
 
+  // Register this catalog's feature labels with the sampling profiler so
+  // shim frames resolve to "std:<abbrev>/<feature>" and per-standard CPU
+  // attribution works in any profile taken during (or across) this survey —
+  // whether from --profile-out or a live /profilez window. Cheap (one
+  // string per feature, once per survey) and side-effect free for results.
+  {
+    const catalog::Catalog& cat = web.feature_catalog();
+    std::vector<obs::prof::FeatureLabel> labels;
+    labels.reserve(cat.features().size());
+    for (const catalog::Feature& f : cat.features()) {
+      const std::string& abbrev = cat.standard(f.standard).abbreviation;
+      labels.push_back({"std:" + abbrev + "/" + f.full_name, abbrev});
+    }
+    obs::prof::set_feature_table(std::move(labels));
+  }
+
   const auto blank_outcome = [&] {
     SiteOutcome outcome;
     for (auto& bits : outcome.features) {
@@ -287,6 +305,12 @@ SurveyResults run_survey(const net::SyntheticWeb& web,
       const sched::ProgressMeter::Snapshot snap = meter->snapshot();
       return obs::HealthStatus{!snap.stalled, sched::health_json(snap)};
     };
+    char fingerprint[32];
+    std::snprintf(fingerprint, sizeof fingerprint, "0x%016llx",
+                  static_cast<unsigned long long>(
+                      catalog_fingerprint(web.feature_catalog())));
+    server_options.build_extra.emplace_back("catalog_fingerprint",
+                                            fingerprint);
     server = std::make_unique<obs::Server>(std::move(server_options));
     if (server->ok()) {
       std::cerr << "serving live metrics on http://127.0.0.1:"

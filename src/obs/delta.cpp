@@ -115,8 +115,19 @@ std::uint64_t DeltaRing::latest_seq() const {
 
 std::string DeltaRing::to_json(std::uint64_t since) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::string out = "{\"latest_seq\": " + std::to_string(next_seq_ - 1) +
-                    ", \"deltas\": [";
+  std::string out = "{\"latest_seq\": " + std::to_string(next_seq_ - 1);
+  // A client asking for everything after `since` deserves to know when the
+  // front of that range has been evicted: seq `since + 1` is gone whenever
+  // it is older than the oldest retained interval (or the ring is empty but
+  // intervals have been emitted). Without the flag, a slow poller silently
+  // loses rate data and its cumulative plots drift.
+  const std::uint64_t oldest =
+      intervals_.empty() ? next_seq_ : intervals_.front().seq;
+  if (since + 1 < oldest && next_seq_ > 1) {
+    out += ", \"truncated\": true, \"oldest_seq\": " +
+           std::to_string(intervals_.empty() ? 0 : oldest);
+  }
+  out += ", \"deltas\": [";
   bool first_interval = true;
   for (const DeltaInterval& interval : intervals_) {
     if (interval.seq <= since) continue;

@@ -59,6 +59,10 @@ class DeltaRing {
   // The `/deltas.json?since=SEQ` body:
   //   {"latest_seq": N, "deltas": [{"seq":.., "t0":.., "t1":..,
   //    "counters": {...}, "gauges": {...}, "histograms": {...}}, ...]}
+  // When seq `since + 1` has already been evicted from the ring the body
+  // additionally carries `"truncated": true, "oldest_seq": M` (M = oldest
+  // retained seq, 0 if nothing is retained) so pollers know they missed
+  // intervals rather than silently receiving a gap.
   std::string to_json(std::uint64_t since) const;
 
  private:

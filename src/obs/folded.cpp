@@ -1,0 +1,441 @@
+#include "obs/folded.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "obs/metrics.h"  // json_quote
+
+namespace fu::obs {
+namespace {
+
+std::string pct_str(double pct) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", pct);
+  return buf;
+}
+
+double pct_of(std::uint64_t part, std::uint64_t total) {
+  return total == 0 ? 0.0 : 100.0 * static_cast<double>(part) /
+                                static_cast<double>(total);
+}
+
+std::vector<std::string_view> split_frames(std::string_view stack) {
+  std::vector<std::string_view> frames;
+  std::size_t start = 0;
+  while (start <= stack.size()) {
+    std::size_t semi = stack.find(';', start);
+    if (semi == std::string_view::npos) semi = stack.size();
+    frames.push_back(stack.substr(start, semi - start));
+    start = semi + 1;
+  }
+  return frames;
+}
+
+// Ranked (name -> samples) rows, ties broken by name for determinism.
+struct Row {
+  std::string name;
+  std::uint64_t samples = 0;
+};
+
+std::vector<Row> ranked(std::unordered_map<std::string, std::uint64_t>& by) {
+  std::vector<Row> rows;
+  rows.reserve(by.size());
+  for (auto& [name, samples] : by) rows.push_back({name, samples});
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.samples != b.samples) return a.samples > b.samples;
+    return a.name < b.name;
+  });
+  return rows;
+}
+
+struct Breakdown {
+  std::unordered_map<std::string, std::uint64_t> stages;
+  std::unordered_map<std::string, std::uint64_t> standards;
+  std::unordered_map<std::string, std::uint64_t> self;
+  std::unordered_map<std::string, std::uint64_t> inclusive;
+  std::uint64_t total = 0;
+};
+
+// One pass over the profile computing every axis the renderers need. A
+// sample charges: its deepest stage frame (or "(no-stage)"), the standard
+// of its deepest "std:" frame (or "(engine)"), its leaf frame for self
+// time, and every distinct frame on the stack for inclusive time.
+Breakdown breakdown(const FoldedProfile& profile) {
+  Breakdown b;
+  std::vector<std::string_view> distinct;
+  for (const auto& [stack, samples] : profile.stacks) {
+    b.total += samples;
+    auto frames = split_frames(stack);
+    std::string_view stage = "(no-stage)";
+    std::string_view standard = "(engine)";
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      switch (classify_frame(frames[i], i == 0)) {
+        case FrameClass::kStage:
+          stage = frames[i];
+          break;
+        case FrameClass::kStandard: {
+          std::string_view body = frames[i].substr(4);  // past "std:"
+          standard = body.substr(0, body.find('/'));
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    b.stages[std::string(stage)] += samples;
+    b.standards[std::string(standard)] += samples;
+    b.self[std::string(frames.back())] += samples;
+    distinct.assign(frames.begin(), frames.end());
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    for (auto frame : distinct) b.inclusive[std::string(frame)] += samples;
+  }
+  return b;
+}
+
+void render_section(std::string& out, const char* title,
+                    const std::vector<Row>& rows, std::uint64_t total,
+                    std::size_t top) {
+  out += title;
+  out += '\n';
+  for (std::size_t i = 0; i < rows.size() && i < top; ++i) {
+    char line[256];
+    std::snprintf(line, sizeof line, "  %-44s %10llu  %6s\n",
+                  rows[i].name.c_str(),
+                  static_cast<unsigned long long>(rows[i].samples),
+                  pct_str(pct_of(rows[i].samples, total)).c_str());
+    out += line;
+  }
+  if (rows.size() > top) {
+    out += "  ... " + std::to_string(rows.size() - top) + " more\n";
+  }
+}
+
+std::string json_rows(const std::vector<Row>& rows, std::uint64_t total,
+                      std::size_t top, const char* name_key) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < rows.size() && i < top; ++i) {
+    if (i > 0) out += ", ";
+    char pct[32];
+    std::snprintf(pct, sizeof pct, "%.3f", pct_of(rows[i].samples, total));
+    out += std::string("{\"") + name_key +
+           "\": " + json_quote(rows[i].name) +
+           ", \"samples\": " + std::to_string(rows[i].samples) +
+           ", \"pct\": " + pct + "}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t FoldedProfile::total() const {
+  std::uint64_t sum = 0;
+  for (const auto& [stack, samples] : stacks) sum += samples;
+  return sum;
+}
+
+void FoldedProfile::add(std::string_view stack, std::uint64_t samples) {
+  stacks[std::string(stack)] += samples;
+}
+
+std::string FoldedProfile::to_text() const {
+  std::string out;
+  for (const auto& [stack, samples] : stacks) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(samples);
+    out += '\n';
+  }
+  return out;
+}
+
+FoldedProfile FoldedProfile::parse(std::string_view text) {
+  FoldedProfile profile;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    auto fail = [&](const char* what) {
+      throw std::runtime_error("folded line " + std::to_string(line_no) +
+                               ": " + what);
+    };
+    std::size_t space = line.rfind(' ');
+    if (space == std::string_view::npos || space == 0) {
+      fail("expected 'stack count'");
+    }
+    std::string_view count_text = line.substr(space + 1);
+    if (count_text.empty()) fail("missing sample count");
+    std::uint64_t count = 0;
+    for (char c : count_text) {
+      if (c < '0' || c > '9') fail("sample count is not an integer");
+      count = count * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    std::string_view stack = line.substr(0, space);
+    if (stack.empty()) fail("empty stack");
+    profile.add(stack, count);
+  }
+  return profile;
+}
+
+FrameClass classify_frame(std::string_view frame, bool first) {
+  if (first) return FrameClass::kThread;
+  if (frame.rfind("std:", 0) == 0) return FrameClass::kStandard;
+  if (frame.rfind("script:", 0) == 0) return FrameClass::kScript;
+  if (frame.rfind("fn:", 0) == 0) return FrameClass::kFunction;
+  return FrameClass::kStage;
+}
+
+std::vector<StandardShare> standards_breakdown(const FoldedProfile& profile) {
+  Breakdown b = breakdown(profile);
+  std::vector<StandardShare> shares;
+  for (const Row& row : ranked(b.standards)) {
+    shares.push_back({row.name, row.samples, pct_of(row.samples, b.total)});
+  }
+  return shares;
+}
+
+std::string standards_csv(const FoldedProfile& profile) {
+  std::string out = "standard,samples,pct\n";
+  for (const StandardShare& share : standards_breakdown(profile)) {
+    char line[160];
+    std::snprintf(line, sizeof line, "%s,%llu,%.3f\n",
+                  share.standard.c_str(),
+                  static_cast<unsigned long long>(share.samples), share.pct);
+    out += line;
+  }
+  return out;
+}
+
+std::string render_prof_summary(const FoldedProfile& profile,
+                                const ProfSummaryOptions& options) {
+  Breakdown b = breakdown(profile);
+  std::string out;
+  out += "samples: " + std::to_string(b.total) +
+         "   unique stacks: " + std::to_string(profile.stacks.size()) + "\n\n";
+  render_section(out, "by stage", ranked(b.stages), b.total, options.top);
+  out += '\n';
+  render_section(out, "by standard (shim attribution)", ranked(b.standards),
+                 b.total, options.top);
+  out += '\n';
+  render_section(out, "top frames (self)", ranked(b.self), b.total,
+                 options.top);
+  out += '\n';
+  render_section(out, "top frames (inclusive)", ranked(b.inclusive), b.total,
+                 options.top);
+  return out;
+}
+
+std::string prof_summary_json(const FoldedProfile& profile, std::size_t top) {
+  Breakdown b = breakdown(profile);
+  std::string out = "{\"total\": " + std::to_string(b.total) + ",\n";
+  out += "\"stages\": {";
+  bool fst = true;
+  for (const Row& row : ranked(b.stages)) {
+    if (!fst) out += ", ";
+    fst = false;
+    out += json_quote(row.name) + ": " + std::to_string(row.samples);
+  }
+  out += "},\n\"standards\": " +
+         json_rows(ranked(b.standards), b.total, top, "standard") + ",\n";
+  out += "\"self\": " + json_rows(ranked(b.self), b.total, top, "frame") +
+         ",\n";
+  out += "\"inclusive\": " +
+         json_rows(ranked(b.inclusive), b.total, top, "frame") + "}\n";
+  return out;
+}
+
+std::string render_prof_diff(const FoldedProfile& before,
+                             const FoldedProfile& after,
+                             const ProfSummaryOptions& options) {
+  Breakdown a = breakdown(before);
+  Breakdown b = breakdown(after);
+
+  struct Delta {
+    std::string name;
+    double before_pct = 0, after_pct = 0;
+  };
+  auto deltas = [](const std::unordered_map<std::string, std::uint64_t>& lhs,
+                   std::uint64_t lhs_total,
+                   const std::unordered_map<std::string, std::uint64_t>& rhs,
+                   std::uint64_t rhs_total) {
+    std::unordered_map<std::string, Delta> merged;
+    for (const auto& [name, samples] : lhs) {
+      merged[name].name = name;
+      merged[name].before_pct = pct_of(samples, lhs_total);
+    }
+    for (const auto& [name, samples] : rhs) {
+      merged[name].name = name;
+      merged[name].after_pct = pct_of(samples, rhs_total);
+    }
+    std::vector<Delta> rows;
+    rows.reserve(merged.size());
+    for (auto& [name, delta] : merged) rows.push_back(delta);
+    std::sort(rows.begin(), rows.end(), [](const Delta& x, const Delta& y) {
+      double dx = std::abs(x.after_pct - x.before_pct);
+      double dy = std::abs(y.after_pct - y.before_pct);
+      if (dx != dy) return dx > dy;
+      return x.name < y.name;
+    });
+    return rows;
+  };
+  auto render = [&](std::string& out, const char* title,
+                    const std::vector<Delta>& rows) {
+    out += title;
+    out += '\n';
+    for (std::size_t i = 0; i < rows.size() && i < options.top; ++i) {
+      char line[256];
+      std::snprintf(line, sizeof line, "  %-44s %6s -> %6s  (%+.1fpp)\n",
+                    rows[i].name.c_str(), pct_str(rows[i].before_pct).c_str(),
+                    pct_str(rows[i].after_pct).c_str(),
+                    rows[i].after_pct - rows[i].before_pct);
+      out += line;
+    }
+  };
+
+  std::string out;
+  out += "diff: " + std::to_string(a.total) + " -> " +
+         std::to_string(b.total) + " samples (shares in %)\n\n";
+  render(out, "by stage", deltas(a.stages, a.total, b.stages, b.total));
+  out += '\n';
+  render(out, "by standard",
+         deltas(a.standards, a.total, b.standards, b.total));
+  out += '\n';
+  render(out, "top frame movers (self)",
+         deltas(a.self, a.total, b.self, b.total));
+  return out;
+}
+
+std::string flamegraph_html(const FoldedProfile& profile,
+                            std::string_view title) {
+  // Merge the stacks into a tree, then emit it as one nested JSON literal
+  // the inline script lays out. Children sorted by name for determinism.
+  struct Node {
+    std::map<std::string, Node> children;
+    std::uint64_t self = 0;
+  };
+  Node root;
+  for (const auto& [stack, samples] : profile.stacks) {
+    Node* node = &root;
+    std::size_t start = 0;
+    while (start <= stack.size()) {
+      std::size_t semi = stack.find(';', start);
+      if (semi == std::string::npos) semi = stack.size();
+      node = &node->children[stack.substr(start, semi - start)];
+      start = semi + 1;
+    }
+    node->self += samples;
+  }
+
+  std::string data;
+  auto emit = [&](auto&& self_fn, const std::string& name,
+                  const Node& node) -> std::uint64_t {
+    data += "{\"n\":" + json_quote(name) + ",\"s\":" +
+            std::to_string(node.self) + ",\"c\":[";
+    std::uint64_t total = node.self;
+    bool fst = true;
+    for (const auto& [child_name, child] : node.children) {
+      if (!fst) data += ",";
+      fst = false;
+      total += self_fn(self_fn, child_name, child);
+    }
+    // Patch the node's total in after its children are known: emit it as a
+    // trailing member instead of reserving space.
+    data += "],\"t\":" + std::to_string(total) + "}";
+    return total;
+  };
+  emit(emit, "all", root);
+
+  std::string html;
+  html += "<!doctype html><html><head><meta charset=\"utf-8\"><title>";
+  for (char c : title) {
+    if (c == '<' || c == '>' || c == '&') {
+      html += ' ';
+    } else {
+      html += c;
+    }
+  }
+  html +=
+      "</title><style>\n"
+      "body{font:12px monospace;margin:12px;background:#1b1b1f;color:#ddd}\n"
+      "#fg div{position:absolute;box-sizing:border-box;height:17px;"
+      "overflow:hidden;white-space:nowrap;border:1px solid #1b1b1f;"
+      "border-radius:2px;padding:1px 3px;cursor:pointer;color:#222}\n"
+      "#fg{position:relative}\n"
+      "#tip{position:fixed;background:#000;color:#fff;padding:3px 6px;"
+      "border-radius:3px;display:none;pointer-events:none}\n"
+      "</style></head><body>\n";
+  html += "<h3>" ;
+  for (char c : title) {
+    if (c == '<' || c == '>' || c == '&') {
+      html += ' ';
+    } else {
+      html += c;
+    }
+  }
+  html += " — click a frame to zoom, click 'all' to reset</h3>\n";
+  html += "<div id=\"fg\"></div><div id=\"tip\"></div>\n<script>\n";
+  html += "const data = " + data + ";\n";
+  html += R"JS(
+const fg = document.getElementById('fg');
+const tip = document.getElementById('tip');
+let zoom = data;
+function color(name) {
+  let h = 0;
+  for (let i = 0; i < name.length; i++) h = (h * 31 + name.charCodeAt(i)) >>> 0;
+  if (name.startsWith('std:')) return `hsl(${h % 50 + 180},60%,65%)`;
+  if (name.startsWith('fn:') || name.startsWith('script:'))
+    return `hsl(${h % 50 + 80},55%,62%)`;
+  return `hsl(${h % 35},75%,64%)`;
+}
+function depth(node) {
+  let d = 1;
+  for (const c of node.c) d = Math.max(d, 1 + depth(c));
+  return d;
+}
+function render() {
+  fg.innerHTML = '';
+  const width = fg.clientWidth || 1200;
+  const rows = depth(zoom);
+  fg.style.height = rows * 17 + 'px';
+  function walk(node, x, level, scale) {
+    const w = node.t * scale;
+    if (w < 1) return;
+    const div = document.createElement('div');
+    div.style.left = x + 'px';
+    div.style.top = (rows - 1 - level) * 17 + 'px';
+    div.style.width = w + 'px';
+    div.style.background = color(node.n);
+    div.textContent = w > 30 ? node.n : '';
+    const pct = (100 * node.t / data.t).toFixed(1);
+    div.onmousemove = e => {
+      tip.style.display = 'block';
+      tip.style.left = (e.clientX + 12) + 'px';
+      tip.style.top = (e.clientY + 12) + 'px';
+      tip.textContent = `${node.n} — ${node.t} samples (${pct}% of all)`;
+    };
+    div.onmouseout = () => tip.style.display = 'none';
+    div.onclick = () => { zoom = node; render(); };
+    fg.appendChild(div);
+    let cx = x + node.s * scale;
+    for (const c of node.c) { walk(c, cx, level + 1, scale); cx += c.t * scale; }
+  }
+  walk(zoom, 0, 0, (fg.clientWidth || 1200) / Math.max(zoom.t, 1));
+}
+window.onresize = render;
+render();
+)JS";
+  html += "</script></body></html>\n";
+  return html;
+}
+
+}  // namespace fu::obs

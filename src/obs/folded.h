@@ -1,0 +1,94 @@
+// Folded-stack profiles: the Brendan Gregg collapsed format and everything
+// rendered from it.
+//
+// A folded profile is a bag of sampled call stacks, one line per unique
+// stack, frames root-first joined with ';' and followed by a sample count:
+//
+//   worker-0;site-visit;execute;script:example3.com/app.js;fn:tick 42
+//
+// Frames carry their class in plain text, so a profile stays analyzable
+// after a round-trip through a file or an HTTP response with no side table:
+// the first frame names the thread, "script:" prefixes a MiniJS program,
+// "fn:" a MiniJS function, "std:" an instrumented feature shim (standard
+// abbreviation before the '/'), and every other frame is a pipeline stage.
+//
+// This header is deliberately profiler-agnostic — `fu prof` uses it on any
+// folded file, including ones produced by perf + stackcollapse.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fu::obs {
+
+struct FoldedProfile {
+  // stack -> samples. An ordered map keeps to_text() deterministic.
+  std::map<std::string, std::uint64_t> stacks;
+
+  std::uint64_t total() const;
+  void add(std::string_view stack, std::uint64_t samples);
+
+  // One "stack count\n" line per entry, sorted by stack.
+  std::string to_text() const;
+
+  // Parses to_text() output (or any stackcollapse-style file). Blank lines
+  // are skipped; a line without a trailing integer count, or with an empty
+  // stack, throws std::runtime_error naming the line number.
+  static FoldedProfile parse(std::string_view text);
+};
+
+// How a frame renders in summaries; derived from the frame text alone.
+enum class FrameClass {
+  kThread,    // first frame of a stack
+  kStage,     // pipeline stage span ("site-visit", "execute", ...)
+  kScript,    // "script:<site>/<resource>"
+  kFunction,  // "fn:<name>"
+  kStandard,  // "std:<abbrev>/<feature>" — instrumented shim
+};
+FrameClass classify_frame(std::string_view frame, bool first);
+
+// Per-standard CPU attribution: each sample charges the standard of the
+// deepest "std:" frame on its stack; samples that never passed through an
+// instrumented shim charge "(engine)". Sorted by samples descending, then
+// name; pct is of the profile total.
+struct StandardShare {
+  std::string standard;
+  std::uint64_t samples = 0;
+  double pct = 0;
+};
+std::vector<StandardShare> standards_breakdown(const FoldedProfile& profile);
+
+// "standard,samples,pct\n" rows from standards_breakdown.
+std::string standards_csv(const FoldedProfile& profile);
+
+struct ProfSummaryOptions {
+  std::size_t top = 12;  // rows per section
+};
+
+// Human summary: totals, per-stage and per-standard breakdowns, top frames
+// by self and by inclusive samples.
+std::string render_prof_summary(const FoldedProfile& profile,
+                                const ProfSummaryOptions& options = {});
+
+// The same numbers as JSON (stable shape; CI asserts against it):
+// {"total": N, "stages": {...}, "standards": [{"standard","samples","pct"}],
+//  "self": [{"frame","samples","pct"}], "inclusive": [...]}
+std::string prof_summary_json(const FoldedProfile& profile,
+                              std::size_t top = 12);
+
+// Diff `after` against `before`, comparing percentage shares (totals may
+// differ). Sections: per-stage, per-standard, and the top frame movers by
+// absolute self-share delta.
+std::string render_prof_diff(const FoldedProfile& before,
+                             const FoldedProfile& after,
+                             const ProfSummaryOptions& options = {});
+
+// Self-contained interactive flamegraph (inline data + script, no external
+// references): frame width ∝ samples, hover for counts, click to zoom.
+std::string flamegraph_html(const FoldedProfile& profile,
+                            std::string_view title);
+
+}  // namespace fu::obs

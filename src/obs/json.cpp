@@ -278,6 +278,7 @@ std::string JsonValue::string_or(std::string_view key,
 }
 
 bool json_parse(std::string_view text, JsonValue& out, std::string* error) {
+  out = JsonValue{};  // a reused output value must not accumulate members
   return Parser(text).parse(out, error);
 }
 

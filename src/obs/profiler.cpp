@@ -1,0 +1,326 @@
+#include "obs/profiler.h"
+
+#include <array>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace fu::obs {
+namespace prof {
+namespace internal {
+
+std::atomic<bool> g_enabled{false};
+
+// A thread's live frame stack. Writers (the owning thread) use relaxed
+// stores for frame words and a release store for depth; the sampler pairs
+// that with an acquire load of depth, so the frames below the depth it read
+// are visible. Stacks are allocated once and recycled through a free list
+// when their thread exits — the sampler may keep a pointer to a stack whose
+// thread is gone, which is safe because stacks are never freed.
+struct ThreadStack {
+  static constexpr std::uint32_t kCapacity = 128;
+  std::atomic<std::uint32_t> depth{0};
+  std::array<std::atomic<std::uint64_t>, kCapacity> frames{};
+  std::atomic<std::uint32_t> label{0};  // interned thread label; 0 = unnamed
+  std::uint32_t index = 0;              // registration order
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<ThreadStack*> stacks;  // every stack ever created
+  std::vector<ThreadStack*> free;    // stacks whose owner thread exited
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: outlives thread destructors
+  return *r;
+}
+
+struct LabelTable {
+  std::mutex mutex;
+  std::vector<std::string> labels{""};  // id 0 reserved = invalid
+  std::unordered_map<std::string, std::uint32_t> index;
+};
+
+LabelTable& label_table() {
+  static LabelTable* t = new LabelTable;
+  return *t;
+}
+
+namespace {
+
+ThreadStack* checkout_stack() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  if (!reg.free.empty()) {
+    ThreadStack* stack = reg.free.back();
+    reg.free.pop_back();
+    return stack;
+  }
+  auto* stack = new ThreadStack;
+  stack->index = static_cast<std::uint32_t>(reg.stacks.size());
+  reg.stacks.push_back(stack);
+  return stack;
+}
+
+// Owns this thread's registration; the destructor returns the (cleared)
+// stack to the free list for the next thread.
+struct StackHandle {
+  ThreadStack* stack = checkout_stack();
+  ~StackHandle() {
+    stack->depth.store(0, std::memory_order_release);
+    stack->label.store(0, std::memory_order_relaxed);
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.free.push_back(stack);
+  }
+};
+
+// Pointer-keyed cache for string-literal labels: a lock-free scan of an
+// append-only array covers the steady state (the pipeline has ~a dozen
+// distinct stage names).
+struct StaticSlot {
+  std::atomic<const char*> ptr{nullptr};
+  std::atomic<std::uint32_t> id{0};
+};
+constexpr std::size_t kStaticSlots = 64;
+StaticSlot g_static_slots[kStaticSlots];
+
+std::mutex g_feature_mutex;
+std::shared_ptr<const std::vector<FeatureLabel>> g_features;
+
+}  // namespace
+
+ThreadStack* acquire_stack() {
+  thread_local StackHandle handle;
+  return handle.stack;
+}
+
+std::uint64_t pack(FrameKind kind, std::uint32_t id) {
+  return (static_cast<std::uint64_t>(kind) << 32) | id;
+}
+
+std::shared_ptr<const std::vector<FeatureLabel>> feature_table() {
+  std::lock_guard<std::mutex> lock(g_feature_mutex);
+  return g_features;
+}
+
+}  // namespace internal
+
+std::uint32_t intern_label(std::string_view label) {
+  auto& table = internal::label_table();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  auto it = table.index.find(std::string(label));
+  if (it != table.index.end()) return it->second;
+  auto id = static_cast<std::uint32_t>(table.labels.size());
+  table.labels.emplace_back(label);
+  table.index.emplace(table.labels.back(), id);
+  return id;
+}
+
+std::uint32_t intern_static(const char* label) {
+  using internal::g_static_slots;
+  using internal::kStaticSlots;
+  for (std::size_t i = 0; i < kStaticSlots; ++i) {
+    const char* have = g_static_slots[i].ptr.load(std::memory_order_acquire);
+    if (have == label) {
+      return g_static_slots[i].id.load(std::memory_order_relaxed);
+    }
+    if (have == nullptr) {
+      std::uint32_t id = intern_label(label);
+      // Publish the id before the pointer other threads key on. Losing the
+      // CAS means another literal claimed the slot — try the next one.
+      g_static_slots[i].id.store(id, std::memory_order_relaxed);
+      const char* expected = nullptr;
+      if (g_static_slots[i].ptr.compare_exchange_strong(
+              expected, label, std::memory_order_release,
+              std::memory_order_acquire)) {
+        return id;
+      }
+      if (expected == label) return id;
+    }
+  }
+  return intern_label(label);  // slot array full: correct, just slower
+}
+
+void set_thread_label(std::string_view label) {
+  internal::acquire_stack()->label.store(intern_label(label),
+                                         std::memory_order_relaxed);
+}
+
+void push(FrameKind kind, std::uint32_t id) {
+  internal::ThreadStack* stack = internal::acquire_stack();
+  std::uint32_t depth = stack->depth.load(std::memory_order_relaxed);
+  if (depth < internal::ThreadStack::kCapacity) {
+    stack->frames[depth].store(internal::pack(kind, id),
+                               std::memory_order_relaxed);
+  }
+  stack->depth.store(depth + 1, std::memory_order_release);
+}
+
+void pop() {
+  internal::ThreadStack* stack = internal::acquire_stack();
+  std::uint32_t depth = stack->depth.load(std::memory_order_relaxed);
+  if (depth > 0) stack->depth.store(depth - 1, std::memory_order_release);
+}
+
+void set_feature_table(std::vector<FeatureLabel> table) {
+  auto shared =
+      std::make_shared<const std::vector<FeatureLabel>>(std::move(table));
+  std::lock_guard<std::mutex> lock(internal::g_feature_mutex);
+  internal::g_features = std::move(shared);
+}
+
+}  // namespace prof
+
+namespace {
+
+// One live profiler at a time; /profilez and --profile-out contend for it.
+std::atomic<Profiler*> g_profiler{nullptr};
+
+struct SampleKey {
+  std::uint32_t thread_label = 0;
+  std::uint32_t thread_index = 0;
+  std::vector<std::uint64_t> frames;
+
+  bool operator==(const SampleKey& other) const {
+    return thread_label == other.thread_label &&
+           thread_index == other.thread_index && frames == other.frames;
+  }
+};
+
+struct SampleKeyHash {
+  std::size_t operator()(const SampleKey& key) const noexcept {
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    };
+    mix(key.thread_label);
+    mix(key.thread_index);
+    for (std::uint64_t frame : key.frames) mix(frame);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+struct Profiler::Agg {
+  std::unordered_map<SampleKey, std::uint64_t, SampleKeyHash> counts;
+};
+
+Profiler::Profiler(double hz) : hz_(hz), agg_(new Agg) {
+  if (hz_ < 1.0) hz_ = 1.0;
+  if (hz_ > 1000.0) hz_ = 1000.0;
+}
+
+Profiler::~Profiler() {
+  if (started_ && !stopped_) stop();
+}
+
+void Profiler::start() {
+  if (started_) throw std::logic_error("Profiler::start() called twice");
+  Profiler* expected = nullptr;
+  if (!g_profiler.compare_exchange_strong(expected, this)) {
+    throw std::logic_error("another Profiler is already live");
+  }
+  started_ = true;
+  stop_flag_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { sampler_loop(); });
+  prof::internal::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+bool Profiler::active() const noexcept {
+  return g_profiler.load(std::memory_order_relaxed) == this;
+}
+
+void Profiler::sampler_loop() {
+  using clock = std::chrono::steady_clock;
+  const auto period = std::chrono::duration_cast<clock::duration>(
+      std::chrono::duration<double>(1.0 / hz_));
+  auto next = clock::now() + period;
+  SampleKey key;
+  while (!stop_flag_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_until(next);
+    next += period;
+    if (clock::now() > next + 50 * period) next = clock::now();  // fell behind
+
+    auto& reg = prof::internal::registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (prof::internal::ThreadStack* stack : reg.stacks) {
+      std::uint32_t depth = stack->depth.load(std::memory_order_acquire);
+      if (depth == 0) continue;  // idle thread: no open frames, no sample
+      if (depth > prof::internal::ThreadStack::kCapacity) {
+        depth = prof::internal::ThreadStack::kCapacity;
+      }
+      key.thread_label = stack->label.load(std::memory_order_relaxed);
+      key.thread_index = stack->index;
+      key.frames.assign(depth, 0);
+      for (std::uint32_t i = 0; i < depth; ++i) {
+        key.frames[i] = stack->frames[i].load(std::memory_order_relaxed);
+      }
+      ++agg_->counts[key];
+      sample_count_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+FoldedProfile Profiler::stop() {
+  if (!started_) throw std::logic_error("Profiler::stop() before start()");
+  if (stopped_) return result_;
+  prof::internal::g_enabled.store(false, std::memory_order_relaxed);
+  stop_flag_.store(true, std::memory_order_relaxed);
+  thread_.join();
+  g_profiler.store(nullptr, std::memory_order_relaxed);
+  stopped_ = true;
+
+  // Resolve packed frames into text once, after sampling ends.
+  std::vector<std::string> labels;
+  {
+    auto& table = prof::internal::label_table();
+    std::lock_guard<std::mutex> lock(table.mutex);
+    labels = table.labels;
+  }
+  auto features = prof::internal::feature_table();
+  auto label_of = [&labels](std::uint32_t id) -> std::string {
+    if (id < labels.size() && !labels[id].empty()) return labels[id];
+    return "label:" + std::to_string(id);
+  };
+
+  for (const auto& [key, count] : agg_->counts) {
+    std::string stack = key.thread_label != 0
+                            ? label_of(key.thread_label)
+                            : "thread-" + std::to_string(key.thread_index);
+    for (std::uint64_t frame : key.frames) {
+      auto kind = static_cast<FrameKind>(frame >> 32);
+      auto id = static_cast<std::uint32_t>(frame);
+      stack += ';';
+      if (kind == FrameKind::kFeature) {
+        if (features && id < features->size()) {
+          stack += (*features)[id].label;
+        } else {
+          stack += "feature:" + std::to_string(id);
+        }
+      } else {
+        stack += label_of(id);
+      }
+    }
+    result_.add(stack, count);
+  }
+  return result_;
+}
+
+std::uint64_t Profiler::samples() const noexcept {
+  return sample_count_.load(std::memory_order_relaxed);
+}
+
+FoldedProfile profile_for(double seconds, double hz) {
+  if (seconds < 0.05) seconds = 0.05;
+  Profiler profiler(hz);
+  profiler.start();
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  return profiler.stop();
+}
+
+}  // namespace fu::obs

@@ -1,0 +1,185 @@
+// Continuous profiling: a dependency-free cooperative sampling profiler.
+//
+// Worker threads maintain a per-thread *frame stack* — a fixed-capacity
+// array of atomic words, one per open frame — describing what the thread is
+// doing right now: pipeline stage (TraceSpan scopes push these), the MiniJS
+// function being interpreted, or the instrumented feature shim a call landed
+// in. A Profiler, once started, runs a dedicated sampler thread that at a
+// configurable Hz snapshots every registered stack and aggregates identical
+// stacks into counts; stop() resolves the packed frames into labels and
+// returns a folded-stack profile (see folded.h) whose every line reads
+//
+//   worker-3;site-visit;execute;script:example0.com/app.js;fn:render;std:DOM/Document.createElement 17
+//
+// Frames are pushed only while a profiler is live: the disabled path of
+// every hook is a single relaxed atomic load and a branch (bench_prof_overhead
+// asserts this stays in the ~1 ns class of a disabled TraceSpan). A profiler
+// started mid-run therefore misses frames opened before start() until those
+// scopes unwind — at crawl granularity (stages are µs..ms) a 1 s sample
+// window sees full stacks almost immediately.
+//
+// Sampling is cooperative and lock-free on the worker side: a push/pop is a
+// couple of relaxed/release stores to the thread's own stack, and the
+// sampler reads those words with acquire/relaxed loads. A sample taken
+// mid-update can mix a just-popped frame with its replacement — harmless for
+// a statistical profile, and every access is atomic, so the scheme is clean
+// under ThreadSanitizer. Profiling never reads or perturbs survey state:
+// results are bit-identical with profiling on or off (engine_identity_test
+// enforces this).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/folded.h"
+
+namespace fu::obs {
+
+// What a frame word describes; packed into the high bits of the word.
+enum class FrameKind : std::uint8_t {
+  kStage = 0,    // pipeline stage span (id = interned label)
+  kScript = 1,   // MiniJS program or function (id = interned label)
+  kFeature = 2,  // instrumented feature shim (id = catalog FeatureId index)
+};
+
+namespace prof {
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+struct ThreadStack;
+ThreadStack* acquire_stack();
+}  // namespace internal
+
+// The single branch every disabled-profiling hot path pays.
+inline bool enabled() noexcept {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+// Interns `label` into the process-wide label table; returns its stable
+// non-zero id. Ids are never recycled, so callers may cache them for the
+// process lifetime. Takes a lock — call only when enabled() (or from cold
+// setup paths).
+std::uint32_t intern_label(std::string_view label);
+
+// intern_label specialised for string literals: keyed on the pointer, the
+// common lookup is a short lock-free scan. Stage spans use this.
+std::uint32_t intern_static(const char* label);
+
+// Names this thread's stack in profile output (e.g. "worker-3"); unnamed
+// threads render as "thread-N" in registration order. Cheap; callable any
+// time, including with no profiler live.
+void set_thread_label(std::string_view label);
+
+// Push/pop a frame on this thread's stack. Pops must pair with pushes —
+// use ProfFrame unless a scope object is impossible. Beyond the stack
+// capacity (128 frames) pushes keep counting but stop recording; samples of
+// an overflowed stack show the first 128 frames.
+void push(FrameKind kind, std::uint32_t id);
+void pop();
+
+// Labels for FrameKind::kFeature frames, indexed by catalog FeatureId.
+// `label` is what the frame renders as in folded stacks (the crawler uses
+// "std:<abbrev>/<feature>" so per-standard attribution survives in plain
+// folded text); `standard` feeds profile_standards.csv. run_survey installs
+// the table for its catalog before crawling; a missing or short table
+// renders frames as "feature:<id>".
+struct FeatureLabel {
+  std::string label;
+  std::string standard;
+};
+void set_feature_table(std::vector<FeatureLabel> table);
+
+}  // namespace prof
+
+// RAII frame scope. Remembers whether it pushed, so a profiler starting or
+// stopping mid-scope never unbalances the stack.
+class ProfFrame {
+ public:
+  ProfFrame(FrameKind kind, std::uint32_t id) {
+    if (prof::enabled()) {
+      pushed_ = true;
+      prof::push(kind, id);
+    }
+  }
+  ~ProfFrame() {
+    if (pushed_) prof::pop();
+  }
+  ProfFrame(const ProfFrame&) = delete;
+  ProfFrame& operator=(const ProfFrame&) = delete;
+
+ private:
+  bool pushed_ = false;
+};
+
+// Stage-frame scope for string-literal span names; TraceSpan and
+// SampledSiteSpan embed one so every pipeline span doubles as a profiler
+// frame (the point of "reusing the TraceSpan scopes": tracing and profiling
+// see the same stage structure). Disabled cost: one relaxed load + branch.
+class StageFrame {
+ public:
+  explicit StageFrame(const char* name) {
+    if (prof::enabled()) {
+      pushed_ = true;
+      prof::push(FrameKind::kStage, prof::intern_static(name));
+    }
+  }
+  ~StageFrame() {
+    if (pushed_) prof::pop();
+  }
+  StageFrame(const StageFrame&) = delete;
+  StageFrame& operator=(const StageFrame&) = delete;
+
+ private:
+  bool pushed_ = false;
+};
+
+class Profiler {
+ public:
+  // `hz` is the sampling rate, clamped to [1, 1000]. 97 (prime, so it does
+  // not beat against millisecond-periodic work) is a good default.
+  explicit Profiler(double hz = 97.0);
+  ~Profiler();  // stops if still running
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  // Install as the process-wide profiler and start the sampler thread. Only
+  // one profiler may be live; a second start() throws std::logic_error
+  // (the /profilez endpoint turns that into 409 Conflict).
+  void start();
+  bool active() const noexcept;
+
+  // Stop sampling, join the sampler thread and resolve the aggregate into
+  // a folded profile. Idempotent: a second stop() returns the same profile.
+  FoldedProfile stop();
+
+  // Total samples recorded so far (live; readable while sampling).
+  std::uint64_t samples() const noexcept;
+
+  double hz() const noexcept { return hz_; }
+
+ private:
+  void sampler_loop();
+
+  double hz_;
+  std::thread thread_;
+  std::atomic<bool> stop_flag_{false};
+  std::atomic<std::uint64_t> sample_count_{0};
+  struct Agg;  // sampler-thread-private aggregation
+  std::unique_ptr<Agg> agg_;
+  FoldedProfile result_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+// Convenience for /profilez: sample the process for `seconds` at `hz` and
+// return the folded profile. Blocks the calling thread for the duration.
+// Throws std::logic_error if another profiler is already live.
+FoldedProfile profile_for(double seconds, double hz);
+
+}  // namespace fu::obs

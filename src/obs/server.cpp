@@ -15,6 +15,8 @@
 #include <fstream>
 #include <string_view>
 
+#include "obs/profiler.h"
+
 namespace fu::obs {
 
 namespace {
@@ -111,6 +113,20 @@ void set_socket_timeout(int fd, double seconds) {
 
 }  // namespace
 
+// "seconds=2.5" out of "/profilez?seconds=2.5&hz=199"; fallback when the
+// key is absent or malformed.
+double query_double(const std::string& query, const std::string& key,
+                    double fallback) {
+  const std::size_t at = query.find(key + "=");
+  if (at != 0 && (at == std::string::npos || query[at - 1] != '&')) {
+    return fallback;
+  }
+  const char* start = query.c_str() + at + key.size() + 1;
+  char* end = nullptr;
+  const double value = std::strtod(start, &end);
+  return end == start ? fallback : value;
+}
+
 Server::Server(ServerOptions options)
     : options_(std::move(options)), ring_(options_.delta_capacity) {
   if (options_.registry == nullptr) options_.registry = &Registry::global();
@@ -149,6 +165,19 @@ Server::Server(ServerOptions options)
     HealthStatus health;
     if (options_.health) health = options_.health();
     return json_response(health.ok ? 200 : 503, health.body);
+  });
+  router_.handle("GET", "/buildz", [this](HttpRequest&) {
+    return json_response(200, build_info_json(options_.build_extra));
+  });
+  router_.handle("GET", "/profilez", [](HttpRequest& request) {
+    double seconds = query_double(request.query, "seconds", 1.0);
+    if (seconds > 30.0) seconds = 30.0;  // serving is serial: bound the hold
+    const double hz = query_double(request.query, "hz", 97.0);
+    try {
+      return text_response(200, profile_for(seconds, hz).to_text());
+    } catch (const std::logic_error& e) {
+      return text_response(409, std::string(e.what()) + "\n");
+    }
   });
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -247,8 +276,26 @@ void Server::handle_connection(int fd) {
   // under one cap and one deadline — this is an operator endpoint, not a
   // general web server. The deadline caps slow-drip clients that would
   // otherwise dodge the per-recv timeout one byte at a time.
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  const auto accepted = std::chrono::steady_clock::now();
+  // Every exit path sends through this, so the access log sees refused
+  // requests (400/401/413) as well as routed ones.
+  const auto send_logged = [&](const HttpResponse& response,
+                               const std::string& method,
+                               const std::string& path) {
+    send_all(fd, serialize_response(response));
+    if (options_.access_log) {
+      AccessLogEntry entry;
+      entry.method = method;
+      entry.path = path;
+      entry.status = response.status;
+      entry.duration_us = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - accepted)
+              .count());
+      options_.access_log(entry);
+    }
+  };
+  const auto deadline = accepted + std::chrono::seconds(2);
   const std::size_t cap = options_.max_request_bytes > 0
                               ? options_.max_request_bytes
                               : 64 * 1024;
@@ -264,10 +311,10 @@ void Server::handle_connection(int fd) {
   }
   requests_.fetch_add(1, std::memory_order_relaxed);
   if (head_end == std::string::npos) {
-    send_all(fd, serialize_response(
-                     raw.size() > cap
-                         ? text_response(413, "request head too large\n")
-                         : text_response(400, "truncated request\n")));
+    send_logged(raw.size() > cap
+                    ? text_response(413, "request head too large\n")
+                    : text_response(400, "truncated request\n"),
+                "-", "-");
     return;
   }
 
@@ -280,15 +327,13 @@ void Server::handle_connection(int fd) {
     const unsigned long long parsed =
         std::strtoull(length_text.c_str(), &end, 10);
     if (end == length_text.c_str() || *end != '\0') {
-      send_all(fd, serialize_response(
-                       text_response(400, "bad content-length\n")));
+      send_logged(text_response(400, "bad content-length\n"), "-", "-");
       return;
     }
     content_length = static_cast<std::size_t>(parsed);
   }
   if (head.size() + content_length > cap) {
-    send_all(fd, serialize_response(
-                     text_response(413, "request body too large\n")));
+    send_logged(text_response(413, "request body too large\n"), "-", "-");
     return;
   }
   while (body.size() < content_length &&
@@ -298,8 +343,7 @@ void Server::handle_connection(int fd) {
     body.append(buf, static_cast<std::size_t>(n));
   }
   if (body.size() < content_length) {
-    send_all(fd, serialize_response(
-                     text_response(400, "truncated request body\n")));
+    send_logged(text_response(400, "truncated request body\n"), "-", "-");
     return;
   }
   body.resize(content_length);  // ignore pipelined bytes beyond the body
@@ -312,8 +356,7 @@ void Server::handle_connection(int fd) {
                               ? std::string::npos
                               : request_line.find(' ', sp1 + 1);
   if (sp1 == std::string::npos || sp2 == std::string::npos) {
-    send_all(fd, serialize_response(
-                     text_response(400, "malformed request line\n")));
+    send_logged(text_response(400, "malformed request line\n"), "-", "-");
     return;
   }
   HttpRequest request;
@@ -331,7 +374,78 @@ void Server::handle_connection(int fd) {
   } else {
     bearer.clear();
   }
-  send_all(fd, serialize_response(respond(request, bearer)));
+  send_logged(respond(request, bearer), request.method, request.path);
+}
+
+std::string access_log_line(const AccessLogEntry& entry) {
+  return "{\"method\": " + json_quote(entry.method) +
+         ", \"path\": " + json_quote(entry.path) +
+         ", \"status\": " + std::to_string(entry.status) +
+         ", \"duration_us\": " + std::to_string(entry.duration_us) + "}";
+}
+
+std::function<void(const AccessLogEntry&)> stderr_access_logger() {
+  return [](const AccessLogEntry& entry) {
+    const std::string line = access_log_line(entry) + "\n";
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  };
+}
+
+#ifndef FU_GIT_DESCRIBE
+#define FU_GIT_DESCRIBE "unknown"
+#endif
+#ifndef FU_BUILD_TYPE
+#define FU_BUILD_TYPE "unspecified"
+#endif
+#ifndef FU_CXX_FLAGS
+#define FU_CXX_FLAGS ""
+#endif
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define FU_HAS_TSAN 1
+#endif
+#if __has_feature(address_sanitizer)
+#define FU_HAS_ASAN 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define FU_HAS_TSAN 1
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+#define FU_HAS_ASAN 1
+#endif
+
+std::string build_info_json(
+    const std::vector<std::pair<std::string, std::string>>& extra) {
+  std::string sanitizers = "[";
+  const char* separator = "";
+#ifdef FU_HAS_TSAN
+  sanitizers += std::string(separator) + "\"thread\"";
+  separator = ", ";
+#endif
+#ifdef FU_HAS_ASAN
+  sanitizers += std::string(separator) + "\"address\"";
+  separator = ", ";
+#endif
+  // UBSan defines no feature macro; fall back to the flags it was built
+  // with (baked in at configure time).
+  if (std::string_view(FU_CXX_FLAGS).find("undefined") !=
+      std::string_view::npos) {
+    sanitizers += std::string(separator) + "\"undefined\"";
+  }
+  sanitizers += "]";
+
+  std::string out = "{\"git\": " + json_quote(FU_GIT_DESCRIBE) +
+                    ", \"build_type\": " + json_quote(FU_BUILD_TYPE) +
+                    ", \"compiler\": " + json_quote(__VERSION__) +
+                    ", \"cxx_flags\": " + json_quote(FU_CXX_FLAGS) +
+                    ", \"sanitizers\": " + sanitizers;
+  for (const auto& [key, value] : extra) {
+    out += ", " + json_quote(key) + ": " + json_quote(value);
+  }
+  out += "}\n";
+  return out;
 }
 
 HttpResponse Server::respond(HttpRequest& request, const std::string& bearer) {

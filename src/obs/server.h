@@ -11,6 +11,15 @@
 //   GET /progress.json         crawl progress (injected callback)
 //   GET /deltas.json?since=SEQ per-interval registry diffs newer than SEQ
 //   GET /healthz               200 while workers advance, 503 on stall
+//   GET /buildz                build identity: git describe, build type,
+//                              sanitizers, caller extras (catalog hash)
+//   GET /profilez?seconds=N&hz=H
+//                              sample the process for N seconds (default 1,
+//                              max 30) at H Hz and return the folded-stack
+//                              profile as text/plain. Serving is serial, so
+//                              the window also defers other requests and
+//                              delta ticks by up to N seconds; 409 when a
+//                              --profile-out profiler already owns sampling.
 //
 // Design constraints, in order: the crawl's hot path must not notice the
 // server (it is strictly a registry *reader*; the only lock it ever takes
@@ -40,11 +49,27 @@
 #include <string>
 #include <thread>
 
+#include <utility>
+#include <vector>
+
 #include "obs/delta.h"
 #include "obs/metrics.h"
 #include "obs/router.h"
 
 namespace fu::obs {
+
+// One served request, as handed to ServerOptions::access_log.
+struct AccessLogEntry {
+  std::string method;       // "-" when the request never parsed
+  std::string path;
+  int status = 0;
+  std::uint64_t duration_us = 0;  // accept to last response byte queued
+};
+
+// Formats an entry as one JSON line, and a ready-made logger writing those
+// lines to stderr (what `fu serve --log` / FU_SERVE_LOG install).
+std::string access_log_line(const AccessLogEntry& entry);
+std::function<void(const AccessLogEntry&)> stderr_access_logger();
 
 // What /healthz reports: `ok` selects 200 vs 503, `body` is the JSON
 // payload either way (so a 503 still explains itself).
@@ -86,7 +111,25 @@ struct ServerOptions {
   std::function<HealthStatus()> health;
   // Registry to serve; null = Registry::global().
   Registry* registry = nullptr;
+  // Structured per-request access log; null = off. Invoked on the serving
+  // thread after the response is queued, for every request — including the
+  // ones refused before routing (401/400/413 show up too).
+  std::function<void(const AccessLogEntry&)> access_log;
+  // Extra string members appended to the /buildz body, e.g.
+  // {"catalog_fingerprint", "0x94f2..."}.
+  std::vector<std::pair<std::string, std::string>> build_extra;
 };
+
+// The /buildz body: configure-time git describe and build type (baked in at
+// compile time), compile-time sanitizer detection, compiler version, plus
+// `extra` as string members.
+std::string build_info_json(
+    const std::vector<std::pair<std::string, std::string>>& extra = {});
+
+// "key=1.5" out of a query string; `fallback` when absent or malformed.
+// Shared by /profilez and the daemon's per-survey variant.
+double query_double(const std::string& query, const std::string& key,
+                    double fallback);
 
 class Server {
  public:

@@ -169,7 +169,7 @@ std::uint64_t trace_sampling() noexcept {
 }
 
 SampledSiteSpan::SampledSiteSpan(const char* name, const std::string& arg)
-    : name_(name) {
+    : name_(name), stage_frame_(name) {
   internal::ThreadBuffer* buffer = internal::acquire_buffer();
   if (buffer == nullptr) return;
   buffer_ = buffer;

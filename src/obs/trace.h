@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/profiler.h"
+
 namespace fu::obs {
 
 // One completed span (or instant event) as drained from a thread buffer.
@@ -66,11 +68,11 @@ inline bool tracing_enabled() noexcept {
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name)
-      : buffer_(internal::acquire_buffer()), name_(name) {
+      : buffer_(internal::acquire_buffer()), name_(name), stage_frame_(name) {
     if (buffer_ != nullptr) start_us_ = internal::begin_span(buffer_);
   }
   TraceSpan(const char* name, const std::string& arg)
-      : buffer_(internal::acquire_buffer()), name_(name) {
+      : buffer_(internal::acquire_buffer()), name_(name), stage_frame_(name) {
     if (buffer_ != nullptr) {
       arg_ = arg;
       start_us_ = internal::begin_span(buffer_);
@@ -89,6 +91,10 @@ class TraceSpan {
   const char* name_;
   std::uint64_t start_us_ = 0;
   std::string arg_;
+  // Every trace scope is also a profiler stage frame (see profiler.h); when
+  // neither a tracer nor a profiler is live the extra cost is one relaxed
+  // load.
+  StageFrame stage_frame_;
 };
 
 // Zero-duration marker ("retry", "steal", ...). `arg` only evaluated cheaply;
@@ -123,6 +129,8 @@ class SampledSiteSpan {
   std::string arg_;
   std::uint64_t start_us_ = 0;
   bool suppressed_ = false;
+  // Profiling ignores trace sampling: an unsampled visit still profiles.
+  StageFrame stage_frame_;
 };
 
 class Tracer {

@@ -112,6 +112,8 @@ RunReport Pool::run(std::size_t count, const Job& job,
 }
 
 void Pool::worker_loop(unsigned self) {
+  // Name this thread's profiler stack: samples read "worker-N;stage;...".
+  obs::prof::set_thread_label("worker-" + std::to_string(self));
   WorkerQueue& own = queues_[self];
   for (;;) {
     Task task;

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <thread>
 
+#include "obs/profiler.h"
 #include "sched/pool.h"
 #include "sched/progress.h"
 #include "sched/sched_internal.h"
@@ -26,7 +27,8 @@ RunReport run_striped(std::size_t count, const Job& job,
 
   std::atomic<std::uint64_t> retries{0};
   std::atomic<std::size_t> next{0};
-  const auto worker = [&] {
+  const auto worker = [&](unsigned self) {
+    obs::prof::set_thread_label("worker-" + std::to_string(self));
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= count) return;
@@ -36,11 +38,13 @@ RunReport run_striped(std::size_t count, const Job& job,
   };
 
   if (thread_count <= 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> threads;
     threads.reserve(thread_count);
-    for (unsigned t = 0; t < thread_count; ++t) threads.emplace_back(worker);
+    for (unsigned t = 0; t < thread_count; ++t) {
+      threads.emplace_back(worker, t);
+    }
     for (std::thread& t : threads) t.join();
   }
   report.retries = retries.load();

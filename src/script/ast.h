@@ -42,6 +42,9 @@ struct AstFunction {
   // the hot path).
   mutable std::uint64_t param_engine = 0;
   mutable std::vector<Atom> param_atoms;
+  // Interned profiler frame label (see script/profhook.h); label ids are
+  // process-stable, so unlike param_atoms this never needs an engine check.
+  mutable std::uint32_t prof_label = 0;
 };
 
 struct Expr {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "script/profhook.h"
+
 namespace fu::script {
 
 namespace {
@@ -636,6 +638,7 @@ Value Interpreter::call_function(const Value& fn, const Value& self,
   }
 
   const AstFunction& ast = *obj.callable->script;
+  ScriptCallFrame prof_frame(ast);
   AtomTable& at = heap_.atoms();
   if (ast.param_engine != at.id()) {
     ast.param_atoms.clear();

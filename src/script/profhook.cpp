@@ -1,0 +1,15 @@
+#include "script/profhook.h"
+
+#include "script/ast.h"
+
+namespace fu::script {
+
+std::uint32_t prof_label_for(const AstFunction& fn) {
+  if (fn.prof_label == 0) {
+    fn.prof_label = obs::prof::intern_label(
+        fn.name.empty() ? std::string("fn:(anonymous)") : "fn:" + fn.name);
+  }
+  return fn.prof_label;
+}
+
+}  // namespace fu::script

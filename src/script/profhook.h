@@ -1,0 +1,48 @@
+// The MiniJS side of the sampling profiler (obs/profiler.h): a lightweight
+// frame hook the interpreter enters on every script-function activation, so
+// profile stacks continue from pipeline stages into the guest program:
+//
+//   worker-1;site-visit;execute;script:example0.com/app.js;fn:render
+//
+// The function's frame label ("fn:<name>", "fn:(anonymous)" when unnamed) is
+// interned once and memoized on the AstFunction — label ids are stable for
+// the process lifetime, so the memo follows the same single-threaded
+// contract as the AST's other mutable caches (sites are the unit of
+// parallelism). The source site comes from the enclosing "script:<site>/<js>"
+// frame the browser session pushes around each program execution.
+//
+// With no profiler live, constructing a ScriptCallFrame is one relaxed
+// atomic load and a branch (bench_prof_overhead holds this to the ~1 ns
+// class of a disabled TraceSpan).
+#pragma once
+
+#include <cstdint>
+
+#include "obs/profiler.h"
+
+namespace fu::script {
+
+struct AstFunction;
+
+// Interned profiler label for `fn`, memoized in fn.prof_label.
+std::uint32_t prof_label_for(const AstFunction& fn);
+
+class ScriptCallFrame {
+ public:
+  explicit ScriptCallFrame(const AstFunction& fn) {
+    if (obs::prof::enabled()) {
+      pushed_ = true;
+      obs::prof::push(obs::FrameKind::kScript, prof_label_for(fn));
+    }
+  }
+  ~ScriptCallFrame() {
+    if (pushed_) obs::prof::pop();
+  }
+  ScriptCallFrame(const ScriptCallFrame&) = delete;
+  ScriptCallFrame& operator=(const ScriptCallFrame&) = delete;
+
+ private:
+  bool pushed_ = false;
+};
+
+}  // namespace fu::script

@@ -10,6 +10,7 @@
 #include "crawler/survey.h"
 #include "net/web.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/router.h"
 
 namespace fu::service {
@@ -91,6 +92,7 @@ Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
   server.max_request_bytes = options_.max_request_bytes;
   server.port_file = options_.cache_dir + "/serve.port";
   server.routes = [this](obs::Router& router) { mount_routes(router); };
+  if (options_.access_log) server.access_log = obs::stderr_access_logger();
   // The daemon-level /progress.json and /healthz follow the running (else
   // most recent) survey, so `fu watch host:port` works unchanged against a
   // daemon.
@@ -157,6 +159,32 @@ void Daemon::mount_routes(obs::Router& router) {
   router.handle("GET", "/surveys/<id>/metrics.json",
                 [this, with_job](obs::HttpRequest& request) {
                   return with_job(request, &Daemon::handle_metrics);
+                });
+  // Per-survey profiling: samples the whole process, but the executor
+  // serializes crawls, so requiring the job to be *running* scopes every
+  // worker sample to exactly that crawl.
+  router.handle("GET", "/surveys/<id>/profilez",
+                [this](obs::HttpRequest& request) {
+                  const std::shared_ptr<Job> job = job_from(request);
+                  if (job == nullptr) {
+                    return error_response(404, "no such survey");
+                  }
+                  if (table_.copy_of(job).state != JobState::kRunning) {
+                    return error_response(
+                        409, "survey is not running; profile it live");
+                  }
+                  double seconds =
+                      obs::query_double(request.query, "seconds", 1.0);
+                  if (seconds > 30.0) seconds = 30.0;
+                  const double hz =
+                      obs::query_double(request.query, "hz", 97.0);
+                  try {
+                    return obs::text_response(
+                        200, obs::profile_for(seconds, hz).to_text());
+                  } catch (const std::logic_error&) {
+                    return error_response(409,
+                                          "another profiler is already live");
+                  }
                 });
   router.handle("GET", "/surveys/<id>",
                 [this, with_job](obs::HttpRequest& request) {

@@ -22,8 +22,15 @@
 //                                    and histograms accumulated by exactly
 //                                    that crawl; exact because the executor
 //                                    serializes crawls)
+//   GET  /surveys/<id>/profilez      sample that job's crawl for
+//                                    ?seconds=N (default 1, max 30) at
+//                                    ?hz=H and return the folded-stack
+//                                    profile; 409 unless the job is
+//                                    running (the executor serializes
+//                                    crawls, so a running job owns every
+//                                    worker sample)
 //   GET  /metrics.json /metrics /progress.json /deltas.json /healthz
-//                                    the PR 5 observability built-ins;
+//        /buildz /profilez          the observability built-ins;
 //                                    /progress.json and /healthz follow the
 //                                    running (else latest) job
 //
@@ -81,6 +88,10 @@ struct DaemonOptions {
 
   // Request-size cap forwarded to the server (413 above it).
   std::size_t max_request_bytes = 64 * 1024;
+
+  // Structured per-request access log to stderr (one JSON line per request;
+  // `fu serve --log` / FU_SERVE_LOG turn it on).
+  bool access_log = false;
 };
 
 class Daemon {

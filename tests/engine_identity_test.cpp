@@ -16,6 +16,7 @@
 #include "crawler/serialize.h"
 #include "crawler/survey.h"
 #include "net/web.h"
+#include "obs/profiler.h"
 #include "support/strings.h"
 
 namespace fu {
@@ -79,6 +80,24 @@ TEST(EngineIdentity, FingerprintStableAcrossThreadCounts) {
   const std::uint64_t one = survey_fingerprint(small_survey(web, 1));
   const std::uint64_t four = survey_fingerprint(small_survey(web, 4));
   EXPECT_EQ(one, four);
+}
+
+TEST(EngineIdentity, FingerprintUnchangedByProfiling) {
+  // The sampling profiler reads worker frame stacks and the clock — never
+  // survey state. Running the golden survey under an aggressive sampler
+  // must reproduce the exact golden fingerprint, bit for bit.
+  catalog::Catalog catalog;
+  net::SyntheticWeb::Config config;
+  config.site_count = 24;
+  const net::SyntheticWeb web(catalog, config);
+
+  obs::Profiler profiler(997.0);  // ~10x the default rate
+  profiler.start();
+  const std::uint64_t profiled = survey_fingerprint(small_survey(web, 2));
+  profiler.stop();
+  EXPECT_EQ(profiled, kGoldenFingerprint)
+      << "profiling changed measured bits; actual fingerprint 0x" << std::hex
+      << profiled;
 }
 
 TEST(EngineIdentity, FingerprintUnchangedByLiveServing) {

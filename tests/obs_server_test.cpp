@@ -163,6 +163,46 @@ TEST(DeltaRing, ToJsonRoundTripsThroughParser) {
   EXPECT_EQ(parsed.counts.size(), 3u);
 }
 
+TEST(DeltaRing, ToJsonReportsTruncationWhenSinceFellOffTheRing) {
+  Registry registry;
+  Counter& counter = registry.counter("c");
+  DeltaRing ring(3);
+  ring.prime(registry.snapshot(), 0.0);
+  for (int i = 1; i <= 10; ++i) {
+    counter.add();
+    ring.record(registry.snapshot(), static_cast<double>(i));
+  }
+  // Ring holds seqs 8..10; a client at since=2 lost intervals 3..7.
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(ring.to_json(2), doc, &error)) << error;
+  const JsonValue* truncated = doc.find("truncated");
+  ASSERT_NE(truncated, nullptr);
+  EXPECT_TRUE(truncated->type == JsonValue::Type::kBool && truncated->boolean);
+  EXPECT_EQ(doc.number_or("oldest_seq", -1), 8);
+  const JsonValue* deltas = doc.find("deltas");
+  ASSERT_NE(deltas, nullptr);
+  EXPECT_EQ(deltas->array.size(), 3u);
+
+  // A caught-up client (or one whose `since` is still retained) sees no
+  // truncation marker at all.
+  ASSERT_TRUE(json_parse(ring.to_json(7), doc, &error)) << error;
+  EXPECT_EQ(doc.find("truncated"), nullptr);
+  ASSERT_TRUE(json_parse(ring.to_json(10), doc, &error)) << error;
+  EXPECT_EQ(doc.find("truncated"), nullptr);
+}
+
+TEST(DeltaRing, ToJsonOnEmptyRingIsNotTruncated) {
+  DeltaRing ring;
+  JsonValue doc;
+  std::string error;
+  // Nothing ever recorded: nothing was lost, whatever `since` says.
+  ASSERT_TRUE(json_parse(ring.to_json(0), doc, &error)) << error;
+  EXPECT_EQ(doc.find("truncated"), nullptr);
+  ASSERT_TRUE(json_parse(ring.to_json(42), doc, &error)) << error;
+  EXPECT_EQ(doc.find("truncated"), nullptr);
+}
+
 TEST(DeltaPercentile, InterpolatesWithinBuckets) {
   const std::vector<std::uint64_t> bounds = {10, 20, 40};
   // 10 samples in (10,20], nothing elsewhere.
@@ -177,6 +217,98 @@ TEST(DeltaPercentile, InterpolatesWithinBuckets) {
   EXPECT_LE(p95, 80.0);
   // Empty delta: no estimate.
   EXPECT_EQ(delta_percentile(bounds, {0, 0, 0, 0}, 50), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Router edge cases
+
+// A handler that answers with a fixed tag plus any captured params, so the
+// tests can see exactly which route won and what it captured.
+Router::Handler tag(const std::string& name) {
+  return [name](HttpRequest& request) {
+    std::string body = name;
+    for (const std::string& param : request.params) body += "|" + param;
+    return text_response(200, std::move(body));
+  };
+}
+
+HttpResponse route(const Router& router, const std::string& method,
+                   const std::string& path) {
+  HttpRequest request;
+  request.method = method;
+  request.path = path;
+  return router.dispatch(request);
+}
+
+TEST(Router, TrailingSlashIsInsignificant) {
+  Router router;
+  router.handle("GET", "/surveys", tag("list"));
+  router.handle("GET", "/surveys/<id>", tag("one"));
+  EXPECT_EQ(route(router, "GET", "/surveys").body, "list");
+  EXPECT_EQ(route(router, "GET", "/surveys/").body, "list");
+  EXPECT_EQ(route(router, "GET", "/surveys/7").body, "one|7");
+  EXPECT_EQ(route(router, "GET", "/surveys/7/").body, "one|7");
+  // The bare root still routes (trailing-slash trim never eats the whole
+  // path).
+  Router root;
+  root.handle("GET", "/", tag("root"));
+  EXPECT_EQ(route(root, "GET", "/").body, "root");
+}
+
+TEST(Router, DuplicateRegistrationEarlierWins) {
+  Router router;
+  router.handle("GET", "/surveys", tag("first"));
+  router.handle("GET", "/surveys", tag("second"));
+  EXPECT_EQ(route(router, "GET", "/surveys").body, "first");
+}
+
+TEST(Router, ParamCapturesPercentEncodedVerbatimButNeverEmpty) {
+  Router router;
+  router.handle("GET", "/surveys/<id>/tables", tag("tables"));
+  router.handle("GET", "/surveys/<id>", tag("one"));
+  // The router does not percent-decode: the handler sees the raw segment
+  // (daemon ids are digits-only, so decoding is the handler's concern).
+  EXPECT_EQ(route(router, "GET", "/surveys/a%2Fb").body, "one|a%2Fb");
+  EXPECT_EQ(route(router, "GET", "/surveys/%31%32/tables").body,
+            "tables|%31%32");
+  // An empty segment never satisfies a wildcard — "/surveys//tables" is not
+  // "/surveys/<id>/tables" for any id.
+  EXPECT_EQ(route(router, "GET", "/surveys//tables").status, 404);
+}
+
+TEST(Router, MostSpecificFirstOrderingUnderWildcards) {
+  Router router;  // registered most specific first, as the daemon does
+  router.handle("GET", "/surveys/<id>/tables", tag("tables"));
+  router.handle("GET", "/surveys/<id>", tag("one"));
+  router.handle("GET", "/surveys", tag("list"));
+  EXPECT_EQ(route(router, "GET", "/surveys/9/tables").body, "tables|9");
+  EXPECT_EQ(route(router, "GET", "/surveys/9").body, "one|9");
+  EXPECT_EQ(route(router, "GET", "/surveys").body, "list");
+  // A literal segment registered before the wildcard shadows that one value
+  // only.
+  Router shadowing;
+  shadowing.handle("GET", "/surveys/latest", tag("latest"));
+  shadowing.handle("GET", "/surveys/<id>", tag("one"));
+  EXPECT_EQ(route(shadowing, "GET", "/surveys/latest").body, "latest");
+  EXPECT_EQ(route(shadowing, "GET", "/surveys/3").body, "one|3");
+  // Registered the other way round, the wildcard swallows the literal —
+  // earlier-wins is the whole ordering contract.
+  Router swallowed;
+  swallowed.handle("GET", "/surveys/<id>", tag("one"));
+  swallowed.handle("GET", "/surveys/latest", tag("latest"));
+  EXPECT_EQ(route(swallowed, "GET", "/surveys/latest").body, "one|latest");
+}
+
+TEST(Router, MethodMismatchIs405WithAllowHint) {
+  Router router;
+  router.handle("GET", "/surveys", tag("list"));
+  router.handle("POST", "/surveys", tag("submit"));
+  router.handle("GET", "/surveys/<id>", tag("one"));
+  const HttpResponse response = route(router, "DELETE", "/surveys");
+  EXPECT_EQ(response.status, 405);
+  EXPECT_NE(response.body.find("GET"), std::string::npos) << response.body;
+  EXPECT_NE(response.body.find("POST"), std::string::npos) << response.body;
+  EXPECT_EQ(route(router, "POST", "/surveys/5").status, 405);
 }
 
 // ---------------------------------------------------------------------------

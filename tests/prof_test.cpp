@@ -1,0 +1,462 @@
+// Tests for the continuous-profiling stack: the cooperative sampler
+// (per-thread frame stacks, label interning, the one-live-profiler rule),
+// the folded-profile model (parse/render round-trip, per-standard
+// attribution, summaries, diff, flamegraph), and the /profilez + /buildz
+// endpoints riding obs::Server — including the access-log satellite.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/folded.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/server.h"
+
+namespace fu::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Label interning
+
+TEST(ProfLabels, InternIsStableAndNonZero) {
+  const std::uint32_t a = prof::intern_label("prof-test-label-a");
+  const std::uint32_t b = prof::intern_label("prof-test-label-b");
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(prof::intern_label("prof-test-label-a"), a);
+}
+
+TEST(ProfLabels, InternStaticKeysOnPointer) {
+  static const char* kLabel = "prof-test-static";
+  const std::uint32_t first = prof::intern_static(kLabel);
+  EXPECT_NE(first, 0u);
+  EXPECT_EQ(prof::intern_static(kLabel), first);
+  // Same *text* through the dynamic interner also lands on the same id —
+  // the static path is a cache in front of the same table.
+  EXPECT_EQ(prof::intern_label("prof-test-static"), first);
+}
+
+// ---------------------------------------------------------------------------
+// Profiler
+
+// Runs `work` on `threads` labelled threads under a live profiler until at
+// least `min_samples` were taken, then returns the folded profile.
+template <typename Work>
+FoldedProfile profile_workload(int threads, std::uint64_t min_samples,
+                               const Work& work) {
+  Profiler profiler(997.0);
+  profiler.start();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      prof::set_thread_label("prof-test-" + std::to_string(t));
+      while (!stop.load(std::memory_order_relaxed)) work(t);
+    });
+  }
+  while (profiler.samples() < min_samples) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  for (std::thread& thread : pool) thread.join();
+  return profiler.stop();
+}
+
+TEST(Profiler, SamplesLabelledFrameStacks) {
+  static const char* kOuter = "prof-outer";
+  static const char* kInner = "prof-inner";
+  const FoldedProfile profile =
+      profile_workload(2, 200, [](int) {
+        StageFrame outer(kOuter);
+        StageFrame inner(kInner);
+        // Hold the stack open long enough for the sampler to see it.
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      });
+
+  EXPECT_GE(profile.total(), 200u);
+  bool saw_nested = false;
+  for (const auto& [stack, samples] : profile.stacks) {
+    EXPECT_NE(samples, 0u);
+    EXPECT_EQ(stack.rfind("prof-test-", 0), 0u) << stack;
+    if (stack.find("prof-outer;prof-inner") != std::string::npos) {
+      saw_nested = true;
+    }
+  }
+  EXPECT_TRUE(saw_nested) << profile.to_text();
+}
+
+TEST(Profiler, FeatureFramesResolveThroughTable) {
+  std::vector<prof::FeatureLabel> table(3);
+  table[2] = {"std:TST/Window.prototype.probe", "TST"};
+  prof::set_feature_table(table);
+
+  const FoldedProfile profile = profile_workload(1, 100, [](int) {
+    ProfFrame feature(FrameKind::kFeature, 2);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  });
+  prof::set_feature_table({});  // do not leak into other tests
+
+  bool saw_feature = false;
+  for (const auto& [stack, samples] : profile.stacks) {
+    if (stack.find("std:TST/Window.prototype.probe") != std::string::npos) {
+      saw_feature = true;
+    }
+  }
+  EXPECT_TRUE(saw_feature) << profile.to_text();
+  const std::vector<StandardShare> shares = standards_breakdown(profile);
+  ASSERT_FALSE(shares.empty());
+  EXPECT_EQ(shares.front().standard, "TST");
+}
+
+TEST(Profiler, SecondLiveProfilerThrows) {
+  Profiler first(101.0);
+  first.start();
+  Profiler second(101.0);
+  EXPECT_THROW(second.start(), std::logic_error);
+  first.stop();
+  // With the first one stopped, the slot frees up again.
+  Profiler third(101.0);
+  third.start();
+  third.stop();
+}
+
+TEST(Profiler, StopIsIdempotent) {
+  Profiler profiler(211.0);
+  profiler.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const FoldedProfile once = profiler.stop();
+  const FoldedProfile twice = profiler.stop();
+  EXPECT_EQ(once.stacks, twice.stacks);
+}
+
+TEST(Profiler, DisabledHooksRecordNothing) {
+  ASSERT_FALSE(prof::enabled());
+  {
+    StageFrame stage("prof-disabled-stage");
+    ProfFrame feature(FrameKind::kFeature, 7);
+  }
+  Profiler profiler(997.0);
+  profiler.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const FoldedProfile profile = profiler.stop();
+  for (const auto& [stack, samples] : profile.stacks) {
+    EXPECT_EQ(stack.find("prof-disabled-stage"), std::string::npos) << stack;
+  }
+}
+
+TEST(Profiler, ScopeOpenedBeforeStartStaysBalanced) {
+  // A frame constructed with no profiler live must not push — and must not
+  // pop either when a profiler starts before the scope closes.
+  ASSERT_FALSE(prof::enabled());
+  Profiler profiler(997.0);
+  {
+    StageFrame premature("prof-premature");
+    profiler.start();
+    // ~premature runs while enabled; it remembers it never pushed.
+  }
+  static const char* kAfter = "prof-after";
+  std::atomic<bool> stop{false};
+  std::thread worker([&] {
+    prof::set_thread_label("prof-balance");
+    while (!stop.load(std::memory_order_relaxed)) {
+      StageFrame frame(kAfter);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  while (profiler.samples() < 50) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  worker.join();
+  const FoldedProfile profile = profiler.stop();
+  for (const auto& [stack, samples] : profile.stacks) {
+    if (stack.rfind("prof-balance", 0) != 0) continue;
+    // The premature frame never leaks underneath the real one.
+    EXPECT_EQ(stack.find("prof-premature"), std::string::npos) << stack;
+  }
+}
+
+TEST(Profiler, ProfileForSamplesTheCallerWindow) {
+  std::atomic<bool> stop{false};
+  std::thread worker([&] {
+    prof::set_thread_label("prof-window");
+    static const char* kBusy = "prof-busy";
+    while (!stop.load(std::memory_order_relaxed)) {
+      StageFrame frame(kBusy);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  const FoldedProfile profile = profile_for(0.25, 499.0);
+  stop.store(true);
+  worker.join();
+  EXPECT_GT(profile.total(), 0u);
+  bool saw = false;
+  for (const auto& [stack, samples] : profile.stacks) {
+    if (stack.find("prof-busy") != std::string::npos) saw = true;
+  }
+  EXPECT_TRUE(saw) << profile.to_text();
+}
+
+// ---------------------------------------------------------------------------
+// Folded profiles
+
+TEST(Folded, TextRoundTrips) {
+  FoldedProfile profile;
+  profile.add("worker-0;site-visit;execute", 5);
+  profile.add("worker-0;site-visit", 12);
+  profile.add("worker-1;parse", 3);
+  profile.add("worker-0;site-visit;execute", 2);  // merges
+
+  const std::string text = profile.to_text();
+  const FoldedProfile parsed = FoldedProfile::parse(text);
+  EXPECT_EQ(parsed.stacks, profile.stacks);
+  EXPECT_EQ(parsed.total(), 22u);
+}
+
+TEST(Folded, ParseRejectsMalformedLines) {
+  EXPECT_THROW(FoldedProfile::parse("a;b\n"), std::runtime_error);
+  EXPECT_THROW(FoldedProfile::parse("a;b twelve\n"), std::runtime_error);
+  EXPECT_THROW(FoldedProfile::parse(" 5\n"), std::runtime_error);
+  try {
+    FoldedProfile::parse("ok;stack 1\nbroken\n");
+    FAIL() << "second line should have thrown";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("2"), std::string::npos)
+        << error.what();
+  }
+  // Blank lines are fine.
+  EXPECT_EQ(FoldedProfile::parse("a;b 1\n\n\nc 2\n").total(), 3u);
+}
+
+TEST(Folded, ClassifiesFramesFromTextAlone) {
+  EXPECT_EQ(classify_frame("worker-0", true), FrameClass::kThread);
+  EXPECT_EQ(classify_frame("site-visit", false), FrameClass::kStage);
+  EXPECT_EQ(classify_frame("script:site0.com/app.js", false),
+            FrameClass::kScript);
+  EXPECT_EQ(classify_frame("fn:render", false), FrameClass::kFunction);
+  EXPECT_EQ(classify_frame("std:DOM1/Document.prototype.createElement",
+                           false),
+            FrameClass::kStandard);
+}
+
+TEST(Folded, StandardsBreakdownChargesDeepestShim) {
+  FoldedProfile profile;
+  profile.add("w;visit;std:DOM/a;fn:x;std:CSS/b", 6);  // deepest shim: CSS
+  profile.add("w;visit;std:DOM/a", 3);
+  profile.add("w;visit", 1);  // no shim: engine
+
+  const std::vector<StandardShare> shares = standards_breakdown(profile);
+  ASSERT_EQ(shares.size(), 3u);
+  EXPECT_EQ(shares[0].standard, "CSS");
+  EXPECT_EQ(shares[0].samples, 6u);
+  EXPECT_NEAR(shares[0].pct, 60.0, 0.01);
+  EXPECT_EQ(shares[1].standard, "DOM");
+  EXPECT_EQ(shares[1].samples, 3u);
+  EXPECT_EQ(shares[2].standard, "(engine)");
+  EXPECT_EQ(shares[2].samples, 1u);
+
+  const std::string csv = standards_csv(profile);
+  EXPECT_EQ(csv.rfind("standard,samples,pct\n", 0), 0u) << csv;
+  EXPECT_NE(csv.find("CSS,6,60.000"), std::string::npos) << csv;
+}
+
+TEST(Folded, SummaryAndJsonAgree) {
+  FoldedProfile profile;
+  profile.add("w0;visit;execute;fn:tick", 4);
+  profile.add("w0;visit;parse", 6);
+  const std::string summary = render_prof_summary(profile);
+  EXPECT_NE(summary.find("samples: 10"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("parse"), std::string::npos);
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(prof_summary_json(profile), doc, &error)) << error;
+  EXPECT_EQ(doc.number_or("total", -1), 10);
+  // Each sample charges its deepest stage frame, so the two stacks split
+  // into execute (under visit) and parse.
+  const JsonValue* stages = doc.find("stages");
+  ASSERT_NE(stages, nullptr);
+  EXPECT_EQ(stages->number_or("execute", -1), 4);
+  EXPECT_EQ(stages->number_or("parse", -1), 6);
+}
+
+TEST(Folded, DiffComparesShares) {
+  FoldedProfile before;
+  before.add("w;parse", 50);
+  before.add("w;execute", 50);
+  FoldedProfile after;  // parse doubled its share, execute shrank
+  after.add("w;parse", 150);
+  after.add("w;execute", 50);
+  const std::string diff = render_prof_diff(before, after);
+  EXPECT_NE(diff.find("parse"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("+"), std::string::npos) << diff;
+}
+
+TEST(Folded, FlamegraphIsSelfContained) {
+  FoldedProfile profile;
+  profile.add("w0;visit;execute", 3);
+  // Script frames carry page URLs — they belong in the embedded data and
+  // must not trip the no-external-assets checks below.
+  profile.add("w0;visit;execute;script:http://www.site1.org/js/app0.js", 2);
+  const std::string html = flamegraph_html(profile, "test profile");
+  EXPECT_NE(html.find("<!doctype html>"), std::string::npos);
+  EXPECT_NE(html.find("execute"), std::string::npos);
+  EXPECT_NE(html.find("test profile"), std::string::npos);
+  EXPECT_NE(html.find("app0.js"), std::string::npos);
+  // Self-contained: no external scripts, styles or fonts.
+  EXPECT_EQ(html.find("src=\"http"), std::string::npos);
+  EXPECT_EQ(html.find("href=\"http"), std::string::npos);
+  EXPECT_EQ(html.find("src='http"), std::string::npos);
+  EXPECT_EQ(html.find("href='http"), std::string::npos);
+  EXPECT_EQ(html.find("@import"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// /profilez and /buildz over obs::Server
+
+TEST(Server, ProfilezReturnsFoldedSamples) {
+  Registry registry;
+  ServerOptions options;
+  options.port = 0;
+  options.registry = &registry;
+  Server server(std::move(options));
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  std::atomic<bool> stop{false};
+  std::thread worker([&] {
+    prof::set_thread_label("profilez-worker");
+    static const char* kStage = "profilez-stage";
+    while (!stop.load(std::memory_order_relaxed)) {
+      StageFrame frame(kStage);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  int status = 0;
+  std::string body, error;
+  ASSERT_TRUE(http_get("127.0.0.1", server.port(),
+                       "/profilez?seconds=0.3&hz=499", status, body, &error,
+                       30.0))
+      << error;
+  stop.store(true);
+  worker.join();
+  EXPECT_EQ(status, 200) << body;
+
+  const FoldedProfile profile = FoldedProfile::parse(body);
+  EXPECT_GT(profile.total(), 0u);
+  bool saw = false;
+  for (const auto& [stack, samples] : profile.stacks) {
+    if (stack.find("profilez-stage") != std::string::npos) saw = true;
+  }
+  EXPECT_TRUE(saw) << body;
+}
+
+TEST(Server, ProfilezConflictsWithLiveProfiler) {
+  Registry registry;
+  ServerOptions options;
+  options.port = 0;
+  options.registry = &registry;
+  Server server(std::move(options));
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  Profiler owner(97.0);  // what --profile-out does for a whole survey
+  owner.start();
+  int status = 0;
+  std::string body, error;
+  ASSERT_TRUE(http_get("127.0.0.1", server.port(), "/profilez?seconds=0.1",
+                       status, body, &error, 30.0))
+      << error;
+  owner.stop();
+  EXPECT_EQ(status, 409) << body;
+}
+
+TEST(Server, BuildzReportsBuildIdentity) {
+  Registry registry;
+  ServerOptions options;
+  options.port = 0;
+  options.registry = &registry;
+  options.build_extra.emplace_back("catalog_fingerprint", "0xabc");
+  Server server(std::move(options));
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  int status = 0;
+  std::string body, error;
+  ASSERT_TRUE(http_get("127.0.0.1", server.port(), "/buildz", status, body,
+                       &error))
+      << error;
+  EXPECT_EQ(status, 200);
+  JsonValue doc;
+  ASSERT_TRUE(json_parse(body, doc, &error)) << error << "\n" << body;
+  EXPECT_FALSE(doc.string_or("git", "").empty());
+  EXPECT_FALSE(doc.string_or("build_type", "").empty());
+  EXPECT_FALSE(doc.string_or("compiler", "").empty());
+  const JsonValue* sanitizers = doc.find("sanitizers");
+  ASSERT_NE(sanitizers, nullptr);
+  EXPECT_TRUE(sanitizers->is_array());
+  EXPECT_EQ(doc.string_or("catalog_fingerprint", ""), "0xabc");
+}
+
+// ---------------------------------------------------------------------------
+// Access log
+
+TEST(Server, AccessLogSeesEveryRequest) {
+  Registry registry;
+  std::mutex mutex;
+  std::vector<AccessLogEntry> entries;
+  ServerOptions options;
+  options.port = 0;
+  options.registry = &registry;
+  options.access_log = [&](const AccessLogEntry& entry) {
+    std::lock_guard<std::mutex> lock(mutex);
+    entries.push_back(entry);
+  };
+  Server server(std::move(options));
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  int status = 0;
+  std::string body;
+  ASSERT_TRUE(
+      http_get("127.0.0.1", server.port(), "/healthz", status, body));
+  EXPECT_EQ(status, 200);
+  ASSERT_TRUE(
+      http_get("127.0.0.1", server.port(), "/no-such-path", status, body));
+  EXPECT_EQ(status, 404);
+
+  // The log callback runs on the serving thread right after the response is
+  // queued; both requests completed, so both entries are visible now.
+  std::lock_guard<std::mutex> lock(mutex);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].method, "GET");
+  EXPECT_EQ(entries[0].path, "/healthz");
+  EXPECT_EQ(entries[0].status, 200);
+  EXPECT_EQ(entries[1].path, "/no-such-path");
+  EXPECT_EQ(entries[1].status, 404);
+}
+
+TEST(AccessLog, LineIsOneJsonObject) {
+  AccessLogEntry entry;
+  entry.method = "GET";
+  entry.path = "/metrics.json";
+  entry.status = 200;
+  entry.duration_us = 1234;
+  const std::string line = access_log_line(entry);
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(line, doc, &error)) << error << "\n" << line;
+  EXPECT_EQ(doc.string_or("method", ""), "GET");
+  EXPECT_EQ(doc.string_or("path", ""), "/metrics.json");
+  EXPECT_EQ(doc.number_or("status", -1), 200);
+  EXPECT_EQ(doc.number_or("duration_us", -1), 1234);
+}
+
+}  // namespace
+}  // namespace fu::obs

@@ -27,8 +27,10 @@
 #include "blocker/extensions.h"
 #include "core/featureusage.h"
 #include "obs/delta.h"
+#include "obs/folded.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/server.h"
 #include "obs/trace.h"
 #include "obs/tracefile.h"
@@ -51,7 +53,7 @@ int usage() {
       "  survey [flags]        run the survey, print the main tables\n"
       "  report <dir>          export every table/figure/CSV\n"
       "  serve [--port p] [--bind addr] [--threads n] [--cache-dir d]\n"
-      "        [--stall-secs s]\n"
+      "        [--stall-secs s] [--log]\n"
       "                        survey daemon: POST /surveys queues crawls\n"
       "                        onto one persistent worker pool; completed\n"
       "                        crawls keep their checkpoint shards in a\n"
@@ -80,6 +82,13 @@ int usage() {
       "                        --check-baseline exits 1 when a stage\n"
       "                        regressed beyond the tolerance (default 0.5\n"
       "                        = +50%) — the CI latency gate\n"
+      "  prof <folded> [<folded2>] [--top n] [--json] [--html <f>]\n"
+      "                        summarize a folded-stack profile written by\n"
+      "                        survey --profile-out or /profilez: totals,\n"
+      "                        per-stage and per-standard CPU attribution,\n"
+      "                        top frames by self/inclusive samples. Two\n"
+      "                        files = diff mode (percentage-share deltas);\n"
+      "                        --html renders the interactive flamegraph\n"
       "  lists                 print the generated filter lists\n"
       "\n"
       "survey flags (values as '--flag v' or '--flag=v'):\n"
@@ -98,6 +107,13 @@ int usage() {
       "                        keeping any new slowest-so-far visit), so\n"
       "                        10k-site traces stay bounded\n"
       "  --metrics-out <f>     write the metrics-registry snapshot as JSON\n"
+      "  --profile-out <f>     run the crawl under the sampling profiler and\n"
+      "                        write the folded-stack profile to <f>, the\n"
+      "                        flamegraph to <f>.html and the per-standard\n"
+      "                        CPU attribution to <f>.standards.csv\n"
+      "  --profile-hz <n>      profiler sampling rate (default 97; implies\n"
+      "                        profiling with --profile-out profile.folded\n"
+      "                        when no output path was given)\n"
       "  --serve <port>        serve live metrics/progress over loopback\n"
       "                        HTTP while the survey runs (0 = ephemeral\n"
       "                        port, printed to stderr and written to\n"
@@ -121,7 +137,10 @@ int usage() {
       "                        same as the --trace-out/--trace-jsonl/\n"
       "                        --metrics-out survey flags\n"
       "  FU_SERVE_PORT         live endpoint port (same as --serve)\n"
-      "  FU_STALL_SECS         healthz stall window (same as --stall-secs)\n";
+      "  FU_STALL_SECS         healthz stall window (same as --stall-secs)\n"
+      "  FU_PROFILE_HZ / FU_PROFILE_OUT\n"
+      "                        same as --profile-hz / --profile-out\n"
+      "  FU_SERVE_LOG=1        per-request access log (same as serve --log)\n";
   return 2;
 }
 
@@ -324,6 +343,10 @@ bool parse_survey_flags(ReproductionConfig& config, int argc, char** argv) {
       if (!string_value(config.trace_jsonl)) return false;
     } else if (arg == "--metrics-out") {
       if (!string_value(config.metrics_out)) return false;
+    } else if (arg == "--profile-out") {
+      if (!string_value(config.profile_out)) return false;
+    } else if (arg == "--profile-hz") {
+      if (!double_value(config.profile_hz)) return false;
     } else if (arg == "--serve") {
       if (!int_value(config.serve_port)) return false;
     } else if (arg == "--stall-secs") {
@@ -356,9 +379,14 @@ int cmd_survey(Reproduction& repro) {
   const ReproductionConfig& config = repro.config();
   const bool tracing =
       !config.trace_out.empty() || !config.trace_jsonl.empty();
+  const bool profiling =
+      !config.profile_out.empty() || config.profile_hz > 0;
+  const std::string profile_out =
+      config.profile_out.empty() ? "profile.folded" : config.profile_out;
 
-  // Run the crawl first, under the tracer if one was requested, so the
-  // observability files cover exactly the survey (not the analysis pass).
+  // Run the crawl first, under the tracer/profiler if one was requested, so
+  // the observability files cover exactly the survey (not the analysis
+  // pass).
   std::optional<obs::Tracer> tracer;
   if (tracing) {
     obs::Registry::global().reset();
@@ -369,7 +397,28 @@ int cmd_survey(Reproduction& repro) {
     tracer.emplace();
     tracer->start();
   }
+  std::optional<obs::Profiler> profiler;
+  if (profiling) {
+    profiler.emplace(config.profile_hz > 0 ? config.profile_hz : 97.0);
+    profiler->start();
+  }
   const crawler::SurveyResults& survey = repro.survey();
+  if (profiler) {
+    const obs::FoldedProfile profile = profiler->stop();
+    if (profile.total() == 0) {
+      std::cerr << "note: profile is empty — the survey was served from the "
+                   "on-disk cache or finished within one sample period (set "
+                   "FU_CACHE=0 to profile a real crawl)\n";
+    }
+    if (!write_text_file(profile_out, profile.to_text(), "profile") ||
+        !write_text_file(profile_out + ".html",
+                         obs::flamegraph_html(profile, profile_out),
+                         "flamegraph") ||
+        !write_text_file(profile_out + ".standards.csv",
+                         obs::standards_csv(profile), "standards csv")) {
+      return 1;
+    }
+  }
   if (tracer) {
     const std::vector<obs::SpanRecord> records = tracer->stop();
     if (records.empty()) {
@@ -506,6 +555,84 @@ int cmd_trace(int argc, char** argv) {
   return 0;
 }
 
+// -------------------------------------------------------------- fu prof --
+
+int cmd_prof(int argc, char** argv) {
+  obs::ProfSummaryOptions options;
+  std::vector<std::string> paths;
+  std::string html_out;
+  bool as_json = false;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    const std::size_t eq = arg.find('=');
+    const bool takes_value = arg == "--top" || arg == "--html";
+    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.resize(eq);
+    } else if (takes_value && i + 1 < argc) {
+      value = argv[++i];
+    }
+    if (arg == "--top") {
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed <= 0) {
+        std::cerr << "--top: not a positive number: " << value << "\n";
+        return 2;
+      }
+      options.top = static_cast<std::size_t>(parsed);
+    } else if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--html") {
+      html_out = value;
+    } else if (arg.rfind("--", 0) != 0 && paths.size() < 2) {
+      paths.push_back(arg);
+    } else {
+      std::cerr << "unknown prof argument: " << argv[i] << "\n";
+      return 2;
+    }
+  }
+  if (paths.empty()) return usage();
+
+  const auto load = [](const std::string& path,
+                       std::optional<obs::FoldedProfile>& out) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (!in) {
+      std::cerr << "fu prof: cannot read " << path << "\n";
+      return false;
+    }
+    try {
+      out = obs::FoldedProfile::parse(buffer.str());
+    } catch (const std::exception& error) {
+      std::cerr << "fu prof: " << path << ": " << error.what() << "\n";
+      return false;
+    }
+    return true;
+  };
+  std::optional<obs::FoldedProfile> first;
+  if (!load(paths.front(), first)) return 1;
+
+  if (paths.size() == 2) {  // diff mode: shares of <folded2> vs <folded>
+    std::optional<obs::FoldedProfile> second;
+    if (!load(paths.back(), second)) return 1;
+    std::cout << obs::render_prof_diff(*first, *second, options);
+    return 0;
+  }
+  if (!html_out.empty() &&
+      !write_text_file(html_out, obs::flamegraph_html(*first, paths.front()),
+                       "flamegraph")) {
+    return 1;
+  }
+  if (as_json) {
+    std::cout << obs::prof_summary_json(*first, options.top);
+    return 0;
+  }
+  std::cout << obs::render_prof_summary(*first, options);
+  return 0;
+}
+
 int cmd_report(Reproduction& repro, int argc, char** argv) {
   if (argc < 1) return usage();
   const int files = analysis::write_report(argv[0], repro.analysis());
@@ -537,6 +664,9 @@ int cmd_serve(int argc, char** argv) {
   if (const char* token = std::getenv("FU_SERVE_TOKEN")) {
     options.auth_token = token;
   }
+  if (const char* log = std::getenv("FU_SERVE_LOG")) {
+    options.access_log = *log != '\0' && std::strcmp(log, "0") != 0;
+  }
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&]() -> const char* {
@@ -562,6 +692,8 @@ int cmd_serve(int argc, char** argv) {
       if (!int_value(options.port)) return 2;
     } else if (arg == "--threads") {
       if (!int_value(options.threads)) return 2;
+    } else if (arg == "--log") {
+      options.access_log = true;
     } else if (arg == "--bind") {
       const char* text = value();
       if (text == nullptr) return 2;
@@ -738,6 +870,32 @@ int cmd_watch(int argc, char** argv) {
     }
   }
 
+  // Build identity, fetched once on connect: git describe, build type and
+  // sanitizers, so a dashboard screenshot pins down exactly what ran. Kept
+  // in the header of every repaint (the screen clears each interval).
+  std::string build_line;
+  {
+    int status = 0;
+    std::string body;
+    if (obs::http_get(host, port, "/buildz", status, body, nullptr, 5.0,
+                      bearer) &&
+        status == 200) {
+      obs::JsonValue build;
+      if (obs::json_parse(body, build)) {
+        build_line = "build " + build.string_or("git", "?") + " (" +
+                     build.string_or("build_type", "?") + ")";
+        if (const obs::JsonValue* sans = build.find("sanitizers");
+            sans != nullptr && sans->is_array() && !sans->array.empty()) {
+          build_line += " sanitizers:";
+          for (const obs::JsonValue& s : sans->array) {
+            build_line += " " + (s.is_string() ? s.string : "?");
+          }
+        }
+        std::cout << build_line << "\n";
+      }
+    }
+  }
+
   // Stage latency distributions accumulate across the delta intervals this
   // watcher has seen — p50/p95 of the run while we watched.
   std::map<std::string,
@@ -816,8 +974,9 @@ int cmd_watch(int argc, char** argv) {
 
     // ---- render one screen ----
     if (!once) std::cout << "\033[H\033[2J";
-    std::cout << "fu watch  " << host << ":" << port << "\n\n"
-              << sched::format_progress(snap) << "\n";
+    std::cout << "fu watch  " << host << ":" << port << "\n";
+    if (!build_line.empty()) std::cout << build_line << "\n";
+    std::cout << "\n" << sched::format_progress(snap) << "\n";
     if (!snap.workers.empty()) {
       std::size_t queued = 0;
       std::uint64_t steals = 0;
@@ -879,9 +1038,10 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   char** rest = argv + 2;
   const int nrest = argc - 2;
-  // `fu trace` and `fu watch` only read a file / poll a socket; they need
-  // no reproduction pipeline.
+  // `fu trace`, `fu prof` and `fu watch` only read a file / poll a socket;
+  // they need no reproduction pipeline.
   if (command == "trace") return cmd_trace(nrest, rest);
+  if (command == "prof") return cmd_prof(nrest, rest);
   if (command == "watch") return cmd_watch(nrest, rest);
   // `fu serve` builds catalogs per request seed and `fu compact` only
   // touches shard files; neither needs the whole reproduction either.
