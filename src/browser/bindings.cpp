@@ -54,11 +54,18 @@ void DomBindings::build_interfaces() {
     interp_.globals().define(info.name, Value(ctor));
   }
 
-  // Populate prototypes with method slots.
+  // Populate prototypes with method slots. Features come grouped by
+  // interface, so one lookup per run of equal names replaces one per
+  // feature — this loop runs for every catalog method on every session.
+  Heap& h = interp_.heap();
+  const std::string* last_iface = nullptr;
+  ObjectRef proto;
   for (const catalog::Feature& f : catalog_.features()) {
     if (f.kind != catalog::FeatureKind::kMethod) continue;
-    const ObjectRef proto = prototype_of(f.interface_name);
-    Heap& h = interp_.heap();
+    if (last_iface == nullptr || *last_iface != f.interface_name) {
+      proto = prototype_of(f.interface_name);
+      last_iface = &f.interface_name;
+    }
     h.define_property(proto, f.member_name,
                       Value(h.make_function(inert, f.full_name)));
   }

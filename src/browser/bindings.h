@@ -14,8 +14,8 @@
 // document wrapper and clears page-local listener/timer state.
 #pragma once
 
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -68,8 +68,10 @@ class DomBindings {
 
   script::Interpreter& interp_;
   const catalog::Catalog& catalog_;
-  std::map<std::string, script::ObjectRef> prototypes_;
-  std::map<std::string, script::ObjectRef> singletons_;
+  // Hot at session construction (one probe per catalog feature): hashed,
+  // not ordered — nothing iterates these.
+  std::unordered_map<std::string, script::ObjectRef> prototypes_;
+  std::unordered_map<std::string, script::ObjectRef> singletons_;
   script::ObjectRef window_;
   script::ObjectRef document_;
   script::ObjectRef event_target_proto_;

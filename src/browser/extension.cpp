@@ -1,10 +1,54 @@
 #include "browser/extension.h"
 
-#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
 
 #include "obs/profiler.h"
 
 namespace fu::browser {
+
+namespace detail {
+
+struct CatalogShimData {
+  // Parallel to catalog.features(): the shim's display name, precomputed —
+  // building "instrumented:<name>" per feature per session adds up.
+  std::vector<std::string> shim_names;
+  // interface name -> (property name -> feature id) for the watch hooks.
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string, catalog::FeatureId>>
+      watchable;
+};
+
+namespace {
+
+const CatalogShimData& shim_data_for(const catalog::Catalog& catalog) {
+  // Keyed by catalog identity; entries are immutable once built, so the
+  // lock covers only the registry probe. Sessions on survey worker threads
+  // construct extensions concurrently.
+  static std::mutex mu;
+  static std::unordered_map<const catalog::Catalog*,
+                            std::unique_ptr<CatalogShimData>>
+      registry;
+  std::lock_guard<std::mutex> lock(mu);
+  std::unique_ptr<CatalogShimData>& slot = registry[&catalog];
+  if (!slot) {
+    slot = std::make_unique<CatalogShimData>();
+    slot->shim_names.reserve(catalog.features().size());
+    for (const catalog::Feature& f : catalog.features()) {
+      slot->shim_names.push_back("instrumented:" + f.full_name);
+      if (f.kind == catalog::FeatureKind::kProperty) {
+        slot->watchable[f.interface_name].emplace(f.member_name, f.id);
+      }
+    }
+  }
+  return *slot;
+}
+
+}  // namespace
+
+}  // namespace detail
 
 namespace {
 
@@ -16,20 +60,23 @@ using script::Value;
 
 MeasuringExtension::MeasuringExtension(const catalog::Catalog& catalog,
                                        UsageRecorder& recorder)
-    : catalog_(&catalog), recorder_(&recorder) {
-  for (const catalog::Feature& f : catalog_->features()) {
-    if (f.kind == catalog::FeatureKind::kProperty) {
-      watchable_properties_[f.interface_name].emplace(f.member_name, f.id);
-    }
-  }
-}
+    : catalog_(&catalog),
+      recorder_(&recorder),
+      shims_(&detail::shim_data_for(catalog)) {}
 
 void MeasuringExtension::inject(Interpreter& interp, DomBindings& bindings) {
   script::Heap& heap = interp.heap();
 
-  for (const catalog::Feature& f : catalog_->features()) {
+  const std::vector<catalog::Feature>& features = catalog_->features();
+  const std::string* last_iface = nullptr;  // features come grouped
+  ObjectRef proto;
+  for (std::size_t idx = 0; idx < features.size(); ++idx) {
+    const catalog::Feature& f = features[idx];
     if (f.kind != catalog::FeatureKind::kMethod) continue;
-    const ObjectRef proto = bindings.prototype_of(f.interface_name);
+    if (last_iface == nullptr || *last_iface != f.interface_name) {
+      proto = bindings.prototype_of(f.interface_name);
+      last_iface = &f.interface_name;
+    }
     if (proto.null()) continue;
     Value* slot = heap.own_property(proto, f.member_name);
     if (slot == nullptr || !slot->is_object()) continue;
@@ -53,7 +100,7 @@ void MeasuringExtension::inject(Interpreter& interp, DomBindings& bindings) {
           obs::ProfFrame feature_frame(obs::FrameKind::kFeature, fid);
           return in.call_function(original, self, args);
         },
-        "instrumented:" + f.full_name));
+        shims_->shim_names[idx]));
     ++methods_shimmed_;
   }
 
@@ -71,8 +118,8 @@ void MeasuringExtension::inject(Interpreter& interp, DomBindings& bindings) {
 void MeasuringExtension::watch_singleton(Interpreter& interp, ObjectRef object,
                                          const std::string& interface_name) {
   if (object.null()) return;
-  const auto map_it = watchable_properties_.find(interface_name);
-  if (map_it == watchable_properties_.end()) return;
+  const auto map_it = shims_->watchable.find(interface_name);
+  if (map_it == shims_->watchable.end()) return;
 
   UsageRecorder* recorder = recorder_;
   interp.heap().get(object).watch =

@@ -17,7 +17,6 @@
 // last ("inject at the beginning of <head>").
 #pragma once
 
-#include <map>
 #include <string>
 
 #include "browser/bindings.h"
@@ -26,6 +25,14 @@
 #include "script/interp.h"
 
 namespace fu::browser {
+
+namespace detail {
+// Catalog-derived injection tables (shim display names, watchable property
+// maps). Built once per catalog and shared by every session — sessions are
+// constructed by the thousand per survey, and rebuilding these per session
+// used to dominate injection time.
+struct CatalogShimData;
+}  // namespace detail
 
 class MeasuringExtension {
  public:
@@ -47,10 +54,7 @@ class MeasuringExtension {
  private:
   const catalog::Catalog* catalog_;
   UsageRecorder* recorder_;
-  // interface name -> (property name -> feature id), precomputed so the
-  // per-page document re-watch costs one small map copy.
-  std::map<std::string, std::map<std::string, catalog::FeatureId>>
-      watchable_properties_;
+  const detail::CatalogShimData* shims_;  // shared, immutable after build
   int methods_shimmed_ = 0;
   int properties_watched_ = 0;
 };

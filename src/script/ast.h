@@ -1,10 +1,13 @@
 // MiniJS abstract syntax tree. Owned as a Program of unique_ptrs; the
-// interpreter walks it many times (the crawler re-runs the same page
-// scripts on every measurement pass). The only mutation the walk performs
-// is filling the `mutable` inline-cache fields below — site caches share
-// one Program across every session visiting a site, and sites are
-// single-threaded (the SiteCache contract), so unsynchronized IC state is
-// safe; the caches self-invalidate across interpreters via engine_id.
+// engine compiles it to register bytecode (compiler.cpp) and executes the
+// chunk in the VM (vm.cpp) — the crawler re-runs the same page scripts on
+// every measurement pass, so compiled chunks are memoized here. A chunk
+// bakes in atoms from the compiling engine's AtomTable, so the memo is
+// tagged with the engine id and recompiles cleanly under a different
+// interpreter. Site caches share one Program across every session visiting
+// a site, and sites are single-threaded (the SiteCache contract), so the
+// unsynchronized mutable memo — and the IC state inside the chunk — is
+// safe.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +21,7 @@ namespace fu::script {
 
 struct Expr;
 struct Stmt;
+struct Chunk;
 using ExprPtr = std::unique_ptr<Expr>;
 using StmtPtr = std::unique_ptr<Stmt>;
 
@@ -37,13 +41,11 @@ struct AstFunction {
   std::vector<std::string> params;
   std::vector<StmtPtr> body;
 
-  // Per-engine memo of the interned parameter atoms (call_function defines
-  // params on every activation; interning once per engine keeps that off
-  // the hot path).
-  mutable std::uint64_t param_engine = 0;
-  mutable std::vector<Atom> param_atoms;
+  // Per-engine memo of the compiled body (see compiler.cpp::chunk_for).
+  mutable std::uint64_t chunk_engine = 0;
+  mutable std::shared_ptr<Chunk> chunk;
   // Interned profiler frame label (see script/profhook.h); label ids are
-  // process-stable, so unlike param_atoms this never needs an engine check.
+  // process-stable, so unlike the chunk this never needs an engine check.
   mutable std::uint32_t prof_label = 0;
 };
 
@@ -66,22 +68,15 @@ struct Expr {
   ExprPtr object;               // member/index base, assign target base
   ExprPtr index;                // index expression
   ExprPtr callee;               // call/new target
-  std::vector<ExprPtr> args;    // call/new arguments, array elements
+  std::vector<ExprPtr> args;    // call/new arguments, array elements,
+                                // object literal values
   ExprPtr lhs, rhs;             // binary / assign
   ExprPtr cond, then_expr, else_expr;  // conditional
   BinaryOp binary_op = BinaryOp::kAdd;
   UnaryOp unary_op = UnaryOp::kNot;
   std::shared_ptr<AstFunction> function;  // function expressions
-  // object literal: parallel vectors of keys and value expressions
+  // object literal: parallel with args
   std::vector<std::string> keys;
-
-  // --- inline caches (see atoms.h for validity rules) ---
-  mutable VarIC var_ic;           // kIdentifier reads / assign targets
-  mutable PropertyIC prop_ic;     // kMember reads
-  mutable PropertyWriteIC write_ic;  // kMember assignment targets
-  // object literal: per-engine memo of interned key atoms
-  mutable std::uint64_t keys_engine = 0;
-  mutable std::vector<Atom> key_atoms;
 };
 
 struct Stmt {
@@ -95,9 +90,6 @@ struct Stmt {
   Kind kind;
   ExprPtr expr;              // expr stmt / var init / return value / conditions
   std::string name;          // var name / catch binding
-  // per-engine memo of `name` interned (var statements in loops)
-  mutable std::uint64_t name_engine = 0;
-  mutable Atom name_atom = kNoAtom;
   StmtPtr body;              // loop body, if-then
   StmtPtr else_body;         // if-else
   ExprPtr init_expr;         // for-init expression (var handled via init_stmt)
@@ -119,6 +111,10 @@ struct Stmt {
 
 struct Program {
   std::vector<StmtPtr> statements;
+
+  // Per-engine memo of the compiled top level (compiler.cpp::chunk_for).
+  mutable std::uint64_t chunk_engine = 0;
+  mutable std::shared_ptr<Chunk> chunk;
 };
 
 }  // namespace fu::script

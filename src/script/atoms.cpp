@@ -15,6 +15,11 @@ std::uint64_t next_table_id() {
 }  // namespace
 
 AtomTable::AtomTable() : id_(next_table_id()) {
+  // A browser session interns the whole catalog (every interface, method and
+  // property name) before the first page script runs; pre-sizing skips the
+  // rehash cascade that would otherwise happen on each of the thousands of
+  // engines a survey constructs.
+  ids_.reserve(4096);
   well_known_.length = intern("length");
   well_known_.prototype = intern("prototype");
   well_known_.constructor = intern("constructor");

@@ -7,14 +7,11 @@
 // append-only: an atom, once handed out, names the same string for the
 // table's whole lifetime, so inline caches can key on it.
 //
-// This header also defines the inline-cache records that parser-emitted AST
-// nodes carry (one per member-access / identifier site). Caches are tagged
-// with the owning table's process-unique id: a cached AST executed by a
-// different interpreter misses cleanly and re-resolves (site caches share
-// parsed programs across the up-to-20 sessions that crawl one site).
-// Programs — and therefore these mutable cache fields — are single-threaded
-// by the same contract as browser::SiteCache: sites are the unit of
-// parallelism.
+// Inline-cache records live with the bytecode that indexes them
+// (script/bytecode.h); chunks are tagged with the owning table's
+// process-unique id, so a program compiled under one interpreter
+// recompiles cleanly under another (site caches share parsed programs
+// across the up-to-20 sessions that crawl one site).
 #pragma once
 
 #include <cstdint>
@@ -28,8 +25,6 @@ namespace fu::script {
 
 using Atom = std::uint32_t;
 inline constexpr Atom kNoAtom = 0xFFFFFFFFu;
-
-class Environment;
 
 class AtomTable {
  public:
@@ -74,62 +69,6 @@ class AtomTable {
   std::unordered_map<std::string_view, Atom> ids_;  // views into names_
   std::vector<Atom> small_indices_;  // lazily-filled cache for 0..4095
   WellKnown well_known_{};
-};
-
-// ---------------------------------------------------------------------------
-// Inline-cache records. All are "monomorphic": each remembers exactly one
-// resolution and falls back to the slow path (then re-caches) on mismatch.
-// Validity is anchored in things that cannot silently change under the
-// cache: atom-table identity, per-object shape versions (bumped on every
-// property-layout mutation — add or delete, never value overwrite, so the
-// measuring extension's shim-over-prototype-method replacement keeps caches
-// valid and reads the *shim*), and environment serial numbers.
-
-// Property read through an AST member-access site. chain[0] is the
-// receiver, chain[chain_len-1] the holder whose slot holds the value; every
-// link's shape is revalidated on use, which also guards against a new
-// shadowing property appearing anywhere on the cached prototype path.
-struct PropertyIC {
-  static constexpr int kMaxChain = 4;
-  static constexpr std::uint32_t kMissSlot = 0xFFFFFFFFu;
-
-  struct Link {
-    std::uint32_t object = 0;  // ObjectRef index
-    std::uint32_t shape = 0;
-  };
-
-  std::uint64_t engine_id = 0;  // owning AtomTable::id(); 0 = empty
-  Atom atom = kNoAtom;
-  Link chain[kMaxChain];
-  std::uint8_t chain_len = 0;  // 0 = no cached resolution (atom memo only)
-  // Slot index in the holder; kMissSlot = negative cache ("definitely
-  // absent along the whole recorded chain").
-  std::uint32_t slot = 0;
-};
-
-// Property write through an AST member-assignment site: JS assignment
-// always targets an *own* slot of the receiver.
-struct PropertyWriteIC {
-  std::uint64_t engine_id = 0;
-  Atom atom = kNoAtom;
-  std::uint32_t object = 0;
-  std::uint32_t shape = 0;
-  std::uint32_t slot = 0;
-  bool valid = false;
-};
-
-// Identifier resolution. Only filled when the name resolved in the scope
-// the site executed in (nothing nearer can ever shadow it, and environment
-// binding stores are append-only, so the slot index stays good); the
-// environment serial — unique per environment per interpreter — keys the
-// cache, which makes global-scope loops hit while each fresh function
-// activation re-resolves once.
-struct VarIC {
-  std::uint64_t engine_id = 0;
-  Atom atom = kNoAtom;
-  std::uint64_t env_serial = 0;  // 0 = no cached resolution
-  Environment* env = nullptr;
-  std::uint32_t slot = 0;
 };
 
 }  // namespace fu::script

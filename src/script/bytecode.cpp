@@ -1,0 +1,221 @@
+// Disassembler for `fu disasm`: one line per instruction, with IC-slot
+// annotations resolved back to property/identifier names so a survey
+// engineer can read which sites carry caches.
+#include "script/bytecode.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "script/ast.h"
+
+namespace fu::script {
+
+namespace {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kNop: return "nop";
+    case Op::kLoadConst: return "load_const";
+    case Op::kLoadUndefined: return "load_undef";
+    case Op::kMove: return "move";
+    case Op::kGetLocal: return "get_local";
+    case Op::kSetLocal: return "set_local";
+    case Op::kGetVar: return "get_var";
+    case Op::kSetVar: return "set_var";
+    case Op::kDefineVar: return "define_var";
+    case Op::kMakeFunction: return "make_function";
+    case Op::kGetProp: return "get_prop";
+    case Op::kGetMethod: return "get_method";
+    case Op::kSetProp: return "set_prop";
+    case Op::kGetIndex: return "get_index";
+    case Op::kSetIndex: return "set_index";
+    case Op::kDefineProp: return "define_prop";
+    case Op::kDeleteProp: return "delete_prop";
+    case Op::kDeleteIndex: return "delete_index";
+    case Op::kMakeObject: return "make_object";
+    case Op::kMakeArray: return "make_array";
+    case Op::kCall: return "call";
+    case Op::kCallMethod: return "call_method";
+    case Op::kNew: return "new";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDiv: return "div";
+    case Op::kMod: return "mod";
+    case Op::kEq: return "eq";
+    case Op::kNe: return "ne";
+    case Op::kStrictEq: return "stricteq";
+    case Op::kStrictNe: return "strictne";
+    case Op::kLt: return "lt";
+    case Op::kGt: return "gt";
+    case Op::kLe: return "le";
+    case Op::kGe: return "ge";
+    case Op::kInstanceof: return "instanceof";
+    case Op::kIn: return "in";
+    case Op::kNot: return "not";
+    case Op::kNeg: return "neg";
+    case Op::kTypeofValue: return "typeof_value";
+    case Op::kTypeofVar: return "typeof_var";
+    case Op::kIsObject: return "is_object";
+    case Op::kJump: return "jump";
+    case Op::kJumpIfFalse: return "jump_if_false";
+    case Op::kJumpIfTrue: return "jump_if_true";
+    case Op::kThrow: return "throw";
+    case Op::kReturn: return "return";
+    case Op::kReturnUndefined: return "return_undef";
+  }
+  return "?";
+}
+
+std::string const_repr(const Value& v) {
+  if (v.is_string()) return "\"" + v.as_string() + "\"";
+  return v.to_display_string();
+}
+
+void append(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  out += buf;
+}
+
+}  // namespace
+
+std::string disassemble(const Chunk& chunk, const AtomTable& atoms) {
+  std::string out;
+  append(out, "== %s (regs=%u, params=%zu%s)\n",
+         chunk.name.c_str(), chunk.num_regs, chunk.param_atoms.size(),
+         chunk.needs_arguments ? ", arguments" : "");
+  for (const Chunk::Handler& h : chunk.handlers) {
+    append(out, "   handler [%04u,%04u) -> %04u", h.start, h.end, h.target);
+    if (h.binding != kNoAtom) {
+      append(out, " catch(%s)", atoms.name(h.binding).c_str());
+    }
+    out += "\n";
+  }
+  for (std::uint32_t pc = 0; pc < chunk.code.size(); ++pc) {
+    const Instr& i = chunk.code[pc];
+    append(out, "%04u  ", pc);
+    if (i.fuel != 0) {
+      append(out, "fuel=%-3u ", i.fuel);
+    } else {
+      out += "         ";
+    }
+    append(out, "%-14s", op_name(i.op));
+    switch (i.op) {
+      case Op::kNop:
+      case Op::kReturnUndefined:
+        break;
+      case Op::kLoadConst:
+      case Op::kThrow:
+        append(out, "r%u, const[%u]", i.a, i.imm);
+        append(out, "    ; %s", const_repr(chunk.constants[i.imm]).c_str());
+        break;
+      case Op::kLoadUndefined:
+        append(out, "r%u", i.a);
+        break;
+      case Op::kMove:
+      case Op::kNot:
+      case Op::kNeg:
+      case Op::kTypeofValue:
+      case Op::kIsObject:
+        append(out, "r%u, r%u", i.a, i.b);
+        break;
+      case Op::kGetLocal:
+      case Op::kSetLocal:
+        append(out, "r%u, local[%u]", i.a, i.imm);
+        break;
+      case Op::kGetVar:
+      case Op::kSetVar:
+      case Op::kTypeofVar:
+        append(out, "r%u, var_ic[%u]", i.a, i.imm);
+        append(out, "    ; %s",
+               atoms.name(chunk.var_ics[i.imm].atom).c_str());
+        break;
+      case Op::kDefineVar:
+        append(out, "r%u", i.a);
+        append(out, "    ; define %s",
+               atoms.name(static_cast<Atom>(i.imm)).c_str());
+        break;
+      case Op::kMakeFunction:
+        append(out, "r%u, fn[%u]", i.a, i.imm);
+        if (i.imm < chunk.functions.size()) {
+          const auto& fn = chunk.functions[i.imm];
+          append(out, "    ; %s",
+                 fn->name.empty() ? "<anonymous>" : fn->name.c_str());
+        }
+        break;
+      case Op::kGetProp:
+      case Op::kGetMethod:
+        append(out, "r%u, r%u, prop_ic[%u]", i.a, i.b, i.imm);
+        append(out, "    ; .%s",
+               atoms.name(chunk.prop_ics[i.imm].atom).c_str());
+        break;
+      case Op::kSetProp:
+        append(out, "r%u, r%u, write_ic[%u]", i.a, i.b, i.imm);
+        append(out, "    ; .%s",
+               atoms.name(chunk.write_ics[i.imm].atom).c_str());
+        break;
+      case Op::kGetIndex:
+      case Op::kSetIndex:
+      case Op::kDeleteIndex:
+        append(out, "r%u, r%u, r%u", i.a, i.b, i.c);
+        break;
+      case Op::kDefineProp:
+      case Op::kDeleteProp:
+        append(out, "r%u, r%u", i.a, i.b);
+        append(out, "    ; .%s", atoms.name(static_cast<Atom>(i.imm)).c_str());
+        break;
+      case Op::kMakeObject:
+        append(out, "r%u", i.a);
+        break;
+      case Op::kMakeArray:
+        append(out, "r%u, r%u..r%u (n=%u)", i.a, i.b,
+               i.imm == 0 ? i.b : i.b + i.imm - 1, i.imm);
+        break;
+      case Op::kCall:
+        append(out, "r%u, fn=r%u, argc=%u", i.a, i.b, i.imm);
+        break;
+      case Op::kCallMethod:
+        append(out, "r%u, fn=r%u, this=r%u, argc=%u", i.a, i.b, i.b + 1,
+               i.imm);
+        break;
+      case Op::kNew:
+        append(out, "r%u, ctor=r%u, argc=%u", i.a, i.b, i.imm);
+        break;
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+      case Op::kDiv:
+      case Op::kMod:
+      case Op::kEq:
+      case Op::kNe:
+      case Op::kStrictEq:
+      case Op::kStrictNe:
+      case Op::kLt:
+      case Op::kGt:
+      case Op::kLe:
+      case Op::kGe:
+      case Op::kInstanceof:
+      case Op::kIn:
+        append(out, "r%u, r%u, r%u", i.a, i.b, i.c);
+        break;
+      case Op::kJump:
+        append(out, "-> %04u", i.imm);
+        break;
+      case Op::kJumpIfFalse:
+      case Op::kJumpIfTrue:
+        append(out, "r%u -> %04u", i.a, i.imm);
+        break;
+      case Op::kReturn:
+        append(out, "r%u", i.a);
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace fu::script

@@ -1,0 +1,191 @@
+// MiniJS register bytecode: the compiled form of a parsed Program or
+// AstFunction body, executed by the VM dispatch loop (vm.cpp) instead of
+// the old tree-walking evaluator.
+//
+// Instructions are fixed-width (12 bytes): an opcode, a pre-charged fuel
+// count, three 16-bit register operands and a 32-bit immediate. Inline
+// caches are not scattered over AST nodes any more — each chunk owns dense
+// vectors of IC records and property/variable/call instructions carry the
+// record's index in `imm`, so IC slot allocation is centralized in the
+// bytecode compiler (compiler.cpp).
+//
+// Fuel accounting is compiled in: the tree-walker burned one fuel unit at
+// the entry of every exec(Stmt)/eval(Expr), and that count is observable
+// (Date.now reads steps_executed(); fuel exhaustion aborts scripts). The
+// compiler folds each node's entry burn into the *next emitted
+// instruction*'s `fuel` field — charged before the instruction runs — and
+// flushes pending burns as a standalone kNop before binding any jump
+// target, so one-time burns are never re-charged on a loop back edge. The
+// engine-identity fingerprint locks this bit-for-bit.
+//
+// Chunks are memoized per engine on the owning Program/AstFunction (atoms
+// are baked into instructions, so a chunk is only valid for the AtomTable
+// that compiled it). IC state inside a chunk is mutable at run time under
+// the same single-threaded contract as the old AST caches: sites are the
+// unit of crawl parallelism.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "script/atoms.h"
+#include "script/value.h"
+
+namespace fu::script {
+
+struct AstFunction;
+
+enum class Op : std::uint8_t {
+  kNop,             // fuel carrier / pending-burn flush point
+  kLoadConst,       // r[a] = constants[imm]
+  kLoadUndefined,   // r[a] = undefined
+  kMove,            // r[a] = r[b]
+  kGetLocal,        // r[a] = activation slot imm (params / this / arguments)
+  kSetLocal,        // activation slot imm = r[a]
+  kGetVar,          // r[a] = scope lookup through var_ics[imm]
+  kSetVar,          // scope assign r[a] through var_ics[imm]
+  kDefineVar,       // current scope define: atom imm = r[a]
+  kMakeFunction,    // r[a] = closure of functions[imm] over the current scope
+  kGetProp,         // r[a] = r[b].<prop_ics[imm].atom>
+  kGetMethod,       // kGetProp + "is not a function" check (call callees)
+  kSetProp,         // r[b].<write_ics[imm].atom> = r[a]
+  kGetIndex,        // r[a] = r[b][r[c]]
+  kSetIndex,        // r[b][r[c]] = r[a]
+  kDefineProp,      // define r[b].<atom imm> = r[a] (object literals)
+  kDeleteProp,      // r[a] = delete r[b].<atom imm>
+  kDeleteIndex,     // r[a] = delete r[b][r[c]] (base already object-checked)
+  kMakeObject,      // r[a] = {}
+  kMakeArray,       // r[a] = Array of r[b] .. r[b+imm-1]
+  kCall,            // r[a] = r[b](r[b+1..b+imm])
+  kCallMethod,      // r[a] = r[b].call(this=r[b+1], r[b+2..b+1+imm])
+  kNew,             // r[a] = new r[b](r[b+1..b+imm])
+  // binary operators: r[a] = r[b] <op> r[c]
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kStrictEq, kStrictNe,
+  kLt, kGt, kLe, kGe,
+  kInstanceof, kIn,
+  kNot,             // r[a] = !truthy(r[b])
+  kNeg,             // r[a] = -to_number(r[b])
+  kTypeofValue,     // r[a] = typeof r[b]
+  kTypeofVar,       // r[a] = typeof <identifier>; unbound burns nothing
+  kIsObject,        // r[a] = r[b] is an object (delete-index guard)
+  kJump,            // pc = imm
+  kJumpIfFalse,     // if (!truthy(r[a])) pc = imm
+  kJumpIfTrue,      // if (truthy(r[a])) pc = imm
+  kThrow,           // throw ScriptError(constants[imm])
+  kReturn,          // return r[a]
+  kReturnUndefined, // return undefined (also the chunk terminator)
+};
+
+struct Instr {
+  Op op = Op::kNop;
+  std::uint8_t fuel = 0;  // fuel units charged before this instruction runs
+  std::uint16_t a = 0, b = 0, c = 0;
+  std::uint32_t imm = 0;
+};
+
+// --------------------------------------------------------------- ICs ------
+// Polymorphic inline caches, owned by the chunk and indexed by instruction
+// immediates. Each property site holds up to kMaxEntries (shape, slot)
+// entries before collapsing to a megamorphic terminal state (generic walk,
+// no further recording). Validity is anchored in shape-tree identities
+// (value.h): with shapes drawn from shared transition trees rooted at the
+// prototype, a shape match implies both the slot layout *and* the identity
+// of the prototype, so same-layout objects hit each other's cache entries
+// and chain revalidation is pure shape compares. In-place value overwrites
+// (the measuring extension's shim injection) never change a shape, so warm
+// caches stay warm and read the shim.
+
+// Identifier resolution: caches the (environment serial, slot) of a name
+// that resolved in the scope the site started in — nothing nearer can ever
+// shadow it, and environment binding stores are append-only.
+struct VarIC {
+  Atom atom = kNoAtom;
+  std::uint64_t env_serial = 0;  // 0 = no cached resolution
+  std::uint32_t slot = 0;
+};
+
+// Property read through a member site. An entry validates by the receiver's
+// shape plus the shapes of the recorded prototype links; `holder` says which
+// object owns the slot (0 = the receiver itself, k = chain[k-1]).
+struct PropIC {
+  static constexpr int kMaxEntries = 4;
+  static constexpr int kMaxChain = 4;  // receiver + up to 3 prototype links
+  static constexpr std::uint32_t kMissSlot = 0xFFFFFFFFu;
+  static constexpr std::uint8_t kMegamorphic = 0xFF;
+
+  struct Link {
+    std::uint32_t object = 0;  // ObjectRef index of the prototype
+    std::uint32_t shape = 0;
+  };
+  struct Entry {
+    std::uint32_t receiver_shape = 0;
+    std::uint8_t chain_len = 0;   // prototype links recorded (not receiver)
+    std::uint8_t holder = 0;      // 0 = receiver, k = chain[k-1]
+    Link chain[kMaxChain - 1];
+    std::uint32_t slot = 0;       // kMissSlot = negative cache
+  };
+
+  Atom atom = kNoAtom;
+  std::uint8_t count = 0;  // kMegamorphic once saturated
+  Entry entries[kMaxEntries];
+};
+
+// Property write through a member-assignment site. JS assignment targets an
+// *own* slot of the receiver; entries record the post-write shape so the
+// steady state (value overwrite, shape unchanged) hits. The watch hook is
+// re-checked on the fast path — watches are per-object, not per-shape.
+struct WriteIC {
+  static constexpr int kMaxEntries = 4;
+  static constexpr std::uint8_t kMegamorphic = 0xFF;
+
+  struct Entry {
+    std::uint32_t shape = 0;
+    std::uint32_t slot = 0;
+  };
+
+  Atom atom = kNoAtom;
+  std::uint8_t count = 0;  // kMegamorphic once saturated
+  Entry entries[kMaxEntries];
+};
+
+// ------------------------------------------------------------- chunk ------
+
+struct Chunk {
+  std::vector<Instr> code;
+  std::vector<Value> constants;  // literals: numbers, strings, bools, null
+  std::vector<std::shared_ptr<const AstFunction>> functions;
+
+  // IC storage, indexed by instruction immediates. Mutable at run time
+  // (single-threaded per site, like the chunk itself); the VM runs over a
+  // const Chunk and warms only these.
+  mutable std::vector<VarIC> var_ics;
+  mutable std::vector<PropIC> prop_ics;
+  mutable std::vector<WriteIC> write_ics;
+
+  // try/catch protected ranges: [start, end) in pc space, innermost first.
+  struct Handler {
+    std::uint32_t start = 0;
+    std::uint32_t end = 0;
+    std::uint32_t target = 0;
+    Atom binding = kNoAtom;  // kNoAtom = no catch binding
+  };
+  std::vector<Handler> handlers;
+
+  // Function chunks: activation layout the call prologue installs before
+  // the body runs. param_atoms is one atom per declared parameter, in
+  // order; needs_arguments is false when the body never mentions
+  // `arguments`, letting the call path skip building the object.
+  std::vector<Atom> param_atoms;
+  bool needs_arguments = false;
+
+  std::uint32_t num_regs = 0;
+  std::string name;  // diagnostic label for the disassembler
+};
+
+// Human-readable disassembly with IC-slot annotations (`fu disasm`).
+std::string disassemble(const Chunk& chunk, const AtomTable& atoms);
+
+}  // namespace fu::script

@@ -1,0 +1,777 @@
+// AST → register bytecode. The contract (bytecode.h) is bit-identical
+// observable behaviour with the old tree-walking evaluator, including fuel
+// accounting: the walker burned one unit at the entry of every
+// exec(Stmt)/eval(Expr), so the compiler counts one pending unit per node
+// it enters and folds the count into the next emitted instruction's fuel
+// field. Pending burns are flushed as kNop before any jump target is bound
+// (one-time burns must not sit inside a loop's back edge) and before a
+// try-protected range starts (the walker charged a statement's entry burn
+// before its own catch could see it).
+#include "script/compiler.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "script/interp.h"
+
+namespace fu::script {
+
+namespace {
+
+constexpr std::uint32_t kNoPatch = 0xFFFFFFFFu;
+
+class FnCompiler {
+ public:
+  explicit FnCompiler(AtomTable& atoms) : at_(atoms) {}
+
+  std::shared_ptr<Chunk> compile(const Program& program) {
+    chunk_ = std::make_shared<Chunk>();
+    chunk_->name = "<program>";
+    for (const StmtPtr& s : program.statements) stmt(*s);
+    finish();
+    return std::move(chunk_);
+  }
+
+  std::shared_ptr<Chunk> compile(const AstFunction& fn) {
+    chunk_ = std::make_shared<Chunk>();
+    chunk_->name = fn.name.empty() ? "<anonymous>" : fn.name;
+    // Reproduce the activation layout call_function installs: params in
+    // declaration order (a duplicate name re-uses its first slot — define
+    // is put, and put overwrites), then `this`, then `arguments` when the
+    // body mentions it. These are the only bindings that exist
+    // unconditionally before the body runs, so only they may be compiled
+    // to fixed kGetLocal/kSetLocal slots; everything else (vars, outer
+    // names) goes through the VarIC path.
+    std::uint32_t next_slot = 0;
+    auto define_local = [&](const std::string& name) {
+      if (!locals_.count(name)) locals_.emplace(name, next_slot++);
+    };
+    chunk_->param_atoms.reserve(fn.params.size());
+    for (const std::string& p : fn.params) {
+      chunk_->param_atoms.push_back(at_.intern(p));
+      define_local(p);
+    }
+    define_local("this");
+    chunk_->needs_arguments = false;
+    for (const StmtPtr& s : fn.body) {
+      if (stmt_mentions_arguments(*s)) {
+        chunk_->needs_arguments = true;
+        break;
+      }
+    }
+    if (chunk_->needs_arguments) define_local("arguments");
+    has_locals_ = true;
+    for (const StmtPtr& s : fn.body) stmt(*s);
+    finish();
+    return std::move(chunk_);
+  }
+
+ private:
+  // ----------------------------------------------------------- emission --
+  std::uint32_t emit(Op op, std::uint16_t a = 0, std::uint16_t b = 0,
+                     std::uint16_t c = 0, std::uint32_t imm = 0) {
+    while (pending_ > 255) {
+      chunk_->code.push_back(Instr{Op::kNop, 255, 0, 0, 0, 0});
+      pending_ -= 255;
+    }
+    chunk_->code.push_back(
+        Instr{op, static_cast<std::uint8_t>(pending_), a, b, c, imm});
+    pending_ = 0;
+    return static_cast<std::uint32_t>(chunk_->code.size()) - 1;
+  }
+
+  void flush_pending() {
+    while (pending_ > 0) {
+      const std::uint32_t f = std::min<std::uint32_t>(pending_, 255);
+      chunk_->code.push_back(
+          Instr{Op::kNop, static_cast<std::uint8_t>(f), 0, 0, 0, 0});
+      pending_ -= f;
+    }
+  }
+
+  // Flush pending burns, then return the pc *after* the flush: fall-through
+  // pays the pending fuel, jumps landing on the label do not.
+  std::uint32_t bind_label() {
+    flush_pending();
+    return static_cast<std::uint32_t>(chunk_->code.size());
+  }
+
+  std::uint32_t here() const {
+    return static_cast<std::uint32_t>(chunk_->code.size());
+  }
+
+  void patch(std::uint32_t instr, std::uint32_t target) {
+    chunk_->code[instr].imm = target;
+  }
+
+  void burn() { ++pending_; }
+
+  // ---------------------------------------------------------- registers --
+  std::uint16_t alloc_reg() {
+    const std::uint16_t r = next_reg_++;
+    chunk_->num_regs = std::max<std::uint32_t>(chunk_->num_regs, next_reg_);
+    return r;
+  }
+
+  // ---------------------------------------------------------- chunk pools --
+  std::uint32_t add_const(Value v) {
+    chunk_->constants.push_back(std::move(v));
+    return static_cast<std::uint32_t>(chunk_->constants.size()) - 1;
+  }
+
+  std::uint32_t add_function(std::shared_ptr<AstFunction> fn) {
+    chunk_->functions.push_back(std::move(fn));
+    return static_cast<std::uint32_t>(chunk_->functions.size()) - 1;
+  }
+
+  std::uint32_t add_var_ic(const std::string& name) {
+    chunk_->var_ics.push_back(VarIC{at_.intern(name), 0, 0});
+    return static_cast<std::uint32_t>(chunk_->var_ics.size()) - 1;
+  }
+
+  std::uint32_t add_prop_ic(const std::string& name) {
+    chunk_->prop_ics.emplace_back();
+    chunk_->prop_ics.back().atom = at_.intern(name);
+    return static_cast<std::uint32_t>(chunk_->prop_ics.size()) - 1;
+  }
+
+  std::uint32_t add_write_ic(const std::string& name) {
+    chunk_->write_ics.emplace_back();
+    chunk_->write_ics.back().atom = at_.intern(name);
+    return static_cast<std::uint32_t>(chunk_->write_ics.size()) - 1;
+  }
+
+  const std::uint32_t* local_slot(const std::string& name) const {
+    if (!has_locals_) return nullptr;
+    const auto it = locals_.find(name);
+    return it == locals_.end() ? nullptr : &it->second;
+  }
+
+  // ------------------------------------------------------- break/continue --
+  struct LoopCtx {
+    bool is_switch = false;
+    std::vector<std::uint32_t> breaks;
+    std::vector<std::uint32_t> continues;
+  };
+
+  void add_break(std::uint32_t jump) {
+    if (loops_.empty()) {
+      end_jumps_.push_back(jump);  // stray break: halt the whole chunk,
+    } else {                       // matching Flow propagation out of run()
+      loops_.back().breaks.push_back(jump);
+    }
+  }
+
+  void add_continue(std::uint32_t jump) {
+    for (auto it = loops_.rbegin(); it != loops_.rend(); ++it) {
+      if (!it->is_switch) {
+        it->continues.push_back(jump);
+        return;
+      }
+    }
+    end_jumps_.push_back(jump);
+  }
+
+  // ---------------------------------------------------------- statements --
+  void stmt(const Stmt& s) {
+    burn();  // exec(Stmt) entry
+    switch (s.kind) {
+      case Stmt::Kind::kEmpty:
+        return;
+      case Stmt::Kind::kExpr: {
+        const std::uint16_t mark = next_reg_;
+        (void)expr(*s.expr);
+        next_reg_ = mark;
+        return;
+      }
+      case Stmt::Kind::kVar: {
+        const std::uint16_t mark = next_reg_;
+        const std::uint16_t r = alloc_reg();
+        if (s.expr) {
+          expr_into(*s.expr, r);
+        } else {
+          emit(Op::kLoadUndefined, r);
+        }
+        emit(Op::kDefineVar, r, 0, 0, at_.intern(s.name));
+        next_reg_ = mark;
+        return;
+      }
+      case Stmt::Kind::kFunction: {
+        const std::uint16_t mark = next_reg_;
+        const std::uint16_t r = alloc_reg();
+        emit(Op::kMakeFunction, r, 0, 0, add_function(s.function));
+        emit(Op::kDefineVar, r, 0, 0, at_.intern(s.function->name));
+        next_reg_ = mark;
+        return;
+      }
+      case Stmt::Kind::kBlock: {
+        for (const StmtPtr& child : s.statements) stmt(*child);
+        return;
+      }
+      case Stmt::Kind::kIf: {
+        const std::uint16_t mark = next_reg_;
+        const std::uint16_t c = expr(*s.expr);
+        const std::uint32_t jf = emit(Op::kJumpIfFalse, c);
+        next_reg_ = mark;
+        stmt(*s.body);
+        if (s.else_body) {
+          const std::uint32_t j = emit(Op::kJump);
+          patch(jf, bind_label());
+          stmt(*s.else_body);
+          patch(j, bind_label());
+        } else {
+          patch(jf, bind_label());
+        }
+        return;
+      }
+      case Stmt::Kind::kWhile: {
+        loops_.emplace_back();
+        const std::uint32_t top = bind_label();
+        const std::uint16_t mark = next_reg_;
+        const std::uint16_t c = expr(*s.expr);
+        const std::uint32_t jf = emit(Op::kJumpIfFalse, c);
+        next_reg_ = mark;
+        stmt(*s.body);
+        emit(Op::kJump, 0, 0, 0, top);
+        const std::uint32_t end = bind_label();
+        patch(jf, end);
+        close_loop(end, top);
+        return;
+      }
+      case Stmt::Kind::kDoWhile: {
+        loops_.emplace_back();
+        const std::uint32_t top = bind_label();
+        stmt(*s.body);
+        const std::uint32_t cond = bind_label();
+        const std::uint16_t mark = next_reg_;
+        const std::uint16_t c = expr(*s.expr);
+        emit(Op::kJumpIfTrue, c, 0, 0, top);
+        next_reg_ = mark;
+        const std::uint32_t end = bind_label();
+        close_loop(end, cond);
+        return;
+      }
+      case Stmt::Kind::kFor: {
+        if (s.init_stmt) stmt(*s.init_stmt);
+        if (s.init_expr) {
+          const std::uint16_t mark = next_reg_;
+          (void)expr(*s.init_expr);
+          next_reg_ = mark;
+        }
+        loops_.emplace_back();
+        const std::uint32_t top = bind_label();
+        std::uint32_t jf = kNoPatch;
+        if (s.expr) {
+          const std::uint16_t mark = next_reg_;
+          const std::uint16_t c = expr(*s.expr);
+          jf = emit(Op::kJumpIfFalse, c);
+          next_reg_ = mark;
+        }
+        stmt(*s.body);
+        const std::uint32_t step = bind_label();
+        if (s.step) {
+          const std::uint16_t mark = next_reg_;
+          (void)expr(*s.step);
+          next_reg_ = mark;
+        }
+        emit(Op::kJump, 0, 0, 0, top);
+        const std::uint32_t end = bind_label();
+        if (jf != kNoPatch) patch(jf, end);
+        close_loop(end, step);
+        return;
+      }
+      case Stmt::Kind::kReturn: {
+        if (s.expr) {
+          const std::uint16_t mark = next_reg_;
+          const std::uint16_t r = expr(*s.expr);
+          emit(Op::kReturn, r);
+          next_reg_ = mark;
+        } else {
+          emit(Op::kReturnUndefined);
+        }
+        return;
+      }
+      case Stmt::Kind::kBreak:
+        add_break(emit(Op::kJump));
+        return;
+      case Stmt::Kind::kContinue:
+        add_continue(emit(Op::kJump));
+        return;
+      case Stmt::Kind::kTry: {
+        // The statement's own entry burn is charged *outside* the protected
+        // range (the walker burned before entering its try block).
+        flush_pending();
+        const std::uint32_t start = here();
+        for (const StmtPtr& child : s.statements) stmt(*child);
+        const std::uint32_t jend = emit(Op::kJump);  // skip the catch body
+        const std::uint32_t end = here();
+        // Nested handlers were pushed while compiling the body, so they sit
+        // earlier in the vector: first covering match = innermost.
+        chunk_->handlers.push_back(Chunk::Handler{
+            start, end, /*target=*/end,
+            s.name.empty() ? kNoAtom : at_.intern(s.name)});
+        for (const StmtPtr& child : s.catch_body) stmt(*child);
+        patch(jend, bind_label());
+        return;
+      }
+      case Stmt::Kind::kSwitch: {
+        loops_.emplace_back();
+        loops_.back().is_switch = true;
+        const std::uint16_t mark = next_reg_;
+        const std::uint16_t disc = expr(*s.expr);
+        const std::uint16_t flag = alloc_reg();
+        std::vector<std::uint32_t> clause_jumps(s.clauses.size(), kNoPatch);
+        for (std::size_t i = 0; i < s.clauses.size(); ++i) {
+          if (!s.clauses[i].test) continue;
+          const std::uint16_t inner = next_reg_;
+          const std::uint16_t t = expr(*s.clauses[i].test);
+          emit(Op::kStrictEq, flag, t, disc);
+          clause_jumps[i] = emit(Op::kJumpIfTrue, flag);
+          next_reg_ = inner;
+        }
+        const std::uint32_t jdefault = emit(Op::kJump);
+        next_reg_ = mark;
+        std::vector<std::uint32_t> clause_pcs(s.clauses.size(), 0);
+        int default_idx = -1;
+        for (std::size_t i = 0; i < s.clauses.size(); ++i) {
+          clause_pcs[i] = bind_label();
+          if (!s.clauses[i].test) default_idx = static_cast<int>(i);
+          for (const StmtPtr& child : s.clauses[i].body) stmt(*child);
+        }
+        const std::uint32_t end = bind_label();
+        for (std::size_t i = 0; i < s.clauses.size(); ++i) {
+          if (clause_jumps[i] != kNoPatch) patch(clause_jumps[i], clause_pcs[i]);
+        }
+        patch(jdefault, default_idx >= 0
+                            ? clause_pcs[static_cast<std::size_t>(default_idx)]
+                            : end);
+        for (const std::uint32_t b : loops_.back().breaks) patch(b, end);
+        loops_.pop_back();
+        return;
+      }
+    }
+    throw ScriptError("unknown statement kind");
+  }
+
+  void close_loop(std::uint32_t break_target, std::uint32_t continue_target) {
+    for (const std::uint32_t b : loops_.back().breaks) patch(b, break_target);
+    for (const std::uint32_t c : loops_.back().continues) {
+      patch(c, continue_target);
+    }
+    loops_.pop_back();
+  }
+
+  // --------------------------------------------------------- expressions --
+  // Evaluate into a fresh register; any temporaries used above it are
+  // released before returning.
+  std::uint16_t expr(const Expr& e) {
+    const std::uint16_t dst = alloc_reg();
+    expr_into(e, dst);
+    return dst;
+  }
+
+  // Evaluate into `dst`. Restores next_reg_ to its entry value.
+  void expr_into(const Expr& e, std::uint16_t dst) {
+    burn();  // eval(Expr) entry
+    switch (e.kind) {
+      case Expr::Kind::kNumber:
+        emit(Op::kLoadConst, dst, 0, 0, add_const(Value(e.number)));
+        return;
+      case Expr::Kind::kString:
+        emit(Op::kLoadConst, dst, 0, 0, add_const(Value(e.text)));
+        return;
+      case Expr::Kind::kBool:
+        emit(Op::kLoadConst, dst, 0, 0, add_const(Value(e.boolean)));
+        return;
+      case Expr::Kind::kNull:
+        emit(Op::kLoadConst, dst, 0, 0, add_const(Value(Null{})));
+        return;
+      case Expr::Kind::kUndefined:
+        emit(Op::kLoadUndefined, dst);
+        return;
+      case Expr::Kind::kIdentifier: {
+        if (const std::uint32_t* slot = local_slot(e.text)) {
+          emit(Op::kGetLocal, dst, 0, 0, *slot);
+        } else {
+          emit(Op::kGetVar, dst, 0, 0, add_var_ic(e.text));
+        }
+        return;
+      }
+      case Expr::Kind::kMember: {
+        const std::uint16_t mark = next_reg_;
+        const std::uint16_t base = expr(*e.object);
+        emit(Op::kGetProp, dst, base, 0, add_prop_ic(e.text));
+        next_reg_ = mark;
+        return;
+      }
+      case Expr::Kind::kIndex: {
+        const std::uint16_t mark = next_reg_;
+        const std::uint16_t base = expr(*e.object);
+        const std::uint16_t idx = expr(*e.index);
+        emit(Op::kGetIndex, dst, base, idx);
+        next_reg_ = mark;
+        return;
+      }
+      case Expr::Kind::kCall:
+        compile_call(e, dst);
+        return;
+      case Expr::Kind::kNew: {
+        const std::uint16_t mark = next_reg_;
+        const std::uint16_t ctor = alloc_reg();
+        expr_into(*e.callee, ctor);
+        for (const ExprPtr& arg : e.args) {
+          const std::uint16_t r = alloc_reg();
+          expr_into(*arg, r);
+        }
+        emit(Op::kNew, dst, ctor, 0,
+             static_cast<std::uint32_t>(e.args.size()));
+        next_reg_ = mark;
+        return;
+      }
+      case Expr::Kind::kAssign:
+        compile_assign(e, dst);
+        return;
+      case Expr::Kind::kBinary:
+        compile_binary(e, dst);
+        return;
+      case Expr::Kind::kUnary:
+        compile_unary(e, dst);
+        return;
+      case Expr::Kind::kConditional: {
+        const std::uint16_t mark = next_reg_;
+        const std::uint16_t c = expr(*e.cond);
+        const std::uint32_t jf = emit(Op::kJumpIfFalse, c);
+        next_reg_ = mark;
+        expr_into(*e.then_expr, dst);
+        const std::uint32_t j = emit(Op::kJump);
+        patch(jf, bind_label());
+        expr_into(*e.else_expr, dst);
+        patch(j, bind_label());
+        return;
+      }
+      case Expr::Kind::kFunction:
+        emit(Op::kMakeFunction, dst, 0, 0, add_function(e.function));
+        return;
+      case Expr::Kind::kObjectLiteral: {
+        emit(Op::kMakeObject, dst);
+        const std::uint16_t mark = next_reg_;
+        for (std::size_t i = 0; i < e.keys.size(); ++i) {
+          const std::uint16_t v = alloc_reg();
+          expr_into(*e.args[i], v);
+          emit(Op::kDefineProp, v, dst, 0, at_.intern(e.keys[i]));
+          next_reg_ = mark;
+        }
+        return;
+      }
+      case Expr::Kind::kArrayLiteral: {
+        const std::uint16_t mark = next_reg_;
+        for (const ExprPtr& arg : e.args) {
+          const std::uint16_t r = alloc_reg();
+          expr_into(*arg, r);
+        }
+        emit(Op::kMakeArray, dst, mark, 0,
+             static_cast<std::uint32_t>(e.args.size()));
+        next_reg_ = mark;
+        return;
+      }
+    }
+    throw ScriptError("unknown expression kind");
+  }
+
+  void compile_call(const Expr& e, std::uint16_t dst) {
+    const std::uint16_t mark = next_reg_;
+    const Expr& callee = *e.callee;
+    // Method calls: the walker evaluated the base, resolved the member
+    // *without* burning an eval() for the member node itself (eval_call
+    // peeled it off before dispatch), and passed the base as `this`.
+    if (callee.kind == Expr::Kind::kMember) {
+      const std::uint16_t fn = alloc_reg();
+      const std::uint16_t self = alloc_reg();
+      expr_into(*callee.object, self);
+      emit(Op::kGetMethod, fn, self, 0, add_prop_ic(callee.text));
+      for (const ExprPtr& arg : e.args) {
+        const std::uint16_t r = alloc_reg();
+        expr_into(*arg, r);
+      }
+      emit(Op::kCallMethod, dst, fn, 0,
+           static_cast<std::uint32_t>(e.args.size()));
+    } else if (callee.kind == Expr::Kind::kIndex) {
+      const std::uint16_t fn = alloc_reg();
+      const std::uint16_t self = alloc_reg();
+      expr_into(*callee.object, self);
+      {
+        const std::uint16_t inner = next_reg_;
+        const std::uint16_t idx = expr(*callee.index);
+        emit(Op::kGetIndex, fn, self, idx);
+        next_reg_ = inner;
+      }
+      for (const ExprPtr& arg : e.args) {
+        const std::uint16_t r = alloc_reg();
+        expr_into(*arg, r);
+      }
+      emit(Op::kCallMethod, dst, fn, 0,
+           static_cast<std::uint32_t>(e.args.size()));
+    } else {
+      const std::uint16_t fn = alloc_reg();
+      expr_into(callee, fn);
+      for (const ExprPtr& arg : e.args) {
+        const std::uint16_t r = alloc_reg();
+        expr_into(*arg, r);
+      }
+      emit(Op::kCall, dst, fn, 0, static_cast<std::uint32_t>(e.args.size()));
+    }
+    next_reg_ = mark;
+  }
+
+  void compile_assign(const Expr& e, std::uint16_t dst) {
+    // The walker evaluated the RHS first, then dispatched on the target
+    // node without burning an eval() for it (only its sub-expressions).
+    const Expr& target = *e.lhs;
+    expr_into(*e.rhs, dst);  // dst doubles as the assignment's result value
+    switch (target.kind) {
+      case Expr::Kind::kIdentifier: {
+        if (const std::uint32_t* slot = local_slot(target.text)) {
+          emit(Op::kSetLocal, dst, 0, 0, *slot);
+        } else {
+          emit(Op::kSetVar, dst, 0, 0, add_var_ic(target.text));
+        }
+        return;
+      }
+      case Expr::Kind::kMember: {
+        const std::uint16_t mark = next_reg_;
+        const std::uint16_t base = expr(*target.object);
+        emit(Op::kSetProp, dst, base, 0, add_write_ic(target.text));
+        next_reg_ = mark;
+        return;
+      }
+      case Expr::Kind::kIndex: {
+        const std::uint16_t mark = next_reg_;
+        const std::uint16_t base = expr(*target.object);
+        const std::uint16_t idx = expr(*target.index);
+        emit(Op::kSetIndex, dst, base, idx);
+        next_reg_ = mark;
+        return;
+      }
+      default:
+        emit(Op::kThrow, 0, 0, 0,
+             add_const(Value(std::string("invalid assignment target"))));
+        return;
+    }
+  }
+
+  void compile_binary(const Expr& e, std::uint16_t dst) {
+    if (e.binary_op == BinaryOp::kAnd || e.binary_op == BinaryOp::kOr) {
+      expr_into(*e.lhs, dst);
+      const std::uint32_t j =
+          emit(e.binary_op == BinaryOp::kAnd ? Op::kJumpIfFalse
+                                             : Op::kJumpIfTrue,
+               dst);
+      expr_into(*e.rhs, dst);
+      patch(j, bind_label());
+      return;
+    }
+    const std::uint16_t mark = next_reg_;
+    const std::uint16_t l = expr(*e.lhs);
+    const std::uint16_t r = expr(*e.rhs);
+    Op op = Op::kAdd;
+    switch (e.binary_op) {
+      case BinaryOp::kAdd: op = Op::kAdd; break;
+      case BinaryOp::kSub: op = Op::kSub; break;
+      case BinaryOp::kMul: op = Op::kMul; break;
+      case BinaryOp::kDiv: op = Op::kDiv; break;
+      case BinaryOp::kMod: op = Op::kMod; break;
+      case BinaryOp::kEq: op = Op::kEq; break;
+      case BinaryOp::kNe: op = Op::kNe; break;
+      case BinaryOp::kStrictEq: op = Op::kStrictEq; break;
+      case BinaryOp::kStrictNe: op = Op::kStrictNe; break;
+      case BinaryOp::kLt: op = Op::kLt; break;
+      case BinaryOp::kGt: op = Op::kGt; break;
+      case BinaryOp::kLe: op = Op::kLe; break;
+      case BinaryOp::kGe: op = Op::kGe; break;
+      case BinaryOp::kInstanceof: op = Op::kInstanceof; break;
+      case BinaryOp::kIn: op = Op::kIn; break;
+      case BinaryOp::kAnd:
+      case BinaryOp::kOr: break;  // handled above
+    }
+    emit(op, dst, l, r);
+    next_reg_ = mark;
+  }
+
+  void compile_unary(const Expr& e, std::uint16_t dst) {
+    switch (e.unary_op) {
+      case UnaryOp::kTypeof: {
+        // `typeof unboundName` must not throw, and the walker only burned
+        // the operand's eval when the name was bound — kTypeofVar charges
+        // that unit at run time on the bound path.
+        if (e.lhs->kind == Expr::Kind::kIdentifier &&
+            !local_slot(e.lhs->text)) {
+          emit(Op::kTypeofVar, dst, 0, 0, add_var_ic(e.lhs->text));
+          return;
+        }
+        const std::uint16_t mark = next_reg_;
+        const std::uint16_t v = expr(*e.lhs);
+        emit(Op::kTypeofValue, dst, v);
+        next_reg_ = mark;
+        return;
+      }
+      case UnaryOp::kDelete: {
+        const Expr& target = *e.lhs;
+        if (target.kind == Expr::Kind::kMember) {
+          const std::uint16_t mark = next_reg_;
+          const std::uint16_t base = expr(*target.object);
+          emit(Op::kDeleteProp, dst, base, 0, at_.intern(target.text));
+          next_reg_ = mark;
+          return;
+        }
+        if (target.kind == Expr::Kind::kIndex) {
+          // The walker skipped evaluating the index when the base was not
+          // an object (result: true, no burns for the index expression).
+          const std::uint16_t mark = next_reg_;
+          const std::uint16_t base = expr(*target.object);
+          const std::uint16_t flag = alloc_reg();
+          emit(Op::kIsObject, flag, base);
+          const std::uint32_t jf = emit(Op::kJumpIfFalse, flag);
+          const std::uint16_t idx = expr(*target.index);
+          emit(Op::kDeleteIndex, dst, base, idx);
+          const std::uint32_t j = emit(Op::kJump);
+          patch(jf, bind_label());
+          emit(Op::kLoadConst, dst, 0, 0, add_const(Value(true)));
+          patch(j, bind_label());
+          next_reg_ = mark;
+          return;
+        }
+        // delete of a non-reference: the walker evaluated it and returned
+        // true.
+        const std::uint16_t mark = next_reg_;
+        (void)expr(target);
+        emit(Op::kLoadConst, dst, 0, 0, add_const(Value(true)));
+        next_reg_ = mark;
+        return;
+      }
+      case UnaryOp::kNot:
+      case UnaryOp::kNeg: {
+        const std::uint16_t mark = next_reg_;
+        const std::uint16_t v = expr(*e.lhs);
+        emit(e.unary_op == UnaryOp::kNot ? Op::kNot : Op::kNeg, dst, v);
+        next_reg_ = mark;
+        return;
+      }
+    }
+    throw ScriptError("unknown unary operator");
+  }
+
+  // --------------------------------------------------- `arguments` scan --
+  // True when the body mentions the identifier `arguments` outside nested
+  // function bodies (those get their own activation's object).
+  static bool stmt_mentions_arguments(const Stmt& s) {
+    if (s.expr && expr_mentions_arguments(*s.expr)) return true;
+    if (s.body && stmt_mentions_arguments(*s.body)) return true;
+    if (s.else_body && stmt_mentions_arguments(*s.else_body)) return true;
+    if (s.init_expr && expr_mentions_arguments(*s.init_expr)) return true;
+    if (s.init_stmt && stmt_mentions_arguments(*s.init_stmt)) return true;
+    if (s.step && expr_mentions_arguments(*s.step)) return true;
+    for (const StmtPtr& child : s.statements) {
+      if (stmt_mentions_arguments(*child)) return true;
+    }
+    for (const StmtPtr& child : s.catch_body) {
+      if (stmt_mentions_arguments(*child)) return true;
+    }
+    for (const Stmt::SwitchClause& clause : s.clauses) {
+      if (clause.test && expr_mentions_arguments(*clause.test)) return true;
+      for (const StmtPtr& child : clause.body) {
+        if (stmt_mentions_arguments(*child)) return true;
+      }
+    }
+    return false;
+  }
+
+  static bool expr_mentions_arguments(const Expr& e) {
+    if (e.kind == Expr::Kind::kIdentifier && e.text == "arguments") {
+      return true;
+    }
+    if (e.kind == Expr::Kind::kFunction) return false;  // fresh activation
+    if (e.object && expr_mentions_arguments(*e.object)) return true;
+    if (e.index && expr_mentions_arguments(*e.index)) return true;
+    if (e.callee && expr_mentions_arguments(*e.callee)) return true;
+    if (e.lhs && expr_mentions_arguments(*e.lhs)) return true;
+    if (e.rhs && expr_mentions_arguments(*e.rhs)) return true;
+    if (e.cond && expr_mentions_arguments(*e.cond)) return true;
+    if (e.then_expr && expr_mentions_arguments(*e.then_expr)) return true;
+    if (e.else_expr && expr_mentions_arguments(*e.else_expr)) return true;
+    for (const ExprPtr& arg : e.args) {
+      if (arg && expr_mentions_arguments(*arg)) return true;
+    }
+    return false;
+  }
+
+  void finish() {
+    const std::uint32_t end = bind_label();
+    emit(Op::kReturnUndefined);
+    for (const std::uint32_t j : end_jumps_) patch(j, end);
+    // A chunk always has at least one register so the VM's frame setup
+    // never deals with an empty window.
+    chunk_->num_regs = std::max<std::uint32_t>(chunk_->num_regs, 1);
+  }
+
+  AtomTable& at_;
+  std::shared_ptr<Chunk> chunk_;
+  std::uint32_t pending_ = 0;  // entry burns not yet folded into an instr
+  std::uint16_t next_reg_ = 0;
+  bool has_locals_ = false;
+  std::unordered_map<std::string, std::uint32_t> locals_;
+  std::vector<LoopCtx> loops_;
+  std::vector<std::uint32_t> end_jumps_;  // stray break/continue → chunk end
+};
+
+}  // namespace
+
+std::shared_ptr<Chunk> compile_program(const Program& program,
+                                       AtomTable& atoms) {
+  return FnCompiler(atoms).compile(program);
+}
+
+std::shared_ptr<Chunk> compile_function(const AstFunction& fn,
+                                        AtomTable& atoms) {
+  return FnCompiler(atoms).compile(fn);
+}
+
+const Chunk& chunk_for(const Program& program, AtomTable& atoms) {
+  if (program.chunk_engine != atoms.id() || !program.chunk) {
+    program.chunk = compile_program(program, atoms);
+    program.chunk_engine = atoms.id();
+  }
+  return *program.chunk;
+}
+
+const Chunk& chunk_for(const AstFunction& fn, AtomTable& atoms) {
+  if (fn.chunk_engine != atoms.id() || !fn.chunk) {
+    fn.chunk = compile_function(fn, atoms);
+    fn.chunk_engine = atoms.id();
+  }
+  return *fn.chunk;
+}
+
+std::string disassemble_program(const Program& program, AtomTable& atoms) {
+  std::string out;
+  const Chunk& top = chunk_for(program, atoms);
+  // Depth-first over the chunk's function pool: the AST is a tree, so no
+  // cycle guard is needed.
+  std::vector<const Chunk*> stack{&top};
+  while (!stack.empty()) {
+    const Chunk* chunk = stack.back();
+    stack.pop_back();
+    out += disassemble(*chunk, atoms);
+    std::vector<const Chunk*> children;
+    for (const auto& fn : chunk->functions) {
+      children.push_back(&chunk_for(*fn, atoms));
+    }
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+    if (!stack.empty()) out += "\n";
+  }
+  return out;
+}
+
+}  // namespace fu::script

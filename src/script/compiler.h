@@ -1,0 +1,29 @@
+// AST → register bytecode compiler (see bytecode.h for the instruction
+// format and the fuel-accounting contract it must honour bit-for-bit).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "script/ast.h"
+#include "script/bytecode.h"
+
+namespace fu::script {
+
+// Compile a whole program (top-level statements, global scope).
+std::shared_ptr<Chunk> compile_program(const Program& program, AtomTable& atoms);
+
+// Compile one function body (activation scope with params/this/arguments).
+std::shared_ptr<Chunk> compile_function(const AstFunction& fn, AtomTable& atoms);
+
+// Per-engine memoized chunks: compiled once per (AST, AtomTable) pair and
+// cached on the AST node, like the old per-engine atom memos. Single-
+// threaded by the site-cache contract.
+const Chunk& chunk_for(const Program& program, AtomTable& atoms);
+const Chunk& chunk_for(const AstFunction& fn, AtomTable& atoms);
+
+// Disassemble a program and, recursively, every function it defines
+// (compiling on demand). Backs `fu disasm`.
+std::string disassemble_program(const Program& program, AtomTable& atoms);
+
+}  // namespace fu::script

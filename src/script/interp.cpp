@@ -3,19 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "script/compiler.h"
 #include "script/profhook.h"
+#include "script/vm.h"
 
 namespace fu::script {
-
-namespace {
-
-// Non-error control flow (return/break/continue) propagates as a status
-// code, not an exception: function-call-heavy pages spent most of their
-// time in the unwinder when every `return` threw. ScriptError remains an
-// exception — it is the rare path and must cross native frames.
-enum class Flow : std::uint8_t { kNormal, kReturn, kBreak, kContinue };
-
-}  // namespace
 
 void Environment::assign(Atom atom, Value value) {
   for (Environment* env = this; env != nullptr; env = env->parent_) {
@@ -29,573 +21,6 @@ void Environment::assign(Atom atom, Value value) {
   while (root->parent_ != nullptr) root = root->parent_;
   root->bindings_.put(atom) = std::move(value);
 }
-
-// Walks the AST. A member class so it can reach interpreter internals.
-class Evaluator {
- public:
-  Evaluator(Interpreter& interp, Environment* env)
-      : interp_(interp), env_(env) {}
-
-  Flow run_block(const std::vector<StmtPtr>& stmts) {
-    for (const StmtPtr& s : stmts) {
-      const Flow flow = exec(*s);
-      if (flow != Flow::kNormal) return flow;
-    }
-    return Flow::kNormal;
-  }
-
-  // The value carried by the last Flow::kReturn.
-  Value take_return_value() { return std::move(return_value_); }
-
-  Flow exec(const Stmt& s) {
-    interp_.burn_fuel();
-    switch (s.kind) {
-      case Stmt::Kind::kEmpty:
-        return Flow::kNormal;
-      case Stmt::Kind::kExpr:
-        eval(*s.expr);
-        return Flow::kNormal;
-      case Stmt::Kind::kVar:
-        env_->define(stmt_atom(s, s.name), s.expr ? eval(*s.expr) : Value());
-        return Flow::kNormal;
-      case Stmt::Kind::kIf:
-        if (eval(*s.expr).truthy()) {
-          return exec(*s.body);
-        } else if (s.else_body) {
-          return exec(*s.else_body);
-        }
-        return Flow::kNormal;
-      case Stmt::Kind::kWhile:
-        while (eval(*s.expr).truthy()) {
-          const Flow flow = exec(*s.body);
-          if (flow == Flow::kBreak) break;
-          if (flow == Flow::kReturn) return flow;
-        }
-        return Flow::kNormal;
-      case Stmt::Kind::kDoWhile:
-        do {
-          const Flow flow = exec(*s.body);
-          if (flow == Flow::kBreak) break;
-          if (flow == Flow::kReturn) return flow;
-        } while (eval(*s.expr).truthy());
-        return Flow::kNormal;
-      case Stmt::Kind::kSwitch: {
-        const Value discriminant = eval(*s.expr);
-        // find the matching clause (=== semantics), else the default
-        std::size_t start = s.clauses.size();
-        for (std::size_t i = 0; i < s.clauses.size(); ++i) {
-          if (s.clauses[i].test != nullptr &&
-              eval(*s.clauses[i].test) == discriminant) {
-            start = i;
-            break;
-          }
-        }
-        if (start == s.clauses.size()) {
-          for (std::size_t i = 0; i < s.clauses.size(); ++i) {
-            if (s.clauses[i].test == nullptr) {
-              start = i;
-              break;
-            }
-          }
-        }
-        // fallthrough: run from the matched clause to the end or a break
-        for (std::size_t i = start; i < s.clauses.size(); ++i) {
-          for (const StmtPtr& child : s.clauses[i].body) {
-            const Flow flow = exec(*child);
-            if (flow == Flow::kBreak) return Flow::kNormal;  // consumed
-            if (flow != Flow::kNormal) return flow;
-          }
-        }
-        return Flow::kNormal;
-      }
-      case Stmt::Kind::kFor: {
-        if (s.init_stmt) exec(*s.init_stmt);
-        if (s.init_expr) eval(*s.init_expr);
-        while (s.expr == nullptr || eval(*s.expr).truthy()) {
-          const Flow flow = exec(*s.body);
-          if (flow == Flow::kBreak) break;
-          if (flow == Flow::kReturn) return flow;
-          if (s.step) eval(*s.step);
-        }
-        return Flow::kNormal;
-      }
-      case Stmt::Kind::kReturn:
-        return_value_ = s.expr ? eval(*s.expr) : Value();
-        return Flow::kReturn;
-      case Stmt::Kind::kBreak:
-        return Flow::kBreak;
-      case Stmt::Kind::kContinue:
-        return Flow::kContinue;
-      case Stmt::Kind::kBlock: {
-        // blocks share their enclosing function scope (var semantics)
-        return run_block(s.statements);
-      }
-      case Stmt::Kind::kFunction:
-        env_->define(stmt_atom(s, s.function->name),
-                     interp_.heap_.make_script_function(s.function, env_));
-        return Flow::kNormal;
-      case Stmt::Kind::kTry:
-        try {
-          return run_block(s.statements);
-        } catch (const ScriptError& err) {
-          if (!s.name.empty()) env_->define(s.name, Value(err.what()));
-          return run_block(s.catch_body);
-        }
-    }
-    return Flow::kNormal;
-  }
-
-  Value eval(const Expr& e) {
-    interp_.burn_fuel();
-    switch (e.kind) {
-      case Expr::Kind::kNumber:
-        return Value(e.number);
-      case Expr::Kind::kString:
-        return Value(e.text);
-      case Expr::Kind::kBool:
-        return Value(e.boolean);
-      case Expr::Kind::kNull:
-        return Value(Null{});
-      case Expr::Kind::kUndefined:
-        return Value();
-      case Expr::Kind::kIdentifier:
-        return eval_identifier(e);
-      case Expr::Kind::kMember: {
-        const Value base = eval(*e.object);
-        return member_with_ic(base, e);
-      }
-      case Expr::Kind::kIndex: {
-        const Value base = eval(*e.object);
-        const Value idx = eval(*e.index);
-        if (base.is_object()) {
-          if (const Atom atom = index_atom(idx); atom != kNoAtom) {
-            return interp_.heap_.get_property(base.as_object(), atom);
-          }
-        }
-        return member_of(base, idx.to_display_string());
-      }
-      case Expr::Kind::kCall:
-        return eval_call(e);
-      case Expr::Kind::kNew: {
-        const Value ctor = eval(*e.callee);
-        std::vector<Value> args = eval_args(e.args);
-        return interp_.construct(ctor, args);
-      }
-      case Expr::Kind::kAssign:
-        return eval_assign(e);
-      case Expr::Kind::kBinary:
-        return eval_binary(e);
-      case Expr::Kind::kUnary:
-        return eval_unary(e);
-      case Expr::Kind::kConditional:
-        return eval(*e.cond).truthy() ? eval(*e.then_expr) : eval(*e.else_expr);
-      case Expr::Kind::kFunction:
-        return interp_.heap_.make_script_function(e.function, env_);
-      case Expr::Kind::kObjectLiteral: {
-        Heap& h = interp_.heap_;
-        if (e.keys_engine != h.atoms().id()) {
-          e.key_atoms.clear();
-          e.key_atoms.reserve(e.keys.size());
-          for (const std::string& k : e.keys) {
-            e.key_atoms.push_back(h.atoms().intern(k));
-          }
-          e.keys_engine = h.atoms().id();
-        }
-        const ObjectRef obj = h.make_object();
-        for (std::size_t i = 0; i < e.key_atoms.size(); ++i) {
-          h.define_property(obj, e.key_atoms[i], eval(*e.args[i]));
-        }
-        return Value(obj);
-      }
-      case Expr::Kind::kArrayLiteral: {
-        std::vector<Value> elements;
-        elements.reserve(e.args.size());
-        for (const ExprPtr& arg : e.args) elements.push_back(eval(*arg));
-        return interp_.make_array(elements);
-      }
-    }
-    throw ScriptError("unknown expression kind");
-  }
-
- private:
-  // Per-engine memo of a statement's bound name (var / function decls).
-  Atom stmt_atom(const Stmt& s, const std::string& name) {
-    AtomTable& at = interp_.heap_.atoms();
-    if (s.name_engine != at.id()) {
-      s.name_atom = at.intern(name);
-      s.name_engine = at.id();
-    }
-    return s.name_atom;
-  }
-
-  // Memoizes the site's name atom for the current engine; clears any stale
-  // cached resolution from a previous engine.
-  Atom site_atom(const Expr& e, VarIC& ic) {
-    AtomTable& at = interp_.heap_.atoms();
-    if (ic.engine_id != at.id()) {
-      ic.engine_id = at.id();
-      ic.atom = at.intern(e.text);
-      ic.env_serial = 0;
-    }
-    return ic.atom;
-  }
-
-  Atom member_atom(const Expr& e, PropertyIC& ic) {
-    AtomTable& at = interp_.heap_.atoms();
-    if (ic.engine_id != at.id()) {
-      ic.engine_id = at.id();
-      ic.atom = at.intern(e.text);
-      ic.chain_len = 0;
-    }
-    return ic.atom;
-  }
-
-  // Atom for a computed index when its canonical string form is a plain
-  // decimal integer (the array hot path); kNoAtom otherwise. The guard
-  // matches Value::to_display_string's integer formatting exactly, so the
-  // atom names the same property the generic path would.
-  Atom index_atom(const Value& idx) {
-    if (!idx.is_number()) return kNoAtom;
-    const double d = idx.as_number();
-    if (!(d >= 0) || d >= 1e15 || d != std::trunc(d)) return kNoAtom;
-    return interp_.heap_.atoms().intern_index(static_cast<std::uint64_t>(d));
-  }
-
-  Value eval_identifier(const Expr& e) {
-    VarIC& ic = e.var_ic;
-    const Atom atom = site_atom(e, ic);
-    if (ic.env_serial == env_->serial()) {
-      return env_->slot_value(ic.slot);
-    }
-    for (Environment* env = env_; env != nullptr; env = env->parent()) {
-      const std::uint32_t slot = env->own_slot(atom);
-      if (slot != PropertySlots::kMissSlot) {
-        if (env == env_) {
-          // Cacheable: resolved in the starting scope itself, where no
-          // nearer binding can ever appear to shadow it.
-          ic.env_serial = env_->serial();
-          ic.slot = slot;
-        }
-        return env->slot_value(slot);
-      }
-    }
-    throw ScriptError("ReferenceError: " + e.text + " is not defined");
-  }
-
-  // Property read with a shape-guarded prototype-chain cache. `e` is the
-  // member expression owning the cache; base has already been evaluated.
-  Value member_with_ic(const Value& base, const Expr& e) {
-    Heap& h = interp_.heap_;
-    PropertyIC& ic = e.prop_ic;
-    const Atom atom = member_atom(e, ic);
-    if (!base.is_object()) {
-      if (base.is_string()) {
-        if (atom == h.atoms().well_known().length) {
-          return Value(static_cast<double>(base.as_string().size()));
-        }
-        // string methods live on the shared string prototype and receive
-        // the string itself as `this`
-        return h.get_property(interp_.string_prototype(), atom);
-      }
-      if (base.is_undefined() || base.is_null()) {
-        throw ScriptError("TypeError: cannot read property '" + e.text +
-                          "' of " + base.to_display_string());
-      }
-      return Value();  // other primitive members: undefined
-    }
-
-    const ObjectRef ref = base.as_object();
-    if (ic.chain_len > 0 && ic.chain[0].object == ref.index()) {
-      // Validate every recorded link: shape unchanged and still wired to
-      // the next link (guards both new shadowing properties and prototype
-      // re-pointing). A negative cache additionally requires the chain to
-      // still terminate.
-      bool valid = true;
-      for (int i = 0; i < ic.chain_len; ++i) {
-        const JsObject& o = h.get(ObjectRef(ic.chain[i].object));
-        if (o.properties.shape() != ic.chain[i].shape) {
-          valid = false;
-          break;
-        }
-        const bool last = i + 1 == ic.chain_len;
-        if (!last) {
-          if (o.prototype.index() != ic.chain[i + 1].object) {
-            valid = false;
-            break;
-          }
-        } else if (ic.slot == PropertyIC::kMissSlot && !o.prototype.null()) {
-          valid = false;
-        }
-      }
-      if (valid) {
-        if (ic.slot == PropertyIC::kMissSlot) return Value();
-        return h.get(ObjectRef(ic.chain[ic.chain_len - 1].object))
-            .properties.value_at(ic.slot);
-      }
-    }
-
-    // Slow path: walk the chain, recording links for the next hit.
-    PropertyIC::Link links[PropertyIC::kMaxChain];
-    ObjectRef cursor = ref;
-    int depth = 0;
-    for (; depth < 32 && !cursor.null(); ++depth) {
-      const JsObject& o = h.get(cursor);
-      if (depth < PropertyIC::kMaxChain) {
-        links[depth] = {cursor.index(), o.properties.shape()};
-      }
-      const std::uint32_t slot = o.properties.index_of(atom);
-      if (slot != PropertySlots::kMissSlot) {
-        if (depth < PropertyIC::kMaxChain) {
-          std::copy(links, links + depth + 1, ic.chain);
-          ic.chain_len = static_cast<std::uint8_t>(depth + 1);
-          ic.slot = slot;
-        } else {
-          ic.chain_len = 0;  // holder too deep to guard; stay uncached
-        }
-        return o.properties.value_at(slot);
-      }
-      cursor = o.prototype;
-    }
-    if (cursor.null() && depth <= PropertyIC::kMaxChain) {
-      // Whole (short) chain walked without a hit: negative-cache it.
-      std::copy(links, links + depth, ic.chain);
-      ic.chain_len = static_cast<std::uint8_t>(depth);
-      ic.slot = PropertyIC::kMissSlot;
-    } else {
-      ic.chain_len = 0;
-    }
-    return Value();
-  }
-
-  // Uncached member access (computed names).
-  Value member_of(const Value& base, std::string_view name) {
-    if (!base.is_object()) {
-      if (base.is_string()) {
-        if (name == "length") {
-          return Value(static_cast<double>(base.as_string().size()));
-        }
-        return interp_.heap_.get_property(interp_.string_prototype(), name);
-      }
-      if (base.is_undefined() || base.is_null()) {
-        throw ScriptError("TypeError: cannot read property '" +
-                          std::string(name) + "' of " +
-                          base.to_display_string());
-      }
-      return Value();  // other primitive members: undefined
-    }
-    return interp_.heap_.get_property(base.as_object(), name);
-  }
-
-  std::vector<Value> eval_args(const std::vector<ExprPtr>& exprs) {
-    std::vector<Value> out;
-    out.reserve(exprs.size());
-    for (const ExprPtr& a : exprs) out.push_back(eval(*a));
-    return out;
-  }
-
-  Value eval_call(const Expr& e) {
-    // Member calls bind `this` to the base object.
-    Value self;
-    Value fn;
-    if (e.callee->kind == Expr::Kind::kMember) {
-      self = eval(*e.callee->object);
-      fn = member_with_ic(self, *e.callee);
-      if (fn.is_undefined()) {
-        throw ScriptError("TypeError: " + self.to_display_string() + "." +
-                          e.callee->text + " is not a function");
-      }
-    } else if (e.callee->kind == Expr::Kind::kIndex) {
-      self = eval(*e.callee->object);
-      fn = member_of(self, eval(*e.callee->index).to_display_string());
-    } else {
-      fn = eval(*e.callee);
-    }
-    const std::vector<Value> args = eval_args(e.args);
-    return interp_.call_function(fn, self, args);
-  }
-
-  Value eval_assign(const Expr& e) {
-    Value value = eval(*e.rhs);
-    const Expr& target = *e.lhs;
-    switch (target.kind) {
-      case Expr::Kind::kIdentifier: {
-        VarIC& ic = target.var_ic;
-        const Atom atom = site_atom(target, ic);
-        if (ic.env_serial == env_->serial()) {
-          env_->slot_value(ic.slot) = value;
-          return value;
-        }
-        for (Environment* env = env_; env != nullptr; env = env->parent()) {
-          const std::uint32_t slot = env->own_slot(atom);
-          if (slot != PropertySlots::kMissSlot) {
-            if (env == env_) {
-              ic.env_serial = env_->serial();
-              ic.slot = slot;
-            }
-            env->slot_value(slot) = value;
-            return value;
-          }
-        }
-        env_->assign(atom, value);  // unbound: sloppy-mode implicit global
-        return value;
-      }
-      case Expr::Kind::kMember: {
-        const Value base = eval(*target.object);
-        if (!base.is_object()) {
-          throw ScriptError("TypeError: cannot set property '" + target.text +
-                            "' of " + base.to_display_string());
-        }
-        Heap& h = interp_.heap_;
-        PropertyWriteIC& ic = target.write_ic;
-        if (ic.engine_id != h.atoms().id()) {
-          ic.engine_id = h.atoms().id();
-          ic.atom = h.atoms().intern(target.text);
-          ic.valid = false;
-        }
-        const ObjectRef ref = base.as_object();
-        JsObject& obj = h.get(ref);
-        if (ic.valid && ic.object == ref.index() &&
-            ic.shape == obj.properties.shape()) {
-          obj.properties.value_at(ic.slot) = value;
-          if (obj.watch) {
-            const Value written = obj.properties.value_at(ic.slot);
-            (*obj.watch)(h.atoms().name(ic.atom), written);
-          }
-          return value;
-        }
-        h.set_property(ref, ic.atom, value);
-        ic.object = ref.index();
-        ic.shape = obj.properties.shape();
-        ic.slot = obj.properties.index_of(ic.atom);
-        ic.valid = ic.slot != PropertySlots::kMissSlot;
-        return value;
-      }
-      case Expr::Kind::kIndex: {
-        const Value base = eval(*target.object);
-        const Value idx = eval(*target.index);
-        if (!base.is_object()) {
-          throw ScriptError("TypeError: cannot index " +
-                            base.to_display_string());
-        }
-        if (const Atom atom = index_atom(idx); atom != kNoAtom) {
-          interp_.heap_.set_property(base.as_object(), atom, value);
-        } else {
-          interp_.heap_.set_property(base.as_object(),
-                                     idx.to_display_string(), value);
-        }
-        return value;
-      }
-      default:
-        throw ScriptError("invalid assignment target");
-    }
-  }
-
-  Value eval_binary(const Expr& e) {
-    // short-circuit operators first
-    if (e.binary_op == BinaryOp::kAnd) {
-      Value lhs = eval(*e.lhs);
-      return lhs.truthy() ? eval(*e.rhs) : lhs;
-    }
-    if (e.binary_op == BinaryOp::kOr) {
-      Value lhs = eval(*e.lhs);
-      return lhs.truthy() ? lhs : eval(*e.rhs);
-    }
-    const Value a = eval(*e.lhs);
-    const Value b = eval(*e.rhs);
-    switch (e.binary_op) {
-      case BinaryOp::kAdd:
-        if (a.is_string() || b.is_string()) {
-          return Value(a.to_display_string() + b.to_display_string());
-        }
-        return Value(a.to_number() + b.to_number());
-      case BinaryOp::kSub: return Value(a.to_number() - b.to_number());
-      case BinaryOp::kMul: return Value(a.to_number() * b.to_number());
-      case BinaryOp::kDiv: return Value(a.to_number() / b.to_number());
-      case BinaryOp::kMod: return Value(std::fmod(a.to_number(), b.to_number()));
-      case BinaryOp::kEq: return Value(a.loose_equals(b));
-      case BinaryOp::kNe: return Value(!a.loose_equals(b));
-      case BinaryOp::kStrictEq: return Value(a == b);
-      case BinaryOp::kStrictNe: return Value(!(a == b));
-      case BinaryOp::kLt: return compare(a, b, [](double x, double y) { return x < y; });
-      case BinaryOp::kGt: return compare(a, b, [](double x, double y) { return x > y; });
-      case BinaryOp::kLe: return compare(a, b, [](double x, double y) { return x <= y; });
-      case BinaryOp::kGe: return compare(a, b, [](double x, double y) { return x >= y; });
-      case BinaryOp::kInstanceof: {
-        // walk a's prototype chain looking for b.prototype
-        if (!b.is_object()) {
-          throw ScriptError("TypeError: right side of instanceof is not an "
-                            "object");
-        }
-        const Value proto = interp_.heap_.get_property(
-            b.as_object(), interp_.heap_.atoms().well_known().prototype);
-        if (!a.is_object() || !proto.is_object()) return Value(false);
-        ObjectRef cursor = interp_.heap_.get(a.as_object()).prototype;
-        for (int depth = 0; depth < 32 && !cursor.null(); ++depth) {
-          if (cursor == proto.as_object()) return Value(true);
-          cursor = interp_.heap_.get(cursor).prototype;
-        }
-        return Value(false);
-      }
-      case BinaryOp::kIn:
-        if (!b.is_object()) {
-          throw ScriptError("TypeError: right side of 'in' is not an object");
-        }
-        return Value(interp_.heap_.has_property(b.as_object(),
-                                                a.to_display_string()));
-      case BinaryOp::kAnd:
-      case BinaryOp::kOr:
-        break;  // handled above
-    }
-    throw ScriptError("unknown binary operator");
-  }
-
-  template <typename Cmp>
-  static Value compare(const Value& a, const Value& b, Cmp cmp) {
-    if (a.is_string() && b.is_string()) {
-      return Value(cmp(a.as_string() < b.as_string() ? -1.0 : (a.as_string() == b.as_string() ? 0.0 : 1.0), 0.0));
-    }
-    const double x = a.to_number();
-    const double y = b.to_number();
-    if (std::isnan(x) || std::isnan(y)) return Value(false);
-    return Value(cmp(x, y));
-  }
-
-  Value eval_unary(const Expr& e) {
-    if (e.unary_op == UnaryOp::kTypeof) {
-      // typeof tolerates unbound identifiers, per JavaScript
-      if (e.lhs->kind == Expr::Kind::kIdentifier &&
-          env_->lookup(e.lhs->text) == nullptr) {
-        return Value("undefined");
-      }
-      const Value v = eval(*e.lhs);
-      if (v.is_undefined()) return Value("undefined");
-      if (v.is_null()) return Value("object");
-      if (v.is_bool()) return Value("boolean");
-      if (v.is_number()) return Value("number");
-      if (v.is_string()) return Value("string");
-      const JsObject& obj = interp_.heap_.get(v.as_object());
-      return Value(obj.callable ? "function" : "object");
-    }
-    if (e.unary_op == UnaryOp::kDelete) {
-      // delete obj.prop / obj[expr]: remove the own property; true if gone
-      const Expr& target = *e.lhs;
-      const Value base = eval(*target.object);
-      if (!base.is_object()) return Value(true);
-      const std::string name = target.kind == Expr::Kind::kMember
-                                   ? target.text
-                                   : eval(*target.index).to_display_string();
-      interp_.heap_.delete_property(base.as_object(), name);
-      return Value(true);
-    }
-    const Value v = eval(*e.lhs);
-    if (e.unary_op == UnaryOp::kNot) return Value(!v.truthy());
-    return Value(-v.to_number());
-  }
-
-  Interpreter& interp_;
-  Environment* env_;
-  Value return_value_;
-};
 
 Interpreter::Interpreter(std::uint64_t rng_seed) : rng_(rng_seed) {
   global_env_ = make_environment(nullptr);
@@ -611,8 +36,7 @@ Environment* Interpreter::make_environment(Environment* parent) {
 
 void Interpreter::execute(const Program& program) {
   if (call_depth_ == 0) fuel_ = fuel_per_run_;
-  Evaluator ev(*this, global_env_);
-  ev.run_block(program.statements);
+  Vm::run(*this, chunk_for(program, heap_.atoms()), global_env_);
 }
 
 Value Interpreter::call_function(const Value& fn, const Value& self,
@@ -640,37 +64,28 @@ Value Interpreter::call_function(const Value& fn, const Value& self,
   const AstFunction& ast = *obj.callable->script;
   ScriptCallFrame prof_frame(ast);
   AtomTable& at = heap_.atoms();
-  if (ast.param_engine != at.id()) {
-    ast.param_atoms.clear();
-    ast.param_atoms.reserve(ast.params.size());
-    for (const std::string& p : ast.params) {
-      ast.param_atoms.push_back(at.intern(p));
-    }
-    ast.param_engine = at.id();
-  }
+  const Chunk& chunk = chunk_for(ast, at);
   Environment* env = make_environment(obj.callable->closure != nullptr
                                           ? obj.callable->closure
                                           : global_env_);
-  env->reserve(ast.param_atoms.size() + 2);  // params + this + arguments
-  for (std::size_t i = 0; i < ast.param_atoms.size(); ++i) {
-    env->define(ast.param_atoms[i], i < args.size() ? args[i] : Value());
+  env->reserve(chunk.param_atoms.size() + 2);  // params + this + arguments
+  for (std::size_t i = 0; i < chunk.param_atoms.size(); ++i) {
+    env->define(chunk.param_atoms[i], i < args.size() ? args[i] : Value());
   }
   env->define(at.well_known().this_, self);
-  env->define(at.well_known().arguments, [&] {
+  if (chunk.needs_arguments) {
+    // Only built when the body can observe it (the compiler scanned for
+    // `arguments`); the object itself is plain, so skipping it is invisible.
     const ObjectRef arr = heap_.make_object(ObjectRef(), "Arguments");
     for (std::size_t i = 0; i < args.size(); ++i) {
       heap_.define_property(arr, at.intern_index(i), args[i]);
     }
     heap_.define_property(arr, at.well_known().length,
                           Value(static_cast<double>(args.size())));
-    return Value(arr);
-  }());
-
-  Evaluator ev(*this, env);
-  if (ev.run_block(ast.body) == Flow::kReturn) {
-    return ev.take_return_value();
+    env->define(at.well_known().arguments, Value(arr));
   }
-  return Value();
+
+  return Vm::run(*this, chunk, env);
 }
 
 Value Interpreter::construct(const Value& ctor, std::span<const Value> args) {

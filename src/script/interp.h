@@ -1,4 +1,6 @@
-// MiniJS tree-walking interpreter.
+// MiniJS interpreter front end: owns the engine state and drives the
+// register-bytecode VM (ASTs are compiled per engine by compiler.cpp and
+// executed by vm.cpp).
 //
 // One Interpreter per page: it owns the heap, the scope arena and the global
 // environment. The browser installs host bindings (window, document, the
@@ -137,7 +139,7 @@ class Interpreter {
   Value make_array(std::span<const Value> elements);
 
  private:
-  friend class Evaluator;
+  friend class Vm;
 
   void install_builtins();
   void install_extended_builtins();  // builtins.cpp
@@ -149,6 +151,21 @@ class Interpreter {
       throw ScriptError("script exceeded its execution budget");
     }
     --fuel_;
+  }
+
+  // `k` units at once (the compiler merges adjacent entry burns into one
+  // instruction's fuel field). Arithmetic matches `k` serial burn_fuel()
+  // calls exactly, including the steps_ count at the exhaustion point —
+  // steps_executed() is observable through Date.now.
+  void burn_units(std::uint64_t k) {
+    if (fuel_ >= k) {
+      steps_ += k;
+      fuel_ -= k;
+      return;
+    }
+    steps_ += fuel_ + 1;
+    fuel_ = 0;
+    throw ScriptError("script exceeded its execution budget");
   }
 
   Heap heap_;

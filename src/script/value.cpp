@@ -65,11 +65,53 @@ bool Value::loose_equals(const Value& other) const {
   return !std::isnan(a) && !std::isnan(b) && a == b;
 }
 
+std::uint32_t ShapeTree::root_for(std::uint32_t proto_index) {
+  // Heap object indices are small and dense, and this runs on every object
+  // allocation — a direct-indexed table beats hashing. Node 0 is reserved,
+  // so 0 doubles as the "no root yet" sentinel.
+  if (proto_index >= roots_.size()) roots_.resize(proto_index + 1, 0);
+  if (roots_[proto_index] != 0) return roots_[proto_index];
+  nodes_.emplace_back();
+  const auto id = static_cast<std::uint32_t>(nodes_.size() - 1);
+  roots_[proto_index] = id;
+  return id;
+}
+
+std::uint32_t ShapeTree::transition(std::uint32_t from, Atom atom) {
+  {
+    const Node& n = nodes_[from];
+    if (n.first_atom == atom) return n.first_child;
+    if (n.more) {
+      for (const auto& [edge_atom, child] : *n.more) {
+        if (edge_atom == atom) return child;
+      }
+    }
+  }
+  nodes_.emplace_back();  // may move nodes_: re-index `from` below
+  const auto id = static_cast<std::uint32_t>(nodes_.size() - 1);
+  Node& n = nodes_[from];
+  if (n.first_atom == kNoAtom) {
+    n.first_atom = atom;
+    n.first_child = id;
+  } else {
+    if (!n.more) {
+      n.more = std::make_unique<std::vector<std::pair<Atom, std::uint32_t>>>();
+    }
+    n.more->emplace_back(atom, id);
+  }
+  return id;
+}
+
+std::uint32_t ShapeTree::unique_shape() {
+  nodes_.emplace_back();
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
 Value& PropertySlots::put(Atom atom) {
   const std::uint32_t slot = index_of(atom);
   if (slot != kMissSlot) return slots_[slot].value;
   slots_.push_back(Slot{atom, Value()});
-  ++shape_;
+  shape_ = shapes_ ? shapes_->transition(shape_, atom) : shape_ + 1;
   if (index_) {
     index_->emplace(atom, static_cast<std::uint32_t>(slots_.size() - 1));
   } else if (slots_.size() > kIndexThreshold) {
@@ -86,7 +128,9 @@ bool PropertySlots::erase(Atom atom) {
   const std::uint32_t slot = index_of(atom);
   if (slot == kMissSlot) return false;
   slots_.erase(slots_.begin() + slot);
-  ++shape_;
+  // Slot indices shifted: leave the shared transition path for a node no
+  // other object can be on.
+  shape_ = shapes_ ? shapes_->unique_shape() : shape_ + 1;
   if (index_) {
     // Deletes are rare (page scripts barely use `delete`); rebuild.
     index_->clear();
@@ -98,6 +142,10 @@ bool PropertySlots::erase(Atom atom) {
 }
 
 Heap::Heap() {
+  // DOM bindings alone allocate a few thousand objects per session (one
+  // native function per catalog method, twice over once the measuring
+  // extension shims them); start with room for them.
+  objects_.reserve(8192);
   objects_.push_back(nullptr);  // index 0 reserved
 }
 
@@ -105,6 +153,9 @@ ObjectRef Heap::make_object(ObjectRef prototype, std::string class_name) {
   auto obj = std::make_unique<JsObject>();
   obj->prototype = prototype;
   obj->class_name = std::move(class_name);
+  // Same prototype => same shape root => same-layout objects share shape
+  // ids (and therefore hit each other's inline-cache entries).
+  obj->properties.attach(&shapes_, shapes_.root_for(prototype.index()));
   objects_.push_back(std::move(obj));
   return ObjectRef(static_cast<std::uint32_t>(objects_.size() - 1));
 }

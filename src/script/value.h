@@ -103,11 +103,51 @@ class Value {
   std::variant<Undefined, Null, bool, double, std::string, ObjectRef> data_;
 };
 
+// Shared shape-transition tree (the "hidden class" lattice). Every heap
+// object's shape is a node id in its heap's tree: objects start at a root
+// node keyed by their prototype and each property *append* follows (or
+// creates) the edge labelled with the appended atom. Two objects that were
+// born with the same prototype and added the same properties in the same
+// order therefore carry the *same* shape id — so one object's warm inline
+// cache entry validates against the other, and a shape match alone proves
+// both the slot layout and the identity of the prototype (prototypes are
+// only ever assigned at make_object time). A delete drops the object to a
+// fresh never-shared node ("dictionary mode"), since its slot indices no
+// longer match anything on the shared path. Value overwrites never move an
+// object along the tree, which is exactly the PR 3 invariant the measuring
+// extension's shim injection relies on.
+class ShapeTree {
+ public:
+  // Root node for objects born with this prototype (get-or-create).
+  std::uint32_t root_for(std::uint32_t proto_index);
+  // Child of `from` along `atom` (get-or-create).
+  std::uint32_t transition(std::uint32_t from, Atom atom);
+  // Fresh node no other object can ever reach (post-delete layouts).
+  std::uint32_t unique_shape();
+
+  std::size_t size() const noexcept { return nodes_.size(); }
+
+ private:
+  struct Node {
+    // Almost every node has fan-out 0 or 1 (layouts form chains), so the
+    // first edge lives inline and only genuine branch points pay for an
+    // overflow vector — a fresh heap creates thousands of chain nodes while
+    // the host bindings install, and this keeps that allocation-free.
+    Atom first_atom = kNoAtom;
+    std::uint32_t first_child = 0;
+    std::unique_ptr<std::vector<std::pair<Atom, std::uint32_t>>> more;
+  };
+  std::vector<Node> nodes_ = std::vector<Node>(1);  // node 0 = unattached
+  std::vector<std::uint32_t> roots_;  // proto object index -> root node (0 = none)
+};
+
 // Insertion-ordered atom → Value store. Linear scan below a size threshold
 // (property counts on real objects are tiny and the scan compares uint32s);
 // a side hash index kicks in for the handful of big objects (window, the
 // interface map). Slot indices are stable until a delete; `shape()` changes
-// exactly when any slot index might have.
+// exactly when any slot index might have. Heap objects are attached to the
+// heap's ShapeTree so equal layouts share shape ids; unattached stores
+// (environment bindings) fall back to a private bump counter.
 class PropertySlots {
  public:
   static constexpr std::uint32_t kMissSlot = 0xFFFFFFFFu;
@@ -158,11 +198,19 @@ class PropertySlots {
 
   void reserve(std::size_t n) { slots_.reserve(n); }
 
+  // Join a shared shape tree at the given root (Heap::make_object). Must
+  // happen before any property is added.
+  void attach(ShapeTree* tree, std::uint32_t root) {
+    shapes_ = tree;
+    shape_ = root;
+  }
+
  private:
   static constexpr std::size_t kIndexThreshold = 12;
 
   std::vector<Slot> slots_;  // insertion order == enumeration order
   std::unique_ptr<std::unordered_map<Atom, std::uint32_t>> index_;
+  ShapeTree* shapes_ = nullptr;  // null: private counter shapes
   std::uint32_t shape_ = 0;
 };
 
@@ -245,10 +293,14 @@ class Heap {
 
   std::size_t size() const noexcept { return objects_.size(); }
 
+  // The heap-wide shape-transition tree every object's shape id lives in.
+  ShapeTree& shapes() noexcept { return shapes_; }
+
  private:
   // deque-like stable storage: objects are never moved once created
   std::vector<std::unique_ptr<JsObject>> objects_;
   AtomTable atoms_;
+  ShapeTree shapes_;
 };
 
 }  // namespace fu::script

@@ -1,0 +1,642 @@
+// The dispatch loop. Every case is a direct port of the corresponding
+// tree-walker behaviour (old interp.cpp Evaluator), with fuel pre-charged
+// from the instruction's `fuel` field — the compiler guarantees the charge
+// points and counts match the walker's exec()/eval() entry burns, which the
+// engine-identity fingerprint locks bit-for-bit.
+#include "script/vm.h"
+
+#include <cmath>
+#include <utility>
+
+namespace fu::script {
+
+namespace {
+
+// Registers live on the C++ stack for typical chunks; big chunks spill.
+constexpr std::uint32_t kInlineRegs = 24;
+
+Atom index_atom(Heap& h, const Value& idx) {
+  // Atom for a computed index when its canonical string form is a plain
+  // decimal integer (the array hot path); kNoAtom otherwise. The guard
+  // matches Value::to_display_string's integer formatting exactly.
+  if (!idx.is_number()) return kNoAtom;
+  const double d = idx.as_number();
+  if (!(d >= 0) || d >= 1e15 || d != std::trunc(d)) return kNoAtom;
+  return h.atoms().intern_index(static_cast<std::uint64_t>(d));
+}
+
+// Uncached member access (computed names).
+Value member_of(Interpreter& in, Heap& h, const Value& base,
+                std::string_view name) {
+  if (!base.is_object()) {
+    if (base.is_string()) {
+      if (name == "length") {
+        return Value(static_cast<double>(base.as_string().size()));
+      }
+      return h.get_property(in.string_prototype(), name);
+    }
+    if (base.is_undefined() || base.is_null()) {
+      throw ScriptError("TypeError: cannot read property '" +
+                        std::string(name) + "' of " +
+                        base.to_display_string());
+    }
+    return Value();  // other primitive members: undefined
+  }
+  return h.get_property(base.as_object(), name);
+}
+
+void prop_ic_insert(PropIC& ic, const PropIC::Entry& entry) {
+  if (ic.count == PropIC::kMegamorphic) return;
+  for (std::uint8_t i = 0; i < ic.count; ++i) {
+    if (ic.entries[i].receiver_shape == entry.receiver_shape) {
+      ic.entries[i] = entry;  // re-record: the old entry failed validation
+      return;
+    }
+  }
+  if (ic.count < PropIC::kMaxEntries) {
+    ic.entries[ic.count++] = entry;
+  } else {
+    ic.count = PropIC::kMegamorphic;  // terminal: stop recording
+  }
+}
+
+// Chain walk with poly-IC recording. `receiver_shape` was read by the
+// caller's probe.
+Value get_prop_slow(Heap& h, PropIC& ic, ObjectRef ref,
+                    std::uint32_t receiver_shape) {
+  PropIC::Entry entry;
+  entry.receiver_shape = receiver_shape;
+  ObjectRef cursor = ref;
+  int depth = 0;
+  for (; depth < 32 && !cursor.null(); ++depth) {
+    const JsObject& o = h.get(cursor);
+    if (depth > 0 && depth <= PropIC::kMaxChain - 1) {
+      entry.chain[depth - 1] =
+          PropIC::Link{cursor.index(), o.properties.shape()};
+    }
+    const std::uint32_t slot = o.properties.index_of(ic.atom);
+    if (slot != PropertySlots::kMissSlot) {
+      if (depth <= PropIC::kMaxChain - 1) {
+        entry.chain_len = static_cast<std::uint8_t>(depth);
+        entry.holder = static_cast<std::uint8_t>(depth);
+        entry.slot = slot;
+        prop_ic_insert(ic, entry);
+      }
+      // holder deeper than the IC can guard: leave the cache as is
+      return o.properties.value_at(slot);
+    }
+    cursor = o.prototype;
+  }
+  if (cursor.null() && depth <= PropIC::kMaxChain) {
+    // Whole (short) chain walked without a hit: negative-cache it.
+    entry.chain_len = static_cast<std::uint8_t>(depth - 1);
+    entry.holder = 0;
+    entry.slot = PropIC::kMissSlot;
+    prop_ic_insert(ic, entry);
+  }
+  return Value();
+}
+
+Value get_prop(Interpreter& in, Heap& h, PropIC& ic, const Value& base) {
+  if (!base.is_object()) {
+    if (base.is_string()) {
+      if (ic.atom == h.atoms().well_known().length) {
+        return Value(static_cast<double>(base.as_string().size()));
+      }
+      // string methods live on the shared string prototype and receive
+      // the string itself as `this`
+      return h.get_property(in.string_prototype(), ic.atom);
+    }
+    if (base.is_undefined() || base.is_null()) {
+      throw ScriptError("TypeError: cannot read property '" +
+                        h.atoms().name(ic.atom) + "' of " +
+                        base.to_display_string());
+    }
+    return Value();  // other primitive members: undefined
+  }
+
+  const ObjectRef ref = base.as_object();
+  const JsObject& obj = h.get(ref);
+  const std::uint32_t shape = obj.properties.shape();
+  if (ic.count != PropIC::kMegamorphic) {
+    for (std::uint8_t i = 0; i < ic.count; ++i) {
+      const PropIC::Entry& en = ic.entries[i];
+      if (en.receiver_shape != shape) continue;
+      // Shapes come from the heap's shared transition tree, so a receiver
+      // shape match already proves the prototype's identity (and prototypes
+      // are only ever assigned at make_object time) — revalidation is pure
+      // shape compares down the recorded links, which guards against layout
+      // changes and new shadowing properties. Value overwrites never move a
+      // shape, so shimmed prototype methods keep hitting here.
+      bool valid = true;
+      for (std::uint8_t k = 0; k < en.chain_len; ++k) {
+        if (h.get(ObjectRef(en.chain[k].object)).properties.shape() !=
+            en.chain[k].shape) {
+          valid = false;
+          break;
+        }
+      }
+      if (!valid) break;  // stale layout: re-walk and re-record
+      if (en.slot == PropIC::kMissSlot) return Value();
+      const JsObject& holder =
+          en.holder == 0 ? obj : h.get(ObjectRef(en.chain[en.holder - 1].object));
+      return holder.properties.value_at(en.slot);
+    }
+  }
+  return get_prop_slow(h, ic, ref, shape);
+}
+
+void set_prop(Heap& h, WriteIC& ic, const Value& base, const Value& value) {
+  if (!base.is_object()) {
+    throw ScriptError("TypeError: cannot set property '" +
+                      h.atoms().name(ic.atom) + "' of " +
+                      base.to_display_string());
+  }
+  const ObjectRef ref = base.as_object();
+  JsObject& obj = h.get(ref);
+  const std::uint32_t shape = obj.properties.shape();
+  if (ic.count != WriteIC::kMegamorphic) {
+    for (std::uint8_t i = 0; i < ic.count; ++i) {
+      if (ic.entries[i].shape != shape) continue;
+      // Entries record post-write shapes: a match means the slot already
+      // exists, so this write is a pure overwrite (no layout change).
+      obj.properties.value_at(ic.entries[i].slot) = value;
+      if (obj.watch) {
+        // Copy: a re-entrant write from the handler may grow the slot
+        // vector and move the slot out from under the callback.
+        const Value written = obj.properties.value_at(ic.entries[i].slot);
+        (*obj.watch)(h.atoms().name(ic.atom), written);
+      }
+      return;
+    }
+  }
+  h.set_property(ref, ic.atom, value);
+  if (ic.count == WriteIC::kMegamorphic) return;
+  const std::uint32_t slot = obj.properties.index_of(ic.atom);
+  if (slot == PropertySlots::kMissSlot) return;  // watch handler deleted it
+  const WriteIC::Entry entry{obj.properties.shape(), slot};
+  for (std::uint8_t i = 0; i < ic.count; ++i) {
+    if (ic.entries[i].shape == entry.shape) {
+      ic.entries[i] = entry;
+      return;
+    }
+  }
+  if (ic.count < WriteIC::kMaxEntries) {
+    ic.entries[ic.count++] = entry;
+  } else {
+    ic.count = WriteIC::kMegamorphic;
+  }
+}
+
+Value typeof_value(Heap& h, const Value& v) {
+  if (v.is_undefined()) return Value("undefined");
+  if (v.is_null()) return Value("object");
+  if (v.is_bool()) return Value("boolean");
+  if (v.is_number()) return Value("number");
+  if (v.is_string()) return Value("string");
+  return Value(h.get(v.as_object()).callable ? "function" : "object");
+}
+
+template <typename Cmp>
+Value compare(const Value& a, const Value& b, Cmp cmp) {
+  if (a.is_number() && b.is_number()) {  // hot path: skip the coercion calls
+    const double x = a.as_number();
+    const double y = b.as_number();
+    if (std::isnan(x) || std::isnan(y)) return Value(false);
+    return Value(cmp(x, y));
+  }
+  if (a.is_string() && b.is_string()) {
+    return Value(cmp(a.as_string() < b.as_string()
+                         ? -1.0
+                         : (a.as_string() == b.as_string() ? 0.0 : 1.0),
+                     0.0));
+  }
+  const double x = a.to_number();
+  const double y = b.to_number();
+  if (std::isnan(x) || std::isnan(y)) return Value(false);
+  return Value(cmp(x, y));
+}
+
+}  // namespace
+
+// Dispatch is a computed-goto threaded loop under GCC/Clang: each opcode
+// body ends in its own indirect branch, so the branch predictor learns
+// per-opcode successor patterns instead of sharing one switch branch. The
+// opcode bodies are written once and shared with the portable switch
+// fallback through the VM_CASE/VM_NEXT/VM_GOTO macros.
+#if defined(__GNUC__) || defined(__clang__)
+#define FU_VM_COMPUTED_GOTO 1
+#else
+#define FU_VM_COMPUTED_GOTO 0
+#endif
+
+Value Vm::run(Interpreter& in, const Chunk& chunk, Environment* env) {
+  Heap& h = in.heap_;
+  AtomTable& at = h.atoms();
+
+  // Hot-loop locals: the chunk's tables never reallocate while it runs
+  // (ICs mutate in place), and `env` (hence its serial) is fixed per frame.
+  const Instr* const code = chunk.code.data();
+  const Value* const consts = chunk.constants.data();
+  VarIC* const var_ics = chunk.var_ics.data();
+  PropIC* const prop_ics = chunk.prop_ics.data();
+  WriteIC* const write_ics = chunk.write_ics.data();
+  const std::uint64_t env_serial = env->serial();
+
+  // Registers live on the C++ stack for typical chunks; big chunks spill.
+  Value inline_regs[kInlineRegs];
+  std::vector<Value> spill;
+  Value* r = inline_regs;
+  if (chunk.num_regs > kInlineRegs) {
+    spill.resize(chunk.num_regs);
+    r = spill.data();
+  }
+
+  std::uint32_t pc = 0;
+  const Instr* I = code;
+  for (;;) {
+    try {
+#if FU_VM_COMPUTED_GOTO
+      // Must match the Op enum order exactly.
+      static const void* const kDispatch[] = {
+          &&op_kNop, &&op_kLoadConst, &&op_kLoadUndefined, &&op_kMove,
+          &&op_kGetLocal, &&op_kSetLocal, &&op_kGetVar, &&op_kSetVar,
+          &&op_kDefineVar, &&op_kMakeFunction, &&op_kGetProp, &&op_kGetMethod,
+          &&op_kSetProp, &&op_kGetIndex, &&op_kSetIndex, &&op_kDefineProp,
+          &&op_kDeleteProp, &&op_kDeleteIndex, &&op_kMakeObject,
+          &&op_kMakeArray, &&op_kCall, &&op_kCallMethod, &&op_kNew,
+          &&op_kAdd, &&op_kSub, &&op_kMul, &&op_kDiv, &&op_kMod,
+          &&op_kEq, &&op_kNe, &&op_kStrictEq, &&op_kStrictNe,
+          &&op_kLt, &&op_kGt, &&op_kLe, &&op_kGe,
+          &&op_kInstanceof, &&op_kIn, &&op_kNot, &&op_kNeg,
+          &&op_kTypeofValue, &&op_kTypeofVar, &&op_kIsObject,
+          &&op_kJump, &&op_kJumpIfFalse, &&op_kJumpIfTrue,
+          &&op_kThrow, &&op_kReturn, &&op_kReturnUndefined,
+      };
+      static_assert(sizeof(kDispatch) / sizeof(kDispatch[0]) ==
+                    static_cast<std::size_t>(Op::kReturnUndefined) + 1);
+#define VM_CASE(name) op_##name:
+#define VM_DISPATCH()                                     \
+  do {                                                    \
+    I = &code[pc];                                        \
+    if (I->fuel != 0) in.burn_units(I->fuel);             \
+    goto* kDispatch[static_cast<std::uint8_t>(I->op)];    \
+  } while (0)
+#define VM_NEXT() \
+  do {            \
+    ++pc;         \
+    VM_DISPATCH(); \
+  } while (0)
+#define VM_GOTO(target) \
+  do {                  \
+    pc = (target);      \
+    VM_DISPATCH();      \
+  } while (0)
+      VM_DISPATCH();
+#else
+#define VM_CASE(name) case Op::name:
+#define VM_NEXT() break
+#define VM_GOTO(target) \
+  {                     \
+    pc = (target);      \
+    continue;           \
+  }
+      for (;;) {
+        I = &code[pc];
+        if (I->fuel != 0) in.burn_units(I->fuel);
+        switch (I->op) {
+#endif
+
+      VM_CASE(kNop)
+        VM_NEXT();
+      VM_CASE(kLoadConst)
+        r[I->a] = consts[I->imm];
+        VM_NEXT();
+      VM_CASE(kLoadUndefined)
+        r[I->a] = Value();
+        VM_NEXT();
+      VM_CASE(kMove)
+        r[I->a] = r[I->b];
+        VM_NEXT();
+      VM_CASE(kGetLocal)
+        r[I->a] = env->slot_value(I->imm);
+        VM_NEXT();
+      VM_CASE(kSetLocal)
+        env->slot_value(I->imm) = r[I->a];
+        VM_NEXT();
+      VM_CASE(kGetVar) {
+        VarIC& ic = var_ics[I->imm];
+        if (ic.env_serial == env_serial) {
+          r[I->a] = env->slot_value(ic.slot);
+          VM_NEXT();
+        }
+        Environment* e = env;
+        for (; e != nullptr; e = e->parent()) {
+          const std::uint32_t slot = e->own_slot(ic.atom);
+          if (slot != PropertySlots::kMissSlot) {
+            if (e == env) {
+              // Cacheable: resolved in the starting scope itself, where
+              // no nearer binding can ever appear to shadow it.
+              ic.env_serial = env_serial;
+              ic.slot = slot;
+            }
+            r[I->a] = e->slot_value(slot);
+            break;
+          }
+        }
+        if (e == nullptr) {
+          throw ScriptError("ReferenceError: " + at.name(ic.atom) +
+                            " is not defined");
+        }
+        VM_NEXT();
+      }
+      VM_CASE(kSetVar) {
+        VarIC& ic = var_ics[I->imm];
+        if (ic.env_serial == env_serial) {
+          env->slot_value(ic.slot) = r[I->a];
+          VM_NEXT();
+        }
+        Environment* e = env;
+        for (; e != nullptr; e = e->parent()) {
+          const std::uint32_t slot = e->own_slot(ic.atom);
+          if (slot != PropertySlots::kMissSlot) {
+            if (e == env) {
+              ic.env_serial = env_serial;
+              ic.slot = slot;
+            }
+            e->slot_value(slot) = r[I->a];
+            break;
+          }
+        }
+        if (e == nullptr) {
+          env->assign(ic.atom, r[I->a]);  // sloppy-mode implicit global
+        }
+        VM_NEXT();
+      }
+      VM_CASE(kDefineVar)
+        env->define(static_cast<Atom>(I->imm), r[I->a]);
+        VM_NEXT();
+      VM_CASE(kMakeFunction)
+        r[I->a] = Value(h.make_script_function(chunk.functions[I->imm], env));
+        VM_NEXT();
+      VM_CASE(kGetProp)
+        r[I->a] = get_prop(in, h, prop_ics[I->imm], r[I->b]);
+        VM_NEXT();
+      VM_CASE(kGetMethod) {
+        PropIC& ic = prop_ics[I->imm];
+        r[I->a] = get_prop(in, h, ic, r[I->b]);
+        if (r[I->a].is_undefined()) {
+          throw ScriptError("TypeError: " + r[I->b].to_display_string() + "." +
+                            at.name(ic.atom) + " is not a function");
+        }
+        VM_NEXT();
+      }
+      VM_CASE(kSetProp)
+        set_prop(h, write_ics[I->imm], r[I->b], r[I->a]);
+        VM_NEXT();
+      VM_CASE(kGetIndex) {
+        const Value& base = r[I->b];
+        const Value& idx = r[I->c];
+        if (base.is_object()) {
+          if (const Atom atom = index_atom(h, idx); atom != kNoAtom) {
+            r[I->a] = h.get_property(base.as_object(), atom);
+            VM_NEXT();
+          }
+        }
+        r[I->a] = member_of(in, h, base, idx.to_display_string());
+        VM_NEXT();
+      }
+      VM_CASE(kSetIndex) {
+        const Value& base = r[I->b];
+        if (!base.is_object()) {
+          throw ScriptError("TypeError: cannot index " +
+                            base.to_display_string());
+        }
+        if (const Atom atom = index_atom(h, r[I->c]); atom != kNoAtom) {
+          h.set_property(base.as_object(), atom, r[I->a]);
+        } else {
+          h.set_property(base.as_object(), r[I->c].to_display_string(),
+                         r[I->a]);
+        }
+        VM_NEXT();
+      }
+      VM_CASE(kDefineProp)
+        h.define_property(r[I->b].as_object(), static_cast<Atom>(I->imm),
+                          r[I->a]);
+        VM_NEXT();
+      VM_CASE(kDeleteProp)
+        if (r[I->b].is_object()) {
+          h.get(r[I->b].as_object()).properties.erase(static_cast<Atom>(I->imm));
+        }
+        r[I->a] = Value(true);
+        VM_NEXT();
+      VM_CASE(kDeleteIndex)
+        h.delete_property(r[I->b].as_object(), r[I->c].to_display_string());
+        r[I->a] = Value(true);
+        VM_NEXT();
+      VM_CASE(kMakeObject)
+        r[I->a] = Value(h.make_object());
+        VM_NEXT();
+      VM_CASE(kMakeArray)
+        r[I->a] = in.make_array(std::span<const Value>(r + I->b, I->imm));
+        VM_NEXT();
+      VM_CASE(kCall)
+        r[I->a] = in.call_function(
+            r[I->b], Value(), std::span<const Value>(r + I->b + 1, I->imm));
+        VM_NEXT();
+      VM_CASE(kCallMethod)
+        r[I->a] = in.call_function(
+            r[I->b], r[I->b + 1], std::span<const Value>(r + I->b + 2, I->imm));
+        VM_NEXT();
+      VM_CASE(kNew)
+        r[I->a] =
+            in.construct(r[I->b], std::span<const Value>(r + I->b + 1, I->imm));
+        VM_NEXT();
+      VM_CASE(kAdd) {
+        const Value& a = r[I->b];
+        const Value& b = r[I->c];
+        if (a.is_number() && b.is_number()) {  // hot path: numeric add
+          r[I->a] = Value(a.as_number() + b.as_number());
+        } else if (a.is_string() || b.is_string()) {
+          r[I->a] = Value(a.to_display_string() + b.to_display_string());
+        } else {
+          r[I->a] = Value(a.to_number() + b.to_number());
+        }
+        VM_NEXT();
+      }
+      VM_CASE(kSub) {
+        const Value& a = r[I->b];
+        const Value& b = r[I->c];
+        r[I->a] = a.is_number() && b.is_number()
+                      ? Value(a.as_number() - b.as_number())
+                      : Value(a.to_number() - b.to_number());
+        VM_NEXT();
+      }
+      VM_CASE(kMul) {
+        const Value& a = r[I->b];
+        const Value& b = r[I->c];
+        r[I->a] = a.is_number() && b.is_number()
+                      ? Value(a.as_number() * b.as_number())
+                      : Value(a.to_number() * b.to_number());
+        VM_NEXT();
+      }
+      VM_CASE(kDiv) {
+        const Value& a = r[I->b];
+        const Value& b = r[I->c];
+        r[I->a] = a.is_number() && b.is_number()
+                      ? Value(a.as_number() / b.as_number())
+                      : Value(a.to_number() / b.to_number());
+        VM_NEXT();
+      }
+      VM_CASE(kMod)
+        r[I->a] = Value(std::fmod(r[I->b].to_number(), r[I->c].to_number()));
+        VM_NEXT();
+      VM_CASE(kEq)
+        r[I->a] = Value(r[I->b].loose_equals(r[I->c]));
+        VM_NEXT();
+      VM_CASE(kNe)
+        r[I->a] = Value(!r[I->b].loose_equals(r[I->c]));
+        VM_NEXT();
+      VM_CASE(kStrictEq)
+        r[I->a] = Value(r[I->b] == r[I->c]);
+        VM_NEXT();
+      VM_CASE(kStrictNe)
+        r[I->a] = Value(!(r[I->b] == r[I->c]));
+        VM_NEXT();
+      VM_CASE(kLt)
+        r[I->a] =
+            compare(r[I->b], r[I->c], [](double x, double y) { return x < y; });
+        VM_NEXT();
+      VM_CASE(kGt)
+        r[I->a] =
+            compare(r[I->b], r[I->c], [](double x, double y) { return x > y; });
+        VM_NEXT();
+      VM_CASE(kLe)
+        r[I->a] = compare(r[I->b], r[I->c],
+                          [](double x, double y) { return x <= y; });
+        VM_NEXT();
+      VM_CASE(kGe)
+        r[I->a] = compare(r[I->b], r[I->c],
+                          [](double x, double y) { return x >= y; });
+        VM_NEXT();
+      VM_CASE(kInstanceof) {
+        const Value& a = r[I->b];
+        const Value& b = r[I->c];
+        if (!b.is_object()) {
+          throw ScriptError(
+              "TypeError: right side of instanceof is not an object");
+        }
+        const Value proto =
+            h.get_property(b.as_object(), at.well_known().prototype);
+        if (!a.is_object() || !proto.is_object()) {
+          r[I->a] = Value(false);
+          VM_NEXT();
+        }
+        ObjectRef cursor = h.get(a.as_object()).prototype;
+        bool found = false;
+        for (int depth = 0; depth < 32 && !cursor.null(); ++depth) {
+          if (cursor == proto.as_object()) {
+            found = true;
+            break;
+          }
+          cursor = h.get(cursor).prototype;
+        }
+        r[I->a] = Value(found);
+        VM_NEXT();
+      }
+      VM_CASE(kIn)
+        if (!r[I->c].is_object()) {
+          throw ScriptError("TypeError: right side of 'in' is not an object");
+        }
+        r[I->a] =
+            Value(h.has_property(r[I->c].as_object(),
+                                 r[I->b].to_display_string()));
+        VM_NEXT();
+      VM_CASE(kNot)
+        r[I->a] = Value(!r[I->b].truthy());
+        VM_NEXT();
+      VM_CASE(kNeg)
+        r[I->a] = Value(-r[I->b].to_number());
+        VM_NEXT();
+      VM_CASE(kTypeofValue)
+        r[I->a] = typeof_value(h, r[I->b]);
+        VM_NEXT();
+      VM_CASE(kTypeofVar) {
+        // typeof tolerates unbound identifiers; the walker only burned
+        // the operand's eval when the name was bound.
+        VarIC& ic = var_ics[I->imm];
+        if (ic.env_serial == env_serial) {
+          in.burn_units(1);
+          r[I->a] = typeof_value(h, env->slot_value(ic.slot));
+          VM_NEXT();
+        }
+        Environment* e = env;
+        std::uint32_t slot = PropertySlots::kMissSlot;
+        for (; e != nullptr; e = e->parent()) {
+          slot = e->own_slot(ic.atom);
+          if (slot != PropertySlots::kMissSlot) break;
+        }
+        if (e == nullptr) {
+          r[I->a] = Value("undefined");
+          VM_NEXT();
+        }
+        in.burn_units(1);  // the bound identifier's eval
+        if (e == env) {
+          ic.env_serial = env_serial;
+          ic.slot = slot;
+        }
+        r[I->a] = typeof_value(h, e->slot_value(slot));
+        VM_NEXT();
+      }
+      VM_CASE(kIsObject)
+        r[I->a] = Value(r[I->b].is_object());
+        VM_NEXT();
+      VM_CASE(kJump)
+        VM_GOTO(I->imm);
+      VM_CASE(kJumpIfFalse) {
+        const Value& v = r[I->a];
+        if (!(v.is_bool() ? v.as_bool() : v.truthy())) VM_GOTO(I->imm);
+        VM_NEXT();
+      }
+      VM_CASE(kJumpIfTrue) {
+        const Value& v = r[I->a];
+        if (v.is_bool() ? v.as_bool() : v.truthy()) VM_GOTO(I->imm);
+        VM_NEXT();
+      }
+      VM_CASE(kThrow)
+        throw ScriptError(consts[I->imm].as_string());
+      VM_CASE(kReturn)
+        return std::move(r[I->a]);
+      VM_CASE(kReturnUndefined)
+        return Value();
+
+#if !FU_VM_COMPUTED_GOTO
+        }
+        ++pc;
+      }
+#endif
+    } catch (const ScriptError& err) {
+      const Chunk::Handler* handler = nullptr;
+      for (const Chunk::Handler& hd : chunk.handlers) {
+        if (pc >= hd.start && pc < hd.end) {
+          handler = &hd;
+          break;
+        }
+      }
+      if (handler == nullptr) throw;
+      if (handler->binding != kNoAtom) {
+        env->define(handler->binding, Value(err.what()));
+      }
+      pc = handler->target;
+    }
+  }
+}
+
+#undef VM_CASE
+#undef VM_NEXT
+#undef VM_GOTO
+#if FU_VM_COMPUTED_GOTO
+#undef VM_DISPATCH
+#endif
+
+}  // namespace fu::script

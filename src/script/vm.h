@@ -1,0 +1,18 @@
+// Register-bytecode dispatch loop. Replaces the tree-walking Evaluator:
+// execute()/call_function() compile (memoized) and hand the chunk here.
+#pragma once
+
+#include "script/bytecode.h"
+#include "script/interp.h"
+
+namespace fu::script {
+
+class Vm {
+ public:
+  // Run a chunk in `env` (the global scope for programs, a fresh activation
+  // for function bodies — the caller installs params/this/arguments first).
+  // Returns the chunk's return value, undefined if it runs off the end.
+  static Value run(Interpreter& interp, const Chunk& chunk, Environment* env);
+};
+
+}  // namespace fu::script

@@ -1,0 +1,257 @@
+// Tests for the register-bytecode compiler and VM: golden disassembly,
+// inline-cache state transitions (monomorphic -> polymorphic -> megamorphic),
+// shape-tree sharing across same-layout objects, and the measuring
+// extension's load-bearing invariant that an in-place method overwrite
+// leaves warm caches warm.
+#include <gtest/gtest.h>
+
+#include <span>
+
+#include "obs/profiler.h"
+#include "script/bytecode.h"
+#include "script/compiler.h"
+#include "script/interp.h"
+#include "script/parser.h"
+
+namespace fu::script {
+namespace {
+
+// ------------------------------------------------------- disassembler ----
+
+// Source and expected output are locked together: the golden text below is
+// exactly what `fu disasm` prints for this program. If a compiler change
+// alters codegen intentionally, regenerate with
+//   ./build/tools/fu disasm <file-with-kDisasmSource>
+const char kDisasmSource[] =
+    "function add(a, b) { return a + b; }\n"
+    "var o = { x: 1 };\n"
+    "for (var i = 0; i < 3; i = i + 1) { o.x = add(o.x, i); }\n";
+
+const char kDisasmGolden[] =
+    "== <program> (regs=4, params=0)\n"
+    "0000  fuel=1   make_function r0, fn[0]    ; add\n"
+    "0001           define_var    r0    ; define add\n"
+    "0002  fuel=2   make_object   r0\n"
+    "0003  fuel=1   load_const    r1, const[0]    ; 1\n"
+    "0004           define_prop   r1, r0    ; .x\n"
+    "0005           define_var    r0    ; define o\n"
+    "0006  fuel=3   load_const    r0, const[1]    ; 0\n"
+    "0007           define_var    r0    ; define i\n"
+    "0008  fuel=2   get_var       r1, var_ic[0]    ; i\n"
+    "0009  fuel=1   load_const    r2, const[2]    ; 3\n"
+    "0010           lt            r0, r1, r2\n"
+    "0011           jump_if_false r0 -> 0024\n"
+    "0012  fuel=5   get_var       r1, var_ic[1]    ; add\n"
+    "0013  fuel=2   get_var       r3, var_ic[2]    ; o\n"
+    "0014           get_prop      r2, r3, prop_ic[0]    ; .x\n"
+    "0015  fuel=1   get_var       r3, var_ic[3]    ; i\n"
+    "0016           call          r0, fn=r1, argc=2\n"
+    "0017  fuel=1   get_var       r1, var_ic[4]    ; o\n"
+    "0018           set_prop      r0, r1, write_ic[0]    ; .x\n"
+    "0019  fuel=3   get_var       r1, var_ic[5]    ; i\n"
+    "0020  fuel=1   load_const    r2, const[3]    ; 1\n"
+    "0021           add           r0, r1, r2\n"
+    "0022           set_var       r0, var_ic[6]    ; i\n"
+    "0023           jump          -> 0008\n"
+    "0024           return_undef  \n"
+    "\n"
+    "== add (regs=3, params=2)\n"
+    "0000  fuel=3   get_local     r1, local[0]\n"
+    "0001  fuel=1   get_local     r2, local[1]\n"
+    "0002           add           r0, r1, r2\n"
+    "0003           return        r0\n"
+    "0004           return_undef  \n"
+;
+
+TEST(BytecodeDisasm, GoldenOutput) {
+  AtomTable atoms;
+  const Program program = parse_program(kDisasmSource, &atoms);
+  EXPECT_EQ(disassemble_program(program, atoms), kDisasmGolden);
+}
+
+// ---------------------------------------------------------------- ICs ----
+
+// Depth-first search over a chunk and its function pool for every PropIC
+// keyed on `name`.
+void collect_prop_ics(const Chunk& chunk, AtomTable& atoms, Atom name,
+                      std::vector<const PropIC*>& out) {
+  for (const PropIC& ic : chunk.prop_ics) {
+    if (ic.atom == name) out.push_back(&ic);
+  }
+  for (const auto& fn : chunk.functions) {
+    collect_prop_ics(chunk_for(*fn, atoms), atoms, name, out);
+  }
+}
+
+const PropIC& only_prop_ic(const Program& program, Interpreter& interp,
+                           const char* name) {
+  AtomTable& atoms = interp.heap().atoms();
+  const Atom atom = atoms.lookup(name);
+  EXPECT_NE(atom, kNoAtom);
+  std::vector<const PropIC*> ics;
+  collect_prop_ics(chunk_for(program, atoms), atoms, atom, ics);
+  EXPECT_EQ(ics.size(), 1u);
+  return *ics.front();
+}
+
+double global_number(Interpreter& interp, const char* name) {
+  const Value* v = interp.globals().lookup(name);
+  return v == nullptr ? -1 : v->to_number();
+}
+
+TEST(InlineCaches, SameLayoutObjectsShareOneEntry) {
+  // Eight distinct objects, one shape: same (null) prototype and the same
+  // property insertion order walk the same shared shape-transition path, so
+  // the read site in `read` stays monomorphic.
+  Interpreter interp;
+  const Program program = parse_program(
+      "function make(v) { return { p: v }; }\n"
+      "function read(o) { return o.p; }\n"
+      "var total = 0;\n"
+      "for (var i = 0; i < 8; i = i + 1) { total = total + read(make(i)); }\n");
+  interp.execute(program);
+  EXPECT_EQ(global_number(interp, "total"), 28);
+
+  const PropIC& ic = only_prop_ic(program, interp, "p");
+  EXPECT_EQ(ic.count, 1);
+}
+
+TEST(InlineCaches, DistinctLayoutsGoPolymorphic) {
+  Interpreter interp;
+  const Program program = parse_program(
+      "function read(o) { return o.p; }\n"
+      "var a = { p: 1 };\n"
+      "var b = { q: 9, p: 2 };\n"
+      "var total = read(a) + read(b) + read(a) + read(b);\n");
+  interp.execute(program);
+  EXPECT_EQ(global_number(interp, "total"), 6);
+
+  const PropIC& ic = only_prop_ic(program, interp, "p");
+  EXPECT_EQ(ic.count, 2);  // one entry per layout, both still cache hits
+}
+
+TEST(InlineCaches, SaturationGoesMegamorphicAndStaysCorrect) {
+  // Five layouts exceed PropIC::kMaxEntries (4): the site must collapse to
+  // the megamorphic terminal state and keep producing correct reads via the
+  // generic path.
+  Interpreter interp;
+  const Program program = parse_program(
+      "function read(o) { return o.p; }\n"
+      "var total = read({ p: 1 }) + read({ a: 0, p: 2 }) +\n"
+      "            read({ b: 0, p: 3 }) + read({ c: 0, p: 4 }) +\n"
+      "            read({ d: 0, p: 5 });\n"
+      "total = total + read({ e: 0, p: 10 });\n");
+  interp.execute(program);
+  EXPECT_EQ(global_number(interp, "total"), 25);
+
+  const PropIC& ic = only_prop_ic(program, interp, "p");
+  EXPECT_EQ(ic.count, PropIC::kMegamorphic);
+}
+
+TEST(InlineCaches, InPlaceOverwriteKeepsCachesWarm) {
+  // The measuring extension replaces method slot *values* on warmed
+  // prototypes (browser/extension.cpp). That must not change the holder's
+  // shape, so call sites stay monomorphic and read the shim.
+  Interpreter interp;
+  const Program program = parse_program(
+      "var o = { m: function () { return 1; } };\n"
+      "function poke() { return o.m(); }\n"
+      "var before = poke() + poke() + poke();\n");
+  interp.execute(program);
+  EXPECT_EQ(global_number(interp, "before"), 3);
+
+  const PropIC& ic = only_prop_ic(program, interp, "m");
+  ASSERT_EQ(ic.count, 1);
+  const std::uint32_t cached_shape = ic.entries[0].receiver_shape;
+
+  // Overwrite o.m in place, exactly the way the extension shims a method.
+  Heap& heap = interp.heap();
+  const Value* o = interp.globals().lookup("o");
+  ASSERT_NE(o, nullptr);
+  const std::uint32_t shape_before = heap.get(o->as_object()).properties.shape();
+  Value* slot = heap.own_property(o->as_object(), "m");
+  ASSERT_NE(slot, nullptr);
+  *slot = Value(heap.make_function(
+      [](Interpreter&, const Value&, std::span<const Value>) {
+        return Value(2.0);
+      },
+      "instrumented:m"));
+  EXPECT_EQ(heap.get(o->as_object()).properties.shape(), shape_before);
+
+  const Program again = parse_program("var after = poke() + poke();");
+  interp.execute(again);
+  EXPECT_EQ(global_number(interp, "after"), 4);  // both calls hit the shim
+
+  // Still the same single warm entry: the overwrite neither invalidated nor
+  // grew the cache.
+  EXPECT_EQ(ic.count, 1);
+  EXPECT_EQ(ic.entries[0].receiver_shape, cached_shape);
+}
+
+TEST(InlineCaches, ShapeTreeSharesTransitionsAcrossObjects) {
+  // Direct shape-tree check, below the IC layer: objects built through the
+  // same insertion sequence end on the same node; diverging orders fork.
+  Interpreter interp;
+  Heap& heap = interp.heap();
+  const ObjectRef a = heap.make_object(ObjectRef(), "A");
+  const ObjectRef b = heap.make_object(ObjectRef(), "B");
+  const ObjectRef c = heap.make_object(ObjectRef(), "C");
+  EXPECT_EQ(heap.get(a).properties.shape(), heap.get(b).properties.shape());
+
+  heap.set_property(a, "x", Value(1.0));
+  heap.set_property(b, "x", Value(2.0));
+  heap.set_property(c, "y", Value(3.0));
+  EXPECT_EQ(heap.get(a).properties.shape(), heap.get(b).properties.shape());
+  EXPECT_NE(heap.get(a).properties.shape(), heap.get(c).properties.shape());
+
+  heap.set_property(a, "y", Value(4.0));
+  heap.set_property(b, "y", Value(5.0));
+  EXPECT_EQ(heap.get(a).properties.shape(), heap.get(b).properties.shape());
+
+  // A different prototype roots a different tree even for the same names.
+  const ObjectRef proto = heap.make_object(ObjectRef(), "Proto");
+  const ObjectRef d = heap.make_object(proto, "D");
+  heap.set_property(d, "x", Value(6.0));
+  heap.set_property(d, "y", Value(7.0));
+  EXPECT_NE(heap.get(d).properties.shape(), heap.get(a).properties.shape());
+}
+
+// ----------------------------------------------------------- profiler ----
+
+TEST(VmProfiler, ScriptFunctionFramesStillAttribute) {
+  // PR 6 wired script-function activations into the sampling profiler as
+  // "fn:<name>" frames; the VM call path must keep pushing them so `fu prof`
+  // attribution is unchanged.
+  obs::Profiler profiler(997.0);
+  profiler.start();
+  obs::prof::set_thread_label("vm-prof-test");
+
+  Interpreter interp;
+  const Program program = parse_program(
+      "function spin(n) {\n"
+      "  var s = 0;\n"
+      "  for (var i = 0; i < n; i = i + 1) { s = s + i; }\n"
+      "  return s;\n"
+      "}\n");
+  interp.execute(program);
+  const Value* spin = interp.globals().lookup("spin");
+  ASSERT_NE(spin, nullptr);
+
+  const Value arg(5000.0);
+  double last = 0;
+  while (profiler.samples() < 50) {
+    last = interp.call_function(*spin, Value(), std::span<const Value>(&arg, 1))
+               .to_number();
+  }
+  const obs::FoldedProfile profile = profiler.stop();
+  EXPECT_EQ(last, 5000.0 * 4999.0 / 2.0);
+
+  bool saw_fn_frame = false;
+  for (const auto& [stack, samples] : profile.stacks) {
+    if (stack.find("fn:spin") != std::string::npos) saw_fn_frame = true;
+  }
+  EXPECT_TRUE(saw_fn_frame) << profile.to_text();
+}
+
+}  // namespace
+}  // namespace fu::script

@@ -36,6 +36,8 @@
 #include "obs/tracefile.h"
 #include "sched/checkpoint.h"
 #include "sched/progress.h"
+#include "script/compiler.h"
+#include "script/parser.h"
 #include "service/daemon.h"
 
 namespace {
@@ -89,6 +91,9 @@ int usage() {
       "                        top frames by self/inclusive samples. Two\n"
       "                        files = diff mode (percentage-share deltas);\n"
       "                        --html renders the interactive flamegraph\n"
+      "  disasm <script.js>    compile a MiniJS file and print its register\n"
+      "                        bytecode, IC-slot annotations included\n"
+      "                        ('-' reads stdin)\n"
       "  lists                 print the generated filter lists\n"
       "\n"
       "survey flags (values as '--flag v' or '--flag=v'):\n"
@@ -1031,6 +1036,35 @@ int cmd_lists(Reproduction& repro) {
   return 0;
 }
 
+int cmd_disasm(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string path = argv[0];
+  std::string source;
+  if (path == "-") {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    source = buf.str();
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "error: cannot open " << path << "\n";
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    source = buf.str();
+  }
+  try {
+    script::AtomTable atoms;
+    const script::Program program = script::parse_program(source, &atoms);
+    std::cout << script::disassemble_program(program, atoms);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1047,6 +1081,8 @@ int main(int argc, char** argv) {
   // touches shard files; neither needs the whole reproduction either.
   if (command == "serve") return cmd_serve(nrest, rest);
   if (command == "compact") return cmd_compact(nrest, rest);
+  // `fu disasm` runs the parser and bytecode compiler directly.
+  if (command == "disasm") return cmd_disasm(nrest, rest);
   ReproductionConfig config = ReproductionConfig::from_env();
   if (command == "survey" && !parse_survey_flags(config, nrest, rest)) {
     return usage();
