@@ -66,6 +66,37 @@ void BM_ScriptFunctionCalls(benchmark::State& state) {
 }
 BENCHMARK(BM_ScriptFunctionCalls);
 
+// Call-site inline caches: the dispatch cost of one warm monomorphic call
+// site (the common case — almost every call site on the synthetic web only
+// ever sees one callee), and the repathing cost when a site's callee keeps
+// changing and every call misses.
+
+void BM_CallSiteIC_MonomorphicCalls(benchmark::State& state) {
+  fu::script::Interpreter interp;
+  const auto setup = fu::script::parse_program(
+      "function nop() { return 0; }");
+  interp.execute(setup);
+  const auto program = fu::script::parse_program(
+      "for (var i = 0; i < 500; i = i + 1) { nop(); }");
+  for (auto _ : state) interp.execute(program);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 500);
+}
+BENCHMARK(BM_CallSiteIC_MonomorphicCalls);
+
+void BM_CallSiteIC_RepathingCalls(benchmark::State& state) {
+  fu::script::Interpreter interp;
+  const auto setup = fu::script::parse_program(
+      "function a() { return 0; } function b() { return 1; }");
+  interp.execute(setup);
+  const auto program = fu::script::parse_program(
+      "for (var i = 0; i < 500; i = i + 1) {"
+      "  (i % 2 == 0 ? a : b)();"
+      "}");
+  for (auto _ : state) interp.execute(program);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 500);
+}
+BENCHMARK(BM_CallSiteIC_RepathingCalls);
+
 // The atom/inline-cache targets: repeated property reads and writes on the
 // same receiver, identifier-heavy arithmetic, element access through index
 // expressions, and method lookup through the prototype chain. These are the
@@ -182,6 +213,26 @@ void BM_ExtensionInjection(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExtensionInjection);
+
+// Full BrowserSession construction, the per-(site × config × pass) cost a
+// survey pays thousands of times: snapshot:0 rebuilds the environment from
+// the catalog every time, snapshot:1 clones the per-catalog frozen image
+// (the production default). The image build itself happens once per process
+// and is excluded by the warm-up construction.
+void BM_SessionSetup(benchmark::State& state) {
+  fu::browser::set_session_snapshots_enabled(state.range(0) != 0);
+  {
+    fu::browser::BrowserSession warm(web(), fu::browser::BrowserConfig(), 1);
+    benchmark::DoNotOptimize(warm.cloned_from_snapshot());
+  }
+  for (auto _ : state) {
+    fu::browser::BrowserSession session(web(), fu::browser::BrowserConfig(),
+                                        1);
+    benchmark::DoNotOptimize(session.extension().methods_shimmed());
+  }
+  fu::browser::set_session_snapshots_enabled(true);
+}
+BENCHMARK(BM_SessionSetup)->ArgName("snapshot")->Arg(0)->Arg(1);
 
 // -------------------------------------------------------------- parsers --
 

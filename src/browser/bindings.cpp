@@ -22,10 +22,29 @@ Value inert(Interpreter&, const Value&, std::span<const Value>) {
   return Value();
 }
 
+// The DOM natives installed below never capture their DomBindings — they
+// fetch it from the running interpreter's host context at call time. That
+// keeps every native Callable session-agnostic, which is what lets a frozen
+// heap snapshot share them across all cloned sessions.
+DomBindings* host_bindings(Interpreter& in) {
+  return static_cast<DomBindings*>(in.host().bindings);
+}
+
 }  // namespace
 
-DomBindings::DomBindings(Interpreter& interp, const catalog::Catalog& catalog)
+DomBindings::DomBindings(Interpreter& interp, const catalog::Catalog& catalog,
+                         const BindingsLayout* layout)
     : interp_(interp), catalog_(catalog) {
+  interp_.host().bindings = this;
+  if (layout != nullptr) {
+    // Snapshot-clone adopt path: the cloned heap preserves object indices,
+    // so the captured layout's ObjectRefs resolve unchanged here.
+    prototypes_ = layout->prototypes;
+    singletons_ = layout->singletons;
+    window_ = layout->window;
+    event_target_proto_ = layout->event_target_proto;
+    return;
+  }
   build_interfaces();
   build_singletons();
   install_dom_natives();
@@ -122,22 +141,25 @@ void DomBindings::install_dom_natives() {
 
   // addEventListener / removeEventListener: live handler registration on
   // the shared EventTarget prototype root. The measuring extension shims
-  // over these, preserving behaviour while counting calls (§4.2.1).
-  PageHooks* hooks = &hooks_;
+  // over these, preserving behaviour while counting calls (§4.2.1). The
+  // hooks are resolved through the interpreter's host context at call time
+  // (see host_bindings above), never captured.
   heap.define_property(event_target_proto_, "addEventListener",
       Value(heap.make_function(
-          [hooks](Interpreter&, const Value&, std::span<const Value> args) {
+          [](Interpreter& in, const Value&, std::span<const Value> args) {
+            PageHooks& hooks = host_bindings(in)->hooks();
             if (args.size() >= 2 && args[0].is_string() && args[1].is_object()) {
-              hooks->listeners.emplace_back(args[0].as_string(), args[1]);
+              hooks.listeners.emplace_back(args[0].as_string(), args[1]);
             }
             return Value();
           },
           "EventTarget.prototype.addEventListener")));
   heap.define_property(event_target_proto_, "removeEventListener",
       Value(heap.make_function(
-          [hooks](Interpreter&, const Value&, std::span<const Value> args) {
+          [](Interpreter& in, const Value&, std::span<const Value> args) {
+            PageHooks& hooks = host_bindings(in)->hooks();
             if (args.size() >= 2 && args[0].is_string()) {
-              std::erase_if(hooks->listeners,
+              std::erase_if(hooks.listeners,
                             [&](const std::pair<std::string, Value>& entry) {
                               return entry.first == args[0].as_string() &&
                                      entry.second == args[1];
@@ -152,13 +174,14 @@ void DomBindings::install_dom_natives() {
   const ObjectRef timer_target =
       window_proto.null() ? window_ : window_proto;
   heap.define_property(timer_target, "setTimeout", Value(heap.make_function(
-      [hooks](Interpreter&, const Value&, std::span<const Value> args) {
+      [](Interpreter& in, const Value&, std::span<const Value> args) {
+        PageHooks& hooks = host_bindings(in)->hooks();
         if (!args.empty() && args[0].is_object()) {
           const double delay =
               args.size() > 1 ? args[1].to_number() : 0.0;
-          hooks->timers.push_back({args[0], delay >= 0 ? delay : 0});
+          hooks.timers.push_back({args[0], delay >= 0 ? delay : 0});
         }
-        return Value(static_cast<double>(hooks->timers.size()));
+        return Value(static_cast<double>(hooks.timers.size()));
       },
       "setTimeout")));
   heap.define_property(timer_target, "setInterval",
@@ -170,9 +193,9 @@ void DomBindings::install_dom_natives() {
   // real wrappers so example code can chain on them.
   const ObjectRef doc_proto = prototype_of("Document");
   if (!doc_proto.null()) {
-    DomBindings* self = this;
     heap.define_property(doc_proto, "createElement", Value(heap.make_function(
-        [self](Interpreter&, const Value&, std::span<const Value> args) {
+        [](Interpreter& in, const Value&, std::span<const Value> args) {
+          DomBindings* self = host_bindings(in);
           if (self->hooks_.dom == nullptr) return Value();
           const std::string tag =
               args.empty() ? "div" : args[0].to_display_string();
@@ -180,7 +203,8 @@ void DomBindings::install_dom_natives() {
         },
         "Document.prototype.createElement")));
     heap.define_property(doc_proto, "getElementById", Value(heap.make_function(
-        [self](Interpreter&, const Value&, std::span<const Value> args) {
+        [](Interpreter& in, const Value&, std::span<const Value> args) {
+          DomBindings* self = host_bindings(in);
           if (self->hooks_.dom == nullptr || args.empty()) return Value();
           dom::Element* el =
               self->hooks_.dom->get_element_by_id(args[0].to_display_string());
@@ -189,7 +213,8 @@ void DomBindings::install_dom_natives() {
         },
         "Document.prototype.getElementById")));
     heap.define_property(doc_proto, "querySelector", Value(heap.make_function(
-        [self](Interpreter&, const Value&, std::span<const Value> args) {
+        [](Interpreter& in, const Value&, std::span<const Value> args) {
+          DomBindings* self = host_bindings(in);
           if (self->hooks_.dom == nullptr || args.empty()) return Value();
           const auto selector =
               dom::Selector::parse(args[0].to_display_string());
@@ -201,8 +226,9 @@ void DomBindings::install_dom_natives() {
         "Document.prototype.querySelector")));
     heap.define_property(doc_proto, "querySelectorAll",
         Value(heap.make_function(
-            [self](Interpreter& in, const Value&,
-                   std::span<const Value> args) {
+            [](Interpreter& in, const Value&,
+               std::span<const Value> args) {
+              DomBindings* self = host_bindings(in);
               const ObjectRef list =
                   in.heap().make_object(ObjectRef(), "NodeList");
               std::size_t n = 0;

@@ -35,12 +35,40 @@ struct PageHooks {
   dom::Document* dom = nullptr;
 };
 
+// The name → ObjectRef tables a DomBindings builds while constructing the
+// global environment. Snapshot cloning captures one of these next to the
+// frozen heap image: because a cloned heap preserves object indices
+// bit-for-bit, the same ObjectRefs resolve in every clone, and adopting a
+// layout replaces re-running the whole build.
+struct BindingsLayout {
+  std::unordered_map<std::string, script::ObjectRef> prototypes;
+  std::unordered_map<std::string, script::ObjectRef> singletons;
+  script::ObjectRef window;
+  script::ObjectRef event_target_proto;
+};
+
 class DomBindings {
  public:
-  DomBindings(script::Interpreter& interp, const catalog::Catalog& catalog);
+  DomBindings(script::Interpreter& interp, const catalog::Catalog& catalog)
+      : DomBindings(interp, catalog, nullptr) {}
+
+  // `layout == nullptr` builds the environment from scratch. A non-null
+  // layout is the adopt path for snapshot clones: the interpreter was cloned
+  // from a frozen image that already contains every interface, singleton and
+  // native the full build would have created; just take over the layout
+  // tables. The document wrapper starts null, exactly as it is at capture
+  // time (it is created per page by begin_page).
+  DomBindings(script::Interpreter& interp, const catalog::Catalog& catalog,
+              const BindingsLayout* layout);
 
   DomBindings(const DomBindings&) = delete;
   DomBindings& operator=(const DomBindings&) = delete;
+
+  // Capture the layout tables for snapshot freezing.
+  BindingsLayout layout() const {
+    return BindingsLayout{prototypes_, singletons_, window_,
+                          event_target_proto_};
+  }
 
   // Prototype object of an interface; null ref if unknown.
   script::ObjectRef prototype_of(const std::string& interface_name) const;

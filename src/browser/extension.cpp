@@ -66,6 +66,10 @@ MeasuringExtension::MeasuringExtension(const catalog::Catalog& catalog,
 
 void MeasuringExtension::inject(Interpreter& interp, DomBindings& bindings) {
   script::Heap& heap = interp.heap();
+  // Shim closures reach the recorder through the interpreter's host context
+  // instead of capturing it — that keeps them session-agnostic, so a frozen
+  // snapshot image and all of its clones can share the shim Callables.
+  interp.host().recorder = recorder_;
 
   const std::vector<catalog::Feature>& features = catalog_->features();
   const std::string* last_iface = nullptr;  // features come grouped
@@ -87,13 +91,12 @@ void MeasuringExtension::inject(Interpreter& interp, DomBindings& bindings) {
     // slot *value* in place leaves the prototype's shape untouched, so
     // inline caches pointing at this slot keep hitting — and now read the
     // shim, which is exactly the §4.2.1 requirement.
-    const Value original = *slot;
-    UsageRecorder* recorder = recorder_;
+    const Value original = *slot;  // an ObjectRef: valid in every clone
     const catalog::FeatureId fid = f.id;
     *slot = Value(heap.make_function(
-        [recorder, fid, original](Interpreter& in, const Value& self,
-                                  std::span<const Value> args) {
-          recorder->record(fid);
+        [fid, original](Interpreter& in, const Value& self,
+                        std::span<const Value> args) {
+          static_cast<UsageRecorder*>(in.host().recorder)->record(fid);
           // Profiler attribution point: time spent inside the original
           // implementation (and anything it calls back into) samples as
           // this feature's standard (see obs/profiler.h).
@@ -112,6 +115,25 @@ void MeasuringExtension::inject(Interpreter& interp, DomBindings& bindings) {
     watch_singleton(interp, obj, info.name);
   }
   // ... including the per-page document wrapper.
+  watch_singleton(interp, bindings.document_wrapper(), "Document");
+}
+
+void MeasuringExtension::attach_clone(Interpreter& interp,
+                                      DomBindings& bindings,
+                                      int methods_shimmed) {
+  interp.host().recorder = recorder_;
+  methods_shimmed_ = methods_shimmed;
+  // Re-run only the watch half of inject(): watch handlers close over this
+  // session's recorder, so the heap clone dropped the image's and we attach
+  // fresh ones. Same order as inject, so properties_watched_ matches a
+  // rebuilt session exactly (the document wrapper is null here, as it was
+  // at capture — begin_page creates it per page and re-watches it then).
+  for (const catalog::Catalog::InterfaceInfo& info : catalog_->interfaces()) {
+    if (!info.singleton) continue;
+    const ObjectRef obj = bindings.singleton_of(info.name);
+    if (obj.null()) continue;
+    watch_singleton(interp, obj, info.name);
+  }
   watch_singleton(interp, bindings.document_wrapper(), "Document");
 }
 

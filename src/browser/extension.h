@@ -42,6 +42,15 @@ class MeasuringExtension {
   // per browser session, after DomBindings construction.
   void inject(script::Interpreter& interp, DomBindings& bindings);
 
+  // Snapshot-clone variant of inject(): the cloned heap already contains
+  // every shim function (they are part of the frozen image, and their
+  // closures reach the recorder through the interpreter's host context, set
+  // here) — only the per-session watch handlers need re-attaching, since
+  // cloning deliberately drops them. `methods_shimmed` is the count the
+  // image's builder session recorded.
+  void attach_clone(script::Interpreter& interp, DomBindings& bindings,
+                    int methods_shimmed);
+
   // Re-attach the property watch to a new singleton instance (the document
   // wrapper is recreated on every navigation).
   void watch_singleton(script::Interpreter& interp, script::ObjectRef object,

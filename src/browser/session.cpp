@@ -1,14 +1,41 @@
 #include "browser/session.h"
 
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+
 #include "dom/html.h"
 #include "dom/selector.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "script/parser.h"
+#include "script/snapshot.h"
 #include "support/rng.h"
 #include "support/strings.h"
 
 namespace fu::browser {
+
+namespace detail {
+
+struct SessionSnapshot {
+  // The frozen script heap: builtins, interface prototypes, method slots,
+  // shim functions, singletons — everything a fully-injected session holds
+  // before its first page. Immutable after construction; concurrent clones
+  // only read it.
+  script::HeapSnapshot heap;
+  // Name -> ObjectRef tables from the builder's DomBindings. Valid in every
+  // clone because cloning preserves heap indices bit-for-bit.
+  BindingsLayout layout;
+  // Shim count the builder's extension recorded, adopted by each clone.
+  int methods_shimmed = 0;
+
+  SessionSnapshot(const script::Interpreter& source, BindingsLayout l,
+                  int shimmed)
+      : heap(source), layout(std::move(l)), methods_shimmed(shimmed) {}
+};
+
+}  // namespace detail
 
 namespace {
 
@@ -24,6 +51,8 @@ struct BrowserMetrics {
   obs::Counter& scripts_executed;
   obs::Counter& scripts_failed;
   obs::Counter& scripts_blocked;
+  obs::Counter& snapshot_builds;
+  obs::Counter& snapshot_clones;
   obs::Histogram& page_load_us;
   obs::Histogram& script_exec_us;
 
@@ -33,6 +62,8 @@ struct BrowserMetrics {
         obs::Registry::global().counter("browser.scripts_executed"),
         obs::Registry::global().counter("browser.scripts_failed"),
         obs::Registry::global().counter("browser.scripts_blocked"),
+        obs::Registry::global().counter("session.snapshot_builds"),
+        obs::Registry::global().counter("session.snapshot_clones"),
         obs::Registry::global().histogram("browser.page_load_us"),
         obs::Registry::global().histogram("browser.script_exec_us"),
     };
@@ -40,18 +71,79 @@ struct BrowserMetrics {
   }
 };
 
+std::atomic<bool> g_session_snapshots_enabled{true};
+
+// Canonical frozen image per catalog, built on first demand. Mirrors the
+// CatalogShimData registry in extension.cpp: keyed by catalog identity,
+// entries immutable once published, probed concurrently by survey worker
+// threads. The build runs under the lock — it happens once per catalog per
+// process, and serialising it guarantees exactly one canonical image.
+std::shared_ptr<const detail::SessionSnapshot> snapshot_for(
+    const catalog::Catalog& catalog) {
+  static std::mutex mu;
+  static std::unordered_map<const catalog::Catalog*,
+                            std::shared_ptr<const detail::SessionSnapshot>>
+      registry;
+  std::lock_guard<std::mutex> lock(mu);
+  std::shared_ptr<const detail::SessionSnapshot>& slot = registry[&catalog];
+  if (!slot) {
+    obs::StageFrame build_frame("session-snapshot-build");
+    // Build one canonical throwaway session — default-seeded interpreter,
+    // scratch recorder — run the full injection, then freeze the result.
+    // Session construction is config-independent (blockers and fuel apply
+    // after construction), so one image per catalog serves every survey
+    // configuration. The scratch objects die here; the image holds no
+    // pointers into them (shim closures reach per-session state through the
+    // interpreter's host context, and watch handlers are not captured).
+    script::Interpreter scratch;
+    UsageRecorder scratch_recorder(catalog.features().size());
+    DomBindings scratch_bindings(scratch, catalog);
+    MeasuringExtension scratch_extension(catalog, scratch_recorder);
+    scratch_extension.inject(scratch, scratch_bindings);
+    slot = std::make_shared<detail::SessionSnapshot>(
+        scratch, scratch_bindings.layout(),
+        scratch_extension.methods_shimmed());
+    BrowserMetrics::get().snapshot_builds.add();
+  }
+  return slot;
+}
+
 }  // namespace
+
+void set_session_snapshots_enabled(bool enabled) noexcept {
+  g_session_snapshots_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool session_snapshots_enabled() noexcept {
+  return g_session_snapshots_enabled.load(std::memory_order_relaxed);
+}
+
+void prewarm_session_snapshot(const catalog::Catalog& catalog) {
+  if (session_snapshots_enabled()) snapshot_for(catalog);
+}
 
 BrowserSession::BrowserSession(const net::SyntheticWeb& web,
                                BrowserConfig config, std::uint64_t seed)
     : web_(&web),
       config_(std::move(config)),
-      interp_(seed),
+      snapshot_(session_snapshots_enabled()
+                    ? snapshot_for(web.feature_catalog())
+                    : nullptr),
+      interp_(snapshot_ != nullptr ? &snapshot_->heap : nullptr, seed),
       catalog_(web.feature_catalog()),
       recorder_(web.feature_catalog().features().size()),
-      bindings_(interp_, web.feature_catalog()),
+      bindings_(interp_, web.feature_catalog(),
+                snapshot_ != nullptr ? &snapshot_->layout : nullptr),
       extension_(web.feature_catalog(), recorder_) {
   interp_.set_fuel_per_run(config_.fuel_per_script);
+  if (snapshot_ != nullptr) {
+    // Clone path: the image already contains every binding and shim; only
+    // the per-session watch handlers and host pointers need attaching.
+    obs::StageFrame clone_frame("session-clone");
+    extension_.attach_clone(interp_, bindings_, snapshot_->methods_shimmed);
+    BrowserMetrics::get().snapshot_clones.add();
+    return;
+  }
   // §4.2: the extension's hooks go in before any page content runs.
   extension_.inject(interp_, bindings_);
 }

@@ -31,6 +31,28 @@
 
 namespace fu::browser {
 
+namespace detail {
+// A frozen, fully-injected session image: the script heap snapshot plus the
+// bindings layout and extension bookkeeping needed to adopt it. Built once
+// per catalog (see the registry in session.cpp), shared read-only by every
+// session cloned from it.
+struct SessionSnapshot;
+}  // namespace detail
+
+// Global toggle for snapshot-based session construction. On (the default),
+// the first session per catalog builds and freezes a canonical image and all
+// later sessions clone it; off, every session rebuilds from scratch. The two
+// paths are observably identical (the engine-identity tests pin this) — the
+// toggle exists so tests and benchmarks can compare them.
+void set_session_snapshots_enabled(bool enabled) noexcept;
+bool session_snapshots_enabled() noexcept;
+
+// Build (or reuse) the shared per-catalog snapshot now, on the calling
+// thread. The survey driver calls this before spawning its worker pool so
+// the one-off canonical build doesn't serialize the first wave of workers
+// behind the registry mutex. No-op when snapshots are disabled.
+void prewarm_session_snapshot(const catalog::Catalog& catalog);
+
 // Per-site cache shared by the (up to 20) sessions that crawl one site: the
 // synthetic web regenerates identical bodies for a URL on every fetch, and
 // scripts parse to identical ASTs, so both are memoized. Single-threaded use
@@ -103,6 +125,10 @@ class BrowserSession {
   int handler_errors() const noexcept { return handler_errors_; }
   const MeasuringExtension& extension() const noexcept { return extension_; }
 
+  // True when this session was instantiated by cloning a frozen snapshot
+  // image rather than rebuilding the environment from the catalog.
+  bool cloned_from_snapshot() const noexcept { return snapshot_ != nullptr; }
+
   script::Interpreter& interpreter() noexcept { return interp_; }
   DomBindings& bindings() noexcept { return bindings_; }
 
@@ -118,6 +144,10 @@ class BrowserSession {
 
   const net::SyntheticWeb* web_;
   BrowserConfig config_;
+  // Shared ownership of the frozen image this session cloned (null on the
+  // rebuild path). Declared before interp_: the interpreter is constructed
+  // from the image, so the image must be resolved — and kept alive — first.
+  std::shared_ptr<const detail::SessionSnapshot> snapshot_;
   script::Interpreter interp_;
   const catalog::Catalog& catalog_;
   UsageRecorder recorder_;

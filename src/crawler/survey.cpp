@@ -166,6 +166,11 @@ SurveyResults run_survey(const net::SyntheticWeb& web,
     obs::prof::set_feature_table(std::move(labels));
   }
 
+  // Build the shared per-catalog session snapshot before any workers spawn:
+  // the canonical build runs once, here, instead of the first wave of
+  // workers serializing behind the snapshot-registry mutex.
+  browser::prewarm_session_snapshot(web.feature_catalog());
+
   const auto blank_outcome = [&] {
     SiteOutcome outcome;
     for (auto& bits : outcome.features) {

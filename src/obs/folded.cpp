@@ -85,6 +85,13 @@ Breakdown breakdown(const FoldedProfile& profile) {
           break;
       }
     }
+    // Session setup runs no page script, so its samples carry no "std:"
+    // frame; without this they would drown the "(engine)" catch-all in the
+    // standards CSV. Attribute them to their own bucket instead.
+    if (standard == "(engine)" &&
+        (stage == "session-clone" || stage == "session-snapshot-build")) {
+      standard = "(session-setup)";
+    }
     b.stages[std::string(stage)] += samples;
     b.standards[std::string(standard)] += samples;
     b.self[std::string(frames.back())] += samples;

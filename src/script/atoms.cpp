@@ -27,15 +27,53 @@ AtomTable::AtomTable() : id_(next_table_id()) {
   well_known_.arguments = intern("arguments");
 }
 
+void AtomTable::clone_from(const AtomTable& other) {
+  // id_ deliberately untouched (see header).
+  base_.reset();
+  base_count_ = 0;
+  names_.clear();
+  for (Atom atom = 0; atom < other.size(); ++atom) {
+    names_.push_back(other.name(atom));  // flattens any base prefix
+  }
+  ids_.clear();
+  ids_.reserve(names_.size());
+  for (Atom atom = 0; atom < names_.size(); ++atom) {
+    // Views must point into OUR deque, not the source's.
+    ids_.emplace(std::string_view(names_[atom]), atom);
+  }
+  small_indices_ = other.small_indices_;
+  well_known_ = other.well_known_;
+}
+
+void AtomTable::adopt_base(std::shared_ptr<const AtomTable> base) {
+  // id_ deliberately untouched, as in clone_from. The base replaces all
+  // existing contents (including the well-known prefix this table interned
+  // at construction — the base interned the same names at the same ids).
+  names_.clear();
+  ids_.clear();
+  base_count_ = static_cast<Atom>(base->size());
+  small_indices_ = base->small_indices_;
+  well_known_ = base->well_known_;
+  base_ = std::move(base);
+}
+
 Atom AtomTable::intern(std::string_view name) {
+  if (base_ != nullptr) {
+    const Atom atom = base_->lookup(name);
+    if (atom != kNoAtom) return atom;
+  }
   if (const auto it = ids_.find(name); it != ids_.end()) return it->second;
-  const Atom atom = static_cast<Atom>(names_.size());
+  const Atom atom = base_count_ + static_cast<Atom>(names_.size());
   names_.emplace_back(name);  // deque: no reallocation, views stay valid
   ids_.emplace(std::string_view(names_.back()), atom);
   return atom;
 }
 
 Atom AtomTable::lookup(std::string_view name) const {
+  if (base_ != nullptr) {
+    const Atom atom = base_->lookup(name);
+    if (atom != kNoAtom) return atom;
+  }
   const auto it = ids_.find(name);
   return it == ids_.end() ? kNoAtom : it->second;
 }

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -42,6 +43,22 @@ class AtomTable {
   AtomTable(const AtomTable&) = delete;
   AtomTable& operator=(const AtomTable&) = delete;
 
+  // Copy every interned name (same atom ids, same contents) from `other`
+  // while KEEPING this table's own process-unique id() — a cloned session's
+  // inline caches and chunk memos must not validate against bytecode
+  // compiled for the snapshot image, mirroring how a rebuilt session always
+  // starts with a fresh table identity.
+  void clone_from(const AtomTable& other);
+
+  // Share `base` as a frozen, immutable prefix instead of deep-copying it
+  // (the snapshot-clone fast path): atoms [0, base->size()) resolve through
+  // the shared table, new interns append here starting at base->size().
+  // Observably identical to clone_from — same atom ids in the same intern
+  // order — without copying a thousand strings and rebuilding the hash per
+  // session. The base must never be mutated again; any number of tables may
+  // adopt it concurrently (reads only). Keeps this table's own id().
+  void adopt_base(std::shared_ptr<const AtomTable> base);
+
   // Insert-or-get. Idempotent: the same name always returns the same atom.
   Atom intern(std::string_view name);
 
@@ -55,8 +72,11 @@ class AtomTable {
   // allocates a key string.
   Atom intern_index(std::uint64_t index);
 
-  const std::string& name(Atom atom) const { return names_[atom]; }
-  std::size_t size() const noexcept { return names_.size(); }
+  const std::string& name(Atom atom) const {
+    return atom < base_count_ ? base_->name(atom)
+                              : names_[atom - base_count_];
+  }
+  std::size_t size() const noexcept { return base_count_ + names_.size(); }
 
   // Process-unique identity of this table; inline caches are tagged with it.
   std::uint64_t id() const noexcept { return id_; }
@@ -65,7 +85,11 @@ class AtomTable {
 
  private:
   std::uint64_t id_;
-  std::deque<std::string> names_;  // stable storage; index = Atom
+  // Frozen shared prefix (adopt_base); null for ordinary tables. Atoms
+  // below base_count_ live in *base_, the rest in this table's own storage.
+  std::shared_ptr<const AtomTable> base_;
+  Atom base_count_ = 0;
+  std::deque<std::string> names_;  // stable storage; atom - base_count_
   std::unordered_map<std::string_view, Atom> ids_;  // views into names_
   std::vector<Atom> small_indices_;  // lazily-filled cache for 0..4095
   WellKnown well_known_{};

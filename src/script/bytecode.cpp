@@ -176,11 +176,12 @@ std::string disassemble(const Chunk& chunk, const AtomTable& atoms) {
                i.imm == 0 ? i.b : i.b + i.imm - 1, i.imm);
         break;
       case Op::kCall:
-        append(out, "r%u, fn=r%u, argc=%u", i.a, i.b, i.imm);
+        append(out, "r%u, fn=r%u, argc=%u  ; call_ic[%u]", i.a, i.b, i.c,
+               i.imm);
         break;
       case Op::kCallMethod:
-        append(out, "r%u, fn=r%u, this=r%u, argc=%u", i.a, i.b, i.b + 1,
-               i.imm);
+        append(out, "r%u, fn=r%u, this=r%u, argc=%u  ; call_ic[%u]", i.a, i.b,
+               i.b + 1, i.c, i.imm);
         break;
       case Op::kNew:
         append(out, "r%u, ctor=r%u, argc=%u", i.a, i.b, i.imm);

@@ -58,8 +58,8 @@ enum class Op : std::uint8_t {
   kDeleteIndex,     // r[a] = delete r[b][r[c]] (base already object-checked)
   kMakeObject,      // r[a] = {}
   kMakeArray,       // r[a] = Array of r[b] .. r[b+imm-1]
-  kCall,            // r[a] = r[b](r[b+1..b+imm])
-  kCallMethod,      // r[a] = r[b].call(this=r[b+1], r[b+2..b+1+imm])
+  kCall,            // r[a] = r[b](r[b+1..b+c]) through call_ics[imm]
+  kCallMethod,      // r[a] = r[b].call(this=r[b+1], r[b+2..b+1+c]), call_ics[imm]
   kNew,             // r[a] = new r[b](r[b+1..b+imm])
   // binary operators: r[a] = r[b] <op> r[c]
   kAdd, kSub, kMul, kDiv, kMod,
@@ -151,6 +151,19 @@ struct WriteIC {
   Entry entries[kMaxEntries];
 };
 
+// Call-site cache for kCall/kCallMethod: remembers the callee function
+// object (by heap index — objects are never freed or reused) and its
+// resolved Callable, so a warm site skips the value-type/is-callable checks
+// and dispatches straight into the callee. Monomorphic: call sites on page
+// scripts overwhelmingly see one callee; a different function at the same
+// site just re-records. A function's Callable is never reassigned after
+// creation (the measuring extension replaces property *values*), so the
+// cached pointer stays valid for the chunk's lifetime.
+struct CallIC {
+  std::uint32_t callee = 0;  // ObjectRef index; 0 (reserved null) = empty
+  const Callable* target = nullptr;
+};
+
 // ------------------------------------------------------------- chunk ------
 
 struct Chunk {
@@ -164,6 +177,7 @@ struct Chunk {
   mutable std::vector<VarIC> var_ics;
   mutable std::vector<PropIC> prop_ics;
   mutable std::vector<WriteIC> write_ics;
+  mutable std::vector<CallIC> call_ics;
 
   // try/catch protected ranges: [start, end) in pc space, innermost first.
   struct Handler {

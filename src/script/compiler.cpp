@@ -142,6 +142,11 @@ class FnCompiler {
     return static_cast<std::uint32_t>(chunk_->write_ics.size()) - 1;
   }
 
+  std::uint32_t add_call_ic() {
+    chunk_->call_ics.emplace_back();
+    return static_cast<std::uint32_t>(chunk_->call_ics.size()) - 1;
+  }
+
   const std::uint32_t* local_slot(const std::string& name) const {
     if (!has_locals_) return nullptr;
     const auto it = locals_.find(name);
@@ -399,17 +404,19 @@ class FnCompiler {
         return;
       }
       case Expr::Kind::kMember: {
-        const std::uint16_t mark = next_reg_;
-        const std::uint16_t base = expr(*e.object);
-        emit(Op::kGetProp, dst, base, 0, add_prop_ic(e.text));
-        next_reg_ = mark;
+        // Register reuse: `dst` is dead until this node's result lands, so
+        // the base is evaluated straight into it (kGetProp reads r[b] fully
+        // before writing r[a]). Right-deep member chains like a.b.c.d now
+        // use one register instead of one per link.
+        expr_into(*e.object, dst);
+        emit(Op::kGetProp, dst, dst, 0, add_prop_ic(e.text));
         return;
       }
       case Expr::Kind::kIndex: {
+        expr_into(*e.object, dst);  // base reuses dst (see kMember)
         const std::uint16_t mark = next_reg_;
-        const std::uint16_t base = expr(*e.object);
         const std::uint16_t idx = expr(*e.index);
-        emit(Op::kGetIndex, dst, base, idx);
+        emit(Op::kGetIndex, dst, dst, idx);
         next_reg_ = mark;
         return;
       }
@@ -439,10 +446,10 @@ class FnCompiler {
         compile_unary(e, dst);
         return;
       case Expr::Kind::kConditional: {
-        const std::uint16_t mark = next_reg_;
-        const std::uint16_t c = expr(*e.cond);
-        const std::uint32_t jf = emit(Op::kJumpIfFalse, c);
-        next_reg_ = mark;
+        // The condition reuses dst: its value is consumed by the jump
+        // before either arm overwrites the register.
+        expr_into(*e.cond, dst);
+        const std::uint32_t jf = emit(Op::kJumpIfFalse, dst);
         expr_into(*e.then_expr, dst);
         const std::uint32_t j = emit(Op::kJump);
         patch(jf, bind_label());
@@ -494,8 +501,8 @@ class FnCompiler {
         const std::uint16_t r = alloc_reg();
         expr_into(*arg, r);
       }
-      emit(Op::kCallMethod, dst, fn, 0,
-           static_cast<std::uint32_t>(e.args.size()));
+      emit(Op::kCallMethod, dst, fn,
+           static_cast<std::uint16_t>(e.args.size()), add_call_ic());
     } else if (callee.kind == Expr::Kind::kIndex) {
       const std::uint16_t fn = alloc_reg();
       const std::uint16_t self = alloc_reg();
@@ -510,8 +517,8 @@ class FnCompiler {
         const std::uint16_t r = alloc_reg();
         expr_into(*arg, r);
       }
-      emit(Op::kCallMethod, dst, fn, 0,
-           static_cast<std::uint32_t>(e.args.size()));
+      emit(Op::kCallMethod, dst, fn,
+           static_cast<std::uint16_t>(e.args.size()), add_call_ic());
     } else {
       const std::uint16_t fn = alloc_reg();
       expr_into(callee, fn);
@@ -519,7 +526,8 @@ class FnCompiler {
         const std::uint16_t r = alloc_reg();
         expr_into(*arg, r);
       }
-      emit(Op::kCall, dst, fn, 0, static_cast<std::uint32_t>(e.args.size()));
+      emit(Op::kCall, dst, fn, static_cast<std::uint16_t>(e.args.size()),
+           add_call_ic());
     }
     next_reg_ = mark;
   }
@@ -571,8 +579,10 @@ class FnCompiler {
       patch(j, bind_label());
       return;
     }
+    // The lhs reuses dst (every binary op reads both operands before
+    // writing its result); only the rhs needs a temporary.
+    expr_into(*e.lhs, dst);
     const std::uint16_t mark = next_reg_;
-    const std::uint16_t l = expr(*e.lhs);
     const std::uint16_t r = expr(*e.rhs);
     Op op = Op::kAdd;
     switch (e.binary_op) {
@@ -594,7 +604,7 @@ class FnCompiler {
       case BinaryOp::kAnd:
       case BinaryOp::kOr: break;  // handled above
     }
-    emit(op, dst, l, r);
+    emit(op, dst, dst, r);
     next_reg_ = mark;
   }
 
@@ -609,10 +619,8 @@ class FnCompiler {
           emit(Op::kTypeofVar, dst, 0, 0, add_var_ic(e.lhs->text));
           return;
         }
-        const std::uint16_t mark = next_reg_;
-        const std::uint16_t v = expr(*e.lhs);
-        emit(Op::kTypeofValue, dst, v);
-        next_reg_ = mark;
+        expr_into(*e.lhs, dst);  // operand reuses dst
+        emit(Op::kTypeofValue, dst, dst);
         return;
       }
       case UnaryOp::kDelete: {
@@ -651,10 +659,8 @@ class FnCompiler {
       }
       case UnaryOp::kNot:
       case UnaryOp::kNeg: {
-        const std::uint16_t mark = next_reg_;
-        const std::uint16_t v = expr(*e.lhs);
-        emit(e.unary_op == UnaryOp::kNot ? Op::kNot : Op::kNeg, dst, v);
-        next_reg_ = mark;
+        expr_into(*e.lhs, dst);  // operand reuses dst
+        emit(e.unary_op == UnaryOp::kNot ? Op::kNot : Op::kNeg, dst, dst);
         return;
       }
     }

@@ -5,6 +5,7 @@
 
 #include "script/compiler.h"
 #include "script/profhook.h"
+#include "script/snapshot.h"
 #include "script/vm.h"
 
 namespace fu::script {
@@ -22,7 +23,12 @@ void Environment::assign(Atom atom, Value value) {
   root->bindings_.put(atom) = std::move(value);
 }
 
-Interpreter::Interpreter(std::uint64_t rng_seed) : rng_(rng_seed) {
+Interpreter::Interpreter(const HeapSnapshot* snapshot, std::uint64_t rng_seed)
+    : rng_(rng_seed) {
+  if (snapshot != nullptr) {
+    snapshot->instantiate(*this);
+    return;
+  }
   global_env_ = make_environment(nullptr);
   install_builtins();
   install_extended_builtins();
@@ -41,6 +47,11 @@ void Interpreter::execute(const Program& program) {
 
 Value Interpreter::call_function(const Value& fn, const Value& self,
                                  std::span<const Value> args) {
+  return call_resolved(fn, self, args, nullptr);
+}
+
+Value Interpreter::call_resolved(const Value& fn, const Value& self,
+                                 std::span<const Value> args, CallIC* site) {
   if (!fn.is_object()) {
     throw ScriptError("TypeError: " + fn.to_display_string() +
                       " is not a function");
@@ -49,6 +60,19 @@ Value Interpreter::call_function(const Value& fn, const Value& self,
   if (!obj.callable) {
     throw ScriptError("TypeError: object is not callable");
   }
+  if (site != nullptr) {
+    // Remember the callee for this bytecode site. Object slots are never
+    // freed or reused and a function's Callable is never reassigned (shims
+    // replace property *values*, not callables), so both keys stay valid
+    // for the chunk's lifetime.
+    site->callee = fn.as_object().index();
+    site->target = obj.callable.get();
+  }
+  return invoke(*obj.callable, self, args);
+}
+
+Value Interpreter::invoke(const Callable& callee, const Value& self,
+                          std::span<const Value> args) {
   if (call_depth_ == 0) fuel_ = fuel_per_run_;
   if (call_depth_ > 64) throw ScriptError("RangeError: call stack exceeded");
   ++call_depth_;
@@ -57,16 +81,16 @@ Value Interpreter::call_function(const Value& fn, const Value& self,
     ~DepthGuard() { --depth; }
   } guard{call_depth_};
 
-  if (obj.callable->native) {
-    return obj.callable->native(*this, self, args);
+  if (callee.native) {
+    return callee.native(*this, self, args);
   }
 
-  const AstFunction& ast = *obj.callable->script;
+  const AstFunction& ast = *callee.script;
   ScriptCallFrame prof_frame(ast);
   AtomTable& at = heap_.atoms();
   const Chunk& chunk = chunk_for(ast, at);
-  Environment* env = make_environment(obj.callable->closure != nullptr
-                                          ? obj.callable->closure
+  Environment* env = make_environment(callee.closure != nullptr
+                                          ? callee.closure
                                           : global_env_);
   env->reserve(chunk.param_atoms.size() + 2);  // params + this + arguments
   for (std::size_t i = 0; i < chunk.param_atoms.size(); ++i) {

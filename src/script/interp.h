@@ -33,11 +33,24 @@
 
 namespace fu::script {
 
+class HeapSnapshot;  // snapshot.h
+struct CallIC;       // bytecode.h
+
 // Runtime failure (TypeError-ish); distinct from SyntaxError at parse time.
 class ScriptError : public std::runtime_error {
  public:
   explicit ScriptError(const std::string& message)
       : std::runtime_error(message) {}
+};
+
+// Per-session host pointers that native bindings fetch at CALL time instead
+// of capturing at build time. This indirection is what makes native closures
+// session-agnostic: a frozen snapshot image and every clone share the same
+// Callable objects, and each interpreter routes them to its own DOM bindings
+// and usage recorder through this struct.
+struct HostContext {
+  void* bindings = nullptr;  // browser::DomBindings*
+  void* recorder = nullptr;  // browser::UsageRecorder*
 };
 
 class Environment {
@@ -90,6 +103,8 @@ class Environment {
   void reserve(std::size_t n) { bindings_.reserve(n); }
 
  private:
+  friend class HeapSnapshot;  // copies bindings_ wholesale on capture/clone
+
   PropertySlots bindings_;
   Environment* parent_;
   AtomTable* atoms_;
@@ -98,7 +113,15 @@ class Environment {
 
 class Interpreter {
  public:
-  explicit Interpreter(std::uint64_t rng_seed = 0x5c71b7ULL);
+  explicit Interpreter(std::uint64_t rng_seed = 0x5c71b7ULL)
+      : Interpreter(nullptr, rng_seed) {}
+
+  // When `snapshot` is non-null, the engine state (heap, atoms, shapes,
+  // globals) is cloned from the frozen image instead of being rebuilt by
+  // install_builtins() — same object indices, atoms and shape ids,
+  // bit-for-bit. The snapshot must outlive this interpreter only for the
+  // duration of the constructor (callables are shared by refcount).
+  Interpreter(const HeapSnapshot* snapshot, std::uint64_t rng_seed);
 
   Heap& heap() noexcept { return heap_; }
   const Heap& heap() const noexcept { return heap_; }
@@ -116,6 +139,10 @@ class Interpreter {
   // top-level entry (depth 0).
   Value call_function(const Value& fn, const Value& self,
                       std::span<const Value> args);
+
+  // Per-session host pointers for natives (see HostContext above).
+  HostContext& host() noexcept { return host_; }
+  const HostContext& host() const noexcept { return host_; }
 
   // Convenience for hosts: allocate an environment in the interpreter's
   // arena (closures need stable addresses).
@@ -140,9 +167,23 @@ class Interpreter {
 
  private:
   friend class Vm;
+  friend class HeapSnapshot;
 
   void install_builtins();
   void install_extended_builtins();  // builtins.cpp
+
+  // Resolve `fn` to its Callable, enforcing the call-depth/fuel prologue,
+  // then dispatch. When `site` is non-null (kCall/kCallMethod with a cold
+  // inline cache), the resolved callee is remembered so the next execution
+  // of that site can skip straight to invoke().
+  Value call_resolved(const Value& fn, const Value& self,
+                      std::span<const Value> args, CallIC* site);
+
+  // Dispatch an already-resolved callee. Replicates call_function's
+  // observable prologue exactly (top-level fuel refill, depth limit,
+  // profiler frame); the VM's call-site ICs land here on a cache hit.
+  Value invoke(const Callable& callee, const Value& self,
+               std::span<const Value> args);
 
   // One unit of work; throws ScriptError when the per-run budget is gone.
   void burn_fuel() {
@@ -169,6 +210,7 @@ class Interpreter {
   }
 
   Heap heap_;
+  HostContext host_;
   std::vector<std::unique_ptr<Environment>> env_arena_;
   Environment* global_env_ = nullptr;
   ObjectRef array_prototype_;

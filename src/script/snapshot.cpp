@@ -1,0 +1,49 @@
+#include "script/snapshot.h"
+
+#include <stdexcept>
+
+#include "obs/profiler.h"
+
+namespace fu::script {
+
+HeapSnapshot::HeapSnapshot(const Interpreter& source) {
+  if (source.env_serial_counter_ != 1) {
+    throw std::logic_error(
+        "HeapSnapshot: source interpreter has activation environments; "
+        "capture must happen before any script runs");
+  }
+  const Heap& src = source.heap_;
+  for (std::uint32_t i = 1; i < src.size(); ++i) {
+    const JsObject& obj = src.get(ObjectRef(i));
+    if (obj.callable && obj.callable->script) {
+      throw std::logic_error(
+          "HeapSnapshot: source heap holds a script function; its closure "
+          "environment cannot be shared across sessions");
+    }
+  }
+  heap_.clone_from(src);  // strips watch handlers; shares native Callables
+  // Freeze one shared copy of the atom table for all clones to adopt as an
+  // immutable base. Taken from heap_ (not src) so views/ids match the image.
+  auto frozen = std::make_shared<AtomTable>();
+  frozen->clone_from(heap_.atoms());
+  frozen_atoms_ = std::move(frozen);
+  globals_ = source.global_env_->bindings_;
+  array_prototype_ = source.array_prototype_;
+  string_prototype_ = source.string_prototype_;
+}
+
+void HeapSnapshot::instantiate(Interpreter& out) const {
+  // Profiler attribution: cloning is the bulk of snapshot-based session
+  // setup, and it runs from a constructor init-list where the caller cannot
+  // scope a frame around it (see obs/folded.cpp for the stage's standards
+  // attribution).
+  obs::StageFrame clone_frame("session-clone");
+  out.heap_.clone_from(heap_, frozen_atoms_);
+  // Global env first (serial 1), exactly as the rebuild constructor does.
+  out.global_env_ = out.make_environment(nullptr);
+  out.global_env_->bindings_ = globals_;
+  out.array_prototype_ = array_prototype_;
+  out.string_prototype_ = string_prototype_;
+}
+
+}  // namespace fu::script

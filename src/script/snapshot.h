@@ -1,0 +1,66 @@
+// Heap snapshots: freeze a fully-constructed engine into an immutable image
+// and stamp out clones instead of rebuilding per session.
+//
+// Lifecycle (see DESIGN.md):
+//   build   — construct one canonical session the normal way (builtins, DOM
+//             bindings, extension shims) against a scratch Interpreter;
+//   freeze  — HeapSnapshot(interp) deep-copies the heap (objects, atoms,
+//             shape tree) and the global bindings into this object. The
+//             image is immutable from then on; Callables are shared by
+//             shared_ptr, watch handlers are deliberately dropped (they
+//             close over per-session state and are re-attached per clone);
+//   clone   — Interpreter(&snapshot, seed) reproduces the frozen state
+//             bit-for-bit: same object indices, atom ids and shape
+//             numbering, fresh atom-table identity (cached bytecode
+//             recompiles per clone exactly as it does per rebuild), fuel
+//             and step counters at zero, env serial counter at 1;
+//   discard — drop the last reference; shared Callables die with the last
+//             clone that still uses them.
+//
+// Thread safety: a frozen HeapSnapshot is only ever read, so any number of
+// worker threads may instantiate clones from the same image concurrently.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "script/interp.h"
+#include "script/value.h"
+
+namespace fu::script {
+
+class HeapSnapshot {
+ public:
+  // Freeze `source`'s current engine state. Requirements (violations throw
+  // std::logic_error — they would make clones observably diverge from a
+  // rebuilt session or dangle):
+  //   * no activation environments yet (only the global scope exists);
+  //   * no script functions on the heap (their closure Environment*
+  //     belongs to the source interpreter). All setup-time functions are
+  //     native, so a session captured right after extension injection
+  //     always satisfies this.
+  explicit HeapSnapshot(const Interpreter& source);
+
+  HeapSnapshot(const HeapSnapshot&) = delete;
+  HeapSnapshot& operator=(const HeapSnapshot&) = delete;
+
+  std::size_t object_count() const noexcept { return heap_.size(); }
+
+ private:
+  friend class Interpreter;
+
+  // Reproduce the frozen state inside a freshly-constructed interpreter
+  // (called by Interpreter's snapshot constructor, before any other use).
+  void instantiate(Interpreter& out) const;
+
+  Heap heap_;               // the frozen image
+  // The image's atom table, frozen once at capture and adopted by every
+  // clone as a shared immutable prefix (AtomTable::adopt_base) — same atom
+  // ids without copying ~1.3k strings per session.
+  std::shared_ptr<const AtomTable> frozen_atoms_;
+  PropertySlots globals_;   // global environment bindings
+  ObjectRef array_prototype_;
+  ObjectRef string_prototype_;
+};
+
+}  // namespace fu::script

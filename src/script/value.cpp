@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <new>
 #include <stdexcept>
 
 namespace fu::script {
@@ -107,6 +108,23 @@ std::uint32_t ShapeTree::unique_shape() {
   return static_cast<std::uint32_t>(nodes_.size() - 1);
 }
 
+void ShapeTree::clone_from(const ShapeTree& other) {
+  nodes_.clear();
+  nodes_.reserve(other.nodes_.size());
+  for (const Node& n : other.nodes_) {
+    Node copy;
+    copy.first_atom = n.first_atom;
+    copy.first_child = n.first_child;
+    if (n.more) {
+      copy.more =
+          std::make_unique<std::vector<std::pair<Atom, std::uint32_t>>>(
+              *n.more);
+    }
+    nodes_.push_back(std::move(copy));
+  }
+  roots_ = other.roots_;
+}
+
 Value& PropertySlots::put(Atom atom) {
   const std::uint32_t slot = index_of(atom);
   if (slot != kMissSlot) return slots_[slot].value;
@@ -149,20 +167,68 @@ Heap::Heap() {
   objects_.push_back(nullptr);  // index 0 reserved
 }
 
+Heap::~Heap() { destroy_objects(); }
+
+void* Heap::allocate_raw() {
+  if (slab_used_ == kSlabSize) {
+    // new std::byte[] storage is aligned for any ordinary type
+    // (__STDCPP_DEFAULT_NEW_ALIGNMENT__ >= alignof(JsObject)).
+    slabs_.push_back(
+        std::make_unique<std::byte[]>(kSlabSize * sizeof(JsObject)));
+    slab_used_ = 0;
+  }
+  return slabs_.back().get() + (slab_used_++) * sizeof(JsObject);
+}
+
+JsObject* Heap::allocate_object() { return new (allocate_raw()) JsObject(); }
+
+void Heap::destroy_objects() {
+  for (std::size_t i = 1; i < objects_.size(); ++i) {
+    objects_[i]->~JsObject();
+  }
+}
+
+void Heap::clone_from(const Heap& image,
+                      std::shared_ptr<const AtomTable> frozen_atoms) {
+  if (frozen_atoms != nullptr) {
+    atoms_.adopt_base(std::move(frozen_atoms));
+  } else {
+    atoms_.clone_from(image.atoms_);
+  }
+  shapes_.clone_from(image.shapes_);
+  destroy_objects();
+  slabs_.clear();
+  slab_used_ = kSlabSize;
+  objects_.clear();
+  objects_.reserve(image.objects_.size());
+  objects_.push_back(nullptr);
+  for (std::size_t i = 1; i < image.objects_.size(); ++i) {
+    const JsObject& src = *image.objects_[i];
+    // Copy-construct in place. src.watch intentionally left unattached:
+    // handlers close over the image session's recorder and watched-name
+    // table. Callables are shared, immutable (see JsObject::callable).
+    JsObject* obj = new (allocate_raw())
+        JsObject{src.properties, src.prototype, src.callable,
+                 std::nullopt,   src.class_name, src.host};
+    obj->properties.rebind_shapes(&shapes_);
+    objects_.push_back(obj);
+  }
+}
+
 ObjectRef Heap::make_object(ObjectRef prototype, std::string class_name) {
-  auto obj = std::make_unique<JsObject>();
+  JsObject* obj = allocate_object();
   obj->prototype = prototype;
   obj->class_name = std::move(class_name);
   // Same prototype => same shape root => same-layout objects share shape
   // ids (and therefore hit each other's inline-cache entries).
   obj->properties.attach(&shapes_, shapes_.root_for(prototype.index()));
-  objects_.push_back(std::move(obj));
+  objects_.push_back(obj);
   return ObjectRef(static_cast<std::uint32_t>(objects_.size() - 1));
 }
 
 ObjectRef Heap::make_function(NativeFn fn, std::string name) {
   const ObjectRef ref = make_object(ObjectRef(), "Function");
-  auto callable = std::make_unique<Callable>();
+  auto callable = std::make_shared<Callable>();
   callable->native = std::move(fn);
   callable->name = std::move(name);
   get(ref).callable = std::move(callable);
@@ -172,7 +238,7 @@ ObjectRef Heap::make_function(NativeFn fn, std::string name) {
 ObjectRef Heap::make_script_function(std::shared_ptr<const AstFunction> fn,
                                      Environment* closure) {
   const ObjectRef ref = make_object(ObjectRef(), "Function");
-  auto callable = std::make_unique<Callable>();
+  auto callable = std::make_shared<Callable>();
   callable->script = std::move(fn);
   callable->closure = closure;
   get(ref).callable = std::move(callable);

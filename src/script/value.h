@@ -22,6 +22,7 @@
 // index into the arena.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -125,6 +126,11 @@ class ShapeTree {
   // Fresh node no other object can ever reach (post-delete layouts).
   std::uint32_t unique_shape();
 
+  // Become a structural copy of `other`, preserving every node id — cloned
+  // heaps keep the exact shape numbering of the snapshot image they came
+  // from, so a clone's transitions continue where the image's left off.
+  void clone_from(const ShapeTree& other);
+
   std::size_t size() const noexcept { return nodes_.size(); }
 
  private:
@@ -156,6 +162,28 @@ class PropertySlots {
     Atom atom;
     Value value;
   };
+
+  PropertySlots() = default;
+  // Copies preserve the shape id and the (possibly foreign) tree pointer;
+  // heap cloning rebinds the pointer to the clone's own tree afterwards so
+  // a clone never mutates the frozen image's ShapeTree.
+  PropertySlots(const PropertySlots& other)
+      : slots_(other.slots_),
+        index_(other.index_ ? std::make_unique<
+                                  std::unordered_map<Atom, std::uint32_t>>(
+                                  *other.index_)
+                            : nullptr),
+        shapes_(other.shapes_),
+        shape_(other.shape_) {}
+  PropertySlots& operator=(const PropertySlots& other) {
+    if (this != &other) {
+      PropertySlots copy(other);
+      *this = std::move(copy);
+    }
+    return *this;
+  }
+  PropertySlots(PropertySlots&&) = default;
+  PropertySlots& operator=(PropertySlots&&) = default;
 
   std::uint32_t index_of(Atom atom) const {
     if (index_) {
@@ -205,6 +233,11 @@ class PropertySlots {
     shape_ = root;
   }
 
+  // Retarget the tree pointer without touching the shape id. Only valid
+  // when `tree` is a node-for-node clone of the currently attached tree
+  // (Heap::clone_from), so every stored shape id stays meaningful.
+  void rebind_shapes(ShapeTree* tree) { shapes_ = tree; }
+
  private:
   static constexpr std::size_t kIndexThreshold = 12;
 
@@ -241,7 +274,10 @@ struct Callable {
 struct JsObject {
   PropertySlots properties;
   ObjectRef prototype;
-  std::unique_ptr<Callable> callable;  // set iff the object is a function
+  // Shared, immutable once created: a cloned heap's function objects point
+  // at the same Callable as the snapshot image (a refcount bump instead of
+  // a std::function deep copy per shim — there are ~3.3k per session).
+  std::shared_ptr<const Callable> callable;  // set iff the object is a function
   std::optional<WatchHandler> watch;   // Object.watch-style hook
   std::string class_name = "Object";   // e.g. "XMLHttpRequest" for instances
   // Host back-pointer for DOM wrapper objects (non-owning).
@@ -251,12 +287,31 @@ struct JsObject {
 class Heap {
  public:
   Heap();
+  ~Heap();
+  Heap(const Heap&) = delete;
+  Heap& operator=(const Heap&) = delete;
 
   ObjectRef make_object(ObjectRef prototype = ObjectRef(),
                         std::string class_name = "Object");
   ObjectRef make_function(NativeFn fn, std::string name);
   ObjectRef make_script_function(std::shared_ptr<const AstFunction> fn,
                                  Environment* closure);
+
+  // Become an object-for-object copy of `image`, preserving object indices,
+  // shape ids and atom contents bit-for-bit. Callables are shared (see
+  // JsObject::callable); watch handlers are deliberately NOT copied — they
+  // close over per-session state and are re-attached by the session layer.
+  // `image` is only read, so any number of threads may clone the same
+  // frozen image concurrently. The atom table keeps this heap's own
+  // process-unique id (fresh table identity => cached bytecode chunks
+  // recompile per clone, exactly as they do for a rebuilt session).
+  //
+  // `frozen_atoms`, when non-null, must hold the same contents as the
+  // image's atom table; it is adopted as a shared immutable prefix
+  // (AtomTable::adopt_base) instead of deep-copied — the snapshot fast
+  // path. Null falls back to a full atom copy.
+  void clone_from(const Heap& image,
+                  std::shared_ptr<const AtomTable> frozen_atoms = nullptr);
 
   JsObject& get(ObjectRef ref);
   const JsObject& get(ObjectRef ref) const;
@@ -297,8 +352,23 @@ class Heap {
   ShapeTree& shapes() noexcept { return shapes_; }
 
  private:
-  // deque-like stable storage: objects are never moved once created
-  std::vector<std::unique_ptr<JsObject>> objects_;
+  JsObject* allocate_object();
+  void* allocate_raw();
+  void destroy_objects();
+
+  // Slab storage: objects are placement-constructed into fixed-size raw
+  // byte slabs and never moved or freed individually, so JsObject* and
+  // ObjectRef indices are stable for the heap's lifetime. One slab covers
+  // a typical session's ~7k objects in two allocations instead of one
+  // `new` per object. Raw bytes (rather than JsObject[]) let clone_from
+  // copy-construct each clone object straight from the image instead of
+  // default-constructing a whole slab and assigning over it — this is
+  // what makes snapshot cloning cheap. Every constructed object is
+  // reachable through objects_, which is what destroy_objects() walks.
+  static constexpr std::size_t kSlabSize = 4096;
+  std::vector<std::unique_ptr<std::byte[]>> slabs_;
+  std::size_t slab_used_ = kSlabSize;  // full => first allocation opens a slab
+  std::vector<JsObject*> objects_;     // dense index; [0] reserved null
   AtomTable atoms_;
   ShapeTree shapes_;
 };

@@ -241,6 +241,7 @@ Value Vm::run(Interpreter& in, const Chunk& chunk, Environment* env) {
   VarIC* const var_ics = chunk.var_ics.data();
   PropIC* const prop_ics = chunk.prop_ics.data();
   WriteIC* const write_ics = chunk.write_ics.data();
+  CallIC* const call_ics = chunk.call_ics.data();
   const std::uint64_t env_serial = env->serial();
 
   // Registers live on the C++ stack for typical chunks; big chunks spill.
@@ -440,14 +441,30 @@ Value Vm::run(Interpreter& in, const Chunk& chunk, Environment* env) {
       VM_CASE(kMakeArray)
         r[I->a] = in.make_array(std::span<const Value>(r + I->b, I->imm));
         VM_NEXT();
-      VM_CASE(kCall)
-        r[I->a] = in.call_function(
-            r[I->b], Value(), std::span<const Value>(r + I->b + 1, I->imm));
+      VM_CASE(kCall) {
+        const Value& fn = r[I->b];
+        CallIC& ic = call_ics[I->imm];
+        const std::span<const Value> args(r + I->b + 1, I->c);
+        // Hit: same function object as last time => skip the value-type and
+        // is-callable checks and dispatch the cached Callable directly.
+        if (fn.is_object() && fn.as_object().index() == ic.callee) {
+          r[I->a] = in.invoke(*ic.target, Value(), args);
+        } else {
+          r[I->a] = in.call_resolved(fn, Value(), args, &ic);
+        }
         VM_NEXT();
-      VM_CASE(kCallMethod)
-        r[I->a] = in.call_function(
-            r[I->b], r[I->b + 1], std::span<const Value>(r + I->b + 2, I->imm));
+      }
+      VM_CASE(kCallMethod) {
+        const Value& fn = r[I->b];
+        CallIC& ic = call_ics[I->imm];
+        const std::span<const Value> args(r + I->b + 2, I->c);
+        if (fn.is_object() && fn.as_object().index() == ic.callee) {
+          r[I->a] = in.invoke(*ic.target, r[I->b + 1], args);
+        } else {
+          r[I->a] = in.call_resolved(fn, r[I->b + 1], args, &ic);
+        }
         VM_NEXT();
+      }
       VM_CASE(kNew)
         r[I->a] =
             in.construct(r[I->b], std::span<const Value>(r + I->b + 1, I->imm));

@@ -37,28 +37,28 @@ const char kDisasmGolden[] =
     "0005           define_var    r0    ; define o\n"
     "0006  fuel=3   load_const    r0, const[1]    ; 0\n"
     "0007           define_var    r0    ; define i\n"
-    "0008  fuel=2   get_var       r1, var_ic[0]    ; i\n"
-    "0009  fuel=1   load_const    r2, const[2]    ; 3\n"
-    "0010           lt            r0, r1, r2\n"
+    "0008  fuel=2   get_var       r0, var_ic[0]    ; i\n"
+    "0009  fuel=1   load_const    r1, const[2]    ; 3\n"
+    "0010           lt            r0, r0, r1\n"
     "0011           jump_if_false r0 -> 0024\n"
     "0012  fuel=5   get_var       r1, var_ic[1]    ; add\n"
-    "0013  fuel=2   get_var       r3, var_ic[2]    ; o\n"
-    "0014           get_prop      r2, r3, prop_ic[0]    ; .x\n"
+    "0013  fuel=2   get_var       r2, var_ic[2]    ; o\n"
+    "0014           get_prop      r2, r2, prop_ic[0]    ; .x\n"
     "0015  fuel=1   get_var       r3, var_ic[3]    ; i\n"
-    "0016           call          r0, fn=r1, argc=2\n"
+    "0016           call          r0, fn=r1, argc=2  ; call_ic[0]\n"
     "0017  fuel=1   get_var       r1, var_ic[4]    ; o\n"
     "0018           set_prop      r0, r1, write_ic[0]    ; .x\n"
-    "0019  fuel=3   get_var       r1, var_ic[5]    ; i\n"
-    "0020  fuel=1   load_const    r2, const[3]    ; 1\n"
-    "0021           add           r0, r1, r2\n"
+    "0019  fuel=3   get_var       r0, var_ic[5]    ; i\n"
+    "0020  fuel=1   load_const    r1, const[3]    ; 1\n"
+    "0021           add           r0, r0, r1\n"
     "0022           set_var       r0, var_ic[6]    ; i\n"
     "0023           jump          -> 0008\n"
     "0024           return_undef  \n"
     "\n"
-    "== add (regs=3, params=2)\n"
-    "0000  fuel=3   get_local     r1, local[0]\n"
-    "0001  fuel=1   get_local     r2, local[1]\n"
-    "0002           add           r0, r1, r2\n"
+    "== add (regs=2, params=2)\n"
+    "0000  fuel=3   get_local     r0, local[0]\n"
+    "0001  fuel=1   get_local     r1, local[1]\n"
+    "0002           add           r0, r0, r1\n"
     "0003           return        r0\n"
     "0004           return_undef  \n"
 ;
@@ -67,6 +67,85 @@ TEST(BytecodeDisasm, GoldenOutput) {
   AtomTable atoms;
   const Program program = parse_program(kDisasmSource, &atoms);
   EXPECT_EQ(disassemble_program(program, atoms), kDisasmGolden);
+}
+
+double global_number(Interpreter& interp, const char* name) {
+  const Value* v = interp.globals().lookup(name);
+  return v == nullptr ? -1 : v->to_number();
+}
+
+// -------------------------------------------------- register allocator ----
+
+TEST(RegisterAllocation, ChainedExpressionsReuseDeadTemporaries) {
+  // A 30-term accumulation compiles into two registers: each binary op
+  // computes into its own destination (the lhs temporary is the dst) and
+  // frees the rhs temporary immediately. Without dead-temporary reuse this
+  // chain needs 31 live registers and spills past the VM's 24-register
+  // inline frame; with it, deep real-world expression chains stay on the
+  // fast frame path.
+  AtomTable atoms;
+  const Program program = parse_program(
+      "var s = x1 + x2 + x3 + x4 + x5 + x6 + x7 + x8 + x9 + x10 +\n"
+      "        x11 + x12 + x13 + x14 + x15 + x16 + x17 + x18 + x19 + x20 +\n"
+      "        x21 + x22 + x23 + x24 + x25 + x26 + x27 + x28 + x29 + x30;\n",
+      &atoms);
+  const Chunk& chunk = chunk_for(program, atoms);
+  EXPECT_EQ(chunk.num_regs, 2u);
+
+  // Disasm-visible: the accumulator adds in place (dst == lhs register).
+  const std::string text = disassemble(chunk, atoms);
+  EXPECT_NE(text.find("add           r0, r0, r1"), std::string::npos) << text;
+}
+
+TEST(RegisterAllocation, MemberChainsComputeInPlace) {
+  AtomTable atoms;
+  const Program program =
+      parse_program("var v = o.a.b.c.d;\n", &atoms);
+  const Chunk& chunk = chunk_for(program, atoms);
+  // The base object loads into the destination register and every get_prop
+  // overwrites it: one register for the whole chain.
+  EXPECT_EQ(chunk.num_regs, 1u);
+  const std::string text = disassemble(chunk, atoms);
+  EXPECT_NE(text.find("get_prop      r0, r0"), std::string::npos) << text;
+}
+
+// ----------------------------------------------------- call-site caches ----
+
+TEST(CallSiteCaches, MonomorphicCallSiteCachesCallee) {
+  Interpreter interp;
+  const Program program = parse_program(
+      "function f() { return 1; }\n"
+      "var total = 0;\n"
+      "for (var i = 0; i < 5; i = i + 1) { total = total + f(); }\n");
+  interp.execute(program);
+  EXPECT_EQ(global_number(interp, "total"), 5);
+
+  // The loop's call site warmed its CallIC: the cached callee is the heap
+  // index of `f` and the resolved Callable is pinned for the hit path.
+  const Chunk& chunk = chunk_for(program, interp.heap().atoms());
+  ASSERT_FALSE(chunk.call_ics.empty());
+  bool warmed = false;
+  for (const CallIC& ic : chunk.call_ics) {
+    if (ic.callee != 0 && ic.target != nullptr) warmed = true;
+  }
+  EXPECT_TRUE(warmed);
+}
+
+TEST(CallSiteCaches, CalleeChangeRepathsAndStaysCorrect) {
+  // One call site, two alternating callees: every change of callee misses
+  // the monomorphic cache, repaths through the generic resolver, and
+  // re-caches — results must be exact throughout.
+  Interpreter interp;
+  const Program program = parse_program(
+      "function one() { return 1; }\n"
+      "function two() { return 2; }\n"
+      "function callit(f) { return f(); }\n"
+      "var total = 0;\n"
+      "for (var i = 0; i < 6; i = i + 1) {\n"
+      "  total = total + callit(i % 2 == 0 ? one : two);\n"
+      "}\n");
+  interp.execute(program);
+  EXPECT_EQ(global_number(interp, "total"), 9);  // 1+2+1+2+1+2
 }
 
 // ---------------------------------------------------------------- ICs ----
@@ -92,11 +171,6 @@ const PropIC& only_prop_ic(const Program& program, Interpreter& interp,
   collect_prop_ics(chunk_for(program, atoms), atoms, atom, ics);
   EXPECT_EQ(ics.size(), 1u);
   return *ics.front();
-}
-
-double global_number(Interpreter& interp, const char* name) {
-  const Value* v = interp.globals().lookup(name);
-  return v == nullptr ? -1 : v->to_number();
 }
 
 TEST(InlineCaches, SameLayoutObjectsShareOneEntry) {

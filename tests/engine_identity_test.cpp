@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "browser/session.h"
 #include "catalog/catalog.h"
 #include "crawler/serialize.h"
 #include "crawler/survey.h"
@@ -79,7 +80,31 @@ TEST(EngineIdentity, FingerprintStableAcrossThreadCounts) {
 
   const std::uint64_t one = survey_fingerprint(small_survey(web, 1));
   const std::uint64_t four = survey_fingerprint(small_survey(web, 4));
+  const std::uint64_t eight = survey_fingerprint(small_survey(web, 8));
   EXPECT_EQ(one, four);
+  EXPECT_EQ(one, eight);
+}
+
+TEST(EngineIdentity, FingerprintUnchangedBySessionSnapshots) {
+  // Sessions cloned from a frozen heap snapshot must be observably
+  // indistinguishable from rebuilt ones: same atom ids, same shape numbers,
+  // same interpreter step counts (visible through Date.now), same recorded
+  // bits. Both paths must land exactly on the golden fingerprint.
+  catalog::Catalog catalog;
+  net::SyntheticWeb::Config config;
+  config.site_count = 24;
+  const net::SyntheticWeb web(catalog, config);
+
+  browser::set_session_snapshots_enabled(false);
+  const std::uint64_t rebuilt = survey_fingerprint(small_survey(web, 2));
+  browser::set_session_snapshots_enabled(true);
+  const std::uint64_t cloned = survey_fingerprint(small_survey(web, 2));
+
+  EXPECT_EQ(rebuilt, kGoldenFingerprint)
+      << "rebuild path diverged; actual fingerprint 0x" << std::hex << rebuilt;
+  EXPECT_EQ(cloned, kGoldenFingerprint)
+      << "snapshot-clone path diverged; actual fingerprint 0x" << std::hex
+      << cloned;
 }
 
 TEST(EngineIdentity, FingerprintUnchangedByProfiling) {

@@ -269,6 +269,27 @@ TEST(Folded, StandardsBreakdownChargesDeepestShim) {
   EXPECT_NE(csv.find("CSS,6,60.000"), std::string::npos) << csv;
 }
 
+TEST(Folded, StandardsBreakdownSeparatesSessionSetupFromEngine) {
+  FoldedProfile profile;
+  profile.add("w;site-visit;session-clone", 4);
+  profile.add("w;session-snapshot-build", 2);
+  profile.add("w;site-visit", 3);  // engine time outside setup stages
+  // A shim frame above a setup stage still wins: real standard work.
+  profile.add("w;site-visit;session-clone;std:DOM/a", 1);
+
+  const std::vector<StandardShare> shares = standards_breakdown(profile);
+  ASSERT_EQ(shares.size(), 3u);
+  EXPECT_EQ(shares[0].standard, "(session-setup)");
+  EXPECT_EQ(shares[0].samples, 6u);
+  EXPECT_EQ(shares[1].standard, "(engine)");
+  EXPECT_EQ(shares[1].samples, 3u);
+  EXPECT_EQ(shares[2].standard, "DOM");
+  EXPECT_EQ(shares[2].samples, 1u);
+
+  const std::string csv = standards_csv(profile);
+  EXPECT_NE(csv.find("(session-setup),6,60.000"), std::string::npos) << csv;
+}
+
 TEST(Folded, SummaryAndJsonAgree) {
   FoldedProfile profile;
   profile.add("w0;visit;execute;fn:tick", 4);

@@ -1,0 +1,187 @@
+// Heap-snapshot and session-clone isolation tests. The snapshot subsystem
+// freezes one fully-built session image per catalog and instantiates later
+// sessions by cloning it (script/snapshot.h, browser/session.cpp). These
+// tests pin the two properties that make that safe:
+//   - isolation: writes in one clone never reach the frozen image or any
+//     other clone (including clones created concurrently on worker threads,
+//     which is what the TSan CI job exercises here), and
+//   - equivalence: a cloned session is observably identical to a session
+//     rebuilt from scratch, down to interpreter step counts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "browser/session.h"
+#include "catalog/catalog.h"
+#include "net/web.h"
+#include "script/interp.h"
+#include "script/parser.h"
+#include "script/snapshot.h"
+
+namespace fu {
+namespace {
+
+using script::Heap;
+using script::HeapSnapshot;
+using script::Interpreter;
+using script::ObjectRef;
+using script::Value;
+
+// ------------------------------------------------- script-layer clones ----
+
+TEST(HeapSnapshot, CloneReproducesImage) {
+  Interpreter source;
+  Heap& heap = source.heap();
+  const ObjectRef gadget = heap.make_object(ObjectRef(), "Gadget");
+  heap.define_property(gadget, "answer", Value(42.0));
+  source.globals().define("gadget", Value(gadget));
+
+  const HeapSnapshot snapshot(source);
+  Interpreter clone(&snapshot, /*rng_seed=*/7);
+
+  const Value* bound = clone.globals().lookup("gadget");
+  ASSERT_NE(bound, nullptr);
+  ASSERT_TRUE(bound->is_object());
+  // Cloning preserves heap indices bit-for-bit, so ObjectRefs captured
+  // before the freeze resolve unchanged in every clone.
+  EXPECT_EQ(bound->as_object().index(), gadget.index());
+  EXPECT_EQ(
+      clone.heap().get_property(bound->as_object(), "answer").to_number(),
+      42.0);
+}
+
+TEST(HeapSnapshot, CloneWritesNeverLeakIntoImageOrLaterClones) {
+  Interpreter source;
+  Heap& heap = source.heap();
+  const ObjectRef gadget = heap.make_object(ObjectRef(), "Gadget");
+  heap.define_property(gadget, "answer", Value(42.0));
+  source.globals().define("gadget", Value(gadget));
+
+  const HeapSnapshot snapshot(source);
+  const std::size_t image_objects = snapshot.object_count();
+
+  {
+    Interpreter first(&snapshot, 1);
+    const script::Program program = script::parse_program(
+        "gadget.answer = 13;\n"
+        "gadget.extra = true;\n"
+        "var mine = { fresh: 1 };\n");
+    first.execute(program);
+    // The writer sees its own mutations...
+    EXPECT_EQ(first.heap().get_property(gadget, "answer").to_number(), 13.0);
+  }
+
+  // ...but the image is untouched and a later clone starts pristine.
+  EXPECT_EQ(snapshot.object_count(), image_objects);
+  Interpreter second(&snapshot, 2);
+  EXPECT_EQ(second.heap().get_property(gadget, "answer").to_number(), 42.0);
+  EXPECT_TRUE(second.heap().get_property(gadget, "extra").is_undefined());
+  EXPECT_EQ(second.globals().lookup("mine"), nullptr);
+}
+
+TEST(HeapSnapshot, CaptureRejectsScriptFunctionsOnHeap) {
+  // A script function's closure points into its source interpreter's
+  // environment chain; sharing it across sessions would dangle. Capture is
+  // only legal on a pre-script session image, and the constructor enforces
+  // that instead of silently producing an unsafe snapshot.
+  Interpreter source;
+  const script::Program program =
+      script::parse_program("function f() { return 1; }\n");
+  source.execute(program);
+  EXPECT_THROW(HeapSnapshot{source}, std::logic_error);
+}
+
+// ----------------------------------------------- browser-layer sessions ----
+
+// Run the same deterministic visit in any session: home page, one monkey
+// event, timers.
+std::uint64_t visit_home(browser::BrowserSession& session,
+                         const net::SyntheticWeb& web, std::size_t site) {
+  session.load_page(web.home_url(web.sites()[site]));
+  session.fire_event("click");
+  session.run_timers();
+  return session.usage().total_invocations();
+}
+
+TEST(SessionSnapshot, CloneMatchesRebuiltSessionExactly) {
+  catalog::Catalog catalog;
+  net::SyntheticWeb::Config config;
+  config.site_count = 6;
+  const net::SyntheticWeb web(catalog, config);
+  const browser::BrowserConfig browser_config;
+
+  // Reference: a session rebuilt from scratch, snapshots disabled.
+  browser::set_session_snapshots_enabled(false);
+  browser::BrowserSession rebuilt(web, browser_config, /*seed=*/99);
+  EXPECT_FALSE(rebuilt.cloned_from_snapshot());
+  visit_home(rebuilt, web, 0);
+
+  browser::set_session_snapshots_enabled(true);
+  // Dirty one clone on a different site first: its writes must not taint
+  // the shared image the next clone is cut from.
+  browser::BrowserSession dirty(web, browser_config, /*seed=*/1234);
+  visit_home(dirty, web, 1);
+
+  browser::BrowserSession clone(web, browser_config, /*seed=*/99);
+  EXPECT_TRUE(clone.cloned_from_snapshot());
+  visit_home(clone, web, 0);
+
+  EXPECT_EQ(clone.extension().methods_shimmed(),
+            rebuilt.extension().methods_shimmed());
+  EXPECT_EQ(clone.extension().properties_watched(),
+            rebuilt.extension().properties_watched());
+  EXPECT_EQ(clone.usage().total_invocations(),
+            rebuilt.usage().total_invocations());
+  for (std::size_t fid = 0; fid < clone.usage().feature_count(); ++fid) {
+    ASSERT_EQ(clone.usage().count(static_cast<catalog::FeatureId>(fid)),
+              rebuilt.usage().count(static_cast<catalog::FeatureId>(fid)))
+        << "feature " << fid << " diverged between clone and rebuild";
+  }
+  // Step counts are observable through Date.now: the strictest equivalence
+  // signal short of the full survey fingerprint.
+  EXPECT_EQ(clone.interpreter().steps_executed(),
+            rebuilt.interpreter().steps_executed());
+}
+
+TEST(SessionSnapshot, ConcurrentWorkerCloneSessionsAreIsolated) {
+  // Survey workers construct sessions concurrently; every one of them
+  // clones the same frozen image. The image is read-only after publication,
+  // so concurrent construction must be race-free (TSan checks that in CI)
+  // and every thread must measure exactly the single-threaded totals.
+  catalog::Catalog catalog;
+  net::SyntheticWeb::Config config;
+  config.site_count = 4;
+  const net::SyntheticWeb web(catalog, config);
+  const browser::BrowserConfig browser_config;
+  browser::set_session_snapshots_enabled(true);
+
+  std::vector<std::uint64_t> expected;
+  for (std::size_t site = 0; site < web.sites().size(); ++site) {
+    browser::BrowserSession session(web, browser_config, /*seed=*/7);
+    expected.push_back(visit_home(session, web, site));
+  }
+
+  constexpr int kThreads = 8;
+  std::vector<std::vector<std::uint64_t>> measured(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::size_t site = 0; site < web.sites().size(); ++site) {
+        browser::BrowserSession session(web, browser_config, /*seed=*/7);
+        measured[t].push_back(visit_home(session, web, site));
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(measured[t], expected) << "thread " << t << " diverged";
+  }
+}
+
+}  // namespace
+}  // namespace fu
