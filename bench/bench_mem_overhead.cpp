@@ -1,0 +1,151 @@
+// bench_mem_overhead — what does always-on domain accounting cost?
+//
+// Three answers, mirroring bench_prof_overhead:
+//
+//   1. The accounting pair itself: mem::add() + mem::sub() with no profiler
+//      live must cost about one relaxed fetch_add each (the high-water CAS
+//      only fires on a fresh peak, and the profiling branch is a relaxed
+//      load). This bench *asserts* the bound (generously, 150 ns per
+//      add+sub pair) so a regression that sneaks a lock, a sample, or a
+//      seq_cst fence onto the disabled path fails the bench job, not a
+//      production crawl later.
+//   2. The same pair with a MemProfiler live at the default period, in
+//      ns/pair — the price of byte attribution while profiling.
+//   3. The real question: wall-clock of a survey with accounting alone
+//      (always on) vs under the allocation profiler, with a check that both
+//      runs measure identical invocation counts (the bit-identity claim,
+//      cross-checked on exact bytes by engine_identity_test).
+//
+// Scale the survey with FU_SITES (default 100) and FU_PASSES (default 2).
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "obs/mem.h"
+
+namespace {
+
+using namespace fu;
+
+// Keep the optimizer from deleting the measured loops.
+volatile std::uint64_t g_sink = 0;
+
+double baseline_ns(std::size_t iters) {
+  const bench::Timer timer;
+  for (std::size_t i = 0; i < iters; ++i) {
+    g_sink = g_sink + 1;
+  }
+  return timer.seconds() * 1e9 / static_cast<double>(iters);
+}
+
+double add_sub_ns(std::size_t iters) {
+  // Warm the high-water mark first so the measured loop never takes the
+  // CAS — this is the steady-state cost the bound is about.
+  obs::mem::add(obs::mem::Domain::kSched, 64);
+  const bench::Timer timer;
+  for (std::size_t i = 0; i < iters; ++i) {
+    obs::mem::add(obs::mem::Domain::kSched, 64);
+    obs::mem::sub(obs::mem::Domain::kSched, 64);
+    g_sink = g_sink + 1;
+  }
+  const double ns = timer.seconds() * 1e9 / static_cast<double>(iters);
+  obs::mem::sub(obs::mem::Domain::kSched, 64);
+  return ns;
+}
+
+double profiled_add_sub_ns(std::size_t iters) {
+  obs::mem::MemProfiler profiler;  // default period
+  profiler.start();
+  const double ns = add_sub_ns(iters);
+  profiler.stop();
+  return ns;
+}
+
+double time_survey(const net::SyntheticWeb& web,
+                   const crawler::SurveyOptions& options,
+                   std::uint64_t& invocations) {
+  const bench::Timer timer;
+  const crawler::SurveyResults results = crawler::run_survey(web, options);
+  invocations = results.total_invocations();
+  return timer.seconds();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== memory-accounting overhead ===\n\n");
+
+  constexpr std::size_t kIters = 2'000'000;
+  const double base = baseline_ns(kIters);
+  const double plain = add_sub_ns(kIters);
+  const double profiled = profiled_add_sub_ns(1'000'000);
+  std::printf("-- hot-path microcosts (ns/add+sub pair, %zuk iters) --\n",
+              kIters / 1000);
+  std::printf("  %-28s %8.2f\n", "baseline (sink store)", base);
+  std::printf("  %-28s %8.2f\n", "add+sub, profiler off", plain);
+  std::printf("  %-28s %8.2f\n", "add+sub, profiler on", profiled);
+
+  // The contract this bench exists to enforce: accounting with no profiler
+  // live is within noise of two relaxed atomic RMWs.
+  const double pair_cost = plain - base;
+  if (pair_cost > 150.0) {
+    std::fprintf(stderr,
+                 "FAIL: accounting add+sub pair costs %.1f ns over baseline "
+                 "(budget 150 ns) — something heavy crept onto the "
+                 "always-on path\n",
+                 pair_cost);
+    return 1;
+  }
+  std::printf("  add+sub overhead %.2f ns: within budget (150 ns)\n\n",
+              pair_cost);
+
+  // Whole-survey cost: accounting alone vs the allocation profiler at the
+  // default sample period.
+  ReproductionConfig config = ReproductionConfig::from_env();
+  if (std::getenv("FU_SITES") == nullptr) config.sites = 100;
+  if (std::getenv("FU_PASSES") == nullptr) config.passes = 2;
+  Reproduction repro(config);
+  const net::SyntheticWeb& web = repro.web();
+
+  crawler::SurveyOptions options;
+  options.passes = config.passes;
+  options.seed = config.seed;
+  options.include_ad_only = false;
+  options.include_tracking_only = false;
+  options.threads = 4;
+
+  std::printf("-- %d-site survey, %d passes, 4 threads --\n", config.sites,
+              config.passes);
+  std::uint64_t plain_inv = 0, profiled_inv = 0;
+  const double plain_s = time_survey(web, options, plain_inv);
+
+  obs::mem::MemProfiler profiler;
+  profiler.start();
+  const double profiled_s = time_survey(web, options, profiled_inv);
+  const obs::FoldedProfile profile = profiler.stop();
+
+  std::printf("  %-28s %8.2f s\n", "accounting only", plain_s);
+  std::printf("  %-28s %8.2f s  (%s sampled, %+.1f%%)\n", "mem profiler on",
+              profiled_s, obs::mem::format_bytes(
+                              static_cast<std::int64_t>(profile.total()))
+                              .c_str(),
+              (profiled_s / plain_s - 1.0) * 100.0);
+  if (plain_inv != profiled_inv) {
+    std::fprintf(stderr,
+                 "FAIL: allocation profiling changed the survey "
+                 "(invocations %llu vs %llu)\n",
+                 static_cast<unsigned long long>(plain_inv),
+                 static_cast<unsigned long long>(profiled_inv));
+    return 1;
+  }
+  std::printf("  results identical with the profiler on\n");
+
+  std::printf("\n-- per-domain peaks after the profiled survey --\n");
+  for (std::size_t d = 0; d < obs::mem::kDomainCount; ++d) {
+    const auto domain = static_cast<obs::mem::Domain>(d);
+    std::printf("  %-16s %12s\n", obs::mem::domain_name(domain),
+                obs::mem::format_bytes(obs::mem::high_water_bytes(domain))
+                    .c_str());
+  }
+  return 0;
+}

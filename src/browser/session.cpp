@@ -148,6 +148,17 @@ BrowserSession::BrowserSession(const net::SyntheticWeb& web,
   extension_.inject(interp_, bindings_);
 }
 
+BrowserSession::~BrowserSession() {
+  // Final heap size of a finished session: `value` tracks the most recent
+  // teardown, `max` the largest session this process ever built.
+  static obs::Gauge& heap_bytes =
+      obs::Registry::global().gauge("script.heap_bytes");
+  const auto bytes =
+      static_cast<std::int64_t>(interp_.heap().bytes_used());
+  heap_bytes.set(bytes);
+  heap_bytes.record_max(bytes);
+}
+
 bool BrowserSession::blocked(const net::Url& url,
                              blocker::ResourceType type) {
   if (!config_.ad_blocker && !config_.tracking_blocker) return false;

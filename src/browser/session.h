@@ -92,6 +92,7 @@ class BrowserSession {
  public:
   BrowserSession(const net::SyntheticWeb& web, BrowserConfig config,
                  std::uint64_t seed);
+  ~BrowserSession();
 
   BrowserSession(const BrowserSession&) = delete;
   BrowserSession& operator=(const BrowserSession&) = delete;

@@ -62,6 +62,9 @@ ReproductionConfig ReproductionConfig::from_env() {
   env_path("FU_METRICS_OUT", config.metrics_out);
   config.profile_hz = env_double("FU_PROFILE_HZ", config.profile_hz);
   env_path("FU_PROFILE_OUT", config.profile_out);
+  env_path("FU_MEMPROFILE_OUT", config.memprofile_out);
+  config.memprofile_rate =
+      static_cast<int>(env_long("FU_MEMPROFILE_RATE", config.memprofile_rate));
   config.serve_port =
       static_cast<int>(env_long("FU_SERVE_PORT", config.serve_port));
   config.stall_secs = env_double("FU_STALL_SECS", config.stall_secs);

@@ -83,11 +83,20 @@ struct ReproductionConfig {
   double profile_hz = 0;
   std::string profile_out;
 
+  // Allocation profiling (off by default; runs iff `memprofile_out` is
+  // set). The survey executes under an obs::mem::MemProfiler sampling every
+  // `memprofile_rate`th tracked allocation (<= 0 means the default period);
+  // the folded BYTES profile lands in `memprofile_out` with the flamegraph
+  // as <out>.html, per-standard bytes as <out>.standards.csv and the
+  // domain peak report as <out>.domains.json.
+  std::string memprofile_out;
+  int memprofile_rate = 0;
+
   // Read overrides from the environment: FU_SITES, FU_PASSES, FU_SEED,
   // FU_THREADS, FU_FIG7 (0/1), FU_RETRIES, FU_CHECKPOINT_DIR,
   // FU_CHECKPOINT_SECS, FU_TRACE_OUT, FU_TRACE_JSONL, FU_TRACE_SAMPLE,
   // FU_METRICS_OUT, FU_SERVE_PORT, FU_STALL_SECS, FU_PROFILE_HZ,
-  // FU_PROFILE_OUT.
+  // FU_PROFILE_OUT, FU_MEMPROFILE_OUT, FU_MEMPROFILE_RATE.
   static ReproductionConfig from_env();
 };
 

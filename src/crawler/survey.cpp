@@ -6,6 +6,7 @@
 
 #include "blocker/extensions.h"
 #include "crawler/serialize.h"
+#include "obs/mem.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/server.h"
@@ -102,6 +103,9 @@ class SurveyObserver : public sched::Observer {
 
 SurveyResults run_survey(const net::SyntheticWeb& web,
                          const SurveyOptions& options) {
+  // Seed the mem.* gauges before the crawl so even a serverless run's
+  // --metrics-out shows them; the live server re-publishes every tick.
+  obs::mem::publish_metrics();
   const auto ad_blocker = blocker::make_ad_blocker(web);
   const auto tracking_blocker = blocker::make_tracking_blocker(web);
 
@@ -371,6 +375,7 @@ SurveyResults run_survey(const net::SyntheticWeb& web,
 
   if (writer) writer->flush();
   server.reset();  // drain: answer in-flight requests, then stop
+  obs::mem::publish_metrics();  // final domain/RSS numbers for --metrics-out
   return results;
 }
 

@@ -8,6 +8,7 @@
 
 #include "catalog/names.h"
 #include "net/scriptgen.h"
+#include "obs/mem.h"
 #include "support/rng.h"
 #include "support/strings.h"
 
@@ -65,6 +66,10 @@ SyntheticWeb::SyntheticWeb(const catalog::Catalog& catalog, Config config)
   build_sites();
 }
 
+SyntheticWeb::~SyntheticWeb() {
+  obs::mem::sub(obs::mem::Domain::kNetCorpus, tracked_bytes_);
+}
+
 void SyntheticWeb::build_third_party_pools() {
   constexpr std::array<const char*, 7> kAdBrands = {
       "adserve", "bannerhub", "clickgrid", "popreach", "displaycast",
@@ -107,6 +112,20 @@ void SyntheticWeb::build_sites() {
     by_domain_[plan.domain] = sites_.size();
     sites_.push_back(std::move(plan));
   }
+  // Account the eagerly materialized corpus once it is fully built: the
+  // plans themselves plus their string and placement storage (estimated —
+  // no per-allocation hook exists inside std containers, nor needs to).
+  std::size_t bytes = sites_.capacity() * sizeof(SitePlan);
+  for (const SitePlan& site : sites_) {
+    bytes += site.domain.capacity();
+    bytes += site.placements.capacity() * sizeof(StandardPlacement);
+    for (const StandardPlacement& placement : site.placements) {
+      bytes += placement.features.capacity() * sizeof(catalog::FeatureId);
+      bytes += placement.third_party_host.capacity();
+    }
+  }
+  tracked_bytes_ = bytes;
+  obs::mem::add(obs::mem::Domain::kNetCorpus, tracked_bytes_);
 }
 
 SitePlan SyntheticWeb::plan_site(int rank) {

@@ -108,6 +108,7 @@ class SyntheticWeb {
   };
 
   SyntheticWeb(const catalog::Catalog& catalog, Config config);
+  ~SyntheticWeb();
 
   const Config& config() const noexcept { return config_; }
   const catalog::Catalog& feature_catalog() const noexcept { return *catalog_; }
@@ -157,6 +158,9 @@ class SyntheticWeb {
   std::vector<std::string> tracker_hosts_;
   std::vector<std::string> dual_hosts_;
   std::map<std::string, bool, std::less<>> third_party_hosts_;  // host -> any
+  // Estimated site-plan bytes reported to mem::Domain::kNetCorpus — the
+  // number the 1M-site streaming refactor exists to shrink.
+  std::size_t tracked_bytes_ = 0;
 };
 
 // Standard-vs-site-popularity tilt for Figure 5: positive values make the

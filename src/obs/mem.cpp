@@ -1,0 +1,610 @@
+#include "obs/mem.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace fu::obs::mem {
+
+namespace internal {
+
+std::array<DomainCell, kDomainCount> g_domains;
+std::atomic<bool> g_profiling{false};
+
+}  // namespace internal
+
+namespace {
+
+// Process-lifetime RSS peak, fed by every publish_metrics() sample.
+std::atomic<std::int64_t> g_rss_peak{0};
+
+// The live allocation profiler and its stop() drain barrier: a recorder
+// increments g_inflight before loading g_profiler, so once stop() clears
+// the pointer and sees g_inflight reach zero, no thread can still be
+// inside record() — later loaders observe nullptr.
+std::atomic<MemProfiler*> g_profiler{nullptr};
+std::atomic<std::uint32_t> g_inflight{0};
+
+constexpr const char* kDomainNames[kDomainCount] = {
+    "script-heap", "atoms", "snapshot", "shards",
+    "sched",       "trace", "net-corpus",
+};
+
+// Gauge suffix: domain name with '-' flattened to '_' ("mem.script_heap_bytes").
+std::string gauge_name(std::size_t index) {
+  std::string name = "mem.";
+  for (const char* p = kDomainNames[index]; *p != '\0'; ++p) {
+    name += (*p == '-') ? '_' : *p;
+  }
+  name += "_bytes";
+  return name;
+}
+
+}  // namespace
+
+const char* domain_name(Domain domain) noexcept {
+  const auto index = static_cast<std::size_t>(domain);
+  return index < kDomainCount ? kDomainNames[index] : "unknown";
+}
+
+std::int64_t current_bytes(Domain domain) noexcept {
+  return internal::g_domains[static_cast<std::size_t>(domain)].current.load(
+      std::memory_order_relaxed);
+}
+
+std::int64_t high_water_bytes(Domain domain) noexcept {
+  const auto& cell = internal::g_domains[static_cast<std::size_t>(domain)];
+  // High water can lag a concurrent add between the two loads; never report
+  // it below current.
+  return std::max(cell.high_water.load(std::memory_order_relaxed),
+                  cell.current.load(std::memory_order_relaxed));
+}
+
+void reset_high_water() noexcept {
+  for (auto& cell : internal::g_domains) {
+    cell.high_water.store(cell.current.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+  const std::int64_t rss = self_rss_bytes();
+  g_rss_peak.store(rss > 0 ? rss : 0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------- RSS ----
+
+std::int64_t self_rss_bytes() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm == nullptr) return -1;
+  long long total_pages = 0;
+  long long resident_pages = 0;
+  const int fields = std::fscanf(statm, "%lld %lld", &total_pages,
+                                 &resident_pages);
+  std::fclose(statm);
+  if (fields != 2) return -1;
+  const long page = sysconf(_SC_PAGESIZE);
+  return static_cast<std::int64_t>(resident_pages) *
+         static_cast<std::int64_t>(page > 0 ? page : 4096);
+#else
+  return -1;
+#endif
+}
+
+std::int64_t rss_peak_bytes() noexcept {
+  return g_rss_peak.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+// Sample RSS and fold it into the peak, returning the sample — callers that
+// report both values must use one sample for both, or a growth between two
+// samples makes rss_bytes exceed rss_peak_bytes.
+std::int64_t sample_rss() noexcept {
+  const std::int64_t rss = self_rss_bytes();
+  if (rss < 0) return rss;
+  std::int64_t peak = g_rss_peak.load(std::memory_order_relaxed);
+  while (rss > peak && !g_rss_peak.compare_exchange_weak(
+                           peak, rss, std::memory_order_relaxed)) {
+  }
+  return rss;
+}
+
+}  // namespace
+
+void publish_metrics() {
+  struct Gauges {
+    Gauge& rss;
+    std::array<Gauge*, kDomainCount> domains;
+  };
+  static Gauges gauges = [] {
+    Gauges g{Registry::global().gauge("mem.rss_bytes"), {}};
+    for (std::size_t i = 0; i < kDomainCount; ++i) {
+      g.domains[i] = &Registry::global().gauge(gauge_name(i));
+    }
+    return g;
+  }();
+  for (std::size_t i = 0; i < kDomainCount; ++i) {
+    const auto domain = static_cast<Domain>(i);
+    gauges.domains[i]->set(current_bytes(domain));
+    gauges.domains[i]->record_max(high_water_bytes(domain));
+  }
+  const std::int64_t rss = sample_rss();
+  if (rss < 0) return;
+  gauges.rss.set(rss);
+  gauges.rss.record_max(rss_peak_bytes());
+}
+
+std::string domains_json() {
+  std::string out = "{";
+  for (std::size_t i = 0; i < kDomainCount; ++i) {
+    const auto domain = static_cast<Domain>(i);
+    if (i != 0) out += ", ";
+    out += json_quote(kDomainNames[i]);
+    out += ": {\"current\": " + std::to_string(current_bytes(domain));
+    out += ", \"high_water\": " + std::to_string(high_water_bytes(domain));
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+std::string memz_json() {
+  publish_metrics();
+  const std::int64_t rss = sample_rss();
+  std::string out = "{\"domains\": " + domains_json();
+  out += ", \"rss_bytes\": " + std::to_string(rss);
+  out += ", \"rss_peak_bytes\": " + std::to_string(rss_peak_bytes());
+  out += "}\n";
+  return out;
+}
+
+// ------------------------------------------- sampling allocation profiler
+
+namespace internal {
+
+void profile_allocation(Domain domain, std::size_t bytes) noexcept {
+  g_inflight.fetch_add(1, std::memory_order_acquire);
+  MemProfiler* profiler = g_profiler.load(std::memory_order_acquire);
+  if (profiler != nullptr) profiler->record(domain, bytes);
+  g_inflight.fetch_sub(1, std::memory_order_release);
+}
+
+}  // namespace internal
+
+namespace {
+
+struct AllocKey {
+  std::uint32_t thread_label = 0;
+  std::uint32_t thread_index = 0;
+  Domain domain = Domain::kScriptHeap;
+  std::vector<std::uint64_t> frames;
+
+  bool operator==(const AllocKey& other) const {
+    return thread_label == other.thread_label &&
+           thread_index == other.thread_index && domain == other.domain &&
+           frames == other.frames;
+  }
+};
+
+struct AllocKeyHash {
+  std::size_t operator()(const AllocKey& key) const noexcept {
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    };
+    mix(key.thread_label);
+    mix(key.thread_index);
+    mix(static_cast<std::uint64_t>(key.domain));
+    for (std::uint64_t frame : key.frames) mix(frame);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+struct MemProfiler::Agg {
+  std::mutex mutex;
+  std::unordered_map<AllocKey, std::uint64_t, AllocKeyHash> bytes;
+};
+
+MemProfiler::MemProfiler(std::uint64_t sample_period)
+    : period_(sample_period < 1 ? 1 : sample_period),
+      countdown_(period_),
+      agg_(new Agg) {}
+
+MemProfiler::~MemProfiler() {
+  if (started_ && !stopped_) stop();
+}
+
+void MemProfiler::start() {
+  if (started_) throw std::logic_error("MemProfiler::start() called twice");
+  MemProfiler* expected = nullptr;
+  if (!g_profiler.compare_exchange_strong(expected, this)) {
+    throw std::logic_error("another MemProfiler is already live");
+  }
+  started_ = true;
+  countdown_.store(period_, std::memory_order_relaxed);
+  // Frames first, then the profiling flag: once a recorder can fire, the
+  // stacks it captures are being maintained.
+  prof::internal::enable_frames();
+  internal::g_profiling.store(true, std::memory_order_release);
+}
+
+bool MemProfiler::active() const noexcept {
+  return g_profiler.load(std::memory_order_relaxed) == this;
+}
+
+void MemProfiler::record(Domain domain, std::size_t bytes) noexcept {
+  // Shared countdown: the Nth tracked allocation process-wide takes a
+  // sample of its own thread's stack, weighted to estimate all N.
+  if (countdown_.fetch_sub(1, std::memory_order_relaxed) != 1) return;
+  countdown_.store(period_, std::memory_order_relaxed);
+  sample_count_.fetch_add(1, std::memory_order_relaxed);
+
+  prof::internal::RawStack raw;
+  prof::internal::capture_own_stack(raw);
+  AllocKey key;
+  key.thread_label = raw.thread_label;
+  key.thread_index = raw.thread_index;
+  key.domain = domain;
+  key.frames.assign(raw.frames.begin(), raw.frames.begin() + raw.depth);
+  const std::uint64_t estimated = static_cast<std::uint64_t>(bytes) * period_;
+  std::lock_guard<std::mutex> lock(agg_->mutex);
+  agg_->bytes[key] += estimated;
+}
+
+FoldedProfile MemProfiler::stop() {
+  if (!started_) throw std::logic_error("MemProfiler::stop() before start()");
+  if (stopped_) return result_;
+  internal::g_profiling.store(false, std::memory_order_relaxed);
+  g_profiler.store(nullptr, std::memory_order_release);
+  // Drain recorders that loaded the profiler pointer before it cleared.
+  while (g_inflight.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  prof::internal::disable_frames();
+  stopped_ = true;
+
+  std::vector<std::string> labels = prof::internal::label_table_copy();
+  auto features = prof::internal::feature_table();
+  std::lock_guard<std::mutex> lock(agg_->mutex);
+  for (const auto& [key, estimated] : agg_->bytes) {
+    std::string stack = prof::internal::resolve_stack_text(
+        labels, features ? features.get() : nullptr, key.thread_label,
+        key.thread_index, key.frames.data(),
+        static_cast<std::uint32_t>(key.frames.size()));
+    stack += ";mem:";
+    stack += domain_name(key.domain);
+    result_.add(stack, estimated);
+  }
+  return result_;
+}
+
+std::uint64_t MemProfiler::samples() const noexcept {
+  return sample_count_.load(std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------- mem summaries ---
+
+std::string format_bytes(std::int64_t bytes) {
+  const bool negative = bytes < 0;
+  const double magnitude = negative ? -static_cast<double>(bytes)
+                                    : static_cast<double>(bytes);
+  const char* unit = "B";
+  double scaled = magnitude;
+  if (magnitude >= 1024.0 * 1024.0 * 1024.0) {
+    unit = "GiB";
+    scaled = magnitude / (1024.0 * 1024.0 * 1024.0);
+  } else if (magnitude >= 1024.0 * 1024.0) {
+    unit = "MiB";
+    scaled = magnitude / (1024.0 * 1024.0);
+  } else if (magnitude >= 1024.0) {
+    unit = "KiB";
+    scaled = magnitude / 1024.0;
+  }
+  char buffer[64];
+  if (unit[0] == 'B') {
+    std::snprintf(buffer, sizeof(buffer), "%s%lld B", negative ? "-" : "",
+                  static_cast<long long>(magnitude));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%s%.1f %s", negative ? "-" : "",
+                  scaled, unit);
+  }
+  return buffer;
+}
+
+namespace {
+
+std::vector<std::string_view> split_frames(std::string_view stack) {
+  std::vector<std::string_view> frames;
+  std::size_t begin = 0;
+  while (begin <= stack.size()) {
+    std::size_t end = stack.find(';', begin);
+    if (end == std::string_view::npos) end = stack.size();
+    frames.push_back(stack.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return frames;
+}
+
+bool is_mem_frame(std::string_view frame) {
+  return frame.size() > 4 && frame.substr(0, 4) == "mem:";
+}
+
+struct Share {
+  std::string name;
+  std::uint64_t bytes = 0;
+};
+
+std::vector<Share> sorted_shares(const std::map<std::string, std::uint64_t>& m,
+                                 std::size_t top) {
+  std::vector<Share> shares;
+  shares.reserve(m.size());
+  for (const auto& [name, bytes] : m) shares.push_back({name, bytes});
+  std::sort(shares.begin(), shares.end(), [](const Share& a, const Share& b) {
+    if (a.bytes != b.bytes) return a.bytes > b.bytes;
+    return a.name < b.name;
+  });
+  if (shares.size() > top) shares.resize(top);
+  return shares;
+}
+
+void render_share_section(std::string& out, const char* title,
+                          const std::map<std::string, std::uint64_t>& m,
+                          std::uint64_t total, std::size_t top) {
+  out += title;
+  out += "\n";
+  for (const Share& share : sorted_shares(m, top)) {
+    const double pct = total > 0 ? 100.0 * share.bytes / total : 0.0;
+    char line[256];
+    std::snprintf(line, sizeof(line), "  %-44s %12s %6.1f%%\n",
+                  share.name.c_str(), format_bytes(share.bytes).c_str(), pct);
+    out += line;
+  }
+}
+
+}  // namespace
+
+std::string render_mem_summary(const FoldedProfile& profile, std::size_t top) {
+  const std::uint64_t total = profile.total();
+  std::map<std::string, std::uint64_t> by_domain;
+  std::map<std::string, std::uint64_t> by_stage;
+  std::map<std::string, std::uint64_t> by_self;
+  for (const auto& [stack, bytes] : profile.stacks) {
+    const auto frames = split_frames(stack);
+    std::string domain = "(untracked)";
+    std::string stage = "(no stage)";
+    std::string self = frames.empty() ? std::string("(empty)")
+                                      : std::string(frames.front());
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      const std::string_view frame = frames[i];
+      if (is_mem_frame(frame)) {
+        domain = std::string(frame.substr(4));
+        continue;
+      }
+      if (i > 0 &&
+          classify_frame(frame, false) == FrameClass::kStage) {
+        stage = std::string(frame);
+      }
+      self = std::string(frame);  // deepest non-mem frame
+    }
+    by_domain[domain] += bytes;
+    by_stage[stage] += bytes;
+    by_self[self] += bytes;
+  }
+
+  std::string out = "allocation profile: " + format_bytes(
+                        static_cast<std::int64_t>(total)) +
+                    " estimated across " +
+                    std::to_string(profile.stacks.size()) +
+                    " unique stacks\n\n";
+  render_share_section(out, "by domain", by_domain, total, top);
+  out += "\n";
+  render_share_section(out, "by stage", by_stage, total, top);
+  out += "\n";
+  std::map<std::string, std::uint64_t> by_standard;
+  for (const StandardShare& share : standards_breakdown(profile)) {
+    by_standard[share.standard] = share.samples;
+  }
+  render_share_section(out, "by standard", by_standard, total, top);
+  out += "\n";
+  render_share_section(out, "top frames (self bytes)", by_self, total, top);
+  return out;
+}
+
+std::string mem_standards_csv(const FoldedProfile& profile) {
+  std::string out = "standard,bytes,pct\n";
+  for (const StandardShare& share : standards_breakdown(profile)) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "%s,%llu,%.2f\n",
+                  share.standard.c_str(),
+                  static_cast<unsigned long long>(share.samples), share.pct);
+    out += line;
+  }
+  return out;
+}
+
+// ------------------------------------------------------- baseline gate ---
+
+namespace {
+
+struct DomainStats {
+  // domain -> {current, high_water}
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>> domains;
+  std::int64_t rss_bytes = -1;
+  std::int64_t rss_peak_bytes = -1;
+};
+
+// Reads a /memz document, a bare domains object, or a baseline document
+// (domain -> number == high water).
+bool parse_domain_stats(const std::string& json, DomainStats& out,
+                        std::string* error) {
+  JsonValue root;
+  if (!json_parse(json, root, error)) return false;
+  if (!root.is_object()) {
+    if (error != nullptr) *error = "top-level value is not an object";
+    return false;
+  }
+  const JsonValue* domains = root.find("domains");
+  if (domains == nullptr) domains = &root;
+  if (!domains->is_object()) {
+    if (error != nullptr) *error = "\"domains\" is not an object";
+    return false;
+  }
+  for (const auto& [name, value] : domains->object) {
+    if (value.is_number()) {
+      const auto peak = static_cast<std::int64_t>(value.number);
+      out.domains[name] = {peak, peak};
+    } else if (value.is_object()) {
+      const auto current =
+          static_cast<std::int64_t>(value.number_or("current", 0));
+      const auto high =
+          static_cast<std::int64_t>(value.number_or("high_water", 0));
+      out.domains[name] = {current, std::max(current, high)};
+    }
+  }
+  out.rss_bytes = static_cast<std::int64_t>(root.number_or("rss_bytes", -1));
+  out.rss_peak_bytes =
+      static_cast<std::int64_t>(root.number_or("rss_peak_bytes", -1));
+  if (out.rss_peak_bytes < 0) out.rss_peak_bytes = out.rss_bytes;
+  return true;
+}
+
+}  // namespace
+
+std::string render_domains_diff(const std::string& before_json,
+                                const std::string& after_json) {
+  DomainStats before, after;
+  std::string error;
+  if (!parse_domain_stats(before_json, before, &error)) {
+    return "error: cannot parse before document: " + error + "\n";
+  }
+  if (!parse_domain_stats(after_json, after, &error)) {
+    return "error: cannot parse after document: " + error + "\n";
+  }
+  struct Row {
+    std::string name;
+    std::int64_t current_delta = 0;
+    std::int64_t high_delta = 0;
+  };
+  std::vector<Row> rows;
+  std::map<std::string, bool> names;
+  for (const auto& [name, _] : before.domains) names[name] = true;
+  for (const auto& [name, _] : after.domains) names[name] = true;
+  for (const auto& [name, _] : names) {
+    const auto b = before.domains.count(name) ? before.domains[name]
+                                              : std::pair<std::int64_t,
+                                                          std::int64_t>{0, 0};
+    const auto a = after.domains.count(name) ? after.domains[name]
+                                             : std::pair<std::int64_t,
+                                                         std::int64_t>{0, 0};
+    rows.push_back({name, a.first - b.first, a.second - b.second});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    const std::int64_t am = a.high_delta < 0 ? -a.high_delta : a.high_delta;
+    const std::int64_t bm = b.high_delta < 0 ? -b.high_delta : b.high_delta;
+    if (am != bm) return am > bm;
+    return a.name < b.name;
+  });
+  std::string out = "domain residency diff (after - before)\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "  %-14s %14s %14s\n", "domain",
+                "current", "high water");
+  out += line;
+  for (const Row& row : rows) {
+    std::snprintf(line, sizeof(line), "  %-14s %14s %14s\n", row.name.c_str(),
+                  format_bytes(row.current_delta).c_str(),
+                  format_bytes(row.high_delta).c_str());
+    out += line;
+  }
+  if (before.rss_peak_bytes >= 0 && after.rss_peak_bytes >= 0) {
+    std::snprintf(line, sizeof(line), "  %-14s %14s %14s\n", "rss",
+                  format_bytes(after.rss_bytes - before.rss_bytes).c_str(),
+                  format_bytes(after.rss_peak_bytes - before.rss_peak_bytes)
+                      .c_str());
+    out += line;
+  }
+  return out;
+}
+
+bool baseline_from_json(const std::string& json, std::string& out,
+                        std::string* error) {
+  DomainStats stats;
+  if (!parse_domain_stats(json, stats, error)) return false;
+  out = "{\"domains\": {";
+  bool first = true;
+  for (const auto& [name, values] : stats.domains) {
+    if (!first) out += ", ";
+    first = false;
+    out += json_quote(name) + ": " + std::to_string(values.second);
+  }
+  out += "}, \"rss_peak_bytes\": ";
+  out += std::to_string(stats.rss_peak_bytes >= 0 ? stats.rss_peak_bytes : 0);
+  out += "}\n";
+  return true;
+}
+
+BaselineReport check_baseline(const std::string& baseline_json,
+                              const std::string& current_json,
+                              double tolerance) {
+  constexpr std::int64_t kDomainFloor = 1 << 20;   // 1 MiB
+  constexpr std::int64_t kRssFloor = 64 << 20;     // 64 MiB
+  BaselineReport report;
+  DomainStats baseline, current;
+  std::string error;
+  if (!parse_domain_stats(baseline_json, baseline, &error)) {
+    report.regressed = true;
+    report.text = "error: cannot parse baseline: " + error + "\n";
+    return report;
+  }
+  if (!parse_domain_stats(current_json, current, &error)) {
+    report.regressed = true;
+    report.text = "error: cannot parse current document: " + error + "\n";
+    return report;
+  }
+  auto check_one = [&](const std::string& name, std::int64_t base,
+                       std::int64_t now, std::int64_t floor) {
+    const auto limit = static_cast<std::int64_t>(
+        static_cast<double>(base) * (1.0 + tolerance) +
+        static_cast<double>(floor));
+    const bool ok = now <= limit;
+    if (!ok) report.regressed = true;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "%s %-14s peak %s vs baseline %s (limit %s)\n",
+                  ok ? "ok        " : "REGRESSION", name.c_str(),
+                  format_bytes(now).c_str(), format_bytes(base).c_str(),
+                  format_bytes(limit).c_str());
+    report.text += line;
+  };
+  for (const auto& [name, values] : baseline.domains) {
+    const std::int64_t now = current.domains.count(name)
+                                 ? current.domains[name].second
+                                 : 0;
+    check_one(name, values.second, now, kDomainFloor);
+  }
+  for (const auto& [name, values] : current.domains) {
+    if (baseline.domains.count(name)) continue;
+    check_one(name, 0, values.second, kDomainFloor);
+  }
+  if (baseline.rss_peak_bytes >= 0 && current.rss_peak_bytes >= 0) {
+    check_one("rss", baseline.rss_peak_bytes, current.rss_peak_bytes,
+              kRssFloor);
+  }
+  return report;
+}
+
+}  // namespace fu::obs::mem

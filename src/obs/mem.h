@@ -1,0 +1,263 @@
+// Memory observability: domain byte accounting, a sampling allocation
+// profiler, and the /memz surface.
+//
+// Three layers, mirroring how PR 7 treats CPU time:
+//
+//   1. Domain accounting — one signed byte counter per allocation *domain*
+//      (script-heap slabs, atom tables, snapshot images, checkpoint/shard
+//      cache, scheduler deques, trace rings, net corpus). Instrumented
+//      choke points call mem::add()/mem::sub(); the hot path is a single
+//      relaxed fetch_add plus a high-water check that only writes when a
+//      new peak is set (bench_mem_overhead asserts the bound). Accounting
+//      is always on — there is no "enabled" flag to check, because the
+//      counter *is* the cheap path.
+//
+//   2. Sampling allocation profiler — while a MemProfiler is live, every
+//      Nth tracked allocation captures the calling thread's live
+//      obs::Profiler frame stack, so bytes fold into the same
+//      worker/stage/script fn/standard folded format the CPU profiler
+//      emits (FoldedProfile, the flamegraph renderer and the standards
+//      breakdown all reuse). Each sampled stack gains a "mem:<domain>"
+//      leaf frame and is weighted by bytes x sample period — an unbiased
+//      estimate of total bytes when allocation sizes are uncorrelated
+//      with the sample phase. Disabled cost on top of the counter: one
+//      relaxed load and a branch.
+//
+//   3. Surfacing — memz_json() renders per-domain current/high-water plus
+//      self-measured RSS (/proc/self/statm) for GET /memz on both the
+//      --serve endpoint and the daemon; publish_metrics() copies the same
+//      numbers into registry gauges (mem.rss_bytes, mem.<domain>_bytes)
+//      so /metrics.json, /metrics and /deltas.json carry them without a
+//      /memz hit. Baseline helpers back the `fu mem
+//      --write-baseline/--check-baseline` peak-RSS regression gate.
+//
+// Like tracing and CPU profiling, none of this may perturb survey results:
+// accounting touches only its own atomics, and the profiler only *reads*
+// thread stacks — engine results stay fingerprint-identical with accounting
+// and profiling on or off (mem_test and engine_identity_test lock this).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "obs/folded.h"
+
+namespace fu::obs::mem {
+
+// Every tracked allocation domain. Keep kCount in sync; domain_name() is
+// the stable spelling used in /memz, baselines and "mem:" profile frames.
+enum class Domain : std::uint8_t {
+  kScriptHeap = 0,  // Heap object slabs (per-session MiniJS heaps)
+  kAtoms,           // AtomTable interned strings (all tables)
+  kSnapshot,        // frozen per-catalog session images (PR 9 clone source)
+  kShards,          // checkpoint writer buffers + loaded shard records
+  kSched,           // scheduler deque residency (queued, not-yet-run jobs)
+  kTrace,           // per-thread trace ring buffers
+  kNetCorpus,       // eagerly materialized synthetic-web site plans
+  kCount,
+};
+inline constexpr std::size_t kDomainCount =
+    static_cast<std::size_t>(Domain::kCount);
+
+const char* domain_name(Domain domain) noexcept;
+
+namespace internal {
+
+struct DomainCell {
+  // Signed: a sub() racing ahead of the add() it pairs with (another
+  // thread's view) may transiently dip below zero; totals are consistent
+  // once scopes balance.
+  std::atomic<std::int64_t> current{0};
+  std::atomic<std::int64_t> high_water{0};
+};
+extern std::array<DomainCell, kDomainCount> g_domains;
+extern std::atomic<bool> g_profiling;
+
+// Slow path of add(): record a profiler sample for this allocation.
+void profile_allocation(Domain domain, std::size_t bytes) noexcept;
+
+}  // namespace internal
+
+// Account `bytes` allocated (released) in `domain`. add() is the one hot
+// path: a relaxed fetch_add, a relaxed high-water load (the CAS only runs
+// on a fresh peak, rare in steady state), and a relaxed profiling-flag
+// load. Safe from any thread, any time, including before main().
+inline void add(Domain domain, std::size_t bytes) noexcept {
+  auto& cell = internal::g_domains[static_cast<std::size_t>(domain)];
+  const std::int64_t now =
+      cell.current.fetch_add(static_cast<std::int64_t>(bytes),
+                             std::memory_order_relaxed) +
+      static_cast<std::int64_t>(bytes);
+  std::int64_t peak = cell.high_water.load(std::memory_order_relaxed);
+  while (now > peak && !cell.high_water.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+  // Zero-byte events (an empty heap re-tagging its domain) would fold into
+  // meaningless zero-weight samples — skip them.
+  if (bytes != 0 && internal::g_profiling.load(std::memory_order_relaxed)) {
+    internal::profile_allocation(domain, bytes);
+  }
+}
+
+inline void sub(Domain domain, std::size_t bytes) noexcept {
+  internal::g_domains[static_cast<std::size_t>(domain)].current.fetch_sub(
+      static_cast<std::int64_t>(bytes), std::memory_order_relaxed);
+}
+
+std::int64_t current_bytes(Domain domain) noexcept;
+std::int64_t high_water_bytes(Domain domain) noexcept;
+
+// Drop every domain's high-water mark back to its current value (and the
+// RSS peak back to the current RSS sample). The daemon calls this before
+// each crawl so per-survey job records report that survey's peaks, not the
+// process lifetime's.
+void reset_high_water() noexcept;
+
+// RAII add/sub pair for scopes that materialize a transient block of bytes
+// (warm shard loads). grow() may be called any number of times; the
+// destructor returns everything accounted so far.
+class ScopedBytes {
+ public:
+  explicit ScopedBytes(Domain domain, std::size_t bytes = 0)
+      : domain_(domain) {
+    if (bytes > 0) grow(bytes);
+  }
+  ~ScopedBytes() {
+    if (bytes_ > 0) sub(domain_, bytes_);
+  }
+  void grow(std::size_t bytes) {
+    add(domain_, bytes);
+    bytes_ += bytes;
+  }
+  std::size_t bytes() const noexcept { return bytes_; }
+  ScopedBytes(const ScopedBytes&) = delete;
+  ScopedBytes& operator=(const ScopedBytes&) = delete;
+
+ private:
+  Domain domain_;
+  std::size_t bytes_ = 0;
+};
+
+// ---------------------------------------------------------------- RSS ----
+
+// Self-measured resident set size from /proc/self/statm (pages x page
+// size); -1 where that file does not exist. Cheap enough to call per poll,
+// not per allocation.
+std::int64_t self_rss_bytes() noexcept;
+
+// Peak of every self_rss_bytes() sample taken through publish_metrics() /
+// memz_json() since process start (or the last reset_high_water()).
+std::int64_t rss_peak_bytes() noexcept;
+
+// Sample RSS and copy every domain counter into registry gauges:
+// mem.rss_bytes plus mem.<domain>_bytes (value = current, max = high
+// water). The live server calls this on its delta tick — the "background
+// poller" — so /metrics.json, /metrics and /deltas.json all carry
+// mem.rss_bytes without touching /memz; run_survey brackets the crawl with
+// it so --metrics-out sees the gauges even with no server attached.
+void publish_metrics();
+
+// The /memz body: {"domains": {"script-heap": {"current": N,
+// "high_water": N}, ...}, "rss_bytes": N, "rss_peak_bytes": N}. Samples
+// RSS (and publishes gauges) on every render.
+std::string memz_json();
+
+// Just the domains object from memz_json() — what daemon job records store
+// as the per-survey peak report.
+std::string domains_json();
+
+// ------------------------------------------- sampling allocation profiler
+
+// Every Nth tracked allocation is sampled (N = sample period). Tracked
+// allocations are coarse (a heap slab, an atom string, a shard record), so
+// a small period keeps profiles dense without measurable cost.
+inline constexpr std::uint64_t kDefaultSamplePeriod = 8;
+
+// One live MemProfiler at a time, sharing none of the CPU Profiler's slot:
+// both may run together (each holds its own frame-recording lease). start()
+// enables prof frame recording so stage/script/std frames are captured;
+// stop() resolves samples into a folded profile whose counts are estimated
+// BYTES, each stack ending in a "mem:<domain>" leaf frame.
+class MemProfiler {
+ public:
+  explicit MemProfiler(std::uint64_t sample_period = kDefaultSamplePeriod);
+  ~MemProfiler();  // stops if still running
+
+  MemProfiler(const MemProfiler&) = delete;
+  MemProfiler& operator=(const MemProfiler&) = delete;
+
+  // Throws std::logic_error when another MemProfiler is already live.
+  void start();
+  bool active() const noexcept;
+
+  // Idempotent after the first call, like Profiler::stop().
+  FoldedProfile stop();
+
+  // Allocations sampled so far (live).
+  std::uint64_t samples() const noexcept;
+
+  std::uint64_t sample_period() const noexcept { return period_; }
+
+ private:
+  friend void internal::profile_allocation(Domain, std::size_t) noexcept;
+
+  void record(Domain domain, std::size_t bytes) noexcept;
+
+  std::uint64_t period_;
+  std::atomic<std::uint64_t> countdown_;
+  std::atomic<std::uint64_t> sample_count_{0};
+  struct Agg;
+  std::unique_ptr<Agg> agg_;
+  FoldedProfile result_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+// ------------------------------------------------------- mem summaries ---
+
+// Human summary of a folded BYTES profile (fu mem): total estimated bytes,
+// per-domain ("mem:" leaf frames), per-stage and per-standard attribution,
+// top frames by self bytes. `top` bounds rows per section.
+std::string render_mem_summary(const FoldedProfile& profile,
+                               std::size_t top = 12);
+
+// "standard,bytes,pct\n" rows — the per-standard residency CSV written
+// beside --memprofile-out.
+std::string mem_standards_csv(const FoldedProfile& profile);
+
+// "12.3 MiB"-style rendering, used by every mem report.
+std::string format_bytes(std::int64_t bytes);
+
+// ------------------------------------------------------- baseline gate ---
+
+// Compare two memz/domains JSON documents (as written by
+// --memprofile-out's .domains.json or GET /memz): per-domain current and
+// high-water deltas, most-grown first. Backs `fu mem <a> <b>` diff mode.
+std::string render_domains_diff(const std::string& before_json,
+                                const std::string& after_json);
+
+// Extract {"domains": {name: high_water}, "rss_peak_bytes": N} from a
+// memz/domains JSON document — the baseline format `fu mem
+// --write-baseline` stores under ci/. Returns false on a parse failure.
+bool baseline_from_json(const std::string& json, std::string& out,
+                        std::string* error = nullptr);
+
+struct BaselineReport {
+  bool regressed = false;
+  std::string text;  // one line per domain: pass/fail with both numbers
+};
+
+// The peak-RSS regression gate: every domain peak (and rss_peak_bytes) in
+// `current` must stay within baseline * (1 + tolerance) + floor. The floor
+// (1 MiB per domain, 64 MiB for RSS) keeps byte-level noise in small
+// domains from tripping a percentage gate, mirroring the trace gate's
+// microsecond floor.
+BaselineReport check_baseline(const std::string& baseline_json,
+                              const std::string& current_json,
+                              double tolerance);
+
+}  // namespace fu::obs::mem

@@ -10,7 +10,10 @@ namespace fu::obs {
 namespace prof {
 namespace internal {
 
-std::atomic<bool> g_enabled{false};
+std::atomic<std::uint32_t> g_enabled{0};
+
+void enable_frames() { g_enabled.fetch_add(1, std::memory_order_relaxed); }
+void disable_frames() { g_enabled.fetch_sub(1, std::memory_order_relaxed); }
 
 // A thread's live frame stack. Writers (the owning thread) use relaxed
 // stores for frame words and a release store for depth; the sampler pairs
@@ -104,6 +107,55 @@ std::uint64_t pack(FrameKind kind, std::uint32_t id) {
 std::shared_ptr<const std::vector<FeatureLabel>> feature_table() {
   std::lock_guard<std::mutex> lock(g_feature_mutex);
   return g_features;
+}
+
+void capture_own_stack(RawStack& out) {
+  static_assert(kMaxFrames == ThreadStack::kCapacity);
+  ThreadStack* stack = acquire_stack();
+  out.thread_label = stack->label.load(std::memory_order_relaxed);
+  out.thread_index = stack->index;
+  std::uint32_t depth = stack->depth.load(std::memory_order_relaxed);
+  if (depth > ThreadStack::kCapacity) depth = ThreadStack::kCapacity;
+  out.depth = depth;
+  for (std::uint32_t i = 0; i < depth; ++i) {
+    out.frames[i] = stack->frames[i].load(std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::string> label_table_copy() {
+  auto& table = label_table();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  return table.labels;
+}
+
+std::string resolve_stack_text(const std::vector<std::string>& labels,
+                               const std::vector<FeatureLabel>* features,
+                               std::uint32_t thread_label,
+                               std::uint32_t thread_index,
+                               const std::uint64_t* frames,
+                               std::uint32_t depth) {
+  auto label_of = [&labels](std::uint32_t id) -> std::string {
+    if (id < labels.size() && !labels[id].empty()) return labels[id];
+    return "label:" + std::to_string(id);
+  };
+  std::string stack = thread_label != 0
+                          ? label_of(thread_label)
+                          : "thread-" + std::to_string(thread_index);
+  for (std::uint32_t i = 0; i < depth; ++i) {
+    auto kind = static_cast<FrameKind>(frames[i] >> 32);
+    auto id = static_cast<std::uint32_t>(frames[i]);
+    stack += ';';
+    if (kind == FrameKind::kFeature) {
+      if (features && id < features->size()) {
+        stack += (*features)[id].label;
+      } else {
+        stack += "feature:" + std::to_string(id);
+      }
+    } else {
+      stack += label_of(id);
+    }
+  }
+  return stack;
 }
 
 }  // namespace internal
@@ -228,7 +280,7 @@ void Profiler::start() {
   started_ = true;
   stop_flag_.store(false, std::memory_order_relaxed);
   thread_ = std::thread([this] { sampler_loop(); });
-  prof::internal::g_enabled.store(true, std::memory_order_relaxed);
+  prof::internal::enable_frames();
 }
 
 bool Profiler::active() const noexcept {
@@ -269,44 +321,21 @@ void Profiler::sampler_loop() {
 FoldedProfile Profiler::stop() {
   if (!started_) throw std::logic_error("Profiler::stop() before start()");
   if (stopped_) return result_;
-  prof::internal::g_enabled.store(false, std::memory_order_relaxed);
+  prof::internal::disable_frames();
   stop_flag_.store(true, std::memory_order_relaxed);
   thread_.join();
   g_profiler.store(nullptr, std::memory_order_relaxed);
   stopped_ = true;
 
   // Resolve packed frames into text once, after sampling ends.
-  std::vector<std::string> labels;
-  {
-    auto& table = prof::internal::label_table();
-    std::lock_guard<std::mutex> lock(table.mutex);
-    labels = table.labels;
-  }
+  std::vector<std::string> labels = prof::internal::label_table_copy();
   auto features = prof::internal::feature_table();
-  auto label_of = [&labels](std::uint32_t id) -> std::string {
-    if (id < labels.size() && !labels[id].empty()) return labels[id];
-    return "label:" + std::to_string(id);
-  };
-
   for (const auto& [key, count] : agg_->counts) {
-    std::string stack = key.thread_label != 0
-                            ? label_of(key.thread_label)
-                            : "thread-" + std::to_string(key.thread_index);
-    for (std::uint64_t frame : key.frames) {
-      auto kind = static_cast<FrameKind>(frame >> 32);
-      auto id = static_cast<std::uint32_t>(frame);
-      stack += ';';
-      if (kind == FrameKind::kFeature) {
-        if (features && id < features->size()) {
-          stack += (*features)[id].label;
-        } else {
-          stack += "feature:" + std::to_string(id);
-        }
-      } else {
-        stack += label_of(id);
-      }
-    }
-    result_.add(stack, count);
+    result_.add(prof::internal::resolve_stack_text(
+                    labels, features ? features.get() : nullptr,
+                    key.thread_label, key.thread_index, key.frames.data(),
+                    static_cast<std::uint32_t>(key.frames.size())),
+                count);
   }
   return result_;
 }

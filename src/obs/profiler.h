@@ -28,6 +28,7 @@
 // enforces this).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -50,14 +51,19 @@ enum class FrameKind : std::uint8_t {
 namespace prof {
 
 namespace internal {
-extern std::atomic<bool> g_enabled;
+// Count of live frame-recording leases, not a bool: the CPU Profiler and
+// the allocation profiler (obs/mem.h) each take one, so frames keep being
+// recorded while either is sampling.
+extern std::atomic<std::uint32_t> g_enabled;
+void enable_frames();
+void disable_frames();
 struct ThreadStack;
 ThreadStack* acquire_stack();
 }  // namespace internal
 
 // The single branch every disabled-profiling hot path pays.
 inline bool enabled() noexcept {
-  return internal::g_enabled.load(std::memory_order_relaxed);
+  return internal::g_enabled.load(std::memory_order_relaxed) != 0;
 }
 
 // Interns `label` into the process-wide label table; returns its stable
@@ -93,6 +99,36 @@ struct FeatureLabel {
   std::string standard;
 };
 void set_feature_table(std::vector<FeatureLabel> table);
+
+namespace internal {
+
+inline constexpr std::uint32_t kMaxFrames = 128;  // == ThreadStack::kCapacity
+
+// A copy of one thread's live frame stack, taken by the owning thread
+// itself (plain relaxed loads — no cross-thread synchronization needed).
+// The allocation profiler captures one of these per sampled allocation.
+struct RawStack {
+  std::uint32_t thread_label = 0;
+  std::uint32_t thread_index = 0;
+  std::uint32_t depth = 0;
+  std::array<std::uint64_t, kMaxFrames> frames{};
+};
+void capture_own_stack(RawStack& out);
+
+// Snapshots for batch frame resolution (what Profiler::stop() uses).
+std::vector<std::string> label_table_copy();
+std::shared_ptr<const std::vector<FeatureLabel>> feature_table();
+
+// Renders "thread;frame;frame" text from packed frame words using the
+// given table snapshots — the one resolution path both profilers share.
+std::string resolve_stack_text(const std::vector<std::string>& labels,
+                               const std::vector<FeatureLabel>* features,
+                               std::uint32_t thread_label,
+                               std::uint32_t thread_index,
+                               const std::uint64_t* frames,
+                               std::uint32_t depth);
+
+}  // namespace internal
 
 }  // namespace prof
 

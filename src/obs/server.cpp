@@ -15,6 +15,7 @@
 #include <fstream>
 #include <string_view>
 
+#include "obs/mem.h"
 #include "obs/profiler.h"
 
 namespace fu::obs {
@@ -169,6 +170,9 @@ Server::Server(ServerOptions options)
   router_.handle("GET", "/buildz", [this](HttpRequest&) {
     return json_response(200, build_info_json(options_.build_extra));
   });
+  router_.handle("GET", "/memz", [](HttpRequest&) {
+    return json_response(200, mem::memz_json());
+  });
   router_.handle("GET", "/profilez", [](HttpRequest& request) {
     double seconds = query_double(request.query, "seconds", 1.0);
     if (seconds > 30.0) seconds = 30.0;  // serving is serial: bound the hold
@@ -254,6 +258,10 @@ void Server::serve_loop() {
 
     const double now = now_seconds();
     if (now - last_tick >= interval) {
+      // Background RSS/domain poll: publishing before the snapshot puts
+      // mem.rss_bytes (and the domain gauges) into this delta interval, so
+      // /deltas.json, /metrics.json and /metrics carry them without /memz.
+      mem::publish_metrics();
       ring_.record(options_.registry->snapshot(), now);
       last_tick = now;
     }

@@ -5,6 +5,8 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "obs/mem.h"
+
 namespace fu::obs {
 
 namespace internal {
@@ -17,6 +19,19 @@ struct ThreadBuffer {
   std::chrono::steady_clock::time_point t0;
   std::vector<std::uint64_t> open_begin_seq;  // stack: spans close LIFO
   std::vector<SpanRecord> ring;
+  std::size_t accounted = 0;  // ring bytes reported to mem::Domain::kTrace
+
+  ~ThreadBuffer() { mem::sub(mem::Domain::kTrace, accounted); }
+
+  // Ring slot storage only; span args/payloads are small and transient
+  // compared to the preallocated record array.
+  void account_ring() {
+    const std::size_t bytes = ring.capacity() * sizeof(SpanRecord);
+    if (bytes > accounted) {
+      mem::add(mem::Domain::kTrace, bytes - accounted);
+      accounted = bytes;
+    }
+  }
 
   std::uint64_t now_us() const {
     return static_cast<std::uint64_t>(
@@ -28,6 +43,7 @@ struct ThreadBuffer {
   void push(SpanRecord record) {
     if (ring.size() < capacity) {
       ring.push_back(std::move(record));
+      account_ring();
     } else {
       ring[pushed % capacity] = std::move(record);
     }
@@ -110,6 +126,7 @@ ThreadBuffer* acquire_buffer() {
     buffer->capacity = impl->capacity;
     buffer->t0 = impl->start_time;
     buffer->ring.reserve(std::min<std::size_t>(impl->capacity, 1024));
+    buffer->account_ring();
     t_cache.buffer = impl->buffers.emplace_back(std::move(buffer)).get();
     t_cache.epoch = impl->epoch;
   }

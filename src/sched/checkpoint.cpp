@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/mem.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -139,12 +140,20 @@ ShardWriter::ShardWriter(std::string dir, std::string header,
   }
 }
 
-ShardWriter::~ShardWriter() { flush(); }
+ShardWriter::~ShardWriter() {
+  flush();
+  // A failed final flush leaves the buffer (and its accounting) behind;
+  // the storage dies with this writer either way.
+  std::lock_guard<std::mutex> lock(mutex_);
+  obs::mem::sub(obs::mem::Domain::kShards, buffered_bytes_);
+  buffered_bytes_ = 0;
+}
 
 void ShardWriter::add(std::uint64_t index, std::string payload) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (buffer_.empty()) first_buffered_ = std::chrono::steady_clock::now();
   buffered_bytes_ += payload.size();
+  obs::mem::add(obs::mem::Domain::kShards, payload.size());
   buffer_.push_back(ShardRecord{index, std::move(payload)});
   if (flush_due_locked()) flush_locked();
 }
@@ -216,6 +225,7 @@ bool ShardWriter::flush_locked() {
     return false;
   }
   buffer_.clear();
+  obs::mem::sub(obs::mem::Domain::kShards, buffered_bytes_);
   buffered_bytes_ = 0;
   ++next_sequence_;
   ++shards_written_;
@@ -237,6 +247,11 @@ std::vector<ShardRecord> load_shards(const std::string& dir,
   for (const std::filesystem::path& path : shards) {
     read_shard(path, header, records);  // invalid shards skipped whole
   }
+  // Record the warm-read residency peak: the caller owns the records from
+  // here (and usually folds them into tables immediately), so the bytes
+  // count as a transient spike in the shards domain, not steady state.
+  obs::mem::ScopedBytes loaded(obs::mem::Domain::kShards);
+  for (const ShardRecord& record : records) loaded.grow(record.payload.size());
   return records;
 }
 

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "obs/mem.h"
 #include "obs/trace.h"
 #include "sched/progress.h"
 #include "sched/sched_internal.h"
@@ -87,6 +88,9 @@ RunReport Pool::run(std::size_t count, const Job& job,
   }
   SchedMetrics::get().deque_depth.record_max(
       static_cast<std::int64_t>((count + thread_count_ - 1) / thread_count_));
+  // Queue residency: every queued-not-yet-run task counts against the sched
+  // domain until a worker takes it for execution (below).
+  obs::mem::add(obs::mem::Domain::kSched, count * sizeof(Task));
 
   if (batch.progress != nullptr) {
     batch.progress->set_worker_count(thread_count_);
@@ -193,6 +197,7 @@ void Pool::worker_loop(unsigned self) {
     }
 
     tasks_available_.fetch_sub(1, std::memory_order_release);
+    obs::mem::sub(obs::mem::Domain::kSched, sizeof(Task));
     Batch* batch = task.batch;
     if (batch->timed) {
       SchedMetrics::get().queue_wait_us.record(static_cast<std::uint64_t>(

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdio>
 
+#include "obs/mem.h"
+
 namespace fu::script {
 namespace {
 
@@ -10,6 +12,13 @@ std::uint64_t next_table_id() {
   // Starts at 1: engine_id 0 marks an empty inline cache.
   static std::atomic<std::uint64_t> counter{1};
   return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Estimated footprint of one interned name: the characters plus the string
+// header and its ids_ hash entry (view + atom + bucket link).
+std::size_t atom_cost(std::string_view name) {
+  return name.size() + sizeof(std::string) + sizeof(std::string_view) +
+         2 * sizeof(void*);
 }
 
 }  // namespace
@@ -25,6 +34,10 @@ AtomTable::AtomTable() : id_(next_table_id()) {
   well_known_.constructor = intern("constructor");
   well_known_.this_ = intern("this");
   well_known_.arguments = intern("arguments");
+}
+
+AtomTable::~AtomTable() {
+  obs::mem::sub(obs::mem::Domain::kAtoms, tracked_bytes_);
 }
 
 void AtomTable::clone_from(const AtomTable& other) {
@@ -43,6 +56,10 @@ void AtomTable::clone_from(const AtomTable& other) {
   }
   small_indices_ = other.small_indices_;
   well_known_ = other.well_known_;
+  obs::mem::sub(obs::mem::Domain::kAtoms, tracked_bytes_);
+  tracked_bytes_ = 0;
+  for (const std::string& name : names_) tracked_bytes_ += atom_cost(name);
+  obs::mem::add(obs::mem::Domain::kAtoms, tracked_bytes_);
 }
 
 void AtomTable::adopt_base(std::shared_ptr<const AtomTable> base) {
@@ -51,6 +68,8 @@ void AtomTable::adopt_base(std::shared_ptr<const AtomTable> base) {
   // at construction — the base interned the same names at the same ids).
   names_.clear();
   ids_.clear();
+  obs::mem::sub(obs::mem::Domain::kAtoms, tracked_bytes_);
+  tracked_bytes_ = 0;
   base_count_ = static_cast<Atom>(base->size());
   small_indices_ = base->small_indices_;
   well_known_ = base->well_known_;
@@ -66,6 +85,9 @@ Atom AtomTable::intern(std::string_view name) {
   const Atom atom = base_count_ + static_cast<Atom>(names_.size());
   names_.emplace_back(name);  // deque: no reallocation, views stay valid
   ids_.emplace(std::string_view(names_.back()), atom);
+  const std::size_t cost = atom_cost(name);
+  tracked_bytes_ += cost;
+  obs::mem::add(obs::mem::Domain::kAtoms, cost);
   return atom;
 }
 

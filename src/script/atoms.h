@@ -40,6 +40,7 @@ class AtomTable {
   };
 
   AtomTable();
+  ~AtomTable();
   AtomTable(const AtomTable&) = delete;
   AtomTable& operator=(const AtomTable&) = delete;
 
@@ -93,6 +94,9 @@ class AtomTable {
   std::unordered_map<std::string_view, Atom> ids_;  // views into names_
   std::vector<Atom> small_indices_;  // lazily-filled cache for 0..4095
   WellKnown well_known_{};
+  // Bytes this table reported to mem::Domain::kAtoms (own storage only —
+  // a frozen base is accounted once, by the table that owns it).
+  std::size_t tracked_bytes_ = 0;
 };
 
 }  // namespace fu::script

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/mem.h"
 #include "obs/profiler.h"
 
 namespace fu::script {
@@ -21,6 +22,9 @@ HeapSnapshot::HeapSnapshot(const Interpreter& source) {
           "environment cannot be shared across sessions");
     }
   }
+  // The frozen image is long-lived residency of its own kind — account its
+  // slabs to the snapshot domain, not to live session heaps.
+  heap_.set_mem_domain(obs::mem::Domain::kSnapshot);
   heap_.clone_from(src);  // strips watch handlers; shares native Callables
   // Freeze one shared copy of the atom table for all clones to adopt as an
   // immutable base. Taken from heap_ (not src) so views/ids match the image.

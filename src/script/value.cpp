@@ -5,6 +5,8 @@
 #include <new>
 #include <stdexcept>
 
+#include "obs/mem.h"
+
 namespace fu::script {
 
 bool Value::truthy() const {
@@ -159,7 +161,7 @@ bool PropertySlots::erase(Atom atom) {
   return true;
 }
 
-Heap::Heap() {
+Heap::Heap() : mem_domain_(obs::mem::Domain::kScriptHeap) {
   // DOM bindings alone allocate a few thousand objects per session (one
   // native function per catalog method, twice over once the measuring
   // extension shims them); start with room for them.
@@ -167,7 +169,27 @@ Heap::Heap() {
   objects_.push_back(nullptr);  // index 0 reserved
 }
 
-Heap::~Heap() { destroy_objects(); }
+Heap::~Heap() {
+  destroy_objects();
+  obs::mem::sub(mem_domain_, bytes_reserved());
+}
+
+std::size_t Heap::bytes_used() const noexcept {
+  if (slabs_.empty()) return 0;
+  return ((slabs_.size() - 1) * kSlabSize + slab_used_) * sizeof(JsObject);
+}
+
+std::size_t Heap::bytes_reserved() const noexcept {
+  return slabs_.size() * kSlabSize * sizeof(JsObject);
+}
+
+void Heap::set_mem_domain(obs::mem::Domain domain) noexcept {
+  if (domain == mem_domain_) return;
+  const std::size_t reserved = bytes_reserved();
+  obs::mem::sub(mem_domain_, reserved);
+  obs::mem::add(domain, reserved);
+  mem_domain_ = domain;
+}
 
 void* Heap::allocate_raw() {
   if (slab_used_ == kSlabSize) {
@@ -176,6 +198,7 @@ void* Heap::allocate_raw() {
     slabs_.push_back(
         std::make_unique<std::byte[]>(kSlabSize * sizeof(JsObject)));
     slab_used_ = 0;
+    obs::mem::add(mem_domain_, kSlabSize * sizeof(JsObject));
   }
   return slabs_.back().get() + (slab_used_++) * sizeof(JsObject);
 }
@@ -197,6 +220,7 @@ void Heap::clone_from(const Heap& image,
   }
   shapes_.clone_from(image.shapes_);
   destroy_objects();
+  obs::mem::sub(mem_domain_, bytes_reserved());
   slabs_.clear();
   slab_used_ = kSlabSize;
   objects_.clear();

@@ -36,6 +36,10 @@
 
 #include "script/atoms.h"
 
+namespace fu::obs::mem {
+enum class Domain : std::uint8_t;  // obs/mem.h
+}
+
 namespace fu::script {
 
 class Heap;
@@ -348,6 +352,17 @@ class Heap {
 
   std::size_t size() const noexcept { return objects_.size(); }
 
+  // Slab bytes occupied by placement-constructed objects / reserved by all
+  // open slabs. Feeds the script.heap_bytes gauge at session teardown and
+  // the mem.* domain accounting.
+  std::size_t bytes_used() const noexcept;
+  std::size_t bytes_reserved() const noexcept;
+
+  // Re-attribute this heap's slab bytes to another accounting domain: a
+  // HeapSnapshot moves its image heap to mem::Domain::kSnapshot before
+  // capture so frozen images and live session heaps account separately.
+  void set_mem_domain(obs::mem::Domain domain) noexcept;
+
   // The heap-wide shape-transition tree every object's shape id lives in.
   ShapeTree& shapes() noexcept { return shapes_; }
 
@@ -368,6 +383,7 @@ class Heap {
   static constexpr std::size_t kSlabSize = 4096;
   std::vector<std::unique_ptr<std::byte[]>> slabs_;
   std::size_t slab_used_ = kSlabSize;  // full => first allocation opens a slab
+  obs::mem::Domain mem_domain_;        // where slab bytes are accounted
   std::vector<JsObject*> objects_;     // dense index; [0] reserved null
   AtomTable atoms_;
   ShapeTree shapes_;

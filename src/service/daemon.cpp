@@ -9,6 +9,7 @@
 #include "crawler/serialize.h"
 #include "crawler/survey.h"
 #include "net/web.h"
+#include "obs/mem.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/router.h"
@@ -255,6 +256,7 @@ std::string Daemon::job_json(const Job& job) const {
   out += ", \"sites_recrawled\": " + std::to_string(job.sites_recrawled);
   out += ", \"sites_failed\": " + std::to_string(job.sites_failed);
   out += ", \"error\": " + obs::json_quote(job.error);
+  out += ", \"mem\": " + (job.mem.empty() ? std::string("null") : job.mem);
   out += ", \"location\": \"/surveys/" + std::to_string(job.id) + "\"";
   out += "}";
   return out;
@@ -335,6 +337,9 @@ void Daemon::executor_loop() {
 void Daemon::run_job(const std::shared_ptr<Job>& job) {
   const Job copy = table_.copy_of(job);
   const SurveyRequest& request = copy.request;
+  // Scope the high-water marks to this survey: the executor runs one job at
+  // a time, so the peaks reported in the job record are this crawl's peaks.
+  obs::mem::reset_high_water();
   try {
     const catalog::Catalog& cat = catalog_for(request.seed);
     net::SyntheticWeb::Config web_config;
@@ -373,11 +378,13 @@ void Daemon::run_job(const std::shared_ptr<Job>& job) {
       for (std::uint32_t i = 0; i < request.sites; ++i) {
         job->meter->job_skipped();
       }
-      table_.update(job, [&warm](Job& j) {
+      std::string mem = obs::mem::domains_json();
+      table_.update(job, [&warm, &mem](Job& j) {
         j.state = JobState::kDone;
         j.from_cache = true;
         j.tables = std::move(*warm);
         j.metrics = obs::MetricsSnapshot{}.to_json();
+        j.mem = std::move(mem);
       });
       surveys_from_cache_.fetch_add(1, std::memory_order_relaxed);
       return;
@@ -403,10 +410,12 @@ void Daemon::run_job(const std::shared_ptr<Job>& job) {
     const sched::ProgressMeter::Snapshot progress = job->meter->snapshot();
     const analysis::Analysis analysis(results);
     std::string tables = analysis::tables_json(analysis, request.tables);
+    std::string mem = obs::mem::domains_json();
     table_.update(job, [&](Job& j) {
       j.state = JobState::kDone;
       j.tables = std::move(tables);
       j.metrics = metrics;
+      j.mem = std::move(mem);
       j.sites_failed = static_cast<std::size_t>(results.sites_failed());
       j.sites_recrawled = progress.done - progress.skipped;
       j.from_cache = j.sites_recrawled == 0;

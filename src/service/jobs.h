@@ -51,6 +51,7 @@ struct Job {
   std::size_t sites_recrawled = 0;  // sites actually crawled (not restored)
   std::string tables;   // tables_json document once kDone
   std::string metrics;  // per-survey registry delta (MetricsSnapshot JSON)
+  std::string mem;      // per-survey domain peaks (mem::domains_json) once done
   // Registry snapshot taken when the crawl began — the "before" of the
   // delta; while kRunning, /metrics.json diffs the live registry against it.
   obs::MetricsSnapshot metrics_start;

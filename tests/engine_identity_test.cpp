@@ -17,6 +17,7 @@
 #include "crawler/serialize.h"
 #include "crawler/survey.h"
 #include "net/web.h"
+#include "obs/mem.h"
 #include "obs/profiler.h"
 #include "support/strings.h"
 
@@ -123,6 +124,25 @@ TEST(EngineIdentity, FingerprintUnchangedByProfiling) {
   EXPECT_EQ(profiled, kGoldenFingerprint)
       << "profiling changed measured bits; actual fingerprint 0x" << std::hex
       << profiled;
+}
+
+TEST(EngineIdentity, FingerprintUnchangedByMemProfiling) {
+  // Domain accounting is always on (the golden fingerprint above already
+  // covers it); the allocation profiler adds stack capture on every tracked
+  // allocation at period 1 — the most invasive setting — and must still
+  // change nothing the survey measures.
+  catalog::Catalog catalog;
+  net::SyntheticWeb::Config config;
+  config.site_count = 24;
+  const net::SyntheticWeb web(catalog, config);
+
+  obs::mem::MemProfiler profiler(1);
+  profiler.start();
+  const std::uint64_t profiled = survey_fingerprint(small_survey(web, 2));
+  profiler.stop();
+  EXPECT_EQ(profiled, kGoldenFingerprint)
+      << "allocation profiling changed measured bits; actual fingerprint 0x"
+      << std::hex << profiled;
 }
 
 TEST(EngineIdentity, FingerprintUnchangedByLiveServing) {

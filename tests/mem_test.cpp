@@ -1,0 +1,310 @@
+// Tests for the memory-observability stack: per-domain byte accounting
+// (balance, high-water marks, multi-thread safety), the accounting wired
+// into the script heap and atom tables, the sampling allocation profiler
+// (folded BYTES profiles ending in "mem:<domain>" leaves), the /memz
+// endpoint, the peak-memory baseline gate behind `fu mem`, and the
+// session-teardown script.heap_bytes gauge.
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "browser/session.h"
+#include "catalog/catalog.h"
+#include "net/web.h"
+#include "obs/folded.h"
+#include "obs/json.h"
+#include "obs/mem.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/server.h"
+#include "script/atoms.h"
+#include "script/value.h"
+
+namespace fu::obs::mem {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Domain accounting
+
+TEST(MemAccounting, AddSubBalances) {
+  const std::int64_t before = current_bytes(Domain::kShards);
+  add(Domain::kShards, 4096);
+  EXPECT_EQ(current_bytes(Domain::kShards), before + 4096);
+  sub(Domain::kShards, 4096);
+  EXPECT_EQ(current_bytes(Domain::kShards), before);
+}
+
+TEST(MemAccounting, HighWaterRisesAndResets) {
+  reset_high_water();
+  const std::int64_t base = current_bytes(Domain::kSched);
+  add(Domain::kSched, 1 << 20);
+  const std::int64_t peak = high_water_bytes(Domain::kSched);
+  EXPECT_GE(peak, base + (1 << 20));
+  sub(Domain::kSched, 1 << 20);
+  // Releasing never lowers the mark...
+  EXPECT_GE(high_water_bytes(Domain::kSched), peak);
+  // ...only an explicit reset does, and then only down to current.
+  reset_high_water();
+  EXPECT_EQ(high_water_bytes(Domain::kSched), current_bytes(Domain::kSched));
+}
+
+TEST(MemAccounting, EightThreadsBalanceExactly) {
+  const std::int64_t before = current_bytes(Domain::kSched);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 8; ++t) {
+    pool.emplace_back([] {
+      for (int i = 0; i < 20'000; ++i) {
+        add(Domain::kSched, 64);
+        sub(Domain::kSched, 64);
+      }
+    });
+  }
+  for (std::thread& thread : pool) thread.join();
+  EXPECT_EQ(current_bytes(Domain::kSched), before);
+  EXPECT_GE(high_water_bytes(Domain::kSched), before + 64);
+}
+
+TEST(MemAccounting, ScopedBytesReturnsEverythingOnExit) {
+  const std::int64_t before = current_bytes(Domain::kShards);
+  {
+    ScopedBytes scope(Domain::kShards, 100);
+    scope.grow(28);
+    EXPECT_EQ(scope.bytes(), 128u);
+    EXPECT_EQ(current_bytes(Domain::kShards), before + 128);
+  }
+  EXPECT_EQ(current_bytes(Domain::kShards), before);
+}
+
+TEST(MemAccounting, HeapSlabsAccountedAndBalanced) {
+  const std::int64_t before = current_bytes(Domain::kScriptHeap);
+  {
+    script::Heap heap;
+    for (int i = 0; i < 2000; ++i) heap.make_object();
+    EXPECT_GT(heap.bytes_used(), 0u);
+    EXPECT_GE(heap.bytes_reserved(), heap.bytes_used());
+    EXPECT_GE(current_bytes(Domain::kScriptHeap),
+              before + static_cast<std::int64_t>(heap.bytes_reserved()));
+  }
+  EXPECT_EQ(current_bytes(Domain::kScriptHeap), before);
+}
+
+TEST(MemAccounting, AtomTableAccountedAndBalanced) {
+  const std::int64_t before = current_bytes(Domain::kAtoms);
+  {
+    script::AtomTable atoms;
+    for (int i = 0; i < 100; ++i) {
+      atoms.intern("mem-test-atom-" + std::to_string(i));
+    }
+    EXPECT_GT(current_bytes(Domain::kAtoms), before);
+  }
+  EXPECT_EQ(current_bytes(Domain::kAtoms), before);
+}
+
+// ---------------------------------------------------------------------------
+// Sampling allocation profiler
+
+TEST(MemProfiler, FoldedBytesEndInDomainLeaf) {
+  MemProfiler profiler(1);  // sample every tracked allocation
+  profiler.start();
+  std::thread worker([] {
+    prof::set_thread_label("mem-test-worker");
+    static const char* kStage = "mem-test-stage";
+    StageFrame frame(kStage);
+    for (int i = 0; i < 16; ++i) add(Domain::kShards, 1024);
+    for (int i = 0; i < 16; ++i) sub(Domain::kShards, 1024);
+  });
+  worker.join();
+  EXPECT_GE(profiler.samples(), 16u);
+  const FoldedProfile profile = profiler.stop();
+  // Period 1: every allocation sampled, weight == bytes.
+  EXPECT_EQ(profile.total(), 16u * 1024u);
+  bool saw = false;
+  for (const auto& [stack, bytes] : profile.stacks) {
+    EXPECT_NE(bytes, 0u);
+    if (stack.rfind("mem-test-worker", 0) == 0 &&
+        stack.find("mem-test-stage;mem:shards") != std::string::npos) {
+      saw = true;
+    }
+  }
+  EXPECT_TRUE(saw) << profile.to_text();
+
+  // The folded text round-trips through the shared parser, so every CPU
+  // profile consumer (flamegraph, diff, fu mem) can read byte profiles.
+  const FoldedProfile parsed = FoldedProfile::parse(profile.to_text());
+  EXPECT_EQ(parsed.stacks, profile.stacks);
+
+  const std::string summary = render_mem_summary(profile);
+  EXPECT_NE(summary.find("shards"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("mem-test-stage"), std::string::npos) << summary;
+  const std::string csv = mem_standards_csv(profile);
+  EXPECT_EQ(csv.rfind("standard,bytes,pct\n", 0), 0u) << csv;
+}
+
+TEST(MemProfiler, SamplePeriodWeightsBytes) {
+  MemProfiler profiler(4);
+  profiler.start();
+  for (int i = 0; i < 64; ++i) add(Domain::kShards, 100);
+  for (int i = 0; i < 64; ++i) sub(Domain::kShards, 100);
+  const FoldedProfile profile = profiler.stop();
+  // 64 allocations at period 4 = 16 samples, each weighted 100 x 4.
+  EXPECT_EQ(profile.total(), 64u * 100u);
+}
+
+TEST(MemProfiler, SecondLiveThrowsAndStopIsIdempotent) {
+  MemProfiler first;
+  first.start();
+  EXPECT_TRUE(first.active());
+  MemProfiler second;
+  EXPECT_THROW(second.start(), std::logic_error);
+  const FoldedProfile once = first.stop();
+  EXPECT_EQ(first.stop().stacks, once.stacks);
+  // With the first stopped, the slot frees up again.
+  MemProfiler third;
+  third.start();
+  third.stop();
+}
+
+TEST(MemProfiler, MayRunAlongsideCpuProfiler) {
+  Profiler cpu(997.0);
+  cpu.start();
+  MemProfiler memory(1);
+  memory.start();
+  add(Domain::kShards, 256);
+  sub(Domain::kShards, 256);
+  EXPECT_GE(memory.stop().total(), 256u);
+  cpu.stop();
+}
+
+// ---------------------------------------------------------------------------
+// /memz and the registry gauges
+
+TEST(Memz, JsonCarriesEveryDomainAndRss) {
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(json_parse(memz_json(), doc, &error)) << error;
+  const JsonValue* domains = doc.find("domains");
+  ASSERT_NE(domains, nullptr);
+  ASSERT_TRUE(domains->is_object());
+  EXPECT_EQ(domains->object.size(), kDomainCount);
+  for (const char* name : {"script-heap", "atoms", "snapshot", "shards",
+                           "sched", "trace", "net-corpus"}) {
+    const JsonValue* cell = domains->find(name);
+    ASSERT_NE(cell, nullptr) << name;
+    EXPECT_NE(cell->find("current"), nullptr) << name;
+    EXPECT_NE(cell->find("high_water"), nullptr) << name;
+  }
+  ASSERT_NE(doc.find("rss_bytes"), nullptr);
+  ASSERT_NE(doc.find("rss_peak_bytes"), nullptr);
+#if defined(__linux__)
+  EXPECT_GT(doc.number_or("rss_bytes", -1), 0);
+  EXPECT_GE(doc.number_or("rss_peak_bytes", -1),
+            doc.number_or("rss_bytes", -1));
+#endif
+}
+
+TEST(Memz, PublishMetricsFillsGauges) {
+  add(Domain::kShards, 512);
+  publish_metrics();
+  sub(Domain::kShards, 512);
+  EXPECT_GE(Registry::global().gauge("mem.shards_bytes").value(), 512);
+#if defined(__linux__)
+  EXPECT_GT(Registry::global().gauge("mem.rss_bytes").value(), 0);
+#endif
+}
+
+TEST(Memz, ServedByObsServer) {
+  Registry registry;
+  ServerOptions options;
+  options.port = 0;
+  options.registry = &registry;
+  Server server(std::move(options));
+  ASSERT_TRUE(server.ok()) << server.error();
+
+  int status = 0;
+  std::string body, error;
+  ASSERT_TRUE(
+      http_get("127.0.0.1", server.port(), "/memz", status, body, &error))
+      << error;
+  EXPECT_EQ(status, 200) << body;
+  JsonValue doc;
+  ASSERT_TRUE(json_parse(body, doc, &error)) << error << "\n" << body;
+  EXPECT_NE(doc.find("domains"), nullptr);
+  EXPECT_NE(doc.find("rss_bytes"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline gate
+
+constexpr const char* kMemzDoc =
+    "{\"domains\": {"
+    "\"script-heap\": {\"current\": 100, \"high_water\": 1048576}, "
+    "\"atoms\": {\"current\": 0, \"high_water\": 2048}}, "
+    "\"rss_bytes\": 1000, \"rss_peak_bytes\": 5000000}";
+
+TEST(MemBaseline, RoundTripsAndPassesAgainstItself) {
+  std::string baseline;
+  std::string error;
+  ASSERT_TRUE(baseline_from_json(kMemzDoc, baseline, &error)) << error;
+  JsonValue doc;
+  ASSERT_TRUE(json_parse(baseline, doc, &error)) << error << "\n" << baseline;
+  const JsonValue* domains = doc.find("domains");
+  ASSERT_NE(domains, nullptr);
+  EXPECT_EQ(domains->number_or("script-heap", -1), 1048576);
+  EXPECT_EQ(doc.number_or("rss_peak_bytes", -1), 5000000);
+
+  const BaselineReport report = check_baseline(baseline, kMemzDoc, 0.5);
+  EXPECT_FALSE(report.regressed) << report.text;
+}
+
+TEST(MemBaseline, GateTripsOnARealGrowth) {
+  std::string baseline;
+  ASSERT_TRUE(baseline_from_json(kMemzDoc, baseline));
+  // script-heap grew 100x — far beyond +50% plus the 1 MiB noise floor.
+  const std::string grown =
+      "{\"domains\": {"
+      "\"script-heap\": {\"current\": 0, \"high_water\": 104857600}, "
+      "\"atoms\": {\"current\": 0, \"high_water\": 2048}}, "
+      "\"rss_bytes\": 1000, \"rss_peak_bytes\": 5000000}";
+  const BaselineReport report = check_baseline(baseline, grown, 0.5);
+  EXPECT_TRUE(report.regressed);
+  EXPECT_NE(report.text.find("script-heap"), std::string::npos)
+      << report.text;
+
+  const std::string diff = render_domains_diff(kMemzDoc, grown);
+  EXPECT_NE(diff.find("script-heap"), std::string::npos) << diff;
+}
+
+TEST(MemBaseline, SmallNoiseStaysUnderTheFloor) {
+  std::string baseline;
+  ASSERT_TRUE(baseline_from_json(kMemzDoc, baseline));
+  // atoms doubled — but by 2 KiB, far under the 1 MiB per-domain floor.
+  const std::string jitter =
+      "{\"domains\": {"
+      "\"script-heap\": {\"current\": 0, \"high_water\": 1048576}, "
+      "\"atoms\": {\"current\": 0, \"high_water\": 4096}}, "
+      "\"rss_bytes\": 1000, \"rss_peak_bytes\": 5000000}";
+  const BaselineReport report = check_baseline(baseline, jitter, 0.5);
+  EXPECT_FALSE(report.regressed) << report.text;
+}
+
+// ---------------------------------------------------------------------------
+// Session teardown gauge
+
+TEST(SessionTeardown, PublishesHeapBytesGauge) {
+  catalog::Catalog catalog;
+  net::SyntheticWeb::Config config;
+  config.site_count = 4;
+  const net::SyntheticWeb web(catalog, config);
+  { browser::BrowserSession session(web, {}, 1234); }
+  // The session's interpreter heap held the injected environment — hundreds
+  // of objects — so the teardown gauge must report real bytes.
+  EXPECT_GT(Registry::global().gauge("script.heap_bytes").value(), 0);
+}
+
+}  // namespace
+}  // namespace fu::obs::mem

@@ -10,6 +10,7 @@
 //   fu lists                    print the generated ad/tracking filter lists
 //
 // Scale via FU_SITES / FU_PASSES / FU_SEED (see README).
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
@@ -29,6 +30,7 @@
 #include "obs/delta.h"
 #include "obs/folded.h"
 #include "obs/json.h"
+#include "obs/mem.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/server.h"
@@ -91,6 +93,20 @@ int usage() {
       "                        top frames by self/inclusive samples. Two\n"
       "                        files = diff mode (percentage-share deltas);\n"
       "                        --html renders the interactive flamegraph\n"
+      "  mem <file> [<file2>] [--top n] [--json] [--html <f>]\n"
+      "      [--write-baseline <f>] [--check-baseline <f>]\n"
+      "      [--tolerance <frac>]\n"
+      "                        summarize memory observability output. A\n"
+      "                        folded BYTES profile (--memprofile-out) gets\n"
+      "                        per-domain/stage/standard attribution and\n"
+      "                        top frames; a /memz JSON document gets the\n"
+      "                        per-domain current/high-water table. Two\n"
+      "                        folded files = share diff; two JSON files =\n"
+      "                        domain byte diff. --write-baseline saves a\n"
+      "                        JSON document's peaks, --check-baseline\n"
+      "                        exits 1 when a domain peak or RSS grew\n"
+      "                        beyond the tolerance (default 0.5 = +50%)\n"
+      "                        — the peak-RSS regression gate\n"
       "  disasm <script.js>    compile a MiniJS file and print its register\n"
       "                        bytecode, IC-slot annotations included\n"
       "                        ('-' reads stdin)\n"
@@ -119,6 +135,13 @@ int usage() {
       "  --profile-hz <n>      profiler sampling rate (default 97; implies\n"
       "                        profiling with --profile-out profile.folded\n"
       "                        when no output path was given)\n"
+      "  --memprofile-out <f>  run the crawl under the sampling allocation\n"
+      "                        profiler and write the folded BYTES profile\n"
+      "                        to <f>, the flamegraph to <f>.html, the\n"
+      "                        per-standard bytes to <f>.standards.csv and\n"
+      "                        the domain peak report to <f>.domains.json\n"
+      "  --memprofile-rate <n> sample every <n>th tracked allocation\n"
+      "                        (default 8)\n"
       "  --serve <port>        serve live metrics/progress over loopback\n"
       "                        HTTP while the survey runs (0 = ephemeral\n"
       "                        port, printed to stderr and written to\n"
@@ -145,6 +168,11 @@ int usage() {
       "  FU_STALL_SECS         healthz stall window (same as --stall-secs)\n"
       "  FU_PROFILE_HZ / FU_PROFILE_OUT\n"
       "                        same as --profile-hz / --profile-out\n"
+      "  FU_MEMPROFILE_OUT / FU_MEMPROFILE_RATE\n"
+      "                        same as --memprofile-out / --memprofile-rate\n"
+      "  FU_SESSION_SNAPSHOTS=0\n"
+      "                        build every session from scratch instead of\n"
+      "                        cloning the frozen per-catalog snapshot\n"
       "  FU_SERVE_LOG=1        per-request access log (same as serve --log)\n";
   return 2;
 }
@@ -352,6 +380,10 @@ bool parse_survey_flags(ReproductionConfig& config, int argc, char** argv) {
       if (!string_value(config.profile_out)) return false;
     } else if (arg == "--profile-hz") {
       if (!double_value(config.profile_hz)) return false;
+    } else if (arg == "--memprofile-out") {
+      if (!string_value(config.memprofile_out)) return false;
+    } else if (arg == "--memprofile-rate") {
+      if (!int_value(config.memprofile_rate)) return false;
     } else if (arg == "--serve") {
       if (!int_value(config.serve_port)) return false;
     } else if (arg == "--stall-secs") {
@@ -407,7 +439,34 @@ int cmd_survey(Reproduction& repro) {
     profiler.emplace(config.profile_hz > 0 ? config.profile_hz : 97.0);
     profiler->start();
   }
+  std::optional<obs::mem::MemProfiler> mem_profiler;
+  if (!config.memprofile_out.empty()) {
+    mem_profiler.emplace(
+        config.memprofile_rate > 0
+            ? static_cast<std::uint64_t>(config.memprofile_rate)
+            : obs::mem::kDefaultSamplePeriod);
+    mem_profiler->start();
+  }
   const crawler::SurveyResults& survey = repro.survey();
+  if (mem_profiler) {
+    const obs::FoldedProfile profile = mem_profiler->stop();
+    if (profile.total() == 0) {
+      std::cerr << "note: memory profile is empty — the survey was served "
+                   "from the on-disk cache or sampled no tracked allocation "
+                   "(set FU_CACHE=0 to profile a real crawl)\n";
+    }
+    const std::string& out = config.memprofile_out;
+    if (!write_text_file(out, profile.to_text(), "memory profile") ||
+        !write_text_file(out + ".html", obs::flamegraph_html(profile, out),
+                         "memory flamegraph") ||
+        !write_text_file(out + ".standards.csv",
+                         obs::mem::mem_standards_csv(profile),
+                         "memory standards csv") ||
+        !write_text_file(out + ".domains.json", obs::mem::memz_json(),
+                         "memory domains")) {
+      return 1;
+    }
+  }
   if (profiler) {
     const obs::FoldedProfile profile = profiler->stop();
     if (profile.total() == 0) {
@@ -635,6 +694,204 @@ int cmd_prof(int argc, char** argv) {
     return 0;
   }
   std::cout << obs::render_prof_summary(*first, options);
+  return 0;
+}
+
+// --------------------------------------------------------------- fu mem --
+
+bool read_file_text(const char* what, const std::string& path,
+                    std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in) {
+    std::cerr << "fu " << what << ": cannot read " << path << "\n";
+    return false;
+  }
+  out = buffer.str();
+  return true;
+}
+
+// A /memz (or .domains.json) document starts with '{'; anything else is
+// treated as a folded BYTES profile.
+bool looks_like_json(const std::string& text) {
+  const std::size_t first = text.find_first_not_of(" \t\r\n");
+  return first != std::string::npos && text[first] == '{';
+}
+
+// Human table for one memz/domains JSON document: domain, current bytes,
+// high water, plus the RSS lines when present.
+int render_memz_doc(const std::string& text) {
+  obs::JsonValue doc;
+  std::string error;
+  if (!obs::json_parse(text, doc, &error)) {
+    std::cerr << "fu mem: " << error << "\n";
+    return 1;
+  }
+  const obs::JsonValue* domains = doc.find("domains");
+  if (domains == nullptr) domains = &doc;  // bare domains object
+  if (!domains->is_object()) {
+    std::cerr << "fu mem: no domains object in document\n";
+    return 1;
+  }
+  std::printf("%-16s %12s %12s\n", "domain", "current", "high water");
+  for (const auto& [name, cell] : domains->object) {
+    const auto current =
+        static_cast<std::int64_t>(cell.number_or("current", 0));
+    const auto high = static_cast<std::int64_t>(
+        cell.number_or("high_water", cell.is_number() ? cell.number : 0));
+    std::printf("%-16s %12s %12s\n", name.c_str(),
+                obs::mem::format_bytes(current).c_str(),
+                obs::mem::format_bytes(high).c_str());
+  }
+  if (const obs::JsonValue* rss = doc.find("rss_bytes")) {
+    std::printf("%-16s %12s %12s\n", "rss",
+                obs::mem::format_bytes(
+                    static_cast<std::int64_t>(rss->number))
+                    .c_str(),
+                obs::mem::format_bytes(static_cast<std::int64_t>(
+                                           doc.number_or("rss_peak_bytes",
+                                                         rss->number)))
+                    .c_str());
+  }
+  return 0;
+}
+
+int cmd_mem(int argc, char** argv) {
+  obs::ProfSummaryOptions options;
+  std::vector<std::string> paths;
+  std::string html_out;
+  std::string write_baseline;
+  std::string check_baseline;
+  double tolerance = 0.5;
+  bool as_json = false;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    const std::size_t eq = arg.find('=');
+    const bool takes_value = arg == "--top" || arg == "--html" ||
+                             arg == "--write-baseline" ||
+                             arg == "--check-baseline" || arg == "--tolerance";
+    if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg.resize(eq);
+    } else if (takes_value && i + 1 < argc) {
+      value = argv[++i];
+    }
+    if (arg == "--top") {
+      char* end = nullptr;
+      const long parsed = std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || parsed <= 0) {
+        std::cerr << "--top: not a positive number: " << value << "\n";
+        return 2;
+      }
+      options.top = static_cast<std::size_t>(parsed);
+    } else if (arg == "--tolerance") {
+      char* end = nullptr;
+      const double parsed = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || parsed < 0) {
+        std::cerr << "--tolerance: not a number: " << value << "\n";
+        return 2;
+      }
+      tolerance = parsed;
+    } else if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--html") {
+      html_out = value;
+    } else if (arg == "--write-baseline") {
+      write_baseline = value;
+    } else if (arg == "--check-baseline") {
+      check_baseline = value;
+    } else if (arg.rfind("--", 0) != 0 && paths.size() < 2) {
+      paths.push_back(arg);
+    } else {
+      std::cerr << "unknown mem argument: " << argv[i] << "\n";
+      return 2;
+    }
+  }
+  if (paths.empty()) return usage();
+
+  std::string first;
+  if (!read_file_text("mem", paths.front(), first)) return 1;
+
+  // Baseline modes operate on a memz/domains JSON document.
+  if (!write_baseline.empty()) {
+    if (!looks_like_json(first)) {
+      std::cerr << "fu mem: --write-baseline needs a /memz JSON document, "
+                   "not a folded profile\n";
+      return 2;
+    }
+    std::string baseline;
+    std::string error;
+    if (!obs::mem::baseline_from_json(first, baseline, &error)) {
+      std::cerr << "fu mem: " << paths.front() << ": " << error << "\n";
+      return 1;
+    }
+    if (!write_text_file(write_baseline, baseline, "mem baseline")) return 1;
+    return 0;
+  }
+  if (!check_baseline.empty()) {
+    if (!looks_like_json(first)) {
+      std::cerr << "fu mem: --check-baseline needs a /memz JSON document, "
+                   "not a folded profile\n";
+      return 2;
+    }
+    std::string baseline;
+    if (!read_file_text("mem", check_baseline, baseline)) return 1;
+    const obs::mem::BaselineReport report =
+        obs::mem::check_baseline(baseline, first, tolerance);
+    std::cout << "memory gate (tolerance +" << tolerance * 100 << "%):\n"
+              << report.text;
+    if (report.regressed) {
+      std::cerr << "fu mem: memory peak regressed beyond tolerance\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  if (paths.size() == 2) {  // diff mode
+    std::string second;
+    if (!read_file_text("mem", paths.back(), second)) return 1;
+    if (looks_like_json(first) != looks_like_json(second)) {
+      std::cerr << "fu mem: cannot diff a folded profile against a JSON "
+                   "document\n";
+      return 2;
+    }
+    if (looks_like_json(first)) {
+      std::cout << obs::mem::render_domains_diff(first, second);
+      return 0;
+    }
+    try {
+      const obs::FoldedProfile a = obs::FoldedProfile::parse(first);
+      const obs::FoldedProfile b = obs::FoldedProfile::parse(second);
+      std::cout << obs::render_prof_diff(a, b, options);
+    } catch (const std::exception& error) {
+      std::cerr << "fu mem: " << error.what() << "\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  if (looks_like_json(first)) return render_memz_doc(first);
+
+  std::optional<obs::FoldedProfile> profile;
+  try {
+    profile = obs::FoldedProfile::parse(first);
+  } catch (const std::exception& error) {
+    std::cerr << "fu mem: " << paths.front() << ": " << error.what() << "\n";
+    return 1;
+  }
+  if (!html_out.empty() &&
+      !write_text_file(html_out,
+                       obs::flamegraph_html(*profile, paths.front()),
+                       "memory flamegraph")) {
+    return 1;
+  }
+  if (as_json) {
+    std::cout << obs::prof_summary_json(*profile, options.top);
+    return 0;
+  }
+  std::cout << obs::mem::render_mem_summary(*profile, options.top);
   return 0;
 }
 
@@ -946,6 +1203,43 @@ int cmd_watch(int argc, char** argv) {
       stalled = status == 503;
     }
 
+    // One-line memory readout: RSS plus the fattest domains right now.
+    std::string mem_line;
+    if (obs::http_get(host, port, "/memz", status, body, &error, 5.0,
+                      bearer) &&
+        status == 200) {
+      obs::JsonValue memz;
+      if (obs::json_parse(body, memz)) {
+        mem_line =
+            "memory: rss " +
+            obs::mem::format_bytes(
+                static_cast<std::int64_t>(memz.number_or("rss_bytes", 0))) +
+            " (peak " +
+            obs::mem::format_bytes(static_cast<std::int64_t>(
+                memz.number_or("rss_peak_bytes", 0))) +
+            ")";
+        if (const obs::JsonValue* domains = memz.find("domains");
+            domains != nullptr && domains->is_object()) {
+          std::vector<std::pair<std::string, std::int64_t>> rows;
+          for (const auto& [name, cell] : domains->object) {
+            const auto current =
+                static_cast<std::int64_t>(cell.number_or("current", 0));
+            if (current > 0) rows.emplace_back(name, current);
+          }
+          std::sort(rows.begin(), rows.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.second > b.second;
+                    });
+          std::size_t shown = 0;
+          for (const auto& [name, current] : rows) {
+            if (++shown > 4) break;
+            mem_line +=
+                "  " + name + " " + obs::mem::format_bytes(current);
+          }
+        }
+      }
+    }
+
     if (obs::http_get(host, port,
                       "/deltas.json?since=" + std::to_string(last_seq),
                       status, body, &error, 5.0, bearer) &&
@@ -992,6 +1286,7 @@ int cmd_watch(int argc, char** argv) {
       std::cout << snap.workers.size() << " workers, " << queued
                 << " sites queued, " << steals << " steals\n";
     }
+    if (!mem_line.empty()) std::cout << mem_line << "\n";
     if (!stages.empty()) {
       std::cout << "\nstage latency while watching (p50 / p95):\n";
       for (const auto& [name, stage] : stages) {
@@ -1076,6 +1371,7 @@ int main(int argc, char** argv) {
   // they need no reproduction pipeline.
   if (command == "trace") return cmd_trace(nrest, rest);
   if (command == "prof") return cmd_prof(nrest, rest);
+  if (command == "mem") return cmd_mem(nrest, rest);
   if (command == "watch") return cmd_watch(nrest, rest);
   // `fu serve` builds catalogs per request seed and `fu compact` only
   // touches shard files; neither needs the whole reproduction either.
@@ -1083,6 +1379,12 @@ int main(int argc, char** argv) {
   if (command == "compact") return cmd_compact(nrest, rest);
   // `fu disasm` runs the parser and bytecode compiler directly.
   if (command == "disasm") return cmd_disasm(nrest, rest);
+  // FU_SESSION_SNAPSHOTS=0 rebuilds every session from scratch instead of
+  // cloning the frozen snapshot — the control arm of the mem-diff CI step.
+  if (const char* snaps = std::getenv("FU_SESSION_SNAPSHOTS")) {
+    browser::set_session_snapshots_enabled(*snaps != '\0' &&
+                                           std::strcmp(snaps, "0") != 0);
+  }
   ReproductionConfig config = ReproductionConfig::from_env();
   if (command == "survey" && !parse_survey_flags(config, nrest, rest)) {
     return usage();
